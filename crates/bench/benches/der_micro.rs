@@ -1,0 +1,207 @@
+//! **E10** — micro-benchmarks of the DER substrate backing the paper's
+//! §3/§4.1 claims: monomorphized (static) index operations vs the
+//! dynamic adapter interface vs the legacy runtime-comparator B-tree,
+//! and buffered vs unbuffered virtual iteration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use stir_der::adapter::{BTreeIndex, IndexAdapter};
+use stir_der::brie::Brie;
+use stir_der::btree::BTreeIndexSet;
+use stir_der::dynindex::DynBTreeIndex;
+use stir_der::iter::{BufferedTupleIter, TupleIter};
+use stir_der::order::Order;
+
+const N: u32 = 20_000;
+
+fn tuples() -> Vec<[u32; 2]> {
+    let mut seed = 1u32;
+    (0..N)
+        .map(|_| {
+            seed = seed.wrapping_mul(48271) % 0x7fff_ffff;
+            [seed % 1000, seed % 4093]
+        })
+        .collect()
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let data = tuples();
+    let mut g = c.benchmark_group("insert_20k");
+    g.bench_function("btree_static", |b| {
+        b.iter_batched(
+            BTreeIndexSet::<2>::new,
+            |mut set| {
+                for t in &data {
+                    set.insert(*t);
+                }
+                set
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("brie_static", |b| {
+        b.iter_batched(
+            Brie::<2>::new,
+            |mut set| {
+                for t in &data {
+                    set.insert(*t);
+                }
+                set
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("btree_dyn_adapter", |b| {
+        b.iter_batched(
+            || BTreeIndex::<2>::new(Order::natural(2)),
+            |mut idx| {
+                for t in &data {
+                    IndexAdapter::insert(&mut idx, t);
+                }
+                idx
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("legacy_runtime_comparator", |b| {
+        b.iter_batched(
+            || DynBTreeIndex::new(Order::natural(2)),
+            |mut idx| {
+                for t in &data {
+                    idx.insert(t);
+                }
+                idx
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let data = tuples();
+    let static_set: BTreeIndexSet<2> = data.iter().copied().collect();
+    let mut adapter = BTreeIndex::<2>::new(Order::natural(2));
+    let mut legacy = DynBTreeIndex::new(Order::natural(2));
+    for t in &data {
+        IndexAdapter::insert(&mut adapter, t);
+        legacy.insert(t);
+    }
+
+    let mut g = c.benchmark_group("full_scan");
+    g.bench_function("monomorphic_iter", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in static_set.iter() {
+                acc += u64::from(t[1]);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("virtual_unbuffered", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut it = adapter.scan();
+            while let Some(t) = it.next_tuple() {
+                acc += u64::from(t[1]);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("virtual_buffered_128", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut it = BufferedTupleIter::new(adapter.scan());
+            while let Some(t) = it.next_tuple() {
+                acc += u64::from(t[1]);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("legacy_materializing", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut it = legacy.scan();
+            while let Some(t) = it.next_tuple() {
+                acc += u64::from(t[1]);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("primitive_search");
+    g.bench_function("monomorphic_range", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for key in 0..1000u32 {
+                for t in static_set.range(&[key, 0], &[key, u32::MAX]) {
+                    acc += u64::from(t[1]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("virtual_range", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for key in 0..1000u32 {
+                let mut it = adapter.range(&[key, 0], &[key, u32::MAX]);
+                while let Some(t) = it.next_tuple() {
+                    acc += u64::from(t[1]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("legacy_range", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for key in 0..1000u32 {
+                let mut it = legacy.range(&[key, 0], &[key, u32::MAX]);
+                while let Some(t) = it.next_tuple() {
+                    acc += u64::from(t[1]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("contains_20k");
+    g.bench_function("monomorphic", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for t in &data {
+                hits += u32::from(static_set.contains(t));
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("virtual", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for t in &data {
+                hits += u32::from(adapter.contains(t));
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("legacy", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for t in &data {
+                hits += u32::from(legacy.contains(t));
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inserts, bench_scans
+}
+criterion_main!(benches);

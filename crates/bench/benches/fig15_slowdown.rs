@@ -1,0 +1,86 @@
+//! **Fig. 15** — execution-time slowdown of the STI relative to the
+//! synthesized (compiled) engine, per benchmark instance, plus the legacy
+//! interpreter's slowdown (§5.1).
+//!
+//! Paper's reported shape: STI 1.32–5.67× slower than compiled code
+//! across the real-world suites (one short-running outlier higher);
+//! legacy interpreter roughly an order of magnitude worse (9.8–43×,
+//! with timeouts on the largest inputs).
+
+use stir_bench::{fmt_dur, fmt_ratio, interp_time, print_table, scale, SynthCache};
+use stir_core::{Engine, InterpreterConfig};
+use stir_workloads::{all_suites, instances};
+
+fn main() {
+    let scale = scale();
+    let mut cache = SynthCache::new();
+    let mut rows = Vec::new();
+    let mut sti_ratios = Vec::new();
+    let mut legacy_ratios = Vec::new();
+
+    for suite in all_suites() {
+        for w in instances(suite, scale) {
+            let engine = Engine::from_source(&w.program).expect("workload compiles");
+            let (synth_time, synth_outcome) = cache.synth_eval(&w, &engine);
+            let sti = interp_time(&engine, InterpreterConfig::optimized(), &w.inputs);
+
+            // Sanity: both engines computed the same fixpoint size.
+            let (_, _, interp_size) =
+                stir_bench::interp_eval(&engine, InterpreterConfig::optimized(), &w.inputs);
+            let synth_size: usize = synth_outcome.outputs.values().map(Vec::len).sum();
+            assert_eq!(interp_size, synth_size, "{}: engines disagree", w.name);
+
+            // The legacy interpreter can be orders of magnitude slower;
+            // skip it where it would dominate harness time (the paper's
+            // timeouts, in miniature).
+            let legacy = if sti.as_secs_f64() < 2.0 {
+                Some(interp_time(&engine, InterpreterConfig::legacy(), &w.inputs))
+            } else {
+                None
+            };
+
+            let synth_s = synth_time.as_secs_f64().max(1e-9);
+            let sti_ratio = sti.as_secs_f64() / synth_s;
+            sti_ratios.push(sti_ratio);
+            let legacy_cell = match legacy {
+                Some(l) => {
+                    let r = l.as_secs_f64() / synth_s;
+                    legacy_ratios.push(r);
+                    fmt_ratio(r)
+                }
+                None => "(skipped)".to_owned(),
+            };
+            rows.push(vec![
+                w.name.clone(),
+                fmt_dur(synth_time),
+                fmt_dur(sti),
+                fmt_ratio(sti_ratio),
+                legacy_cell,
+            ]);
+        }
+    }
+
+    print_table(
+        &format!("Fig. 15 — slowdown vs synthesized code (scale {scale:?})"),
+        &["benchmark", "synth", "STI", "STI/synth", "legacy/synth"],
+        &rows,
+    );
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "\nSTI slowdown: min {:.2}x  avg {:.2}x  max {:.2}x   (paper: 1.32–5.67x)",
+        min(&sti_ratios),
+        avg(&sti_ratios),
+        max(&sti_ratios)
+    );
+    if !legacy_ratios.is_empty() {
+        println!(
+            "legacy slowdown: min {:.2}x  avg {:.2}x  max {:.2}x   (paper: ~9.8–43x)",
+            min(&legacy_ratios),
+            avg(&legacy_ratios),
+            max(&legacy_ratios)
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! **Fig. 16** — case study of the interpreter/synthesizer performance
+//! gap: a histogram (30 bins) of per-rule slowdown ratios in one DDisasm
+//! benchmark, with each bin's contribution to the total gap.
+//!
+//! Paper's reported shape: most rules sit below 2.5× and contribute
+//! ~18% of the gap; a handful of outlier rules (10–32× — the
+//! `moved_label` family) contribute ~73% of it.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use stir_bench::{print_table, scale, SynthCache};
+use stir_core::{Engine, InterpreterConfig};
+use stir_workloads::spec::Scale;
+
+fn main() {
+    let scale = if scale() == Scale::Tiny {
+        Scale::Tiny
+    } else {
+        // The case study wants enough work for stable per-rule times.
+        Scale::Medium
+    };
+    let w = stir_workloads::ddisasm::generate("gamess-like", scale, 404);
+    let engine = Engine::from_source(&w.program).expect("compiles");
+
+    // Interpreter per-rule times.
+    let (_, profile, _) = stir_bench::interp_eval(
+        &engine,
+        InterpreterConfig::optimized().with_profile(),
+        &w.inputs,
+    );
+    let interp_rules = profile.expect("profiled").by_rule();
+
+    // Synthesizer per-rule times (its binary profiles every query).
+    let mut cache = SynthCache::new();
+    let (_, outcome) = cache.synth_eval(&w, &engine);
+    let labels = stir_synth::query_labels(engine.ram());
+    let mut synth_rules: HashMap<String, Duration> = HashMap::new();
+    for (label, (time, _execs)) in labels.iter().zip(&outcome.profile) {
+        let base = match label.find(" [delta #") {
+            Some(i) => &label[..i],
+            None => label.as_str(),
+        };
+        *synth_rules.entry(base.to_owned()).or_default() += *time;
+    }
+
+    // Per-rule slowdowns; discard rules too fast to measure (the paper
+    // discards < 0.01 s — scale-relative here).
+    let total_interp: Duration = interp_rules.iter().map(|r| r.time).sum();
+    let threshold = (total_interp / 1000).max(Duration::from_micros(20));
+    let mut gaps = Vec::new();
+    for rule in &interp_rules {
+        if rule.time < threshold {
+            continue;
+        }
+        let synth = synth_rules
+            .get(&rule.label)
+            .copied()
+            .unwrap_or(Duration::ZERO)
+            .max(Duration::from_nanos(1));
+        let slowdown = rule.time.as_secs_f64() / synth.as_secs_f64();
+        let gap = rule.time.saturating_sub(synth);
+        gaps.push((rule.label.clone(), slowdown, gap));
+    }
+    let total_gap: f64 = gaps.iter().map(|(_, _, g)| g.as_secs_f64()).sum();
+
+    // 30-bin histogram over the slowdown range.
+    let max_slowdown = gaps.iter().map(|(_, s, _)| *s).fold(1.0f64, f64::max);
+    const BINS: usize = 30;
+    let width = max_slowdown / BINS as f64;
+    let mut count = [0usize; BINS];
+    let mut contrib = [0.0f64; BINS];
+    for (_, s, g) in &gaps {
+        let b = ((s / width) as usize).min(BINS - 1);
+        count[b] += 1;
+        contrib[b] += g.as_secs_f64();
+    }
+    let rows: Vec<Vec<String>> = (0..BINS)
+        .filter(|&b| count[b] > 0)
+        .map(|b| {
+            vec![
+                format!("{:.1}–{:.1}x", b as f64 * width, (b + 1) as f64 * width),
+                count[b].to_string(),
+                format!("{:.1}%", 100.0 * contrib[b] / total_gap.max(1e-12)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig. 16 — per-rule slowdown histogram, ddisasm/gamess-like (scale {scale:?}, {} rules measured)",
+            gaps.len()
+        ),
+        &["slowdown bin", "# rules", "share of total gap"],
+        &rows,
+    );
+
+    // The paper's headline: outliers own the gap.
+    let mut sorted = gaps.clone();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nworst rules by slowdown:");
+    for (label, s, g) in sorted.iter().take(4) {
+        println!(
+            "  {s:>6.1}x  gap {:>9.3?}  {}",
+            g,
+            label.chars().take(70).collect::<String>()
+        );
+    }
+    let outlier_share: f64 = sorted
+        .iter()
+        .filter(|(_, s, _)| *s >= 10.0)
+        .map(|(_, _, g)| g.as_secs_f64())
+        .sum::<f64>()
+        / total_gap.max(1e-12);
+    println!(
+        "rules with slowdown >= 10x contribute {:.1}% of the gap   (paper: ~73%)",
+        100.0 * outlier_share
+    );
+}

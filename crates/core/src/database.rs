@@ -1,0 +1,248 @@
+//! The runtime database: one [`Relation`] per RAM relation.
+//!
+//! Relations sit behind `RefCell`s because a query reads some relations
+//! while inserting into another. The RAM translation guarantees that the
+//! projection target of a query is never scanned or probed by the same
+//! query (semi-naive evaluation separates `R`, `delta_R`, and `new_R`), so
+//! the dynamic borrow checks never fail for translated programs; they are
+//! a safety net, not a semantic device.
+
+use crate::error::EvalError;
+use crate::value::Value;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use stir_der::dynindex::DynBTreeIndex;
+use stir_der::factory::{IndexSpec, Representation};
+use stir_der::order::Order;
+use stir_der::relation::Relation;
+use stir_der::IndexAdapter;
+use stir_frontend::SymbolTable;
+use stir_ram::program::{RamProgram, RelId, ReprKind};
+
+/// How relations are represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// De-specialized DER structures from the factory (the STI's mode).
+    Specialized,
+    /// Fully dynamic B-trees with runtime comparators (the legacy
+    /// interpreter's mode, §5.1).
+    LegacyDynamic,
+}
+
+/// External input facts: relation name → tuples of typed values.
+pub type InputData = HashMap<String, Vec<Vec<Value>>>;
+
+/// The relations, symbol table, and counter of one evaluation.
+#[derive(Debug)]
+pub struct Database {
+    relations: Vec<RefCell<Relation>>,
+    /// The symbol table grows at runtime (`cat`, `to_string`).
+    pub symbols: RefCell<SymbolTable>,
+    /// The `$` auto-increment counter.
+    pub counter: Cell<u32>,
+}
+
+impl Database {
+    /// Builds the database for a RAM program: creates every relation with
+    /// the orders chosen by index selection and loads the source-text
+    /// facts.
+    pub fn new(ram: &RamProgram, mode: DataMode) -> Database {
+        let relations = ram
+            .relations
+            .iter()
+            .map(|r| {
+                let rel = if r.arity == 0 {
+                    Relation::new(r.name.clone(), 0, vec![])
+                } else {
+                    match mode {
+                        DataMode::Specialized => {
+                            let repr = match r.repr {
+                                ReprKind::BTree => Representation::BTree,
+                                ReprKind::Brie => Representation::Brie,
+                                ReprKind::EqRel => Representation::EqRel,
+                            };
+                            let specs: Vec<IndexSpec> = r
+                                .orders
+                                .iter()
+                                .map(|o| IndexSpec::new(repr, Order::new(o.clone())))
+                                .collect();
+                            Relation::new(r.name.clone(), r.arity, specs)
+                        }
+                        DataMode::LegacyDynamic => {
+                            if r.repr == ReprKind::EqRel {
+                                // The equivalence-relation representation is
+                                // semantic (it closes pairs), so even the
+                                // legacy layer keeps it.
+                                let specs =
+                                    vec![IndexSpec::new(Representation::EqRel, Order::natural(2))];
+                                Relation::new(r.name.clone(), r.arity, specs)
+                            } else {
+                                let indexes: Vec<Box<dyn IndexAdapter>> = r
+                                    .orders
+                                    .iter()
+                                    .map(|o| {
+                                        Box::new(DynBTreeIndex::new(Order::new(o.clone())))
+                                            as Box<dyn IndexAdapter>
+                                    })
+                                    .collect();
+                                Relation::from_adapters(r.name.clone(), r.arity, indexes)
+                            }
+                        }
+                    }
+                };
+                RefCell::new(rel)
+            })
+            .collect();
+        let db = Database {
+            relations,
+            symbols: RefCell::new(ram.symbols.clone()),
+            counter: Cell::new(0),
+        };
+        for (rel, tuple) in &ram.facts {
+            db.relations[rel.0].borrow_mut().insert(tuple);
+        }
+        db
+    }
+
+    /// The relation cell for `id`.
+    pub fn relation(&self, id: RelId) -> &RefCell<Relation> {
+        &self.relations[id.0]
+    }
+
+    /// Loads external facts into the `.input` relations.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown relation names, non-input relations, and tuples of
+    /// the wrong arity.
+    pub fn load_inputs(&self, ram: &RamProgram, inputs: &InputData) -> Result<(), EvalError> {
+        for (name, tuples) in inputs {
+            let Some(rel) = ram.relation_by_name(name) else {
+                return Err(EvalError::new(format!(
+                    "input data for undeclared relation `{name}`"
+                )));
+            };
+            if !rel.is_input {
+                return Err(EvalError::new(format!(
+                    "relation `{name}` is not declared `.input`"
+                )));
+            }
+            let mut target = self.relations[rel.id.0].borrow_mut();
+            let mut symbols = self.symbols.borrow_mut();
+            let mut encoded = Vec::with_capacity(rel.arity);
+            for tuple in tuples {
+                if tuple.len() != rel.arity {
+                    return Err(EvalError::new(format!(
+                        "input tuple for `{name}` has {} values, expected {}",
+                        tuple.len(),
+                        rel.arity
+                    )));
+                }
+                encoded.clear();
+                for v in tuple {
+                    encoded.push(v.encode(&mut symbols));
+                }
+                target.insert(&encoded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts a relation's tuples as typed values, sorted.
+    pub fn extract(&self, ram: &RamProgram, id: RelId) -> Vec<Vec<Value>> {
+        let meta = ram.relation(id);
+        let rel = self.relations[id.0].borrow();
+        let symbols = self.symbols.borrow();
+        rel.to_sorted_tuples()
+            .into_iter()
+            .map(|t| {
+                t.iter()
+                    .zip(&meta.attr_types)
+                    .map(|(&bits, &ty)| Value::decode(bits, ty, &symbols))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Extracts every `.output` relation, keyed by name.
+    pub fn extract_outputs(&self, ram: &RamProgram) -> HashMap<String, Vec<Vec<Value>>> {
+        ram.outputs()
+            .map(|r| (r.name.clone(), self.extract(ram, r.id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_frontend::parse_and_check;
+    use stir_ram::translate::translate;
+
+    fn ram(src: &str) -> RamProgram {
+        translate(&parse_and_check(src).expect("checks")).expect("translates")
+    }
+
+    #[test]
+    fn builds_relations_and_loads_facts() {
+        let ram = ram(
+            ".decl e(x: number, y: number)\n.decl p(x: number, y: number)\n\
+             e(1, 2). e(2, 3).\np(x, y) :- e(x, y).",
+        );
+        let db = Database::new(&ram, DataMode::Specialized);
+        let e = ram.relation_by_name("e").unwrap().id;
+        assert_eq!(db.relation(e).borrow().len(), 2);
+        assert!(db.relation(e).borrow().contains(&[1, 2]));
+    }
+
+    #[test]
+    fn legacy_mode_uses_dynamic_indexes() {
+        let ram = ram(".decl e(x: number, y: number)\ne(5, 6).");
+        let db = Database::new(&ram, DataMode::LegacyDynamic);
+        let e = ram.relation_by_name("e").unwrap().id;
+        let rel = db.relation(e).borrow();
+        assert!(rel
+            .index(0)
+            .as_any()
+            .downcast_ref::<DynBTreeIndex>()
+            .is_some());
+        assert!(rel.contains(&[5, 6]));
+    }
+
+    #[test]
+    fn input_loading_checks_shape() {
+        let ram = ram(".decl e(x: number, s: symbol)\n.input e\n.decl q(x: number)\nq(1).");
+        let db = Database::new(&ram, DataMode::Specialized);
+
+        let mut good = InputData::new();
+        good.insert(
+            "e".into(),
+            vec![vec![Value::Number(1), Value::Symbol("a".into())]],
+        );
+        db.load_inputs(&ram, &good).expect("loads");
+        let e = ram.relation_by_name("e").unwrap().id;
+        assert_eq!(db.relation(e).borrow().len(), 1);
+
+        let mut wrong_arity = InputData::new();
+        wrong_arity.insert("e".into(), vec![vec![Value::Number(1)]]);
+        assert!(db.load_inputs(&ram, &wrong_arity).is_err());
+
+        let mut not_input = InputData::new();
+        not_input.insert("q".into(), vec![vec![Value::Number(1)]]);
+        assert!(db.load_inputs(&ram, &not_input).is_err());
+
+        let mut unknown = InputData::new();
+        unknown.insert("ghost".into(), vec![]);
+        assert!(db.load_inputs(&ram, &unknown).is_err());
+    }
+
+    #[test]
+    fn extract_decodes_types() {
+        let ram = ram(".decl m(a: number, s: symbol)\n.output m\nm(-4, \"x\").");
+        let db = Database::new(&ram, DataMode::Specialized);
+        let out = db.extract_outputs(&ram);
+        assert_eq!(
+            out["m"],
+            vec![vec![Value::Number(-4), Value::Symbol("x".into())]]
+        );
+    }
+}

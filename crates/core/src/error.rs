@@ -1,0 +1,80 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// An evaluation-time failure (division by zero, malformed input data,
+/// functor domain errors, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl EvalError {
+    /// Creates an error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        EvalError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Any failure across the whole pipeline (parse → translate → evaluate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The frontend rejected the program.
+    Frontend(stir_frontend::FrontendError),
+    /// RAM translation failed.
+    Translate(stir_ram::translate::TranslateError),
+    /// Evaluation failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Frontend(e) => e.fmt(f),
+            EngineError::Translate(e) => e.fmt(f),
+            EngineError::Eval(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<stir_frontend::FrontendError> for EngineError {
+    fn from(e: stir_frontend::FrontendError) -> Self {
+        EngineError::Frontend(e)
+    }
+}
+
+impl From<stir_ram::translate::TranslateError> for EngineError {
+    fn from(e: stir_ram::translate::TranslateError) -> Self {
+        EngineError::Translate(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = EvalError::new("division by zero");
+        assert_eq!(e.to_string(), "evaluation error: division by zero");
+        let ee: EngineError = e.into();
+        assert!(ee.to_string().contains("division"));
+    }
+}

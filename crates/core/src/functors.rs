@@ -1,0 +1,224 @@
+//! Evaluation of intrinsic operations and comparisons.
+//!
+//! Shared by the STI and the legacy interpreter (and mirrored by the
+//! synthesizer's generated code). All operations work on `u32` bit
+//! patterns; the [`IntrinsicOp`] variant encodes the interpretation.
+
+use crate::error::EvalError;
+use std::cell::RefCell;
+use stir_frontend::SymbolTable;
+use stir_ram::expr::CmpKind;
+use stir_ram::IntrinsicOp;
+
+/// Evaluates a unary or binary (or ternary, for `substr`) intrinsic.
+///
+/// # Errors
+///
+/// Division/remainder by zero and `to_number` on a non-numeric string are
+/// runtime errors, as in Soufflé.
+#[inline]
+pub fn eval_intrinsic(
+    op: IntrinsicOp,
+    args: &[u32],
+    symbols: &RefCell<SymbolTable>,
+) -> Result<u32, EvalError> {
+    use IntrinsicOp::*;
+    let s = |i: usize| args[i] as i32;
+    let u = |i: usize| args[i];
+    let f = |i: usize| f32::from_bits(args[i]);
+    Ok(match op {
+        Add => u(0).wrapping_add(u(1)),
+        Sub => u(0).wrapping_sub(u(1)),
+        Mul => u(0).wrapping_mul(u(1)),
+        DivS => {
+            let d = s(1);
+            if d == 0 {
+                return Err(EvalError::new("division by zero"));
+            }
+            s(0).wrapping_div(d) as u32
+        }
+        DivU => {
+            let d = u(1);
+            if d == 0 {
+                return Err(EvalError::new("division by zero"));
+            }
+            u(0) / d
+        }
+        ModS => {
+            let d = s(1);
+            if d == 0 {
+                return Err(EvalError::new("remainder by zero"));
+            }
+            s(0).wrapping_rem(d) as u32
+        }
+        ModU => {
+            let d = u(1);
+            if d == 0 {
+                return Err(EvalError::new("remainder by zero"));
+            }
+            u(0) % d
+        }
+        PowS => s(0).wrapping_pow(u(1)) as u32,
+        PowU => u(0).wrapping_pow(u(1)),
+        Neg => (s(0).wrapping_neg()) as u32,
+        AddF => (f(0) + f(1)).to_bits(),
+        SubF => (f(0) - f(1)).to_bits(),
+        MulF => (f(0) * f(1)).to_bits(),
+        DivF => (f(0) / f(1)).to_bits(),
+        PowF => f(0).powf(f(1)).to_bits(),
+        NegF => (-f(0)).to_bits(),
+        BAnd => u(0) & u(1),
+        BOr => u(0) | u(1),
+        BXor => u(0) ^ u(1),
+        BNot => !u(0),
+        BShl => u(0).wrapping_shl(u(1)),
+        BShrU => u(0).wrapping_shr(u(1)),
+        BShrS => (s(0).wrapping_shr(u(1))) as u32,
+        LAnd => u32::from(u(0) != 0 && u(1) != 0),
+        LOr => u32::from(u(0) != 0 || u(1) != 0),
+        LNot => u32::from(u(0) == 0),
+        MinS => s(0).min(s(1)) as u32,
+        MinU => u(0).min(u(1)),
+        MinF => f(0).min(f(1)).to_bits(),
+        MaxS => s(0).max(s(1)) as u32,
+        MaxU => u(0).max(u(1)),
+        MaxF => f(0).max(f(1)).to_bits(),
+        Ord => u(0),
+        Cat => {
+            let mut table = symbols.borrow_mut();
+            let joined = format!("{}{}", table.resolve(u(0)), table.resolve(u(1)));
+            table.intern(&joined)
+        }
+        Strlen => {
+            let table = symbols.borrow();
+            table.resolve(u(0)).chars().count() as u32
+        }
+        Substr => {
+            let mut table = symbols.borrow_mut();
+            let text: String = table.resolve(u(0)).to_owned();
+            let from = s(1).max(0) as usize;
+            let len = s(2).max(0) as usize;
+            let sub: String = text.chars().skip(from).take(len).collect();
+            table.intern(&sub)
+        }
+        ToNumber => {
+            let table = symbols.borrow();
+            let text = table.resolve(u(0));
+            text.trim()
+                .parse::<i32>()
+                .map(|v| v as u32)
+                .map_err(|_| EvalError::new(format!("to_number: `{text}` is not a number")))?
+        }
+        ToString => {
+            let mut table = symbols.borrow_mut();
+            let rendered = (u(0) as i32).to_string();
+            table.intern(&rendered)
+        }
+    })
+}
+
+/// Evaluates a pre-typed comparison on two bit patterns.
+#[inline]
+pub fn eval_cmp(kind: CmpKind, a: u32, b: u32) -> bool {
+    use CmpKind::*;
+    match kind {
+        Eq => a == b,
+        Ne => a != b,
+        LtS => (a as i32) < (b as i32),
+        LeS => (a as i32) <= (b as i32),
+        GtS => (a as i32) > (b as i32),
+        GeS => (a as i32) >= (b as i32),
+        LtU => a < b,
+        LeU => a <= b,
+        GtU => a > b,
+        GeU => a >= b,
+        LtF => f32::from_bits(a) < f32::from_bits(b),
+        LeF => f32::from_bits(a) <= f32::from_bits(b),
+        GtF => f32::from_bits(a) > f32::from_bits(b),
+        GeF => f32::from_bits(a) >= f32::from_bits(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms() -> RefCell<SymbolTable> {
+        RefCell::new(SymbolTable::new())
+    }
+
+    fn ev(op: IntrinsicOp, args: &[u32]) -> u32 {
+        eval_intrinsic(op, args, &syms()).expect("evaluates")
+    }
+
+    #[test]
+    fn integer_arithmetic_wraps_and_signs() {
+        assert_eq!(ev(IntrinsicOp::Add, &[3, 4]), 7);
+        assert_eq!(ev(IntrinsicOp::Sub, &[3, 4]) as i32, -1);
+        assert_eq!(ev(IntrinsicOp::DivS, &[(-6i32) as u32, 3]) as i32, -2);
+        assert_eq!(ev(IntrinsicOp::DivU, &[6, 3]), 2);
+        assert_eq!(ev(IntrinsicOp::ModS, &[(-7i32) as u32, 3]) as i32, -1);
+        assert_eq!(ev(IntrinsicOp::PowS, &[2, 10]), 1024);
+        assert_eq!(ev(IntrinsicOp::Neg, &[5]) as i32, -5);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(eval_intrinsic(IntrinsicOp::DivS, &[1, 0], &syms()).is_err());
+        assert!(eval_intrinsic(IntrinsicOp::ModU, &[1, 0], &syms()).is_err());
+    }
+
+    #[test]
+    fn float_arithmetic_via_bits() {
+        let a = 1.5f32.to_bits();
+        let b = 2.0f32.to_bits();
+        assert_eq!(f32::from_bits(ev(IntrinsicOp::AddF, &[a, b])), 3.5);
+        assert_eq!(f32::from_bits(ev(IntrinsicOp::MulF, &[a, b])), 3.0);
+        assert_eq!(f32::from_bits(ev(IntrinsicOp::NegF, &[a])), -1.5);
+    }
+
+    #[test]
+    fn bitwise_and_logical() {
+        assert_eq!(ev(IntrinsicOp::BAnd, &[0b1100, 0b1010]), 0b1000);
+        assert_eq!(ev(IntrinsicOp::BShl, &[1, 4]), 16);
+        assert_eq!(ev(IntrinsicOp::BShrS, &[(-8i32) as u32, 1]) as i32, -4);
+        assert_eq!(ev(IntrinsicOp::BShrU, &[(-8i32) as u32, 1]), 0x7FFF_FFFC);
+        assert_eq!(ev(IntrinsicOp::LAnd, &[2, 0]), 0);
+        assert_eq!(ev(IntrinsicOp::LOr, &[2, 0]), 1);
+        assert_eq!(ev(IntrinsicOp::LNot, &[0]), 1);
+    }
+
+    #[test]
+    fn string_functors() {
+        let table = syms();
+        let a = table.borrow_mut().intern("foo");
+        let b = table.borrow_mut().intern("bar");
+        let cat = eval_intrinsic(IntrinsicOp::Cat, &[a, b], &table).unwrap();
+        assert_eq!(table.borrow().resolve(cat), "foobar");
+        let len = eval_intrinsic(IntrinsicOp::Strlen, &[cat], &table).unwrap();
+        assert_eq!(len, 6);
+        let sub = eval_intrinsic(IntrinsicOp::Substr, &[cat, 1, 3], &table).unwrap();
+        assert_eq!(table.borrow().resolve(sub), "oob");
+        let n = table.borrow_mut().intern("42");
+        assert_eq!(
+            eval_intrinsic(IntrinsicOp::ToNumber, &[n], &table).unwrap(),
+            42
+        );
+        assert!(eval_intrinsic(IntrinsicOp::ToNumber, &[a], &table).is_err());
+        let rendered = eval_intrinsic(IntrinsicOp::ToString, &[(-3i32) as u32], &table).unwrap();
+        assert_eq!(table.borrow().resolve(rendered), "-3");
+    }
+
+    #[test]
+    fn comparisons_respect_types() {
+        use CmpKind::*;
+        let minus_one = (-1i32) as u32;
+        assert!(eval_cmp(LtS, minus_one, 0));
+        assert!(!eval_cmp(LtU, minus_one, 0)); // -1 is u32::MAX unsigned
+        assert!(eval_cmp(GtU, minus_one, 0));
+        assert!(eval_cmp(LtF, 1.0f32.to_bits(), 2.0f32.to_bits()));
+        assert!(eval_cmp(Eq, 7, 7));
+        assert!(eval_cmp(Ne, 7, 8));
+        assert!(eval_cmp(GeS, 5, 5));
+    }
+}

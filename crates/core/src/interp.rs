@@ -1,0 +1,1166 @@
+//! The Soufflé-style Tree Interpreter (STI): recursive execution of the
+//! interpreter tree.
+//!
+//! Dispatch is a `match` on the [`INode`] variant — the Rust rendering of
+//! the paper's `switch (node->type)` (Fig. 5). The statically-dispatched
+//! relational instructions downcast the relation's index to its concrete
+//! `(representation, arity)` type once per instruction execution and then
+//! run fully monomorphized loops (§4.1); the `with_static_set!` /
+//! `with_static_adapter!` macros below play the role of the paper's
+//! `FOR_EACH` C-macro family (Figs. 8–11), stamping out one `match` arm
+//! per pre-instantiated index type.
+//!
+//! The `OUT` const-generic parameter realizes the §4.3 ablation: with
+//! `OUT = true`, heavy instruction handlers are forced out of line behind
+//! the `#[inline(never)]` `outline` trampoline, keeping the recursive
+//! dispatcher's stack frame minimal; with `OUT = false` they are inlined
+//! into the dispatcher, inflating its prologue the way the paper
+//! describes.
+
+use crate::config::InterpreterConfig;
+use crate::database::Database;
+use crate::error::EvalError;
+use crate::functors::{eval_cmp, eval_intrinsic};
+use crate::itree::{Bounds, CopySpec, INode, ITree, Slot};
+use crate::profile::{ProfileReport, ProfileState};
+use crate::static_set::{StaticAdapter, StaticSet};
+use stir_der::adapter::EqRelIndex;
+use stir_der::iter::{BufferedTupleIter, TupleIter};
+use stir_der::tuple::MAX_ARITY;
+use stir_ram::program::{RamProgram, RelId, ReprKind};
+use stir_ram::stmt::AggFunc;
+
+/// Control flow of statement evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    /// Continue normally.
+    Ok,
+    /// An `Exit` fired; unwind to the innermost loop.
+    Exit,
+}
+
+/// Forces its argument out of line (the §4.3 trampoline).
+#[inline(never)]
+fn outline<R>(f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+/// Dispatches a read-only operation to the monomorphized set behind an
+/// index adapter. `$method` must be generic as
+/// `fn m<const OUT: bool, const N: usize, S: StaticSet<N>>(&self, set: &S, ...)`.
+macro_rules! with_static_set {
+    ($self:ident, $out:ident, $repr:expr, $arity:expr, $idx:expr, $method:ident, ($($arg:expr),*)) => {{
+        use stir_der::adapter::{BTreeIndex as B, BrieIndex as R};
+        match ($repr, $arity) {
+            (ReprKind::BTree, 1) => $self.$method::<$out, 1, _>($idx.as_any().downcast_ref::<B<1>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 2) => $self.$method::<$out, 2, _>($idx.as_any().downcast_ref::<B<2>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 3) => $self.$method::<$out, 3, _>($idx.as_any().downcast_ref::<B<3>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 4) => $self.$method::<$out, 4, _>($idx.as_any().downcast_ref::<B<4>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 5) => $self.$method::<$out, 5, _>($idx.as_any().downcast_ref::<B<5>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 6) => $self.$method::<$out, 6, _>($idx.as_any().downcast_ref::<B<6>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 7) => $self.$method::<$out, 7, _>($idx.as_any().downcast_ref::<B<7>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 8) => $self.$method::<$out, 8, _>($idx.as_any().downcast_ref::<B<8>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 9) => $self.$method::<$out, 9, _>($idx.as_any().downcast_ref::<B<9>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 10) => $self.$method::<$out, 10, _>($idx.as_any().downcast_ref::<B<10>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 11) => $self.$method::<$out, 11, _>($idx.as_any().downcast_ref::<B<11>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 12) => $self.$method::<$out, 12, _>($idx.as_any().downcast_ref::<B<12>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 13) => $self.$method::<$out, 13, _>($idx.as_any().downcast_ref::<B<13>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 14) => $self.$method::<$out, 14, _>($idx.as_any().downcast_ref::<B<14>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 15) => $self.$method::<$out, 15, _>($idx.as_any().downcast_ref::<B<15>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 16) => $self.$method::<$out, 16, _>($idx.as_any().downcast_ref::<B<16>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 1) => $self.$method::<$out, 1, _>($idx.as_any().downcast_ref::<R<1>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 2) => $self.$method::<$out, 2, _>($idx.as_any().downcast_ref::<R<2>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 3) => $self.$method::<$out, 3, _>($idx.as_any().downcast_ref::<R<3>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 4) => $self.$method::<$out, 4, _>($idx.as_any().downcast_ref::<R<4>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 5) => $self.$method::<$out, 5, _>($idx.as_any().downcast_ref::<R<5>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 6) => $self.$method::<$out, 6, _>($idx.as_any().downcast_ref::<R<6>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 7) => $self.$method::<$out, 7, _>($idx.as_any().downcast_ref::<R<7>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 8) => $self.$method::<$out, 8, _>($idx.as_any().downcast_ref::<R<8>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 9) => $self.$method::<$out, 9, _>($idx.as_any().downcast_ref::<R<9>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 10) => $self.$method::<$out, 10, _>($idx.as_any().downcast_ref::<R<10>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 11) => $self.$method::<$out, 11, _>($idx.as_any().downcast_ref::<R<11>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 12) => $self.$method::<$out, 12, _>($idx.as_any().downcast_ref::<R<12>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 13) => $self.$method::<$out, 13, _>($idx.as_any().downcast_ref::<R<13>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 14) => $self.$method::<$out, 14, _>($idx.as_any().downcast_ref::<R<14>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 15) => $self.$method::<$out, 15, _>($idx.as_any().downcast_ref::<R<15>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 16) => $self.$method::<$out, 16, _>($idx.as_any().downcast_ref::<R<16>>().expect("index matches its spec").raw(), $($arg),*),
+            (repr, arity) => unreachable!("no pre-instantiated index for {repr:?}/{arity}"),
+        }
+    }};
+}
+
+/// Dispatches a mutating insert to the monomorphized adapter.
+macro_rules! with_static_adapter {
+    ($repr:expr, $arity:expr, $idx:expr, $tuple:expr) => {{
+        use stir_der::adapter::{BTreeIndex as B, BrieIndex as R};
+        match ($repr, $arity) {
+            (ReprKind::BTree, 1) => insert_one::<1, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<1>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 2) => insert_one::<2, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<2>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 3) => insert_one::<3, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<3>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 4) => insert_one::<4, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<4>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 5) => insert_one::<5, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<5>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 6) => insert_one::<6, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<6>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 7) => insert_one::<7, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<7>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 8) => insert_one::<8, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<8>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 9) => insert_one::<9, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<9>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 10) => insert_one::<10, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<10>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 11) => insert_one::<11, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<11>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 12) => insert_one::<12, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<12>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 13) => insert_one::<13, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<13>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 14) => insert_one::<14, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<14>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 15) => insert_one::<15, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<15>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::BTree, 16) => insert_one::<16, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<B<16>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 1) => insert_one::<1, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<1>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 2) => insert_one::<2, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<2>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 3) => insert_one::<3, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<3>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 4) => insert_one::<4, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<4>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 5) => insert_one::<5, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<5>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 6) => insert_one::<6, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<6>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 7) => insert_one::<7, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<7>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 8) => insert_one::<8, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<8>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 9) => insert_one::<9, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<9>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 10) => insert_one::<10, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<10>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 11) => insert_one::<11, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<11>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 12) => insert_one::<12, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<12>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 13) => insert_one::<13, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<13>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 14) => insert_one::<14, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<14>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 15) => insert_one::<15, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<15>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (ReprKind::Brie, 16) => insert_one::<16, _>(
+                $idx.as_any_mut()
+                    .downcast_mut::<R<16>>()
+                    .expect("index matches its spec"),
+                $tuple,
+            ),
+            (repr, arity) => unreachable!("no pre-instantiated index for {repr:?}/{arity}"),
+        }
+    }};
+}
+
+/// Monomorphized single-index insert (the paper's `evalInsert<RelType>`,
+/// Fig. 11c): the tuple is encoded and inserted with no virtual calls.
+#[inline(always)]
+fn insert_one<const N: usize, A: StaticAdapter<N>>(adapter: &mut A, tuple: &[u32]) -> bool {
+    let enc = adapter.encode_tuple(tuple);
+    adapter.insert_encoded(enc)
+}
+
+/// The tree interpreter.
+#[derive(Debug)]
+pub struct Interpreter<'p, 'd> {
+    ram: &'p RamProgram,
+    db: &'d Database,
+    config: InterpreterConfig,
+    prof: Option<ProfileState>,
+}
+
+impl<'p, 'd> Interpreter<'p, 'd> {
+    /// Creates an interpreter over a database.
+    pub fn new(ram: &'p RamProgram, db: &'d Database, config: InterpreterConfig) -> Self {
+        Interpreter {
+            ram,
+            db,
+            config,
+            prof: None,
+        }
+    }
+
+    /// Executes a built interpreter tree to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (division by zero, ...).
+    pub fn run(&mut self, tree: &ITree<'p>) -> Result<(), EvalError> {
+        if self.config.profile {
+            self.prof = Some(ProfileState::new(&tree.labels));
+        }
+        let flow = if self.config.outlined_handlers {
+            self.eval_stmt::<true>(&tree.root)?
+        } else {
+            self.eval_stmt::<false>(&tree.root)?
+        };
+        debug_assert_eq!(flow, Flow::Ok, "Exit escaped all loops");
+        Ok(())
+    }
+
+    /// The profiling report of the last run, if profiling was enabled.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.prof.as_ref().map(ProfileState::report)
+    }
+
+    #[inline]
+    fn tick(&self) {
+        if let Some(p) = &self.prof {
+            p.count_dispatch();
+        }
+    }
+
+    #[inline]
+    fn tick_iter(&self) {
+        if let Some(p) = &self.prof {
+            p.count_iterations(1);
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn eval_stmt<const OUT: bool>(&self, node: &INode<'p>) -> Result<Flow, EvalError> {
+        self.tick();
+        match node {
+            INode::Seq(stmts) => {
+                for s in stmts {
+                    if self.eval_stmt::<OUT>(s)? == Flow::Exit {
+                        return Ok(Flow::Exit);
+                    }
+                }
+                Ok(Flow::Ok)
+            }
+            INode::Loop(body) => {
+                loop {
+                    if self.eval_stmt::<OUT>(body)? == Flow::Exit {
+                        break;
+                    }
+                }
+                Ok(Flow::Ok)
+            }
+            INode::Exit(cond) => {
+                if self.eval_cond::<OUT>(cond, &[])? {
+                    Ok(Flow::Exit)
+                } else {
+                    Ok(Flow::Ok)
+                }
+            }
+            INode::Query {
+                label,
+                arena_size,
+                body,
+                ..
+            } => {
+                let mut regs = vec![0u32; *arena_size];
+                if let Some(p) = &self.prof {
+                    let started = p.begin_query();
+                    self.eval_op::<OUT>(body, &mut regs)?;
+                    p.end_query(*label, started);
+                } else {
+                    self.eval_op::<OUT>(body, &mut regs)?;
+                }
+                Ok(Flow::Ok)
+            }
+            INode::Clear(rel) => {
+                self.db.relation(*rel).borrow_mut().clear();
+                Ok(Flow::Ok)
+            }
+            INode::Merge { into, from } => {
+                let from = self.db.relation(*from).borrow();
+                self.db.relation(*into).borrow_mut().merge_from(&from);
+                Ok(Flow::Ok)
+            }
+            INode::Swap(a, b) => {
+                let mut ra = self.db.relation(*a).borrow_mut();
+                let mut rb = self.db.relation(*b).borrow_mut();
+                ra.swap_data(&mut rb);
+                Ok(Flow::Ok)
+            }
+            other => unreachable!("not a statement node: {other:?}"),
+        }
+    }
+
+    // ---- operations ---------------------------------------------------
+
+    fn eval_op<const OUT: bool>(
+        &self,
+        node: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        self.tick();
+        match node {
+            INode::Filter { cond, body } => {
+                if self.eval_cond::<OUT>(cond, regs)? {
+                    self.eval_op::<OUT>(body, regs)?;
+                }
+                Ok(())
+            }
+            INode::FilterNative { func, body } => {
+                if func(regs) {
+                    self.eval_op::<OUT>(body, regs)?;
+                }
+                Ok(())
+            }
+            INode::ScanStatic {
+                rel,
+                index,
+                dst,
+                copy,
+                body,
+            } => {
+                if OUT {
+                    outline(|| self.scan_static::<OUT>(*rel, *index, dst, copy, body, regs))
+                } else {
+                    self.scan_static::<OUT>(*rel, *index, dst, copy, body, regs)
+                }
+            }
+            INode::ScanDynamic {
+                rel,
+                index,
+                dst,
+                copy,
+                buffered,
+                body,
+            } => {
+                if OUT {
+                    outline(|| {
+                        self.scan_dynamic::<OUT>(*rel, *index, dst, copy, *buffered, body, regs)
+                    })
+                } else {
+                    self.scan_dynamic::<OUT>(*rel, *index, dst, copy, *buffered, body, regs)
+                }
+            }
+            INode::IndexScanStatic {
+                rel,
+                index,
+                dst,
+                copy,
+                bounds,
+                body,
+            } => {
+                if OUT {
+                    outline(|| {
+                        self.index_scan_static::<OUT>(*rel, *index, dst, copy, bounds, body, regs)
+                    })
+                } else {
+                    self.index_scan_static::<OUT>(*rel, *index, dst, copy, bounds, body, regs)
+                }
+            }
+            INode::IndexScanDynamic {
+                rel,
+                index,
+                dst,
+                copy,
+                buffered,
+                bounds,
+                body,
+            } => {
+                if OUT {
+                    outline(|| {
+                        self.index_scan_dynamic::<OUT>(
+                            *rel, *index, dst, copy, *buffered, bounds, body, regs,
+                        )
+                    })
+                } else {
+                    self.index_scan_dynamic::<OUT>(
+                        *rel, *index, dst, copy, *buffered, bounds, body, regs,
+                    )
+                }
+            }
+            INode::ProjectSuper {
+                rel,
+                static_dispatch,
+                template,
+                elems,
+                generic,
+            } => {
+                let mut tuple = [0u32; MAX_ARITY];
+                let n = template.len();
+                tuple[..n].copy_from_slice(template);
+                for &(c, ofs) in elems {
+                    tuple[c] = regs[ofs];
+                }
+                for (c, e) in generic {
+                    tuple[*c] = self.eval_expr::<OUT>(e, regs)?;
+                }
+                self.insert(*rel, *static_dispatch, &tuple[..n]);
+                Ok(())
+            }
+            INode::ProjectPlain {
+                rel,
+                static_dispatch,
+                values,
+            } => {
+                let mut tuple = [0u32; MAX_ARITY];
+                for (c, v) in values.iter().enumerate() {
+                    tuple[c] = self.eval_expr::<OUT>(v, regs)?;
+                }
+                self.insert(*rel, *static_dispatch, &tuple[..values.len()]);
+                Ok(())
+            }
+            INode::Aggregate {
+                static_dispatch,
+                rel,
+                index,
+                func,
+                dst,
+                copy,
+                bounds,
+                value,
+                body,
+            } => {
+                if OUT {
+                    outline(|| {
+                        self.aggregate::<OUT>(
+                            *static_dispatch,
+                            *rel,
+                            *index,
+                            *func,
+                            dst,
+                            copy,
+                            bounds,
+                            value.as_deref(),
+                            body,
+                            regs,
+                        )
+                    })
+                } else {
+                    self.aggregate::<OUT>(
+                        *static_dispatch,
+                        *rel,
+                        *index,
+                        *func,
+                        dst,
+                        copy,
+                        bounds,
+                        value.as_deref(),
+                        body,
+                        regs,
+                    )
+                }
+            }
+            other => unreachable!("not an operation node: {other:?}"),
+        }
+    }
+
+    // ---- scan handlers --------------------------------------------------
+
+    #[inline(always)]
+    fn scan_static<const OUT: bool>(
+        &self,
+        rel: RelId,
+        index: usize,
+        dst: &Slot,
+        copy: &CopySpec,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let meta = &self.ram.relations[rel.0];
+        let r = self.db.relation(rel).borrow();
+        if meta.repr == ReprKind::EqRel {
+            let eq = r
+                .index(index)
+                .as_any()
+                .downcast_ref::<EqRelIndex>()
+                .expect("eqrel index");
+            for pair in eq.raw().iter_pairs() {
+                self.tick_iter();
+                self.copy_out(dst, copy, &pair, regs);
+                self.eval_op::<OUT>(body, regs)?;
+            }
+            return Ok(());
+        }
+        with_static_set!(
+            self,
+            OUT,
+            meta.repr,
+            meta.arity,
+            r.index(index),
+            scan_set,
+            (dst, copy, body, regs)
+        )
+    }
+
+    #[inline(always)]
+    fn copy_out(&self, dst: &Slot, copy: &CopySpec, t: &[u32], regs: &mut [u32]) {
+        match copy {
+            CopySpec::Direct => regs[dst.ofs..dst.ofs + t.len()].copy_from_slice(t),
+            CopySpec::Permuted(ord) => {
+                for (i, &c) in ord.iter().enumerate() {
+                    regs[dst.ofs + c] = t[i];
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn scan_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+        &self,
+        set: &S,
+        dst: &Slot,
+        copy: &CopySpec,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        match copy {
+            CopySpec::Direct => {
+                for t in set.iter_tuples() {
+                    self.tick_iter();
+                    regs[dst.ofs..dst.ofs + N].copy_from_slice(&t);
+                    self.eval_op::<OUT>(body, regs)?;
+                }
+            }
+            CopySpec::Permuted(ord) => {
+                for t in set.iter_tuples() {
+                    self.tick_iter();
+                    for i in 0..N {
+                        regs[dst.ofs + ord[i]] = t[i];
+                    }
+                    self.eval_op::<OUT>(body, regs)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn index_scan_static<const OUT: bool>(
+        &self,
+        rel: RelId,
+        index: usize,
+        dst: &Slot,
+        copy: &CopySpec,
+        bounds: &Bounds<'p>,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let mut lo = [0u32; MAX_ARITY];
+        let mut hi = [u32::MAX; MAX_ARITY];
+        self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+        let meta = &self.ram.relations[rel.0];
+        let r = self.db.relation(rel).borrow();
+        if meta.repr == ReprKind::EqRel {
+            let eq = r
+                .index(index)
+                .as_any()
+                .downcast_ref::<EqRelIndex>()
+                .expect("eqrel index");
+            for pair in eq.raw().range_pairs([lo[0], lo[1]], [hi[0], hi[1]]) {
+                self.tick_iter();
+                self.copy_out(dst, copy, &pair, regs);
+                self.eval_op::<OUT>(body, regs)?;
+            }
+            return Ok(());
+        }
+        with_static_set!(
+            self,
+            OUT,
+            meta.repr,
+            meta.arity,
+            r.index(index),
+            range_set,
+            (&lo, &hi, dst, copy, body, regs)
+        )
+    }
+
+    #[inline(always)]
+    fn range_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+        &self,
+        set: &S,
+        lo: &[u32; MAX_ARITY],
+        hi: &[u32; MAX_ARITY],
+        dst: &Slot,
+        copy: &CopySpec,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let lo: [u32; N] = lo[..N].try_into().expect("arity");
+        let hi: [u32; N] = hi[..N].try_into().expect("arity");
+        match copy {
+            CopySpec::Direct => {
+                for t in set.range_tuples(&lo, &hi) {
+                    self.tick_iter();
+                    regs[dst.ofs..dst.ofs + N].copy_from_slice(&t);
+                    self.eval_op::<OUT>(body, regs)?;
+                }
+            }
+            CopySpec::Permuted(ord) => {
+                for t in set.range_tuples(&lo, &hi) {
+                    self.tick_iter();
+                    for i in 0..N {
+                        regs[dst.ofs + ord[i]] = t[i];
+                    }
+                    self.eval_op::<OUT>(body, regs)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn scan_dynamic<const OUT: bool>(
+        &self,
+        rel: RelId,
+        index: usize,
+        dst: &Slot,
+        copy: &CopySpec,
+        buffered: bool,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let r = self.db.relation(rel).borrow();
+        let mut it: Box<dyn TupleIter + '_> = if buffered {
+            Box::new(BufferedTupleIter::new(r.index(index).scan()))
+        } else {
+            r.index(index).scan()
+        };
+        self.drive_dynamic::<OUT>(&mut *it, dst, copy, body, regs)
+    }
+
+    /// The shared virtual-iterator loop of the dynamic scan paths.
+    #[inline(always)]
+    fn drive_dynamic<const OUT: bool>(
+        &self,
+        it: &mut dyn TupleIter,
+        dst: &Slot,
+        copy: &CopySpec,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let mut scratch = [0u32; MAX_ARITY];
+        let n = dst.arity;
+        loop {
+            match it.next_tuple() {
+                Some(t) => scratch[..n].copy_from_slice(t),
+                None => break,
+            }
+            self.tick_iter();
+            self.copy_out(dst, copy, &scratch[..n], regs);
+            self.eval_op::<OUT>(body, regs)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn index_scan_dynamic<const OUT: bool>(
+        &self,
+        rel: RelId,
+        index: usize,
+        dst: &Slot,
+        copy: &CopySpec,
+        buffered: bool,
+        bounds: &Bounds<'p>,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let mut lo = [0u32; MAX_ARITY];
+        let mut hi = [u32::MAX; MAX_ARITY];
+        self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+        let n = bounds.arity;
+        let r = self.db.relation(rel).borrow();
+        let mut it: Box<dyn TupleIter + '_> = if buffered {
+            Box::new(BufferedTupleIter::new(
+                r.index(index).range(&lo[..n], &hi[..n]),
+            ))
+        } else {
+            r.index(index).range(&lo[..n], &hi[..n])
+        };
+        self.drive_dynamic::<OUT>(&mut *it, dst, copy, body, regs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn aggregate<const OUT: bool>(
+        &self,
+        static_dispatch: bool,
+        rel: RelId,
+        index: usize,
+        func: AggFunc,
+        dst: &Slot,
+        copy: &CopySpec,
+        bounds: &Bounds<'p>,
+        value: Option<&INode<'p>>,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let mut lo = [0u32; MAX_ARITY];
+        let mut hi = [u32::MAX; MAX_ARITY];
+        self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+        let meta = &self.ram.relations[rel.0];
+        let mut acc = AggAcc::new(func);
+
+        if meta.arity == 0 {
+            // Aggregating a nullary relation: one empty match if present.
+            if !self.db.relation(rel).borrow().is_empty() {
+                acc.add(0);
+            }
+        } else {
+            let r = self.db.relation(rel).borrow();
+            let n = meta.arity;
+            if static_dispatch && meta.repr != ReprKind::EqRel {
+                with_static_set!(
+                    self,
+                    OUT,
+                    meta.repr,
+                    meta.arity,
+                    r.index(index),
+                    agg_set,
+                    (&lo, &hi, dst, copy, value, &mut acc, regs)
+                )?;
+            } else {
+                let mut it = BufferedTupleIter::new(r.index(index).range(&lo[..n], &hi[..n]));
+                let mut scratch = [0u32; MAX_ARITY];
+                loop {
+                    match it.next_tuple() {
+                        Some(t) => scratch[..n].copy_from_slice(t),
+                        None => break,
+                    }
+                    self.tick_iter();
+                    self.copy_out(dst, copy, &scratch[..n], regs);
+                    let v = match value {
+                        Some(e) => self.eval_expr::<OUT>(e, regs)?,
+                        None => 0,
+                    };
+                    acc.add(v);
+                }
+            }
+        }
+
+        match acc.finish() {
+            Some(result) => {
+                regs[dst.ofs] = result;
+                self.eval_op::<OUT>(body, regs)
+            }
+            // min/max over an empty match set: the aggregate fails and the
+            // body never runs (Soufflé semantics).
+            None => Ok(()),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn agg_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+        &self,
+        set: &S,
+        lo: &[u32; MAX_ARITY],
+        hi: &[u32; MAX_ARITY],
+        dst: &Slot,
+        copy: &CopySpec,
+        value: Option<&INode<'p>>,
+        acc: &mut AggAcc,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let lo: [u32; N] = lo[..N].try_into().expect("arity");
+        let hi: [u32; N] = hi[..N].try_into().expect("arity");
+        for t in set.range_tuples(&lo, &hi) {
+            self.tick_iter();
+            self.copy_out(dst, copy, &t, regs);
+            let v = match value {
+                Some(e) => self.eval_expr::<OUT>(e, regs)?,
+                None => 0,
+            };
+            acc.add(v);
+        }
+        Ok(())
+    }
+
+    /// Inserts one source-order tuple into all indexes of a relation.
+    fn insert(&self, rel: RelId, static_dispatch: bool, tuple: &[u32]) {
+        let meta = &self.ram.relations[rel.0];
+        let mut r = self.db.relation(rel).borrow_mut();
+        let inserted = if !static_dispatch || meta.arity == 0 || meta.repr == ReprKind::EqRel {
+            r.insert(tuple)
+        } else {
+            let mut fresh = true;
+            for k in 0..r.index_count() {
+                let ins = with_static_adapter!(meta.repr, meta.arity, r.index_mut(k), tuple);
+                if k == 0 && !ins {
+                    fresh = false;
+                    break;
+                }
+            }
+            fresh
+        };
+        if inserted {
+            if let Some(p) = &self.prof {
+                p.count_insert();
+            }
+        }
+    }
+
+    // ---- conditions ---------------------------------------------------
+
+    fn eval_cond<const OUT: bool>(
+        &self,
+        node: &INode<'p>,
+        regs: &[u32],
+    ) -> Result<bool, EvalError> {
+        self.tick();
+        match node {
+            INode::True => Ok(true),
+            INode::Conj(cs) => {
+                for c in cs {
+                    if !self.eval_cond::<OUT>(c, regs)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            INode::Not(inner) => Ok(!self.eval_cond::<OUT>(inner, regs)?),
+            INode::Cmp { kind, lhs, rhs } => {
+                let a = self.eval_expr::<OUT>(lhs, regs)?;
+                let b = self.eval_expr::<OUT>(rhs, regs)?;
+                Ok(eval_cmp(*kind, a, b))
+            }
+            INode::Empty(rel) => Ok(self.db.relation(*rel).borrow().is_empty()),
+            INode::ExistsStatic { rel, index, bounds } => {
+                let mut lo = [0u32; MAX_ARITY];
+                let mut hi = [u32::MAX; MAX_ARITY];
+                self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+                let meta = &self.ram.relations[rel.0];
+                let r = self.db.relation(*rel).borrow();
+                if meta.arity == 0 {
+                    return Ok(!r.is_empty());
+                }
+                if meta.repr == ReprKind::EqRel {
+                    let eq = r
+                        .index(*index)
+                        .as_any()
+                        .downcast_ref::<EqRelIndex>()
+                        .expect("eqrel index");
+                    return Ok(if bounds.full {
+                        eq.raw().contains(lo[0], lo[1])
+                    } else {
+                        !eq.raw()
+                            .range_pairs([lo[0], lo[1]], [hi[0], hi[1]])
+                            .is_empty()
+                    });
+                }
+                if bounds.full {
+                    with_static_set!(
+                        self,
+                        OUT,
+                        meta.repr,
+                        meta.arity,
+                        r.index(*index),
+                        contains_set,
+                        (&lo)
+                    )
+                } else {
+                    with_static_set!(
+                        self,
+                        OUT,
+                        meta.repr,
+                        meta.arity,
+                        r.index(*index),
+                        nonempty_set,
+                        (&lo, &hi)
+                    )
+                }
+            }
+            INode::ExistsDynamic { rel, index, bounds } => {
+                let mut lo = [0u32; MAX_ARITY];
+                let mut hi = [u32::MAX; MAX_ARITY];
+                self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+                let meta = &self.ram.relations[rel.0];
+                let r = self.db.relation(*rel).borrow();
+                if meta.arity == 0 {
+                    return Ok(!r.is_empty());
+                }
+                let n = bounds.arity;
+                if bounds.full {
+                    Ok(r.index(*index).contains_stored(&lo[..n]))
+                } else {
+                    let mut it = r.index(*index).range(&lo[..n], &hi[..n]);
+                    Ok(it.next_tuple().is_some())
+                }
+            }
+            other => unreachable!("not a condition node: {other:?}"),
+        }
+    }
+
+    #[allow(clippy::extra_unused_type_parameters)]
+    #[inline(always)]
+    fn contains_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+        &self,
+        set: &S,
+        lo: &[u32; MAX_ARITY],
+    ) -> Result<bool, EvalError> {
+        let key: [u32; N] = lo[..N].try_into().expect("arity");
+        Ok(set.contains_tuple(&key))
+    }
+
+    #[allow(clippy::extra_unused_type_parameters)]
+    #[inline(always)]
+    fn nonempty_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+        &self,
+        set: &S,
+        lo: &[u32; MAX_ARITY],
+        hi: &[u32; MAX_ARITY],
+    ) -> Result<bool, EvalError> {
+        let lo: [u32; N] = lo[..N].try_into().expect("arity");
+        let hi: [u32; N] = hi[..N].try_into().expect("arity");
+        Ok(set.range_nonempty(&lo, &hi))
+    }
+
+    #[inline]
+    fn fill_bounds<const OUT: bool>(
+        &self,
+        b: &Bounds<'p>,
+        regs: &[u32],
+        lo: &mut [u32; MAX_ARITY],
+        hi: &mut [u32; MAX_ARITY],
+    ) -> Result<(), EvalError> {
+        lo[..b.arity].copy_from_slice(&b.lo);
+        hi[..b.arity].copy_from_slice(&b.hi);
+        for &(pos, ofs) in &b.elems {
+            let v = regs[ofs];
+            lo[pos] = v;
+            hi[pos] = v;
+        }
+        for (pos, e) in &b.dynamic {
+            let v = self.eval_expr::<OUT>(e, regs)?;
+            lo[*pos] = v;
+            hi[*pos] = v;
+        }
+        Ok(())
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn eval_expr<const OUT: bool>(&self, node: &INode<'p>, regs: &[u32]) -> Result<u32, EvalError> {
+        self.tick();
+        match node {
+            INode::Constant(k) => Ok(*k),
+            INode::TupleElement { ofs } => Ok(regs[*ofs]),
+            INode::AutoInc => {
+                let v = self.db.counter.get();
+                self.db.counter.set(v + 1);
+                Ok(v)
+            }
+            INode::Intrinsic { op, args } => {
+                let mut vals = [0u32; 3];
+                for (i, a) in args.iter().enumerate() {
+                    vals[i] = self.eval_expr::<OUT>(a, regs)?;
+                }
+                eval_intrinsic(*op, &vals[..args.len()], &self.db.symbols)
+            }
+            other => unreachable!("not an expression node: {other:?}"),
+        }
+    }
+}
+
+/// Aggregate accumulator.
+#[derive(Debug)]
+struct AggAcc {
+    func: AggFunc,
+    count: u64,
+    bits: u32,
+    seen: bool,
+}
+
+impl AggAcc {
+    fn new(func: AggFunc) -> Self {
+        let bits = match func {
+            AggFunc::SumF => 0.0f32.to_bits(),
+            _ => 0,
+        };
+        AggAcc {
+            func,
+            count: 0,
+            bits,
+            seen: false,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, v: u32) {
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::SumS => self.bits = (self.bits as i32).wrapping_add(v as i32) as u32,
+            AggFunc::SumU => self.bits = self.bits.wrapping_add(v),
+            AggFunc::SumF => self.bits = (f32::from_bits(self.bits) + f32::from_bits(v)).to_bits(),
+            AggFunc::MinS => {
+                if !self.seen || (v as i32) < (self.bits as i32) {
+                    self.bits = v;
+                }
+            }
+            AggFunc::MinU => {
+                if !self.seen || v < self.bits {
+                    self.bits = v;
+                }
+            }
+            AggFunc::MinF => {
+                if !self.seen || f32::from_bits(v) < f32::from_bits(self.bits) {
+                    self.bits = v;
+                }
+            }
+            AggFunc::MaxS => {
+                if !self.seen || (v as i32) > (self.bits as i32) {
+                    self.bits = v;
+                }
+            }
+            AggFunc::MaxU => {
+                if !self.seen || v > self.bits {
+                    self.bits = v;
+                }
+            }
+            AggFunc::MaxF => {
+                if !self.seen || f32::from_bits(v) > f32::from_bits(self.bits) {
+                    self.bits = v;
+                }
+            }
+        }
+        self.seen = true;
+    }
+
+    /// `None` means "aggregate failed" (min/max over nothing).
+    fn finish(&self) -> Option<u32> {
+        match self.func {
+            AggFunc::Count => Some(self.count as u32),
+            AggFunc::SumS | AggFunc::SumU | AggFunc::SumF => Some(self.bits),
+            _ => self.seen.then_some(self.bits),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Facts-file I/O: Soufflé-style tab-separated `.facts` inputs and `.csv`
+//! outputs.
+//!
+//! The on-disk format matches the synthesizer's generated binaries
+//! (`stir_synth::support`): one tuple per line, fields tab-separated,
+//! decoded/encoded per the relation's declared attribute types. A missing
+//! `.facts` file means an empty input relation, as in Soufflé. Like
+//! Soufflé's TSV format, symbols containing tab or newline characters are
+//! not representable on disk (in-memory evaluation handles them fine).
+
+use crate::database::InputData;
+use crate::error::EvalError;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+use stir_frontend::ast::AttrType;
+use stir_ram::RamProgram;
+
+/// Reads `<dir>/<rel>.facts` for every `.input` relation of `ram`.
+///
+/// # Errors
+///
+/// Fails on unreadable files or fields that do not parse as the declared
+/// attribute type.
+pub fn read_facts_dir(ram: &RamProgram, dir: &Path) -> Result<InputData, EvalError> {
+    let mut inputs = InputData::new();
+    for rel in ram.inputs() {
+        let path = dir.join(format!("{}.facts", rel.name));
+        let Ok(content) = std::fs::read_to_string(&path) else {
+            continue; // absent file = empty relation
+        };
+        let mut rows = Vec::new();
+        for (lineno, line) in content.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != rel.arity {
+                return Err(EvalError::new(format!(
+                    "{}:{}: expected {} fields, found {}",
+                    path.display(),
+                    lineno + 1,
+                    rel.arity,
+                    fields.len()
+                )));
+            }
+            let mut row = Vec::with_capacity(rel.arity);
+            for (field, &ty) in fields.iter().zip(&rel.attr_types) {
+                row.push(parse_field(field, ty).map_err(|e| {
+                    EvalError::new(format!("{}:{}: {e}", path.display(), lineno + 1))
+                })?);
+            }
+            rows.push(row);
+        }
+        inputs.insert(rel.name.clone(), rows);
+    }
+    Ok(inputs)
+}
+
+fn parse_field(field: &str, ty: AttrType) -> Result<Value, String> {
+    match ty {
+        AttrType::Number => field
+            .parse::<i32>()
+            .map(Value::Number)
+            .map_err(|_| format!("`{field}` is not a number")),
+        AttrType::Unsigned => field
+            .parse::<u32>()
+            .map(Value::Unsigned)
+            .map_err(|_| format!("`{field}` is not an unsigned number")),
+        AttrType::Float => field
+            .parse::<f32>()
+            .map(Value::Float)
+            .map_err(|_| format!("`{field}` is not a float")),
+        AttrType::Symbol => Ok(Value::Symbol(field.to_owned())),
+    }
+}
+
+/// Writes each output relation to `<dir>/<rel>.csv` (tab-separated).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_outputs_dir(
+    outputs: &HashMap<String, Vec<Vec<Value>>>,
+    dir: &Path,
+) -> Result<(), EvalError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| EvalError::new(format!("cannot create {}: {e}", dir.display())))?;
+    for (name, rows) in outputs {
+        let path = dir.join(format!("{name}.csv"));
+        let file = std::fs::File::create(&path)
+            .map_err(|e| EvalError::new(format!("cannot create {}: {e}", path.display())))?;
+        let mut out = std::io::BufWriter::new(file);
+        for row in rows {
+            let rendered: Vec<String> = row.iter().map(Value::to_string).collect();
+            writeln!(out, "{}", rendered.join("\t"))
+                .map_err(|e| EvalError::new(format!("write {}: {e}", path.display())))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::InterpreterConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("stir-io-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    const SRC: &str = "\
+        .decl e(x: number, s: symbol, f: float, u: unsigned)\n.input e\n\
+        .decl out(x: number, s: symbol)\n.output out\n\
+        out(x, s) :- e(x, s, _, _).\n";
+
+    #[test]
+    fn round_trips_typed_facts() {
+        let dir = tmp("round_trip");
+        std::fs::write(
+            dir.join("e.facts"),
+            "-4\thello\t1.5\t4000000000\n7\tworld\t0\t0\n",
+        )
+        .expect("write facts");
+        let engine = Engine::from_source(SRC).expect("compiles");
+        let inputs = read_facts_dir(engine.ram(), &dir).expect("reads");
+        assert_eq!(inputs["e"].len(), 2);
+        assert_eq!(inputs["e"][0][0], Value::Number(-4));
+        assert_eq!(inputs["e"][0][3], Value::Unsigned(4_000_000_000));
+
+        let out = engine
+            .run(InterpreterConfig::optimized(), &inputs)
+            .expect("runs");
+        let out_dir = dir.join("out");
+        write_outputs_dir(&out.outputs, &out_dir).expect("writes");
+        let written = std::fs::read_to_string(out_dir.join("out.csv")).expect("readable");
+        assert!(written.contains("-4\thello"));
+        assert!(written.contains("7\tworld"));
+    }
+
+    #[test]
+    fn missing_files_mean_empty_relations() {
+        let dir = tmp("missing");
+        let engine = Engine::from_source(SRC).expect("compiles");
+        let inputs = read_facts_dir(engine.ram(), &dir).expect("reads");
+        assert!(inputs.get("e").is_none());
+    }
+
+    #[test]
+    fn malformed_fields_are_reported_with_position() {
+        let dir = tmp("malformed");
+        std::fs::write(dir.join("e.facts"), "oops\thello\t1.5\t1\n").expect("write facts");
+        let engine = Engine::from_source(SRC).expect("compiles");
+        let err = read_facts_dir(engine.ram(), &dir).unwrap_err();
+        assert!(err.msg.contains(":1:"));
+        assert!(err.msg.contains("not a number"));
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let dir = tmp("arity");
+        std::fs::write(dir.join("e.facts"), "1\ttwo\n").expect("write facts");
+        let engine = Engine::from_source(SRC).expect("compiles");
+        let err = read_facts_dir(engine.ram(), &dir).unwrap_err();
+        assert!(err.msg.contains("expected 4 fields"));
+    }
+}

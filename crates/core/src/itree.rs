@@ -1,0 +1,919 @@
+//! The Interpreter Tree: RAM amended with runtime-specific precomputation.
+//!
+//! `build` turns a RAM program into lightweight interpreter nodes
+//! ([`INode`], paper §3/Fig. 4). Each node carries exactly what execution
+//! needs — arena offsets instead of `(level, column)` pairs, prefilled
+//! bound templates, pre-split super-instruction fields — plus a *shadow
+//! pointer* into the RAM tree for static information (query labels,
+//! listings). All four optimizations of §4 are applied here, steered by
+//! [`InterpreterConfig`]:
+//!
+//! * **static dispatch** chooses `...Static` node kinds whose handlers
+//!   downcast to monomorphized index types (§4.1);
+//! * **static reordering** rewrites tuple-element accesses into each
+//!   scan's stored order so tuples are never decoded at runtime (§4.2);
+//! * **super-instructions** fold `Constant`/`TupleElement` children into
+//!   the parent's precomputed fields (§4.4);
+//! * the **outlining** ablation (§4.3 analogue) is an execution-time
+//!   choice and does not affect tree shape.
+
+use crate::config::InterpreterConfig;
+use stir_ram::expr::{CmpKind, RamExpr};
+use stir_ram::program::{RamProgram, RelId, ReprKind};
+use stir_ram::stmt::{AggFunc, RamCond, RamOp, RamStmt};
+use stir_ram::IntrinsicOp;
+
+/// An arena slot holding one bound tuple.
+#[derive(Debug, Clone, Copy)]
+pub struct Slot {
+    /// First register of the slot.
+    pub ofs: usize,
+    /// Number of registers (the tuple arity).
+    pub arity: usize,
+}
+
+/// How a scanned (stored-order) tuple lands in its arena slot.
+#[derive(Debug, Clone)]
+pub enum CopySpec {
+    /// `regs[ofs + i] = t[i]` — a straight copy (static reordering is on,
+    /// or the index order is natural).
+    Direct,
+    /// `regs[ofs + ord[i]] = t[i]` — the runtime decode that static
+    /// reordering eliminates.
+    Permuted(Vec<usize>),
+}
+
+/// Precomputed range-query bounds for one search site.
+///
+/// `lo`/`hi` are templates in stored order: unbound positions are prefilled
+/// with `0`/`u32::MAX`, and — when super-instructions are on — constant
+/// bounds are baked in. At execution time the templates are copied to the
+/// stack and the `elems`/`dynamic` entries fill the remaining positions.
+#[derive(Debug)]
+pub struct Bounds<'p> {
+    /// Tuple arity.
+    pub arity: usize,
+    /// Lower-bound template.
+    pub lo: Vec<u32>,
+    /// Upper-bound template.
+    pub hi: Vec<u32>,
+    /// Super-instruction field: `(stored position, arena offset)` pairs
+    /// copied without dispatch.
+    pub elems: Vec<(usize, usize)>,
+    /// Generic expressions: `(stored position, expression)` pairs.
+    pub dynamic: Vec<(usize, INode<'p>)>,
+    /// Whether every position is bound (a whole-tuple existence probe).
+    pub full: bool,
+}
+
+/// A hand-crafted native condition (paper §5.2): a function evaluating an
+/// entire filter conjunction against the register arena in one dispatch.
+pub type NativeCond = fn(&[u32]) -> bool;
+
+/// A request to fuse the arithmetic filter chain of matching queries into
+/// one [`NativeCond`] call — the paper's hand-written super-instructions
+/// for the `moved_label`-style outlier rules. The provided function must
+/// compute exactly the conjunction of the collapsed filter conditions.
+#[derive(Debug, Clone)]
+pub struct Fusion {
+    /// Applied to queries whose label contains this substring.
+    pub label_contains: String,
+    /// The native replacement condition.
+    pub cond: NativeCond,
+}
+
+/// One interpreter node. Statements, operations, conditions, and
+/// expressions share the enum; the variant is the opcode (the paper's
+/// `node->type` switch tag).
+#[derive(Debug)]
+pub enum INode<'p> {
+    // ---- statements -------------------------------------------------
+    /// Run children in order.
+    Seq(Vec<INode<'p>>),
+    /// Repeat until an inner `Exit` fires.
+    Loop(Box<INode<'p>>),
+    /// Break the innermost loop when the condition holds.
+    Exit(Box<INode<'p>>),
+    /// One rule evaluation.
+    Query {
+        /// Index into the profiler's label table.
+        label: usize,
+        /// Total registers needed by the query's bindings.
+        arena_size: usize,
+        /// The operation tree.
+        body: Box<INode<'p>>,
+        /// Shadow pointer to the source RAM statement.
+        shadow: &'p RamStmt,
+    },
+    /// Remove all tuples.
+    Clear(RelId),
+    /// Insert all tuples of `from` into `into`.
+    Merge {
+        /// Destination relation.
+        into: RelId,
+        /// Source relation.
+        from: RelId,
+    },
+    /// Exchange contents.
+    Swap(RelId, RelId),
+
+    // ---- operations ---------------------------------------------------
+    /// Full scan, statically dispatched on `(repr, arity)`.
+    ScanStatic {
+        /// Scanned relation.
+        rel: RelId,
+        /// Index to iterate.
+        index: usize,
+        /// Where the tuple lands.
+        dst: Slot,
+        /// How it lands.
+        copy: CopySpec,
+        /// Loop body.
+        body: Box<INode<'p>>,
+    },
+    /// Full scan through the virtual adapter (optionally buffered).
+    ScanDynamic {
+        /// Scanned relation.
+        rel: RelId,
+        /// Index to iterate.
+        index: usize,
+        /// Where the tuple lands.
+        dst: Slot,
+        /// How it lands.
+        copy: CopySpec,
+        /// Whether the 128-tuple buffer amortizes the virtual calls.
+        buffered: bool,
+        /// Loop body.
+        body: Box<INode<'p>>,
+    },
+    /// Range scan, statically dispatched.
+    IndexScanStatic {
+        /// Scanned relation.
+        rel: RelId,
+        /// Index to range over.
+        index: usize,
+        /// Where the tuple lands.
+        dst: Slot,
+        /// How it lands.
+        copy: CopySpec,
+        /// The search bounds.
+        bounds: Bounds<'p>,
+        /// Loop body.
+        body: Box<INode<'p>>,
+    },
+    /// Range scan through the virtual adapter (optionally buffered).
+    IndexScanDynamic {
+        /// Scanned relation.
+        rel: RelId,
+        /// Index to range over.
+        index: usize,
+        /// Where the tuple lands.
+        dst: Slot,
+        /// How it lands.
+        copy: CopySpec,
+        /// Whether the 128-tuple buffer amortizes the virtual calls.
+        buffered: bool,
+        /// The search bounds.
+        bounds: Bounds<'p>,
+        /// Loop body.
+        body: Box<INode<'p>>,
+    },
+    /// Conditional execution.
+    Filter {
+        /// The guard condition.
+        cond: Box<INode<'p>>,
+        /// Run when the guard holds.
+        body: Box<INode<'p>>,
+    },
+    /// Conditional execution through a hand-crafted native condition: the
+    /// whole (possibly multi-filter) arithmetic guard costs one dispatch
+    /// (paper §5.2).
+    FilterNative {
+        /// The fused condition.
+        func: NativeCond,
+        /// Run when the guard holds.
+        body: Box<INode<'p>>,
+    },
+    /// Insert with super-instruction fields (paper Fig. 14): the tuple
+    /// template already holds the constants; `elems` are register-to-
+    /// register copies; only `generic` entries dispatch.
+    ProjectSuper {
+        /// Destination relation.
+        rel: RelId,
+        /// Whether to statically dispatch the insert.
+        static_dispatch: bool,
+        /// Tuple template with constants baked in.
+        template: Vec<u32>,
+        /// `(column, arena offset)` copies.
+        elems: Vec<(usize, usize)>,
+        /// `(column, expression)` evaluations.
+        generic: Vec<(usize, INode<'p>)>,
+    },
+    /// Insert evaluating every column by dispatch.
+    ProjectPlain {
+        /// Destination relation.
+        rel: RelId,
+        /// Whether to statically dispatch the insert.
+        static_dispatch: bool,
+        /// One expression per column.
+        values: Vec<INode<'p>>,
+    },
+    /// Aggregate over one indexed scan; binds a 1-value result.
+    Aggregate {
+        /// Whether the scan is statically dispatched.
+        static_dispatch: bool,
+        /// Scanned relation.
+        rel: RelId,
+        /// Index to range over.
+        index: usize,
+        /// The aggregate function.
+        func: AggFunc,
+        /// Slot holding the scanned tuple during the fold and the result
+        /// (at offset 0) afterwards.
+        dst: Slot,
+        /// How scanned tuples land.
+        copy: CopySpec,
+        /// The search bounds.
+        bounds: Bounds<'p>,
+        /// Folded expression (`None` for COUNT).
+        value: Option<Box<INode<'p>>>,
+        /// Executed once with the result bound.
+        body: Box<INode<'p>>,
+    },
+
+    // ---- conditions ---------------------------------------------------
+    /// Always true.
+    True,
+    /// All children hold.
+    Conj(Vec<INode<'p>>),
+    /// Child does not hold.
+    Not(Box<INode<'p>>),
+    /// Binary comparison.
+    Cmp {
+        /// Pre-typed operator.
+        kind: CmpKind,
+        /// Left operand.
+        lhs: Box<INode<'p>>,
+        /// Right operand.
+        rhs: Box<INode<'p>>,
+    },
+    /// `rel = ∅`.
+    Empty(RelId),
+    /// Existence probe, statically dispatched.
+    ExistsStatic {
+        /// Probed relation.
+        rel: RelId,
+        /// Index to probe.
+        index: usize,
+        /// The probe bounds.
+        bounds: Bounds<'p>,
+    },
+    /// Existence probe through the virtual adapter.
+    ExistsDynamic {
+        /// Probed relation.
+        rel: RelId,
+        /// Index to probe.
+        index: usize,
+        /// The probe bounds.
+        bounds: Bounds<'p>,
+    },
+
+    // ---- expressions ----------------------------------------------------
+    /// A literal bit pattern.
+    Constant(u32),
+    /// Read one register.
+    TupleElement {
+        /// Precomputed arena offset (level offset + mapped column).
+        ofs: usize,
+    },
+    /// The `$` counter.
+    AutoInc,
+    /// An intrinsic operation.
+    Intrinsic {
+        /// The operation.
+        op: IntrinsicOp,
+        /// Argument expressions.
+        args: Vec<INode<'p>>,
+    },
+}
+
+/// A built interpreter tree plus its query label table.
+#[derive(Debug)]
+pub struct ITree<'p> {
+    /// The root statement.
+    pub root: INode<'p>,
+    /// Query labels (rule texts), indexed by `INode::Query::label`.
+    pub labels: Vec<String>,
+}
+
+/// Builds the interpreter tree for `ram` under `config`.
+///
+/// This is the "extra code generation" phase whose cost is included in
+/// all interpreter timings (paper §5).
+pub fn build<'p>(ram: &'p RamProgram, config: &InterpreterConfig) -> ITree<'p> {
+    build_with_fusions(ram, config, &[])
+}
+
+/// Like [`build`], additionally installing hand-crafted super-instructions
+/// for the matching queries (paper §5.2): in each query whose label
+/// matches a [`Fusion`], the maximal chain of purely arithmetic `Filter`s
+/// is collapsed into a single [`INode::FilterNative`].
+pub fn build_with_fusions<'p>(
+    ram: &'p RamProgram,
+    config: &InterpreterConfig,
+    fusions: &[Fusion],
+) -> ITree<'p> {
+    let mut b = Builder {
+        ram,
+        config: *config,
+        labels: Vec::new(),
+        offsets: Vec::new(),
+        maps: Vec::new(),
+        fusions: fusions.to_vec(),
+        active_fusion: None,
+    };
+    let root = b.stmt(&ram.main);
+    ITree {
+        root,
+        labels: b.labels,
+    }
+}
+
+struct Builder<'p> {
+    ram: &'p RamProgram,
+    config: InterpreterConfig,
+    labels: Vec<String>,
+    /// Arena offset of each level of the current query.
+    offsets: Vec<usize>,
+    /// Per-level source-column → stored-position map (`None` = identity).
+    maps: Vec<Option<Vec<usize>>>,
+    /// Requested filter fusions.
+    fusions: Vec<Fusion>,
+    /// The fusion applying to the query under construction, if any.
+    active_fusion: Option<NativeCond>,
+}
+
+impl<'p> Builder<'p> {
+    fn stmt(&mut self, s: &'p RamStmt) -> INode<'p> {
+        match s {
+            RamStmt::Seq(stmts) => INode::Seq(stmts.iter().map(|st| self.stmt(st)).collect()),
+            RamStmt::Loop(body) => INode::Loop(Box::new(self.stmt(body))),
+            RamStmt::Exit(cond) => INode::Exit(Box::new(self.cond(cond))),
+            RamStmt::Query {
+                label,
+                level_arity,
+                op,
+                ..
+            } => {
+                let label_id = self.labels.len();
+                self.labels.push(label.clone());
+                self.active_fusion = self
+                    .fusions
+                    .iter()
+                    .find(|f| label.contains(&f.label_contains))
+                    .map(|f| f.cond);
+                // Arena layout: one slot per level, packed.
+                self.offsets.clear();
+                self.maps.clear();
+                let mut total = 0;
+                for &a in level_arity {
+                    self.offsets.push(total);
+                    total += a.max(1);
+                    self.maps.push(None);
+                }
+                let body = self.op(op);
+                INode::Query {
+                    label: label_id,
+                    arena_size: total,
+                    body: Box::new(body),
+                    shadow: s,
+                }
+            }
+            RamStmt::Clear(rel) => INode::Clear(*rel),
+            RamStmt::Merge { into, from } => INode::Merge {
+                into: *into,
+                from: *from,
+            },
+            RamStmt::Swap(a, b) => INode::Swap(*a, *b),
+        }
+    }
+
+    /// The lexicographic order in which `(rel, index)` *stores* tuples.
+    ///
+    /// Search patterns map through this order into bound positions. Under
+    /// the legacy data layer tuples are stored un-permuted (the comparator
+    /// does the reordering), so the storage order is the identity.
+    fn storage_order(&self, rel: RelId, index: usize) -> Vec<usize> {
+        let arity = self.ram.relations[rel.0].arity;
+        if self.config.legacy_data {
+            (0..arity).collect()
+        } else {
+            self.ram.relations[rel.0].orders[index].clone()
+        }
+    }
+
+    /// The order in which scanned tuples *emerge* relative to source
+    /// columns — the storage order, flipped for eqrel symmetry probes
+    /// (which yield `(key, member)` pairs for a source-order `(member,
+    /// key)` pattern).
+    fn emission_order(&self, rel: RelId, index: usize, eqrel_swap: bool) -> Vec<usize> {
+        if eqrel_swap {
+            vec![1, 0]
+        } else {
+            self.storage_order(rel, index)
+        }
+    }
+
+    /// Installs the level's copy behaviour and column map for an order.
+    fn level_plumbing(&mut self, level: usize, ord: &[usize]) -> CopySpec {
+        let natural = ord.iter().enumerate().all(|(i, &c)| i == c);
+        if natural {
+            self.maps[level] = None;
+            return CopySpec::Direct;
+        }
+        if self.config.static_reordering {
+            // Tuples stay in stored order; accesses are rewritten.
+            let mut map = vec![0usize; ord.len()];
+            for (i, &c) in ord.iter().enumerate() {
+                map[c] = i;
+            }
+            self.maps[level] = Some(map);
+            CopySpec::Direct
+        } else {
+            // Tuples are decoded into source order on every iteration.
+            self.maps[level] = None;
+            CopySpec::Permuted(ord.to_vec())
+        }
+    }
+
+    fn op(&mut self, o: &'p RamOp) -> INode<'p> {
+        match o {
+            RamOp::Scan { rel, level, body } => {
+                let ord = self.emission_order(*rel, 0, false);
+                let copy = self.level_plumbing(*level, &ord);
+                let dst = Slot {
+                    ofs: self.offsets[*level],
+                    arity: self.ram.relations[rel.0].arity,
+                };
+                let body = Box::new(self.op(body));
+                if self.config.static_dispatch {
+                    INode::ScanStatic {
+                        rel: *rel,
+                        index: 0,
+                        dst,
+                        copy,
+                        body,
+                    }
+                } else {
+                    INode::ScanDynamic {
+                        rel: *rel,
+                        index: 0,
+                        dst,
+                        copy,
+                        buffered: self.config.buffered_iterators,
+                        body,
+                    }
+                }
+            }
+            RamOp::IndexScan {
+                rel,
+                index,
+                level,
+                pattern,
+                eqrel_swap,
+                body,
+            } => {
+                let storage = self.storage_order(*rel, *index);
+                let bounds = self.bounds(pattern, &storage);
+                let ord = self.emission_order(*rel, *index, *eqrel_swap);
+                let copy = self.level_plumbing(*level, &ord);
+                let dst = Slot {
+                    ofs: self.offsets[*level],
+                    arity: self.ram.relations[rel.0].arity,
+                };
+                let body = Box::new(self.op(body));
+                if self.config.static_dispatch {
+                    INode::IndexScanStatic {
+                        rel: *rel,
+                        index: *index,
+                        dst,
+                        copy,
+                        bounds,
+                        body,
+                    }
+                } else {
+                    INode::IndexScanDynamic {
+                        rel: *rel,
+                        index: *index,
+                        dst,
+                        copy,
+                        buffered: self.config.buffered_iterators,
+                        bounds,
+                        body,
+                    }
+                }
+            }
+            RamOp::Filter { cond, body } => {
+                if let Some(func) = self.active_fusion {
+                    if is_pure_arith(cond) {
+                        // Collapse the maximal chain of arithmetic filters
+                        // into one native dispatch.
+                        let mut inner: &'p RamOp = body;
+                        while let RamOp::Filter { cond, body } = inner {
+                            if is_pure_arith(cond) {
+                                inner = body;
+                            } else {
+                                break;
+                            }
+                        }
+                        return INode::FilterNative {
+                            func,
+                            body: Box::new(self.op(inner)),
+                        };
+                    }
+                }
+                INode::Filter {
+                    cond: Box::new(self.cond(cond)),
+                    body: Box::new(self.op(body)),
+                }
+            }
+            RamOp::Project { rel, values } => self.project(*rel, values),
+            RamOp::Aggregate {
+                level,
+                func,
+                rel,
+                index,
+                pattern,
+                value,
+                body,
+            } => {
+                let ord = self.storage_order(*rel, *index);
+                let bounds = self.bounds(pattern, &ord);
+                let copy = self.level_plumbing(*level, &ord);
+                let dst = Slot {
+                    ofs: self.offsets[*level],
+                    arity: self.ram.relations[rel.0].arity.max(1),
+                };
+                // The folded expression sees the scanned tuple (stored
+                // order, via the map installed above)...
+                let value = value.as_ref().map(|v| Box::new(self.expr(v)));
+                // ...but the body sees the 1-value result at offset 0.
+                self.maps[*level] = None;
+                let body = Box::new(self.op(body));
+                INode::Aggregate {
+                    static_dispatch: self.config.static_dispatch,
+                    rel: *rel,
+                    index: *index,
+                    func: *func,
+                    dst,
+                    copy,
+                    bounds,
+                    value,
+                    body,
+                }
+            }
+        }
+    }
+
+    fn project(&mut self, rel: RelId, values: &'p [RamExpr]) -> INode<'p> {
+        let static_dispatch = self.config.static_dispatch;
+        if !self.config.super_instructions {
+            return INode::ProjectPlain {
+                rel,
+                static_dispatch,
+                values: values.iter().map(|v| self.expr(v)).collect(),
+            };
+        }
+        // Super-instruction splitting (paper Fig. 13).
+        let mut template = vec![0u32; values.len()];
+        let mut elems = Vec::new();
+        let mut generic = Vec::new();
+        for (c, v) in values.iter().enumerate() {
+            match v {
+                RamExpr::Constant(k) => template[c] = *k,
+                RamExpr::TupleElement { level, column } => {
+                    elems.push((c, self.arena_ofs(*level, *column)));
+                }
+                other => generic.push((c, self.expr(other))),
+            }
+        }
+        INode::ProjectSuper {
+            rel,
+            static_dispatch,
+            template,
+            elems,
+            generic,
+        }
+    }
+
+    /// Builds the bound templates for a search pattern against an index
+    /// order.
+    fn bounds(&mut self, pattern: &'p [Option<RamExpr>], ord: &[usize]) -> Bounds<'p> {
+        let arity = pattern.len();
+        let mut lo = vec![0u32; arity];
+        let mut hi = vec![u32::MAX; arity];
+        let mut elems = Vec::new();
+        let mut dynamic = Vec::new();
+        let mut full = true;
+        for (pos, &src_col) in ord.iter().enumerate() {
+            match &pattern[src_col] {
+                None => full = false,
+                Some(RamExpr::Constant(k)) if self.config.super_instructions => {
+                    lo[pos] = *k;
+                    hi[pos] = *k;
+                }
+                Some(RamExpr::TupleElement { level, column }) if self.config.super_instructions => {
+                    elems.push((pos, self.arena_ofs(*level, *column)));
+                }
+                Some(e) => dynamic.push((pos, self.expr(e))),
+            }
+        }
+        Bounds {
+            arity,
+            lo,
+            hi,
+            elems,
+            dynamic,
+            full,
+        }
+    }
+
+    fn cond(&mut self, c: &'p RamCond) -> INode<'p> {
+        match c {
+            RamCond::True => INode::True,
+            RamCond::Conjunction(cs) => INode::Conj(cs.iter().map(|c| self.cond(c)).collect()),
+            RamCond::Negation(inner) => INode::Not(Box::new(self.cond(inner))),
+            RamCond::Comparison { kind, lhs, rhs } => INode::Cmp {
+                kind: *kind,
+                lhs: Box::new(self.expr(lhs)),
+                rhs: Box::new(self.expr(rhs)),
+            },
+            RamCond::EmptinessCheck { rel } => INode::Empty(*rel),
+            RamCond::ExistenceCheck {
+                rel,
+                index,
+                pattern,
+            } => {
+                let mut eqrel_swap = false;
+                let repr = self.ram.relations[rel.0].repr;
+                let mut pattern_ref: &[Option<RamExpr>] = pattern;
+                // Existence checks on eqrel with only the second column
+                // bound exploit symmetry like scans do; the translator
+                // leaves existence patterns unswapped, so flip here.
+                let swapped_storage;
+                if repr == ReprKind::EqRel
+                    && pattern.len() == 2
+                    && pattern[0].is_none()
+                    && pattern[1].is_some()
+                {
+                    swapped_storage = vec![pattern[1].clone(), pattern[0].clone()];
+                    pattern_ref = &swapped_storage;
+                    eqrel_swap = true;
+                    // NOTE: `swapped_storage` borrows end at function exit,
+                    // so clone the bounds eagerly below.
+                }
+                let ord = self.storage_order(*rel, *index);
+                let _ = eqrel_swap;
+                let bounds = self.bounds_owned(pattern_ref, &ord);
+                if self.config.static_dispatch {
+                    INode::ExistsStatic {
+                        rel: *rel,
+                        index: *index,
+                        bounds,
+                    }
+                } else {
+                    INode::ExistsDynamic {
+                        rel: *rel,
+                        index: *index,
+                        bounds,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`Builder::bounds`] but clones pattern expressions so the
+    /// result does not borrow a temporary.
+    fn bounds_owned(&mut self, pattern: &[Option<RamExpr>], ord: &[usize]) -> Bounds<'p> {
+        let arity = pattern.len();
+        let mut lo = vec![0u32; arity];
+        let mut hi = vec![u32::MAX; arity];
+        let mut elems = Vec::new();
+        let mut dynamic = Vec::new();
+        let mut full = true;
+        for (pos, &src_col) in ord.iter().enumerate() {
+            match &pattern[src_col] {
+                None => full = false,
+                Some(RamExpr::Constant(k)) if self.config.super_instructions => {
+                    lo[pos] = *k;
+                    hi[pos] = *k;
+                }
+                Some(RamExpr::TupleElement { level, column }) if self.config.super_instructions => {
+                    elems.push((pos, self.arena_ofs(*level, *column)));
+                }
+                Some(e) => dynamic.push((pos, self.expr_owned(e))),
+            }
+        }
+        Bounds {
+            arity,
+            lo,
+            hi,
+            elems,
+            dynamic,
+            full,
+        }
+    }
+
+    fn arena_ofs(&self, level: usize, column: usize) -> usize {
+        let col = match &self.maps[level] {
+            Some(map) => map[column],
+            None => column,
+        };
+        self.offsets[level] + col
+    }
+
+    fn expr(&mut self, e: &'p RamExpr) -> INode<'p> {
+        self.expr_owned(e)
+    }
+
+    fn expr_owned(&mut self, e: &RamExpr) -> INode<'p> {
+        match e {
+            RamExpr::Constant(k) => INode::Constant(*k),
+            RamExpr::TupleElement { level, column } => INode::TupleElement {
+                ofs: self.arena_ofs(*level, *column),
+            },
+            RamExpr::AutoIncrement => INode::AutoInc,
+            RamExpr::Intrinsic { op, args } => INode::Intrinsic {
+                op: *op,
+                args: args.iter().map(|a| self.expr_owned(a)).collect(),
+            },
+        }
+    }
+}
+
+/// Whether a condition is purely arithmetic (no relation probes), i.e.
+/// eligible for hand-crafted fusion.
+fn is_pure_arith(c: &RamCond) -> bool {
+    match c {
+        RamCond::True | RamCond::Comparison { .. } => true,
+        RamCond::Conjunction(cs) => cs.iter().all(is_pure_arith),
+        RamCond::Negation(inner) => is_pure_arith(inner),
+        RamCond::EmptinessCheck { .. } | RamCond::ExistenceCheck { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_frontend::parse_and_check;
+    use stir_ram::translate::translate;
+
+    fn ram(src: &str) -> RamProgram {
+        translate(&parse_and_check(src).expect("checks")).expect("translates")
+    }
+
+    const TC: &str = "\
+        .decl e(x: number, y: number)\n\
+        .decl p(x: number, y: number)\n\
+        .output p\n\
+        e(1, 2).\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, z) :- p(x, y), e(y, z).\n";
+
+    fn count_kind(node: &INode<'_>, pred: &dyn Fn(&INode<'_>) -> bool) -> usize {
+        let mut n = usize::from(pred(node));
+        let children: Vec<&INode<'_>> = match node {
+            INode::Seq(v) | INode::Conj(v) => v.iter().collect(),
+            INode::Loop(b) | INode::Exit(b) | INode::Not(b) => vec![&**b],
+            INode::Query { body, .. } => vec![&**body],
+            INode::ScanStatic { body, .. } | INode::ScanDynamic { body, .. } => vec![&**body],
+            INode::IndexScanStatic { bounds, body, .. }
+            | INode::IndexScanDynamic { bounds, body, .. } => {
+                let mut v: Vec<&INode<'_>> = bounds.dynamic.iter().map(|(_, e)| e).collect();
+                v.push(&**body);
+                v
+            }
+            INode::Filter { cond, body } => vec![&**cond, &**body],
+            INode::ProjectSuper { generic, .. } => generic.iter().map(|(_, e)| e).collect(),
+            INode::ProjectPlain { values, .. } => values.iter().collect(),
+            INode::Aggregate {
+                bounds,
+                value,
+                body,
+                ..
+            } => {
+                let mut v: Vec<&INode<'_>> = bounds.dynamic.iter().map(|(_, e)| e).collect();
+                if let Some(val) = value {
+                    v.push(&**val);
+                }
+                v.push(&**body);
+                v
+            }
+            INode::Cmp { lhs, rhs, .. } => vec![&**lhs, &**rhs],
+            INode::ExistsStatic { bounds, .. } | INode::ExistsDynamic { bounds, .. } => {
+                bounds.dynamic.iter().map(|(_, e)| e).collect()
+            }
+            INode::Intrinsic { args, .. } => args.iter().collect(),
+            _ => vec![],
+        };
+        for c in children {
+            n += count_kind(c, pred);
+        }
+        n
+    }
+
+    #[test]
+    fn static_config_builds_static_nodes() {
+        let ram = ram(TC);
+        let tree = build(&ram, &InterpreterConfig::optimized());
+        assert!(count_kind(&tree.root, &|n| matches!(n, INode::IndexScanStatic { .. })) > 0);
+        assert_eq!(
+            count_kind(&tree.root, &|n| matches!(n, INode::IndexScanDynamic { .. })),
+            0
+        );
+        assert!(count_kind(&tree.root, &|n| matches!(n, INode::ProjectSuper { .. })) > 0);
+        // One exit rule + one delta version of the recursive rule.
+        assert_eq!(tree.labels.len(), 2);
+    }
+
+    #[test]
+    fn dynamic_config_builds_dynamic_nodes() {
+        let ram = ram(TC);
+        let tree = build(&ram, &InterpreterConfig::dynamic_adapter());
+        assert_eq!(
+            count_kind(&tree.root, &|n| matches!(n, INode::IndexScanStatic { .. })),
+            0
+        );
+        assert!(count_kind(&tree.root, &|n| matches!(n, INode::IndexScanDynamic { .. })) > 0);
+    }
+
+    #[test]
+    fn super_instructions_fold_constants_into_bounds() {
+        let src = "\
+            .decl e(x: number, y: number)\n.decl r(y: number)\n\
+            e(7, 8).\n\
+            r(y) :- e(7, y).\n";
+        let ram = ram(src);
+        let with = build(&ram, &InterpreterConfig::optimized());
+        // The constant 7 is baked into the bound template: no dynamic
+        // entries, no generic Constant nodes under the scan.
+        let dyn_entries = count_kind(&with.root, &|n| match n {
+            INode::IndexScanStatic { bounds, .. } => !bounds.dynamic.is_empty(),
+            _ => false,
+        });
+        assert_eq!(dyn_entries, 0);
+
+        let without = build(
+            &ram,
+            &InterpreterConfig {
+                super_instructions: false,
+                ..InterpreterConfig::optimized()
+            },
+        );
+        let dyn_entries = count_kind(&without.root, &|n| match n {
+            INode::IndexScanStatic { bounds, .. } => !bounds.dynamic.is_empty(),
+            _ => false,
+        });
+        assert!(dyn_entries > 0);
+    }
+
+    #[test]
+    fn projections_split_into_super_fields() {
+        let src = "\
+            .decl e(x: number)\n.decl r(a: number, b: number, c: number)\n\
+            e(1).\n\
+            r(x, 5, x + 1) :- e(x).\n";
+        let ram = ram(src);
+        let tree = build(&ram, &InterpreterConfig::optimized());
+        let mut checked = false;
+        fn find<'a, 'p>(n: &'a INode<'p>, f: &mut dyn FnMut(&'a INode<'p>)) {
+            f(n);
+            match n {
+                INode::Seq(v) => v.iter().for_each(|c| find(c, f)),
+                INode::Loop(b) | INode::Exit(b) => find(b, f),
+                INode::Query { body, .. } => find(body, f),
+                INode::ScanStatic { body, .. } | INode::ScanDynamic { body, .. } => find(body, f),
+                INode::IndexScanStatic { body, .. } | INode::IndexScanDynamic { body, .. } => {
+                    find(body, f)
+                }
+                INode::Filter { body, .. } => find(body, f),
+                _ => {}
+            }
+        }
+        find(&tree.root, &mut |n| {
+            if let INode::ProjectSuper {
+                template,
+                elems,
+                generic,
+                ..
+            } = n
+            {
+                assert_eq!(template[1], 5);
+                assert_eq!(elems.len(), 1);
+                assert_eq!(generic.len(), 1);
+                checked = true;
+            }
+        });
+        assert!(checked, "found the super-instruction projection");
+    }
+}

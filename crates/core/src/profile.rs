@@ -1,0 +1,178 @@
+//! The per-rule profiler (paper §5.2).
+//!
+//! When [`crate::config::InterpreterConfig::profile`] is on, the
+//! interpreter records, per query (rule version): cumulative wall time,
+//! execution count, and tuples inserted — plus global dispatch and
+//! loop-iteration counters. This is what drives the Fig. 16 per-rule
+//! slowdown histogram and the Fig. 19 dispatch-reduction measurement.
+
+use std::cell::{Cell, RefCell};
+use std::time::Duration;
+
+/// Mutable profiling state, updated with `Cell`s so the hot path never
+/// takes a `RefCell` borrow.
+#[derive(Debug, Default)]
+pub struct ProfileState {
+    /// Total interpreter dispatches (node evaluations).
+    pub dispatches: Cell<u64>,
+    /// Total scan-loop iterations.
+    pub iterations: Cell<u64>,
+    /// Tuples inserted by the currently running query.
+    current_inserts: Cell<u64>,
+    per_query: RefCell<Vec<QueryStats>>,
+}
+
+/// Accumulated statistics for one query (rule version).
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// The rule text.
+    pub label: String,
+    /// Cumulative wall time.
+    pub time: Duration,
+    /// How many times the query ran (loop iterations re-run queries).
+    pub executions: u64,
+    /// Tuples inserted by this query.
+    pub tuples: u64,
+}
+
+impl ProfileState {
+    /// Creates state with one slot per query label.
+    pub fn new(labels: &[String]) -> Self {
+        ProfileState {
+            dispatches: Cell::new(0),
+            iterations: Cell::new(0),
+            current_inserts: Cell::new(0),
+            per_query: RefCell::new(
+                labels
+                    .iter()
+                    .map(|l| QueryStats {
+                        label: l.clone(),
+                        ..QueryStats::default()
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Marks the start of a query execution.
+    pub fn begin_query(&self) -> std::time::Instant {
+        self.current_inserts.set(0);
+        std::time::Instant::now()
+    }
+
+    /// Records a completed query execution.
+    pub fn end_query(&self, label: usize, started: std::time::Instant) {
+        let mut q = self.per_query.borrow_mut();
+        let s = &mut q[label];
+        s.time += started.elapsed();
+        s.executions += 1;
+        s.tuples += self.current_inserts.get();
+    }
+
+    /// Counts one interpreter dispatch.
+    #[inline]
+    pub fn count_dispatch(&self) {
+        self.dispatches.set(self.dispatches.get() + 1);
+    }
+
+    /// Counts `n` scan iterations.
+    #[inline]
+    pub fn count_iterations(&self, n: u64) {
+        self.iterations.set(self.iterations.get() + n);
+    }
+
+    /// Counts one inserted tuple for the running query.
+    #[inline]
+    pub fn count_insert(&self) {
+        self.current_inserts.set(self.current_inserts.get() + 1);
+    }
+
+    /// Snapshots the final report.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            dispatches: self.dispatches.get(),
+            iterations: self.iterations.get(),
+            queries: self.per_query.borrow().clone(),
+        }
+    }
+}
+
+/// An immutable profiling report.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Total interpreter dispatches.
+    pub dispatches: u64,
+    /// Total scan iterations.
+    pub iterations: u64,
+    /// Per-query statistics.
+    pub queries: Vec<QueryStats>,
+}
+
+impl ProfileReport {
+    /// Aggregates per *rule* (summing the delta versions of one rule),
+    /// keyed by the rule text without the `[delta #k]` suffix.
+    pub fn by_rule(&self) -> Vec<QueryStats> {
+        let mut out: Vec<QueryStats> = Vec::new();
+        for q in &self.queries {
+            let base = match q.label.find(" [delta #") {
+                Some(i) => &q.label[..i],
+                None => &q.label[..],
+            };
+            match out.iter_mut().find(|s| s.label == base) {
+                Some(s) => {
+                    s.time += q.time;
+                    s.executions += q.executions;
+                    s.tuples += q.tuples;
+                }
+                None => out.push(QueryStats {
+                    label: base.to_owned(),
+                    time: q.time,
+                    executions: q.executions,
+                    tuples: q.tuples,
+                }),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_query() {
+        let p = ProfileState::new(&["a".into(), "b".into()]);
+        let t = p.begin_query();
+        p.count_insert();
+        p.count_insert();
+        p.end_query(0, t);
+        p.count_dispatch();
+        p.count_iterations(5);
+        let r = p.report();
+        assert_eq!(r.queries[0].tuples, 2);
+        assert_eq!(r.queries[0].executions, 1);
+        assert_eq!(r.queries[1].executions, 0);
+        assert_eq!(r.dispatches, 1);
+        assert_eq!(r.iterations, 5);
+    }
+
+    #[test]
+    fn by_rule_merges_delta_versions() {
+        let p = ProfileState::new(&[
+            "p(x) :- q(x). [delta #0]".into(),
+            "p(x) :- q(x). [delta #1]".into(),
+            "r(x) :- s(x).".into(),
+        ]);
+        for label in 0..3 {
+            let t = p.begin_query();
+            p.count_insert();
+            p.end_query(label, t);
+        }
+        let rules = p.report().by_rule();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].label, "p(x) :- q(x).");
+        assert_eq!(rules[0].executions, 2);
+        assert_eq!(rules[0].tuples, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! The monomorphic face of the de-specialized index types.
+//!
+//! The statically-dispatched instruction bodies (paper §4.1) are generic
+//! over `S: StaticSet<N>`; each `(representation, arity)` match arm of the
+//! dispatcher downcasts the relation's `dyn IndexAdapter` to its concrete
+//! type and calls the generic body, which the compiler monomorphizes —
+//! the Rust equivalent of the paper's `evalInsert<RelType>` template
+//! functions (Fig. 11c). Inside the body, iteration and membership tests
+//! are direct calls with no virtual dispatch and no buffering.
+
+use stir_der::adapter::{BTreeIndex, BrieIndex};
+use stir_der::brie::Brie;
+use stir_der::btree::BTreeIndexSet;
+
+/// Monomorphic set operations over fixed-arity tuples.
+pub trait StaticSet<const N: usize> {
+    /// Iterates all tuples in stored order.
+    fn iter_tuples(&self) -> impl Iterator<Item = [u32; N]> + '_;
+
+    /// Iterates tuples in the inclusive window `[lo, hi]`.
+    fn range_tuples(&self, lo: &[u32; N], hi: &[u32; N]) -> impl Iterator<Item = [u32; N]> + '_;
+
+    /// Membership test (stored order).
+    fn contains_tuple(&self, t: &[u32; N]) -> bool;
+
+    /// Whether any tuple falls in the window.
+    fn range_nonempty(&self, lo: &[u32; N], hi: &[u32; N]) -> bool {
+        self.range_tuples(lo, hi).next().is_some()
+    }
+}
+
+impl<const N: usize> StaticSet<N> for BTreeIndexSet<N> {
+    #[inline]
+    fn iter_tuples(&self) -> impl Iterator<Item = [u32; N]> + '_ {
+        self.iter().copied()
+    }
+
+    #[inline]
+    fn range_tuples(&self, lo: &[u32; N], hi: &[u32; N]) -> impl Iterator<Item = [u32; N]> + '_ {
+        self.range(lo, hi).copied()
+    }
+
+    #[inline]
+    fn contains_tuple(&self, t: &[u32; N]) -> bool {
+        self.contains(t)
+    }
+}
+
+impl<const N: usize> StaticSet<N> for Brie<N> {
+    #[inline]
+    fn iter_tuples(&self) -> impl Iterator<Item = [u32; N]> + '_ {
+        self.iter()
+    }
+
+    #[inline]
+    fn range_tuples(&self, lo: &[u32; N], hi: &[u32; N]) -> impl Iterator<Item = [u32; N]> + '_ {
+        self.range(lo, hi)
+    }
+
+    #[inline]
+    fn contains_tuple(&self, t: &[u32; N]) -> bool {
+        self.contains(t)
+    }
+}
+
+/// Monomorphic insert face of the concrete index adapters: encode the
+/// source-order tuple through the index's order and insert, with zero
+/// virtual calls (the paper's `Insert_BTree_N` specializations).
+pub trait StaticAdapter<const N: usize> {
+    /// Permutes a source-order tuple into stored order.
+    fn encode_tuple(&self, t: &[u32]) -> [u32; N];
+
+    /// Inserts a stored-order tuple; `true` if new.
+    fn insert_encoded(&mut self, t: [u32; N]) -> bool;
+}
+
+impl<const N: usize> StaticAdapter<N> for BTreeIndex<N> {
+    #[inline]
+    fn encode_tuple(&self, t: &[u32]) -> [u32; N] {
+        self.encode(t)
+    }
+
+    #[inline]
+    fn insert_encoded(&mut self, t: [u32; N]) -> bool {
+        self.raw_mut().insert(t)
+    }
+}
+
+impl<const N: usize> StaticAdapter<N> for BrieIndex<N> {
+    #[inline]
+    fn encode_tuple(&self, t: &[u32]) -> [u32; N] {
+        self.encode(t)
+    }
+
+    #[inline]
+    fn insert_encoded(&mut self, t: [u32; N]) -> bool {
+        self.raw_mut().insert(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: StaticSet<2>>(set: &S) {
+        assert!(set.contains_tuple(&[1, 2]));
+        assert!(!set.contains_tuple(&[9, 9]));
+        let all: Vec<_> = set.iter_tuples().collect();
+        assert_eq!(all, vec![[1, 2], [1, 3], [2, 2]]);
+        let hits: Vec<_> = set.range_tuples(&[1, 0], &[1, u32::MAX]).collect();
+        assert_eq!(hits, vec![[1, 2], [1, 3]]);
+        assert!(set.range_nonempty(&[2, 0], &[2, u32::MAX]));
+        assert!(!set.range_nonempty(&[3, 0], &[3, u32::MAX]));
+    }
+
+    #[test]
+    fn btree_and_brie_expose_the_same_face() {
+        let tuples = [[1u32, 2], [1, 3], [2, 2]];
+        let btree: BTreeIndexSet<2> = tuples.iter().copied().collect();
+        let brie: Brie<2> = tuples.iter().copied().collect();
+        exercise(&btree);
+        exercise(&brie);
+    }
+}

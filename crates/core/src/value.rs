@@ -1,0 +1,111 @@
+//! Typed values at the engine boundary.
+//!
+//! Inside the engine everything is `u32` bit patterns; at the API boundary
+//! (loading EDB facts, reading results) tuples are made of typed
+//! [`Value`]s according to the relation's declared attribute types.
+
+use stir_frontend::ast::AttrType;
+use stir_frontend::SymbolTable;
+
+/// One typed value crossing the engine boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A signed number.
+    Number(i32),
+    /// An unsigned number.
+    Unsigned(u32),
+    /// A float.
+    Float(f32),
+    /// A string.
+    Symbol(String),
+}
+
+impl Value {
+    /// Encodes the value as its runtime bit pattern, interning symbols.
+    pub fn encode(&self, symbols: &mut SymbolTable) -> u32 {
+        match self {
+            Value::Number(n) => *n as u32,
+            Value::Unsigned(u) => *u,
+            Value::Float(f) => f.to_bits(),
+            Value::Symbol(s) => symbols.intern(s),
+        }
+    }
+
+    /// Decodes a bit pattern according to the attribute type.
+    pub fn decode(bits: u32, ty: AttrType, symbols: &SymbolTable) -> Value {
+        match ty {
+            AttrType::Number => Value::Number(bits as i32),
+            AttrType::Unsigned => Value::Unsigned(bits),
+            AttrType::Float => Value::Float(f32::from_bits(bits)),
+            AttrType::Symbol => Value::Symbol(symbols.resolve(bits).to_owned()),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Unsigned(u) => write!(f, "{u}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Symbol(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Unsigned(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Symbol(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Symbol(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_bits() {
+        let mut syms = SymbolTable::new();
+        let cases = [
+            (Value::Number(-7), AttrType::Number),
+            (Value::Unsigned(3_000_000_000), AttrType::Unsigned),
+            (Value::Float(2.5), AttrType::Float),
+            (Value::Symbol("hi".into()), AttrType::Symbol),
+        ];
+        for (v, ty) in cases {
+            let bits = v.encode(&mut syms);
+            assert_eq!(Value::decode(bits, ty, &syms), v);
+        }
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Value::from(-3), Value::Number(-3));
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::Number(5).to_string(), "5");
+    }
+}

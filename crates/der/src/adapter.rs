@@ -1,0 +1,421 @@
+//! The dynamic index adapter: de-specialized DER structures behind an
+//! object-safe interface.
+//!
+//! This mirrors the paper's `IndexAdapter` base class (Fig. 7): a thin
+//! virtual layer over the statically-typed structures, performing the
+//! dynamic tuple reordering of de-specialization step 1 on the way in.
+//! The optimized interpreter bypasses most of this interface by
+//! downcasting ([`IndexAdapter::as_any`]) to the concrete monomorphized
+//! type — the Rust analogue of the paper's static instruction generation
+//! (§4.1) — while the legacy paths and the Fig. 18 ablation stay fully
+//! virtual.
+
+use crate::brie::Brie;
+use crate::btree::BTreeIndexSet;
+use crate::eqrel::EquivalenceRelation;
+use crate::iter::{AdaptedIter, TupleIter, VecTupleIter};
+use crate::order::Order;
+use crate::tuple::{tuple_from_slice, RamDomain, Tuple};
+use std::any::Any;
+use std::fmt::Debug;
+
+/// Object-safe interface to a single index of a relation.
+///
+/// Tuples passed to [`insert`](Self::insert) and
+/// [`contains`](Self::contains) are in *source* order; the adapter encodes
+/// them through its [`Order`]. Range bounds and yielded tuples are in
+/// *stored* order (patterns permute component-wise, so callers encode
+/// bounds with [`IndexAdapter::order`] — or build them directly in stored
+/// order, as the optimized interpreter does).
+pub trait IndexAdapter: Debug + Send + Sync {
+    /// The lexicographic order realized by this index.
+    fn order(&self) -> &Order;
+
+    /// Tuple arity.
+    fn arity(&self) -> usize;
+
+    /// Number of stored tuples.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all tuples.
+    fn clear(&mut self);
+
+    /// Inserts a source-order tuple; `true` if it was new.
+    fn insert(&mut self, t: &[RamDomain]) -> bool;
+
+    /// Membership test for a source-order tuple.
+    fn contains(&self, t: &[RamDomain]) -> bool;
+
+    /// Membership test for a stored-order tuple (no encoding).
+    fn contains_stored(&self, t: &[RamDomain]) -> bool;
+
+    /// Full scan in stored order.
+    fn scan(&self) -> Box<dyn TupleIter + '_>;
+
+    /// Inclusive range scan with stored-order bounds, yielding stored-order
+    /// tuples.
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_>;
+
+    /// Downcast support for the static instruction paths.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A B-tree index: [`BTreeIndexSet`] plus an insertion-time reordering.
+///
+/// The paper's `BTreeIndex<Arity>` adapter (Fig. 7).
+#[derive(Debug, Clone)]
+pub struct BTreeIndex<const N: usize> {
+    set: BTreeIndexSet<N>,
+    order: Order,
+    natural: bool,
+}
+
+impl<const N: usize> BTreeIndex<N> {
+    /// Creates an empty index realizing `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order.arity() != N`.
+    pub fn new(order: Order) -> Self {
+        assert_eq!(order.arity(), N, "order arity must match index arity");
+        let natural = order.is_natural();
+        BTreeIndex {
+            set: BTreeIndexSet::new(),
+            order,
+            natural,
+        }
+    }
+
+    /// Direct access to the monomorphized set (static instruction paths).
+    pub fn raw(&self) -> &BTreeIndexSet<N> {
+        &self.set
+    }
+
+    /// Mutable access to the monomorphized set.
+    pub fn raw_mut(&mut self) -> &mut BTreeIndexSet<N> {
+        &mut self.set
+    }
+
+    /// Encodes a source-order slice into a stored-order tuple.
+    #[inline]
+    pub fn encode(&self, t: &[RamDomain]) -> Tuple<N> {
+        if self.natural {
+            tuple_from_slice(t)
+        } else {
+            let mut out = [0; N];
+            self.order.encode(t, &mut out);
+            out
+        }
+    }
+}
+
+impl<const N: usize> IndexAdapter for BTreeIndex<N> {
+    fn order(&self) -> &Order {
+        &self.order
+    }
+
+    fn arity(&self) -> usize {
+        N
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn clear(&mut self) {
+        self.set.clear();
+    }
+
+    fn insert(&mut self, t: &[RamDomain]) -> bool {
+        let enc = self.encode(t);
+        self.set.insert(enc)
+    }
+
+    fn contains(&self, t: &[RamDomain]) -> bool {
+        let enc = self.encode(t);
+        self.set.contains(&enc)
+    }
+
+    fn contains_stored(&self, t: &[RamDomain]) -> bool {
+        self.set.contains(&tuple_from_slice(t))
+    }
+
+    fn scan(&self) -> Box<dyn TupleIter + '_> {
+        Box::new(AdaptedIter::<_, N>::new(self.set.iter().copied()))
+    }
+
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+        let lo: Tuple<N> = tuple_from_slice(lo);
+        let hi: Tuple<N> = tuple_from_slice(hi);
+        Box::new(AdaptedIter::<_, N>::new(self.set.range(&lo, &hi).copied()))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A Brie (trie) index.
+#[derive(Debug, Clone)]
+pub struct BrieIndex<const N: usize> {
+    set: Brie<N>,
+    order: Order,
+    natural: bool,
+}
+
+impl<const N: usize> BrieIndex<N> {
+    /// Creates an empty index realizing `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order.arity() != N`.
+    pub fn new(order: Order) -> Self {
+        assert_eq!(order.arity(), N, "order arity must match index arity");
+        let natural = order.is_natural();
+        BrieIndex {
+            set: Brie::new(),
+            order,
+            natural,
+        }
+    }
+
+    /// Direct access to the monomorphized trie (static instruction paths).
+    pub fn raw(&self) -> &Brie<N> {
+        &self.set
+    }
+
+    /// Mutable access to the monomorphized trie.
+    pub fn raw_mut(&mut self) -> &mut Brie<N> {
+        &mut self.set
+    }
+
+    /// Encodes a source-order slice into a stored-order tuple.
+    #[inline]
+    pub fn encode(&self, t: &[RamDomain]) -> Tuple<N> {
+        if self.natural {
+            tuple_from_slice(t)
+        } else {
+            let mut out = [0; N];
+            self.order.encode(t, &mut out);
+            out
+        }
+    }
+}
+
+impl<const N: usize> IndexAdapter for BrieIndex<N> {
+    fn order(&self) -> &Order {
+        &self.order
+    }
+
+    fn arity(&self) -> usize {
+        N
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn clear(&mut self) {
+        self.set.clear();
+    }
+
+    fn insert(&mut self, t: &[RamDomain]) -> bool {
+        let enc = self.encode(t);
+        self.set.insert(enc)
+    }
+
+    fn contains(&self, t: &[RamDomain]) -> bool {
+        let enc = self.encode(t);
+        self.set.contains(&enc)
+    }
+
+    fn contains_stored(&self, t: &[RamDomain]) -> bool {
+        self.set.contains(&tuple_from_slice(t))
+    }
+
+    fn scan(&self) -> Box<dyn TupleIter + '_> {
+        Box::new(AdaptedIter::<_, N>::new(self.set.iter()))
+    }
+
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+        let lo: Tuple<N> = tuple_from_slice(lo);
+        let hi: Tuple<N> = tuple_from_slice(hi);
+        Box::new(AdaptedIter::<_, N>::new(self.set.range(&lo, &hi)))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An equivalence-relation index (always binary, always natural order —
+/// the relation is symmetric, so column order carries no information).
+#[derive(Debug, Clone)]
+pub struct EqRelIndex {
+    rel: EquivalenceRelation,
+    order: Order,
+}
+
+impl Default for EqRelIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EqRelIndex {
+    /// Creates an empty equivalence-relation index.
+    pub fn new() -> Self {
+        EqRelIndex {
+            rel: EquivalenceRelation::new(),
+            order: Order::natural(2),
+        }
+    }
+
+    /// Direct access to the union-find (static instruction paths).
+    pub fn raw(&self) -> &EquivalenceRelation {
+        &self.rel
+    }
+
+    /// Mutable access to the union-find.
+    pub fn raw_mut(&mut self) -> &mut EquivalenceRelation {
+        &mut self.rel
+    }
+}
+
+impl IndexAdapter for EqRelIndex {
+    fn order(&self) -> &Order {
+        &self.order
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    fn clear(&mut self) {
+        self.rel.clear();
+    }
+
+    fn insert(&mut self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), 2);
+        self.rel.insert(t[0], t[1])
+    }
+
+    fn contains(&self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), 2);
+        self.rel.contains(t[0], t[1])
+    }
+
+    fn contains_stored(&self, t: &[RamDomain]) -> bool {
+        self.contains(t)
+    }
+
+    fn scan(&self) -> Box<dyn TupleIter + '_> {
+        Box::new(VecTupleIter::from_tuples(self.rel.iter_pairs()))
+    }
+
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+        debug_assert_eq!(lo.len(), 2);
+        debug_assert_eq!(hi.len(), 2);
+        Box::new(VecTupleIter::from_tuples(
+            self.rel.range_pairs([lo[0], lo[1]], [hi[0], hi[1]]),
+        ))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btree_adapter_reorders_on_insert() {
+        // Order [1,0]: stored tuples are (second, first).
+        let mut idx = BTreeIndex::<2>::new(Order::new(vec![1, 0]));
+        idx.insert(&[1, 50]);
+        idx.insert(&[2, 40]);
+        idx.insert(&[3, 40]);
+        assert!(idx.contains(&[1, 50]));
+        assert!(!idx.contains(&[50, 1]));
+        // Stored order sorts by source column 1 first.
+        let stored = idx.scan().collect_tuples();
+        assert_eq!(stored, vec![vec![40, 2], vec![40, 3], vec![50, 1]]);
+        // Prefix search on stored order: all tuples with source column 1 == 40.
+        let hits = idx.range(&[40, 0], &[40, u32::MAX]).collect_tuples();
+        assert_eq!(hits, vec![vec![40, 2], vec![40, 3]]);
+    }
+
+    #[test]
+    fn btree_adapter_natural_order_is_identity() {
+        let mut idx = BTreeIndex::<3>::new(Order::natural(3));
+        idx.insert(&[3, 2, 1]);
+        assert_eq!(idx.scan().collect_tuples(), vec![vec![3, 2, 1]]);
+        assert!(idx.contains_stored(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn brie_adapter_matches_btree_adapter() {
+        let order = Order::new(vec![2, 0, 1]);
+        let mut bt = BTreeIndex::<3>::new(order.clone());
+        let mut br = BrieIndex::<3>::new(order);
+        let mut seed = 11u32;
+        for _ in 0..500 {
+            seed = seed.wrapping_mul(48271) % 0x7fff_ffff;
+            let t = [seed % 7, seed % 11, seed % 5];
+            assert_eq!(bt.insert(&t), br.insert(&t));
+        }
+        assert_eq!(bt.len(), br.len());
+        assert_eq!(bt.scan().collect_tuples(), br.scan().collect_tuples());
+        let lo = [2, 0, 0];
+        let hi = [2, u32::MAX, u32::MAX];
+        assert_eq!(
+            bt.range(&lo, &hi).collect_tuples(),
+            br.range(&lo, &hi).collect_tuples()
+        );
+    }
+
+    #[test]
+    fn eqrel_adapter_closes_pairs() {
+        let mut idx = EqRelIndex::new();
+        assert!(idx.insert(&[1, 2]));
+        assert!(idx.contains(&[2, 1]));
+        assert!(idx.contains(&[1, 1]));
+        assert_eq!(idx.len(), 4);
+        let hits = idx.range(&[1, 0], &[1, u32::MAX]).collect_tuples();
+        assert_eq!(hits, vec![vec![1, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn adapters_downcast_to_concrete_types() {
+        let idx: Box<dyn IndexAdapter> = Box::new(BTreeIndex::<2>::new(Order::natural(2)));
+        assert!(idx.as_any().downcast_ref::<BTreeIndex<2>>().is_some());
+        assert!(idx.as_any().downcast_ref::<BTreeIndex<3>>().is_none());
+        assert!(idx.as_any().downcast_ref::<BrieIndex<2>>().is_none());
+    }
+}

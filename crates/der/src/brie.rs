@@ -1,0 +1,361 @@
+//! A Brie: a trie-based set for fixed-arity tuples.
+//!
+//! The Brie (the paper's reference 29) stores tuples level-by-level: one trie level per
+//! tuple column, so tuples sharing prefixes share paths. Prefix queries —
+//! the common primitive-search pattern — become a single descent followed
+//! by an in-order traversal of a subtree, and dense key spaces compress
+//! well. Like [`crate::btree::BTreeIndexSet`], it supports only the natural
+//! lexicographic order and raw `u32` elements.
+//!
+//! Inner levels keep their edges in sorted vectors (binary-searched), and
+//! the final level is a sorted vector of values; this favours the
+//! insert-then-scan-heavy access pattern of semi-naive evaluation.
+
+use crate::tuple::{cmp_tuples, RamDomain, Tuple};
+use std::cmp::Ordering;
+
+/// One trie level.
+#[derive(Debug, Clone)]
+enum TrieNode {
+    /// An inner level: sorted edges labelled by column values.
+    Inner(Vec<(RamDomain, TrieNode)>),
+    /// The last level: a sorted set of column values.
+    Leaf(Vec<RamDomain>),
+}
+
+impl TrieNode {
+    fn new(depth_remaining: usize) -> Self {
+        if depth_remaining <= 1 {
+            TrieNode::Leaf(Vec::new())
+        } else {
+            TrieNode::Inner(Vec::new())
+        }
+    }
+}
+
+/// A set of fixed-arity tuples stored as a trie with one level per column.
+///
+/// # Example
+///
+/// ```
+/// use stir_der::brie::Brie;
+///
+/// let mut set = Brie::<2>::new();
+/// set.insert([1, 2]);
+/// set.insert([1, 3]);
+/// set.insert([2, 9]);
+/// // prefix query: all tuples starting with 1
+/// let hits: Vec<_> = set.range(&[1, 0], &[1, u32::MAX]).collect();
+/// assert_eq!(hits, vec![[1, 2], [1, 3]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Brie<const N: usize> {
+    root: TrieNode,
+    len: usize,
+}
+
+impl<const N: usize> Brie<N> {
+    /// Creates an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N == 0`; nullary relations are represented at the RAM
+    /// level, not by indexes.
+    pub fn new() -> Self {
+        assert!(N > 0, "Brie requires arity >= 1");
+        Brie {
+            root: TrieNode::new(N),
+            len: 0,
+        }
+    }
+
+    /// Number of tuples stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.root = TrieNode::new(N);
+        self.len = 0;
+    }
+
+    /// Inserts a tuple, returning `true` if it was not already present.
+    pub fn insert(&mut self, key: Tuple<N>) -> bool {
+        let mut node = &mut self.root;
+        for level in 0..N - 1 {
+            let v = key[level];
+            let TrieNode::Inner(edges) = node else {
+                unreachable!("inner level {level} of arity {N}");
+            };
+            let idx = match edges.binary_search_by_key(&v, |(val, _)| *val) {
+                Ok(i) => i,
+                Err(i) => {
+                    edges.insert(i, (v, TrieNode::new(N - level - 1)));
+                    i
+                }
+            };
+            node = &mut edges[idx].1;
+        }
+        let TrieNode::Leaf(values) = node else {
+            unreachable!("last level of arity {N}");
+        };
+        match values.binary_search(&key[N - 1]) {
+            Ok(_) => false,
+            Err(i) => {
+                values.insert(i, key[N - 1]);
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &Tuple<N>) -> bool {
+        let mut node = &self.root;
+        for level in 0..N - 1 {
+            let TrieNode::Inner(edges) = node else {
+                unreachable!();
+            };
+            match edges.binary_search_by_key(&key[level], |(v, _)| *v) {
+                Ok(i) => node = &edges[i].1,
+                Err(_) => return false,
+            }
+        }
+        let TrieNode::Leaf(values) = node else {
+            unreachable!();
+        };
+        values.binary_search(&key[N - 1]).is_ok()
+    }
+
+    /// Iterates over all tuples in lexicographic order.
+    pub fn iter(&self) -> BrieIter<'_, N> {
+        self.range(&[0; N], &[RamDomain::MAX; N])
+    }
+
+    /// Iterates over tuples `t` with `lo <= t <= hi` in lexicographic order.
+    ///
+    /// Bounds are full lexicographic bounds, matching
+    /// [`crate::btree::BTreeIndexSet::range`]; prefix queries are the
+    /// special case where `lo` and `hi` agree on the first `k` columns.
+    pub fn range(&self, lo: &Tuple<N>, hi: &Tuple<N>) -> BrieIter<'_, N> {
+        let mut iter = BrieIter {
+            frames: Vec::new(),
+            current: [0; N],
+            lo: *lo,
+            hi: *hi,
+        };
+        if self.len > 0 && cmp_tuples(lo, hi) != Ordering::Greater {
+            iter.enter(&self.root, 0, true, true);
+        }
+        iter
+    }
+}
+
+impl<const N: usize> Default for Brie<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> Extend<Tuple<N>> for Brie<N> {
+    fn extend<I: IntoIterator<Item = Tuple<N>>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl<const N: usize> FromIterator<Tuple<N>> for Brie<N> {
+    fn from_iter<I: IntoIterator<Item = Tuple<N>>>(iter: I) -> Self {
+        let mut set = Self::new();
+        set.extend(iter);
+        set
+    }
+}
+
+/// One traversal frame: a node plus the index of the next edge/value to
+/// visit, and whether this subtree lies on the lower/upper boundary path
+/// (only boundary subtrees need bound comparisons).
+#[derive(Debug)]
+struct Frame<'a> {
+    node: &'a TrieNode,
+    next: usize,
+    on_lo: bool,
+    on_hi: bool,
+}
+
+/// Bounded in-order iterator over a [`Brie`].
+#[derive(Debug)]
+pub struct BrieIter<'a, const N: usize> {
+    frames: Vec<Frame<'a>>,
+    current: Tuple<N>,
+    lo: Tuple<N>,
+    hi: Tuple<N>,
+}
+
+impl<'a, const N: usize> BrieIter<'a, N> {
+    /// Pushes a frame for `node` at trie `level`, positioned at the first
+    /// edge/value within bounds.
+    fn enter(&mut self, node: &'a TrieNode, level: usize, on_lo: bool, on_hi: bool) {
+        let start = if on_lo {
+            let target = self.lo[level];
+            match node {
+                TrieNode::Inner(edges) => edges
+                    .binary_search_by_key(&target, |(v, _)| *v)
+                    .unwrap_or_else(|i| i),
+                TrieNode::Leaf(values) => values.binary_search(&target).unwrap_or_else(|i| i),
+            }
+        } else {
+            0
+        };
+        self.frames.push(Frame {
+            node,
+            next: start,
+            on_lo,
+            on_hi,
+        });
+    }
+}
+
+impl<'a, const N: usize> Iterator for BrieIter<'a, N> {
+    type Item = Tuple<N>;
+
+    fn next(&mut self) -> Option<Tuple<N>> {
+        loop {
+            let level = self.frames.len().checked_sub(1)?;
+            let frame = self.frames.last_mut().expect("non-empty");
+            match frame.node {
+                TrieNode::Leaf(values) => {
+                    if frame.next >= values.len() {
+                        self.frames.pop();
+                        continue;
+                    }
+                    let v = values[frame.next];
+                    if frame.on_hi && v > self.hi[level] {
+                        self.frames.pop();
+                        continue;
+                    }
+                    frame.next += 1;
+                    self.current[level] = v;
+                    return Some(self.current);
+                }
+                TrieNode::Inner(edges) => {
+                    if frame.next >= edges.len() {
+                        self.frames.pop();
+                        continue;
+                    }
+                    let (v, child) = &edges[frame.next];
+                    let v = *v;
+                    if frame.on_hi && v > self.hi[level] {
+                        self.frames.pop();
+                        continue;
+                    }
+                    // The child stays on a boundary path only if its edge
+                    // value equals the bound at this level.
+                    let child_on_lo = frame.on_lo && v == self.lo[level];
+                    let child_on_hi = frame.on_hi && v == self.hi[level];
+                    frame.next += 1;
+                    self.current[level] = v;
+                    self.enter(child, level + 1, child_on_lo, child_on_hi);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_brie_behaves() {
+        let set = Brie::<3>::new();
+        assert!(set.is_empty());
+        assert!(!set.contains(&[1, 2, 3]));
+        assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_contains_and_dedupe() {
+        let mut set = Brie::<2>::new();
+        assert!(set.insert([1, 2]));
+        assert!(!set.insert([1, 2]));
+        assert!(set.insert([1, 3]));
+        assert!(set.contains(&[1, 2]));
+        assert!(!set.contains(&[2, 2]));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn arity_one_works() {
+        let mut set = Brie::<1>::new();
+        for v in [5u32, 1, 3, 3, 9] {
+            set.insert([v]);
+        }
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![[1], [3], [5], [9]]);
+        assert_eq!(set.range(&[2], &[5]).collect::<Vec<_>>(), vec![[3], [5]]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut set = Brie::<3>::new();
+        let mut key = 7u32;
+        for _ in 0..2000 {
+            key = key.wrapping_mul(48271) % 0x7fff_ffff;
+            set.insert([key % 13, key % 17, key % 19]);
+        }
+        let all: Vec<_> = set.iter().collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(all, sorted);
+        assert_eq!(all.len(), set.len());
+    }
+
+    #[test]
+    fn prefix_range_matches_filter() {
+        let mut set = Brie::<3>::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                for c in 0..5 {
+                    set.insert([a, b, c]);
+                }
+            }
+        }
+        let hits: Vec<_> = set.range(&[2, 3, 0], &[2, 3, u32::MAX]).collect();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|t| t[0] == 2 && t[1] == 3));
+    }
+
+    #[test]
+    fn general_range_matches_filter() {
+        let mut set = Brie::<2>::new();
+        for a in 0..8 {
+            for b in 0..8 {
+                set.insert([a, b]);
+            }
+        }
+        let lo = [3, 5];
+        let hi = [5, 1];
+        let got: Vec<_> = set.range(&lo, &hi).collect();
+        let want: Vec<_> = set.iter().filter(|t| *t >= lo && *t <= hi).collect();
+        assert_eq!(got, want);
+        assert_eq!(got.first(), Some(&[3, 5]));
+        assert_eq!(got.last(), Some(&[5, 1]));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut set = Brie::<2>::new();
+        set.insert([1, 1]);
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(&[1, 1]));
+    }
+}

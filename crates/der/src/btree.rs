@@ -1,0 +1,405 @@
+//! A B-tree set specialized for fixed-arity tuples.
+//!
+//! This is the workhorse DER structure (the paper's reference 30): a set of `[u32; N]`
+//! tuples ordered by the natural lexicographic order, supporting inserts,
+//! membership tests, full scans, and — crucially — *primitive searches*:
+//! iteration over all tuples between an inclusive lower and upper bound,
+//! which the RAM level uses to realize prefix queries such as
+//! "all tuples whose first column equals `v`".
+//!
+//! The arity is a `const` generic, so every comparison and copy below is
+//! monomorphized and unrolled by the compiler — the Rust analogue of the
+//! C++ template specialization the paper de-specializes. The structure
+//! deliberately supports **only** the natural order; other orders are
+//! obtained by permuting tuples before insertion (see [`crate::order`]).
+
+use crate::tuple::{cmp_tuples, Tuple};
+use std::cmp::Ordering;
+
+/// Maximum number of keys per node (`2*B - 1` for minimum degree `B = 16`).
+///
+/// Wide nodes keep the tree shallow and make the per-node binary search
+/// cache-friendly, mirroring Soufflé's wide-node B-tree design.
+const MAX_KEYS: usize = 31;
+
+/// A node: `children` is empty for leaves, otherwise
+/// `children.len() == keys.len() + 1`.
+#[derive(Debug, Clone)]
+struct Node<const N: usize> {
+    keys: Vec<Tuple<N>>,
+    children: Vec<Box<Node<N>>>,
+}
+
+impl<const N: usize> Node<N> {
+    fn new_leaf() -> Self {
+        Node {
+            keys: Vec::with_capacity(MAX_KEYS),
+            children: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+
+    /// Binary search within the node.
+    #[inline]
+    fn find(&self, key: &Tuple<N>) -> Result<usize, usize> {
+        self.keys.binary_search_by(|k| cmp_tuples(k, key))
+    }
+
+    /// Splits the full child at `idx`, promoting its median key into `self`.
+    fn split_child(&mut self, idx: usize) {
+        let mid = MAX_KEYS / 2;
+        let child = &mut self.children[idx];
+        let mut right = Box::new(Node {
+            keys: child.keys.split_off(mid + 1),
+            children: if child.is_leaf() {
+                Vec::new()
+            } else {
+                child.children.split_off(mid + 1)
+            },
+        });
+        right.keys.reserve(MAX_KEYS - right.keys.len());
+        let median = child.keys.pop().expect("full child has a median");
+        self.keys.insert(idx, median);
+        self.children.insert(idx + 1, right);
+    }
+
+    /// Inserts into a node that is known not to be full.
+    fn insert_nonfull(&mut self, key: Tuple<N>) -> bool {
+        match self.find(&key) {
+            Ok(_) => false,
+            Err(mut pos) => {
+                if self.is_leaf() {
+                    self.keys.insert(pos, key);
+                    return true;
+                }
+                if self.children[pos].is_full() {
+                    self.split_child(pos);
+                    match cmp_tuples(&key, &self.keys[pos]) {
+                        Ordering::Equal => return false,
+                        Ordering::Greater => pos += 1,
+                        Ordering::Less => {}
+                    }
+                }
+                self.children[pos].insert_nonfull(key)
+            }
+        }
+    }
+
+    fn contains(&self, key: &Tuple<N>) -> bool {
+        match self.find(key) {
+            Ok(_) => true,
+            Err(pos) => !self.is_leaf() && self.children[pos].contains(key),
+        }
+    }
+}
+
+/// An ordered set of fixed-arity tuples backed by a B-tree.
+///
+/// # Example
+///
+/// ```
+/// use stir_der::btree::BTreeIndexSet;
+///
+/// let mut set = BTreeIndexSet::<2>::new();
+/// assert!(set.insert([1, 2]));
+/// assert!(!set.insert([1, 2])); // set semantics
+/// assert!(set.contains(&[1, 2]));
+/// let all: Vec<_> = set.iter().copied().collect();
+/// assert_eq!(all, vec![[1, 2]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTreeIndexSet<const N: usize> {
+    root: Box<Node<N>>,
+    len: usize,
+}
+
+impl<const N: usize> BTreeIndexSet<N> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BTreeIndexSet {
+            root: Box::new(Node::new_leaf()),
+            len: 0,
+        }
+    }
+
+    /// Number of tuples stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.root = Box::new(Node::new_leaf());
+        self.len = 0;
+    }
+
+    /// Inserts a tuple, returning `true` if it was not already present.
+    pub fn insert(&mut self, key: Tuple<N>) -> bool {
+        if self.root.is_full() {
+            let old_root = std::mem::replace(&mut *self.root, Node::new_leaf());
+            self.root.children.push(Box::new(old_root));
+            self.root.split_child(0);
+        }
+        let inserted = self.root.insert_nonfull(key);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: &Tuple<N>) -> bool {
+        self.root.contains(key)
+    }
+
+    /// Iterates over all tuples in lexicographic order.
+    pub fn iter(&self) -> Iter<'_, N> {
+        let mut iter = Iter {
+            stack: Vec::new(),
+            hi: None,
+        };
+        if self.len > 0 {
+            iter.descend_left(&self.root);
+        }
+        iter
+    }
+
+    /// Iterates over tuples `t` with `lo <= t <= hi` in lexicographic order.
+    ///
+    /// This is the *primitive search* operation: the RAM layer materializes
+    /// a prefix query on the first `k` columns as
+    /// `lo = (v1..vk, 0, ..)`, `hi = (v1..vk, MAX, ..)`.
+    pub fn range(&self, lo: &Tuple<N>, hi: &Tuple<N>) -> Iter<'_, N> {
+        let mut iter = Iter {
+            stack: Vec::new(),
+            hi: Some(*hi),
+        };
+        if self.len > 0 && cmp_tuples(lo, hi) != Ordering::Greater {
+            iter.descend_lower_bound(&self.root, lo);
+        }
+        iter
+    }
+
+    /// Iterates starting from the first tuple `>= lo`.
+    pub fn lower_bound(&self, lo: &Tuple<N>) -> Iter<'_, N> {
+        let mut iter = Iter {
+            stack: Vec::new(),
+            hi: None,
+        };
+        if self.len > 0 {
+            iter.descend_lower_bound(&self.root, lo);
+        }
+        iter
+    }
+}
+
+impl<const N: usize> Default for BTreeIndexSet<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> Extend<Tuple<N>> for BTreeIndexSet<N> {
+    fn extend<I: IntoIterator<Item = Tuple<N>>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl<const N: usize> FromIterator<Tuple<N>> for BTreeIndexSet<N> {
+    fn from_iter<I: IntoIterator<Item = Tuple<N>>>(iter: I) -> Self {
+        let mut set = Self::new();
+        set.extend(iter);
+        set
+    }
+}
+
+/// In-order iterator over a [`BTreeIndexSet`], optionally bounded above.
+///
+/// Stack frames are `(node, i)` where key `i` of `node` is the next key to
+/// visit and the subtree `children[i]` has already been visited (or
+/// skipped, for lower-bound starts).
+#[derive(Debug)]
+pub struct Iter<'a, const N: usize> {
+    stack: Vec<(&'a Node<N>, usize)>,
+    hi: Option<Tuple<N>>,
+}
+
+impl<'a, const N: usize> Iter<'a, N> {
+    fn descend_left(&mut self, mut node: &'a Node<N>) {
+        loop {
+            self.stack.push((node, 0));
+            if node.is_leaf() {
+                return;
+            }
+            node = &node.children[0];
+        }
+    }
+
+    /// Positions the stack at the first key `>= lo`.
+    fn descend_lower_bound(&mut self, mut node: &'a Node<N>, lo: &Tuple<N>) {
+        loop {
+            let pos = match node.find(lo) {
+                Ok(p) => {
+                    // Exact hit: the subtree left of `keys[p]` holds only
+                    // smaller keys, so start right at the key.
+                    self.stack.push((node, p));
+                    return;
+                }
+                Err(p) => p,
+            };
+            self.stack.push((node, pos));
+            if node.is_leaf() {
+                return;
+            }
+            node = &node.children[pos];
+        }
+    }
+}
+
+impl<'a, const N: usize> Iterator for Iter<'a, N> {
+    type Item = &'a Tuple<N>;
+
+    fn next(&mut self) -> Option<&'a Tuple<N>> {
+        loop {
+            let (node, i) = *self.stack.last()?;
+            if i >= node.keys.len() {
+                self.stack.pop();
+                continue;
+            }
+            let key = &node.keys[i];
+            if let Some(hi) = &self.hi {
+                if cmp_tuples(key, hi) == Ordering::Greater {
+                    // Keys only grow from here; fuse the iterator.
+                    self.stack.clear();
+                    return None;
+                }
+            }
+            self.stack.last_mut().expect("frame exists").1 = i + 1;
+            if !node.is_leaf() {
+                self.descend_left(&node.children[i + 1]);
+            }
+            return Some(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect<const N: usize>(it: Iter<'_, N>) -> Vec<Tuple<N>> {
+        it.copied().collect()
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let set = BTreeIndexSet::<2>::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(!set.contains(&[0, 0]));
+        assert_eq!(collect(set.iter()), Vec::<Tuple<2>>::new());
+    }
+
+    #[test]
+    fn insert_dedupes_and_counts() {
+        let mut set = BTreeIndexSet::<1>::new();
+        assert!(set.insert([5]));
+        assert!(set.insert([3]));
+        assert!(!set.insert([5]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(collect(set.iter()), vec![[3], [5]]);
+    }
+
+    #[test]
+    fn many_inserts_stay_sorted_and_complete() {
+        let mut set = BTreeIndexSet::<2>::new();
+        // Insert in a scrambled order large enough to force many splits.
+        let n = 10_000u32;
+        let mut key = 1u32;
+        for _ in 0..n {
+            key = key.wrapping_mul(48271) % 0x7fff_ffff;
+            set.insert([key % 500, key % 991]);
+        }
+        let all = collect(set.iter());
+        let mut expected: Vec<Tuple<2>> = all.clone();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(all, expected, "iteration is sorted and duplicate-free");
+        for t in &all {
+            assert!(set.contains(t));
+        }
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn range_returns_inclusive_window() {
+        let mut set = BTreeIndexSet::<2>::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                set.insert([a, b]);
+            }
+        }
+        let hits = collect(set.range(&[3, 0], &[3, u32::MAX]));
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|t| t[0] == 3));
+
+        let window = collect(set.range(&[4, 7], &[5, 2]));
+        assert_eq!(window, vec![[4, 7], [4, 8], [4, 9], [5, 0], [5, 1], [5, 2]]);
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let mut set = BTreeIndexSet::<1>::new();
+        set.insert([10]);
+        assert_eq!(collect(set.range(&[11], &[20])), Vec::<Tuple<1>>::new());
+        assert_eq!(collect(set.range(&[5], &[3])), Vec::<Tuple<1>>::new());
+    }
+
+    #[test]
+    fn lower_bound_starts_at_first_ge() {
+        let mut set = BTreeIndexSet::<1>::new();
+        for v in [2u32, 4, 6, 8] {
+            set.insert([v]);
+        }
+        assert_eq!(collect(set.lower_bound(&[5])), vec![[6], [8]]);
+        assert_eq!(collect(set.lower_bound(&[4])), vec![[4], [6], [8]]);
+        assert_eq!(collect(set.lower_bound(&[9])), Vec::<Tuple<1>>::new());
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut set: BTreeIndexSet<1> = (0..100u32).map(|v| [v]).collect();
+        assert_eq!(set.len(), 100);
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(&[42]));
+        set.insert([7]);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn extremes_are_storable() {
+        let mut set = BTreeIndexSet::<2>::new();
+        set.insert([0, 0]);
+        set.insert([u32::MAX, u32::MAX]);
+        assert!(set.contains(&[0, 0]));
+        assert!(set.contains(&[u32::MAX, u32::MAX]));
+        assert_eq!(collect(set.range(&[0, 0], &[u32::MAX, u32::MAX])).len(), 2);
+    }
+}

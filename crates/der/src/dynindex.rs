@@ -1,0 +1,297 @@
+//! The legacy, fully dynamic index: a B-tree with a *runtime* comparator.
+//!
+//! Soufflé's pre-STI interpreter represented every relation with a single
+//! generic structure whose lexicographic order was an array consulted on
+//! **every comparison** (paper §5.1). Tuples are stored un-permuted in
+//! source order and boxed (the arity is not a compile-time constant), so
+//! each insert/lookup pays pointer-chasing and order indirection — this is
+//! precisely the cost profile the de-specialized structures eliminate, and
+//! it is what the legacy-interpreter baseline of Fig. 15 measures.
+
+use crate::adapter::IndexAdapter;
+use crate::iter::{TupleIter, VecTupleIter};
+use crate::order::Order;
+use crate::tuple::RamDomain;
+use std::any::Any;
+use std::cmp::Ordering;
+
+/// Maximum keys per node; matches [`crate::btree`] so tree shapes are
+/// comparable and only the comparator/layout differ.
+const MAX_KEYS: usize = 31;
+
+/// Compares two source-order tuples through a runtime order array.
+#[inline]
+fn cmp_with_order(a: &[RamDomain], b: &[RamDomain], order: &Order) -> Ordering {
+    for &c in order.columns() {
+        match a[c].cmp(&b[c]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+#[derive(Debug, Clone)]
+struct DynNode {
+    keys: Vec<Box<[RamDomain]>>,
+    children: Vec<Box<DynNode>>,
+}
+
+impl DynNode {
+    fn new_leaf() -> Self {
+        DynNode {
+            keys: Vec::with_capacity(MAX_KEYS),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+
+    fn find(&self, key: &[RamDomain], order: &Order) -> Result<usize, usize> {
+        self.keys
+            .binary_search_by(|k| cmp_with_order(k, key, order))
+    }
+
+    fn split_child(&mut self, idx: usize) {
+        let mid = MAX_KEYS / 2;
+        let child = &mut self.children[idx];
+        let right = Box::new(DynNode {
+            keys: child.keys.split_off(mid + 1),
+            children: if child.is_leaf() {
+                Vec::new()
+            } else {
+                child.children.split_off(mid + 1)
+            },
+        });
+        let median = child.keys.pop().expect("full child has a median");
+        self.keys.insert(idx, median);
+        self.children.insert(idx + 1, right);
+    }
+
+    fn insert_nonfull(&mut self, key: Box<[RamDomain]>, order: &Order) -> bool {
+        match self.find(&key, order) {
+            Ok(_) => false,
+            Err(mut pos) => {
+                if self.is_leaf() {
+                    self.keys.insert(pos, key);
+                    return true;
+                }
+                if self.children[pos].is_full() {
+                    self.split_child(pos);
+                    match cmp_with_order(&key, &self.keys[pos], order) {
+                        Ordering::Equal => return false,
+                        Ordering::Greater => pos += 1,
+                        Ordering::Less => {}
+                    }
+                }
+                self.children[pos].insert_nonfull(key, order)
+            }
+        }
+    }
+
+    fn contains(&self, key: &[RamDomain], order: &Order) -> bool {
+        match self.find(key, order) {
+            Ok(_) => true,
+            Err(pos) => !self.is_leaf() && self.children[pos].contains(key, order),
+        }
+    }
+
+    fn collect_range(
+        &self,
+        lo: &[RamDomain],
+        hi: &[RamDomain],
+        order: &Order,
+        out: &mut Vec<RamDomain>,
+    ) {
+        // In-order walk, pruned by the bounds. `start` is the first key
+        // `>= lo`; the subtree left of it can only contain in-range keys if
+        // `lo` fell strictly between keys (Err), not on a key (Ok).
+        let (start, visit_left_subtree) = match self.find(lo, order) {
+            Ok(p) => (p, false),
+            Err(p) => (p, true),
+        };
+        if !self.is_leaf() && visit_left_subtree {
+            self.children[start].collect_range(lo, hi, order, out);
+        }
+        for i in start..self.keys.len() {
+            if cmp_with_order(&self.keys[i], hi, order) == Ordering::Greater {
+                return;
+            }
+            out.extend_from_slice(&self.keys[i]);
+            if !self.is_leaf() {
+                self.children[i + 1].collect_range(lo, hi, order, out);
+            }
+        }
+    }
+}
+
+/// A dynamically-typed B-tree index with a runtime comparator.
+///
+/// # Example
+///
+/// ```
+/// use stir_der::dynindex::DynBTreeIndex;
+/// use stir_der::iter::TupleIter;
+/// use stir_der::order::Order;
+/// use stir_der::adapter::IndexAdapter;
+///
+/// let mut idx = DynBTreeIndex::new(Order::new(vec![1, 0]));
+/// idx.insert(&[1, 50]);
+/// idx.insert(&[2, 40]);
+/// // iteration follows the runtime order: column 1 first
+/// let all = idx.scan().collect_tuples();
+/// assert_eq!(all, vec![vec![2, 40], vec![1, 50]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynBTreeIndex {
+    order: Order,
+    root: Box<DynNode>,
+    len: usize,
+}
+
+impl DynBTreeIndex {
+    /// Creates an empty index ordered by the runtime comparator `order`.
+    pub fn new(order: Order) -> Self {
+        DynBTreeIndex {
+            order,
+            root: Box::new(DynNode::new_leaf()),
+            len: 0,
+        }
+    }
+}
+
+impl IndexAdapter for DynBTreeIndex {
+    fn order(&self) -> &Order {
+        &self.order
+    }
+
+    fn arity(&self) -> usize {
+        self.order.arity()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.root = Box::new(DynNode::new_leaf());
+        self.len = 0;
+    }
+
+    fn insert(&mut self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), self.arity());
+        if self.root.is_full() {
+            let old_root = std::mem::replace(&mut *self.root, DynNode::new_leaf());
+            self.root.children.push(Box::new(old_root));
+            self.root.split_child(0);
+        }
+        let inserted = self
+            .root
+            .insert_nonfull(t.to_vec().into_boxed_slice(), &self.order);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    fn contains(&self, t: &[RamDomain]) -> bool {
+        self.root.contains(t, &self.order)
+    }
+
+    /// For this index "stored" order *is* source order (tuples are kept
+    /// un-permuted; the comparator does the reordering).
+    fn contains_stored(&self, t: &[RamDomain]) -> bool {
+        self.contains(t)
+    }
+
+    fn scan(&self) -> Box<dyn TupleIter + '_> {
+        let lo = vec![0; self.arity()];
+        let hi = vec![RamDomain::MAX; self.arity()];
+        self.range(&lo, &hi)
+    }
+
+    /// Range scan with **source-order** bounds compared through the runtime
+    /// order (the legacy interpreter builds its bounds in source order).
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+        let mut out = Vec::new();
+        if self.len > 0 && cmp_with_order(lo, hi, &self.order) != Ordering::Greater {
+            self.root.collect_range(lo, hi, &self.order, &mut out);
+        }
+        Box::new(VecTupleIter::new(out, self.arity()))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::BTreeIndex;
+
+    #[test]
+    fn matches_static_btree_under_permuted_order() {
+        let order = Order::new(vec![2, 0, 1]);
+        let mut dynamic = DynBTreeIndex::new(order.clone());
+        let mut static_ = BTreeIndex::<3>::new(order.clone());
+        let mut seed = 3u32;
+        for _ in 0..2000 {
+            seed = seed.wrapping_mul(48271) % 0x7fff_ffff;
+            let t = [seed % 19, seed % 23, seed % 13];
+            assert_eq!(dynamic.insert(&t), static_.insert(&t));
+        }
+        assert_eq!(dynamic.len(), static_.len());
+        // Dynamic yields source order; static yields stored order. Decode
+        // the static side for comparison.
+        let dyn_all = dynamic.scan().collect_tuples();
+        let static_all: Vec<Vec<u32>> = static_
+            .scan()
+            .collect_tuples()
+            .into_iter()
+            .map(|t| order.decode_vec(&t))
+            .collect();
+        assert_eq!(dyn_all, static_all);
+    }
+
+    #[test]
+    fn range_with_source_bounds_matches_filter() {
+        let order = Order::new(vec![1, 0]);
+        let mut idx = DynBTreeIndex::new(order.clone());
+        for a in 0..20u32 {
+            for b in 0..20u32 {
+                idx.insert(&[a, b]);
+            }
+        }
+        // All tuples whose column 1 equals 7 (a prefix search on the order).
+        let mut lo = vec![0u32, 7];
+        let mut hi = vec![u32::MAX, 7];
+        let hits = idx.range(&lo, &hi).collect_tuples();
+        assert_eq!(hits.len(), 20);
+        assert!(hits.iter().all(|t| t[1] == 7));
+        // Inverted bounds yield nothing.
+        lo[1] = 9;
+        hi[1] = 8;
+        assert_eq!(idx.range(&lo, &hi).count_tuples(), 0);
+    }
+
+    #[test]
+    fn dedupes_like_a_set() {
+        let mut idx = DynBTreeIndex::new(Order::natural(2));
+        assert!(idx.insert(&[1, 2]));
+        assert!(!idx.insert(&[1, 2]));
+        assert_eq!(idx.len(), 1);
+        idx.clear();
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! An equivalence relation over `u32` values, backed by a union-find.
+//!
+//! Soufflé's `eqrel` representation (the paper's reference 40) stores a binary relation
+//! that is closed under reflexivity, symmetry, and transitivity in
+//! union-find form: inserting `(a, b)` unions the classes of `a` and `b`,
+//! and the relation *logically* contains every pair `(x, y)` with `x` and
+//! `y` in the same class. Space drops from quadratic to linear while
+//! membership tests stay near-constant.
+//!
+//! Iteration materializes pairs on the fly in sorted order so that the
+//! structure is observationally equivalent to a B-tree holding the closure.
+
+use crate::tuple::RamDomain;
+use std::collections::HashMap;
+
+/// A binary relation maintained as its reflexive-symmetric-transitive
+/// closure.
+///
+/// # Example
+///
+/// ```
+/// use stir_der::eqrel::EquivalenceRelation;
+///
+/// let mut rel = EquivalenceRelation::new();
+/// rel.insert(1, 2);
+/// rel.insert(2, 3);
+/// assert!(rel.contains(1, 3)); // transitivity
+/// assert!(rel.contains(3, 1)); // symmetry
+/// assert!(rel.contains(2, 2)); // reflexivity
+/// assert_eq!(rel.len(), 9);    // {1,2,3} x {1,2,3}
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EquivalenceRelation {
+    /// Maps a domain value to its dense node id.
+    ids: HashMap<RamDomain, usize>,
+    /// Union-find parent pointers over dense ids.
+    parent: Vec<usize>,
+    /// Members of each class, stored at the class root (empty elsewhere).
+    members: Vec<Vec<RamDomain>>,
+    /// Total number of logical pairs, i.e. sum of |class|^2.
+    pairs: usize,
+}
+
+impl EquivalenceRelation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of *logical* pairs in the closure.
+    pub fn len(&self) -> usize {
+        self.pairs
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs == 0
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.parent.clear();
+        self.members.clear();
+        self.pairs = 0;
+    }
+
+    fn node(&mut self, v: RamDomain) -> usize {
+        if let Some(&id) = self.ids.get(&v) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.ids.insert(v, id);
+        self.parent.push(id);
+        self.members.push(vec![v]);
+        self.pairs += 1; // the reflexive pair (v, v)
+        id
+    }
+
+    /// Root lookup without path mutation, usable from `&self`.
+    fn find(&self, mut id: usize) -> usize {
+        while self.parent[id] != id {
+            id = self.parent[id];
+        }
+        id
+    }
+
+    /// Root lookup with full path compression.
+    fn find_mut(&mut self, id: usize) -> usize {
+        let root = self.find(id);
+        let mut cur = id;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Inserts the pair `(a, b)`, closing the relation under equivalence.
+    ///
+    /// Returns `true` if the closure grew (i.e. `a` and `b` were not
+    /// already related).
+    pub fn insert(&mut self, a: RamDomain, b: RamDomain) -> bool {
+        let ia = self.node(a);
+        let ib = self.node(b);
+        let ra = self.find_mut(ia);
+        let rb = self.find_mut(ib);
+        if ra == rb {
+            return false;
+        }
+        // Union by size: splice the smaller member list into the larger.
+        let (big, small) = if self.members[ra].len() >= self.members[rb].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let moved = std::mem::take(&mut self.members[small]);
+        self.pairs += 2 * moved.len() * self.members[big].len();
+        self.members[big].extend(moved);
+        self.parent[small] = big;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same class.
+    pub fn contains(&self, a: RamDomain, b: RamDomain) -> bool {
+        match (self.ids.get(&a), self.ids.get(&b)) {
+            (Some(&ia), Some(&ib)) => self.find(ia) == self.find(ib),
+            _ => false,
+        }
+    }
+
+    /// The members of `a`'s class in sorted order (empty if `a` is
+    /// unknown).
+    pub fn class_of(&self, a: RamDomain) -> Vec<RamDomain> {
+        let Some(&ia) = self.ids.get(&a) else {
+            return Vec::new();
+        };
+        let mut out = self.members[self.find(ia)].clone();
+        out.sort_unstable();
+        out
+    }
+
+    /// All logical pairs `(x, y)` in sorted order.
+    pub fn iter_pairs(&self) -> Vec<[RamDomain; 2]> {
+        let mut firsts: Vec<RamDomain> = self.ids.keys().copied().collect();
+        firsts.sort_unstable();
+        let mut out = Vec::with_capacity(self.pairs);
+        for x in firsts {
+            for y in self.class_of(x) {
+                out.push([x, y]);
+            }
+        }
+        out
+    }
+
+    /// Logical pairs within the inclusive bounds, in sorted order.
+    ///
+    /// Mirrors the B-tree's primitive search; the common case is
+    /// `lo = [a, 0]`, `hi = [a, MAX]`, which enumerates `a`'s class.
+    pub fn range_pairs(&self, lo: [RamDomain; 2], hi: [RamDomain; 2]) -> Vec<[RamDomain; 2]> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut firsts: Vec<RamDomain> = self
+            .ids
+            .keys()
+            .copied()
+            .filter(|&x| x >= lo[0] && x <= hi[0])
+            .collect();
+        firsts.sort_unstable();
+        let mut out = Vec::new();
+        for x in firsts {
+            for y in self.class_of(x) {
+                let pair = [x, y];
+                if pair >= lo && pair <= hi {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_relation_behaves() {
+        let rel = EquivalenceRelation::new();
+        assert!(rel.is_empty());
+        assert!(!rel.contains(1, 1));
+        assert!(rel.iter_pairs().is_empty());
+    }
+
+    #[test]
+    fn closure_properties_hold() {
+        let mut rel = EquivalenceRelation::new();
+        assert!(rel.insert(1, 2));
+        assert!(rel.contains(1, 1));
+        assert!(rel.contains(2, 1));
+        assert!(!rel.contains(1, 3));
+        assert!(rel.insert(3, 4));
+        assert!(rel.insert(2, 3)); // merges {1,2} and {3,4}
+        assert!(rel.contains(1, 4));
+        assert!(!rel.insert(4, 1)); // already related
+    }
+
+    #[test]
+    fn pair_count_is_sum_of_squares() {
+        let mut rel = EquivalenceRelation::new();
+        rel.insert(1, 2);
+        rel.insert(3, 3);
+        assert_eq!(rel.len(), 4 + 1);
+        rel.insert(2, 3);
+        assert_eq!(rel.len(), 9);
+        assert_eq!(rel.iter_pairs().len(), 9);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_closed() {
+        let mut rel = EquivalenceRelation::new();
+        rel.insert(5, 1);
+        rel.insert(9, 9);
+        rel.insert(1, 7);
+        let pairs = rel.iter_pairs();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
+        assert!(pairs.contains(&[7, 5]));
+        assert!(pairs.contains(&[9, 9]));
+        assert_eq!(pairs.len(), 9 + 1);
+    }
+
+    #[test]
+    fn range_enumerates_one_class() {
+        let mut rel = EquivalenceRelation::new();
+        rel.insert(1, 2);
+        rel.insert(2, 9);
+        rel.insert(4, 5);
+        let hits = rel.range_pairs([2, 0], [2, u32::MAX]);
+        assert_eq!(hits, vec![[2, 1], [2, 2], [2, 9]]);
+        assert!(rel.range_pairs([3, 0], [3, u32::MAX]).is_empty());
+    }
+
+    #[test]
+    fn large_unions_stay_consistent() {
+        let mut rel = EquivalenceRelation::new();
+        // Chain 0-1-2-...-199 => one class of 200.
+        for v in 0..199u32 {
+            rel.insert(v, v + 1);
+        }
+        assert_eq!(rel.len(), 200 * 200);
+        assert!(rel.contains(0, 199));
+        assert_eq!(rel.class_of(57).len(), 200);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut rel = EquivalenceRelation::new();
+        rel.insert(1, 2);
+        rel.clear();
+        assert!(rel.is_empty());
+        assert!(!rel.contains(1, 2));
+    }
+}

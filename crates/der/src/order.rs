@@ -1,0 +1,172 @@
+//! Lexicographic orders as tuple permutations.
+//!
+//! The first de-specialization step of the paper reduces the set of all
+//! lexicographic orders to the single *natural* one by permuting tuples on
+//! their way in and out of an index (paper Fig. 6). An [`Order`] is that
+//! permutation: `order.columns()[i]` names the source column stored at
+//! index position `i`.
+
+use crate::tuple::RamDomain;
+
+/// A lexicographic order for an index, represented as a permutation of the
+/// tuple columns.
+///
+/// `columns[i] = c` means: position `i` of the *stored* (encoded) tuple
+/// holds column `c` of the *source* tuple. An index with this order
+/// therefore sorts first by source column `columns[0]`, then `columns[1]`,
+/// and so on — exactly the paper's `Comparator<c0, c1, ...>` template
+/// parameter, moved from compile time into the insertion path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Order {
+    columns: Vec<usize>,
+}
+
+impl Order {
+    /// Creates an order from a permutation of `0..columns.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is not a permutation (duplicate or out-of-range
+    /// entries), since a non-permutation would silently drop tuple data.
+    pub fn new(columns: Vec<usize>) -> Self {
+        let n = columns.len();
+        let mut seen = vec![false; n];
+        for &c in &columns {
+            assert!(c < n, "order column {c} out of range for arity {n}");
+            assert!(!seen[c], "order column {c} repeated");
+            seen[c] = true;
+        }
+        Order { columns }
+    }
+
+    /// The identity permutation of the given arity: the natural order.
+    pub fn natural(arity: usize) -> Self {
+        Order {
+            columns: (0..arity).collect(),
+        }
+    }
+
+    /// The arity of tuples this order applies to.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether this order is the identity permutation.
+    ///
+    /// Encoding/decoding can be skipped entirely for natural orders, which
+    /// the RAM index-selection pass produces for most relations.
+    pub fn is_natural(&self) -> bool {
+        self.columns.iter().enumerate().all(|(i, &c)| i == c)
+    }
+
+    /// The underlying permutation, stored-position → source-column.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Permutes a source tuple into index storage order.
+    #[inline]
+    pub fn encode(&self, source: &[RamDomain], out: &mut [RamDomain]) {
+        debug_assert_eq!(source.len(), self.columns.len());
+        debug_assert_eq!(out.len(), self.columns.len());
+        for (i, &c) in self.columns.iter().enumerate() {
+            out[i] = source[c];
+        }
+    }
+
+    /// Permutes a stored tuple back into source order.
+    #[inline]
+    pub fn decode(&self, stored: &[RamDomain], out: &mut [RamDomain]) {
+        debug_assert_eq!(stored.len(), self.columns.len());
+        debug_assert_eq!(out.len(), self.columns.len());
+        for (i, &c) in self.columns.iter().enumerate() {
+            out[c] = stored[i];
+        }
+    }
+
+    /// Convenience wrapper around [`Order::encode`] that allocates.
+    pub fn encode_vec(&self, source: &[RamDomain]) -> Vec<RamDomain> {
+        let mut out = vec![0; source.len()];
+        self.encode(source, &mut out);
+        out
+    }
+
+    /// Convenience wrapper around [`Order::decode`] that allocates.
+    pub fn decode_vec(&self, stored: &[RamDomain]) -> Vec<RamDomain> {
+        let mut out = vec![0; stored.len()];
+        self.decode(stored, &mut out);
+        out
+    }
+
+    /// Maps a *source* column to its *stored* position.
+    ///
+    /// Used by the interpreter's static-reordering pass (paper §4.2) to
+    /// rewrite `TupleElement` accesses so scanned tuples never need to be
+    /// decoded at runtime.
+    pub fn stored_position_of(&self, source_column: usize) -> usize {
+        self.columns
+            .iter()
+            .position(|&c| c == source_column)
+            .expect("source column out of range")
+    }
+}
+
+impl std::fmt::Display for Order {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_order_is_identity() {
+        let o = Order::natural(3);
+        assert!(o.is_natural());
+        assert_eq!(o.encode_vec(&[10, 20, 30]), vec![10, 20, 30]);
+        assert_eq!(o.decode_vec(&[10, 20, 30]), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn encode_then_decode_round_trips() {
+        let o = Order::new(vec![2, 0, 1]);
+        assert!(!o.is_natural());
+        let enc = o.encode_vec(&[10, 20, 30]);
+        assert_eq!(enc, vec![30, 10, 20]);
+        assert_eq!(o.decode_vec(&enc), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn stored_position_inverts_columns() {
+        let o = Order::new(vec![2, 0, 1]);
+        assert_eq!(o.stored_position_of(2), 0);
+        assert_eq!(o.stored_position_of(0), 1);
+        assert_eq!(o.stored_position_of(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn duplicate_columns_are_rejected() {
+        Order::new(vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_columns_are_rejected() {
+        Order::new(vec![0, 2]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Order::new(vec![1, 0]).to_string(), "[1,0]");
+    }
+}

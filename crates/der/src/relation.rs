@@ -1,0 +1,340 @@
+//! A relation: a named tuple set maintained under one or more indexes.
+//!
+//! Index selection at the RAM level assigns each relation a set of
+//! [`IndexSpec`]s — one *primary* index (position 0) plus one secondary
+//! index per additional lexicographic order required by the program's
+//! primitive searches. Every insert goes to all indexes; queries pick the
+//! index whose order matches their search columns.
+//!
+//! Nullary relations (arity 0) — Datalog predicates with no arguments —
+//! are represented directly by a presence flag, as in Soufflé.
+
+use crate::adapter::IndexAdapter;
+use crate::factory::{new_index, IndexSpec};
+use crate::iter::{DecodingIter, TupleIter, VecTupleIter};
+use crate::tuple::RamDomain;
+
+/// A named, indexed set of tuples.
+///
+/// # Example
+///
+/// ```
+/// use stir_der::relation::Relation;
+/// use stir_der::factory::IndexSpec;
+///
+/// let mut edge = Relation::new("edge", 2, vec![IndexSpec::btree_natural(2)]);
+/// edge.insert(&[1, 2]);
+/// edge.insert(&[2, 3]);
+/// assert_eq!(edge.len(), 2);
+/// assert!(edge.contains(&[1, 2]));
+/// ```
+#[derive(Debug)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    indexes: Vec<Box<dyn IndexAdapter>>,
+    /// Presence flag for nullary relations (`arity == 0`).
+    nullary_present: bool,
+}
+
+impl Relation {
+    /// Creates a relation with the given index specs; `specs[0]` is the
+    /// primary index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a positive-arity relation has no index, if any spec's
+    /// arity disagrees with `arity`, or if a nullary relation is given
+    /// indexes.
+    pub fn new(name: impl Into<String>, arity: usize, specs: Vec<IndexSpec>) -> Self {
+        if arity == 0 {
+            assert!(specs.is_empty(), "nullary relations take no indexes");
+            return Relation {
+                name: name.into(),
+                arity,
+                indexes: Vec::new(),
+                nullary_present: false,
+            };
+        }
+        assert!(!specs.is_empty(), "relations need at least a primary index");
+        for s in &specs {
+            assert_eq!(s.arity(), arity, "index spec arity mismatch");
+        }
+        Relation {
+            name: name.into(),
+            arity,
+            indexes: specs.iter().map(new_index).collect(),
+            nullary_present: false,
+        }
+    }
+
+    /// Creates a relation from pre-built indexes (used by the legacy
+    /// interpreter, whose indexes are fully dynamic
+    /// [`crate::dynindex::DynBTreeIndex`]es rather than factory products).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index disagrees with `arity`, or if indexes are given
+    /// for a nullary relation.
+    pub fn from_adapters(
+        name: impl Into<String>,
+        arity: usize,
+        indexes: Vec<Box<dyn IndexAdapter>>,
+    ) -> Self {
+        if arity == 0 {
+            assert!(indexes.is_empty(), "nullary relations take no indexes");
+        } else {
+            assert!(
+                !indexes.is_empty(),
+                "relations need at least a primary index"
+            );
+            for idx in &indexes {
+                assert_eq!(idx.arity(), arity, "index arity mismatch");
+            }
+        }
+        Relation {
+            name: name.into(),
+            arity,
+            indexes,
+            nullary_present: false,
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tuple arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of indexes maintained.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The `k`-th index (0 is primary).
+    pub fn index(&self, k: usize) -> &dyn IndexAdapter {
+        &*self.indexes[k]
+    }
+
+    /// Mutable access to the `k`-th index.
+    pub fn index_mut(&mut self, k: usize) -> &mut dyn IndexAdapter {
+        &mut *self.indexes[k]
+    }
+
+    /// Number of tuples (primary index size).
+    pub fn len(&self) -> usize {
+        if self.arity == 0 {
+            return usize::from(self.nullary_present);
+        }
+        self.indexes[0].len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all tuples from all indexes.
+    pub fn clear(&mut self) {
+        self.nullary_present = false;
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+    }
+
+    /// Inserts a source-order tuple into every index; `true` if new.
+    pub fn insert(&mut self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), self.arity, "tuple arity mismatch");
+        if self.arity == 0 {
+            let fresh = !self.nullary_present;
+            self.nullary_present = true;
+            return fresh;
+        }
+        let (primary, rest) = self.indexes.split_first_mut().expect("has primary");
+        if !primary.insert(t) {
+            return false;
+        }
+        for idx in rest {
+            idx.insert(t);
+        }
+        true
+    }
+
+    /// Membership test via the primary index.
+    pub fn contains(&self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        if self.arity == 0 {
+            return self.nullary_present;
+        }
+        self.indexes[0].contains(t)
+    }
+
+    /// Scans all tuples in *source* order (decoding the primary index's
+    /// order if it is not natural).
+    pub fn scan_source(&self) -> Box<dyn TupleIter + '_> {
+        if self.arity == 0 {
+            // A nullary relation contributes zero or one empty tuple; model
+            // it as an empty buffer of arity 1 rows (callers special-case
+            // nullaries before scanning).
+            return Box::new(VecTupleIter::new(Vec::new(), 1));
+        }
+        let primary = &self.indexes[0];
+        let scan = primary.scan();
+        if primary.order().is_natural() {
+            scan
+        } else {
+            Box::new(DecodingIter::new(scan, primary.order().clone()))
+        }
+    }
+
+    /// Moves all tuples of `other` into `self` (the RAM `MERGE`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn merge_from(&mut self, other: &Relation) {
+        assert_eq!(self.arity, other.arity, "merge arity mismatch");
+        if self.arity == 0 {
+            self.nullary_present |= other.nullary_present;
+            return;
+        }
+        let mut it = other.scan_source();
+        while let Some(t) = it.next_tuple() {
+            self.insert(t);
+        }
+    }
+
+    /// Swaps the *contents* of two relations (the RAM `SWAP`), leaving
+    /// names in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relations have different arities or index layouts.
+    pub fn swap_data(&mut self, other: &mut Relation) {
+        assert_eq!(self.arity, other.arity, "swap arity mismatch");
+        assert_eq!(
+            self.indexes.len(),
+            other.indexes.len(),
+            "swap index layout mismatch"
+        );
+        std::mem::swap(&mut self.indexes, &mut other.indexes);
+        std::mem::swap(&mut self.nullary_present, &mut other.nullary_present);
+    }
+
+    /// Collects all tuples, in source order, as owned vectors (IO/tests).
+    pub fn to_sorted_tuples(&self) -> Vec<Vec<RamDomain>> {
+        if self.arity == 0 {
+            return if self.nullary_present {
+                vec![Vec::new()]
+            } else {
+                Vec::new()
+            };
+        }
+        let mut out = self.scan_source().collect_tuples();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::Representation;
+    use crate::order::Order;
+
+    fn two_index_relation() -> Relation {
+        Relation::new(
+            "edge",
+            2,
+            vec![
+                IndexSpec::btree_natural(2),
+                IndexSpec::new(Representation::BTree, Order::new(vec![1, 0])),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_reaches_all_indexes() {
+        let mut rel = two_index_relation();
+        assert!(rel.insert(&[1, 9]));
+        assert!(rel.insert(&[2, 8]));
+        assert!(!rel.insert(&[1, 9]));
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.index(0).len(), 2);
+        assert_eq!(rel.index(1).len(), 2);
+        // The secondary is sorted by column 1 first.
+        let sec = rel.index(1).scan().collect_tuples();
+        assert_eq!(sec, vec![vec![8, 2], vec![9, 1]]);
+    }
+
+    #[test]
+    fn scan_source_decodes_secondary_orders() {
+        let mut rel = Relation::new(
+            "r",
+            2,
+            vec![IndexSpec::new(
+                Representation::BTree,
+                Order::new(vec![1, 0]),
+            )],
+        );
+        rel.insert(&[1, 9]);
+        rel.insert(&[2, 8]);
+        let all = rel.scan_source().collect_tuples();
+        assert_eq!(all, vec![vec![2, 8], vec![1, 9]]); // sorted by col 1
+    }
+
+    #[test]
+    fn merge_and_swap_model_ram_statements() {
+        let mut full = two_index_relation();
+        let mut delta = two_index_relation();
+        delta.insert(&[1, 2]);
+        delta.insert(&[3, 4]);
+        full.insert(&[1, 2]);
+        full.merge_from(&delta);
+        assert_eq!(full.len(), 2);
+        assert!(full.contains(&[3, 4]));
+
+        let mut new = two_index_relation();
+        new.insert(&[5, 6]);
+        delta.swap_data(&mut new);
+        assert_eq!(delta.len(), 1);
+        assert!(delta.contains(&[5, 6]));
+        assert_eq!(new.len(), 2);
+    }
+
+    #[test]
+    fn nullary_relations_are_flags() {
+        let mut flag = Relation::new("flag", 0, vec![]);
+        assert!(flag.is_empty());
+        assert!(!flag.contains(&[]));
+        assert!(flag.insert(&[]));
+        assert!(!flag.insert(&[]));
+        assert_eq!(flag.len(), 1);
+        assert!(flag.contains(&[]));
+        assert_eq!(flag.to_sorted_tuples(), vec![Vec::<RamDomain>::new()]);
+        flag.clear();
+        assert!(flag.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a primary")]
+    fn positive_arity_requires_an_index() {
+        Relation::new("r", 2, vec![]);
+    }
+
+    #[test]
+    fn eqrel_relation_works() {
+        let mut rel = Relation::new(
+            "eq",
+            2,
+            vec![IndexSpec::new(Representation::EqRel, Order::natural(2))],
+        );
+        rel.insert(&[1, 2]);
+        assert!(rel.contains(&[2, 1]));
+        assert_eq!(rel.len(), 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests: every DER structure must behave exactly like a
+//! reference `std::collections::BTreeSet` model under random workloads.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use stir_der::adapter::IndexAdapter;
+use stir_der::brie::Brie;
+use stir_der::btree::BTreeIndexSet;
+use stir_der::dynindex::DynBTreeIndex;
+use stir_der::eqrel::EquivalenceRelation;
+use stir_der::factory::{new_index, IndexSpec, Representation};
+use stir_der::iter::{BufferedTupleIter, TupleIter};
+use stir_der::order::Order;
+
+fn tuple3() -> impl Strategy<Value = [u32; 3]> {
+    // Small domains provoke duplicates and shared prefixes.
+    [(0u32..20), (0u32..20), (0u32..20)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_std_model(tuples in prop::collection::vec(tuple3(), 0..400),
+                               lo in tuple3(), hi in tuple3()) {
+        let mut ours = BTreeIndexSet::<3>::new();
+        let mut model = BTreeSet::new();
+        for t in &tuples {
+            prop_assert_eq!(ours.insert(*t), model.insert(*t));
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        let ours_all: Vec<_> = ours.iter().copied().collect();
+        let model_all: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(ours_all, model_all);
+        let ours_range: Vec<_> = ours.range(&lo, &hi).copied().collect();
+        let model_range: Vec<_> = if lo <= hi {
+            model.range(lo..=hi).copied().collect()
+        } else {
+            Vec::new() // inverted bounds: our API returns empty, std panics
+        };
+        prop_assert_eq!(ours_range, model_range);
+        for probe in &tuples {
+            prop_assert!(ours.contains(probe));
+        }
+    }
+
+    #[test]
+    fn brie_matches_std_model(tuples in prop::collection::vec(tuple3(), 0..400),
+                              lo in tuple3(), hi in tuple3()) {
+        let mut ours = Brie::<3>::new();
+        let mut model = BTreeSet::new();
+        for t in &tuples {
+            prop_assert_eq!(ours.insert(*t), model.insert(*t));
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        let ours_all: Vec<_> = ours.iter().collect();
+        let model_all: Vec<_> = model.iter().copied().collect();
+        prop_assert_eq!(ours_all, model_all);
+        let ours_range: Vec<_> = ours.range(&lo, &hi).collect();
+        let model_range: Vec<_> = if lo <= hi {
+            model.range(lo..=hi).copied().collect()
+        } else {
+            Vec::new()
+        };
+        prop_assert_eq!(ours_range, model_range);
+    }
+
+    #[test]
+    fn dyn_btree_matches_static_btree_under_any_order(
+        tuples in prop::collection::vec(tuple3(), 0..300),
+        perm in Just(()).prop_flat_map(|_| prop::sample::select(vec![
+            vec![0usize, 1, 2], vec![0, 2, 1], vec![1, 0, 2],
+            vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0],
+        ])),
+    ) {
+        let order = Order::new(perm);
+        let mut dynamic = DynBTreeIndex::new(order.clone());
+        let mut static_ = new_index(&IndexSpec::new(Representation::BTree, order.clone()));
+        for t in &tuples {
+            prop_assert_eq!(dynamic.insert(t), static_.insert(t));
+        }
+        prop_assert_eq!(dynamic.len(), static_.len());
+        let dyn_all = dynamic.scan().collect_tuples();
+        let static_all: Vec<Vec<u32>> = {
+            let mut out = Vec::new();
+            let mut it = static_.scan();
+            while let Some(t) = it.next_tuple() {
+                out.push(order.decode_vec(t));
+            }
+            out
+        };
+        prop_assert_eq!(dyn_all, static_all);
+    }
+
+    #[test]
+    fn buffered_iteration_is_invisible(tuples in prop::collection::vec(tuple3(), 0..500)) {
+        let set: BTreeIndexSet<3> = tuples.iter().copied().collect();
+        let idx = stir_der::adapter::BTreeIndex::<3>::new(Order::natural(3));
+        let mut idx = idx;
+        for t in &tuples { idx.insert(t); }
+        let plain = idx.scan().collect_tuples();
+        let buffered = BufferedTupleIter::new(idx.scan()).collect_tuples();
+        prop_assert_eq!(&plain, &buffered);
+        prop_assert_eq!(plain.len(), set.len());
+    }
+
+    #[test]
+    fn eqrel_matches_closure_model(pairs in prop::collection::vec((0u32..12, 0u32..12), 0..40)) {
+        let mut ours = EquivalenceRelation::new();
+        for (a, b) in &pairs {
+            ours.insert(*a, *b);
+        }
+        // Reference: naive fixpoint closure over the inserted pairs plus
+        // reflexivity and symmetry.
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for (a, b) in &pairs {
+            model.insert((*a, *b));
+            model.insert((*b, *a));
+            model.insert((*a, *a));
+            model.insert((*b, *b));
+        }
+        loop {
+            let mut grew = false;
+            let snapshot: Vec<_> = model.iter().copied().collect();
+            for &(a, b) in &snapshot {
+                for &(c, d) in &snapshot {
+                    if b == c && model.insert((a, d)) {
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        prop_assert_eq!(ours.len(), model.len());
+        let ours_pairs: Vec<(u32, u32)> =
+            ours.iter_pairs().into_iter().map(|p| (p[0], p[1])).collect();
+        let model_pairs: Vec<(u32, u32)> = model.into_iter().collect();
+        prop_assert_eq!(ours_pairs, model_pairs);
+    }
+
+    #[test]
+    fn relation_multi_index_views_agree(tuples in prop::collection::vec(tuple3(), 0..200)) {
+        let mut rel = stir_der::relation::Relation::new(
+            "r",
+            3,
+            vec![
+                IndexSpec::btree_natural(3),
+                IndexSpec::new(Representation::BTree, Order::new(vec![2, 1, 0])),
+                IndexSpec::new(Representation::Brie, Order::new(vec![1, 0, 2])),
+            ],
+        );
+        for t in &tuples {
+            rel.insert(t);
+        }
+        // All indexes hold the same logical set.
+        let primary: BTreeSet<Vec<u32>> = rel.scan_source().collect_tuples().into_iter().collect();
+        for k in 1..rel.index_count() {
+            let idx = rel.index(k);
+            let ord = idx.order().clone();
+            let mut it = idx.scan();
+            let mut decoded = BTreeSet::new();
+            while let Some(t) = it.next_tuple() {
+                decoded.insert(ord.decode_vec(t));
+            }
+            prop_assert_eq!(&primary, &decoded, "index {}", k);
+        }
+    }
+}
+
+/// A Fisher–Yates permutation driven by proptest indices.
+fn permutation(n: usize, picks: &[usize]) -> Vec<usize> {
+    let mut cols: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    for (i, &p) in picks.iter().enumerate().take(n) {
+        out.push(cols.remove(p % (n - i)));
+    }
+    out.extend(cols);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn order_encode_decode_are_inverse(
+        picks in prop::collection::vec(0usize..16, 8),
+        tuple in prop::collection::vec(any::<u32>(), 8),
+    ) {
+        let order = Order::new(permutation(8, &picks));
+        let enc = order.encode_vec(&tuple);
+        prop_assert_eq!(order.decode_vec(&enc), tuple.clone());
+        for c in 0..8 {
+            prop_assert_eq!(enc[order.stored_position_of(c)], tuple[c]);
+        }
+    }
+
+    #[test]
+    fn arity_eight_btree_matches_model(
+        tuples in prop::collection::vec([0u32..4, 0u32..4, 0u32..4, 0u32..4,
+                                         0u32..4, 0u32..4, 0u32..4, 0u32..4], 0..300),
+        picks in prop::collection::vec(0usize..16, 8),
+    ) {
+        use std::collections::BTreeSet as Model;
+        let order = Order::new(permutation(8, &picks));
+        let mut idx = new_index(&IndexSpec::new(Representation::BTree, order.clone()));
+        let mut model: Model<Vec<u32>> = Model::new();
+        for t in &tuples {
+            prop_assert_eq!(idx.insert(t), model.insert(t.to_vec()));
+        }
+        prop_assert_eq!(idx.len(), model.len());
+        // Every tuple is found; prefix queries agree with filtering.
+        for t in &tuples {
+            prop_assert!(idx.contains(t));
+        }
+        if let Some(t) = tuples.first() {
+            // Prefix search: first three stored positions bound.
+            let enc = order.encode_vec(t);
+            let mut lo = vec![0u32; 8];
+            let mut hi = vec![u32::MAX; 8];
+            for i in 0..3 {
+                lo[i] = enc[i];
+                hi[i] = enc[i];
+            }
+            let got = idx.range(&lo, &hi).count_tuples();
+            let want = model
+                .iter()
+                .filter(|m| {
+                    let e = order.encode_vec(m);
+                    e[..3] == enc[..3]
+                })
+                .count();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

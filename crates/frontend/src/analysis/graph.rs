@@ -1,0 +1,169 @@
+//! Tarjan's strongly-connected-components algorithm (iterative).
+//!
+//! Used by stratification: the relation dependency graph is condensed into
+//! SCCs, which become strata. Tarjan emits SCCs in reverse topological
+//! order, so reversing the result yields bottom-up evaluation order.
+
+/// A directed graph over dense node ids `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    succ: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            succ: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Adds the edge `from → to` (duplicates allowed; harmless for SCC).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        self.succ[from].push(to);
+    }
+
+    /// Successors of `v`.
+    pub fn successors(&self, v: usize) -> &[usize] {
+        &self.succ[v]
+    }
+
+    /// Computes strongly connected components in **topological order**
+    /// (every edge goes from an earlier-or-equal component to an earlier
+    /// one... i.e. dependencies of a node appear in earlier components when
+    /// edges point from dependent to dependency).
+    ///
+    /// Concretely: with edges `head → body-relation`, the returned order
+    /// lists body (dependency) components before head components, which is
+    /// exactly bottom-up stratum order.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+
+        // Iterative Tarjan with an explicit work stack of (node, child idx).
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&(v, ci)) = work.last() {
+                if ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if ci < self.succ[v].len() {
+                    let w = self.succ[v][ci];
+                    work.last_mut().expect("nonempty").1 += 1;
+                    if index[w] == usize::MAX {
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        // Tarjan emits components in reverse topological order with respect
+        // to edges pointing *out of* later components; with head→body edges
+        // the emitted order is already dependencies-first.
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_nodes_are_their_own_components() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(2, 1);
+        g.add_edge(1, 0);
+        let sccs = g.sccs();
+        assert_eq!(sccs, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn cycles_are_grouped() {
+        let mut g = DiGraph::new(4);
+        // 3 → {1,2} cycle → 0
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(1, 0);
+        g.add_edge(3, 1);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 3);
+        assert_eq!(sccs[0], vec![0]);
+        assert_eq!(sccs[1], vec![1, 2]);
+        assert_eq!(sccs[2], vec![3]);
+    }
+
+    #[test]
+    fn self_loops_are_single_node_components() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let sccs = g.sccs();
+        assert_eq!(sccs, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn dependencies_come_first() {
+        // head → body edges: p → e, q → p.
+        let mut g = DiGraph::new(3);
+        let (e, p, q) = (0, 1, 2);
+        g.add_edge(p, e);
+        g.add_edge(q, p);
+        let sccs = g.sccs();
+        let pos = |x: usize| sccs.iter().position(|c| c.contains(&x)).unwrap();
+        assert!(pos(e) < pos(p));
+        assert!(pos(p) < pos(q));
+    }
+
+    #[test]
+    fn big_cycle_is_one_component() {
+        let n = 100;
+        let mut g = DiGraph::new(n);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n);
+        }
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), n);
+    }
+}

@@ -1,0 +1,289 @@
+//! Groundedness (range restriction) checking.
+//!
+//! Every variable of a rule must be *grounded*: bound by a positive body
+//! atom (appearing there as a direct argument), or by an equality
+//! constraint whose other side is already grounded. Variables in heads,
+//! negated atoms, comparison constraints, and functor arguments never
+//! bind — they only consume bindings. This is Soufflé's range-restriction
+//! rule; it is what makes bottom-up evaluation possible.
+
+use crate::ast::{CmpOp, Expr, Literal, Program, Rule};
+use crate::error::SemanticError;
+use std::collections::HashSet;
+
+/// Checks all rules of a program.
+///
+/// # Errors
+///
+/// Reports the first ungrounded variable with its position.
+pub fn check_groundedness(ast: &Program) -> Result<(), SemanticError> {
+    for rule in &ast.rules {
+        check_rule(rule)?;
+    }
+    Ok(())
+}
+
+fn check_rule(rule: &Rule) -> Result<(), SemanticError> {
+    let bound = fixpoint_bindings(&rule.body, &HashSet::new());
+
+    // Aggregate bodies must themselves be grounded (given outer bindings),
+    // and then every used variable must be bound.
+    for lit in &rule.body {
+        if let Literal::Constraint(c) = lit {
+            for agg in [&c.lhs, &c.rhs] {
+                check_aggregates(agg, &bound)?;
+            }
+        }
+    }
+
+    let mut used: Vec<(&str, crate::span::Span)> = Vec::new();
+    for arg in &rule.head.args {
+        collect_used(arg, &mut used);
+    }
+    for lit in &rule.body {
+        match lit {
+            Literal::Positive(a) => {
+                // Complex expressions in positive-atom arguments consume.
+                for arg in &a.args {
+                    if !matches!(arg, Expr::Var(..) | Expr::Wildcard(..)) {
+                        collect_used(arg, &mut used);
+                    }
+                }
+            }
+            Literal::Negative(a) => {
+                for arg in &a.args {
+                    collect_used(arg, &mut used);
+                }
+            }
+            Literal::Constraint(c) => {
+                collect_used_outer(&c.lhs, &mut used);
+                collect_used_outer(&c.rhs, &mut used);
+            }
+        }
+    }
+    for (v, span) in used {
+        if !bound.contains(v) {
+            return Err(SemanticError::new(
+                format!("variable `{v}` is not grounded by a positive body atom"),
+                span,
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Computes the set of variables grounded by `body`, starting from
+/// `outer` (used for aggregate bodies, which inherit outer bindings).
+pub fn fixpoint_bindings<'a>(body: &'a [Literal], outer: &HashSet<&'a str>) -> HashSet<&'a str> {
+    let mut bound: HashSet<&'a str> = outer.clone();
+    // Positive atoms bind their direct variable arguments.
+    for lit in body {
+        if let Literal::Positive(a) = lit {
+            for arg in &a.args {
+                if let Expr::Var(v, _) = arg {
+                    bound.insert(v);
+                }
+            }
+        }
+    }
+    // Equalities propagate bindings until fixpoint.
+    loop {
+        let mut grew = false;
+        for lit in body {
+            let Literal::Constraint(c) = lit else {
+                continue;
+            };
+            if c.op != CmpOp::Eq {
+                continue;
+            }
+            for (maybe_var, other) in [(&c.lhs, &c.rhs), (&c.rhs, &c.lhs)] {
+                if let Expr::Var(v, _) = maybe_var {
+                    if !bound.contains(v.as_str()) && expr_grounded(other, &bound) {
+                        bound.insert(v);
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            return bound;
+        }
+    }
+}
+
+/// Whether all free variables of `e` are in `bound`. Aggregates are
+/// considered grounded iff their own body grounds their value expression
+/// (checked separately in [`check_aggregates`]); here they always count as
+/// grounded values.
+fn expr_grounded(e: &Expr, bound: &HashSet<&str>) -> bool {
+    match e {
+        Expr::Var(v, _) => bound.contains(v.as_str()),
+        Expr::Wildcard(_) => false,
+        Expr::Number(..) | Expr::Float(..) | Expr::Str(..) | Expr::Counter(_) => true,
+        Expr::Binary { lhs, rhs, .. } => expr_grounded(lhs, bound) && expr_grounded(rhs, bound),
+        Expr::Unary { expr, .. } => expr_grounded(expr, bound),
+        Expr::Call { args, .. } => args.iter().all(|a| expr_grounded(a, bound)),
+        Expr::Aggregate { .. } => true,
+    }
+}
+
+/// Collects variables *consumed* by an expression (all of them).
+fn collect_used<'a>(e: &'a Expr, out: &mut Vec<(&'a str, crate::span::Span)>) {
+    match e {
+        Expr::Var(v, span) => out.push((v, *span)),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_used(lhs, out);
+            collect_used(rhs, out);
+        }
+        Expr::Unary { expr, .. } => collect_used(expr, out),
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_used(a, out);
+            }
+        }
+        // Aggregate bodies have their own scope, handled separately.
+        _ => {}
+    }
+}
+
+/// Like [`collect_used`] but skips direct `Var` at the top (an equality
+/// `X = e` defines `X` rather than using it; the fixpoint decides).
+fn collect_used_outer<'a>(e: &'a Expr, out: &mut Vec<(&'a str, crate::span::Span)>) {
+    if matches!(e, Expr::Var(..)) {
+        // Definition or use — the binding fixpoint covers both; if it did
+        // not get bound, the error surfaces through the other side or the
+        // head. To catch genuinely free constraint vars (e.g. `x < 3` with
+        // x never bound), still record it.
+        if let Expr::Var(v, span) = e {
+            out.push((v, *span));
+        }
+        return;
+    }
+    collect_used(e, out);
+}
+
+/// Checks aggregate sub-queries nested in `e`: the aggregate body must be
+/// grounded (with outer bindings visible), and the aggregated value
+/// expression must be grounded by the aggregate body.
+fn check_aggregates(e: &Expr, outer: &HashSet<&str>) -> Result<(), SemanticError> {
+    match e {
+        Expr::Aggregate {
+            value, body, span, ..
+        } => {
+            let inner = fixpoint_bindings(body, outer);
+            if let Some(v) = value {
+                let mut used = Vec::new();
+                collect_used(v, &mut used);
+                for (var, vspan) in used {
+                    if !inner.contains(var) {
+                        return Err(SemanticError::new(
+                            format!("aggregate value variable `{var}` is not grounded"),
+                            vspan,
+                        ));
+                    }
+                }
+            }
+            // Negations/constraints inside the aggregate body must be
+            // grounded too.
+            for lit in body {
+                match lit {
+                    Literal::Negative(a) => {
+                        let mut used = Vec::new();
+                        for arg in &a.args {
+                            collect_used(arg, &mut used);
+                        }
+                        for (var, vspan) in used {
+                            if !inner.contains(var) {
+                                return Err(SemanticError::new(
+                                    format!("variable `{var}` in aggregate body is not grounded"),
+                                    vspan,
+                                ));
+                            }
+                        }
+                    }
+                    Literal::Constraint(c) => {
+                        for side in [&c.lhs, &c.rhs] {
+                            check_aggregates(side, &inner)?;
+                        }
+                    }
+                    Literal::Positive(_) => {}
+                }
+            }
+            let _ = span;
+            Ok(())
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            check_aggregates(lhs, outer)?;
+            check_aggregates(rhs, outer)
+        }
+        Expr::Unary { expr, .. } => check_aggregates(expr, outer),
+        Expr::Call { args, .. } => {
+            for a in args {
+                check_aggregates(a, outer)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), SemanticError> {
+        check_groundedness(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn positive_atoms_ground_their_vars() {
+        check("p(x, y) :- e(x, y).").expect("grounded");
+    }
+
+    #[test]
+    fn head_var_must_be_bound() {
+        let err = check("p(x, z) :- e(x, y).").unwrap_err();
+        assert!(err.msg.contains("`z`"));
+    }
+
+    #[test]
+    fn negation_does_not_bind() {
+        let err = check("p(x) :- !e(x).").unwrap_err();
+        assert!(err.msg.contains("`x`"));
+        check("p(x) :- d(x), !e(x).").expect("grounded via d");
+    }
+
+    #[test]
+    fn equalities_propagate_bindings() {
+        check("p(y) :- e(x), y = x + 1.").expect("grounded");
+        check("p(z) :- e(x), y = x + 1, z = y * 2.").expect("chained");
+        let err = check("p(y) :- e(x), y = w + 1.").unwrap_err();
+        assert!(err.msg.contains("`w`") || err.msg.contains("`y`"));
+    }
+
+    #[test]
+    fn comparison_does_not_bind() {
+        let err = check("p(x) :- e(y), x < y.").unwrap_err();
+        assert!(err.msg.contains("`x`"));
+    }
+
+    #[test]
+    fn complex_args_in_positive_atoms_consume() {
+        let err = check("p(1) :- e(x + 1).").unwrap_err();
+        assert!(err.msg.contains("`x`"));
+        check("p(1) :- d(x), e(x + 1).").expect("grounded");
+    }
+
+    #[test]
+    fn aggregate_value_must_be_bound_by_its_body() {
+        check("p(n) :- n = sum x : { f(x) }.").expect("grounded");
+        let err = check("p(n) :- n = sum y : { f(x) }.").unwrap_err();
+        assert!(err.msg.contains("`y`"));
+    }
+
+    #[test]
+    fn aggregates_see_outer_bindings() {
+        check("p(n, k) :- g(k), n = count : { f(k, _) }.").expect("grounded");
+    }
+}

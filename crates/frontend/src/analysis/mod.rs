@@ -1,0 +1,84 @@
+//! Semantic analysis: name/arity resolution, type checks, groundedness,
+//! and stratification.
+//!
+//! [`analyze`] runs all passes and produces a [`CheckedProgram`], the
+//! contract consumed by the RAM translator: every atom refers to a declared
+//! relation with the right arity, every rule is range-restricted
+//! (grounded), and the rules are partitioned into [`Stratum`]s that can be
+//! evaluated bottom-up with semi-naive evaluation inside each stratum.
+
+pub mod graph;
+pub mod ground;
+pub mod resolve;
+pub mod stratify;
+pub mod types;
+
+use crate::ast::Program;
+use crate::error::SemanticError;
+use std::collections::BTreeMap;
+
+/// Everything known about one declared relation after analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationInfo {
+    /// Index of the declaration in `ast.decls`.
+    pub decl_index: usize,
+    /// Whether facts are supplied externally (`.input`).
+    pub is_input: bool,
+    /// Whether results are reported (`.output`).
+    pub is_output: bool,
+}
+
+/// One evaluation stratum: a strongly connected component of the relation
+/// dependency graph, in bottom-up order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stratum {
+    /// Relations defined in this stratum.
+    pub relations: Vec<String>,
+    /// Indices (into `ast.rules`) of the rules whose heads live here.
+    pub rules: Vec<usize>,
+    /// Whether the stratum is recursive (needs fixpoint iteration).
+    pub recursive: bool,
+}
+
+/// A parsed program that passed all semantic checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedProgram {
+    /// The (normalized) AST.
+    pub ast: Program,
+    /// Per-relation metadata, keyed by name.
+    pub relations: BTreeMap<String, RelationInfo>,
+    /// Strata in bottom-up evaluation order.
+    pub strata: Vec<Stratum>,
+}
+
+impl CheckedProgram {
+    /// The declaration of `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a checked relation (analysis guarantees all
+    /// referenced names are).
+    pub fn decl(&self, name: &str) -> &crate::ast::RelationDecl {
+        let info = &self.relations[name];
+        &self.ast.decls[info.decl_index]
+    }
+}
+
+/// Runs all semantic passes over a parsed program.
+///
+/// # Errors
+///
+/// Returns the first violation found: undeclared/duplicate relations,
+/// arity mismatches, non-constant facts, head wildcards, type conflicts,
+/// ungrounded variables, or unstratifiable negation/aggregation.
+pub fn analyze(ast: Program) -> Result<CheckedProgram, SemanticError> {
+    let relations = resolve::resolve(&ast)?;
+    types::check_types(&ast)?;
+    ground::check_groundedness(&ast)?;
+    let strata = stratify::stratify(&ast)?;
+    Ok(CheckedProgram {
+        ast,
+        relations,
+        strata,
+    })
+}

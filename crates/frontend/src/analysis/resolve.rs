@@ -1,0 +1,285 @@
+//! Name and arity resolution.
+//!
+//! Checks that every atom refers to a declared relation with matching
+//! arity, that declarations are unique and within the engine's arity
+//! budget, that facts are ground constants, that `eqrel` relations are
+//! binary, and that wildcards/`$` appear only where allowed.
+
+use crate::analysis::RelationInfo;
+use crate::ast::{Atom, Expr, Literal, Program, ReprHint};
+use crate::error::SemanticError;
+use std::collections::BTreeMap;
+
+/// The engine's pre-instantiated arity budget (kept in sync with
+/// `stir_der::MAX_ARITY`; duplicated here so the frontend has no
+/// dependency on the data-structure crate).
+pub const MAX_ARITY: usize = 16;
+
+/// Runs resolution, returning per-relation metadata.
+///
+/// # Errors
+///
+/// See module docs.
+pub fn resolve(ast: &Program) -> Result<BTreeMap<String, RelationInfo>, SemanticError> {
+    let mut relations: BTreeMap<String, RelationInfo> = BTreeMap::new();
+    for (i, d) in ast.decls.iter().enumerate() {
+        if relations.contains_key(&d.name) {
+            return Err(SemanticError::new(
+                format!("relation `{}` declared twice", d.name),
+                d.span,
+            ));
+        }
+        if d.arity() > MAX_ARITY {
+            return Err(SemanticError::new(
+                format!(
+                    "relation `{}` has arity {}, exceeding the supported maximum of {MAX_ARITY}",
+                    d.name,
+                    d.arity()
+                ),
+                d.span,
+            ));
+        }
+        if d.repr == ReprHint::EqRel && d.arity() != 2 {
+            return Err(SemanticError::new(
+                format!("eqrel relation `{}` must be binary", d.name),
+                d.span,
+            ));
+        }
+        relations.insert(
+            d.name.clone(),
+            RelationInfo {
+                decl_index: i,
+                is_input: false,
+                is_output: false,
+            },
+        );
+    }
+
+    for name in &ast.inputs {
+        match relations.get_mut(name) {
+            Some(info) => info.is_input = true,
+            None => {
+                return Err(SemanticError::new(
+                    format!("`.input {name}` refers to an undeclared relation"),
+                    Default::default(),
+                ))
+            }
+        }
+    }
+    for name in &ast.outputs {
+        match relations.get_mut(name) {
+            Some(info) => info.is_output = true,
+            None => {
+                return Err(SemanticError::new(
+                    format!("`.output {name}` refers to an undeclared relation"),
+                    Default::default(),
+                ))
+            }
+        }
+    }
+
+    let check_atom = |atom: &Atom| -> Result<(), SemanticError> {
+        let Some(info) = relations.get(&atom.name) else {
+            return Err(SemanticError::new(
+                format!("undeclared relation `{}`", atom.name),
+                atom.span,
+            ));
+        };
+        let decl = &ast.decls[info.decl_index];
+        if decl.arity() != atom.args.len() {
+            return Err(SemanticError::new(
+                format!(
+                    "relation `{}` has arity {}, but is used with {} argument(s)",
+                    atom.name,
+                    decl.arity(),
+                    atom.args.len()
+                ),
+                atom.span,
+            ));
+        }
+        Ok(())
+    };
+
+    // Facts: declared, right arity, all-constant arguments.
+    for fact in &ast.facts {
+        check_atom(&fact.atom)?;
+        for arg in &fact.atom.args {
+            if !arg.is_constant() {
+                return Err(SemanticError::new(
+                    format!("fact argument `{arg}` is not a constant"),
+                    arg.span(),
+                ));
+            }
+        }
+    }
+
+    // Rules: every atom (including inside aggregates) declared with the
+    // right arity; wildcards and `$` only where legal.
+    for rule in &ast.rules {
+        check_atom(&rule.head)?;
+        for arg in &rule.head.args {
+            check_head_expr(arg)?;
+        }
+        check_literals(&rule.body, &check_atom)?;
+    }
+    Ok(relations)
+}
+
+fn check_literals(
+    body: &[Literal],
+    check_atom: &dyn Fn(&Atom) -> Result<(), SemanticError>,
+) -> Result<(), SemanticError> {
+    for lit in body {
+        match lit {
+            Literal::Positive(a) | Literal::Negative(a) => {
+                check_atom(a)?;
+                for arg in &a.args {
+                    check_body_expr(arg, check_atom)?;
+                }
+            }
+            Literal::Constraint(c) => {
+                check_body_expr(&c.lhs, check_atom)?;
+                check_body_expr(&c.rhs, check_atom)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Head arguments: no wildcards, no aggregates.
+fn check_head_expr(e: &Expr) -> Result<(), SemanticError> {
+    match e {
+        Expr::Wildcard(span) => Err(SemanticError::new(
+            "wildcard `_` is not allowed in a rule head",
+            *span,
+        )),
+        Expr::Aggregate { span, .. } => Err(SemanticError::new(
+            "aggregates are not allowed in a rule head",
+            *span,
+        )),
+        Expr::Binary { lhs, rhs, .. } => {
+            check_head_expr(lhs)?;
+            check_head_expr(rhs)
+        }
+        Expr::Unary { expr, .. } => check_head_expr(expr),
+        Expr::Call { args, .. } => {
+            for a in args {
+                check_head_expr(a)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Body expressions: `$` is head-only; aggregate bodies are checked
+/// recursively.
+fn check_body_expr(
+    e: &Expr,
+    check_atom: &dyn Fn(&Atom) -> Result<(), SemanticError>,
+) -> Result<(), SemanticError> {
+    match e {
+        Expr::Counter(span) => Err(SemanticError::new(
+            "the counter `$` is only allowed in a rule head",
+            *span,
+        )),
+        Expr::Binary { lhs, rhs, .. } => {
+            check_body_expr(lhs, check_atom)?;
+            check_body_expr(rhs, check_atom)
+        }
+        Expr::Unary { expr, .. } => check_body_expr(expr, check_atom),
+        Expr::Call { args, .. } => {
+            for a in args {
+                check_body_expr(a, check_atom)?;
+            }
+            Ok(())
+        }
+        Expr::Aggregate { body, value, .. } => {
+            if let Some(v) = value {
+                check_body_expr(v, check_atom)?;
+            }
+            check_literals(body, check_atom)
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn resolve_src(src: &str) -> Result<BTreeMap<String, RelationInfo>, SemanticError> {
+        resolve(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn accepts_well_formed_programs() {
+        let rels = resolve_src(
+            ".decl e(x: number, y: number)\n.decl p(x: number, y: number)\n\
+             .input e\n.output p\n\
+             e(1, 2).\np(x, y) :- e(x, y).",
+        )
+        .expect("resolves");
+        assert!(rels["e"].is_input);
+        assert!(rels["p"].is_output);
+        assert!(!rels["p"].is_input);
+    }
+
+    #[test]
+    fn rejects_undeclared_and_arity_errors() {
+        assert!(resolve_src("p(x) :- q(x).")
+            .unwrap_err()
+            .msg
+            .contains("undeclared"));
+        let err =
+            resolve_src(".decl q(x: number)\n.decl p(x: number)\np(x) :- q(x, x).").unwrap_err();
+        assert!(err.msg.contains("arity"));
+    }
+
+    #[test]
+    fn rejects_duplicate_declarations() {
+        let err = resolve_src(".decl p(x: number)\n.decl p(y: number)").unwrap_err();
+        assert!(err.msg.contains("declared twice"));
+    }
+
+    #[test]
+    fn rejects_non_constant_facts() {
+        let err = resolve_src(".decl p(x: number)\np(x).").unwrap_err();
+        assert!(err.msg.contains("not a constant"));
+    }
+
+    #[test]
+    fn rejects_head_wildcards_and_body_counters() {
+        let err = resolve_src(".decl p(x: number)\n.decl q(x: number)\np(_) :- q(_).").unwrap_err();
+        assert!(err.msg.contains("wildcard"));
+        let err = resolve_src(".decl p(x: number)\n.decl q(x: number)\np(1) :- q($).").unwrap_err();
+        assert!(err.msg.contains("counter"));
+    }
+
+    #[test]
+    fn rejects_nonbinary_eqrel() {
+        let err = resolve_src(".decl e(x: number, y: number, z: number) eqrel").unwrap_err();
+        assert!(err.msg.contains("binary"));
+    }
+
+    #[test]
+    fn rejects_oversized_arity() {
+        let attrs: Vec<String> = (0..17).map(|i| format!("a{i}: number")).collect();
+        let src = format!(".decl big({})", attrs.join(", "));
+        let err = resolve_src(&src).unwrap_err();
+        assert!(err.msg.contains("arity 17"));
+    }
+
+    #[test]
+    fn checks_atoms_inside_aggregates() {
+        let err = resolve_src(".decl p(x: number)\np(n) :- n = count : { ghost(_) }.").unwrap_err();
+        assert!(err.msg.contains("undeclared relation `ghost`"));
+    }
+
+    #[test]
+    fn rejects_unknown_io_directives() {
+        let err = resolve_src(".input nope").unwrap_err();
+        assert!(err.msg.contains("undeclared"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Stratification: SCC condensation of the relation dependency graph.
+//!
+//! Edges run from a rule's head relation to every relation used in its
+//! body. Negated atoms and relations inside aggregate bodies induce
+//! *negative* edges: the consumer needs the producer to be complete, so a
+//! negative edge within a strongly connected component makes the program
+//! unstratifiable and is rejected (standard stratified-Datalog semantics).
+
+use crate::analysis::graph::DiGraph;
+use crate::analysis::Stratum;
+use crate::ast::{Expr, Literal, Program};
+use crate::error::SemanticError;
+use std::collections::HashMap;
+
+/// Computes the strata of a checked program in bottom-up order.
+///
+/// # Errors
+///
+/// Rejects programs where negation or aggregation is involved in a
+/// recursive cycle.
+pub fn stratify(ast: &Program) -> Result<Vec<Stratum>, SemanticError> {
+    let names: Vec<&str> = ast.decls.iter().map(|d| d.name.as_str()).collect();
+    let ids: HashMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    let mut graph = DiGraph::new(names.len());
+    // (head, body) pairs that must not share a component.
+    let mut negative: Vec<(usize, usize, crate::span::Span)> = Vec::new();
+
+    for rule in &ast.rules {
+        let head = ids[rule.head.name.as_str()];
+        for lit in &rule.body {
+            collect_edges(lit, head, &ids, &mut graph, &mut negative);
+        }
+    }
+
+    let sccs = graph.sccs();
+    let mut component_of = vec![0usize; names.len()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &v in comp {
+            component_of[v] = ci;
+        }
+    }
+
+    for (head, body, span) in negative {
+        if component_of[head] == component_of[body] {
+            return Err(SemanticError::new(
+                format!(
+                    "program is not stratifiable: `{}` depends negatively on `{}` within a recursive cycle",
+                    names[head], names[body]
+                ),
+                span,
+            ));
+        }
+    }
+
+    // Build strata. A component is recursive if it has more than one
+    // relation or a self-edge.
+    let mut rules_of: Vec<Vec<usize>> = vec![Vec::new(); sccs.len()];
+    for (ri, rule) in ast.rules.iter().enumerate() {
+        let head = ids[rule.head.name.as_str()];
+        rules_of[component_of[head]].push(ri);
+    }
+
+    let mut strata = Vec::with_capacity(sccs.len());
+    for (ci, comp) in sccs.iter().enumerate() {
+        let recursive = comp.len() > 1 || comp.iter().any(|&v| graph.successors(v).contains(&v));
+        strata.push(Stratum {
+            relations: comp.iter().map(|&v| names[v].to_owned()).collect(),
+            rules: rules_of[ci].clone(),
+            recursive,
+        });
+    }
+    Ok(strata)
+}
+
+fn collect_edges(
+    lit: &Literal,
+    head: usize,
+    ids: &HashMap<&str, usize>,
+    graph: &mut DiGraph,
+    negative: &mut Vec<(usize, usize, crate::span::Span)>,
+) {
+    match lit {
+        Literal::Positive(a) => {
+            graph.add_edge(head, ids[a.name.as_str()]);
+            for arg in &a.args {
+                collect_expr_edges(arg, head, ids, graph, negative);
+            }
+        }
+        Literal::Negative(a) => {
+            let body = ids[a.name.as_str()];
+            graph.add_edge(head, body);
+            negative.push((head, body, a.span));
+        }
+        Literal::Constraint(c) => {
+            collect_expr_edges(&c.lhs, head, ids, graph, negative);
+            collect_expr_edges(&c.rhs, head, ids, graph, negative);
+        }
+    }
+}
+
+fn collect_expr_edges(
+    e: &Expr,
+    head: usize,
+    ids: &HashMap<&str, usize>,
+    graph: &mut DiGraph,
+    negative: &mut Vec<(usize, usize, crate::span::Span)>,
+) {
+    match e {
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_expr_edges(lhs, head, ids, graph, negative);
+            collect_expr_edges(rhs, head, ids, graph, negative);
+        }
+        Expr::Unary { expr, .. } => collect_expr_edges(expr, head, ids, graph, negative),
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_expr_edges(a, head, ids, graph, negative);
+            }
+        }
+        Expr::Aggregate { body, span, .. } => {
+            // Aggregation requires complete inputs: negative-strength edges
+            // to every relation in the aggregate body.
+            for lit in body {
+                match lit {
+                    Literal::Positive(a) | Literal::Negative(a) => {
+                        let b = ids[a.name.as_str()];
+                        graph.add_edge(head, b);
+                        negative.push((head, b, *span));
+                    }
+                    Literal::Constraint(c) => {
+                        collect_expr_edges(&c.lhs, head, ids, graph, negative);
+                        collect_expr_edges(&c.rhs, head, ids, graph, negative);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn strata_of(src: &str) -> Result<Vec<Stratum>, SemanticError> {
+        stratify(&parse(src).expect("parses"))
+    }
+
+    const TC: &str = "\
+        .decl e(x: number, y: number)\n\
+        .decl p(x: number, y: number)\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, z) :- p(x, y), e(y, z).\n";
+
+    #[test]
+    fn transitive_closure_has_recursive_stratum() {
+        let strata = strata_of(TC).expect("stratifies");
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0].relations, vec!["e"]);
+        assert!(!strata[0].recursive);
+        assert_eq!(strata[1].relations, vec!["p"]);
+        assert!(strata[1].recursive);
+        assert_eq!(strata[1].rules.len(), 2);
+    }
+
+    #[test]
+    fn mutual_recursion_shares_a_stratum() {
+        let strata = strata_of(
+            ".decl a(x: number)\n.decl b(x: number)\n.decl s(x: number)\n\
+             a(x) :- s(x).\n\
+             a(x) :- b(x).\n\
+             b(x) :- a(x), s(x).\n",
+        )
+        .expect("stratifies");
+        let rec: Vec<_> = strata.iter().filter(|s| s.recursive).collect();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].relations, vec!["a", "b"]);
+        assert_eq!(rec[0].rules.len(), 3);
+    }
+
+    #[test]
+    fn negation_across_strata_is_fine() {
+        let strata = strata_of(
+            ".decl e(x: number)\n.decl p(x: number)\n.decl q(x: number)\n\
+             p(x) :- e(x).\n\
+             q(x) :- e(x), !p(x).\n",
+        )
+        .expect("stratifies");
+        let pos = |name: &str| {
+            strata
+                .iter()
+                .position(|s| s.relations.contains(&name.to_owned()))
+                .unwrap()
+        };
+        assert!(pos("p") < pos("q"));
+    }
+
+    #[test]
+    fn negation_in_cycle_is_rejected() {
+        let err = strata_of(
+            ".decl p(x: number)\n.decl q(x: number)\n.decl s(x: number)\n\
+             p(x) :- s(x), !q(x).\n\
+             q(x) :- s(x), !p(x).\n",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("not stratifiable"));
+    }
+
+    #[test]
+    fn self_negation_is_rejected() {
+        let err = strata_of(".decl s(x: number)\n.decl p(x: number)\np(x) :- s(x), !p(x).\n")
+            .unwrap_err();
+        assert!(err.msg.contains("not stratifiable"));
+    }
+
+    #[test]
+    fn aggregate_over_own_stratum_is_rejected() {
+        let err = strata_of(
+            ".decl p(x: number)\n.decl s(x: number)\n\
+             p(n) :- s(n).\n\
+             p(n) :- n = count : { p(_) }.\n",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("not stratifiable"));
+    }
+
+    #[test]
+    fn aggregate_over_lower_stratum_is_fine() {
+        let strata = strata_of(
+            ".decl e(x: number)\n.decl total(n: number)\n\
+             total(n) :- n = count : { e(_) }.\n",
+        )
+        .expect("stratifies");
+        assert_eq!(strata.len(), 2);
+    }
+
+    #[test]
+    fn facts_only_relations_form_leaf_strata() {
+        let strata = strata_of(".decl e(x: number)\ne(1).").expect("stratifies");
+        assert_eq!(strata.len(), 1);
+        assert!(!strata[0].recursive);
+        assert!(strata[0].rules.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Lightweight type checking.
+//!
+//! The engine's value domain is untyped bits; typing exists to catch
+//! obvious source-level mistakes and to drive I/O and functor semantics:
+//!
+//! * constants in atom arguments must match the declared attribute type;
+//! * a variable occurring directly in several atom positions must see a
+//!   single type;
+//! * symbol-typed values cannot flow into arithmetic, and vice versa
+//!   (checked shallowly through direct variable/constant occurrences).
+
+use crate::ast::{AttrType, Expr, Literal, Program};
+use crate::error::SemanticError;
+use std::collections::HashMap;
+
+/// Checks all facts and rules.
+///
+/// # Errors
+///
+/// Reports the first type conflict found.
+pub fn check_types(ast: &Program) -> Result<(), SemanticError> {
+    let decls: HashMap<&str, &crate::ast::RelationDecl> =
+        ast.decls.iter().map(|d| (d.name.as_str(), d)).collect();
+
+    for fact in &ast.facts {
+        if let Some(decl) = decls.get(fact.atom.name.as_str()) {
+            for (arg, attr) in fact.atom.args.iter().zip(&decl.attrs) {
+                check_constant(arg, attr.ty)?;
+            }
+        }
+    }
+
+    for rule in &ast.rules {
+        let mut vars: HashMap<&str, (AttrType, crate::span::Span)> = HashMap::new();
+        // First pass: infer variable types from all atom positions.
+        let mut atoms: Vec<&crate::ast::Atom> = vec![&rule.head];
+        collect_atoms(&rule.body, &mut atoms);
+        for atom in &atoms {
+            let Some(decl) = decls.get(atom.name.as_str()) else {
+                continue; // resolution reports this
+            };
+            for (arg, attr) in atom.args.iter().zip(&decl.attrs) {
+                match arg {
+                    Expr::Var(v, span) => {
+                        if let Some((prev, _)) = vars.get(v.as_str()) {
+                            if *prev != attr.ty {
+                                return Err(SemanticError::new(
+                                    format!(
+                                        "variable `{v}` used with conflicting types `{prev}` and `{}`",
+                                        attr.ty
+                                    ),
+                                    *span,
+                                ));
+                            }
+                        } else {
+                            vars.insert(v, (attr.ty, *span));
+                        }
+                    }
+                    e if e.is_constant() => check_constant(e, attr.ty)?,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_atoms<'a>(body: &'a [Literal], out: &mut Vec<&'a crate::ast::Atom>) {
+    for lit in body {
+        match lit {
+            Literal::Positive(a) | Literal::Negative(a) => out.push(a),
+            Literal::Constraint(c) => {
+                for side in [&c.lhs, &c.rhs] {
+                    collect_agg_atoms(side, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_agg_atoms<'a>(e: &'a Expr, out: &mut Vec<&'a crate::ast::Atom>) {
+    match e {
+        Expr::Aggregate { body, .. } => collect_atoms(body, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_agg_atoms(lhs, out);
+            collect_agg_atoms(rhs, out);
+        }
+        Expr::Unary { expr, .. } => collect_agg_atoms(expr, out),
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_agg_atoms(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn check_constant(e: &Expr, expected: AttrType) -> Result<(), SemanticError> {
+    let ok = match (e, expected) {
+        (Expr::Number(n, _), AttrType::Number) => i32::try_from(*n).is_ok(),
+        (Expr::Number(n, _), AttrType::Unsigned) => u32::try_from(*n).is_ok(),
+        (Expr::Number(..), AttrType::Float) => true, // integer literal widens
+        (Expr::Float(..), AttrType::Float) => true,
+        (Expr::Str(..), AttrType::Symbol) => true,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(SemanticError::new(
+            format!("constant `{e}` does not fit attribute type `{expected}`"),
+            e.span(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), SemanticError> {
+        check_types(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn constants_must_match_declared_types() {
+        check(".decl p(x: number, s: symbol)\np(1, \"a\").").expect("typed");
+        let err = check(".decl p(x: number)\np(\"oops\").").unwrap_err();
+        assert!(err.msg.contains("does not fit"));
+        let err = check(".decl p(s: symbol)\np(3).").unwrap_err();
+        assert!(err.msg.contains("does not fit"));
+    }
+
+    #[test]
+    fn numeric_ranges_are_enforced() {
+        check(".decl p(x: unsigned)\np(4000000000).").expect("fits u32");
+        let err = check(".decl p(x: number)\np(4000000000).").unwrap_err();
+        assert!(err.msg.contains("does not fit"));
+        let err = check(".decl p(x: unsigned)\np(-1).").unwrap_err();
+        assert!(err.msg.contains("does not fit"));
+    }
+
+    #[test]
+    fn variables_need_consistent_types() {
+        let err = check(
+            ".decl n(x: number)\n.decl s(x: symbol)\n.decl p(x: number)\n\
+             p(x) :- n(x), s(x).",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("conflicting types"));
+        check(
+            ".decl n(x: number)\n.decl m(x: number)\n.decl p(x: number)\n\
+             p(x) :- n(x), m(x).",
+        )
+        .expect("consistent");
+    }
+
+    #[test]
+    fn aggregate_bodies_participate() {
+        let err = check(
+            ".decl n(x: number)\n.decl s(x: symbol)\n.decl p(x: number)\n\
+             p(c) :- n(c), c = count : { n(y), s(y) }.",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("conflicting types"));
+    }
+
+    #[test]
+    fn integer_literals_widen_to_float() {
+        check(".decl p(x: float)\np(3). p(2.5).").expect("typed");
+    }
+}

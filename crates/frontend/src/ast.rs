@@ -1,0 +1,642 @@
+//! The abstract syntax tree of a Datalog program.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Attribute (column) types.
+///
+/// All of them are stored as `u32` bit patterns at runtime; the type
+/// steers functor semantics and I/O formatting (de-specialization step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Signed 32-bit integer (`number`).
+    Number,
+    /// Unsigned 32-bit integer (`unsigned`).
+    Unsigned,
+    /// 32-bit IEEE float (`float`).
+    Float,
+    /// Interned string (`symbol`).
+    Symbol,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Number => write!(f, "number"),
+            AttrType::Unsigned => write!(f, "unsigned"),
+            AttrType::Float => write!(f, "float"),
+            AttrType::Symbol => write!(f, "symbol"),
+        }
+    }
+}
+
+/// Representation hint on a relation declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReprHint {
+    /// No hint: the planner chooses (B-tree).
+    #[default]
+    Default,
+    /// Force B-tree indexes.
+    BTree,
+    /// Force Brie indexes.
+    Brie,
+    /// Union-find equivalence relation (binary relations only).
+    EqRel,
+}
+
+/// One declared attribute: `name: type`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+/// A relation declaration (`.decl`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationDecl {
+    /// Relation name.
+    pub name: String,
+    /// Declared attributes in order.
+    pub attrs: Vec<Attribute>,
+    /// Representation hint.
+    pub repr: ReprHint,
+    /// Source location.
+    pub span: Span,
+}
+
+impl RelationDecl {
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// Binary operators in value expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `^` (exponentiation)
+    Pow,
+    /// `band` (bitwise and)
+    Band,
+    /// `bor` (bitwise or)
+    Bor,
+    /// `bxor` (bitwise xor)
+    Bxor,
+    /// `bshl` (shift left)
+    Bshl,
+    /// `bshr` (shift right)
+    Bshr,
+    /// `land` (logical and: nonzero ∧ nonzero)
+    Land,
+    /// `lor` (logical or)
+    Lor,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Pow => "^",
+            BinOp::Band => "band",
+            BinOp::Bor => "bor",
+            BinOp::Bxor => "bxor",
+            BinOp::Bshl => "bshl",
+            BinOp::Bshr => "bshr",
+            BinOp::Land => "land",
+            BinOp::Lor => "lor",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Bitwise complement `bnot`.
+    Bnot,
+    /// Logical not `lnot`.
+    Lnot,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Bnot => write!(f, "bnot"),
+            UnOp::Lnot => write!(f, "lnot"),
+        }
+    }
+}
+
+/// Built-in functors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Functor {
+    /// `cat(a, b)`: string concatenation.
+    Cat,
+    /// `ord(s)`: the symbol id of a string.
+    Ord,
+    /// `strlen(s)`: string length.
+    Strlen,
+    /// `substr(s, from, len)`: substring.
+    Substr,
+    /// `to_number(s)`: parse a string as a number.
+    ToNumber,
+    /// `to_string(n)`: render a number as a string.
+    ToString,
+    /// `min(a, b)`: binary minimum.
+    Min,
+    /// `max(a, b)`: binary maximum.
+    Max,
+}
+
+impl Functor {
+    /// The functor's argument count.
+    pub fn arity(self) -> usize {
+        match self {
+            Functor::Cat | Functor::Min | Functor::Max => 2,
+            Functor::Substr => 3,
+            _ => 1,
+        }
+    }
+
+    /// Parses a functor name.
+    pub fn from_name(name: &str) -> Option<Functor> {
+        Some(match name {
+            "cat" => Functor::Cat,
+            "ord" => Functor::Ord,
+            "strlen" => Functor::Strlen,
+            "substr" => Functor::Substr,
+            "to_number" => Functor::ToNumber,
+            "to_string" => Functor::ToString,
+            "min" => Functor::Min,
+            "max" => Functor::Max,
+            _ => return None,
+        })
+    }
+
+    /// The surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Functor::Cat => "cat",
+            Functor::Ord => "ord",
+            Functor::Strlen => "strlen",
+            Functor::Substr => "substr",
+            Functor::ToNumber => "to_number",
+            Functor::ToString => "to_string",
+            Functor::Min => "min",
+            Functor::Max => "max",
+        }
+    }
+}
+
+/// Aggregate kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `count : { body }`
+    Count,
+    /// `sum e : { body }`
+    Sum,
+    /// `min e : { body }`
+    Min,
+    /// `max e : { body }`
+    Max,
+}
+
+impl AggKind {
+    /// Parses an aggregate keyword.
+    pub fn from_name(name: &str) -> Option<AggKind> {
+        Some(match name {
+            "count" => AggKind::Count,
+            "sum" => AggKind::Sum,
+            "min" => AggKind::Min,
+            "max" => AggKind::Max,
+            _ => return None,
+        })
+    }
+
+    /// The surface keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+        }
+    }
+}
+
+/// A value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String, Span),
+    /// The anonymous variable `_`.
+    Wildcard(Span),
+    /// An integer literal (signed/unsigned resolution happens in typing).
+    Number(i64, Span),
+    /// A float literal.
+    Float(f32, Span),
+    /// A string literal.
+    Str(String, Span),
+    /// The auto-increment counter `$`.
+    Counter(Span),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A functor call.
+    Call {
+        /// Which functor.
+        func: Functor,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// An aggregate sub-query, e.g. `sum x : { f(x) }`.
+    Aggregate {
+        /// Aggregate kind.
+        kind: AggKind,
+        /// The aggregated expression (`None` for `count`).
+        value: Option<Box<Expr>>,
+        /// The aggregate body literals.
+        body: Vec<Literal>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Var(_, s)
+            | Expr::Wildcard(s)
+            | Expr::Number(_, s)
+            | Expr::Float(_, s)
+            | Expr::Str(_, s)
+            | Expr::Counter(s) => *s,
+            Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Aggregate { span, .. } => *span,
+        }
+    }
+
+    /// Whether this is a constant literal.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Expr::Number(..) | Expr::Float(..) | Expr::Str(..))
+    }
+
+    /// Collects the free variables of the expression into `out`
+    /// (aggregate bodies bind their own variables and are skipped).
+    pub fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(v, _) => out.push(v),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_vars(out),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v, _) => write!(f, "{v}"),
+            Expr::Wildcard(_) => write!(f, "_"),
+            Expr::Number(n, _) => write!(f, "{n}"),
+            Expr::Float(x, _) => write!(f, "{x}"),
+            Expr::Str(s, _) => write!(f, "{s:?}"),
+            Expr::Counter(_) => write!(f, "$"),
+            Expr::Binary { op, lhs, rhs, .. } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Unary { op, expr, .. } => write!(f, "({op} {expr})"),
+            Expr::Call { func, args, .. } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Aggregate {
+                kind, value, body, ..
+            } => {
+                write!(f, "{}", kind.name())?;
+                if let Some(v) = value {
+                    write!(f, " {v}")?;
+                }
+                write!(f, " : {{ ")?;
+                for (i, l) in body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+}
+
+/// Comparison operators in constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A relation atom `name(arg, ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Relation name.
+    pub name: String,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A binary comparison constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Operator.
+    pub op: CmpOp,
+    /// Left expression.
+    pub lhs: Expr,
+    /// Right expression.
+    pub rhs: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// One body literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A positive atom.
+    Positive(Atom),
+    /// A negated atom `!a(...)`.
+    Negative(Atom),
+    /// A comparison constraint.
+    Constraint(Constraint),
+}
+
+impl Literal {
+    /// The literal's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Literal::Positive(a) | Literal::Negative(a) => a.span,
+            Literal::Constraint(c) => c.span,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Positive(a) => write!(f, "{a}"),
+            Literal::Negative(a) => write!(f, "!{a}"),
+            Literal::Constraint(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A rule `head :- body.`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The conjunction of body literals.
+    pub body: Vec<Literal>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A ground fact `rel(c1, ..., cn).`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// The fact atom; arguments must be constants (checked semantically).
+    pub atom: Atom,
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.", self.atom)
+    }
+}
+
+/// A whole parsed program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Relation declarations, in source order.
+    pub decls: Vec<RelationDecl>,
+    /// Relations marked `.input` (facts supplied externally).
+    pub inputs: Vec<String>,
+    /// Relations marked `.output` (results reported).
+    pub outputs: Vec<String>,
+    /// Ground facts from the source text.
+    pub facts: Vec<Fact>,
+    /// Rules (already normalized: no disjunction).
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Finds a declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&RelationDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn var(name: &str) -> Expr {
+        Expr::Var(name.into(), Span::default())
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let rule = Rule {
+            head: Atom {
+                name: "path".into(),
+                args: vec![var("x"), var("z")],
+                span: Span::default(),
+            },
+            body: vec![
+                Literal::Positive(Atom {
+                    name: "edge".into(),
+                    args: vec![var("x"), var("y")],
+                    span: Span::default(),
+                }),
+                Literal::Negative(Atom {
+                    name: "blocked".into(),
+                    args: vec![var("y")],
+                    span: Span::default(),
+                }),
+                Literal::Constraint(Constraint {
+                    op: CmpOp::Lt,
+                    lhs: var("x"),
+                    rhs: Expr::Number(10, Span::default()),
+                    span: Span::default(),
+                }),
+            ],
+            span: Span::default(),
+        };
+        assert_eq!(
+            rule.to_string(),
+            "path(x, z) :- edge(x, y), !blocked(y), x < 10."
+        );
+    }
+
+    #[test]
+    fn collect_vars_walks_expressions() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(var("a")),
+            rhs: Box::new(Expr::Call {
+                func: Functor::Max,
+                args: vec![var("b"), Expr::Number(1, Span::default())],
+                span: Span::default(),
+            }),
+            span: Span::default(),
+        };
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn functor_metadata_is_consistent() {
+        for f in [
+            Functor::Cat,
+            Functor::Ord,
+            Functor::Strlen,
+            Functor::Substr,
+            Functor::ToNumber,
+            Functor::ToString,
+            Functor::Min,
+            Functor::Max,
+        ] {
+            assert_eq!(Functor::from_name(f.name()), Some(f));
+        }
+        assert_eq!(Functor::from_name("nope"), None);
+        assert_eq!(Functor::Substr.arity(), 3);
+    }
+
+    #[test]
+    fn aggregate_display() {
+        let agg = Expr::Aggregate {
+            kind: AggKind::Sum,
+            value: Some(Box::new(var("x"))),
+            body: vec![Literal::Positive(Atom {
+                name: "f".into(),
+                args: vec![var("x")],
+                span: Span::default(),
+            })],
+            span: Span::default(),
+        };
+        assert_eq!(agg.to_string(), "sum x : { f(x) }");
+    }
+}

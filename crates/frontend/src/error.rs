@@ -1,0 +1,95 @@
+//! Frontend error types.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical or syntactic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A semantic error (undeclared relation, arity mismatch, ungrounded
+/// variable, unstratifiable negation, type error, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl SemanticError {
+    /// Creates a semantic error.
+    pub fn new(msg: impl Into<String>, span: Span) -> Self {
+        SemanticError {
+            msg: msg.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+/// Any error produced by the frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Lexing or parsing failed.
+    Parse(ParseError),
+    /// The program is syntactically valid but semantically ill-formed.
+    Semantic(SemanticError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Parse(e) => e.fmt(f),
+            FrontendError::Semantic(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<SemanticError> for FrontendError {
+    fn from(e: SemanticError) -> Self {
+        FrontendError::Semantic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    #[test]
+    fn errors_display_with_positions() {
+        let e = SemanticError::new("boom", Span::at(Pos { line: 2, col: 4 }));
+        assert_eq!(e.to_string(), "semantic error at 2:4: boom");
+        let fe: FrontendError = e.into();
+        assert!(fe.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,462 @@
+//! A hand-written lexer for the Datalog surface syntax.
+
+use crate::error::ParseError;
+use crate::span::{Pos, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source` completely (including a trailing [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unterminated strings/comments, malformed
+/// numbers, or characters outside the language.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            pos: Pos::start(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            span: Span::at(self.pos),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::at(start),
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                'a'..='z' | 'A'..='Z' | '?' => self.word(),
+                '_' => {
+                    // `_` alone is a wildcard; `_foo` is an identifier.
+                    self.bump();
+                    match self.peek() {
+                        Some(c2) if c2.is_ascii_alphanumeric() || c2 == '_' => {
+                            let mut s = String::from("_");
+                            s.push_str(&self.word_tail());
+                            TokenKind::Ident(s)
+                        }
+                        _ => TokenKind::Underscore,
+                    }
+                }
+                '0'..='9' => self.number(false)?,
+                '"' => self.string()?,
+                '.' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(c2) if c2.is_ascii_alphabetic() => {
+                            TokenKind::Directive(self.word_tail())
+                        }
+                        _ => TokenKind::Dot,
+                    }
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some('-') {
+                        self.bump();
+                        TokenKind::If
+                    } else {
+                        TokenKind::Colon
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ne
+                    } else {
+                        TokenKind::Bang
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    TokenKind::Eq
+                }
+                '(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                ')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                '{' => {
+                    self.bump();
+                    TokenKind::LBrace
+                }
+                '}' => {
+                    self.bump();
+                    TokenKind::RBrace
+                }
+                ',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                ';' => {
+                    self.bump();
+                    TokenKind::Semicolon
+                }
+                '$' => {
+                    self.bump();
+                    TokenKind::Dollar
+                }
+                '+' => {
+                    self.bump();
+                    TokenKind::Plus
+                }
+                '-' => {
+                    self.bump();
+                    TokenKind::Minus
+                }
+                '*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
+                '/' => {
+                    self.bump();
+                    TokenKind::Slash
+                }
+                '%' => {
+                    self.bump();
+                    TokenKind::Percent
+                }
+                '^' => {
+                    self.bump();
+                    TokenKind::Caret
+                }
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            };
+            out.push(Token {
+                kind,
+                span: Span {
+                    from: start,
+                    to: self.pos,
+                },
+            });
+        }
+    }
+
+    /// Skips whitespace and `//` / `/* ... */` comments.
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Look ahead without consuming in case it is division.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    match clone.next() {
+                        Some('/') => {
+                            while let Some(c) = self.bump() {
+                                if c == '\n' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some('*') => {
+                            self.bump();
+                            self.bump();
+                            let mut prev = ' ';
+                            loop {
+                                match self.bump() {
+                                    Some('/') if prev == '*' => break,
+                                    Some(c) => prev = c,
+                                    None => return Err(self.error("unterminated block comment")),
+                                }
+                            }
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        TokenKind::Ident(self.word_tail())
+    }
+
+    fn word_tail(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '?' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number(&mut self, _negative: bool) -> Result<TokenKind, ParseError> {
+        let mut s = String::new();
+        // Radix prefixes.
+        if self.peek() == Some('0') {
+            let mut clone = self.chars.clone();
+            clone.next();
+            match clone.next() {
+                Some('x') | Some('X') => {
+                    self.bump();
+                    self.bump();
+                    let digits = self.word_tail();
+                    return i64::from_str_radix(&digits, 16)
+                        .map(TokenKind::Number)
+                        .map_err(|_| self.error(format!("bad hex literal `0x{digits}`")));
+                }
+                Some('b') | Some('B') => {
+                    self.bump();
+                    self.bump();
+                    let digits = self.word_tail();
+                    return i64::from_str_radix(&digits, 2)
+                        .map(TokenKind::Number)
+                        .map_err(|_| self.error(format!("bad binary literal `0b{digits}`")));
+                }
+                _ => {}
+            }
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A fractional part makes it a float — but `1.` at the end of a
+        // fact must stay (number, dot), so require a digit after the dot.
+        if self.peek() == Some('.') {
+            let mut clone = self.chars.clone();
+            clone.next();
+            if matches!(clone.next(), Some(c) if c.is_ascii_digit()) {
+                s.push('.');
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return s
+                    .parse::<f32>()
+                    .map(TokenKind::Float)
+                    .map_err(|_| self.error(format!("bad float literal `{s}`")));
+            }
+        }
+        s.parse::<i64>()
+            .map(TokenKind::Number)
+            .map_err(|_| self.error(format!("bad number literal `{s}`")))
+    }
+
+    fn string(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some(other) => return Err(self.error(format!("unknown escape `\\{other}`"))),
+                    None => return Err(self.error("unterminated string literal")),
+                },
+                Some('\n') | None => return Err(self.error("unterminated string literal")),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("path(x, z) :- edge(x, y), path(y, z)."),
+            vec![
+                Ident("path".into()),
+                LParen,
+                Ident("x".into()),
+                Comma,
+                Ident("z".into()),
+                RParen,
+                If,
+                Ident("edge".into()),
+                LParen,
+                Ident("x".into()),
+                Comma,
+                Ident("y".into()),
+                RParen,
+                Comma,
+                Ident("path".into()),
+                LParen,
+                Ident("y".into()),
+                Comma,
+                Ident("z".into()),
+                RParen,
+                Dot,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_directives_and_fact_dots() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(".decl edge(x: number)\nedge(1)."),
+            vec![
+                Directive("decl".into()),
+                Ident("edge".into()),
+                LParen,
+                Ident("x".into()),
+                Colon,
+                Ident("number".into()),
+                RParen,
+                Ident("edge".into()),
+                LParen,
+                Number(1),
+                RParen,
+                Dot,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_in_all_radixes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 0x2A 0b101010 3.5"),
+            vec![Number(42), Number(42), Number(42), Float(3.5), Eof]
+        );
+    }
+
+    #[test]
+    fn fact_terminator_is_not_a_float() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("f(1)."),
+            vec![Ident("f".into()), LParen, Number(1), RParen, Dot, Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds(r#""hello\nworld""#),
+            vec![TokenKind::Str("hello\nworld".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // line\n /* block\nstill */ b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+        assert!(tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("< <= > >= = != ! :-"),
+            vec![Lt, Le, Gt, Ge, Eq, Ne, Bang, If, Eof]
+        );
+    }
+
+    #[test]
+    fn wildcard_vs_underscore_ident() {
+        use TokenKind::*;
+        assert_eq!(kinds("_ _x"), vec![Underscore, Ident("_x".into()), Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].span.from.line, 1);
+        assert_eq!(toks[1].span.from.line, 2);
+        assert_eq!(toks[1].span.from.col, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("a @ b").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! The STIR Datalog frontend: lexer, parser, AST, and semantic analysis.
+//!
+//! This crate implements the first phase of the Soufflé-style pipeline
+//! (paper Fig. 1): source text → AST → semantically checked program. It
+//! supports the Soufflé subset exercised by the paper's benchmarks:
+//!
+//! * relation declarations with `number` / `unsigned` / `float` / `symbol`
+//!   attribute types and representation hints (`btree`, `brie`, `eqrel`);
+//! * facts and Horn rules with stratified negation;
+//! * arithmetic/bitwise/string functors and comparison constraints;
+//! * `count` / `sum` / `min` / `max` aggregates;
+//! * disjunction in rule bodies (normalized into multiple rules);
+//! * `.input` / `.output` directives.
+//!
+//! # Example
+//!
+//! ```
+//! use stir_frontend::parse_and_check;
+//!
+//! let program = parse_and_check(
+//!     r#"
+//!     .decl edge(x: number, y: number)
+//!     .decl path(x: number, y: number)
+//!     .output path
+//!     edge(1, 2). edge(2, 3).
+//!     path(x, y) :- edge(x, y).
+//!     path(x, z) :- path(x, y), edge(y, z).
+//!     "#,
+//! )?;
+//! assert_eq!(program.ast.rules.len(), 2);
+//! assert_eq!(program.strata.len(), 2);
+//! # Ok::<(), stir_frontend::error::FrontendError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+pub mod symbols;
+pub mod token;
+
+pub use analysis::{analyze, CheckedProgram};
+pub use error::FrontendError;
+pub use symbols::SymbolTable;
+
+/// Parses and semantically checks a Datalog program.
+///
+/// This is the one-call entry point: lex + parse + normalize + name/arity
+/// resolution + groundedness + type checks + stratification.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error encountered,
+/// with source positions.
+pub fn parse_and_check(source: &str) -> Result<CheckedProgram, FrontendError> {
+    let program = parser::parse(source)?;
+    analysis::analyze(program).map_err(FrontendError::from)
+}

@@ -1,0 +1,686 @@
+//! A recursive-descent parser for the Datalog surface syntax.
+//!
+//! Disjunctive rule bodies (`;`) are normalized away during parsing: a
+//! rule with `k` top-level disjuncts becomes `k` rules sharing the head.
+//! The bitwise/logical operator words (`band`, `bor`, `bxor`, `bshl`,
+//! `bshr`, `land`, `lor`, `bnot`, `lnot`) and the aggregate/functor names
+//! are reserved in expression positions, as in Soufflé.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a full program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its position.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+        program: Program::default(),
+    }
+    .run()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    program: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            span: self.span(),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if *self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(self.error(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn run(mut self) -> Result<Program, ParseError> {
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => return Ok(self.program),
+                TokenKind::Directive(d) => {
+                    self.bump();
+                    self.directive(&d)?;
+                }
+                TokenKind::Ident(_) => self.clause()?,
+                other => {
+                    return Err(self.error(format!(
+                        "expected a declaration, fact, or rule; found {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    // ----- directives -------------------------------------------------
+
+    fn directive(&mut self, name: &str) -> Result<(), ParseError> {
+        match name {
+            "decl" => self.decl_directive(),
+            "input" => {
+                let (rel, _) = self.expect_ident("relation name")?;
+                self.skip_optional_parens()?;
+                self.program.inputs.push(rel);
+                Ok(())
+            }
+            "output" => {
+                let (rel, _) = self.expect_ident("relation name")?;
+                self.skip_optional_parens()?;
+                self.program.outputs.push(rel);
+                Ok(())
+            }
+            // Accepted and ignored for Soufflé compatibility.
+            "printsize" => {
+                let _ = self.expect_ident("relation name")?;
+                Ok(())
+            }
+            other => Err(self.error(format!("unknown directive `.{other}`"))),
+        }
+    }
+
+    fn decl_directive(&mut self) -> Result<(), ParseError> {
+        let (name, span) = self.expect_ident("relation name")?;
+        self.expect(TokenKind::LParen)?;
+        let mut attrs = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let (attr_name, _) = self.expect_ident("attribute name")?;
+                self.expect(TokenKind::Colon)?;
+                let (ty_name, ty_span) = self.expect_ident("attribute type")?;
+                let ty = match ty_name.as_str() {
+                    "number" => AttrType::Number,
+                    "unsigned" => AttrType::Unsigned,
+                    "float" => AttrType::Float,
+                    "symbol" => AttrType::Symbol,
+                    other => {
+                        return Err(ParseError {
+                            msg: format!("unknown attribute type `{other}`"),
+                            span: ty_span,
+                        })
+                    }
+                };
+                attrs.push(Attribute {
+                    name: attr_name,
+                    ty,
+                });
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let mut repr = ReprHint::Default;
+        while let TokenKind::Ident(hint) = self.peek().clone() {
+            match hint.as_str() {
+                "btree" => repr = ReprHint::BTree,
+                "brie" => repr = ReprHint::Brie,
+                "eqrel" => repr = ReprHint::EqRel,
+                // Soufflé allows qualifiers like `inline`/`overridable`;
+                // unknown words end the declaration instead.
+                _ => break,
+            }
+            self.bump();
+        }
+        self.program.decls.push(RelationDecl {
+            name,
+            attrs,
+            repr,
+            span,
+        });
+        Ok(())
+    }
+
+    /// Skips a balanced `( ... )` group if present (`.input rel(IO=file)`).
+    fn skip_optional_parens(&mut self) -> Result<(), ParseError> {
+        if *self.peek() != TokenKind::LParen {
+            return Ok(());
+        }
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => depth += 1,
+                TokenKind::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return Ok(());
+                    }
+                }
+                TokenKind::Eof => return Err(self.error("unterminated directive arguments")),
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // ----- clauses ----------------------------------------------------
+
+    fn clause(&mut self) -> Result<(), ParseError> {
+        let head = self.atom()?;
+        match self.peek().clone() {
+            TokenKind::Dot => {
+                self.bump();
+                self.program.facts.push(Fact { atom: head });
+                Ok(())
+            }
+            TokenKind::If => {
+                self.bump();
+                let disjuncts = self.disjunctive_body()?;
+                let span = head.span;
+                self.expect(TokenKind::Dot)?;
+                for body in disjuncts {
+                    self.program.rules.push(Rule {
+                        head: head.clone(),
+                        body,
+                        span,
+                    });
+                }
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `.` or `:-` after atom, found {other}"))),
+        }
+    }
+
+    fn disjunctive_body(&mut self) -> Result<Vec<Vec<Literal>>, ParseError> {
+        let mut out = vec![self.conjunction()?];
+        while *self.peek() == TokenKind::Semicolon {
+            self.bump();
+            out.push(self.conjunction()?);
+        }
+        Ok(out)
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut out = vec![self.literal()?];
+        while *self.peek() == TokenKind::Comma {
+            self.bump();
+            out.push(self.literal()?);
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if *self.peek() == TokenKind::Bang {
+            self.bump();
+            return Ok(Literal::Negative(self.atom()?));
+        }
+        // An identifier followed by `(` is an atom unless the identifier
+        // is a functor or aggregate keyword (those start expressions).
+        if let TokenKind::Ident(name) = self.peek() {
+            let is_expr_word = Functor::from_name(name).is_some()
+                || AggKind::from_name(name).is_some()
+                || matches!(name.as_str(), "bnot" | "lnot");
+            if !is_expr_word && *self.peek2() == TokenKind::LParen {
+                return Ok(Literal::Positive(self.atom()?));
+            }
+        }
+        // Otherwise it is a constraint.
+        let span = self.span();
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(self.error(format!(
+                    "expected a comparison operator in constraint, found {other}"
+                )))
+            }
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(Literal::Constraint(Constraint { op, lhs, rhs, span }))
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let (name, span) = self.expect_ident("relation name")?;
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(Atom { name, args, span })
+    }
+
+    // ----- expressions --------------------------------------------------
+    //
+    // Precedence (low → high):
+    //   lor < land < bor < bxor < band < bshl/bshr < +- < */% < ^ < unary
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(0)
+    }
+
+    fn level_op(&self, level: usize) -> Option<BinOp> {
+        let word = |w: &str| matches!(self.peek(), TokenKind::Ident(s) if s == w);
+        match level {
+            0 if word("lor") => Some(BinOp::Lor),
+            1 if word("land") => Some(BinOp::Land),
+            2 if word("bor") => Some(BinOp::Bor),
+            3 if word("bxor") => Some(BinOp::Bxor),
+            4 if word("band") => Some(BinOp::Band),
+            5 if word("bshl") => Some(BinOp::Bshl),
+            5 if word("bshr") => Some(BinOp::Bshr),
+            6 if *self.peek() == TokenKind::Plus => Some(BinOp::Add),
+            6 if *self.peek() == TokenKind::Minus => Some(BinOp::Sub),
+            7 if *self.peek() == TokenKind::Star => Some(BinOp::Mul),
+            7 if *self.peek() == TokenKind::Slash => Some(BinOp::Div),
+            7 if *self.peek() == TokenKind::Percent => Some(BinOp::Mod),
+            _ => None,
+        }
+    }
+
+    fn binary_level(&mut self, level: usize) -> Result<Expr, ParseError> {
+        if level > 7 {
+            return self.pow_expr();
+        }
+        let mut lhs = self.binary_level(level + 1)?;
+        while let Some(op) = self.level_op(level) {
+            let span = self.span();
+            self.bump();
+            let rhs = self.binary_level(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    /// `^` is right-associative, binding tighter than `*`.
+    fn pow_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.unary_expr()?;
+        if *self.peek() == TokenKind::Caret {
+            let span = self.span();
+            self.bump();
+            let rhs = self.pow_expr()?;
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                // Fold negation into numeric literals immediately.
+                match self.peek().clone() {
+                    TokenKind::Number(n) => {
+                        self.bump();
+                        Ok(Expr::Number(-n, span))
+                    }
+                    TokenKind::Float(x) => {
+                        self.bump();
+                        Ok(Expr::Float(-x, span))
+                    }
+                    _ => Ok(Expr::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(self.unary_expr()?),
+                        span,
+                    }),
+                }
+            }
+            TokenKind::Ident(w) if w == "bnot" => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Bnot,
+                    expr: Box::new(self.unary_expr()?),
+                    span,
+                })
+            }
+            TokenKind::Ident(w) if w == "lnot" => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Lnot,
+                    expr: Box::new(self.unary_expr()?),
+                    span,
+                })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n, span))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::Float(x, span))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, span))
+            }
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(Expr::Wildcard(span))
+            }
+            TokenKind::Dollar => {
+                self.bump();
+                Ok(Expr::Counter(span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                // Aggregate? (`count : {...}` / `sum e : {...}`; `min`/`max`
+                // followed by `(` are functors instead.)
+                if let Some(kind) = AggKind::from_name(&name) {
+                    let followed_by_paren = *self.peek2() == TokenKind::LParen;
+                    if !(matches!(kind, AggKind::Min | AggKind::Max) && followed_by_paren) {
+                        return self.aggregate(kind);
+                    }
+                }
+                if let Some(func) = Functor::from_name(&name) {
+                    if *self.peek2() == TokenKind::LParen {
+                        return self.functor_call(func);
+                    }
+                }
+                self.bump();
+                Ok(Expr::Var(name, span))
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    fn functor_call(&mut self, func: Functor) -> Result<Expr, ParseError> {
+        let span = self.span();
+        self.bump(); // name
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        if args.len() != func.arity() {
+            return Err(ParseError {
+                msg: format!(
+                    "functor `{}` takes {} argument(s), got {}",
+                    func.name(),
+                    func.arity(),
+                    args.len()
+                ),
+                span,
+            });
+        }
+        Ok(Expr::Call { func, args, span })
+    }
+
+    fn aggregate(&mut self, kind: AggKind) -> Result<Expr, ParseError> {
+        let span = self.span();
+        self.bump(); // keyword
+        let value = if kind == AggKind::Count {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::LBrace)?;
+        let body = self.conjunction()?;
+        self.expect(TokenKind::RBrace)?;
+        Ok(Expr::Aggregate {
+            kind,
+            value,
+            body,
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).expect("parses")
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse_ok(".decl edge(x: number, y: symbol) brie");
+        assert_eq!(p.decls.len(), 1);
+        let d = &p.decls[0];
+        assert_eq!(d.name, "edge");
+        assert_eq!(d.arity(), 2);
+        assert_eq!(d.attrs[0].ty, AttrType::Number);
+        assert_eq!(d.attrs[1].ty, AttrType::Symbol);
+        assert_eq!(d.repr, ReprHint::Brie);
+    }
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let p = parse_ok(
+            ".decl e(x: number, y: number)\n\
+             e(1, 2). e(2, 3).\n\
+             p(x, z) :- e(x, y), e(y, z).",
+        );
+        assert_eq!(p.facts.len(), 2);
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].body.len(), 2);
+        assert_eq!(p.rules[0].to_string(), "p(x, z) :- e(x, y), e(y, z).");
+    }
+
+    #[test]
+    fn parses_input_output_directives() {
+        let p = parse_ok(".input edge(IO=file, filename=\"e.facts\")\n.output path");
+        assert_eq!(p.inputs, vec!["edge"]);
+        assert_eq!(p.outputs, vec!["path"]);
+    }
+
+    #[test]
+    fn negation_and_constraints() {
+        let p = parse_ok("v(x) :- a(x), !b(x), x < 10, x + 1 != 3.");
+        let body = &p.rules[0].body;
+        assert!(matches!(body[1], Literal::Negative(_)));
+        match &body[3] {
+            Literal::Constraint(c) => {
+                assert_eq!(c.op, CmpOp::Ne);
+                assert_eq!(c.lhs.to_string(), "(x + 1)");
+            }
+            other => panic!("expected constraint, got {other}"),
+        }
+    }
+
+    #[test]
+    fn disjunction_expands_to_multiple_rules() {
+        let p = parse_ok("r(x) :- a(x), c(x) ; b(x).");
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].body.len(), 2);
+        assert_eq!(p.rules[1].body.len(), 1);
+        assert_eq!(p.rules[0].head, p.rules[1].head);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse_ok("r(y) :- a(x), y = x + 2 * 3 band 1.");
+        let Literal::Constraint(c) = &p.rules[0].body[1] else {
+            panic!()
+        };
+        // band binds looser than + and *
+        assert_eq!(c.rhs.to_string(), "((x + (2 * 3)) band 1)");
+    }
+
+    #[test]
+    fn pow_is_right_associative() {
+        let p = parse_ok("r(y) :- y = 2 ^ 3 ^ 2.");
+        let Literal::Constraint(c) = &p.rules[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(c.rhs.to_string(), "(2 ^ (3 ^ 2))");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse_ok("f(-3, -2.5).");
+        assert_eq!(
+            p.facts[0].atom.args[0],
+            Expr::Number(-3, p.facts[0].atom.args[0].span())
+        );
+        assert!(matches!(p.facts[0].atom.args[1], Expr::Float(v, _) if v == -2.5));
+    }
+
+    #[test]
+    fn functor_calls_and_arity_checking() {
+        let p = parse_ok("r(z) :- a(x, y), z = min(x, y) + strlen(\"ab\").");
+        let Literal::Constraint(c) = &p.rules[0].body[1] else {
+            panic!()
+        };
+        assert_eq!(c.rhs.to_string(), "(min(x, y) + strlen(\"ab\"))");
+        assert!(parse("r(z) :- z = min(1).").is_err());
+    }
+
+    #[test]
+    fn aggregates_parse() {
+        let p = parse_ok("total(n) :- n = count : { edge(_, _) }.");
+        let Literal::Constraint(c) = &p.rules[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &c.rhs,
+            Expr::Aggregate {
+                kind: AggKind::Count,
+                value: None,
+                ..
+            }
+        ));
+
+        let p = parse_ok("m(s) :- s = sum x : { f(x), x > 0 }.");
+        let Literal::Constraint(c) = &p.rules[0].body[0] else {
+            panic!()
+        };
+        match &c.rhs {
+            Expr::Aggregate {
+                kind, value, body, ..
+            } => {
+                assert_eq!(*kind, AggKind::Sum);
+                assert!(value.is_some());
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected aggregate, got {other}"),
+        }
+    }
+
+    #[test]
+    fn min_with_paren_is_functor_not_aggregate() {
+        let p = parse_ok("r(z) :- a(x), z = min(x, 3).");
+        let Literal::Constraint(c) = &p.rules[0].body[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            &c.rhs,
+            Expr::Call {
+                func: Functor::Min,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wildcards_and_counter() {
+        let p = parse_ok("r(x, $) :- a(x, _).");
+        assert!(matches!(p.rules[0].head.args[1], Expr::Counter(_)));
+        let Literal::Positive(a) = &p.rules[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(a.args[1], Expr::Wildcard(_)));
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let err = parse(".decl edge(x: wrong)").unwrap_err();
+        assert!(err.to_string().contains("unknown attribute type"));
+        let err = parse("r(x) :- .").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+        let err = parse(".nonsense foo").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let p = parse_ok(".decl flag()\nflag().\nr(1) :- flag().");
+        assert_eq!(p.decls[0].arity(), 0);
+        assert_eq!(p.facts[0].atom.args.len(), 0);
+    }
+}

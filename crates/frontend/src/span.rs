@@ -1,0 +1,79 @@
+//! Source positions for error reporting.
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start of the file.
+    pub fn start() -> Pos {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos::start()
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open source range `[from, to)` used to attach diagnostics to
+/// AST nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Where the construct starts.
+    pub from: Pos,
+    /// Where the construct ends.
+    pub to: Pos,
+}
+
+impl Span {
+    /// A single-point span.
+    pub fn at(pos: Pos) -> Span {
+        Span { from: pos, to: pos }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            from: self.from.min(other.from),
+            to: self.to.max(other.to),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::at(Pos { line: 1, col: 5 });
+        let b = Span::at(Pos { line: 2, col: 1 });
+        let m = a.merge(b);
+        assert_eq!(m.from, Pos { line: 1, col: 5 });
+        assert_eq!(m.to, Pos { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn display_is_line_colon_col() {
+        assert_eq!(Pos { line: 3, col: 7 }.to_string(), "3:7");
+    }
+}

@@ -1,0 +1,94 @@
+//! String interning.
+//!
+//! Symbols (string values) are stored once in a [`SymbolTable`] and
+//! referred to everywhere else by their `u32` index — the bit pattern that
+//! ends up inside DER indexes. Interning happens at fact-encoding and
+//! functor-evaluation time; indexes never see strings (de-specialization
+//! step 2).
+
+use std::collections::HashMap;
+
+/// A bidirectional string ↔ `u32` interner.
+///
+/// # Example
+///
+/// ```
+/// use stir_frontend::symbols::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let a = table.intern("hello");
+/// let b = table.intern("world");
+/// assert_ne!(a, b);
+/// assert_eq!(table.intern("hello"), a);
+/// assert_eq!(table.resolve(a), "hello");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its stable id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("symbol table overflow");
+        self.strings.push(s.to_owned());
+        self.ids.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Looks up an id without interning.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        assert_eq!(t.intern("x"), a);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let mut t = SymbolTable::new();
+        let ids: Vec<u32> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(t.resolve(1), "b");
+        assert_eq!(t.lookup("c"), Some(2));
+        assert_eq!(t.lookup("missing"), None);
+    }
+}

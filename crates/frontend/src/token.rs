@@ -1,0 +1,122 @@
+//! Token definitions for the Datalog lexer.
+
+use crate::span::Span;
+
+/// The kinds of token produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword-like word (`edge`, `number`, `count`, ...).
+    ///
+    /// Keywords are context-sensitive in Soufflé-style Datalog (e.g.
+    /// `count` is a fine relation name), so the lexer does not reserve
+    /// them; the parser decides by context.
+    Ident(String),
+    /// A decimal or hex (`0x...`) or binary (`0b...`) integer literal.
+    Number(i64),
+    /// A floating-point literal.
+    Float(f32),
+    /// A quoted string literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// A directive word following a dot, e.g. `.decl` → `Directive("decl")`.
+    Directive(String),
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.` (clause terminator)
+    Dot,
+    /// `:-`
+    If,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `!`
+    Bang,
+    /// `_`
+    Underscore,
+    /// `$` (auto-increment counter, Soufflé extension)
+    Dollar,
+
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^` (exponentiation, as in Soufflé)
+    Caret,
+
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::Float(x) => write!(f, "float `{x}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Directive(d) => write!(f, "directive `.{d}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::If => write!(f, "`:-`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Underscore => write!(f, "`_`"),
+            TokenKind::Dollar => write!(f, "`$`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}

@@ -1,0 +1,82 @@
+//! Parser robustness properties: no input panics the frontend, and the
+//! AST's `Display` output reparses to an equivalent AST.
+
+use proptest::prelude::*;
+use stir_frontend::ast::Program;
+use stir_frontend::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the lexer/parser — they either parse
+    /// or produce a positioned error.
+    #[test]
+    fn arbitrary_input_never_panics(input in "\\PC*") {
+        let _ = parse(&input);
+    }
+
+    /// Inputs built from the language's own token alphabet stress the
+    /// parser harder than uniform noise; still no panics.
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            ".decl", ".input", ".output", "(", ")", "{", "}", ",", ".",
+            ":-", ":", ";", "!", "_", "$", "=", "!=", "<", "<=", "+", "-",
+            "*", "/", "%", "^", "x", "foo", "number", "symbol", "count",
+            "sum", "min", "max", "band", "bor", "bnot", "42", "3.5",
+            "\"str\"", "0x1F",
+        ]),
+        0..30,
+    )) {
+        let input = tokens.join(" ");
+        let _ = parse(&input);
+    }
+}
+
+/// Programs covering every construct, printed and reparsed.
+#[test]
+fn display_round_trips() {
+    let sources = [
+        ".decl e(x: number, y: number)\n.decl p(x: number, y: number)\n\
+         p(x, y) :- e(x, y).\n\
+         p(x, z) :- p(x, y), e(y, z).",
+        ".decl a(x: number)\n.decl b(x: number)\n.decl r(x: number)\n\
+         r(x) :- a(x), !b(x), x < 10, x + 1 != 3.",
+        ".decl f(s: symbol)\n.decl g(s: symbol, n: number)\n\
+         g(t, n) :- f(s), t = cat(s, \"!\"), n = strlen(s) * 2 + ord(s).",
+        ".decl e(x: number)\n.decl t(n: number)\n\
+         t(n) :- n = count : { e(_) }.\n\
+         t(n) :- n = sum x : { e(x), x > 0 }.",
+        ".decl m(a: number)\n.decl r(a: number)\n\
+         r(x) :- m(x), x band 3 != 0, x bor 1 > 0, x bxor 2 >= 0, \
+                 x bshl 1 <= 100, x bshr 1 < 50, bnot x != 0.",
+    ];
+    for src in sources {
+        let first: Program = parse(src).expect("parses");
+        // Re-render every clause and reparse the whole program body.
+        let decls: String = first
+            .decls
+            .iter()
+            .map(|d| {
+                let attrs: Vec<String> = d
+                    .attrs
+                    .iter()
+                    .map(|a| format!("{}: {}", a.name, a.ty))
+                    .collect();
+                format!(".decl {}({})\n", d.name, attrs.join(", "))
+            })
+            .collect();
+        let facts: String = first.facts.iter().map(|f| format!("{f}\n")).collect();
+        let rules: String = first.rules.iter().map(|r| format!("{r}\n")).collect();
+        let rendered = format!("{decls}{facts}{rules}");
+        let second = parse(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\nrendered:\n{rendered}"));
+        assert_eq!(first.decls.len(), second.decls.len());
+        assert_eq!(first.facts.len(), second.facts.len());
+        assert_eq!(first.rules.len(), second.rules.len());
+        // Rule text is a canonical form: rendering again is a fixpoint.
+        for (a, b) in first.rules.iter().zip(&second.rules) {
+            assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! RAM value expressions.
+//!
+//! Expressions evaluate to a single [`RamDomain`] (`u32` bit pattern).
+//! Typing was resolved during translation: every operation that depends on
+//! the interpretation of the bits (division, comparison, float arithmetic,
+//! ...) is a distinct [`IntrinsicOp`]/[`CmpKind`] variant, so the runtime
+//! never consults types.
+
+/// The runtime value type (mirrors `stir_der::RamDomain`; duplicated so the
+/// RAM crate stays independent of the data-structure crate).
+pub type RamDomain = u32;
+
+/// A value expression in a RAM operation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RamExpr {
+    /// A literal bit pattern (numbers, float bits, or symbol ids).
+    Constant(RamDomain),
+    /// Element `column` of the tuple bound at loop `level`.
+    TupleElement {
+        /// Which loop binding (0-based, outermost first).
+        level: usize,
+        /// Which column of that tuple.
+        column: usize,
+    },
+    /// A built-in operation over evaluated arguments.
+    Intrinsic {
+        /// The operation.
+        op: IntrinsicOp,
+        /// Argument expressions.
+        args: Vec<RamExpr>,
+    },
+    /// The global auto-increment counter (`$`).
+    AutoIncrement,
+}
+
+impl RamExpr {
+    /// Convenience constructor for an intrinsic.
+    pub fn intrinsic(op: IntrinsicOp, args: Vec<RamExpr>) -> RamExpr {
+        RamExpr::Intrinsic { op, args }
+    }
+
+    /// Counts the nodes of the expression tree — each node is one
+    /// interpreter dispatch, the quantity the paper's §5.2 case study
+    /// measures.
+    pub fn dispatch_count(&self) -> usize {
+        match self {
+            RamExpr::Constant(_) | RamExpr::TupleElement { .. } | RamExpr::AutoIncrement => 1,
+            RamExpr::Intrinsic { args, .. } => {
+                1 + args.iter().map(RamExpr::dispatch_count).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Built-in value operations, pre-typed at translation time.
+///
+/// Bit-identical operations (`+`, `-`, `*`, bitwise ops on two's
+/// complement) have a single variant; sign/float-sensitive ones are split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntrinsicOp {
+    /// Wrapping addition (numbers and unsigned share bits).
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division.
+    DivS,
+    /// Unsigned division.
+    DivU,
+    /// Signed remainder.
+    ModS,
+    /// Unsigned remainder.
+    ModU,
+    /// Signed exponentiation (wrapping).
+    PowS,
+    /// Unsigned exponentiation (wrapping).
+    PowU,
+    /// Wrapping negation.
+    Neg,
+    /// Float addition.
+    AddF,
+    /// Float subtraction.
+    SubF,
+    /// Float multiplication.
+    MulF,
+    /// Float division.
+    DivF,
+    /// Float exponentiation.
+    PowF,
+    /// Float negation.
+    NegF,
+    /// Bitwise and.
+    BAnd,
+    /// Bitwise or.
+    BOr,
+    /// Bitwise xor.
+    BXor,
+    /// Bitwise complement.
+    BNot,
+    /// Shift left.
+    BShl,
+    /// Logical (unsigned) shift right.
+    BShrU,
+    /// Arithmetic (signed) shift right.
+    BShrS,
+    /// Logical and (both nonzero).
+    LAnd,
+    /// Logical or.
+    LOr,
+    /// Logical not.
+    LNot,
+    /// Signed minimum.
+    MinS,
+    /// Unsigned minimum.
+    MinU,
+    /// Float minimum.
+    MinF,
+    /// Signed maximum.
+    MaxS,
+    /// Unsigned maximum.
+    MaxU,
+    /// Float maximum.
+    MaxF,
+    /// String concatenation (symbol ids in, symbol id out).
+    Cat,
+    /// Identity on the symbol id (`ord`).
+    Ord,
+    /// String length.
+    Strlen,
+    /// Substring `substr(s, from, len)`.
+    Substr,
+    /// Parse a symbol as a number.
+    ToNumber,
+    /// Render a number as a symbol.
+    ToString,
+}
+
+impl IntrinsicOp {
+    /// Whether evaluating this op requires the symbol table.
+    pub fn needs_symbols(self) -> bool {
+        matches!(
+            self,
+            IntrinsicOp::Cat
+                | IntrinsicOp::Strlen
+                | IntrinsicOp::Substr
+                | IntrinsicOp::ToNumber
+                | IntrinsicOp::ToString
+        )
+    }
+}
+
+impl std::fmt::Display for IntrinsicOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IntrinsicOp::Add => "+",
+            IntrinsicOp::Sub => "-",
+            IntrinsicOp::Mul => "*",
+            IntrinsicOp::DivS => "/s",
+            IntrinsicOp::DivU => "/u",
+            IntrinsicOp::ModS => "%s",
+            IntrinsicOp::ModU => "%u",
+            IntrinsicOp::PowS => "^s",
+            IntrinsicOp::PowU => "^u",
+            IntrinsicOp::Neg => "neg",
+            IntrinsicOp::AddF => "+f",
+            IntrinsicOp::SubF => "-f",
+            IntrinsicOp::MulF => "*f",
+            IntrinsicOp::DivF => "/f",
+            IntrinsicOp::PowF => "^f",
+            IntrinsicOp::NegF => "negf",
+            IntrinsicOp::BAnd => "band",
+            IntrinsicOp::BOr => "bor",
+            IntrinsicOp::BXor => "bxor",
+            IntrinsicOp::BNot => "bnot",
+            IntrinsicOp::BShl => "bshl",
+            IntrinsicOp::BShrU => "bshru",
+            IntrinsicOp::BShrS => "bshrs",
+            IntrinsicOp::LAnd => "land",
+            IntrinsicOp::LOr => "lor",
+            IntrinsicOp::LNot => "lnot",
+            IntrinsicOp::MinS => "min_s",
+            IntrinsicOp::MinU => "min_u",
+            IntrinsicOp::MinF => "min_f",
+            IntrinsicOp::MaxS => "max_s",
+            IntrinsicOp::MaxU => "max_u",
+            IntrinsicOp::MaxF => "max_f",
+            IntrinsicOp::Cat => "cat",
+            IntrinsicOp::Ord => "ord",
+            IntrinsicOp::Strlen => "strlen",
+            IntrinsicOp::Substr => "substr",
+            IntrinsicOp::ToNumber => "to_number",
+            IntrinsicOp::ToString => "to_string",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison kinds, pre-typed at translation time.
+///
+/// `Eq`/`Ne` compare raw bits (for floats this means bit equality, the
+/// documented trade-off of type de-specialization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Bit equality.
+    Eq,
+    /// Bit inequality.
+    Ne,
+    /// Signed `<`.
+    LtS,
+    /// Signed `<=`.
+    LeS,
+    /// Signed `>`.
+    GtS,
+    /// Signed `>=`.
+    GeS,
+    /// Unsigned `<`.
+    LtU,
+    /// Unsigned `<=`.
+    LeU,
+    /// Unsigned `>`.
+    GtU,
+    /// Unsigned `>=`.
+    GeU,
+    /// Float `<`.
+    LtF,
+    /// Float `<=`.
+    LeF,
+    /// Float `>`.
+    GtF,
+    /// Float `>=`.
+    GeF,
+}
+
+impl std::fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpKind::Eq => "=",
+            CmpKind::Ne => "!=",
+            CmpKind::LtS => "<s",
+            CmpKind::LeS => "<=s",
+            CmpKind::GtS => ">s",
+            CmpKind::GeS => ">=s",
+            CmpKind::LtU => "<u",
+            CmpKind::LeU => "<=u",
+            CmpKind::GtU => ">u",
+            CmpKind::GeU => ">=u",
+            CmpKind::LtF => "<f",
+            CmpKind::LeF => "<=f",
+            CmpKind::GtF => ">f",
+            CmpKind::GeF => ">=f",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_count_counts_nodes() {
+        // (t0.0 + 1) * 2  → 5 nodes
+        let e = RamExpr::intrinsic(
+            IntrinsicOp::Mul,
+            vec![
+                RamExpr::intrinsic(
+                    IntrinsicOp::Add,
+                    vec![
+                        RamExpr::TupleElement {
+                            level: 0,
+                            column: 0,
+                        },
+                        RamExpr::Constant(1),
+                    ],
+                ),
+                RamExpr::Constant(2),
+            ],
+        );
+        assert_eq!(e.dispatch_count(), 5);
+    }
+
+    #[test]
+    fn symbol_ops_are_flagged() {
+        assert!(IntrinsicOp::Cat.needs_symbols());
+        assert!(!IntrinsicOp::Add.needs_symbols());
+    }
+}

@@ -1,0 +1,217 @@
+//! Human-readable RAM listings in the style of the paper's Figs. 3 and 17.
+
+use crate::expr::RamExpr;
+use crate::program::{RamProgram, RelId};
+use crate::stmt::{RamCond, RamOp, RamStmt};
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn program_to_string(p: &RamProgram) -> String {
+    let mut out = String::new();
+    for r in &p.relations {
+        let orders: Vec<String> = r
+            .orders
+            .iter()
+            .map(|o| {
+                let cols: Vec<String> = o.iter().map(usize::to_string).collect();
+                format!("[{}]", cols.join(","))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "DECL {} arity={} repr={:?} indexes={}",
+            r.name,
+            r.arity,
+            r.repr,
+            orders.join(" ")
+        );
+    }
+    let _ = writeln!(out, "BEGIN MAIN");
+    let mut pr = Printer { p, out };
+    pr.stmt(&p.main, 1);
+    let mut out = pr.out;
+    let _ = writeln!(out, "END MAIN");
+    out
+}
+
+impl std::fmt::Display for RamProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&program_to_string(self))
+    }
+}
+
+/// Renders one statement subtree (used in tests and the case study bench).
+pub fn stmt_to_string(p: &RamProgram, stmt: &RamStmt) -> String {
+    let mut pr = Printer {
+        p,
+        out: String::new(),
+    };
+    pr.stmt(stmt, 0);
+    pr.out
+}
+
+struct Printer<'a> {
+    p: &'a RamProgram,
+    out: String,
+}
+
+impl Printer<'_> {
+    fn name(&self, rel: RelId) -> &str {
+        &self.p.relations[rel.0].name
+    }
+
+    fn line(&mut self, indent: usize, text: &str) {
+        for _ in 0..indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn stmt(&mut self, s: &RamStmt, ind: usize) {
+        match s {
+            RamStmt::Seq(stmts) => {
+                for st in stmts {
+                    self.stmt(st, ind);
+                }
+            }
+            RamStmt::Loop(body) => {
+                self.line(ind, "LOOP");
+                self.stmt(body, ind + 1);
+                self.line(ind, "END LOOP");
+            }
+            RamStmt::Exit(cond) => {
+                let c = self.cond(cond);
+                self.line(ind, &format!("EXIT {c}"));
+            }
+            RamStmt::Query { label, op, .. } => {
+                self.line(ind, &format!("QUERY \"{label}\""));
+                self.op(op, ind + 1);
+            }
+            RamStmt::Clear(rel) => {
+                let n = self.name(*rel).to_owned();
+                self.line(ind, &format!("CLEAR {n}"));
+            }
+            RamStmt::Merge { into, from } => {
+                let t = format!("MERGE {} INTO {}", self.name(*from), self.name(*into));
+                self.line(ind, &t);
+            }
+            RamStmt::Swap(a, b) => {
+                let t = format!("SWAP ({}, {})", self.name(*a), self.name(*b));
+                self.line(ind, &t);
+            }
+        }
+    }
+
+    fn op(&mut self, o: &RamOp, ind: usize) {
+        match o {
+            RamOp::Scan { rel, level, body } => {
+                let t = format!("FOR t{level} IN {}", self.name(*rel));
+                self.line(ind, &t);
+                self.op(body, ind + 1);
+            }
+            RamOp::IndexScan {
+                rel,
+                index,
+                level,
+                pattern,
+                eqrel_swap,
+                body,
+            } => {
+                let pat = self.pattern(pattern);
+                let swap = if *eqrel_swap { " (swapped)" } else { "" };
+                let t = format!(
+                    "FOR t{level} IN {} ON INDEX#{index} {pat}{swap}",
+                    self.name(*rel)
+                );
+                self.line(ind, &t);
+                self.op(body, ind + 1);
+            }
+            RamOp::Filter { cond, body } => {
+                let c = self.cond(cond);
+                self.line(ind, &format!("IF {c}"));
+                self.op(body, ind + 1);
+            }
+            RamOp::Project { rel, values } => {
+                let vals: Vec<String> = values.iter().map(|v| self.expr(v)).collect();
+                let t = format!("INSERT ({}) INTO {}", vals.join(", "), self.name(*rel));
+                self.line(ind, &t);
+            }
+            RamOp::Aggregate {
+                level,
+                func,
+                rel,
+                index,
+                pattern,
+                value,
+                body,
+            } => {
+                let pat = self.pattern(pattern);
+                let v = value
+                    .as_ref()
+                    .map(|e| format!(" OF {}", self.expr(e)))
+                    .unwrap_or_default();
+                let t = format!(
+                    "t{level} := {func}{v} FOR ALL IN {} ON INDEX#{index} {pat}",
+                    self.name(*rel)
+                );
+                self.line(ind, &t);
+                self.op(body, ind + 1);
+            }
+        }
+    }
+
+    fn pattern(&self, pattern: &[Option<RamExpr>]) -> String {
+        let parts: Vec<String> = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.as_ref().map(|e| format!(".{c}={}", self.expr(e))))
+            .collect();
+        if parts.is_empty() {
+            "(full)".to_owned()
+        } else {
+            format!("ON {}", parts.join(" AND "))
+        }
+    }
+
+    fn cond(&self, c: &RamCond) -> String {
+        match c {
+            RamCond::True => "TRUE".to_owned(),
+            RamCond::Conjunction(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| self.cond(c)).collect();
+                format!("({})", parts.join(" AND "))
+            }
+            RamCond::Negation(inner) => format!("(NOT {})", self.cond(inner)),
+            RamCond::Comparison { kind, lhs, rhs } => {
+                format!("({} {kind} {})", self.expr(lhs), self.expr(rhs))
+            }
+            RamCond::EmptinessCheck { rel } => format!("({} = ∅)", self.name(*rel)),
+            RamCond::ExistenceCheck { rel, pattern, .. } => {
+                let parts: Vec<String> = pattern
+                    .iter()
+                    .map(|p| match p {
+                        Some(e) => self.expr(e),
+                        None => "_".to_owned(),
+                    })
+                    .collect();
+                format!("(({}) ∈ {})", parts.join(","), self.name(*rel))
+            }
+        }
+    }
+
+    fn expr(&self, e: &RamExpr) -> String {
+        match e {
+            RamExpr::Constant(v) => format!("{v}"),
+            RamExpr::TupleElement { level, column } => format!("t{level}.{column}"),
+            RamExpr::AutoIncrement => "$".to_owned(),
+            RamExpr::Intrinsic { op, args } => {
+                let parts: Vec<String> = args.iter().map(|a| self.expr(a)).collect();
+                if args.len() == 2 {
+                    format!("({} {op} {})", parts[0], parts[1])
+                } else {
+                    format!("{op}({})", parts.join(", "))
+                }
+            }
+        }
+    }
+}

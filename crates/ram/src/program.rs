@@ -1,0 +1,122 @@
+//! The RAM program container and relation metadata.
+
+use crate::expr::RamDomain;
+use crate::stmt::RamStmt;
+use stir_frontend::ast::AttrType;
+use stir_frontend::SymbolTable;
+
+/// Dense id of a relation inside a [`RamProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub usize);
+
+impl std::fmt::Display for RelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// How a relation participates in evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A source-program relation.
+    Standard,
+    /// The `delta_R` of a recursive relation (tuples new in the previous
+    /// iteration); the payload is the base relation.
+    Delta(RelId),
+    /// The `new_R` of a recursive relation (tuples derived in the current
+    /// iteration); the payload is the base relation.
+    New(RelId),
+}
+
+/// The representation chosen for a relation's indexes.
+///
+/// Mirrors `stir_der::Representation`; duplicated to keep this crate
+/// dependency-free of the data-structure crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReprKind {
+    /// B-tree indexes.
+    BTree,
+    /// Brie (trie) indexes.
+    Brie,
+    /// Union-find equivalence relation (binary only, single index).
+    EqRel,
+}
+
+/// A lexicographic order, as a permutation of source columns
+/// (stored-position → source-column; mirrors `stir_der::Order`).
+pub type ColumnOrder = Vec<usize>;
+
+/// Metadata for one relation of a RAM program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RamRelation {
+    /// The relation's id (its position in [`RamProgram::relations`]).
+    pub id: RelId,
+    /// Its name (`delta_`/`new_` prefixes for auxiliary relations).
+    pub name: String,
+    /// Tuple arity.
+    pub arity: usize,
+    /// Declared attribute types (drives I/O formatting).
+    pub attr_types: Vec<AttrType>,
+    /// Index representation.
+    pub repr: ReprKind,
+    /// The lexicographic orders of the relation's indexes
+    /// (`orders[0]` is the primary index); filled by index selection.
+    pub orders: Vec<ColumnOrder>,
+    /// Evaluation role.
+    pub role: Role,
+    /// Whether facts are supplied externally.
+    pub is_input: bool,
+    /// Whether the relation is reported as output.
+    pub is_output: bool,
+}
+
+/// A complete translated program.
+#[derive(Debug, Clone)]
+pub struct RamProgram {
+    /// All relations (source + delta/new auxiliaries + aggregate helpers).
+    pub relations: Vec<RamRelation>,
+    /// Ground facts from the source text, already encoded as bit patterns.
+    pub facts: Vec<(RelId, Vec<RamDomain>)>,
+    /// The main statement (a `Seq` of strata).
+    pub main: RamStmt,
+    /// Symbols interned during translation (string constants).
+    pub symbols: SymbolTable,
+}
+
+impl RamProgram {
+    /// Metadata for `id`.
+    pub fn relation(&self, id: RelId) -> &RamRelation {
+        &self.relations[id.0]
+    }
+
+    /// Finds a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<&RamRelation> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// Ids of `.input` relations.
+    pub fn inputs(&self) -> impl Iterator<Item = &RamRelation> {
+        self.relations.iter().filter(|r| r.is_input)
+    }
+
+    /// Ids of `.output` relations.
+    pub fn outputs(&self) -> impl Iterator<Item = &RamRelation> {
+        self.relations.iter().filter(|r| r.is_output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_id_displays_compactly() {
+        assert_eq!(RelId(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn roles_carry_base_relation() {
+        let d = Role::Delta(RelId(3));
+        assert!(matches!(d, Role::Delta(RelId(3))));
+    }
+}

@@ -1,0 +1,289 @@
+//! Aggregate desugaring: aggregate bodies become helper relations.
+//!
+//! A rule `h(..) :- outer, V = sum x*y : { f(x, k), g(y), x > 0 }` is
+//! rewritten so the RAM level only ever aggregates over one indexed scan:
+//!
+//! ```text
+//! .decl __agg0(k, x, y)                 // outer-shared vars + local vars
+//! __agg0(k, x, y) :- f(x, k), g(y), x > 0.
+//! h(..) :- outer, V = sum x*y : { __agg0(k, x, y) }.
+//! ```
+//!
+//! The helper captures *all* local variables so multiplicity under set
+//! semantics is preserved (distinct bindings, not distinct values), and
+//! the outer-shared variables so the aggregate can be keyed per outer
+//! binding. Wildcards in aggregate bodies are renamed to fresh variables
+//! for the same reason. Stratification (aggregate edges are negative)
+//! places the helper strictly below the consuming rule.
+
+use std::collections::BTreeSet;
+use stir_frontend::ast::*;
+use stir_frontend::span::Span;
+
+/// Rewrites all aggregates in `ast`; returns the new program and whether
+/// anything changed (callers re-run semantic analysis if so).
+pub fn desugar_aggregates(ast: &Program) -> (Program, bool) {
+    let mut out = ast.clone();
+    let mut helpers: Vec<(RelationDecl, Rule)> = Vec::new();
+    let mut counter = 0usize;
+
+    for rule in &mut out.rules {
+        // Variables visible outside the aggregates of this rule.
+        let mut outer_vars: Vec<&str> = Vec::new();
+        for arg in &rule.head.args {
+            arg.collect_vars(&mut outer_vars);
+        }
+        for lit in &rule.body {
+            match lit {
+                Literal::Positive(a) | Literal::Negative(a) => {
+                    for arg in &a.args {
+                        arg.collect_vars(&mut outer_vars);
+                    }
+                }
+                Literal::Constraint(c) => {
+                    // Only the non-aggregate parts contribute: aggregates
+                    // are scopes of their own. `collect_vars` already skips
+                    // aggregate bodies.
+                    c.lhs.collect_vars(&mut outer_vars);
+                    c.rhs.collect_vars(&mut outer_vars);
+                }
+            }
+        }
+        let outer: BTreeSet<String> = outer_vars.iter().map(|s| (*s).to_owned()).collect();
+
+        for lit in &mut rule.body {
+            if let Literal::Constraint(c) = lit {
+                for side in [&mut c.lhs, &mut c.rhs] {
+                    rewrite_expr(side, &outer, &mut helpers, &mut counter);
+                }
+            }
+        }
+    }
+
+    let changed = !helpers.is_empty();
+    for (decl, rule) in helpers {
+        out.decls.push(decl);
+        out.rules.push(rule);
+    }
+    (out, changed)
+}
+
+fn rewrite_expr(
+    e: &mut Expr,
+    outer: &BTreeSet<String>,
+    helpers: &mut Vec<(RelationDecl, Rule)>,
+    counter: &mut usize,
+) {
+    match e {
+        Expr::Aggregate {
+            value, body, span, ..
+        } => {
+            // Fresh names for wildcards so they count as distinct bindings.
+            let mut body = std::mem::take(body);
+            let mut wild = 0usize;
+            for lit in &mut body {
+                if let Literal::Positive(a) | Literal::Negative(a) = lit {
+                    for arg in &mut a.args {
+                        if matches!(arg, Expr::Wildcard(_)) {
+                            let name = format!("__w{wild}");
+                            wild += 1;
+                            *arg = Expr::Var(name, arg.span());
+                        }
+                    }
+                }
+            }
+
+            // Column set: outer-shared vars first (the aggregate key),
+            // then the remaining local vars.
+            let mut locals: Vec<String> = Vec::new();
+            let mut body_vars: Vec<&str> = Vec::new();
+            for lit in &body {
+                match lit {
+                    Literal::Positive(a) | Literal::Negative(a) => {
+                        for arg in &a.args {
+                            arg.collect_vars(&mut body_vars);
+                        }
+                    }
+                    Literal::Constraint(c) => {
+                        c.lhs.collect_vars(&mut body_vars);
+                        c.rhs.collect_vars(&mut body_vars);
+                    }
+                }
+            }
+            let mut seen = BTreeSet::new();
+            let mut keys: Vec<String> = Vec::new();
+            for v in body_vars {
+                if !seen.insert(v.to_owned()) {
+                    continue;
+                }
+                if outer.contains(v) {
+                    keys.push(v.to_owned());
+                } else {
+                    locals.push(v.to_owned());
+                }
+            }
+
+            let name = format!("__agg{}", *counter);
+            *counter += 1;
+            let mk_var = |v: &String| Expr::Var(v.clone(), Span::default());
+            let args: Vec<Expr> = keys.iter().chain(locals.iter()).map(mk_var).collect();
+            let attrs: Vec<Attribute> = keys
+                .iter()
+                .chain(locals.iter())
+                .map(|v| Attribute {
+                    // Types are re-inferred by `analyze` on the desugared
+                    // program through the *body* occurrences; the declared
+                    // type here is refined by `fix_helper_types`.
+                    name: v.clone(),
+                    ty: AttrType::Number,
+                })
+                .collect();
+            let helper_atom = Atom {
+                name: name.clone(),
+                args: args.clone(),
+                span: *span,
+            };
+            helpers.push((
+                RelationDecl {
+                    name: name.clone(),
+                    attrs,
+                    repr: ReprHint::Default,
+                    span: *span,
+                },
+                Rule {
+                    head: helper_atom.clone(),
+                    body,
+                    span: *span,
+                },
+            ));
+            let _ = value; // the value expression stays in place
+                           // Replace the aggregate's body with the single helper atom.
+            if let Expr::Aggregate { body, .. } = e {
+                *body = vec![Literal::Positive(helper_atom)];
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            rewrite_expr(lhs, outer, helpers, counter);
+            rewrite_expr(rhs, outer, helpers, counter);
+        }
+        Expr::Unary { expr, .. } => rewrite_expr(expr, outer, helpers, counter),
+        Expr::Call { args, .. } => {
+            for a in args {
+                rewrite_expr(a, outer, helpers, counter);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Patches helper declarations so each column's declared type matches the
+/// type its variable has in the helper rule's body (the desugarer declares
+/// everything `number` first because it has no type context).
+pub fn fix_helper_types(ast: &mut Program) {
+    use std::collections::HashMap;
+    let decl_types: HashMap<String, Vec<AttrType>> = ast
+        .decls
+        .iter()
+        .map(|d| (d.name.clone(), d.attrs.iter().map(|a| a.ty).collect()))
+        .collect();
+    // Infer each helper's column types from its defining rule body.
+    let mut fixes: Vec<(String, HashMap<String, AttrType>)> = Vec::new();
+    for rule in &ast.rules {
+        if !rule.head.name.starts_with("__agg") {
+            continue;
+        }
+        let mut var_types: HashMap<String, AttrType> = HashMap::new();
+        for lit in &rule.body {
+            if let Literal::Positive(a) | Literal::Negative(a) = lit {
+                if let Some(types) = decl_types.get(&a.name) {
+                    for (arg, ty) in a.args.iter().zip(types) {
+                        if let Expr::Var(v, _) = arg {
+                            var_types.entry(v.clone()).or_insert(*ty);
+                        }
+                    }
+                }
+            }
+        }
+        fixes.push((rule.head.name.clone(), var_types));
+    }
+    for (name, var_types) in fixes {
+        if let Some(decl) = ast.decls.iter_mut().find(|d| d.name == name) {
+            for attr in &mut decl.attrs {
+                if let Some(ty) = var_types.get(&attr.name) {
+                    attr.ty = *ty;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_frontend::parser::parse;
+
+    #[test]
+    fn count_over_wildcards_keeps_multiplicity() {
+        let ast = parse(
+            ".decl e(x: number, y: number)\n.decl t(n: number)\n\
+             t(n) :- n = count : { e(_, _) }.",
+        )
+        .expect("parses");
+        let (out, changed) = desugar_aggregates(&ast);
+        assert!(changed);
+        // Helper has two columns (the two renamed wildcards).
+        let helper = out.decl("__agg0").expect("helper declared");
+        assert_eq!(helper.arity(), 2);
+        let helper_rule = out
+            .rules
+            .iter()
+            .find(|r| r.head.name == "__agg0")
+            .expect("helper rule");
+        assert_eq!(helper_rule.body.len(), 1);
+        // The consuming aggregate now scans the helper.
+        let Literal::Constraint(c) = &out.rules[0].body[0] else {
+            panic!()
+        };
+        let Expr::Aggregate { body, .. } = &c.rhs else {
+            panic!()
+        };
+        let Literal::Positive(a) = &body[0] else {
+            panic!()
+        };
+        assert_eq!(a.name, "__agg0");
+    }
+
+    #[test]
+    fn outer_shared_vars_become_leading_key_columns() {
+        let ast = parse(
+            ".decl f(k: number, x: number)\n.decl g(k: number)\n.decl t(k: number, n: number)\n\
+             t(k, n) :- g(k), n = sum x : { f(k, x) }.",
+        )
+        .expect("parses");
+        let (out, _) = desugar_aggregates(&ast);
+        let helper = out.decl("__agg0").expect("helper");
+        assert_eq!(helper.attrs[0].name, "k");
+        assert_eq!(helper.attrs[1].name, "x");
+    }
+
+    #[test]
+    fn no_aggregates_means_no_change() {
+        let ast = parse(".decl e(x: number)\n.decl p(x: number)\np(x) :- e(x).").unwrap();
+        let (out, changed) = desugar_aggregates(&ast);
+        assert!(!changed);
+        assert_eq!(out, ast);
+    }
+
+    #[test]
+    fn helper_types_are_fixed_up() {
+        let ast = parse(
+            ".decl f(s: symbol)\n.decl t(n: number)\n\
+             t(n) :- n = count : { f(s) }.",
+        )
+        .expect("parses");
+        let (mut out, _) = desugar_aggregates(&ast);
+        fix_helper_types(&mut out);
+        let helper = out.decl("__agg0").expect("helper");
+        assert_eq!(helper.attrs[0].ty, AttrType::Symbol);
+    }
+}

@@ -1,0 +1,487 @@
+//! AST → RAM translation.
+//!
+//! Strata are lowered in bottom-up order. A non-recursive stratum is a
+//! sequence of queries; a recursive stratum becomes the semi-naive loop of
+//! the paper's Fig. 3, with one `delta_R`/`new_R` pair per SCC relation
+//! and one query per (rule, delta-occurrence) combination. After
+//! translation, [`crate::index_selection::assign_indexes`] computes each
+//! relation's index set and patches every search site.
+
+pub mod desugar;
+pub mod rule;
+pub mod typing;
+
+use crate::expr::RamDomain;
+use crate::index_selection::assign_indexes;
+use crate::program::{RamProgram, RamRelation, RelId, ReprKind, Role};
+use crate::stmt::{RamCond, RamStmt};
+use crate::translate::rule::{translate_rule, RecursiveInfo, RuleCx};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use stir_frontend::analysis::CheckedProgram;
+use stir_frontend::ast::{AttrType, Expr, Literal, ReprHint, Rule};
+use stir_frontend::SymbolTable;
+
+/// A translation failure (type-incoherent expression, unsupported
+/// construct, or internal invariant violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl TranslateError {
+    /// Creates an error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        TranslateError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translation error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates a checked program into RAM.
+///
+/// # Errors
+///
+/// See [`TranslateError`]; notably, `eqrel` relations may not be heads of
+/// recursive strata (their union-find representation computes closures
+/// eagerly and has no delta semantics).
+pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError> {
+    // Aggregates become helper relations; re-analyze if anything changed.
+    let (desugared, changed) = desugar::desugar_aggregates(&checked.ast);
+    let owned;
+    let checked = if changed {
+        let mut desugared = desugared;
+        desugar::fix_helper_types(&mut desugared);
+        owned = stir_frontend::analyze(desugared)
+            .map_err(|e| TranslateError::new(format!("internal desugaring error: {e}")))?;
+        &owned
+    } else {
+        checked
+    };
+
+    let mut relations: Vec<RamRelation> = Vec::new();
+    let mut rel_ids: HashMap<String, RelId> = HashMap::new();
+    for (i, d) in checked.ast.decls.iter().enumerate() {
+        let info = &checked.relations[&d.name];
+        debug_assert_eq!(info.decl_index, i);
+        let id = RelId(relations.len());
+        rel_ids.insert(d.name.clone(), id);
+        relations.push(RamRelation {
+            id,
+            name: d.name.clone(),
+            arity: d.arity(),
+            attr_types: d.attrs.iter().map(|a| a.ty).collect(),
+            repr: match d.repr {
+                ReprHint::Default | ReprHint::BTree => ReprKind::BTree,
+                ReprHint::Brie => ReprKind::Brie,
+                ReprHint::EqRel => ReprKind::EqRel,
+            },
+            orders: Vec::new(),
+            role: Role::Standard,
+            is_input: info.is_input,
+            is_output: info.is_output,
+        });
+    }
+
+    // delta_R / new_R for recursive strata.
+    let mut aux: HashMap<String, (RelId, RelId)> = HashMap::new();
+    for stratum in &checked.strata {
+        if !stratum.recursive {
+            continue;
+        }
+        for name in &stratum.relations {
+            let base = rel_ids[name];
+            let base_rel = relations[base.0].clone();
+            if base_rel.repr == ReprKind::EqRel {
+                return Err(TranslateError::new(format!(
+                    "eqrel relation `{name}` may not be recursive (its union-find \
+                     representation computes closures eagerly; define it with \
+                     non-recursive rules instead)"
+                )));
+            }
+            let mut mk = |prefix: &str, role: Role| {
+                let id = RelId(relations.len());
+                rel_ids.insert(format!("{prefix}{name}"), id);
+                relations.push(RamRelation {
+                    id,
+                    name: format!("{prefix}{name}"),
+                    arity: base_rel.arity,
+                    attr_types: base_rel.attr_types.clone(),
+                    repr: base_rel.repr,
+                    orders: Vec::new(),
+                    role,
+                    is_input: false,
+                    is_output: false,
+                });
+                id
+            };
+            let delta = mk("delta_", Role::Delta(base));
+            let new = mk("new_", Role::New(base));
+            aux.insert(name.clone(), (delta, new));
+        }
+    }
+
+    // Facts.
+    let mut symbols = SymbolTable::new();
+    let mut facts: Vec<(RelId, Vec<RamDomain>)> = Vec::new();
+    for fact in &checked.ast.facts {
+        let decl = checked.decl(&fact.atom.name);
+        let rel = rel_ids[&fact.atom.name];
+        let mut tuple = Vec::with_capacity(decl.arity());
+        for (arg, attr) in fact.atom.args.iter().zip(&decl.attrs) {
+            tuple.push(encode_constant(arg, attr.ty, &mut symbols)?);
+        }
+        facts.push((rel, tuple));
+    }
+
+    // Strata.
+    let mut cx = RuleCx {
+        checked,
+        rel_ids: &rel_ids,
+        relations: &relations,
+        symbols: &mut symbols,
+    };
+    let mut main: Vec<RamStmt> = Vec::new();
+    for stratum in &checked.strata {
+        if stratum.rules.is_empty() {
+            continue;
+        }
+        if !stratum.recursive {
+            for &ri in &stratum.rules {
+                main.push(translate_rule(&mut cx, &checked.ast.rules[ri], None)?);
+            }
+            continue;
+        }
+
+        let scc: BTreeSet<String> = stratum.relations.iter().cloned().collect();
+        let mut seq: Vec<RamStmt> = Vec::new();
+
+        // Exit rules (no positive SCC body atom) run once, into R.
+        let mut recursive_rules: Vec<&Rule> = Vec::new();
+        for &ri in &stratum.rules {
+            let r = &checked.ast.rules[ri];
+            if count_scc_occurrences(r, &scc) == 0 {
+                seq.push(translate_rule(&mut cx, r, None)?);
+            } else {
+                recursive_rules.push(r);
+            }
+        }
+
+        // delta_R := R.
+        for name in &scc {
+            let (delta, _) = aux[name];
+            seq.push(RamStmt::Merge {
+                into: delta,
+                from: rel_ids[name],
+            });
+        }
+
+        // The fixpoint loop.
+        let mut loop_body: Vec<RamStmt> = Vec::new();
+        for r in &recursive_rules {
+            let n = count_scc_occurrences(r, &scc);
+            for occurrence in 0..n {
+                let info = RecursiveInfo {
+                    scc: scc.clone(),
+                    aux: aux
+                        .iter()
+                        .filter(|(k, _)| scc.contains(*k))
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect(),
+                    delta_occurrence: occurrence,
+                };
+                loop_body.push(translate_rule(&mut cx, r, Some(&info))?);
+            }
+        }
+        let exit_cond = scc
+            .iter()
+            .map(|name| RamCond::EmptinessCheck { rel: aux[name].1 })
+            .reduce(RamCond::and)
+            .expect("SCC is nonempty");
+        loop_body.push(RamStmt::Exit(exit_cond));
+        for name in &scc {
+            let (delta, new) = aux[name];
+            loop_body.push(RamStmt::Merge {
+                into: rel_ids[name],
+                from: new,
+            });
+            loop_body.push(RamStmt::Swap(delta, new));
+            loop_body.push(RamStmt::Clear(new));
+        }
+        seq.push(RamStmt::Loop(Box::new(RamStmt::Seq(loop_body))));
+
+        // Hygiene: the auxiliaries are dead after the stratum.
+        for name in &scc {
+            let (delta, new) = aux[name];
+            seq.push(RamStmt::Clear(delta));
+            seq.push(RamStmt::Clear(new));
+        }
+        main.push(RamStmt::Seq(seq));
+    }
+
+    let mut program = RamProgram {
+        relations,
+        facts,
+        main: RamStmt::Seq(main),
+        symbols,
+    };
+    crate::transform::optimize(&mut program);
+    assign_indexes(&mut program);
+    Ok(program)
+}
+
+/// Counts positive body occurrences of SCC relations.
+fn count_scc_occurrences(rule: &Rule, scc: &BTreeSet<String>) -> usize {
+    rule.body
+        .iter()
+        .filter(|l| matches!(l, Literal::Positive(a) if scc.contains(&a.name)))
+        .count()
+}
+
+/// Encodes a constant fact argument as its bit pattern.
+fn encode_constant(
+    arg: &Expr,
+    ty: AttrType,
+    symbols: &mut SymbolTable,
+) -> Result<RamDomain, TranslateError> {
+    match (arg, ty) {
+        (Expr::Number(n, _), AttrType::Number) => i32::try_from(*n)
+            .map(|v| v as u32)
+            .map_err(|_| TranslateError::new(format!("{n} out of number range"))),
+        (Expr::Number(n, _), AttrType::Unsigned) => {
+            u32::try_from(*n).map_err(|_| TranslateError::new(format!("{n} out of unsigned range")))
+        }
+        (Expr::Number(n, _), AttrType::Float) => Ok((*n as f32).to_bits()),
+        (Expr::Float(x, _), AttrType::Float) => Ok(x.to_bits()),
+        (Expr::Str(s, _), AttrType::Symbol) => Ok(symbols.intern(s)),
+        (e, t) => Err(TranslateError::new(format!(
+            "fact constant `{e}` does not fit type `{t}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::program_to_string;
+    use crate::stmt::RamOp;
+    use stir_frontend::parse_and_check;
+
+    fn ram_of(src: &str) -> RamProgram {
+        translate(&parse_and_check(src).expect("checks")).expect("translates")
+    }
+
+    const TC: &str = "\
+        .decl e(x: number, y: number)\n\
+        .decl p(x: number, y: number)\n\
+        .output p\n\
+        e(1, 2). e(2, 3).\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, z) :- p(x, y), e(y, z).\n";
+
+    #[test]
+    fn transitive_closure_shape() {
+        let ram = ram_of(TC);
+        // Relations: e, p, delta_p, new_p.
+        let names: Vec<&str> = ram.relations.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["e", "p", "delta_p", "new_p"]);
+        assert_eq!(ram.facts.len(), 2);
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("LOOP"), "{listing}");
+        assert!(listing.contains("MERGE new_p INTO p"), "{listing}");
+        assert!(listing.contains("SWAP (delta_p, new_p)"), "{listing}");
+        assert!(listing.contains("EXIT"), "{listing}");
+    }
+
+    #[test]
+    fn join_uses_an_index_scan_on_the_join_column() {
+        let ram = ram_of(TC);
+        // The recursive query scans delta_p then e with column 0 bound.
+        let mut found = false;
+        ram.main.walk(&mut |s| {
+            if let RamStmt::Query { op, label, .. } = s {
+                if label.contains("delta") {
+                    op.walk(&mut |o| {
+                        if let RamOp::IndexScan {
+                            rel,
+                            pattern,
+                            index,
+                            ..
+                        } = o
+                        {
+                            assert_eq!(ram.relation(*rel).name, "e");
+                            assert!(pattern[0].is_some());
+                            assert!(pattern[1].is_none());
+                            assert_ne!(*index, usize::MAX, "index was assigned");
+                            found = true;
+                        }
+                    });
+                }
+            }
+        });
+        assert!(found, "expected an IndexScan in the delta rule");
+    }
+
+    #[test]
+    fn recursive_head_projects_into_new_with_guard() {
+        let ram = ram_of(TC);
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("INTO new_p"), "{listing}");
+        assert!(listing.contains("∈ p"), "{listing}");
+    }
+
+    #[test]
+    fn index_orders_are_assigned_and_cover_searches() {
+        let ram = ram_of(TC);
+        let e = ram.relation_by_name("e").unwrap();
+        // e is searched on column 0 → natural order works, one index.
+        assert_eq!(e.orders.len(), 1);
+        assert_eq!(e.orders[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn two_incompatible_searches_get_two_indexes() {
+        let ram = ram_of(
+            ".decl e(x: number, y: number)\n.decl a(x: number)\n.decl r1(x: number, y: number)\n.decl r2(x: number, y: number)\n\
+             r1(x, y) :- a(x), e(x, y).\n\
+             r2(x, y) :- a(y), e(x, y).\n",
+        );
+        let e = ram.relation_by_name("e").unwrap();
+        assert_eq!(
+            e.orders.len(),
+            2,
+            "searches {{0}} and {{1}} are incomparable"
+        );
+    }
+
+    #[test]
+    fn negation_becomes_existence_filter() {
+        let ram = ram_of(
+            ".decl a(x: number)\n.decl b(x: number)\n.decl r(x: number)\n\
+             r(x) :- a(x), !b(x).",
+        );
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("NOT ((t0.0) ∈ b)"), "{listing}");
+    }
+
+    #[test]
+    fn equality_bindings_substitute() {
+        let ram = ram_of(
+            ".decl a(x: number)\n.decl r(x: number, y: number)\n\
+             r(x, y) :- a(x), y = x * 2 + 1.",
+        );
+        let listing = program_to_string(&ram);
+        // y's definition is inlined into the projection.
+        assert!(
+            listing.contains("INSERT (t0.0, ((t0.0 * 2) + 1)) INTO r"),
+            "{listing}"
+        );
+    }
+
+    #[test]
+    fn facts_encode_types() {
+        let ram = ram_of(
+            ".decl m(a: number, b: unsigned, c: float, d: symbol)\n\
+             m(-1, 7, 1.5, \"hi\").",
+        );
+        let (_, tuple) = &ram.facts[0];
+        assert_eq!(tuple[0], (-1i32) as u32);
+        assert_eq!(tuple[1], 7);
+        assert_eq!(tuple[2], 1.5f32.to_bits());
+        assert_eq!(ram.symbols.resolve(tuple[3]), "hi");
+    }
+
+    #[test]
+    fn aggregates_translate_via_helpers() {
+        let ram = ram_of(
+            ".decl e(x: number, y: number)\n.decl t(n: number)\n\
+             e(1, 2). e(1, 3).\n\
+             t(n) :- n = count : { e(1, _) }.",
+        );
+        assert!(ram.relation_by_name("__agg0").is_some());
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("COUNT"), "{listing}");
+    }
+
+    #[test]
+    fn eqrel_recursion_is_rejected() {
+        let checked = parse_and_check(
+            ".decl eq(x: number, y: number) eqrel\n.decl s(x: number, y: number)\n\
+             eq(x, y) :- s(x, y).\n\
+             eq(x, y) :- eq(x, z), s(z, y).\n",
+        )
+        .expect("checks");
+        let err = translate(&checked).unwrap_err();
+        assert!(err.msg.contains("eqrel"));
+    }
+
+    #[test]
+    fn eqrel_second_column_probe_swaps() {
+        let ram = ram_of(
+            ".decl eq(x: number, y: number) eqrel\n.decl s(x: number)\n.decl r(x: number, y: number)\n\
+             r(x, y) :- s(y), eq(x, y).",
+        );
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("(swapped)"), "{listing}");
+    }
+
+    #[test]
+    fn counter_in_recursive_rule_is_rejected() {
+        let checked = parse_and_check(
+            ".decl s(x: number)\n.decl p(x: number, y: number)\n\
+             p(x, $) :- s(x).\n\
+             p(x, $) :- p(x, _), s(x).\n",
+        )
+        .expect("checks");
+        let err = translate(&checked).unwrap_err();
+        assert!(err.msg.contains("counter"));
+    }
+
+    #[test]
+    fn mutual_recursion_produces_joint_loop() {
+        let ram = ram_of(
+            ".decl s(x: number)\n.decl a(x: number)\n.decl b(x: number)\n\
+             s(1). s(2).\n\
+             a(x) :- s(x).\n\
+             b(x) :- a(x).\n\
+             a(x) :- b(x), s(x).\n",
+        );
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("delta_a"));
+        assert!(listing.contains("delta_b"));
+        // Single loop merges both.
+        assert_eq!(listing.matches("LOOP").count(), 2); // "LOOP" + "END LOOP"
+    }
+
+    #[test]
+    fn delta_new_and_base_share_index_layout() {
+        // The delta version is probed on column 1 inside the recursive
+        // rule; base and new must still end up with identical layouts so
+        // MERGE/SWAP are well-defined.
+        let ram = ram_of(
+            ".decl e(x: number, y: number)\n.decl p(x: number, y: number)\n\
+             e(1, 2).\n\
+             p(x, y) :- e(x, y).\n\
+             p(x, z) :- e(x, y), p(y, z).\n",
+        );
+        let base = ram.relation_by_name("p").unwrap();
+        let delta = ram.relation_by_name("delta_p").unwrap();
+        let new = ram.relation_by_name("new_p").unwrap();
+        assert_eq!(base.orders, delta.orders);
+        assert_eq!(base.orders, new.orders);
+    }
+
+    #[test]
+    fn emptiness_guard_wraps_queries() {
+        let ram = ram_of(TC);
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("NOT (e = ∅)"), "{listing}");
+    }
+}

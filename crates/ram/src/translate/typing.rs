@@ -1,0 +1,125 @@
+//! Variable and expression typing for RAM lowering.
+//!
+//! The RAM level is untyped bits, so every type-sensitive operation must
+//! be resolved to a typed variant (`DivS` vs `DivU` vs `DivF`, ...) during
+//! translation. Variable types come from the positions they occupy in
+//! atoms; numeric literals default to `number` and widen as needed.
+
+use crate::translate::TranslateError;
+use std::collections::HashMap;
+use stir_frontend::analysis::CheckedProgram;
+use stir_frontend::ast::{AttrType, Expr, Literal, Rule};
+
+/// Infers the type of every variable of `rule` from the atom positions it
+/// occupies (head, body, and aggregate bodies). Variables bound only by
+/// equalities keep whatever their defining expression produces and are
+/// absent from the map.
+pub fn infer_var_types(rule: &Rule, checked: &CheckedProgram) -> HashMap<String, AttrType> {
+    let mut types = HashMap::new();
+    let mut visit_atom = |atom: &stir_frontend::ast::Atom,
+                          types: &mut HashMap<String, AttrType>| {
+        if let Some(info) = checked.relations.get(&atom.name) {
+            let decl = &checked.ast.decls[info.decl_index];
+            for (arg, attr) in atom.args.iter().zip(&decl.attrs) {
+                if let Expr::Var(v, _) = arg {
+                    types.entry(v.clone()).or_insert(attr.ty);
+                }
+            }
+        }
+    };
+    fn visit_literals(
+        body: &[Literal],
+        visit_atom: &mut dyn FnMut(&stir_frontend::ast::Atom, &mut HashMap<String, AttrType>),
+        types: &mut HashMap<String, AttrType>,
+    ) {
+        for lit in body {
+            match lit {
+                Literal::Positive(a) | Literal::Negative(a) => visit_atom(a, types),
+                Literal::Constraint(c) => {
+                    for side in [&c.lhs, &c.rhs] {
+                        visit_expr(side, visit_atom, types);
+                    }
+                }
+            }
+        }
+    }
+    fn visit_expr(
+        e: &Expr,
+        visit_atom: &mut dyn FnMut(&stir_frontend::ast::Atom, &mut HashMap<String, AttrType>),
+        types: &mut HashMap<String, AttrType>,
+    ) {
+        match e {
+            Expr::Aggregate { body, .. } => visit_literals(body, visit_atom, types),
+            Expr::Binary { lhs, rhs, .. } => {
+                visit_expr(lhs, visit_atom, types);
+                visit_expr(rhs, visit_atom, types);
+            }
+            Expr::Unary { expr, .. } => visit_expr(expr, visit_atom, types),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    visit_expr(a, visit_atom, types);
+                }
+            }
+            _ => {}
+        }
+    }
+    visit_atom(&rule.head, &mut types);
+    visit_literals(&rule.body, &mut visit_atom, &mut types);
+    types
+}
+
+/// Joins two operand types for a binary numeric operation.
+///
+/// # Errors
+///
+/// Symbols never join with anything (no implicit string arithmetic).
+pub fn join_numeric(a: AttrType, b: AttrType, what: &str) -> Result<AttrType, TranslateError> {
+    use AttrType::*;
+    match (a, b) {
+        (Symbol, _) | (_, Symbol) => Err(TranslateError::new(format!(
+            "symbol value used in numeric {what}"
+        ))),
+        (Float, _) | (_, Float) => Ok(Float),
+        (Unsigned, _) | (_, Unsigned) => Ok(Unsigned),
+        _ => Ok(Number),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_frontend::parse_and_check;
+
+    #[test]
+    fn types_flow_from_atom_positions() {
+        let checked = parse_and_check(
+            ".decl e(x: number, s: symbol)\n.decl p(s: symbol)\n\
+             p(s) :- e(n, s), n > 0.",
+        )
+        .expect("checks");
+        let types = infer_var_types(&checked.ast.rules[0], &checked);
+        assert_eq!(types["n"], AttrType::Number);
+        assert_eq!(types["s"], AttrType::Symbol);
+    }
+
+    #[test]
+    fn aggregate_body_vars_are_typed() {
+        let checked = parse_and_check(
+            ".decl e(x: unsigned)\n.decl p(n: number)\n\
+             p(n) :- n = count : { e(u), u > 0 }.",
+        )
+        .expect("checks");
+        let types = infer_var_types(&checked.ast.rules[0], &checked);
+        assert_eq!(types["u"], AttrType::Unsigned);
+        assert_eq!(types["n"], AttrType::Number);
+    }
+
+    #[test]
+    fn join_prefers_float_then_unsigned() {
+        use AttrType::*;
+        assert_eq!(join_numeric(Number, Number, "op").unwrap(), Number);
+        assert_eq!(join_numeric(Number, Unsigned, "op").unwrap(), Unsigned);
+        assert_eq!(join_numeric(Unsigned, Float, "op").unwrap(), Float);
+        assert!(join_numeric(Symbol, Number, "op").is_err());
+    }
+}

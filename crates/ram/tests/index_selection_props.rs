@@ -1,0 +1,101 @@
+//! Properties of the minimum-chain-cover index selection (VLDB'18):
+//!
+//! 1. **Soundness** — every signature's bound columns form a prefix of
+//!    its assigned index order, and every order is a permutation.
+//! 2. **Minimality** — the number of indexes equals the optimum, checked
+//!    against a brute-force minimum chain cover on small universes.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use stir_ram::index_selection::{select_indexes, Signature};
+
+fn covers(order: &[usize], sig: Signature) -> bool {
+    let k = sig.count_ones() as usize;
+    let prefix: BTreeSet<usize> = order[..k].iter().copied().collect();
+    (0..order.len())
+        .filter(|c| sig & (1 << c) != 0)
+        .all(|c| prefix.contains(&c))
+}
+
+/// Brute-force minimum chain cover via Dilworth on a tiny poset:
+/// max matching in the containment DAG by exhaustive search.
+fn brute_force_min_chains(sigs: &[Signature]) -> usize {
+    let n = sigs.len();
+    // Edges i -> j iff sigs[i] ⊂ sigs[j].
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && sigs[i] & sigs[j] == sigs[i] && sigs[i] != sigs[j] {
+                edges.push((i, j));
+            }
+        }
+    }
+    // Exhaustive maximum matching (n is small).
+    fn max_matching(
+        edges: &[(usize, usize)],
+        idx: usize,
+        used_left: u32,
+        used_right: u32,
+    ) -> usize {
+        if idx == edges.len() {
+            return 0;
+        }
+        let (a, b) = edges[idx];
+        let skip = max_matching(edges, idx + 1, used_left, used_right);
+        if used_left & (1 << a) == 0 && used_right & (1 << b) == 0 {
+            let take =
+                1 + max_matching(edges, idx + 1, used_left | (1 << a), used_right | (1 << b));
+            skip.max(take)
+        } else {
+            skip
+        }
+    }
+    n - max_matching(&edges, 0, 0, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn selection_is_sound_and_minimal(
+        raw_sigs in prop::collection::btree_set(1u32..32, 1..7), // arity 5 universe
+    ) {
+        let arity = 5;
+        let sigs: BTreeSet<Signature> = raw_sigs;
+        let result = select_indexes(arity, &sigs);
+
+        // Soundness: permutations + prefix coverage.
+        for order in &result.orders {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &(0..arity).collect::<Vec<_>>());
+        }
+        for &sig in &sigs {
+            let idx = result.index_of[&sig];
+            prop_assert!(
+                covers(&result.orders[idx], sig),
+                "signature {sig:05b} not a prefix of order {:?}",
+                result.orders[idx]
+            );
+        }
+
+        // Minimality against brute force.
+        let sig_vec: Vec<Signature> = sigs.iter().copied().collect();
+        prop_assert_eq!(result.orders.len(), brute_force_min_chains(&sig_vec));
+    }
+
+    #[test]
+    fn chains_of_nested_signatures_always_share(
+        cols in prop::collection::vec(0usize..8, 1..8),
+    ) {
+        // Build a strictly growing chain of signatures.
+        let mut sig: Signature = 0;
+        let mut chain = BTreeSet::new();
+        for c in cols {
+            sig |= 1 << c;
+            chain.insert(sig);
+        }
+        let result = select_indexes(8, &chain);
+        prop_assert_eq!(result.orders.len(), 1, "a chain needs exactly one index");
+    }
+}

@@ -1,0 +1,167 @@
+//! Compiling and running synthesized programs.
+//!
+//! [`compile`] writes the generated source to disk and invokes `rustc -O`
+//! on it — the analogue of Soufflé handing its synthesized C++ to GCC.
+//! The measured compile time is what Table 1's "first run" accounting
+//! adds to the compiled engine's execution time.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// A compiled synthesized program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Path of the generated source.
+    pub source_path: PathBuf,
+    /// Path of the compiled binary.
+    pub binary_path: PathBuf,
+    /// Wall time of the `rustc -O` invocation.
+    pub compile_time: Duration,
+}
+
+/// Writes `source` into `dir/main.rs` and compiles it with `rustc -O`.
+///
+/// # Errors
+///
+/// Fails if `rustc` is unavailable or rejects the generated program (a
+/// synthesizer bug — the source is left on disk for inspection).
+pub fn compile(source: &str, dir: &Path) -> io::Result<CompiledProgram> {
+    std::fs::create_dir_all(dir)?;
+    let source_path = dir.join("main.rs");
+    let binary_path = dir.join("prog");
+    std::fs::write(&source_path, source)?;
+    let started = Instant::now();
+    let output = Command::new("rustc")
+        .arg("--edition")
+        .arg("2021")
+        .arg("-O")
+        .arg(&source_path)
+        .arg("-o")
+        .arg(&binary_path)
+        .output()?;
+    let compile_time = started.elapsed();
+    if !output.status.success() {
+        return Err(io::Error::other(format!(
+            "rustc failed on synthesized program {}:\n{}",
+            source_path.display(),
+            String::from_utf8_lossy(&output.stderr)
+        )));
+    }
+    Ok(CompiledProgram {
+        source_path,
+        binary_path,
+        compile_time,
+    })
+}
+
+/// The result of running a compiled program.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Wall time of the whole process.
+    pub wall_time: Duration,
+    /// Evaluation-only time reported by the binary (`EVALNS`).
+    pub eval_time: Duration,
+    /// Per-query `(nanoseconds, executions)` in query order (`PROFILE`).
+    pub profile: Vec<(Duration, u64)>,
+    /// Output relations, read back from the CSV files: name → sorted rows
+    /// of display-formatted fields.
+    pub outputs: HashMap<String, Vec<Vec<String>>>,
+}
+
+/// Runs a compiled program on a facts directory, collecting outputs from
+/// `out_dir`.
+///
+/// # Errors
+///
+/// Fails if the process errors or its output protocol is malformed.
+pub fn run(program: &CompiledProgram, facts_dir: &Path, out_dir: &Path) -> io::Result<RunOutcome> {
+    std::fs::create_dir_all(out_dir)?;
+    let started = Instant::now();
+    let output = Command::new(&program.binary_path)
+        .arg(facts_dir)
+        .arg(out_dir)
+        .output()?;
+    let wall_time = started.elapsed();
+    if !output.status.success() {
+        return Err(io::Error::other(format!(
+            "synthesized program failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        )));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let mut eval_time = Duration::ZERO;
+    let mut profile = Vec::new();
+    for line in stdout.lines() {
+        let mut fields = line.split('\t');
+        match fields.next() {
+            Some("EVALNS") => {
+                let ns: u128 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| io::Error::other("malformed EVALNS line"))?;
+                eval_time = Duration::from_nanos(ns as u64);
+            }
+            Some("PROFILE") => {
+                let _idx = fields.next();
+                let ns: u128 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| io::Error::other("malformed PROFILE line"))?;
+                let execs: u64 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| io::Error::other("malformed PROFILE line"))?;
+                profile.push((Duration::from_nanos(ns as u64), execs));
+            }
+            _ => {}
+        }
+    }
+
+    let mut outputs = HashMap::new();
+    for entry in std::fs::read_dir(out_dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let content = std::fs::read_to_string(&path)?;
+        let mut rows: Vec<Vec<String>> = content
+            .lines()
+            .map(|l| l.split('\t').map(str::to_owned).collect())
+            .collect();
+        rows.sort();
+        outputs.insert(name, rows);
+    }
+    Ok(RunOutcome {
+        wall_time,
+        eval_time,
+        profile,
+        outputs,
+    })
+}
+
+/// Writes input facts (display-formatted fields) as `<rel>.facts` files.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_facts_dir(dir: &Path, facts: &HashMap<String, Vec<Vec<String>>>) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, rows) in facts {
+        let mut text = String::new();
+        for row in rows {
+            text.push_str(&row.join("\t"));
+            text.push('\n');
+        }
+        std::fs::write(dir.join(format!("{name}.facts")), text)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! The STIR synthesizer: RAM → standalone Rust, compiled with `rustc -O`.
+//!
+//! This crate is the *compiled baseline* of the reproduction — the
+//! counterpart of Soufflé's C++ synthesizer. [`codegen::generate`] emits a
+//! self-contained Rust program with monomorphized per-relation index sets
+//! and straight-line loop nests; [`compile::compile`] builds it;
+//! [`compile::run`] executes it and parses its timing/profile protocol.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stir_frontend::parse_and_check;
+//! use stir_ram::translate::translate;
+//!
+//! let checked = parse_and_check(".decl p(x: number)\n.output p\np(1).")?;
+//! let ram = translate(&checked)?;
+//! let source = stir_synth::codegen::generate(&ram);
+//! let program = stir_synth::compile::compile(&source, std::path::Path::new("/tmp/synth"))?;
+//! let outcome = stir_synth::compile::run(
+//!     &program,
+//!     std::path::Path::new("/tmp/facts"),
+//!     std::path::Path::new("/tmp/out"),
+//! )?;
+//! assert_eq!(outcome.outputs["p"], vec![vec!["1".to_string()]]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod compile;
+pub mod support;
+
+pub use codegen::{generate, query_labels};
+pub use compile::{compile, run, CompiledProgram, RunOutcome};

@@ -1,0 +1,247 @@
+//! The runtime support module embedded into every synthesized program.
+//!
+//! The synthesizer emits *self-contained* Rust source (no external
+//! crates), so the pieces the generated code needs — symbol table,
+//! union-find equivalence relation, intrinsic semantics identical to the
+//! interpreter's `stir_core::functors`, fact I/O — are emitted verbatim
+//! from this constant.
+
+/// Source text of the generated program's `mod support`.
+pub const SUPPORT_MODULE: &str = r#"
+#[allow(dead_code)]
+mod support {
+    use std::collections::HashMap;
+    use std::io::{BufRead, Write};
+
+    pub struct Syms {
+        strings: Vec<String>,
+        ids: HashMap<String, u32>,
+    }
+
+    impl Syms {
+        pub fn new() -> Syms {
+            Syms { strings: Vec::new(), ids: HashMap::new() }
+        }
+
+        pub fn seed(&mut self, base: &[&str]) {
+            for s in base {
+                self.intern(s);
+            }
+        }
+
+        pub fn intern(&mut self, s: &str) -> u32 {
+            if let Some(&id) = self.ids.get(s) {
+                return id;
+            }
+            let id = self.strings.len() as u32;
+            self.strings.push(s.to_owned());
+            self.ids.insert(s.to_owned(), id);
+            id
+        }
+
+        pub fn resolve(&self, id: u32) -> &str {
+            &self.strings[id as usize]
+        }
+    }
+
+    /// Union-find equivalence relation (mirrors the engine's `eqrel`).
+    pub struct EqRel {
+        ids: HashMap<u32, usize>,
+        parent: Vec<usize>,
+        members: Vec<Vec<u32>>,
+        pairs: usize,
+    }
+
+    impl EqRel {
+        pub fn new() -> EqRel {
+            EqRel { ids: HashMap::new(), parent: Vec::new(), members: Vec::new(), pairs: 0 }
+        }
+
+        fn node(&mut self, v: u32) -> usize {
+            if let Some(&id) = self.ids.get(&v) {
+                return id;
+            }
+            let id = self.parent.len();
+            self.ids.insert(v, id);
+            self.parent.push(id);
+            self.members.push(vec![v]);
+            self.pairs += 1;
+            id
+        }
+
+        fn find(&self, mut id: usize) -> usize {
+            while self.parent[id] != id {
+                id = self.parent[id];
+            }
+            id
+        }
+
+        pub fn insert(&mut self, a: u32, b: u32) -> bool {
+            let ia = self.node(a);
+            let ib = self.node(b);
+            let ra = self.find(ia);
+            let rb = self.find(ib);
+            if ra == rb {
+                return false;
+            }
+            let (big, small) = if self.members[ra].len() >= self.members[rb].len() {
+                (ra, rb)
+            } else {
+                (rb, ra)
+            };
+            let moved = std::mem::take(&mut self.members[small]);
+            self.pairs += 2 * moved.len() * self.members[big].len();
+            self.members[big].extend(moved);
+            self.parent[small] = big;
+            true
+        }
+
+        pub fn contains(&self, a: u32, b: u32) -> bool {
+            match (self.ids.get(&a), self.ids.get(&b)) {
+                (Some(&ia), Some(&ib)) => self.find(ia) == self.find(ib),
+                _ => false,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.pairs
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.pairs == 0
+        }
+
+        pub fn class_of(&self, a: u32) -> Vec<u32> {
+            match self.ids.get(&a) {
+                Some(&ia) => {
+                    let mut out = self.members[self.find(ia)].clone();
+                    out.sort_unstable();
+                    out
+                }
+                None => Vec::new(),
+            }
+        }
+
+        pub fn iter_pairs(&self) -> Vec<[u32; 2]> {
+            let mut firsts: Vec<u32> = self.ids.keys().copied().collect();
+            firsts.sort_unstable();
+            let mut out = Vec::with_capacity(self.pairs);
+            for x in firsts {
+                for y in self.class_of(x) {
+                    out.push([x, y]);
+                }
+            }
+            out
+        }
+    }
+
+    // ---- intrinsics: bit-identical to the interpreter -----------------
+
+    pub fn div_s(a: u32, b: u32) -> u32 {
+        if b as i32 == 0 { panic!("division by zero"); }
+        (a as i32).wrapping_div(b as i32) as u32
+    }
+    pub fn div_u(a: u32, b: u32) -> u32 {
+        if b == 0 { panic!("division by zero"); }
+        a / b
+    }
+    pub fn mod_s(a: u32, b: u32) -> u32 {
+        if b as i32 == 0 { panic!("remainder by zero"); }
+        (a as i32).wrapping_rem(b as i32) as u32
+    }
+    pub fn mod_u(a: u32, b: u32) -> u32 {
+        if b == 0 { panic!("remainder by zero"); }
+        a % b
+    }
+    pub fn pow_s(a: u32, b: u32) -> u32 { (a as i32).wrapping_pow(b) as u32 }
+    pub fn pow_u(a: u32, b: u32) -> u32 { a.wrapping_pow(b) }
+    pub fn f(v: u32) -> f32 { f32::from_bits(v) }
+    pub fn fb(v: f32) -> u32 { v.to_bits() }
+    pub fn min_s(a: u32, b: u32) -> u32 { (a as i32).min(b as i32) as u32 }
+    pub fn max_s(a: u32, b: u32) -> u32 { (a as i32).max(b as i32) as u32 }
+    pub fn to_number(syms: &Syms, s: u32) -> u32 {
+        let text = syms.resolve(s);
+        match text.trim().parse::<i32>() {
+            Ok(v) => v as u32,
+            Err(_) => panic!("to_number: `{}` is not a number", text),
+        }
+    }
+    pub fn substr(syms: &mut Syms, s: u32, from: u32, len: u32) -> u32 {
+        let text: String = syms.resolve(s).to_owned();
+        let from = (from as i32).max(0) as usize;
+        let len = (len as i32).max(0) as usize;
+        let sub: String = text.chars().skip(from).take(len).collect();
+        syms.intern(&sub)
+    }
+
+    // ---- fact I/O -----------------------------------------------------
+
+    /// Reads `<dir>/<name>.facts` (tab-separated, one tuple per line).
+    /// `types` holds one code per column: n/u/f/s.
+    pub fn load_facts(
+        dir: &std::path::Path,
+        name: &str,
+        types: &str,
+        syms: &mut Syms,
+    ) -> Vec<Vec<u32>> {
+        let path = dir.join(format!("{name}.facts"));
+        let Ok(file) = std::fs::File::open(&path) else {
+            return Vec::new(); // missing input file = empty relation
+        };
+        let reader = std::io::BufReader::new(file);
+        let codes: Vec<char> = types.chars().collect();
+        let mut out = Vec::new();
+        for line in reader.lines() {
+            let line = line.expect("readable facts file");
+            if line.is_empty() {
+                continue;
+            }
+            let mut tuple = Vec::with_capacity(codes.len());
+            for (field, code) in line.split('\t').zip(&codes) {
+                let bits = match code {
+                    'n' => field.parse::<i32>().expect("number field") as u32,
+                    'u' => field.parse::<u32>().expect("unsigned field"),
+                    'f' => field.parse::<f32>().expect("float field").to_bits(),
+                    's' => syms.intern(field),
+                    _ => unreachable!(),
+                };
+                tuple.push(bits);
+            }
+            assert_eq!(tuple.len(), codes.len(), "short row in {}", path.display());
+            out.push(tuple);
+        }
+        out
+    }
+
+    /// Writes tuples to `<dir>/<name>.csv`, decoded per the type codes.
+    pub fn write_output(
+        dir: &std::path::Path,
+        name: &str,
+        rows: &[Vec<u32>],
+        types: &str,
+        syms: &Syms,
+    ) {
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(dir.join(format!("{name}.csv"))).expect("writable out dir"),
+        );
+        let codes: Vec<char> = types.chars().collect();
+        for row in rows {
+            let mut first = true;
+            for (bits, code) in row.iter().zip(&codes) {
+                if !first {
+                    write!(file, "\t").unwrap();
+                }
+                first = false;
+                match code {
+                    'n' => write!(file, "{}", *bits as i32).unwrap(),
+                    'u' => write!(file, "{}", bits).unwrap(),
+                    'f' => write!(file, "{}", f32::from_bits(*bits)).unwrap(),
+                    's' => write!(file, "{}", syms.resolve(*bits)).unwrap(),
+                    _ => unreachable!(),
+                }
+            }
+            writeln!(file).unwrap();
+        }
+    }
+}
+"#;

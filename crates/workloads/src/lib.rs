@@ -1,0 +1,31 @@
+//! Benchmark workloads: synthetic analogues of the paper's three suites.
+//!
+//! The paper evaluates the STI on three real-world applications whose
+//! Datalog programs and inputs are not publicly redistributable (Amazon's
+//! VPC reachability programs, DDisasm's rule base over SPEC CPU2006
+//! binaries, DOOP over DaCapo). This crate builds, per suite, a Datalog
+//! program of the same *shape* plus a seeded synthetic input generator:
+//!
+//! * [`vpc`] — cloud-network reachability: transitive closure over typed
+//!   topology with ACL filters; dominated by a large recursive stratum
+//!   (long-running on large inputs, reproducing Table 1's `< 1` ratios).
+//! * [`ddisasm`] — binary-analysis-shaped rules over synthetic
+//!   instruction streams; includes `moved_label`-style rules whose inner
+//!   loops carry arithmetic-heavy filters (the §5.2 outlier pattern).
+//! * [`doop`] — context-insensitive Andersen-style points-to with fields,
+//!   virtual calls, and a shared "standard library" fact base
+//!   (reproducing DOOP's uniform cross-benchmark ratios).
+//!
+//! Every measured quantity in the paper's evaluation — dispatch counts,
+//! index operations, loop-nest shapes, compile-vs-run trade-offs — is a
+//! function of rule shape and input scale, which these generators
+//! preserve; application semantics are not.
+
+#![warn(missing_docs)]
+
+pub mod ddisasm;
+pub mod doop;
+pub mod spec;
+pub mod vpc;
+
+pub use spec::{all_suites, instances, Suite, Workload};

@@ -1,0 +1,201 @@
+//! The VPC analogue: cloud-network reachability reasoning.
+//!
+//! Shape: a mid-sized rule set whose cost is dominated by one large
+//! recursive stratum (subnet-level reachability — a transitive closure
+//! over routes and VPC peerings), followed by joins against instance,
+//! listener, and ACL tables and a negation-guarded violation check.
+//! Compile time is constant per program while run time scales with the
+//! topology, which is exactly the trade-off behind the VPC rows of
+//! Table 1.
+
+use crate::spec::{Scale, Suite, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stir_core::{InputData, Value};
+
+/// The Datalog program (fixed; instances differ in facts).
+pub const PROGRAM: &str = r#"
+// Topology
+.decl vpc(v: number)
+.decl subnet(s: number, v: number)
+.decl instance(i: number, s: number)
+.decl route(a: number, b: number)
+.decl peering(va: number, vb: number)
+.decl acl_allow(sa: number, sb: number, port: number)
+.decl listens(i: number, port: number)
+.decl sensitive_port(port: number)
+.decl trusted(i: number)
+.decl gateway(s: number)
+.input vpc
+.input subnet
+.input instance
+.input route
+.input peering
+.input acl_allow
+.input listens
+.input sensitive_port
+.input trusted
+.input gateway
+
+// Symmetric peering
+.decl peer(va: number, vb: number)
+peer(a, b) :- peering(a, b).
+peer(a, b) :- peering(b, a).
+
+// Subnet-level reachability: routes within a VPC, hops across peered VPCs.
+.decl subnet_reach(a: number, b: number)
+subnet_reach(s, s) :- subnet(s, _).
+subnet_reach(a, c) :- subnet_reach(a, b), route(b, c).
+subnet_reach(a, c) :- subnet_reach(a, b), subnet(b, vb), peer(vb, vc), subnet(c, vc), route(b, c).
+
+// Instance connectivity through ACLs.
+.decl conn(i: number, j: number, port: number)
+conn(i, j, p) :- instance(i, si), instance(j, sj), subnet_reach(si, sj),
+                 acl_allow(si, sj, p), listens(j, p), i != j.
+
+// Internet exposure through gateways.
+.decl exposed(j: number, port: number)
+exposed(j, p) :- gateway(g), instance(j, sj), subnet_reach(g, sj),
+                 acl_allow(g, sj, p), listens(j, p).
+
+// Violations: sensitive services reachable from untrusted instances.
+.decl violation(i: number, j: number, port: number)
+violation(i, j, p) :- conn(i, j, p), sensitive_port(p), !trusted(i).
+
+// Subnets of the same VPC form equivalence classes (eqrel-backed).
+.decl same_vpc(a: number, b: number) eqrel
+same_vpc(a, b) :- subnet(a, v), subnet(b, v).
+
+// Cross-VPC connections are the interesting ones for audit.
+.decl cross_vpc_conn(i: number, j: number, port: number)
+cross_vpc_conn(i, j, p) :- conn(i, j, p), instance(i, si), instance(j, sj),
+                           !same_vpc(si, sj).
+
+.decl exposure_count(n: number)
+exposure_count(n) :- n = count : { exposed(_, _) }.
+
+.output conn
+.output exposed
+.output violation
+.output cross_vpc_conn
+.output exposure_count
+"#;
+
+/// Generates one VPC topology instance.
+pub fn generate(name: &str, scale: Scale, seed: u64) -> Workload {
+    let (vpcs, subnets_per_vpc, instances_per_subnet, routes_per_subnet) = match scale {
+        Scale::Tiny => (2, 3, 2, 2),
+        Scale::Small => (4, 10, 4, 3),
+        Scale::Medium => (6, 24, 6, 3),
+        Scale::Large => (8, 48, 8, 3),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inputs = InputData::new();
+    let n = |v: i64| Value::Number(v as i32);
+
+    let total_subnets = vpcs * subnets_per_vpc;
+    let mut vpc_rows = Vec::new();
+    let mut subnet_rows = Vec::new();
+    let mut instance_rows = Vec::new();
+    for v in 0..vpcs {
+        vpc_rows.push(vec![n(v)]);
+        for k in 0..subnets_per_vpc {
+            let s = v * subnets_per_vpc + k;
+            subnet_rows.push(vec![n(s), n(v)]);
+            for m in 0..instances_per_subnet {
+                let i = s * instances_per_subnet + m;
+                instance_rows.push(vec![n(i), n(s)]);
+            }
+        }
+    }
+
+    // Routes: mostly intra-VPC rings plus random shortcuts.
+    let mut route_rows = Vec::new();
+    for v in 0..vpcs {
+        let base = v * subnets_per_vpc;
+        for k in 0..subnets_per_vpc {
+            route_rows.push(vec![n(base + k), n(base + (k + 1) % subnets_per_vpc)]);
+            for _ in 1..routes_per_subnet {
+                let to = base + rng.gen_range(0..subnets_per_vpc);
+                route_rows.push(vec![n(base + k), n(to)]);
+            }
+        }
+    }
+    // A few cross-VPC routes (only usable when peered).
+    for _ in 0..(vpcs * 2) {
+        let a = rng.gen_range(0..total_subnets);
+        let b = rng.gen_range(0..total_subnets);
+        route_rows.push(vec![n(a), n(b)]);
+    }
+
+    let peering_rows: Vec<Vec<Value>> = (0..vpcs - 1)
+        .filter(|_| rng.gen_bool(0.7))
+        .map(|v| vec![n(v), n(v + 1)])
+        .collect();
+
+    let ports = [22i64, 80, 443, 5432, 6379, 8080];
+    let mut acl_rows = Vec::new();
+    for _ in 0..(total_subnets * 6) {
+        let a = rng.gen_range(0..total_subnets);
+        let b = rng.gen_range(0..total_subnets);
+        let p = ports[rng.gen_range(0..ports.len())];
+        acl_rows.push(vec![n(a), n(b), n(p)]);
+    }
+
+    let total_instances = total_subnets * instances_per_subnet;
+    let mut listen_rows = Vec::new();
+    for i in 0..total_instances {
+        let np = rng.gen_range(1..3);
+        for _ in 0..np {
+            listen_rows.push(vec![n(i), n(ports[rng.gen_range(0..ports.len())])]);
+        }
+    }
+
+    let trusted_rows: Vec<Vec<Value>> = (0..total_instances)
+        .filter(|_| rng.gen_bool(0.6))
+        .map(|i| vec![n(i)])
+        .collect();
+    let gateway_rows: Vec<Vec<Value>> = (0..vpcs).map(|v| vec![n(v * subnets_per_vpc)]).collect();
+
+    inputs.insert("vpc".into(), vpc_rows);
+    inputs.insert("subnet".into(), subnet_rows);
+    inputs.insert("instance".into(), instance_rows);
+    inputs.insert("route".into(), route_rows);
+    inputs.insert("peering".into(), peering_rows);
+    inputs.insert("acl_allow".into(), acl_rows);
+    inputs.insert("listens".into(), listen_rows);
+    inputs.insert(
+        "sensitive_port".into(),
+        vec![vec![n(22)], vec![n(5432)], vec![n(6379)]],
+    );
+    inputs.insert("trusted".into(), trusted_rows);
+    inputs.insert("gateway".into(), gateway_rows);
+
+    Workload {
+        name: format!("vpc/{name}"),
+        suite: Suite::Vpc,
+        program: PROGRAM.to_owned(),
+        inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_core::{Engine, InterpreterConfig};
+
+    #[test]
+    fn tiny_instance_evaluates_consistently() {
+        let w = generate("t", Scale::Tiny, 5);
+        let engine = Engine::from_source(&w.program).expect("compiles");
+        let a = engine
+            .run(InterpreterConfig::optimized(), &w.inputs)
+            .expect("runs");
+        let b = engine
+            .run(InterpreterConfig::unoptimized(), &w.inputs)
+            .expect("runs");
+        assert_eq!(a.outputs, b.outputs);
+        assert!(!a.outputs["conn"].is_empty(), "topology is connected");
+        assert_eq!(a.outputs["exposure_count"].len(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! A DDisasm-style binary analysis with the §5.2 case study attached:
+//! profile the rules, find the dispatch-heavy outliers, install
+//! hand-crafted super-instructions for them, and measure the win.
+//!
+//! ```text
+//! cargo run --release --example disassembler
+//! ```
+
+use stir::core::itree::Fusion;
+use stir::workloads::spec::Scale;
+use stir::{Engine, InterpreterConfig};
+
+/// Native replacement for the `moved_label` filter chain (see the rule in
+/// `stir_workloads::ddisasm::PROGRAM`). Register layout: `t0 =
+/// sym_value(a, v)` at regs[0..2], `t1 = candidate(c, k)` at regs[2..4].
+fn moved_label_cond(regs: &[u32]) -> bool {
+    let v = regs[1] as i32;
+    let c = regs[2] as i32;
+    let k = regs[3] as i32;
+    let d = v.wrapping_sub(c);
+    v >= c.wrapping_sub(4096)
+        && v <= c.wrapping_add(4096)
+        && (v & 4095) != 0
+        && d != 0
+        && d % 8 == 0
+        && ((v ^ k) & 7) != 3
+        && v.wrapping_mul(2).wrapping_sub(c) > 16
+}
+
+fn main() -> Result<(), stir::EngineError> {
+    let workload = stir::workloads::ddisasm::generate("demo-bin", Scale::Small, 77);
+    println!(
+        "workload: {} ({} instructions)",
+        workload.name,
+        workload.inputs["instr"].len()
+    );
+
+    let engine = Engine::from_source(&workload.program)?;
+
+    // Plain run with profiling: find the outlier rules.
+    let plain = engine.run(
+        InterpreterConfig::optimized().with_profile(),
+        &workload.inputs,
+    )?;
+    println!(
+        "\ncode blocks: {}, moved labels: {}",
+        plain.outputs["code"].len(),
+        plain.outputs["moved_label"].len()
+    );
+    let mut rules = plain.profile.as_ref().expect("profiled").by_rule();
+    rules.sort_by_key(|r| std::cmp::Reverse(r.time));
+    println!("\nhottest rules before fusion:");
+    for rule in rules.iter().take(3) {
+        println!(
+            "  {:>9.3?}  {}",
+            rule.time,
+            rule.label.chars().take(64).collect::<String>()
+        );
+    }
+
+    // Install the hand-crafted super-instruction (paper §5.2) and rerun.
+    let fusions = [Fusion {
+        label_contains: "moved_label(".into(),
+        cond: moved_label_cond,
+    }];
+    let fused = engine.run_fused(
+        InterpreterConfig::optimized().with_profile(),
+        &workload.inputs,
+        &fusions,
+    )?;
+    assert_eq!(
+        plain.outputs, fused.outputs,
+        "fusion must not change the fixpoint"
+    );
+
+    let time_of = |outcome: &stir::EvalOutcome| {
+        outcome
+            .profile
+            .as_ref()
+            .expect("profiled")
+            .by_rule()
+            .iter()
+            .find(|r| r.label.contains("moved_label("))
+            .map(|r| r.time)
+            .unwrap_or_default()
+    };
+    println!(
+        "\nmoved_label rule: {:?} -> {:?} with the hand-crafted super-instruction",
+        time_of(&plain),
+        time_of(&fused)
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! A DOOP-style points-to analysis on a generated object-oriented
+//! program, comparing the interpreter against the synthesizer — the
+//! "first run" trade-off behind the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release --example points_to
+//! ```
+
+use std::time::Instant;
+use stir::workloads::spec::Scale;
+use stir::{Engine, InterpreterConfig, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = stir::workloads::doop::generate("demo", Scale::Small, 7);
+    println!("workload: {}", workload.name);
+
+    let engine = Engine::from_source(&workload.program)?;
+
+    // Interpreter: no compilation, starts immediately.
+    let started = Instant::now();
+    let interp = engine.run(InterpreterConfig::optimized(), &workload.inputs)?;
+    let interp_time = started.elapsed();
+    println!(
+        "interpreter: {:?} — var_points_to = {}, call_graph = {}",
+        interp_time,
+        interp.outputs["var_points_to"].len(),
+        interp.outputs["call_graph"].len()
+    );
+
+    // Synthesizer: generate Rust, compile with rustc -O, then run.
+    let dir = std::env::temp_dir().join("stir-points-to-example");
+    let source = stir::synth::generate(engine.ram());
+    let program = stir::synth::compile(&source, &dir.join("build"))?;
+    println!("synthesizer: compiled in {:?}", program.compile_time);
+
+    let facts: std::collections::HashMap<String, Vec<Vec<String>>> = workload
+        .inputs
+        .iter()
+        .map(|(k, rows)| {
+            (
+                k.clone(),
+                rows.iter()
+                    .map(|r| r.iter().map(Value::to_string).collect())
+                    .collect(),
+            )
+        })
+        .collect();
+    let facts_dir = dir.join("facts");
+    stir::synth::compile::write_facts_dir(&facts_dir, &facts)?;
+    let outcome = stir::synth::run(&program, &facts_dir, &dir.join("out"))?;
+    println!(
+        "synthesizer: evaluated in {:?} (process wall time {:?})",
+        outcome.eval_time, outcome.wall_time
+    );
+
+    // Same fixpoint, and the Table 1 headline ratio for this instance.
+    assert_eq!(
+        outcome.outputs["var_points_to"].len(),
+        interp.outputs["var_points_to"].len()
+    );
+    let first_run = program.compile_time + outcome.eval_time;
+    println!(
+        "first-run ratio (synth compile+run / interpreter run): {:.2}",
+        first_run.as_secs_f64() / interp_time.as_secs_f64()
+    );
+    Ok(())
+}

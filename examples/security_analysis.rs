@@ -1,0 +1,64 @@
+//! The paper's running example (Fig. 2): a security analysis that finds
+//! code blocks that are vulnerable and reachable from unprotected code.
+//!
+//! ```text
+//! cargo run --release --example security_analysis
+//! ```
+
+use stir::{Engine, InterpreterConfig, Value};
+
+fn main() -> Result<(), stir::EngineError> {
+    // Fig. 2 of the paper, verbatim modulo surface syntax: a block is
+    // unsafe if reachable from an unsafe block without protection; a
+    // violation is a vulnerable unsafe block.
+    let engine = Engine::from_source(
+        r#"
+        .decl block(b: symbol)
+        .decl edge(x: symbol, y: symbol)
+        .decl protect(b: symbol)
+        .decl vulnerable(b: symbol)
+        .decl unsafe_blk(b: symbol)
+        .decl violation(b: symbol)
+        .output unsafe_blk
+        .output violation
+
+        block("entry"). block("while"). block("parse").
+        block("auth").  block("exec").  block("log").
+
+        edge("entry", "while").
+        edge("while", "parse").
+        edge("parse", "auth").
+        edge("auth", "exec").
+        edge("while", "exec").
+        edge("exec", "log").
+
+        protect("auth").
+        vulnerable("exec"). vulnerable("parse").
+
+        unsafe_blk("while").
+
+        /* Rule 1 */
+        unsafe_blk(y) :- unsafe_blk(x), edge(x, y), !protect(y).
+
+        /* Rule 2 */
+        violation(x) :- vulnerable(x), unsafe_blk(x).
+        "#,
+    )?;
+
+    let result = engine.run(InterpreterConfig::optimized(), &Default::default())?;
+
+    println!("unsafe blocks:");
+    for row in &result.outputs["unsafe_blk"] {
+        println!("  {}", row[0]);
+    }
+    println!("violations:");
+    for row in &result.outputs["violation"] {
+        println!("  {}", row[0]);
+    }
+
+    // "exec" is reachable around the protected "auth" via while → exec.
+    let violations: Vec<&Value> = result.outputs["violation"].iter().map(|r| &r[0]).collect();
+    assert!(violations.contains(&&Value::Symbol("exec".into())));
+    assert!(violations.contains(&&Value::Symbol("parse".into())));
+    Ok(())
+}

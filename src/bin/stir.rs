@@ -1,0 +1,199 @@
+//! The `stir` command-line driver: run Datalog programs like `souffle`.
+//!
+//! ```text
+//! stir PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
+//!
+//!   -F, --fact-dir DIR     read <rel>.facts for every .input relation
+//!   -D, --output-dir DIR   write <rel>.csv for every .output relation
+//!                          (default: print outputs to stdout)
+//!       --mode MODE        sti | dynamic | unopt | legacy    (default sti)
+//!       --no-super         disable super-instructions
+//!       --no-reorder       disable static tuple reordering
+//!       --no-outline       disable handler outlining
+//!       --profile          print the per-rule profile after the run
+//!       --ram              print the RAM listing and exit
+//!       --synthesize DIR   emit + rustc-compile the synthesized program
+//!                          into DIR instead of interpreting
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use stir::core::io;
+use stir::{Engine, InputData, InterpreterConfig};
+
+struct Options {
+    program: PathBuf,
+    fact_dir: Option<PathBuf>,
+    output_dir: Option<PathBuf>,
+    config: InterpreterConfig,
+    profile: bool,
+    print_ram: bool,
+    synthesize: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stir PROGRAM.dl [-F facts_dir] [-D out_dir] \
+         [--mode sti|dynamic|unopt|legacy] [--no-super] [--no-reorder] \
+         [--no-outline] [--profile] [--ram] [--synthesize DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut program = None;
+    let mut fact_dir = None;
+    let mut output_dir = None;
+    let mut config = InterpreterConfig::optimized();
+    let mut profile = false;
+    let mut print_ram = false;
+    let mut synthesize = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-F" | "--fact-dir" => {
+                fact_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "-D" | "--output-dir" => {
+                output_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--mode" => {
+                config = match args.next().as_deref() {
+                    Some("sti") => InterpreterConfig::optimized(),
+                    Some("dynamic") => InterpreterConfig::dynamic_adapter(),
+                    Some("unopt") => InterpreterConfig::unoptimized(),
+                    Some("legacy") => InterpreterConfig::legacy(),
+                    _ => usage(),
+                }
+            }
+            "--no-super" => config.super_instructions = false,
+            "--no-reorder" => config.static_reordering = false,
+            "--no-outline" => config.outlined_handlers = false,
+            "--profile" => profile = true,
+            "--ram" => print_ram = true,
+            "--synthesize" => {
+                synthesize = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "-h" | "--help" => usage(),
+            other if program.is_none() && !other.starts_with('-') => {
+                program = Some(PathBuf::from(other))
+            }
+            _ => usage(),
+        }
+    }
+    Options {
+        program: program.unwrap_or_else(|| usage()),
+        fact_dir,
+        output_dir,
+        config: if profile {
+            config.with_profile()
+        } else {
+            config
+        },
+        profile,
+        print_ram,
+        synthesize,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let source = match std::fs::read_to_string(&opts.program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stir: cannot read {}: {e}", opts.program.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match Engine::from_source(&source) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("stir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.print_ram {
+        print!("{}", engine.ram());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(dir) = &opts.synthesize {
+        let source = stir::synth::generate(engine.ram());
+        match stir::synth::compile(&source, dir) {
+            Ok(program) => {
+                println!(
+                    "synthesized {} (compiled in {:?})\nrun it as: {} <facts_dir> <out_dir>",
+                    program.binary_path.display(),
+                    program.compile_time,
+                    program.binary_path.display()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("stir: synthesis failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let inputs = match &opts.fact_dir {
+        Some(dir) => match io::read_facts_dir(engine.ram(), dir) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("stir: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => InputData::new(),
+    };
+
+    let started = std::time::Instant::now();
+    let result = match engine.run(opts.config, &inputs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    match &opts.output_dir {
+        Some(dir) => {
+            if let Err(e) = io::write_outputs_dir(&result.outputs, dir) {
+                eprintln!("stir: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let mut names: Vec<&String> = result.outputs.keys().collect();
+            names.sort();
+            for name in names {
+                println!("--- {name} ({} tuples)", result.outputs[name].len());
+                for row in &result.outputs[name] {
+                    let rendered: Vec<String> = row.iter().map(ToString::to_string).collect();
+                    println!("{}", rendered.join("\t"));
+                }
+            }
+        }
+    }
+    eprintln!("stir: evaluated in {elapsed:?}");
+
+    if opts.profile {
+        if let Some(profile) = result.profile {
+            eprintln!(
+                "stir: {} dispatches, {} scan iterations",
+                profile.dispatches, profile.iterations
+            );
+            let mut rules = profile.by_rule();
+            rules.sort_by_key(|r| std::cmp::Reverse(r.time));
+            for rule in rules {
+                eprintln!(
+                    "  {:>10.3?}  {:>10} tuples  {}",
+                    rule.time, rule.tuples, rule.label
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,125 @@
+//! Integration tests for the `stir` command-line driver.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn stir() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stir"))
+}
+
+fn setup(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("stir-cli-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(
+        dir.join("tc.dl"),
+        ".decl edge(x: number, y: number)\n.input edge\n\
+         .decl path(x: number, y: number)\n.output path\n\
+         path(x, y) :- edge(x, y).\n\
+         path(x, z) :- path(x, y), edge(y, z).\n",
+    )
+    .expect("program written");
+    std::fs::write(dir.join("edge.facts"), "1\t2\n2\t3\n").expect("facts written");
+    dir
+}
+
+#[test]
+fn evaluates_and_prints_outputs() {
+    let dir = setup("basic");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--- path (3 tuples)"), "{stdout}");
+    assert!(stdout.contains("1\t3"), "{stdout}");
+}
+
+#[test]
+fn writes_output_directory() {
+    let dir = setup("outdir");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("-D")
+        .arg(dir.join("out"))
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(dir.join("out").join("path.csv")).expect("csv written");
+    assert_eq!(csv.lines().count(), 3);
+}
+
+#[test]
+fn all_modes_agree() {
+    let dir = setup("modes");
+    let mut results = Vec::new();
+    for mode in ["sti", "dynamic", "unopt", "legacy"] {
+        let out = stir()
+            .arg(dir.join("tc.dl"))
+            .arg("-F")
+            .arg(&dir)
+            .arg("--mode")
+            .arg(mode)
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "mode {mode}");
+        results.push(String::from_utf8_lossy(&out.stdout).to_string());
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn ram_listing_mode() {
+    let dir = setup("ram");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("--ram")
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LOOP"), "{stdout}");
+    assert!(stdout.contains("MERGE new_path INTO path"), "{stdout}");
+}
+
+#[test]
+fn profile_flag_reports_rules() {
+    let dir = setup("profile");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("--profile")
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("dispatches"), "{stderr}");
+    assert!(stderr.contains("path(x, z) :-"), "{stderr}");
+}
+
+#[test]
+fn bad_program_fails_with_positioned_error() {
+    let dir = setup("bad");
+    std::fs::write(dir.join("bad.dl"), "p(x) :- q(x).").expect("written");
+    let out = stir().arg(dir.join("bad.dl")).output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("undeclared"), "{stderr}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = stir().arg("/nonexistent/prog.dl").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

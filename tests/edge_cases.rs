@@ -1,0 +1,231 @@
+//! Edge-case and failure-injection tests across the whole pipeline.
+
+use stir::{Engine, InputData, InterpreterConfig, Value};
+
+fn run(src: &str) -> stir::EvalOutcome {
+    Engine::from_source(src)
+        .expect("compiles")
+        .run(InterpreterConfig::optimized(), &InputData::new())
+        .expect("runs")
+}
+
+fn run_err(src: &str) -> String {
+    match Engine::from_source(src) {
+        Err(e) => e.to_string(),
+        Ok(engine) => engine
+            .run(InterpreterConfig::optimized(), &InputData::new())
+            .expect_err("expected failure")
+            .to_string(),
+    }
+}
+
+#[test]
+fn buffered_iterator_boundaries_through_the_engine() {
+    // Exactly 127 / 128 / 129 tuples through the dynamic (buffered) path —
+    // the buffer refill boundary of the paper's §3 mechanism.
+    for n in [127u32, 128, 129, 256, 257] {
+        let facts: String = (0..n).map(|i| format!("e({i}).\n")).collect();
+        let src =
+            format!(".decl e(x: number)\n.decl p(x: number)\n.output p\n{facts}p(x) :- e(x).\n");
+        let engine = Engine::from_source(&src).expect("compiles");
+        for config in [
+            InterpreterConfig::dynamic_adapter(),
+            InterpreterConfig {
+                buffered_iterators: false,
+                ..InterpreterConfig::dynamic_adapter()
+            },
+        ] {
+            let out = engine.run(config, &InputData::new()).expect("runs");
+            assert_eq!(out.outputs["p"].len(), n as usize, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn arity_sixteen_relations_work() {
+    let cols: Vec<String> = (0..16).map(|i| format!("c{i}: number")).collect();
+    let vals: Vec<String> = (0..16).map(|i| i.to_string()).collect();
+    let vars: Vec<String> = (0..16).map(|i| format!("v{i}")).collect();
+    let src = format!(
+        ".decl wide({})\n.decl out({})\n.output out\n\
+         wide({}).\n\
+         out({}) :- wide({}).\n",
+        cols.join(", "),
+        cols.join(", "),
+        vals.join(", "),
+        vars.join(", "),
+        vars.join(", "),
+    );
+    let out = run(&src);
+    assert_eq!(out.outputs["out"].len(), 1);
+    assert_eq!(out.outputs["out"][0][15], Value::Number(15));
+}
+
+#[test]
+fn seventeen_columns_are_rejected_cleanly() {
+    let cols: Vec<String> = (0..17).map(|i| format!("c{i}: number")).collect();
+    let src = format!(".decl too_wide({})\n", cols.join(", "));
+    let err = run_err(&src);
+    assert!(err.contains("arity 17"), "{err}");
+}
+
+#[test]
+fn float_index_order_is_bit_order() {
+    // The documented de-specialization trade-off: floats are ordered by
+    // bit pattern inside indexes, but *comparisons* use real float
+    // semantics. Negative floats therefore compare correctly in filters.
+    let src = "\
+        .decl m(f: float)\n.decl neg(f: float)\n.output neg\n\
+        m(-2.5). m(-0.5). m(0.5). m(2.5).\n\
+        neg(f) :- m(f), f < 0.0.\n";
+    let out = run(src);
+    assert_eq!(out.outputs["neg"].len(), 2);
+}
+
+#[test]
+fn self_join_with_repeated_variable() {
+    // e(x, x) needs an intra-tuple equality filter.
+    let src = "\
+        .decl e(x: number, y: number)\n.decl loop_node(x: number)\n.output loop_node\n\
+        e(1, 1). e(1, 2). e(3, 3).\n\
+        loop_node(x) :- e(x, x).\n";
+    let out = run(src);
+    assert_eq!(
+        out.outputs["loop_node"],
+        vec![vec![Value::Number(1)], vec![Value::Number(3)]]
+    );
+}
+
+#[test]
+fn expression_arguments_in_body_atoms() {
+    // e(x + 1, x) requires the complex argument to become a filter.
+    let src = "\
+        .decl e(a: number, b: number)\n.decl succ(x: number)\n.output succ\n\
+        e(2, 1). e(5, 3). e(9, 8).\n\
+        succ(x) :- e(x + 1, x).\n";
+    let out = run(src);
+    assert_eq!(
+        out.outputs["succ"],
+        vec![vec![Value::Number(1)], vec![Value::Number(8)]]
+    );
+}
+
+#[test]
+fn negation_with_prefix_wildcards() {
+    let src = "\
+        .decl e(a: number, b: number)\n.decl n(x: number)\n.decl lonely(x: number)\n.output lonely\n\
+        n(1). n(2). n(3).\n\
+        e(2, 9).\n\
+        lonely(x) :- n(x), !e(x, _).\n";
+    let out = run(src);
+    assert_eq!(
+        out.outputs["lonely"],
+        vec![vec![Value::Number(1)], vec![Value::Number(3)]]
+    );
+}
+
+#[test]
+fn unstratifiable_and_ungrounded_programs_fail_cleanly() {
+    assert!(
+        run_err(".decl p(x: number)\n.decl s(x: number)\np(x) :- s(x), !p(x).\n")
+            .contains("not stratifiable")
+    );
+    assert!(run_err(".decl p(x: number)\np(y) :- p(x).\n").contains("grounded"));
+    assert!(run_err(".decl p(x: number)\nq(1).\n").contains("undeclared"));
+}
+
+#[test]
+fn division_by_zero_in_deep_recursion_propagates() {
+    let src = "\
+        .decl e(x: number)\n.decl p(x: number)\n.output p\n\
+        e(4). e(2). e(0).\n\
+        p(8).\n\
+        p(y) :- p(x), e(d), y = x / d.\n";
+    let err = run_err(src);
+    assert!(err.contains("division by zero"), "{err}");
+}
+
+#[test]
+fn duplicate_derivations_converge() {
+    // Many rules deriving the same tuples must still reach a fixpoint.
+    let src = "\
+        .decl e(x: number, y: number)\n.decl p(x: number, y: number)\n.output p\n\
+        e(1, 2). e(2, 1).\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, y) :- e(y, x).\n\
+        p(x, z) :- p(x, y), p(y, z).\n\
+        p(x, z) :- p(z, x), e(x, x) ; p(x, z).\n";
+    let out = run(src);
+    assert_eq!(out.outputs["p"].len(), 4); // {1,2} × {1,2}
+}
+
+#[test]
+fn large_symbol_churn_via_functors() {
+    // cat() interns fresh strings at runtime; make sure the symbol table
+    // grows safely and outputs decode.
+    let n = 500;
+    let facts: String = (0..n).map(|i| format!("num({i}).\n")).collect();
+    let src = format!(
+        ".decl num(x: number)\n.decl named(s: symbol)\n.output named\n\
+         {facts}\
+         named(s) :- num(x), s = cat(\"id_\", to_string(x)).\n"
+    );
+    let out = run(&src);
+    assert_eq!(out.outputs["named"].len(), n);
+    assert!(out.outputs["named"]
+        .iter()
+        .any(|r| r[0] == Value::Symbol("id_499".into())));
+}
+
+#[test]
+fn substr_and_to_number_round_trip() {
+    let src = r#"
+        .decl raw(s: symbol)
+        .decl parsed(n: number)
+        .output parsed
+        raw("x=42"). raw("x=-7").
+        parsed(n) :- raw(s), n = to_number(substr(s, 2, 8)).
+    "#;
+    let out = run(src);
+    // Rows sort by stored bit pattern, so 42 precedes -7 (two's complement).
+    assert_eq!(
+        out.outputs["parsed"],
+        vec![vec![Value::Number(42)], vec![Value::Number(-7)]]
+    );
+}
+
+#[test]
+fn aggregates_nested_in_arithmetic() {
+    let src = "\
+        .decl e(x: number)\n.decl r(v: number)\n.output r\n\
+        e(1). e(2). e(3).\n\
+        r(v) :- v = 10 * (count : { e(_) }) + (max x : { e(x) }).\n";
+    let out = run(src);
+    assert_eq!(out.outputs["r"], vec![vec![Value::Number(33)]]);
+}
+
+#[test]
+fn comments_and_formatting_robustness() {
+    let src = "\
+        // line comment\n\
+        .decl e(x: number) /* inline */\n\
+        .decl p(x: number)\n.output p\n\
+        /* multi\n line */ e(1).\n\
+        p(x) /* anywhere */ :- e(x).\n";
+    let out = run(src);
+    assert_eq!(out.outputs["p"].len(), 1);
+}
+
+#[test]
+fn outputs_with_no_rules_are_facts_only() {
+    let src = ".decl p(x: number)\n.output p\np(3). p(1). p(2).\n";
+    let out = run(src);
+    assert_eq!(
+        out.outputs["p"],
+        vec![
+            vec![Value::Number(1)],
+            vec![Value::Number(2)],
+            vec![Value::Number(3)]
+        ]
+    );
+}

@@ -1,0 +1,121 @@
+//! Aggregates over every attribute type, across interpreter configs and
+//! against the synthesizer's compiled semantics.
+
+use stir::{Engine, InputData, InterpreterConfig, Value};
+
+fn run(src: &str) -> stir::EvalOutcome {
+    Engine::from_source(src)
+        .expect("compiles")
+        .run(InterpreterConfig::optimized(), &InputData::new())
+        .expect("runs")
+}
+
+#[test]
+fn unsigned_aggregates_use_unsigned_comparisons() {
+    let src = "\
+        .decl m(u: unsigned)\n\
+        .decl lo(u: unsigned)\n.decl hi(u: unsigned)\n.decl s(u: unsigned)\n\
+        .output lo\n.output hi\n.output s\n\
+        m(1). m(4000000000). m(7).\n\
+        lo(v) :- v = min u : { m(u) }.\n\
+        hi(v) :- v = max u : { m(u) }.\n\
+        s(v) :- v = sum u : { m(u) }.\n";
+    let out = run(src);
+    assert_eq!(out.outputs["lo"], vec![vec![Value::Unsigned(1)]]);
+    assert_eq!(
+        out.outputs["hi"],
+        vec![vec![Value::Unsigned(4_000_000_000)]]
+    );
+    // 4000000008 wraps in u32? No: 4_000_000_000 + 8 < u32::MAX.
+    assert_eq!(out.outputs["s"], vec![vec![Value::Unsigned(4_000_000_008)]]);
+}
+
+#[test]
+fn float_aggregates_use_float_semantics() {
+    let src = "\
+        .decl m(f: float)\n\
+        .decl lo(f: float)\n.decl hi(f: float)\n.decl s(f: float)\n\
+        .output lo\n.output hi\n.output s\n\
+        m(-2.5). m(0.25). m(10.0).\n\
+        lo(v) :- v = min f : { m(f) }.\n\
+        hi(v) :- v = max f : { m(f) }.\n\
+        s(v) :- v = sum f : { m(f) }.\n";
+    let out = run(src);
+    assert_eq!(out.outputs["lo"], vec![vec![Value::Float(-2.5)]]);
+    assert_eq!(out.outputs["hi"], vec![vec![Value::Float(10.0)]]);
+    assert_eq!(out.outputs["s"], vec![vec![Value::Float(7.75)]]);
+}
+
+#[test]
+fn signed_min_max_handle_negatives() {
+    let src = "\
+        .decl m(n: number)\n\
+        .decl lo(n: number)\n.decl hi(n: number)\n\
+        .output lo\n.output hi\n\
+        m(-5). m(3). m(-100). m(99).\n\
+        lo(v) :- v = min n : { m(n) }.\n\
+        hi(v) :- v = max n : { m(n) }.\n";
+    let out = run(src);
+    assert_eq!(out.outputs["lo"], vec![vec![Value::Number(-100)]]);
+    assert_eq!(out.outputs["hi"], vec![vec![Value::Number(99)]]);
+}
+
+#[test]
+fn keyed_aggregates_respect_groups_across_configs() {
+    let src = "\
+        .decl sale(region: number, amount: number)\n\
+        .decl mx(region: number, m: number)\n\
+        .output mx\n\
+        sale(1, 5). sale(1, 50). sale(2, 7). sale(3, 1). sale(3, 2). sale(3, 3).\n\
+        mx(r, m) :- sale(r, _), m = max a : { sale(r, a) }.\n";
+    let engine = Engine::from_source(src).expect("compiles");
+    let expected = vec![
+        vec![Value::Number(1), Value::Number(50)],
+        vec![Value::Number(2), Value::Number(7)],
+        vec![Value::Number(3), Value::Number(3)],
+    ];
+    for config in [
+        InterpreterConfig::optimized(),
+        InterpreterConfig::dynamic_adapter(),
+        InterpreterConfig::unoptimized(),
+        InterpreterConfig::legacy(),
+    ] {
+        let out = engine.run(config, &InputData::new()).expect("runs");
+        assert_eq!(out.outputs["mx"], expected, "{config:?}");
+    }
+}
+
+#[test]
+fn aggregate_over_aggregate_strata() {
+    // An aggregate over a relation that is itself aggregate-defined:
+    // two stratification layers of negative edges.
+    let src = "\
+        .decl raw(k: number, v: number)\n\
+        .decl per_key(k: number, s: number)\n\
+        .decl best(m: number)\n\
+        .output best\n\
+        raw(1, 10). raw(1, 20). raw(2, 40). raw(2, 1).\n\
+        per_key(k, s) :- raw(k, _), s = sum v : { raw(k, v) }.\n\
+        best(m) :- m = max s : { per_key(_, s) }.\n";
+    let out = run(src);
+    assert_eq!(out.outputs["best"], vec![vec![Value::Number(41)]]);
+}
+
+#[test]
+fn count_keyed_by_symbol() {
+    let src = r#"
+        .decl ev(kind: symbol, id: number)
+        .decl per(kind: symbol, n: number)
+        .output per
+        ev("read", 1). ev("read", 2). ev("write", 3).
+        per(k, n) :- ev(k, _), n = count : { ev(k, _) }.
+    "#;
+    let out = run(src);
+    assert_eq!(
+        out.outputs["per"],
+        vec![
+            vec![Value::Symbol("read".into()), Value::Number(2)],
+            vec![Value::Symbol("write".into()), Value::Number(1)],
+        ]
+    );
+}
