@@ -2,9 +2,13 @@
 //! §3/§4.1 claims: monomorphized (static) index operations vs the
 //! dynamic adapter interface vs the legacy runtime-comparator B-tree,
 //! and buffered vs unbuffered virtual iteration.
+//!
+//! Plain wall-clock timing (best of `reps()` runs) — criterion is not
+//! vendored, and the other figure benches already use this harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+use stir_bench::{best, fmt_dur, print_table, reps};
 use stir_der::adapter::{BTreeIndex, IndexAdapter};
 use stir_der::brie::Brie;
 use stir_der::btree::BTreeIndexSet;
@@ -24,62 +28,64 @@ fn tuples() -> Vec<[u32; 2]> {
         .collect()
 }
 
-fn bench_inserts(c: &mut Criterion) {
-    let data = tuples();
-    let mut g = c.benchmark_group("insert_20k");
-    g.bench_function("btree_static", |b| {
-        b.iter_batched(
-            BTreeIndexSet::<2>::new,
-            |mut set| {
-                for t in &data {
-                    set.insert(*t);
-                }
-                set
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("brie_static", |b| {
-        b.iter_batched(
-            Brie::<2>::new,
-            |mut set| {
-                for t in &data {
-                    set.insert(*t);
-                }
-                set
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("btree_dyn_adapter", |b| {
-        b.iter_batched(
-            || BTreeIndex::<2>::new(Order::natural(2)),
-            |mut idx| {
-                for t in &data {
-                    IndexAdapter::insert(&mut idx, t);
-                }
-                idx
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("legacy_runtime_comparator", |b| {
-        b.iter_batched(
-            || DynBTreeIndex::new(Order::natural(2)),
-            |mut idx| {
-                for t in &data {
-                    idx.insert(t);
-                }
-                idx
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn time<R>(mut f: impl FnMut() -> R) -> Duration {
+    let runs = reps().max(5);
+    best(
+        (0..runs)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect(),
+    )
 }
 
-fn bench_scans(c: &mut Criterion) {
+fn main() {
     let data = tuples();
+    let mut rows = Vec::new();
+
+    rows.push(vec![
+        "insert_20k/btree_static".into(),
+        fmt_dur(time(|| {
+            let mut set = BTreeIndexSet::<2>::new();
+            for t in &data {
+                set.insert(*t);
+            }
+            set
+        })),
+    ]);
+    rows.push(vec![
+        "insert_20k/brie_static".into(),
+        fmt_dur(time(|| {
+            let mut set = Brie::<2>::new();
+            for t in &data {
+                set.insert(*t);
+            }
+            set
+        })),
+    ]);
+    rows.push(vec![
+        "insert_20k/btree_dyn_adapter".into(),
+        fmt_dur(time(|| {
+            let mut idx = BTreeIndex::<2>::new(Order::natural(2));
+            for t in &data {
+                IndexAdapter::insert(&mut idx, t);
+            }
+            idx
+        })),
+    ]);
+    rows.push(vec![
+        "insert_20k/legacy_runtime_comparator".into(),
+        fmt_dur(time(|| {
+            let mut idx = DynBTreeIndex::new(Order::natural(2));
+            for t in &data {
+                idx.insert(t);
+            }
+            idx
+        })),
+    ]);
+
     let static_set: BTreeIndexSet<2> = data.iter().copied().collect();
     let mut adapter = BTreeIndex::<2>::new(Order::natural(2));
     let mut legacy = DynBTreeIndex::new(Order::natural(2));
@@ -88,62 +94,65 @@ fn bench_scans(c: &mut Criterion) {
         legacy.insert(t);
     }
 
-    let mut g = c.benchmark_group("full_scan");
-    g.bench_function("monomorphic_iter", |b| {
-        b.iter(|| {
+    rows.push(vec![
+        "full_scan/monomorphic_iter".into(),
+        fmt_dur(time(|| {
             let mut acc = 0u64;
             for t in static_set.iter() {
                 acc += u64::from(t[1]);
             }
-            black_box(acc)
-        })
-    });
-    g.bench_function("virtual_unbuffered", |b| {
-        b.iter(|| {
+            acc
+        })),
+    ]);
+    rows.push(vec![
+        "full_scan/virtual_unbuffered".into(),
+        fmt_dur(time(|| {
             let mut acc = 0u64;
             let mut it = adapter.scan();
             while let Some(t) = it.next_tuple() {
                 acc += u64::from(t[1]);
             }
-            black_box(acc)
-        })
-    });
-    g.bench_function("virtual_buffered_128", |b| {
-        b.iter(|| {
+            acc
+        })),
+    ]);
+    rows.push(vec![
+        "full_scan/virtual_buffered_128".into(),
+        fmt_dur(time(|| {
             let mut acc = 0u64;
             let mut it = BufferedTupleIter::new(adapter.scan());
             while let Some(t) = it.next_tuple() {
                 acc += u64::from(t[1]);
             }
-            black_box(acc)
-        })
-    });
-    g.bench_function("legacy_materializing", |b| {
-        b.iter(|| {
+            acc
+        })),
+    ]);
+    rows.push(vec![
+        "full_scan/legacy_materializing".into(),
+        fmt_dur(time(|| {
             let mut acc = 0u64;
             let mut it = legacy.scan();
             while let Some(t) = it.next_tuple() {
                 acc += u64::from(t[1]);
             }
-            black_box(acc)
-        })
-    });
-    g.finish();
+            acc
+        })),
+    ]);
 
-    let mut g = c.benchmark_group("primitive_search");
-    g.bench_function("monomorphic_range", |b| {
-        b.iter(|| {
+    rows.push(vec![
+        "primitive_search/monomorphic_range".into(),
+        fmt_dur(time(|| {
             let mut acc = 0u64;
             for key in 0..1000u32 {
                 for t in static_set.range(&[key, 0], &[key, u32::MAX]) {
                     acc += u64::from(t[1]);
                 }
             }
-            black_box(acc)
-        })
-    });
-    g.bench_function("virtual_range", |b| {
-        b.iter(|| {
+            acc
+        })),
+    ]);
+    rows.push(vec![
+        "primitive_search/virtual_range".into(),
+        fmt_dur(time(|| {
             let mut acc = 0u64;
             for key in 0..1000u32 {
                 let mut it = adapter.range(&[key, 0], &[key, u32::MAX]);
@@ -151,11 +160,12 @@ fn bench_scans(c: &mut Criterion) {
                     acc += u64::from(t[1]);
                 }
             }
-            black_box(acc)
-        })
-    });
-    g.bench_function("legacy_range", |b| {
-        b.iter(|| {
+            acc
+        })),
+    ]);
+    rows.push(vec![
+        "primitive_search/legacy_range".into(),
+        fmt_dur(time(|| {
             let mut acc = 0u64;
             for key in 0..1000u32 {
                 let mut it = legacy.range(&[key, 0], &[key, u32::MAX]);
@@ -163,45 +173,40 @@ fn bench_scans(c: &mut Criterion) {
                     acc += u64::from(t[1]);
                 }
             }
-            black_box(acc)
-        })
-    });
-    g.finish();
+            acc
+        })),
+    ]);
 
-    let mut g = c.benchmark_group("contains_20k");
-    g.bench_function("monomorphic", |b| {
-        b.iter(|| {
+    rows.push(vec![
+        "contains_20k/monomorphic".into(),
+        fmt_dur(time(|| {
             let mut hits = 0u32;
             for t in &data {
                 hits += u32::from(static_set.contains(t));
             }
-            black_box(hits)
-        })
-    });
-    g.bench_function("virtual", |b| {
-        b.iter(|| {
+            hits
+        })),
+    ]);
+    rows.push(vec![
+        "contains_20k/virtual".into(),
+        fmt_dur(time(|| {
             let mut hits = 0u32;
             for t in &data {
                 hits += u32::from(adapter.contains(t));
             }
-            black_box(hits)
-        })
-    });
-    g.bench_function("legacy", |b| {
-        b.iter(|| {
+            hits
+        })),
+    ]);
+    rows.push(vec![
+        "contains_20k/legacy".into(),
+        fmt_dur(time(|| {
             let mut hits = 0u32;
             for t in &data {
                 hits += u32::from(legacy.contains(t));
             }
-            black_box(hits)
-        })
-    });
-    g.finish();
-}
+            hits
+        })),
+    ]);
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_inserts, bench_scans
+    print_table("E10 — DER micro-benchmarks", &["benchmark", "best"], &rows);
 }
-criterion_main!(benches);

@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 use std::time::Duration;
-use stir_bench::{print_table, scale, SynthCache};
-use stir_core::{Engine, InterpreterConfig};
+use stir_bench::{print_table, rules_from_json, scale, SynthCache};
+use stir_core::{Engine, InterpreterConfig, Json};
 use stir_workloads::spec::Scale;
 
 fn main() {
@@ -22,13 +22,11 @@ fn main() {
     let w = stir_workloads::ddisasm::generate("gamess-like", scale, 404);
     let engine = Engine::from_source(&w.program).expect("compiles");
 
-    // Interpreter per-rule times.
-    let (_, profile, _) = stir_bench::interp_eval(
-        &engine,
-        InterpreterConfig::optimized().with_profile(),
-        &w.inputs,
-    );
-    let interp_rules = profile.expect("profiled").by_rule();
+    // Interpreter per-rule times, via the machine-readable profile the
+    // CLI emits (render → parse keeps the emitters load-bearing).
+    let doc = stir_bench::profile_json_eval(&engine, InterpreterConfig::optimized(), &w.inputs);
+    let doc = Json::parse(&doc.render()).expect("profile JSON round-trips");
+    let interp_rules = rules_from_json(&doc);
 
     // Synthesizer per-rule times (its binary profiles every query).
     let mut cache = SynthCache::new();

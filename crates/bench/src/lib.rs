@@ -19,7 +19,8 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use stir_core::{
     database::{DataMode, Database},
-    itree, Engine, InputData, Interpreter, InterpreterConfig, ProfileReport, Value,
+    itree, profile_json, Engine, InputData, Interpreter, InterpreterConfig, Json, ProfileReport,
+    Telemetry, Value,
 };
 use stir_synth::{compile, CompiledProgram};
 use stir_workloads::spec::Scale;
@@ -85,6 +86,56 @@ pub fn interp_eval(
         .map(|r| db.relation(r.id).borrow().len())
         .sum();
     (elapsed, interp.profile_report(), size)
+}
+
+/// One profiled evaluation rendered as the machine-readable profile
+/// document — the same JSON `stir --profile-json` writes. Benchmarks
+/// that consume per-rule statistics go through this instead of the
+/// in-process [`ProfileReport`], so the emitters stay load-bearing.
+///
+/// # Panics
+///
+/// Panics on evaluation errors (benchmark programs are known-good).
+pub fn profile_json_eval(engine: &Engine, config: InterpreterConfig, inputs: &InputData) -> Json {
+    let (elapsed, profile, _) = interp_eval(engine, config.with_profile(), inputs);
+    profile_json(engine.ram(), profile.as_ref(), &Telemetry::off(), elapsed)
+}
+
+/// One per-rule record parsed back out of a profile JSON document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonRule {
+    /// The rule text.
+    pub label: String,
+    /// Cumulative wall time.
+    pub time: Duration,
+    /// How many times the rule's query ran.
+    pub executions: u64,
+    /// Tuples the rule inserted.
+    pub tuples: u64,
+}
+
+/// The `rule` table of a profile JSON document.
+///
+/// # Panics
+///
+/// Panics when the document does not have the `--profile-json` layout.
+pub fn rules_from_json(doc: &Json) -> Vec<JsonRule> {
+    doc.get("root")
+        .and_then(|r| r.get("program"))
+        .and_then(|p| p.get("rule"))
+        .and_then(Json::entries)
+        .expect("profile JSON has root.program.rule")
+        .iter()
+        .map(|(label, r)| {
+            let field = |k: &str| r.get(k).and_then(Json::as_u64).expect("rule field");
+            JsonRule {
+                label: label.clone(),
+                time: Duration::from_nanos(field("time_ns")),
+                executions: field("executions"),
+                tuples: field("tuples"),
+            }
+        })
+        .collect()
 }
 
 /// Best (minimum) interpreter evaluation time over [`reps`] runs, after one
@@ -296,5 +347,21 @@ mod tests {
         assert!(time.as_nanos() > 0);
         assert!(profile.is_none());
         assert_eq!(size, 2);
+    }
+
+    #[test]
+    fn rules_round_trip_through_profile_json() {
+        let engine = Engine::from_source(
+            ".decl e(x: number)\n.decl p(x: number)\n.output p\n\
+             e(1). e(2). e(3).\np(x) :- e(x).",
+        )
+        .expect("compiles");
+        let doc = profile_json_eval(&engine, InterpreterConfig::optimized(), &InputData::new());
+        let reparsed = Json::parse(&doc.render()).expect("round-trips");
+        let rules = rules_from_json(&reparsed);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].label, "p(x) :- e(x).");
+        assert_eq!(rules[0].tuples, 3);
+        assert!(rules[0].executions >= 1);
     }
 }

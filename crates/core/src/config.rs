@@ -41,6 +41,11 @@ pub struct InterpreterConfig {
     /// Record per-rule timings, tuple counts, and dispatch counts
     /// (§5.2's profiler; small overhead when enabled).
     pub profile: bool,
+    /// Emit per-statement spans into an attached
+    /// [`crate::telemetry::Telemetry`] tracer (folded-stack output).
+    /// Implies the profiling interpreter instantiation; without an
+    /// attached telemetry bundle the flag is inert.
+    pub trace: bool,
     /// Use the *legacy* data layer (§5.1 baseline): every index is a
     /// dynamically-typed B-tree whose lexicographic order is a runtime
     /// comparator array consulted on every comparison. Tuples are stored
@@ -62,6 +67,7 @@ impl InterpreterConfig {
             static_reordering: true,
             outlined_handlers: false,
             profile: false,
+            trace: false,
             legacy_data: false,
             buffered_iterators: true,
         }
@@ -85,6 +91,7 @@ impl InterpreterConfig {
             static_reordering: false,
             outlined_handlers: false,
             profile: false,
+            trace: false,
             legacy_data: false,
             buffered_iterators: true,
         }
@@ -99,6 +106,7 @@ impl InterpreterConfig {
             static_reordering: false,
             outlined_handlers: false,
             profile: false,
+            trace: false,
             legacy_data: true,
             buffered_iterators: false,
         }
@@ -107,6 +115,13 @@ impl InterpreterConfig {
     /// Enables profiling on any configuration.
     pub fn with_profile(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Enables statement tracing (and thereby the profiling
+    /// instantiation) on any configuration.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -132,5 +147,7 @@ mod tests {
         assert!(!none.static_dispatch && !none.super_instructions);
         assert!(InterpreterConfig::default().static_dispatch);
         assert!(none.with_profile().profile);
+        assert!(!none.trace);
+        assert!(none.with_trace().trace);
     }
 }

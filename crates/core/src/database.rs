@@ -170,6 +170,36 @@ impl Database {
             .map(|r| (r.name.clone(), self.extract(ram, r.id)))
             .collect()
     }
+
+    /// Samples the structure of every relation into a metrics registry:
+    /// `relation.<name>.tuples` plus, per index `k`,
+    /// `relation.<name>.index.<k>.{tuples,nodes,bytes}`, and the
+    /// database-wide totals `db.relations`, `db.tuples`, `db.indexes`,
+    /// and `db.bytes`. A no-op when the registry is disabled.
+    pub fn sample_metrics(&self, ram: &RamProgram, metrics: &crate::telemetry::MetricsRegistry) {
+        if !metrics.enabled() {
+            return;
+        }
+        let (mut tuples, mut indexes, mut bytes) = (0u64, 0u64, 0u64);
+        for meta in &ram.relations {
+            let rel = self.relations[meta.id.0].borrow();
+            let len = rel.len() as u64;
+            tuples += len;
+            metrics.set(&format!("relation.{}.tuples", meta.name), len);
+            for (k, stats) in rel.index_stats().iter().enumerate() {
+                indexes += 1;
+                bytes += stats.bytes as u64;
+                let prefix = format!("relation.{}.index.{k}", meta.name);
+                metrics.set(&format!("{prefix}.tuples"), stats.tuples as u64);
+                metrics.set(&format!("{prefix}.nodes"), stats.nodes as u64);
+                metrics.set(&format!("{prefix}.bytes"), stats.bytes as u64);
+            }
+        }
+        metrics.set("db.relations", ram.relations.len() as u64);
+        metrics.set("db.tuples", tuples);
+        metrics.set("db.indexes", indexes);
+        metrics.set("db.bytes", bytes);
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use crate::error::EngineError;
 use crate::interp::Interpreter;
 use crate::itree;
 use crate::profile::ProfileReport;
+use crate::telemetry::Telemetry;
 use crate::value::Value;
 use std::collections::HashMap;
 use stir_ram::RamProgram;
@@ -57,8 +58,30 @@ impl Engine {
     /// # Ok::<(), stir_core::EngineError>(())
     /// ```
     pub fn from_source(source: &str) -> Result<Engine, EngineError> {
-        let checked = stir_frontend::parse_and_check(source)?;
-        let ram = stir_ram::translate::translate(&checked)?;
+        Self::from_source_with(source, None)
+    }
+
+    /// Like [`Engine::from_source`], recording `phase:parse` and
+    /// `phase:ram-translate` spans (plus the index-selection sub-span)
+    /// into an attached telemetry tracer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend and translation errors.
+    pub fn from_source_with(source: &str, tel: Option<&Telemetry>) -> Result<Engine, EngineError> {
+        let tracer = tel.map(|t| &t.tracer);
+        let checked = {
+            let _span = tracer.map(|t| t.span("phase:parse"));
+            stir_frontend::parse_and_check(source)?
+        };
+        let ram = {
+            let _span = tracer.map(|t| t.span("phase:ram-translate"));
+            let ram = stir_ram::translate::translate(&checked)?;
+            if let Some(t) = tracer {
+                t.record("index-selection", ram.stats.index_selection_ns);
+            }
+            ram
+        };
         Ok(Engine { ram })
     }
 
@@ -92,16 +115,55 @@ impl Engine {
         inputs: &InputData,
         fusions: &[itree::Fusion],
     ) -> Result<EvalOutcome, EngineError> {
+        self.run_with(config, inputs, fusions, None)
+    }
+
+    /// Like [`Engine::run_fused`], with an attached telemetry bundle:
+    /// phase spans (`build-db`, `load-inputs`, `build-itree`,
+    /// `evaluate`) go to the tracer, per-statement spans are recorded
+    /// when [`InterpreterConfig::trace`] is set, and the database's
+    /// relation/index structure is sampled into the metrics registry
+    /// after the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input-loading and runtime errors.
+    pub fn run_with(
+        &self,
+        config: InterpreterConfig,
+        inputs: &InputData,
+        fusions: &[itree::Fusion],
+        tel: Option<&Telemetry>,
+    ) -> Result<EvalOutcome, EngineError> {
+        let tracer = tel.map(|t| &t.tracer);
         let mode = if config.legacy_data {
             DataMode::LegacyDynamic
         } else {
             DataMode::Specialized
         };
-        let db = Database::new(&self.ram, mode);
-        db.load_inputs(&self.ram, inputs)?;
-        let tree = itree::build_with_fusions(&self.ram, &config, fusions);
+        let db = {
+            let _span = tracer.map(|t| t.span("phase:build-db"));
+            Database::new(&self.ram, mode)
+        };
+        {
+            let _span = tracer.map(|t| t.span("phase:load-inputs"));
+            db.load_inputs(&self.ram, inputs)?;
+        }
+        let tree = {
+            let _span = tracer.map(|t| t.span("phase:build-itree"));
+            itree::build_with_fusions(&self.ram, &config, fusions)
+        };
         let mut interp = Interpreter::new(&self.ram, &db, config);
-        interp.run(&tree)?;
+        if let Some(t) = tel {
+            interp.attach_telemetry(t);
+        }
+        {
+            let _span = tracer.map(|t| t.span("phase:evaluate"));
+            interp.run(&tree)?;
+        }
+        if let Some(t) = tel {
+            db.sample_metrics(&self.ram, &t.metrics);
+        }
         Ok(EvalOutcome {
             outputs: db.extract_outputs(&self.ram),
             profile: interp.profile_report(),

@@ -24,6 +24,7 @@ use crate::functors::{eval_cmp, eval_intrinsic};
 use crate::itree::{Bounds, CopySpec, INode, ITree, Slot};
 use crate::profile::{ProfileReport, ProfileState};
 use crate::static_set::{StaticAdapter, StaticSet};
+use crate::telemetry::{LogLevel, Telemetry};
 use stir_der::adapter::EqRelIndex;
 use stir_der::iter::{BufferedTupleIter, TupleIter};
 use stir_der::tuple::MAX_ARITY;
@@ -47,43 +48,43 @@ fn outline<R>(f: impl FnOnce() -> R) -> R {
 
 /// Dispatches a read-only operation to the monomorphized set behind an
 /// index adapter. `$method` must be generic as
-/// `fn m<const OUT: bool, const N: usize, S: StaticSet<N>>(&self, set: &S, ...)`.
+/// `fn m<const OUT: bool, const PROF: bool, const N: usize, S: StaticSet<N>>(&self, set: &S, ...)`.
 macro_rules! with_static_set {
-    ($self:ident, $out:ident, $repr:expr, $arity:expr, $idx:expr, $method:ident, ($($arg:expr),*)) => {{
+    ($self:ident, $out:ident, $prof:ident, $repr:expr, $arity:expr, $idx:expr, $method:ident, ($($arg:expr),*)) => {{
         use stir_der::adapter::{BTreeIndex as B, BrieIndex as R};
         match ($repr, $arity) {
-            (ReprKind::BTree, 1) => $self.$method::<$out, 1, _>($idx.as_any().downcast_ref::<B<1>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 2) => $self.$method::<$out, 2, _>($idx.as_any().downcast_ref::<B<2>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 3) => $self.$method::<$out, 3, _>($idx.as_any().downcast_ref::<B<3>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 4) => $self.$method::<$out, 4, _>($idx.as_any().downcast_ref::<B<4>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 5) => $self.$method::<$out, 5, _>($idx.as_any().downcast_ref::<B<5>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 6) => $self.$method::<$out, 6, _>($idx.as_any().downcast_ref::<B<6>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 7) => $self.$method::<$out, 7, _>($idx.as_any().downcast_ref::<B<7>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 8) => $self.$method::<$out, 8, _>($idx.as_any().downcast_ref::<B<8>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 9) => $self.$method::<$out, 9, _>($idx.as_any().downcast_ref::<B<9>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 10) => $self.$method::<$out, 10, _>($idx.as_any().downcast_ref::<B<10>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 11) => $self.$method::<$out, 11, _>($idx.as_any().downcast_ref::<B<11>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 12) => $self.$method::<$out, 12, _>($idx.as_any().downcast_ref::<B<12>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 13) => $self.$method::<$out, 13, _>($idx.as_any().downcast_ref::<B<13>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 14) => $self.$method::<$out, 14, _>($idx.as_any().downcast_ref::<B<14>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 15) => $self.$method::<$out, 15, _>($idx.as_any().downcast_ref::<B<15>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::BTree, 16) => $self.$method::<$out, 16, _>($idx.as_any().downcast_ref::<B<16>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 1) => $self.$method::<$out, 1, _>($idx.as_any().downcast_ref::<R<1>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 2) => $self.$method::<$out, 2, _>($idx.as_any().downcast_ref::<R<2>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 3) => $self.$method::<$out, 3, _>($idx.as_any().downcast_ref::<R<3>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 4) => $self.$method::<$out, 4, _>($idx.as_any().downcast_ref::<R<4>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 5) => $self.$method::<$out, 5, _>($idx.as_any().downcast_ref::<R<5>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 6) => $self.$method::<$out, 6, _>($idx.as_any().downcast_ref::<R<6>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 7) => $self.$method::<$out, 7, _>($idx.as_any().downcast_ref::<R<7>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 8) => $self.$method::<$out, 8, _>($idx.as_any().downcast_ref::<R<8>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 9) => $self.$method::<$out, 9, _>($idx.as_any().downcast_ref::<R<9>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 10) => $self.$method::<$out, 10, _>($idx.as_any().downcast_ref::<R<10>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 11) => $self.$method::<$out, 11, _>($idx.as_any().downcast_ref::<R<11>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 12) => $self.$method::<$out, 12, _>($idx.as_any().downcast_ref::<R<12>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 13) => $self.$method::<$out, 13, _>($idx.as_any().downcast_ref::<R<13>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 14) => $self.$method::<$out, 14, _>($idx.as_any().downcast_ref::<R<14>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 15) => $self.$method::<$out, 15, _>($idx.as_any().downcast_ref::<R<15>>().expect("index matches its spec").raw(), $($arg),*),
-            (ReprKind::Brie, 16) => $self.$method::<$out, 16, _>($idx.as_any().downcast_ref::<R<16>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 1) => $self.$method::<$out, $prof, 1, _>($idx.as_any().downcast_ref::<B<1>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 2) => $self.$method::<$out, $prof, 2, _>($idx.as_any().downcast_ref::<B<2>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 3) => $self.$method::<$out, $prof, 3, _>($idx.as_any().downcast_ref::<B<3>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 4) => $self.$method::<$out, $prof, 4, _>($idx.as_any().downcast_ref::<B<4>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 5) => $self.$method::<$out, $prof, 5, _>($idx.as_any().downcast_ref::<B<5>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 6) => $self.$method::<$out, $prof, 6, _>($idx.as_any().downcast_ref::<B<6>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 7) => $self.$method::<$out, $prof, 7, _>($idx.as_any().downcast_ref::<B<7>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 8) => $self.$method::<$out, $prof, 8, _>($idx.as_any().downcast_ref::<B<8>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 9) => $self.$method::<$out, $prof, 9, _>($idx.as_any().downcast_ref::<B<9>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 10) => $self.$method::<$out, $prof, 10, _>($idx.as_any().downcast_ref::<B<10>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 11) => $self.$method::<$out, $prof, 11, _>($idx.as_any().downcast_ref::<B<11>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 12) => $self.$method::<$out, $prof, 12, _>($idx.as_any().downcast_ref::<B<12>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 13) => $self.$method::<$out, $prof, 13, _>($idx.as_any().downcast_ref::<B<13>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 14) => $self.$method::<$out, $prof, 14, _>($idx.as_any().downcast_ref::<B<14>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 15) => $self.$method::<$out, $prof, 15, _>($idx.as_any().downcast_ref::<B<15>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::BTree, 16) => $self.$method::<$out, $prof, 16, _>($idx.as_any().downcast_ref::<B<16>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 1) => $self.$method::<$out, $prof, 1, _>($idx.as_any().downcast_ref::<R<1>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 2) => $self.$method::<$out, $prof, 2, _>($idx.as_any().downcast_ref::<R<2>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 3) => $self.$method::<$out, $prof, 3, _>($idx.as_any().downcast_ref::<R<3>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 4) => $self.$method::<$out, $prof, 4, _>($idx.as_any().downcast_ref::<R<4>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 5) => $self.$method::<$out, $prof, 5, _>($idx.as_any().downcast_ref::<R<5>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 6) => $self.$method::<$out, $prof, 6, _>($idx.as_any().downcast_ref::<R<6>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 7) => $self.$method::<$out, $prof, 7, _>($idx.as_any().downcast_ref::<R<7>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 8) => $self.$method::<$out, $prof, 8, _>($idx.as_any().downcast_ref::<R<8>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 9) => $self.$method::<$out, $prof, 9, _>($idx.as_any().downcast_ref::<R<9>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 10) => $self.$method::<$out, $prof, 10, _>($idx.as_any().downcast_ref::<R<10>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 11) => $self.$method::<$out, $prof, 11, _>($idx.as_any().downcast_ref::<R<11>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 12) => $self.$method::<$out, $prof, 12, _>($idx.as_any().downcast_ref::<R<12>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 13) => $self.$method::<$out, $prof, 13, _>($idx.as_any().downcast_ref::<R<13>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 14) => $self.$method::<$out, $prof, 14, _>($idx.as_any().downcast_ref::<R<14>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 15) => $self.$method::<$out, $prof, 15, _>($idx.as_any().downcast_ref::<R<15>>().expect("index matches its spec").raw(), $($arg),*),
+            (ReprKind::Brie, 16) => $self.$method::<$out, $prof, 16, _>($idx.as_any().downcast_ref::<R<16>>().expect("index matches its spec").raw(), $($arg),*),
             (repr, arity) => unreachable!("no pre-instantiated index for {repr:?}/{arity}"),
         }
     }};
@@ -306,6 +307,7 @@ pub struct Interpreter<'p, 'd> {
     db: &'d Database,
     config: InterpreterConfig,
     prof: Option<ProfileState>,
+    tel: Option<&'d Telemetry>,
 }
 
 impl<'p, 'd> Interpreter<'p, 'd> {
@@ -316,7 +318,16 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             db,
             config,
             prof: None,
+            tel: None,
         }
+    }
+
+    /// Attaches a telemetry bundle: the tracer receives per-statement
+    /// spans (when [`InterpreterConfig::trace`] is on), the logger the
+    /// per-iteration heartbeats. Counters derived from the profiling
+    /// state are published by the engine after the run.
+    pub fn attach_telemetry(&mut self, tel: &'d Telemetry) {
+        self.tel = Some(tel);
     }
 
     /// Executes a built interpreter tree to completion.
@@ -326,12 +337,16 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     /// Propagates runtime errors (division by zero, ...).
     pub fn run(&mut self, tree: &ITree<'p>) -> Result<(), EvalError> {
         if self.config.profile {
-            self.prof = Some(ProfileState::new(&tree.labels));
+            self.prof = Some(ProfileState::new(&tree.labels, self.ram.relations.len()));
         }
-        let flow = if self.config.outlined_handlers {
-            self.eval_stmt::<true>(&tree.root)?
-        } else {
-            self.eval_stmt::<false>(&tree.root)?
+        // `PROF = true` selects the instrumented instantiation; tracing
+        // rides on it so the common pair stays completely counter-free.
+        let prof = self.config.profile || self.config.trace;
+        let flow = match (self.config.outlined_handlers, prof) {
+            (false, false) => self.eval_stmt::<false, false>(&tree.root)?,
+            (false, true) => self.eval_stmt::<false, true>(&tree.root)?,
+            (true, false) => self.eval_stmt::<true, false>(&tree.root)?,
+            (true, true) => self.eval_stmt::<true, true>(&tree.root)?,
         };
         debug_assert_eq!(flow, Flow::Ok, "Exit escaped all loops");
         Ok(())
@@ -343,42 +358,130 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     }
 
     #[inline]
-    fn tick(&self) {
-        if let Some(p) = &self.prof {
-            p.count_dispatch();
+    fn tick<const PROF: bool>(&self) {
+        if PROF {
+            if let Some(p) = &self.prof {
+                p.count_dispatch();
+            }
         }
     }
 
     #[inline]
-    fn tick_iter(&self) {
-        if let Some(p) = &self.prof {
-            p.count_iterations(1);
+    fn tick_iter<const PROF: bool>(&self) {
+        if PROF {
+            if let Some(p) = &self.prof {
+                p.count_iterations(1);
+            }
+        }
+    }
+
+    /// Runs `f` against the profiling state on the instrumented
+    /// instantiation; compiles to nothing on the plain one.
+    #[inline]
+    fn tick_prof<const PROF: bool>(&self, f: impl FnOnce(&ProfileState)) {
+        if PROF {
+            if let Some(p) = &self.prof {
+                f(p);
+            }
         }
     }
 
     // ---- statements ---------------------------------------------------
 
-    fn eval_stmt<const OUT: bool>(&self, node: &INode<'p>) -> Result<Flow, EvalError> {
-        self.tick();
+    fn eval_stmt<const OUT: bool, const PROF: bool>(
+        &self,
+        node: &INode<'p>,
+    ) -> Result<Flow, EvalError> {
+        self.tick::<PROF>();
+        if PROF && self.config.trace {
+            if let Some(tel) = self.tel {
+                if tel.tracer.enabled() {
+                    if let Some(name) = Self::span_name(self.ram, node) {
+                        let _guard = tel.tracer.span(&name);
+                        return self.eval_stmt_inner::<OUT, PROF>(node);
+                    }
+                }
+            }
+        }
+        self.eval_stmt_inner::<OUT, PROF>(node)
+    }
+
+    /// The span name of a statement node, or `None` for transparent
+    /// sequencing nodes that would only add noise to the folded stacks.
+    fn span_name(ram: &RamProgram, node: &INode<'_>) -> Option<String> {
+        match node {
+            INode::Loop { id, .. } => Some(format!("loop#{id}")),
+            INode::Query { label, .. } => Some(format!("query:{label}")),
+            INode::Clear(rel) => Some(format!("clear:{}", ram.name_of(*rel))),
+            INode::Merge { into, from } => Some(format!(
+                "merge:{}->{}",
+                ram.name_of(*from),
+                ram.name_of(*into)
+            )),
+            INode::Swap(a, b) => Some(format!("swap:{},{}", ram.name_of(*a), ram.name_of(*b))),
+            _ => None,
+        }
+    }
+
+    /// Records the semi-naive frontier — the sizes of every `delta_R`
+    /// relation — after a completed fixpoint iteration, and emits the
+    /// per-iteration heartbeat. Only reachable on the instrumented
+    /// instantiation.
+    #[cold]
+    fn sample_frontier(&self, loop_id: usize, iteration: u64) {
+        let deltas: Vec<(usize, u64)> = self
+            .ram
+            .deltas()
+            .map(|r| (r.id.0, self.db.relation(r.id).borrow().len() as u64))
+            .collect();
+        if let Some(tel) = self.tel {
+            if tel.logger.enabled(LogLevel::Info) {
+                let parts: Vec<String> = deltas
+                    .iter()
+                    .map(|&(rel, n)| format!("{}={n}", self.ram.relations[rel].name))
+                    .collect();
+                tel.logger.log(
+                    LogLevel::Info,
+                    &format!(
+                        "loop#{loop_id} iteration {iteration}: frontier {}",
+                        parts.join(" ")
+                    ),
+                );
+            }
+        }
+        if let Some(p) = &self.prof {
+            p.record_frontier(loop_id, iteration, deltas);
+        }
+    }
+
+    fn eval_stmt_inner<const OUT: bool, const PROF: bool>(
+        &self,
+        node: &INode<'p>,
+    ) -> Result<Flow, EvalError> {
         match node {
             INode::Seq(stmts) => {
                 for s in stmts {
-                    if self.eval_stmt::<OUT>(s)? == Flow::Exit {
+                    if self.eval_stmt::<OUT, PROF>(s)? == Flow::Exit {
                         return Ok(Flow::Exit);
                     }
                 }
                 Ok(Flow::Ok)
             }
-            INode::Loop(body) => {
+            INode::Loop { id, body } => {
+                let mut iteration: u64 = 0;
                 loop {
-                    if self.eval_stmt::<OUT>(body)? == Flow::Exit {
+                    if self.eval_stmt::<OUT, PROF>(body)? == Flow::Exit {
                         break;
                     }
+                    if PROF {
+                        self.sample_frontier(*id, iteration);
+                    }
+                    iteration += 1;
                 }
                 Ok(Flow::Ok)
             }
             INode::Exit(cond) => {
-                if self.eval_cond::<OUT>(cond, &[])? {
+                if self.eval_cond::<OUT, PROF>(cond, &[])? {
                     Ok(Flow::Exit)
                 } else {
                     Ok(Flow::Ok)
@@ -393,10 +496,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 let mut regs = vec![0u32; *arena_size];
                 if let Some(p) = &self.prof {
                     let started = p.begin_query();
-                    self.eval_op::<OUT>(body, &mut regs)?;
+                    self.eval_op::<OUT, PROF>(body, &mut regs)?;
                     p.end_query(*label, started);
                 } else {
-                    self.eval_op::<OUT>(body, &mut regs)?;
+                    self.eval_op::<OUT, PROF>(body, &mut regs)?;
                 }
                 Ok(Flow::Ok)
             }
@@ -421,22 +524,23 @@ impl<'p, 'd> Interpreter<'p, 'd> {
 
     // ---- operations ---------------------------------------------------
 
-    fn eval_op<const OUT: bool>(
+    fn eval_op<const OUT: bool, const PROF: bool>(
         &self,
         node: &INode<'p>,
         regs: &mut [u32],
     ) -> Result<(), EvalError> {
-        self.tick();
+        self.tick::<PROF>();
         match node {
             INode::Filter { cond, body } => {
-                if self.eval_cond::<OUT>(cond, regs)? {
-                    self.eval_op::<OUT>(body, regs)?;
+                if self.eval_cond::<OUT, PROF>(cond, regs)? {
+                    self.eval_op::<OUT, PROF>(body, regs)?;
                 }
                 Ok(())
             }
             INode::FilterNative { func, body } => {
+                self.tick_prof::<PROF>(ProfileState::count_super);
                 if func(regs) {
-                    self.eval_op::<OUT>(body, regs)?;
+                    self.eval_op::<OUT, PROF>(body, regs)?;
                 }
                 Ok(())
             }
@@ -447,10 +551,11 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 copy,
                 body,
             } => {
+                self.tick_prof::<PROF>(|p| p.count_scan(rel.0));
                 if OUT {
-                    outline(|| self.scan_static::<OUT>(*rel, *index, dst, copy, body, regs))
+                    outline(|| self.scan_static::<OUT, PROF>(*rel, *index, dst, copy, body, regs))
                 } else {
-                    self.scan_static::<OUT>(*rel, *index, dst, copy, body, regs)
+                    self.scan_static::<OUT, PROF>(*rel, *index, dst, copy, body, regs)
                 }
             }
             INode::ScanDynamic {
@@ -461,12 +566,15 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 buffered,
                 body,
             } => {
+                self.tick_prof::<PROF>(|p| p.count_scan(rel.0));
                 if OUT {
                     outline(|| {
-                        self.scan_dynamic::<OUT>(*rel, *index, dst, copy, *buffered, body, regs)
+                        self.scan_dynamic::<OUT, PROF>(
+                            *rel, *index, dst, copy, *buffered, body, regs,
+                        )
                     })
                 } else {
-                    self.scan_dynamic::<OUT>(*rel, *index, dst, copy, *buffered, body, regs)
+                    self.scan_dynamic::<OUT, PROF>(*rel, *index, dst, copy, *buffered, body, regs)
                 }
             }
             INode::IndexScanStatic {
@@ -477,12 +585,15 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 bounds,
                 body,
             } => {
+                self.tick_prof::<PROF>(|p| p.count_range(rel.0));
                 if OUT {
                     outline(|| {
-                        self.index_scan_static::<OUT>(*rel, *index, dst, copy, bounds, body, regs)
+                        self.index_scan_static::<OUT, PROF>(
+                            *rel, *index, dst, copy, bounds, body, regs,
+                        )
                     })
                 } else {
-                    self.index_scan_static::<OUT>(*rel, *index, dst, copy, bounds, body, regs)
+                    self.index_scan_static::<OUT, PROF>(*rel, *index, dst, copy, bounds, body, regs)
                 }
             }
             INode::IndexScanDynamic {
@@ -494,14 +605,15 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 bounds,
                 body,
             } => {
+                self.tick_prof::<PROF>(|p| p.count_range(rel.0));
                 if OUT {
                     outline(|| {
-                        self.index_scan_dynamic::<OUT>(
+                        self.index_scan_dynamic::<OUT, PROF>(
                             *rel, *index, dst, copy, *buffered, bounds, body, regs,
                         )
                     })
                 } else {
-                    self.index_scan_dynamic::<OUT>(
+                    self.index_scan_dynamic::<OUT, PROF>(
                         *rel, *index, dst, copy, *buffered, bounds, body, regs,
                     )
                 }
@@ -513,6 +625,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 elems,
                 generic,
             } => {
+                self.tick_prof::<PROF>(ProfileState::count_super);
                 let mut tuple = [0u32; MAX_ARITY];
                 let n = template.len();
                 tuple[..n].copy_from_slice(template);
@@ -520,9 +633,9 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                     tuple[c] = regs[ofs];
                 }
                 for (c, e) in generic {
-                    tuple[*c] = self.eval_expr::<OUT>(e, regs)?;
+                    tuple[*c] = self.eval_expr::<OUT, PROF>(e, regs)?;
                 }
-                self.insert(*rel, *static_dispatch, &tuple[..n]);
+                self.insert::<PROF>(*rel, *static_dispatch, &tuple[..n]);
                 Ok(())
             }
             INode::ProjectPlain {
@@ -532,9 +645,9 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             } => {
                 let mut tuple = [0u32; MAX_ARITY];
                 for (c, v) in values.iter().enumerate() {
-                    tuple[c] = self.eval_expr::<OUT>(v, regs)?;
+                    tuple[c] = self.eval_expr::<OUT, PROF>(v, regs)?;
                 }
-                self.insert(*rel, *static_dispatch, &tuple[..values.len()]);
+                self.insert::<PROF>(*rel, *static_dispatch, &tuple[..values.len()]);
                 Ok(())
             }
             INode::Aggregate {
@@ -548,9 +661,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 value,
                 body,
             } => {
+                self.tick_prof::<PROF>(|p| p.count_range(rel.0));
                 if OUT {
                     outline(|| {
-                        self.aggregate::<OUT>(
+                        self.aggregate::<OUT, PROF>(
                             *static_dispatch,
                             *rel,
                             *index,
@@ -564,7 +678,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                         )
                     })
                 } else {
-                    self.aggregate::<OUT>(
+                    self.aggregate::<OUT, PROF>(
                         *static_dispatch,
                         *rel,
                         *index,
@@ -585,7 +699,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     // ---- scan handlers --------------------------------------------------
 
     #[inline(always)]
-    fn scan_static<const OUT: bool>(
+    fn scan_static<const OUT: bool, const PROF: bool>(
         &self,
         rel: RelId,
         index: usize,
@@ -603,15 +717,16 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 .downcast_ref::<EqRelIndex>()
                 .expect("eqrel index");
             for pair in eq.raw().iter_pairs() {
-                self.tick_iter();
+                self.tick_iter::<PROF>();
                 self.copy_out(dst, copy, &pair, regs);
-                self.eval_op::<OUT>(body, regs)?;
+                self.eval_op::<OUT, PROF>(body, regs)?;
             }
             return Ok(());
         }
         with_static_set!(
             self,
             OUT,
+            PROF,
             meta.repr,
             meta.arity,
             r.index(index),
@@ -633,7 +748,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     }
 
     #[inline(always)]
-    fn scan_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+    fn scan_set<const OUT: bool, const PROF: bool, const N: usize, S: StaticSet<N>>(
         &self,
         set: &S,
         dst: &Slot,
@@ -644,26 +759,27 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         match copy {
             CopySpec::Direct => {
                 for t in set.iter_tuples() {
-                    self.tick_iter();
+                    self.tick_iter::<PROF>();
                     regs[dst.ofs..dst.ofs + N].copy_from_slice(&t);
-                    self.eval_op::<OUT>(body, regs)?;
+                    self.eval_op::<OUT, PROF>(body, regs)?;
                 }
             }
             CopySpec::Permuted(ord) => {
                 for t in set.iter_tuples() {
-                    self.tick_iter();
+                    self.tick_iter::<PROF>();
                     for i in 0..N {
                         regs[dst.ofs + ord[i]] = t[i];
                     }
-                    self.eval_op::<OUT>(body, regs)?;
+                    self.eval_op::<OUT, PROF>(body, regs)?;
                 }
             }
         }
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn index_scan_static<const OUT: bool>(
+    fn index_scan_static<const OUT: bool, const PROF: bool>(
         &self,
         rel: RelId,
         index: usize,
@@ -675,7 +791,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     ) -> Result<(), EvalError> {
         let mut lo = [0u32; MAX_ARITY];
         let mut hi = [u32::MAX; MAX_ARITY];
-        self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+        self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
         let meta = &self.ram.relations[rel.0];
         let r = self.db.relation(rel).borrow();
         if meta.repr == ReprKind::EqRel {
@@ -685,15 +801,16 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 .downcast_ref::<EqRelIndex>()
                 .expect("eqrel index");
             for pair in eq.raw().range_pairs([lo[0], lo[1]], [hi[0], hi[1]]) {
-                self.tick_iter();
+                self.tick_iter::<PROF>();
                 self.copy_out(dst, copy, &pair, regs);
-                self.eval_op::<OUT>(body, regs)?;
+                self.eval_op::<OUT, PROF>(body, regs)?;
             }
             return Ok(());
         }
         with_static_set!(
             self,
             OUT,
+            PROF,
             meta.repr,
             meta.arity,
             r.index(index),
@@ -702,8 +819,9 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn range_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+    fn range_set<const OUT: bool, const PROF: bool, const N: usize, S: StaticSet<N>>(
         &self,
         set: &S,
         lo: &[u32; MAX_ARITY],
@@ -718,26 +836,27 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         match copy {
             CopySpec::Direct => {
                 for t in set.range_tuples(&lo, &hi) {
-                    self.tick_iter();
+                    self.tick_iter::<PROF>();
                     regs[dst.ofs..dst.ofs + N].copy_from_slice(&t);
-                    self.eval_op::<OUT>(body, regs)?;
+                    self.eval_op::<OUT, PROF>(body, regs)?;
                 }
             }
             CopySpec::Permuted(ord) => {
                 for t in set.range_tuples(&lo, &hi) {
-                    self.tick_iter();
+                    self.tick_iter::<PROF>();
                     for i in 0..N {
                         regs[dst.ofs + ord[i]] = t[i];
                     }
-                    self.eval_op::<OUT>(body, regs)?;
+                    self.eval_op::<OUT, PROF>(body, regs)?;
                 }
             }
         }
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn scan_dynamic<const OUT: bool>(
+    fn scan_dynamic<const OUT: bool, const PROF: bool>(
         &self,
         rel: RelId,
         index: usize,
@@ -753,12 +872,12 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         } else {
             r.index(index).scan()
         };
-        self.drive_dynamic::<OUT>(&mut *it, dst, copy, body, regs)
+        self.drive_dynamic::<OUT, PROF>(&mut *it, dst, copy, body, regs)
     }
 
     /// The shared virtual-iterator loop of the dynamic scan paths.
     #[inline(always)]
-    fn drive_dynamic<const OUT: bool>(
+    fn drive_dynamic<const OUT: bool, const PROF: bool>(
         &self,
         it: &mut dyn TupleIter,
         dst: &Slot,
@@ -768,21 +887,18 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     ) -> Result<(), EvalError> {
         let mut scratch = [0u32; MAX_ARITY];
         let n = dst.arity;
-        loop {
-            match it.next_tuple() {
-                Some(t) => scratch[..n].copy_from_slice(t),
-                None => break,
-            }
-            self.tick_iter();
+        while let Some(t) = it.next_tuple() {
+            scratch[..n].copy_from_slice(t);
+            self.tick_iter::<PROF>();
             self.copy_out(dst, copy, &scratch[..n], regs);
-            self.eval_op::<OUT>(body, regs)?;
+            self.eval_op::<OUT, PROF>(body, regs)?;
         }
         Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn index_scan_dynamic<const OUT: bool>(
+    fn index_scan_dynamic<const OUT: bool, const PROF: bool>(
         &self,
         rel: RelId,
         index: usize,
@@ -795,7 +911,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     ) -> Result<(), EvalError> {
         let mut lo = [0u32; MAX_ARITY];
         let mut hi = [u32::MAX; MAX_ARITY];
-        self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+        self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
         let n = bounds.arity;
         let r = self.db.relation(rel).borrow();
         let mut it: Box<dyn TupleIter + '_> = if buffered {
@@ -805,12 +921,12 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         } else {
             r.index(index).range(&lo[..n], &hi[..n])
         };
-        self.drive_dynamic::<OUT>(&mut *it, dst, copy, body, regs)
+        self.drive_dynamic::<OUT, PROF>(&mut *it, dst, copy, body, regs)
     }
 
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn aggregate<const OUT: bool>(
+    fn aggregate<const OUT: bool, const PROF: bool>(
         &self,
         static_dispatch: bool,
         rel: RelId,
@@ -825,7 +941,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     ) -> Result<(), EvalError> {
         let mut lo = [0u32; MAX_ARITY];
         let mut hi = [u32::MAX; MAX_ARITY];
-        self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+        self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
         let meta = &self.ram.relations[rel.0];
         let mut acc = AggAcc::new(func);
 
@@ -841,6 +957,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 with_static_set!(
                     self,
                     OUT,
+                    PROF,
                     meta.repr,
                     meta.arity,
                     r.index(index),
@@ -850,15 +967,12 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             } else {
                 let mut it = BufferedTupleIter::new(r.index(index).range(&lo[..n], &hi[..n]));
                 let mut scratch = [0u32; MAX_ARITY];
-                loop {
-                    match it.next_tuple() {
-                        Some(t) => scratch[..n].copy_from_slice(t),
-                        None => break,
-                    }
-                    self.tick_iter();
+                while let Some(t) = it.next_tuple() {
+                    scratch[..n].copy_from_slice(t);
+                    self.tick_iter::<PROF>();
                     self.copy_out(dst, copy, &scratch[..n], regs);
                     let v = match value {
-                        Some(e) => self.eval_expr::<OUT>(e, regs)?,
+                        Some(e) => self.eval_expr::<OUT, PROF>(e, regs)?,
                         None => 0,
                     };
                     acc.add(v);
@@ -869,7 +983,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         match acc.finish() {
             Some(result) => {
                 regs[dst.ofs] = result;
-                self.eval_op::<OUT>(body, regs)
+                self.eval_op::<OUT, PROF>(body, regs)
             }
             // min/max over an empty match set: the aggregate fails and the
             // body never runs (Soufflé semantics).
@@ -879,7 +993,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
 
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn agg_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+    fn agg_set<const OUT: bool, const PROF: bool, const N: usize, S: StaticSet<N>>(
         &self,
         set: &S,
         lo: &[u32; MAX_ARITY],
@@ -893,10 +1007,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         let lo: [u32; N] = lo[..N].try_into().expect("arity");
         let hi: [u32; N] = hi[..N].try_into().expect("arity");
         for t in set.range_tuples(&lo, &hi) {
-            self.tick_iter();
+            self.tick_iter::<PROF>();
             self.copy_out(dst, copy, &t, regs);
             let v = match value {
-                Some(e) => self.eval_expr::<OUT>(e, regs)?,
+                Some(e) => self.eval_expr::<OUT, PROF>(e, regs)?,
                 None => 0,
             };
             acc.add(v);
@@ -905,7 +1019,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     }
 
     /// Inserts one source-order tuple into all indexes of a relation.
-    fn insert(&self, rel: RelId, static_dispatch: bool, tuple: &[u32]) {
+    fn insert<const PROF: bool>(&self, rel: RelId, static_dispatch: bool, tuple: &[u32]) {
         let meta = &self.ram.relations[rel.0];
         let mut r = self.db.relation(rel).borrow_mut();
         let inserted = if !static_dispatch || meta.arity == 0 || meta.repr == ReprKind::EqRel {
@@ -922,41 +1036,40 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             fresh
         };
         if inserted {
-            if let Some(p) = &self.prof {
-                p.count_insert();
-            }
+            self.tick_prof::<PROF>(|p| p.count_insert(rel.0));
         }
     }
 
     // ---- conditions ---------------------------------------------------
 
-    fn eval_cond<const OUT: bool>(
+    fn eval_cond<const OUT: bool, const PROF: bool>(
         &self,
         node: &INode<'p>,
         regs: &[u32],
     ) -> Result<bool, EvalError> {
-        self.tick();
+        self.tick::<PROF>();
         match node {
             INode::True => Ok(true),
             INode::Conj(cs) => {
                 for c in cs {
-                    if !self.eval_cond::<OUT>(c, regs)? {
+                    if !self.eval_cond::<OUT, PROF>(c, regs)? {
                         return Ok(false);
                     }
                 }
                 Ok(true)
             }
-            INode::Not(inner) => Ok(!self.eval_cond::<OUT>(inner, regs)?),
+            INode::Not(inner) => Ok(!self.eval_cond::<OUT, PROF>(inner, regs)?),
             INode::Cmp { kind, lhs, rhs } => {
-                let a = self.eval_expr::<OUT>(lhs, regs)?;
-                let b = self.eval_expr::<OUT>(rhs, regs)?;
+                let a = self.eval_expr::<OUT, PROF>(lhs, regs)?;
+                let b = self.eval_expr::<OUT, PROF>(rhs, regs)?;
                 Ok(eval_cmp(*kind, a, b))
             }
             INode::Empty(rel) => Ok(self.db.relation(*rel).borrow().is_empty()),
             INode::ExistsStatic { rel, index, bounds } => {
+                self.tick_prof::<PROF>(|p| p.count_exists(rel.0));
                 let mut lo = [0u32; MAX_ARITY];
                 let mut hi = [u32::MAX; MAX_ARITY];
-                self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+                self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
                 let meta = &self.ram.relations[rel.0];
                 let r = self.db.relation(*rel).borrow();
                 if meta.arity == 0 {
@@ -980,6 +1093,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                     with_static_set!(
                         self,
                         OUT,
+                        PROF,
                         meta.repr,
                         meta.arity,
                         r.index(*index),
@@ -990,6 +1104,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                     with_static_set!(
                         self,
                         OUT,
+                        PROF,
                         meta.repr,
                         meta.arity,
                         r.index(*index),
@@ -999,9 +1114,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 }
             }
             INode::ExistsDynamic { rel, index, bounds } => {
+                self.tick_prof::<PROF>(|p| p.count_exists(rel.0));
                 let mut lo = [0u32; MAX_ARITY];
                 let mut hi = [u32::MAX; MAX_ARITY];
-                self.fill_bounds::<OUT>(bounds, regs, &mut lo, &mut hi)?;
+                self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
                 let meta = &self.ram.relations[rel.0];
                 let r = self.db.relation(*rel).borrow();
                 if meta.arity == 0 {
@@ -1021,7 +1137,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
 
     #[allow(clippy::extra_unused_type_parameters)]
     #[inline(always)]
-    fn contains_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+    fn contains_set<const OUT: bool, const PROF: bool, const N: usize, S: StaticSet<N>>(
         &self,
         set: &S,
         lo: &[u32; MAX_ARITY],
@@ -1032,7 +1148,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
 
     #[allow(clippy::extra_unused_type_parameters)]
     #[inline(always)]
-    fn nonempty_set<const OUT: bool, const N: usize, S: StaticSet<N>>(
+    fn nonempty_set<const OUT: bool, const PROF: bool, const N: usize, S: StaticSet<N>>(
         &self,
         set: &S,
         lo: &[u32; MAX_ARITY],
@@ -1044,7 +1160,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     }
 
     #[inline]
-    fn fill_bounds<const OUT: bool>(
+    fn fill_bounds<const OUT: bool, const PROF: bool>(
         &self,
         b: &Bounds<'p>,
         regs: &[u32],
@@ -1059,7 +1175,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             hi[pos] = v;
         }
         for (pos, e) in &b.dynamic {
-            let v = self.eval_expr::<OUT>(e, regs)?;
+            let v = self.eval_expr::<OUT, PROF>(e, regs)?;
             lo[*pos] = v;
             hi[*pos] = v;
         }
@@ -1068,8 +1184,12 @@ impl<'p, 'd> Interpreter<'p, 'd> {
 
     // ---- expressions ----------------------------------------------------
 
-    fn eval_expr<const OUT: bool>(&self, node: &INode<'p>, regs: &[u32]) -> Result<u32, EvalError> {
-        self.tick();
+    fn eval_expr<const OUT: bool, const PROF: bool>(
+        &self,
+        node: &INode<'p>,
+        regs: &[u32],
+    ) -> Result<u32, EvalError> {
+        self.tick::<PROF>();
         match node {
             INode::Constant(k) => Ok(*k),
             INode::TupleElement { ofs } => Ok(regs[*ofs]),
@@ -1081,7 +1201,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             INode::Intrinsic { op, args } => {
                 let mut vals = [0u32; 3];
                 for (i, a) in args.iter().enumerate() {
-                    vals[i] = self.eval_expr::<OUT>(a, regs)?;
+                    vals[i] = self.eval_expr::<OUT, PROF>(a, regs)?;
                 }
                 eval_intrinsic(*op, &vals[..args.len()], &self.db.symbols)
             }

@@ -148,7 +148,7 @@ mod tests {
         let dir = tmp("missing");
         let engine = Engine::from_source(SRC).expect("compiles");
         let inputs = read_facts_dir(engine.ram(), &dir).expect("reads");
-        assert!(inputs.get("e").is_none());
+        assert!(!inputs.contains_key("e"));
     }
 
     #[test]

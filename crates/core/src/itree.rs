@@ -91,7 +91,12 @@ pub enum INode<'p> {
     /// Run children in order.
     Seq(Vec<INode<'p>>),
     /// Repeat until an inner `Exit` fires.
-    Loop(Box<INode<'p>>),
+    Loop {
+        /// Ordinal of this loop in tree order (keys frontier samples).
+        id: usize,
+        /// The loop body.
+        body: Box<INode<'p>>,
+    },
     /// Break the innermost loop when the condition holds.
     Exit(Box<INode<'p>>),
     /// One rule evaluation.
@@ -331,6 +336,7 @@ pub fn build_with_fusions<'p>(
         maps: Vec::new(),
         fusions: fusions.to_vec(),
         active_fusion: None,
+        loops: 0,
     };
     let root = b.stmt(&ram.main);
     ITree {
@@ -351,13 +357,22 @@ struct Builder<'p> {
     fusions: Vec<Fusion>,
     /// The fusion applying to the query under construction, if any.
     active_fusion: Option<NativeCond>,
+    /// Loops assigned so far (tree order).
+    loops: usize,
 }
 
 impl<'p> Builder<'p> {
     fn stmt(&mut self, s: &'p RamStmt) -> INode<'p> {
         match s {
             RamStmt::Seq(stmts) => INode::Seq(stmts.iter().map(|st| self.stmt(st)).collect()),
-            RamStmt::Loop(body) => INode::Loop(Box::new(self.stmt(body))),
+            RamStmt::Loop(body) => {
+                let id = self.loops;
+                self.loops += 1;
+                INode::Loop {
+                    id,
+                    body: Box::new(self.stmt(body)),
+                }
+            }
             RamStmt::Exit(cond) => INode::Exit(Box::new(self.cond(cond))),
             RamStmt::Query {
                 label,
@@ -784,7 +799,8 @@ mod tests {
         let mut n = usize::from(pred(node));
         let children: Vec<&INode<'_>> = match node {
             INode::Seq(v) | INode::Conj(v) => v.iter().collect(),
-            INode::Loop(b) | INode::Exit(b) | INode::Not(b) => vec![&**b],
+            INode::Exit(b) | INode::Not(b) => vec![&**b],
+            INode::Loop { body, .. } => vec![&**body],
             INode::Query { body, .. } => vec![&**body],
             INode::ScanStatic { body, .. } | INode::ScanDynamic { body, .. } => vec![&**body],
             INode::IndexScanStatic { bounds, body, .. }
@@ -890,7 +906,8 @@ mod tests {
             f(n);
             match n {
                 INode::Seq(v) => v.iter().for_each(|c| find(c, f)),
-                INode::Loop(b) | INode::Exit(b) => find(b, f),
+                INode::Loop { body, .. } => find(body, f),
+                INode::Exit(b) => find(b, f),
                 INode::Query { body, .. } => find(body, f),
                 INode::ScanStatic { body, .. } | INode::ScanDynamic { body, .. } => find(body, f),
                 INode::IndexScanStatic { body, .. } | INode::IndexScanDynamic { body, .. } => {

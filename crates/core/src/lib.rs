@@ -10,7 +10,10 @@
 //! * the [`interp`] recursive executor with all four optimizations of §4
 //!   as independent [`config::InterpreterConfig`] toggles,
 //! * the legacy-interpreter baseline (runtime-comparator indexes, §5.1),
-//! * the per-rule [`profile`]r of §5.2, and
+//! * the per-rule [`profile`]r of §5.2,
+//! * the [`telemetry`] layer — phase/statement tracing, an engine
+//!   metrics registry, and Soufflé-compatible machine-readable
+//!   profiles — and
 //! * the [`engine::Engine`] facade running the whole pipeline.
 //!
 //! # Quickstart
@@ -41,8 +44,10 @@ pub mod functors;
 pub mod interp;
 pub mod io;
 pub mod itree;
+pub mod json;
 pub mod profile;
 pub mod static_set;
+pub mod telemetry;
 pub mod value;
 
 pub use config::InterpreterConfig;
@@ -50,5 +55,7 @@ pub use database::{DataMode, Database, InputData};
 pub use engine::{Engine, EvalOutcome};
 pub use error::{EngineError, EvalError};
 pub use interp::Interpreter;
+pub use json::Json;
 pub use profile::ProfileReport;
+pub use telemetry::{profile_json, LogLevel, Logger, MetricsRegistry, Telemetry, Tracer};
 pub use value::Value;

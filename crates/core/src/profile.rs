@@ -2,9 +2,12 @@
 //!
 //! When [`crate::config::InterpreterConfig::profile`] is on, the
 //! interpreter records, per query (rule version): cumulative wall time,
-//! execution count, and tuples inserted — plus global dispatch and
-//! loop-iteration counters. This is what drives the Fig. 16 per-rule
-//! slowdown histogram and the Fig. 19 dispatch-reduction measurement.
+//! execution count, and tuples inserted — plus global dispatch,
+//! loop-iteration, and super-instruction counters, per-relation
+//! operation counts, and the semi-naive frontier (delta-relation sizes
+//! per fixpoint iteration). This drives the Fig. 16 per-rule slowdown
+//! histogram, the Fig. 19 dispatch-reduction measurement, and the
+//! machine-readable profile of `telemetry::profile_json`.
 
 use std::cell::{Cell, RefCell};
 use std::time::Duration;
@@ -17,9 +20,15 @@ pub struct ProfileState {
     pub dispatches: Cell<u64>,
     /// Total scan-loop iterations.
     pub iterations: Cell<u64>,
+    /// Super-instruction executions (`ProjectSuper` + `FilterNative`).
+    pub super_hits: Cell<u64>,
+    /// Total tuples inserted across all queries.
+    pub total_inserts: Cell<u64>,
     /// Tuples inserted by the currently running query.
     current_inserts: Cell<u64>,
     per_query: RefCell<Vec<QueryStats>>,
+    rel_ops: Vec<RelOpCells>,
+    frontier: RefCell<Vec<FrontierSample>>,
 }
 
 /// Accumulated statistics for one query (rule version).
@@ -35,13 +44,45 @@ pub struct QueryStats {
     pub tuples: u64,
 }
 
+/// Hot-path per-relation counters (`Cell`-based; see [`RelOps`] for the
+/// report form).
+#[derive(Debug, Default)]
+struct RelOpCells {
+    inserts: Cell<u64>,
+    exists_checks: Cell<u64>,
+    range_queries: Cell<u64>,
+    scans: Cell<u64>,
+}
+
+/// Per-relation operation counts of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelOps {
+    /// Fresh tuples inserted into the relation.
+    pub inserts: u64,
+    /// Existence probes against the relation.
+    pub exists_checks: u64,
+    /// Range (index) scans opened on the relation.
+    pub range_queries: u64,
+    /// Full scans opened on the relation.
+    pub scans: u64,
+}
+
+/// The semi-naive frontier at the end of one fixpoint iteration: the
+/// sizes of all delta relations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrontierSample {
+    /// Which `Loop` statement (in tree order) the sample belongs to.
+    pub loop_id: usize,
+    /// The 0-based iteration of that loop.
+    pub iteration: u64,
+    /// `(relation index, tuple count)` per delta relation.
+    pub deltas: Vec<(usize, u64)>,
+}
+
 impl ProfileState {
-    /// Creates state with one slot per query label.
-    pub fn new(labels: &[String]) -> Self {
+    /// Creates state with one slot per query label and per relation.
+    pub fn new(labels: &[String], relation_count: usize) -> Self {
         ProfileState {
-            dispatches: Cell::new(0),
-            iterations: Cell::new(0),
-            current_inserts: Cell::new(0),
             per_query: RefCell::new(
                 labels
                     .iter()
@@ -51,6 +92,8 @@ impl ProfileState {
                     })
                     .collect(),
             ),
+            rel_ops: (0..relation_count).map(|_| RelOpCells::default()).collect(),
+            ..ProfileState::default()
         }
     }
 
@@ -81,10 +124,49 @@ impl ProfileState {
         self.iterations.set(self.iterations.get() + n);
     }
 
-    /// Counts one inserted tuple for the running query.
+    /// Counts one super-instruction execution.
     #[inline]
-    pub fn count_insert(&self) {
+    pub fn count_super(&self) {
+        self.super_hits.set(self.super_hits.get() + 1);
+    }
+
+    /// Counts one inserted tuple (running query + relation + total).
+    #[inline]
+    pub fn count_insert(&self, rel: usize) {
         self.current_inserts.set(self.current_inserts.get() + 1);
+        self.total_inserts.set(self.total_inserts.get() + 1);
+        let c = &self.rel_ops[rel].inserts;
+        c.set(c.get() + 1);
+    }
+
+    /// Counts one existence probe against a relation.
+    #[inline]
+    pub fn count_exists(&self, rel: usize) {
+        let c = &self.rel_ops[rel].exists_checks;
+        c.set(c.get() + 1);
+    }
+
+    /// Counts one range query opened on a relation.
+    #[inline]
+    pub fn count_range(&self, rel: usize) {
+        let c = &self.rel_ops[rel].range_queries;
+        c.set(c.get() + 1);
+    }
+
+    /// Counts one full scan opened on a relation.
+    #[inline]
+    pub fn count_scan(&self, rel: usize) {
+        let c = &self.rel_ops[rel].scans;
+        c.set(c.get() + 1);
+    }
+
+    /// Records the delta sizes at the end of one fixpoint iteration.
+    pub fn record_frontier(&self, loop_id: usize, iteration: u64, deltas: Vec<(usize, u64)>) {
+        self.frontier.borrow_mut().push(FrontierSample {
+            loop_id,
+            iteration,
+            deltas,
+        });
     }
 
     /// Snapshots the final report.
@@ -92,7 +174,20 @@ impl ProfileState {
         ProfileReport {
             dispatches: self.dispatches.get(),
             iterations: self.iterations.get(),
+            super_hits: self.super_hits.get(),
+            total_inserts: self.total_inserts.get(),
             queries: self.per_query.borrow().clone(),
+            relations: self
+                .rel_ops
+                .iter()
+                .map(|c| RelOps {
+                    inserts: c.inserts.get(),
+                    exists_checks: c.exists_checks.get(),
+                    range_queries: c.range_queries.get(),
+                    scans: c.scans.get(),
+                })
+                .collect(),
+            frontier: self.frontier.borrow().clone(),
         }
     }
 }
@@ -104,8 +199,16 @@ pub struct ProfileReport {
     pub dispatches: u64,
     /// Total scan iterations.
     pub iterations: u64,
+    /// Super-instruction executions.
+    pub super_hits: u64,
+    /// Total tuples inserted.
+    pub total_inserts: u64,
     /// Per-query statistics.
     pub queries: Vec<QueryStats>,
+    /// Per-relation operation counts, indexed like the RAM relations.
+    pub relations: Vec<RelOps>,
+    /// Semi-naive frontier sizes, one sample per fixpoint iteration.
+    pub frontier: Vec<FrontierSample>,
 }
 
 impl ProfileReport {
@@ -142,10 +245,10 @@ mod tests {
 
     #[test]
     fn accumulates_per_query() {
-        let p = ProfileState::new(&["a".into(), "b".into()]);
+        let p = ProfileState::new(&["a".into(), "b".into()], 2);
         let t = p.begin_query();
-        p.count_insert();
-        p.count_insert();
+        p.count_insert(1);
+        p.count_insert(1);
         p.end_query(0, t);
         p.count_dispatch();
         p.count_iterations(5);
@@ -155,18 +258,24 @@ mod tests {
         assert_eq!(r.queries[1].executions, 0);
         assert_eq!(r.dispatches, 1);
         assert_eq!(r.iterations, 5);
+        assert_eq!(r.total_inserts, 2);
+        assert_eq!(r.relations[1].inserts, 2);
+        assert_eq!(r.relations[0].inserts, 0);
     }
 
     #[test]
     fn by_rule_merges_delta_versions() {
-        let p = ProfileState::new(&[
-            "p(x) :- q(x). [delta #0]".into(),
-            "p(x) :- q(x). [delta #1]".into(),
-            "r(x) :- s(x).".into(),
-        ]);
+        let p = ProfileState::new(
+            &[
+                "p(x) :- q(x). [delta #0]".into(),
+                "p(x) :- q(x). [delta #1]".into(),
+                "r(x) :- s(x).".into(),
+            ],
+            1,
+        );
         for label in 0..3 {
             let t = p.begin_query();
-            p.count_insert();
+            p.count_insert(0);
             p.end_query(label, t);
         }
         let rules = p.report().by_rule();
@@ -174,5 +283,25 @@ mod tests {
         assert_eq!(rules[0].label, "p(x) :- q(x).");
         assert_eq!(rules[0].executions, 2);
         assert_eq!(rules[0].tuples, 2);
+    }
+
+    #[test]
+    fn relation_ops_and_frontier_accumulate() {
+        let p = ProfileState::new(&["a".into()], 3);
+        p.count_exists(0);
+        p.count_exists(0);
+        p.count_range(1);
+        p.count_scan(2);
+        p.count_super();
+        p.record_frontier(0, 0, vec![(1, 4)]);
+        p.record_frontier(0, 1, vec![(1, 0)]);
+        let r = p.report();
+        assert_eq!(r.relations[0].exists_checks, 2);
+        assert_eq!(r.relations[1].range_queries, 1);
+        assert_eq!(r.relations[2].scans, 1);
+        assert_eq!(r.super_hits, 1);
+        assert_eq!(r.frontier.len(), 2);
+        assert_eq!(r.frontier[0].deltas, vec![(1, 4)]);
+        assert_eq!(r.frontier[1].iteration, 1);
     }
 }

@@ -1,0 +1,589 @@
+//! End-to-end observability: structured tracing, engine metrics, and
+//! machine-readable profile emitters.
+//!
+//! Three cooperating pieces, bundled in [`Telemetry`]:
+//!
+//! * [`Tracer`] — lightweight hierarchical spans over the pipeline
+//!   phases and RAM statements. Spans aggregate into per-path
+//!   `(count, total, self)` statistics rather than an event log, so
+//!   tracing a fixpoint that runs a rule a million times costs one map
+//!   entry, not a million. [`Tracer::folded`] renders the aggregation in
+//!   the flamegraph *folded stacks* format.
+//! * [`MetricsRegistry`] — named monotonic counters and gauges fed by
+//!   the interpreter and the data layer (inserts, existence checks,
+//!   index nodes/bytes, ...).
+//! * [`Logger`] — a leveled stderr stream used for per-iteration
+//!   fixpoint heartbeats and phase banners.
+//!
+//! Everything is disabled by default and structurally cheap when off:
+//! the interpreter only consults the telemetry on its profiling
+//! instantiation (see `interp`), so the non-profiled hot path carries no
+//! checks at all. [`profile_json`] assembles the Soufflé-style profile
+//! JSON from a finished run.
+
+use crate::json::Json;
+use crate::profile::ProfileReport;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use stir_ram::program::{RamProgram, ReprKind, Role};
+
+/// Verbosity of the [`Logger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No output at all.
+    Off,
+    /// Unrecoverable problems only.
+    Error,
+    /// Suspicious conditions.
+    Warn,
+    /// Phase banners and fixpoint heartbeats.
+    Info,
+    /// Everything, including per-statement chatter.
+    Debug,
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(LogLevel::Off),
+            "error" => Ok(LogLevel::Error),
+            "warn" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level `{other}` (use off|error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+/// A leveled stderr logger.
+#[derive(Debug, Clone, Copy)]
+pub struct Logger {
+    level: LogLevel,
+}
+
+impl Logger {
+    /// A logger that prints everything at or below `level`.
+    pub fn new(level: LogLevel) -> Logger {
+        Logger { level }
+    }
+
+    /// Whether `level` messages are printed — guard expensive message
+    /// construction with this.
+    #[inline]
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level && self.level != LogLevel::Off
+    }
+
+    /// Prints one message to stderr if `level` is enabled.
+    pub fn log(&self, level: LogLevel, msg: &str) {
+        if self.enabled(level) {
+            let tag = match level {
+                LogLevel::Off => return,
+                LogLevel::Error => "error",
+                LogLevel::Warn => "warn",
+                LogLevel::Info => "info",
+                LogLevel::Debug => "debug",
+            };
+            eprintln!("stir[{tag}] {msg}");
+        }
+    }
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total wall time, including children.
+    pub total_ns: u64,
+    /// Wall time excluding child spans (what folded stacks report).
+    pub self_ns: u64,
+}
+
+/// One open span on the tracer's stack.
+#[derive(Debug)]
+struct Frame {
+    /// The full `;`-joined path of this span.
+    path: String,
+    start: Instant,
+    /// Nanoseconds spent in already-closed child spans.
+    child_ns: u64,
+}
+
+/// A hierarchical span tracer with folded-stack aggregation.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    stack: RefCell<Vec<Frame>>,
+    stats: RefCell<BTreeMap<String, SpanStats>>,
+}
+
+impl Tracer {
+    /// An active tracer.
+    pub fn on() -> Tracer {
+        Tracer {
+            enabled: true,
+            ..Tracer::default()
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span named `name` under the current span; it closes when
+    /// the guard drops. A no-op (and allocation-free) when disabled.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard { tracer: None };
+        }
+        let mut stack = self.stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{};{}", parent.path, name),
+            None => name.to_owned(),
+        };
+        stack.push(Frame {
+            path,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+        SpanGuard { tracer: Some(self) }
+    }
+
+    /// Records a synthetic child span of the current span — used for
+    /// sub-phases measured by someone else (e.g. the index-selection
+    /// time reported by the RAM translator).
+    pub fn record(&self, name: &str, ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut stack = self.stack.borrow_mut();
+        let path = match stack.last_mut() {
+            Some(parent) => {
+                // The parent's wall clock covers this time; count it as
+                // child time so the parent's self time stays honest.
+                parent.child_ns += ns;
+                format!("{};{}", parent.path, name)
+            }
+            None => name.to_owned(),
+        };
+        drop(stack);
+        let mut stats = self.stats.borrow_mut();
+        let s = stats.entry(path).or_default();
+        s.count += 1;
+        s.total_ns += ns;
+        s.self_ns += ns;
+    }
+
+    fn close_top(&self) {
+        let mut stack = self.stack.borrow_mut();
+        let frame = stack.pop().expect("span guard had an open frame");
+        let total = frame.start.elapsed().as_nanos() as u64;
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns += total;
+        }
+        drop(stack);
+        let mut stats = self.stats.borrow_mut();
+        let s = stats.entry(frame.path).or_default();
+        s.count += 1;
+        s.total_ns += total;
+        s.self_ns += total.saturating_sub(frame.child_ns);
+    }
+
+    /// A snapshot of the per-path aggregation, sorted by path.
+    pub fn stats(&self) -> Vec<(String, SpanStats)> {
+        self.stats
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// The total time recorded under a top-level span name, if any.
+    pub fn total_of(&self, path: &str) -> Option<Duration> {
+        self.stats
+            .borrow()
+            .get(path)
+            .map(|s| Duration::from_nanos(s.total_ns))
+    }
+
+    /// Renders the aggregation as flamegraph *folded stacks*: one line
+    /// per path, `frame;frame;frame <self_ns>`, suitable for
+    /// `flamegraph.pl` / `inferno` with nanosecond "samples".
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (path, s) in self.stats.borrow().iter() {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&s.self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII guard closing a [`Tracer`] span on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'t> {
+    tracer: Option<&'t Tracer>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.tracer {
+            t.close_top();
+        }
+    }
+}
+
+/// A registry of named `u64` counters and gauges.
+///
+/// Keys are dot-separated paths (`relation.path.inserts`,
+/// `interp.dispatches`, `db.index.bytes`); the map is ordered so dumps
+/// are deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    values: RefCell<BTreeMap<String, u64>>,
+}
+
+impl MetricsRegistry {
+    /// An active registry.
+    pub fn on() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Whether the registry records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `delta` to a counter (creating it at zero).
+    pub fn add(&self, key: &str, delta: u64) {
+        if self.enabled {
+            *self.values.borrow_mut().entry(key.to_owned()).or_insert(0) += delta;
+        }
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set(&self, key: &str, value: u64) {
+        if self.enabled {
+            self.values.borrow_mut().insert(key.to_owned(), value);
+        }
+    }
+
+    /// Reads one value.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.values.borrow().get(key).copied()
+    }
+
+    /// A sorted snapshot of all values.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.values
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+/// The bundle of observability sinks threaded through the engine.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Span tracing (phases + RAM statements).
+    pub tracer: Tracer,
+    /// Named counters and gauges.
+    pub metrics: MetricsRegistry,
+    /// The leveled stderr stream.
+    pub logger: Logger,
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Logger::new(LogLevel::Off)
+    }
+}
+
+impl Telemetry {
+    /// Everything disabled — the zero-overhead default.
+    pub fn off() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A bundle with the chosen pieces enabled.
+    pub fn new(trace: bool, metrics: bool, level: LogLevel) -> Telemetry {
+        Telemetry {
+            tracer: if trace {
+                Tracer::on()
+            } else {
+                Tracer::default()
+            },
+            metrics: if metrics {
+                MetricsRegistry::on()
+            } else {
+                MetricsRegistry::default()
+            },
+            logger: Logger::new(level),
+        }
+    }
+}
+
+/// The name of a representation kind in metrics keys and profiles.
+fn repr_name(repr: ReprKind) -> &'static str {
+    match repr {
+        ReprKind::BTree => "btree",
+        ReprKind::Brie => "brie",
+        ReprKind::EqRel => "eqrel",
+    }
+}
+
+/// Assembles the Soufflé-style machine-readable profile of one run.
+///
+/// Layout (all times in nanoseconds):
+///
+/// ```json
+/// {"root": {
+///   "version": 1, "generator": "stir ...",
+///   "program": {
+///     "runtime_ns": ...,
+///     "phase":     {"parse": ..., "ram-translate": ..., ...},
+///     "rule":      {"<rule text>": {"time_ns", "executions", "tuples"}},
+///     "relation":  {"<name>": {"arity", "tuples", "inserts",
+///                   "exists_checks", "range_queries", "scans",
+///                   "index": [{"order", "repr", "tuples", "nodes", "bytes"}]}},
+///     "iteration": [{"loop", "iteration", "frontier": {"<delta>": size}}],
+///     "counter":   {"interp.dispatches": ..., ...}}}}
+/// ```
+///
+/// Sections degrade gracefully: a run without profiling has an empty
+/// `rule` table, a run without metrics has no index sizes.
+pub fn profile_json(
+    ram: &RamProgram,
+    profile: Option<&ProfileReport>,
+    tel: &Telemetry,
+    runtime: Duration,
+) -> Json {
+    let mut program: Vec<(String, Json)> = Vec::new();
+    program.push(("runtime_ns".into(), Json::num(runtime.as_nanos() as u64)));
+
+    // Phase timings from the tracer's `phase:` spans. Statement spans
+    // nested under `phase:evaluate` belong to the folded output, not
+    // here, so a path only qualifies if every frame is a phase. The
+    // one exception: `index-selection` is a synthetic sub-phase the
+    // translator records under `phase:ram-translate`.
+    let mut phases: Vec<(String, Json)> = Vec::new();
+    for (path, stats) in tel.tracer.stats() {
+        let is_phase = path
+            .split(';')
+            .all(|frame| frame.starts_with("phase:") || frame == "index-selection");
+        if is_phase {
+            let name = path.replace("phase:", "");
+            phases.push((name, Json::num(stats.total_ns)));
+        }
+    }
+    program.push(("phase".into(), Json::Obj(phases)));
+
+    // Per-rule statistics, aggregated over delta versions.
+    let mut rules: Vec<(String, Json)> = Vec::new();
+    if let Some(p) = profile {
+        for rule in p.by_rule() {
+            rules.push((
+                rule.label.clone(),
+                Json::obj(vec![
+                    ("time_ns".into(), Json::num(rule.time.as_nanos() as u64)),
+                    ("executions".into(), Json::num(rule.executions)),
+                    ("tuples".into(), Json::num(rule.tuples)),
+                ]),
+            ));
+        }
+    }
+    program.push(("rule".into(), Json::Obj(rules)));
+
+    // Per-relation operation counters plus sampled index structure.
+    let mut relations: Vec<(String, Json)> = Vec::new();
+    for (i, meta) in ram.relations.iter().enumerate() {
+        let mut fields: Vec<(String, Json)> = vec![("arity".into(), Json::num(meta.arity as u64))];
+        if let Some(tuples) = tel.metrics.get(&format!("relation.{}.tuples", meta.name)) {
+            fields.push(("tuples".into(), Json::num(tuples)));
+        }
+        if let Some(p) = profile {
+            let ops = &p.relations[i];
+            fields.push(("inserts".into(), Json::num(ops.inserts)));
+            fields.push(("exists_checks".into(), Json::num(ops.exists_checks)));
+            fields.push(("range_queries".into(), Json::num(ops.range_queries)));
+            fields.push(("scans".into(), Json::num(ops.scans)));
+        }
+        let mut indexes: Vec<Json> = Vec::new();
+        for (k, order) in meta.orders.iter().enumerate() {
+            let mut idx: Vec<(String, Json)> = vec![
+                (
+                    "order".into(),
+                    Json::Arr(order.iter().map(|&c| Json::num(c as u64)).collect()),
+                ),
+                ("repr".into(), Json::Str(repr_name(meta.repr).into())),
+            ];
+            for stat in ["tuples", "nodes", "bytes"] {
+                let key = format!("relation.{}.index.{k}.{stat}", meta.name);
+                if let Some(v) = tel.metrics.get(&key) {
+                    idx.push((stat.into(), Json::num(v)));
+                }
+            }
+            indexes.push(Json::Obj(idx));
+        }
+        fields.push(("index".into(), Json::Arr(indexes)));
+        relations.push((meta.name.clone(), Json::Obj(fields)));
+    }
+    program.push(("relation".into(), Json::Obj(relations)));
+
+    // Per-iteration semi-naive frontier sizes.
+    let mut iterations: Vec<Json> = Vec::new();
+    if let Some(p) = profile {
+        for sample in &p.frontier {
+            let frontier: Vec<(String, Json)> = sample
+                .deltas
+                .iter()
+                .map(|&(rel, size)| (ram.relations[rel].name.clone(), Json::num(size)))
+                .collect();
+            iterations.push(Json::obj(vec![
+                ("loop".into(), Json::num(sample.loop_id as u64)),
+                ("iteration".into(), Json::num(sample.iteration)),
+                ("frontier".into(), Json::Obj(frontier)),
+            ]));
+        }
+    }
+    program.push(("iteration".into(), Json::Arr(iterations)));
+
+    // Global counters: interpreter totals plus the whole registry.
+    let mut counters: Vec<(String, Json)> = Vec::new();
+    if let Some(p) = profile {
+        counters.push(("interp.dispatches".into(), Json::num(p.dispatches)));
+        counters.push(("interp.iterations".into(), Json::num(p.iterations)));
+        counters.push(("interp.super_hits".into(), Json::num(p.super_hits)));
+        counters.push(("interp.inserts".into(), Json::num(p.total_inserts)));
+    }
+    for (key, value) in tel.metrics.snapshot() {
+        counters.push((key, Json::num(value)));
+    }
+    program.push(("counter".into(), Json::Obj(counters)));
+
+    Json::obj(vec![(
+        "root".into(),
+        Json::obj(vec![
+            ("version".into(), Json::num(1)),
+            (
+                "generator".into(),
+                Json::Str(concat!("stir ", env!("CARGO_PKG_VERSION")).into()),
+            ),
+            ("program".into(), Json::Obj(program)),
+        ]),
+    )])
+}
+
+/// Relations in the semi-naive frontier: the `delta_R` auxiliaries whose
+/// sizes the interpreter samples each fixpoint iteration.
+pub fn delta_relations(ram: &RamProgram) -> Vec<usize> {
+    ram.relations
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.role, Role::Delta(_)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let t = Tracer::on();
+        {
+            let _a = t.span("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            for _ in 0..3 {
+                let _b = t.span("inner");
+            }
+        }
+        let stats = t.stats();
+        let outer = &stats.iter().find(|(p, _)| p == "outer").expect("outer").1;
+        let inner = &stats
+            .iter()
+            .find(|(p, _)| p == "outer;inner")
+            .expect("inner")
+            .1;
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns);
+        let folded = t.folded();
+        assert!(folded.contains("outer;inner "));
+        assert_eq!(folded.lines().count(), 2);
+        for line in folded.lines() {
+            let (_, ns) = line.rsplit_once(' ').expect("path then value");
+            ns.parse::<u64>().expect("self-ns is a number");
+        }
+    }
+
+    #[test]
+    fn record_attributes_time_to_parent() {
+        let t = Tracer::on();
+        {
+            let _a = t.span("phase:translate");
+            t.record("index-selection", 5_000);
+        }
+        let stats = t.stats();
+        let sub = &stats
+            .iter()
+            .find(|(p, _)| p == "phase:translate;index-selection")
+            .expect("sub-span recorded")
+            .1;
+        assert_eq!(sub.total_ns, 5_000);
+        assert_eq!(sub.count, 1);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::default();
+        {
+            let _a = t.span("x");
+            t.record("y", 1);
+        }
+        assert!(t.stats().is_empty());
+        assert!(t.folded().is_empty());
+    }
+
+    #[test]
+    fn metrics_count_and_snapshot() {
+        let m = MetricsRegistry::on();
+        m.add("a.b", 2);
+        m.add("a.b", 3);
+        m.set("g", 7);
+        assert_eq!(m.get("a.b"), Some(5));
+        assert_eq!(m.snapshot(), vec![("a.b".into(), 5), ("g".into(), 7)]);
+        let off = MetricsRegistry::default();
+        off.add("a", 1);
+        assert_eq!(off.get("a"), None);
+    }
+
+    #[test]
+    fn log_levels_order() {
+        let l = Logger::new(LogLevel::Info);
+        assert!(l.enabled(LogLevel::Error));
+        assert!(l.enabled(LogLevel::Info));
+        assert!(!l.enabled(LogLevel::Debug));
+        assert!(!Logger::new(LogLevel::Off).enabled(LogLevel::Error));
+        assert_eq!("debug".parse::<LogLevel>().unwrap(), LogLevel::Debug);
+        assert!("loud".parse::<LogLevel>().is_err());
+    }
+}

@@ -19,6 +19,18 @@ use crate::tuple::{tuple_from_slice, RamDomain, Tuple};
 use std::any::Any;
 use std::fmt::Debug;
 
+/// Structural statistics of one index, passively sampled for
+/// observability (the engine's metrics registry and JSON profile).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of stored tuples (logical, after set semantics).
+    pub tuples: usize,
+    /// Allocated tree/trie nodes (or equivalence classes for eqrel).
+    pub nodes: usize,
+    /// Estimated heap footprint in bytes (capacities, not lengths).
+    pub bytes: usize,
+}
+
 /// Object-safe interface to a single index of a relation.
 ///
 /// Tuples passed to [`insert`](Self::insert) and
@@ -41,6 +53,12 @@ pub trait IndexAdapter: Debug + Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Structural statistics: tuple count, node count, estimated bytes.
+    ///
+    /// A read-only walk of the structure; safe to call at any point of a
+    /// run.
+    fn stats(&self) -> IndexStats;
 
     /// Removes all tuples.
     fn clear(&mut self);
@@ -128,6 +146,14 @@ impl<const N: usize> IndexAdapter for BTreeIndex<N> {
 
     fn len(&self) -> usize {
         self.set.len()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            tuples: self.set.len(),
+            nodes: self.set.node_count(),
+            bytes: self.set.estimated_bytes(),
+        }
     }
 
     fn clear(&mut self) {
@@ -227,6 +253,14 @@ impl<const N: usize> IndexAdapter for BrieIndex<N> {
         self.set.len()
     }
 
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            tuples: self.set.len(),
+            nodes: self.set.node_count(),
+            bytes: self.set.estimated_bytes(),
+        }
+    }
+
     fn clear(&mut self) {
         self.set.clear();
     }
@@ -309,6 +343,14 @@ impl IndexAdapter for EqRelIndex {
 
     fn len(&self) -> usize {
         self.rel.len()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            tuples: self.rel.len(),
+            nodes: self.rel.class_count(),
+            bytes: self.rel.estimated_bytes(),
+        }
     }
 
     fn clear(&mut self) {
@@ -409,6 +451,32 @@ mod tests {
         assert_eq!(idx.len(), 4);
         let hits = idx.range(&[1, 0], &[1, u32::MAX]).collect_tuples();
         assert_eq!(hits, vec![vec![1, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn adapter_stats_track_structure() {
+        let mut bt = BTreeIndex::<2>::new(Order::natural(2));
+        let mut br = BrieIndex::<2>::new(Order::natural(2));
+        let mut eq = EqRelIndex::new();
+        for i in 0..100u32 {
+            bt.insert(&[i, i + 1]);
+            br.insert(&[i, i + 1]);
+        }
+        eq.insert(&[1, 2]);
+        eq.insert(&[3, 4]);
+        for idx in [&bt as &dyn IndexAdapter, &br as &dyn IndexAdapter] {
+            let s = idx.stats();
+            assert_eq!(s.tuples, 100);
+            assert!(s.nodes >= 1, "{s:?}");
+            assert!(
+                s.bytes >= 100 * 2 * std::mem::size_of::<RamDomain>(),
+                "{s:?}"
+            );
+        }
+        let s = eq.stats();
+        assert_eq!(s.tuples, 8); // two classes of 2 => 2 * 2^2 pairs
+        assert_eq!(s.nodes, 2); // two equivalence classes
+        assert!(s.bytes > 0);
     }
 
     #[test]

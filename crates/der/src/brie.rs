@@ -85,11 +85,37 @@ impl<const N: usize> Brie<N> {
         self.len = 0;
     }
 
+    /// Number of allocated trie nodes, including the root.
+    pub fn node_count(&self) -> usize {
+        fn walk(n: &TrieNode) -> usize {
+            match n {
+                TrieNode::Leaf(_) => 1,
+                TrieNode::Inner(edges) => 1 + edges.iter().map(|(_, c)| walk(c)).sum::<usize>(),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Estimated heap bytes held by the trie, counted at allocated
+    /// capacity.
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        fn walk(n: &TrieNode) -> usize {
+            match n {
+                TrieNode::Leaf(vals) => vals.capacity() * size_of::<RamDomain>(),
+                TrieNode::Inner(edges) => {
+                    edges.capacity() * size_of::<(RamDomain, TrieNode)>()
+                        + edges.iter().map(|(_, c)| walk(c)).sum::<usize>()
+                }
+            }
+        }
+        size_of::<TrieNode>() + walk(&self.root)
+    }
+
     /// Inserts a tuple, returning `true` if it was not already present.
     pub fn insert(&mut self, key: Tuple<N>) -> bool {
         let mut node = &mut self.root;
-        for level in 0..N - 1 {
-            let v = key[level];
+        for (level, &v) in key.iter().enumerate().take(N - 1) {
             let TrieNode::Inner(edges) = node else {
                 unreachable!("inner level {level} of arity {N}");
             };
@@ -118,11 +144,11 @@ impl<const N: usize> Brie<N> {
     /// Membership test.
     pub fn contains(&self, key: &Tuple<N>) -> bool {
         let mut node = &self.root;
-        for level in 0..N - 1 {
+        for &v in key.iter().take(N - 1) {
             let TrieNode::Inner(edges) = node else {
                 unreachable!();
             };
-            match edges.binary_search_by_key(&key[level], |(v, _)| *v) {
+            match edges.binary_search_by_key(&v, |(v, _)| *v) {
                 Ok(i) => node = &edges[i].1,
                 Err(_) => return false,
             }

@@ -27,6 +27,9 @@ const MAX_KEYS: usize = 31;
 #[derive(Debug, Clone)]
 struct Node<const N: usize> {
     keys: Vec<Tuple<N>>,
+    // One heap allocation per node (not inline in the parent's vec), as
+    // in the paper's C++ B-tree; `bytes()` counts nodes on that basis.
+    #[allow(clippy::vec_box)]
     children: Vec<Box<Node<N>>>,
 }
 
@@ -143,8 +146,29 @@ impl<const N: usize> BTreeIndexSet<N> {
 
     /// Removes all tuples.
     pub fn clear(&mut self) {
-        self.root = Box::new(Node::new_leaf());
+        *self.root = Node::new_leaf();
         self.len = 0;
+    }
+
+    /// Number of allocated B-tree nodes, including the (possibly empty)
+    /// root.
+    pub fn node_count(&self) -> usize {
+        fn walk<const N: usize>(n: &Node<N>) -> usize {
+            1 + n.children.iter().map(|c| walk(c)).sum::<usize>()
+        }
+        walk(&self.root)
+    }
+
+    /// Estimated heap bytes held by the tree: node headers, key storage
+    /// and child pointers, counted at allocated capacity.
+    pub fn estimated_bytes(&self) -> usize {
+        fn walk<const N: usize>(n: &Node<N>) -> usize {
+            std::mem::size_of::<Node<N>>()
+                + n.keys.capacity() * std::mem::size_of::<Tuple<N>>()
+                + n.children.capacity() * std::mem::size_of::<Box<Node<N>>>()
+                + n.children.iter().map(|c| walk(c)).sum::<usize>()
+        }
+        walk(&self.root)
     }
 
     /// Inserts a tuple, returning `true` if it was not already present.

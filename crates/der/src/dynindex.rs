@@ -8,7 +8,7 @@
 //! precisely the cost profile the de-specialized structures eliminate, and
 //! it is what the legacy-interpreter baseline of Fig. 15 measures.
 
-use crate::adapter::IndexAdapter;
+use crate::adapter::{IndexAdapter, IndexStats};
 use crate::iter::{TupleIter, VecTupleIter};
 use crate::order::Order;
 use crate::tuple::RamDomain;
@@ -34,6 +34,8 @@ fn cmp_with_order(a: &[RamDomain], b: &[RamDomain], order: &Order) -> Ordering {
 #[derive(Debug, Clone)]
 struct DynNode {
     keys: Vec<Box<[RamDomain]>>,
+    // One heap allocation per node, mirroring the static B-tree.
+    #[allow(clippy::vec_box)]
     children: Vec<Box<DynNode>>,
 }
 
@@ -179,8 +181,30 @@ impl IndexAdapter for DynBTreeIndex {
         self.len
     }
 
+    fn stats(&self) -> IndexStats {
+        fn walk(n: &DynNode, arity: usize) -> (usize, usize) {
+            let mut nodes = 1;
+            let mut bytes = std::mem::size_of::<DynNode>()
+                + n.keys.capacity() * std::mem::size_of::<Box<[RamDomain]>>()
+                + n.keys.len() * arity * std::mem::size_of::<RamDomain>()
+                + n.children.capacity() * std::mem::size_of::<Box<DynNode>>();
+            for c in &n.children {
+                let (cn, cb) = walk(c, arity);
+                nodes += cn;
+                bytes += cb;
+            }
+            (nodes, bytes)
+        }
+        let (nodes, bytes) = walk(&self.root, self.arity());
+        IndexStats {
+            tuples: self.len,
+            nodes,
+            bytes,
+        }
+    }
+
     fn clear(&mut self) {
-        self.root = Box::new(DynNode::new_leaf());
+        *self.root = DynNode::new_leaf();
         self.len = 0;
     }
 

@@ -97,6 +97,25 @@ impl EquivalenceRelation {
         root
     }
 
+    /// Number of distinct equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Estimated heap bytes held by the id map, the union-find arrays and
+    /// the per-class member lists, counted at allocated capacity.
+    pub fn estimated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let ids = self.ids.capacity() * (size_of::<RamDomain>() + 2 * size_of::<usize>());
+        let parent = self.parent.capacity() * size_of::<usize>();
+        let members: usize = self
+            .members
+            .iter()
+            .map(|m| size_of::<Vec<RamDomain>>() + m.capacity() * size_of::<RamDomain>())
+            .sum();
+        ids + parent + members
+    }
+
     /// Inserts the pair `(a, b)`, closing the relation under equivalence.
     ///
     /// Returns `true` if the closure grew (i.e. `a` and `b` were not

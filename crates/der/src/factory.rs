@@ -23,6 +23,17 @@ pub enum Representation {
     EqRel,
 }
 
+impl Representation {
+    /// Stable lowercase name, used as a metrics/JSON key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Representation::BTree => "btree",
+            Representation::Brie => "brie",
+            Representation::EqRel => "eqrel",
+        }
+    }
+}
+
 impl std::fmt::Display for Representation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -146,7 +146,10 @@ impl VecTupleIter {
     ///
     /// Panics if `data.len()` is not a multiple of `arity`.
     pub fn new(data: Vec<RamDomain>, arity: usize) -> Self {
-        assert!(arity > 0 && data.len() % arity == 0, "ragged tuple buffer");
+        assert!(
+            arity > 0 && data.len().is_multiple_of(arity),
+            "ragged tuple buffer"
+        );
         VecTupleIter {
             data,
             arity,

@@ -9,7 +9,7 @@
 //! Nullary relations (arity 0) — Datalog predicates with no arguments —
 //! are represented directly by a presence flag, as in Soufflé.
 
-use crate::adapter::IndexAdapter;
+use crate::adapter::{IndexAdapter, IndexStats};
 use crate::factory::{new_index, IndexSpec};
 use crate::iter::{DecodingIter, TupleIter, VecTupleIter};
 use crate::tuple::RamDomain;
@@ -116,13 +116,24 @@ impl Relation {
     }
 
     /// The `k`-th index (0 is primary).
+    ///
+    /// Not `std::ops::Index`: the call sites spell `.index(k)` without
+    /// importing the trait, and the return type is unsized.
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, k: usize) -> &dyn IndexAdapter {
         &*self.indexes[k]
     }
 
     /// Mutable access to the `k`-th index.
+    #[allow(clippy::should_implement_trait)]
     pub fn index_mut(&mut self, k: usize) -> &mut dyn IndexAdapter {
         &mut *self.indexes[k]
+    }
+
+    /// Structural statistics for every index, in index order (empty for
+    /// nullary relations, which keep no indexes).
+    pub fn index_stats(&self) -> Vec<IndexStats> {
+        self.indexes.iter().map(|i| i.stats()).collect()
     }
 
     /// Number of tuples (primary index size).

@@ -104,8 +104,8 @@ pub fn select_indexes(arity: usize, signatures: &BTreeSet<Signature>) -> Selecti
     // Chains: heads are left nodes that are not any edge's target.
     let mut orders: Vec<ColumnOrder> = Vec::new();
     let mut index_of: HashMap<Signature, usize> = HashMap::new();
-    for head in 0..n {
-        if match_right[head].is_some() {
+    for (head, preceded) in match_right.iter().enumerate() {
+        if preceded.is_some() {
             continue; // not a chain head: something precedes it
         }
         let index_id = orders.len();

@@ -40,6 +40,22 @@ impl std::fmt::Display for RamProgram {
     }
 }
 
+/// A short one-line summary of a statement — no recursion into bodies.
+/// Used by the telemetry layer as the frame name of statement spans, so
+/// summaries must be stable and free of newlines.
+pub fn stmt_summary(p: &RamProgram, stmt: &RamStmt) -> String {
+    let name = |rel: &RelId| p.relations[rel.0].name.as_str();
+    match stmt {
+        RamStmt::Seq(_) => "seq".to_owned(),
+        RamStmt::Loop(_) => "loop".to_owned(),
+        RamStmt::Exit(_) => "exit".to_owned(),
+        RamStmt::Query { label, .. } => format!("query:{label}"),
+        RamStmt::Clear(rel) => format!("clear:{}", name(rel)),
+        RamStmt::Merge { into, from } => format!("merge:{}->{}", name(from), name(into)),
+        RamStmt::Swap(a, b) => format!("swap:{},{}", name(a), name(b)),
+    }
+}
+
 /// Renders one statement subtree (used in tests and the case study bench).
 pub fn stmt_to_string(p: &RamProgram, stmt: &RamStmt) -> String {
     let mut pr = Printer {
@@ -213,5 +229,49 @@ impl Printer<'_> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate;
+    use stir_frontend::parse_and_check;
+
+    #[test]
+    fn stmt_summaries_are_one_line_and_name_their_relations() {
+        let ram = translate(
+            &parse_and_check(
+                ".decl e(x: number, y: number)\n\
+                 .decl p(x: number, y: number)\n\
+                 .output p\n\
+                 e(1, 2).\n\
+                 p(x, y) :- e(x, y).\n\
+                 p(x, z) :- p(x, y), e(y, z).\n",
+            )
+            .expect("checks"),
+        )
+        .expect("translates");
+
+        // Walk the whole statement tree; every summary is short, stable,
+        // and newline-free (they become telemetry frame names).
+        let mut stack = vec![&ram.main];
+        let mut summaries = Vec::new();
+        while let Some(stmt) = stack.pop() {
+            summaries.push(stmt_summary(&ram, stmt));
+            match stmt {
+                RamStmt::Seq(body) => stack.extend(body.iter()),
+                RamStmt::Loop(body) => stack.push(body),
+                _ => {}
+            }
+        }
+        for s in &summaries {
+            assert!(!s.contains('\n'), "summary {s:?} spans lines");
+        }
+        assert!(summaries.iter().any(|s| s == "loop"));
+        assert!(summaries.iter().any(|s| s.starts_with("query:")));
+        assert!(summaries.iter().any(|s| s == "merge:new_p->p"));
+        assert!(summaries.iter().any(|s| s == "swap:delta_p,new_p"));
+        assert!(summaries.iter().any(|s| s == "clear:new_p"));
     }
 }

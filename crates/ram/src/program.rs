@@ -70,6 +70,16 @@ pub struct RamRelation {
     pub is_output: bool,
 }
 
+/// Timings and tallies collected while translating, reported by the
+/// telemetry layer as sub-phases of `ram-translate`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslateStats {
+    /// Wall time of minimum-chain-cover index selection, in nanoseconds.
+    pub index_selection_ns: u64,
+    /// Total indexes assigned across all relations.
+    pub index_count: usize,
+}
+
 /// A complete translated program.
 #[derive(Debug, Clone)]
 pub struct RamProgram {
@@ -81,6 +91,8 @@ pub struct RamProgram {
     pub main: RamStmt,
     /// Symbols interned during translation (string constants).
     pub symbols: SymbolTable,
+    /// Translation-time statistics (index-selection cost, index counts).
+    pub stats: TranslateStats,
 }
 
 impl RamProgram {
@@ -102,6 +114,19 @@ impl RamProgram {
     /// Ids of `.output` relations.
     pub fn outputs(&self) -> impl Iterator<Item = &RamRelation> {
         self.relations.iter().filter(|r| r.is_output)
+    }
+
+    /// The `delta_R` auxiliaries of recursive relations — the semi-naive
+    /// frontier sampled per fixpoint iteration by the profiler.
+    pub fn deltas(&self) -> impl Iterator<Item = &RamRelation> {
+        self.relations
+            .iter()
+            .filter(|r| matches!(r.role, Role::Delta(_)))
+    }
+
+    /// The name of a relation.
+    pub fn name_of(&self, id: RelId) -> &str {
+        &self.relations[id.0].name
     }
 }
 

@@ -13,7 +13,7 @@ pub mod typing;
 
 use crate::expr::RamDomain;
 use crate::index_selection::assign_indexes;
-use crate::program::{RamProgram, RamRelation, RelId, ReprKind, Role};
+use crate::program::{RamProgram, RamRelation, RelId, ReprKind, Role, TranslateStats};
 use crate::stmt::{RamCond, RamStmt};
 use crate::translate::rule::{translate_rule, RecursiveInfo, RuleCx};
 use std::collections::{BTreeSet, HashMap};
@@ -231,9 +231,15 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         facts,
         main: RamStmt::Seq(main),
         symbols,
+        stats: TranslateStats::default(),
     };
     crate::transform::optimize(&mut program);
+    let started = std::time::Instant::now();
     assign_indexes(&mut program);
+    program.stats = TranslateStats {
+        index_selection_ns: started.elapsed().as_nanos() as u64,
+        index_count: program.relations.iter().map(|r| r.orders.len()).sum(),
+    };
     Ok(program)
 }
 

@@ -4,10 +4,20 @@
 //!    its assigned index order, and every order is a permutation.
 //! 2. **Minimality** — the number of indexes equals the optimum, checked
 //!    against a brute-force minimum chain cover on small universes.
+//!
+//! Cases are generated from a seeded splitmix64 stream (proptest is not
+//! vendored), so every failure reproduces from its seed.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use stir_ram::index_selection::{select_indexes, Signature};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 fn covers(order: &[usize], sig: Signature) -> bool {
     let k = sig.count_ones() as usize;
@@ -53,49 +63,61 @@ fn brute_force_min_chains(sigs: &[Signature]) -> usize {
     n - max_matching(&edges, 0, 0, 0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn selection_is_sound_and_minimal(
-        raw_sigs in prop::collection::btree_set(1u32..32, 1..7), // arity 5 universe
-    ) {
+#[test]
+fn selection_is_sound_and_minimal() {
+    for seed in 0..128u64 {
+        let mut state = seed.wrapping_mul(0x9E3779B9) | 1;
+        // 1..7 random signatures over an arity-5 universe.
+        let count = 1 + (splitmix(&mut state) % 6) as usize;
+        let mut sigs: BTreeSet<Signature> = BTreeSet::new();
+        while sigs.len() < count {
+            sigs.insert(1 + (splitmix(&mut state) % 31) as Signature);
+        }
         let arity = 5;
-        let sigs: BTreeSet<Signature> = raw_sigs;
         let result = select_indexes(arity, &sigs);
 
         // Soundness: permutations + prefix coverage.
         for order in &result.orders {
             let mut sorted = order.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(&sorted, &(0..arity).collect::<Vec<_>>());
+            assert_eq!(&sorted, &(0..arity).collect::<Vec<_>>(), "seed {seed}");
         }
         for &sig in &sigs {
             let idx = result.index_of[&sig];
-            prop_assert!(
+            assert!(
                 covers(&result.orders[idx], sig),
-                "signature {sig:05b} not a prefix of order {:?}",
+                "seed {seed}: signature {sig:05b} not a prefix of order {:?}",
                 result.orders[idx]
             );
         }
 
         // Minimality against brute force.
         let sig_vec: Vec<Signature> = sigs.iter().copied().collect();
-        prop_assert_eq!(result.orders.len(), brute_force_min_chains(&sig_vec));
+        assert_eq!(
+            result.orders.len(),
+            brute_force_min_chains(&sig_vec),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn chains_of_nested_signatures_always_share(
-        cols in prop::collection::vec(0usize..8, 1..8),
-    ) {
+#[test]
+fn chains_of_nested_signatures_always_share() {
+    for seed in 0..128u64 {
+        let mut state = seed ^ 0xC41A15;
         // Build a strictly growing chain of signatures.
+        let len = 1 + (splitmix(&mut state) % 7) as usize;
         let mut sig: Signature = 0;
         let mut chain = BTreeSet::new();
-        for c in cols {
-            sig |= 1 << c;
+        for _ in 0..len {
+            sig |= 1 << (splitmix(&mut state) % 8);
             chain.insert(sig);
         }
         let result = select_indexes(8, &chain);
-        prop_assert_eq!(result.orders.len(), 1, "a chain needs exactly one index");
+        assert_eq!(
+            result.orders.len(),
+            1,
+            "seed {seed}: a chain needs exactly one index"
+        );
     }
 }

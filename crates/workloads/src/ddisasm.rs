@@ -8,9 +8,8 @@
 //! selection). These rules dominate the interpreter/synthesizer gap
 //! exactly as Figs. 16–17 describe.
 
+use crate::rng::SmallRng;
 use crate::spec::{Scale, Suite, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use stir_core::{InputData, Value};
 
 /// The Datalog program (fixed; instances differ in facts).

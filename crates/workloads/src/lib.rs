@@ -25,6 +25,7 @@
 
 pub mod ddisasm;
 pub mod doop;
+pub mod rng;
 pub mod spec;
 pub mod vpc;
 

@@ -8,9 +8,8 @@
 //! topology, which is exactly the trade-off behind the VPC rows of
 //! Table 1.
 
+use crate::rng::SmallRng;
 use crate::spec::{Scale, Suite, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use stir_core::{InputData, Value};
 
 /// The Datalog program (fixed; instances differ in facts).

@@ -11,15 +11,22 @@
 //!       --no-reorder       disable static tuple reordering
 //!       --no-outline       disable handler outlining
 //!       --profile          print the per-rule profile after the run
+//!       --profile-json F   write the machine-readable profile JSON to F
+//!       --trace-folded F   write flamegraph folded stacks to F
+//!       --log LEVEL        stderr verbosity: off|error|warn|info|debug
 //!       --ram              print the RAM listing and exit
 //!       --synthesize DIR   emit + rustc-compile the synthesized program
 //!                          into DIR instead of interpreting
+//!   -h, --help             print this help and exit
+//!   -V, --version          print the version and exit
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use stir::core::io;
-use stir::{Engine, InputData, InterpreterConfig};
+use stir::{
+    profile_json, Engine, InputData, InterpreterConfig, LogLevel, ProfileReport, Telemetry,
+};
 
 struct Options {
     program: PathBuf,
@@ -27,16 +34,35 @@ struct Options {
     output_dir: Option<PathBuf>,
     config: InterpreterConfig,
     profile: bool,
+    profile_json: Option<PathBuf>,
+    trace_folded: Option<PathBuf>,
+    log_level: LogLevel,
     print_ram: bool,
     synthesize: Option<PathBuf>,
 }
 
+const HELP: &str = "\
+usage: stir PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
+
+  -F, --fact-dir DIR     read <rel>.facts for every .input relation
+  -D, --output-dir DIR   write <rel>.csv for every .output relation
+                         (default: print outputs to stdout)
+      --mode MODE        sti | dynamic | unopt | legacy    (default sti)
+      --no-super         disable super-instructions
+      --no-reorder       disable static tuple reordering
+      --no-outline       disable handler outlining
+      --profile          print the per-rule profile after the run
+      --profile-json F   write the machine-readable profile JSON to F
+      --trace-folded F   write flamegraph folded stacks to F
+      --log LEVEL        stderr verbosity: off|error|warn|info|debug
+      --ram              print the RAM listing and exit
+      --synthesize DIR   emit + rustc-compile the synthesized program
+                         into DIR instead of interpreting
+  -h, --help             print this help and exit
+  -V, --version          print the version and exit";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: stir PROGRAM.dl [-F facts_dir] [-D out_dir] \
-         [--mode sti|dynamic|unopt|legacy] [--no-super] [--no-reorder] \
-         [--no-outline] [--profile] [--ram] [--synthesize DIR]"
-    );
+    eprintln!("{HELP}");
     std::process::exit(2)
 }
 
@@ -47,6 +73,9 @@ fn parse_args() -> Options {
     let mut output_dir = None;
     let mut config = InterpreterConfig::optimized();
     let mut profile = false;
+    let mut profile_json = None;
+    let mut trace_folded = None;
+    let mut log_level = LogLevel::Off;
     let mut print_ram = false;
     let mut synthesize = None;
     while let Some(arg) = args.next() {
@@ -70,34 +99,102 @@ fn parse_args() -> Options {
             "--no-reorder" => config.static_reordering = false,
             "--no-outline" => config.outlined_handlers = false,
             "--profile" => profile = true,
+            "--profile-json" => {
+                profile_json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--trace-folded" => {
+                trace_folded = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--log" => {
+                log_level = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(level)) => level,
+                    Some(Err(e)) => {
+                        eprintln!("stir: {e}");
+                        std::process::exit(2)
+                    }
+                    None => usage(),
+                }
+            }
             "--ram" => print_ram = true,
             "--synthesize" => {
                 synthesize = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
-            "-h" | "--help" => usage(),
+            "-h" | "--help" => {
+                println!("{HELP}");
+                std::process::exit(0)
+            }
+            "-V" | "--version" => {
+                println!("stir {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0)
+            }
             other if program.is_none() && !other.starts_with('-') => {
                 program = Some(PathBuf::from(other))
             }
             _ => usage(),
         }
     }
+    if profile || profile_json.is_some() {
+        config.profile = true;
+    }
+    // Folded stacks need statement spans; `info` heartbeats need the
+    // instrumented interpreter instantiation, which `trace` selects.
+    if trace_folded.is_some() || log_level >= LogLevel::Info {
+        config.trace = true;
+    }
     Options {
         program: program.unwrap_or_else(|| usage()),
         fact_dir,
         output_dir,
-        config: if profile {
-            config.with_profile()
-        } else {
-            config
-        },
+        config,
         profile,
+        profile_json,
+        trace_folded,
+        log_level,
         print_ram,
         synthesize,
     }
 }
 
+/// Renders the `--profile` table: rules sorted by cumulative time, with
+/// aligned columns and each rule's share of the total profiled time.
+fn print_profile_table(profile: &ProfileReport) {
+    eprintln!(
+        "stir: {} dispatches, {} scan iterations, {} super-instruction hits, {} inserts",
+        profile.dispatches, profile.iterations, profile.super_hits, profile.total_inserts
+    );
+    let mut rules = profile.by_rule();
+    rules.sort_by_key(|r| std::cmp::Reverse(r.time));
+    let total_ns: u128 = rules.iter().map(|r| r.time.as_nanos()).sum();
+    eprintln!(
+        "  {:>12} {:>9} {:>10} {:>6}  RULE",
+        "TIME", "EXECS", "TUPLES", "%TIME"
+    );
+    for rule in rules {
+        let pct = if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * rule.time.as_nanos() as f64 / total_ns as f64
+        };
+        eprintln!(
+            "  {:>12} {:>9} {:>10} {:>6.1}  {}",
+            format!("{:.3?}", rule.time),
+            rule.executions,
+            rule.tuples,
+            pct,
+            rule.label
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+    // The tracer feeds both emitters (phase timings in the JSON, folded
+    // stacks for flamegraphs); metrics only matter for the JSON.
+    let wants_json = opts.profile_json.is_some();
+    let wants_folded = opts.trace_folded.is_some();
+    let tel = Telemetry::new(wants_json || wants_folded, wants_json, opts.log_level);
+    let tel_ref = Some(&tel);
+
     let source = match std::fs::read_to_string(&opts.program) {
         Ok(s) => s,
         Err(e) => {
@@ -105,7 +202,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let engine = match Engine::from_source(&source) {
+    let engine = match Engine::from_source_with(&source, tel_ref) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("stir: {e}");
@@ -149,7 +246,7 @@ fn main() -> ExitCode {
     };
 
     let started = std::time::Instant::now();
-    let result = match engine.run(opts.config, &inputs) {
+    let result = match engine.run_with(opts.config, &inputs, &[], tel_ref) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("stir: {e}");
@@ -180,19 +277,21 @@ fn main() -> ExitCode {
     eprintln!("stir: evaluated in {elapsed:?}");
 
     if opts.profile {
-        if let Some(profile) = result.profile {
-            eprintln!(
-                "stir: {} dispatches, {} scan iterations",
-                profile.dispatches, profile.iterations
-            );
-            let mut rules = profile.by_rule();
-            rules.sort_by_key(|r| std::cmp::Reverse(r.time));
-            for rule in rules {
-                eprintln!(
-                    "  {:>10.3?}  {:>10} tuples  {}",
-                    rule.time, rule.tuples, rule.label
-                );
-            }
+        if let Some(profile) = &result.profile {
+            print_profile_table(profile);
+        }
+    }
+    if let Some(path) = &opts.profile_json {
+        let json = profile_json(engine.ram(), result.profile.as_ref(), &tel, elapsed);
+        if let Err(e) = std::fs::write(path, json.render() + "\n") {
+            eprintln!("stir: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.trace_folded {
+        if let Err(e) = std::fs::write(path, tel.tracer.folded()) {
+            eprintln!("stir: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

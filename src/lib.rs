@@ -47,4 +47,7 @@ pub use stir_ram as ram;
 pub use stir_synth as synth;
 pub use stir_workloads as workloads;
 
-pub use stir_core::{Engine, EngineError, EvalOutcome, InputData, InterpreterConfig, Value};
+pub use stir_core::{
+    profile_json, Engine, EngineError, EvalOutcome, InputData, InterpreterConfig, Json, LogLevel,
+    ProfileReport, Telemetry, Value,
+};

@@ -108,6 +108,160 @@ fn profile_flag_reports_rules() {
 }
 
 #[test]
+fn help_and_version_exit_zero() {
+    let out = stir().arg("--help").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: stir"), "{stdout}");
+    assert!(stdout.contains("--profile-json"), "{stdout}");
+
+    let short = stir().arg("-h").output().expect("runs");
+    assert!(short.status.success());
+
+    let out = stir().arg("--version").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("stir "), "{stdout}");
+}
+
+#[test]
+fn profile_json_holds_its_invariants() {
+    let dir = setup("profile-json");
+    let json_path = dir.join("prof.json");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("--profile-json")
+        .arg(&json_path)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&json_path).expect("json written");
+    let json = stir::Json::parse(&text).expect("valid JSON");
+    let program = json
+        .get("root")
+        .and_then(|r| r.get("program"))
+        .expect("root.program");
+
+    // Phase timings cover the whole pipeline.
+    let phase = program.get("phase").expect("phase section");
+    for name in ["parse", "ram-translate", "build-db", "evaluate"] {
+        assert!(
+            phase.get(name).and_then(stir::Json::as_u64).is_some(),
+            "{name}"
+        );
+    }
+
+    // The per-rule tuple counts sum to the global insert counter.
+    let rule = program.get("rule").expect("rule section");
+    let rule_entries = rule.entries().expect("rule object");
+    assert_eq!(rule_entries.len(), 2, "two TC rules");
+    let rule_tuples: u64 = rule_entries
+        .iter()
+        .map(|(_, r)| {
+            r.get("tuples")
+                .and_then(stir::Json::as_u64)
+                .expect("tuples")
+        })
+        .sum();
+    let inserts = program
+        .get("counter")
+        .and_then(|c| c.get("interp.inserts"))
+        .and_then(stir::Json::as_u64)
+        .expect("insert counter");
+    assert_eq!(rule_tuples, inserts, "per-rule tuples sum to total inserts");
+
+    // Relation metrics: `path` ends with 3 tuples and a sampled index,
+    // and the per-relation insert counts also sum to the global counter
+    // (inserts land in `path` for the base rule, `new_path` inside the
+    // fixpoint).
+    let relations = program.get("relation").expect("relation section");
+    let rel_inserts: u64 = relations
+        .entries()
+        .expect("relation object")
+        .iter()
+        .filter_map(|(_, r)| r.get("inserts").and_then(stir::Json::as_u64))
+        .sum();
+    assert_eq!(rel_inserts, inserts, "per-relation inserts sum to total");
+    let path_rel = relations.get("path").expect("path relation");
+    assert_eq!(path_rel.get("tuples").and_then(stir::Json::as_u64), Some(3));
+    let index = path_rel
+        .get("index")
+        .and_then(stir::Json::items)
+        .expect("indexes");
+    assert!(!index.is_empty());
+    assert!(index[0].get("nodes").and_then(stir::Json::as_u64).is_some());
+    assert!(index[0].get("bytes").and_then(stir::Json::as_u64).is_some());
+
+    // Per-iteration frontier samples from the fixpoint loop.
+    let iterations = program
+        .get("iteration")
+        .and_then(stir::Json::items)
+        .expect("iteration array");
+    assert!(!iterations.is_empty(), "TC runs at least one iteration");
+    for it in iterations {
+        assert!(it
+            .get("frontier")
+            .and_then(|f| f.get("delta_path"))
+            .is_some());
+    }
+}
+
+#[test]
+fn trace_folded_emits_stacks() {
+    let dir = setup("folded");
+    let folded_path = dir.join("trace.folded");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("--trace-folded")
+        .arg(&folded_path)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let folded = std::fs::read_to_string(&folded_path).expect("folded written");
+    let mut saw_query = false;
+    for line in folded.lines() {
+        let (path, ns) = line.rsplit_once(' ').expect("`path value` shape");
+        ns.parse::<u64>().expect("self-time is a number");
+        saw_query |= path.contains("query:");
+    }
+    assert!(saw_query, "statement spans present:\n{folded}");
+    assert!(folded.contains("phase:evaluate;"), "{folded}");
+}
+
+#[test]
+fn log_level_heartbeats() {
+    let dir = setup("log");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("--log")
+        .arg("info")
+        .arg("--profile")
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stir[info] loop#0 iteration 0"), "{stderr}");
+
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("--log")
+        .arg("loud")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "bad level is a usage error");
+}
+
+#[test]
 fn bad_program_fails_with_positioned_error() {
     let dir = setup("bad");
     std::fs::write(dir.join("bad.dl"), "p(x) :- q(x).").expect("written");

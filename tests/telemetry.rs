@@ -1,0 +1,127 @@
+//! Integration tests for the observability layer: folded-stack emitter
+//! shape, profile JSON round-trips, and counter equivalence across
+//! interpreter modes.
+
+use stir::{profile_json, Engine, InputData, InterpreterConfig, Json, Telemetry};
+
+const TC: &str = "\
+    .decl edge(x: number, y: number)\n\
+    .decl path(x: number, y: number)\n\
+    .output path\n\
+    edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).\n\
+    path(x, y) :- edge(x, y).\n\
+    path(x, z) :- path(x, y), edge(y, z).\n";
+
+#[test]
+fn folded_stacks_have_flamegraph_shape() {
+    let tel = Telemetry::new(true, false, stir::LogLevel::Off);
+    let engine = Engine::from_source_with(TC, Some(&tel)).expect("compiles");
+    engine
+        .run_with(
+            InterpreterConfig::optimized().with_trace(),
+            &InputData::new(),
+            &[],
+            Some(&tel),
+        )
+        .expect("runs");
+    let folded = tel.tracer.folded();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (path, ns) = line.rsplit_once(' ').expect("`frames value` lines");
+        assert!(!path.is_empty());
+        ns.parse::<u64>().expect("integer self-time");
+    }
+    // Statement spans nest under the evaluate phase; the fixpoint loop
+    // contains the recursive rule's query.
+    assert!(folded.contains("phase:evaluate;loop#0;query:"), "{folded}");
+    assert!(folded.contains("phase:parse "), "{folded}");
+}
+
+#[test]
+fn profile_json_round_trips_through_parser() {
+    let tel = Telemetry::new(true, true, stir::LogLevel::Off);
+    let engine = Engine::from_source_with(TC, Some(&tel)).expect("compiles");
+    let started = std::time::Instant::now();
+    let out = engine
+        .run_with(
+            InterpreterConfig::optimized().with_profile(),
+            &InputData::new(),
+            &[],
+            Some(&tel),
+        )
+        .expect("runs");
+    let json = profile_json(engine.ram(), out.profile.as_ref(), &tel, started.elapsed());
+    let text = json.render();
+    let reparsed = Json::parse(&text).expect("render → parse round-trip");
+    assert_eq!(reparsed.render(), text, "stable fixpoint");
+    let program = reparsed
+        .get("root")
+        .and_then(|r| r.get("program"))
+        .expect("root.program");
+    assert!(program.get("runtime_ns").and_then(Json::as_u64).is_some());
+    // delta_path peaks at 3 new tuples and shrinks to the fixpoint.
+    let iterations = program
+        .get("iteration")
+        .and_then(Json::items)
+        .expect("array");
+    assert_eq!(
+        iterations.len(),
+        3,
+        "4-chain TC closes in 3 sampled iterations"
+    );
+    let sizes: Vec<u64> = iterations
+        .iter()
+        .map(|it| {
+            it.get("frontier")
+                .and_then(|f| f.get("delta_path"))
+                .and_then(Json::as_u64)
+                .expect("delta size")
+        })
+        .collect();
+    assert_eq!(sizes, vec![3, 2, 1]);
+}
+
+#[test]
+fn dispatch_and_iteration_counters_match_across_modes() {
+    // §4.1's static dispatch changes *how* instructions execute, never
+    // how often: the interpreter tree has the same shape and the same
+    // per-tuple tick sites in both modes, so the counters must agree.
+    let engine = Engine::from_source(TC).expect("compiles");
+    let sti = engine
+        .run(
+            InterpreterConfig::optimized().with_profile(),
+            &InputData::new(),
+        )
+        .expect("sti runs")
+        .profile
+        .expect("profile");
+    let dynamic = engine
+        .run(
+            InterpreterConfig::dynamic_adapter().with_profile(),
+            &InputData::new(),
+        )
+        .expect("dynamic runs")
+        .profile
+        .expect("profile");
+    assert_eq!(sti.dispatches, dynamic.dispatches);
+    assert_eq!(sti.iterations, dynamic.iterations);
+    assert_eq!(sti.total_inserts, dynamic.total_inserts);
+    assert_eq!(sti.frontier, dynamic.frontier);
+    assert_eq!(sti.relations, dynamic.relations);
+}
+
+#[test]
+fn telemetry_off_leaves_no_trace() {
+    let tel = Telemetry::off();
+    let engine = Engine::from_source_with(TC, Some(&tel)).expect("compiles");
+    engine
+        .run_with(
+            InterpreterConfig::optimized(),
+            &InputData::new(),
+            &[],
+            Some(&tel),
+        )
+        .expect("runs");
+    assert!(tel.tracer.stats().is_empty());
+    assert!(tel.metrics.snapshot().is_empty());
+}
