@@ -81,10 +81,7 @@ pub fn interp_eval(
     let mut interp = Interpreter::new(ram, &db, config);
     interp.run(&tree).expect("evaluation succeeds");
     let elapsed = started.elapsed();
-    let size: usize = ram
-        .outputs()
-        .map(|r| db.relation(r.id).borrow().len())
-        .sum();
+    let size: usize = ram.outputs().map(|r| db.rd(r.id).len()).sum();
     (elapsed, interp.profile_report(), size)
 }
 

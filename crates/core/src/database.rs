@@ -1,16 +1,20 @@
 //! The runtime database: one [`Relation`] per RAM relation.
 //!
-//! Relations sit behind `RefCell`s because a query reads some relations
+//! Relations sit behind `RwLock`s because a query reads some relations
 //! while inserting into another. The RAM translation guarantees that the
 //! projection target of a query is never scanned or probed by the same
 //! query (semi-naive evaluation separates `R`, `delta_R`, and `new_R`), so
-//! the dynamic borrow checks never fail for translated programs; they are
-//! a safety net, not a semantic device.
+//! batch evaluation never contends on a lock; the locks are a safety net
+//! there, not a semantic device. The serving subsystem is what actually
+//! exercises them: a resident engine shares one `Database` between
+//! concurrent query readers while updates hold an exclusive engine-level
+//! lock, so `Database` (unlike the old `RefCell`-based version) is `Sync`.
 
 use crate::error::EvalError;
 use crate::value::Value;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU32;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use stir_der::dynindex::DynBTreeIndex;
 use stir_der::factory::{IndexSpec, Representation};
 use stir_der::order::Order;
@@ -32,14 +36,22 @@ pub enum DataMode {
 /// External input facts: relation name → tuples of typed values.
 pub type InputData = HashMap<String, Vec<Vec<Value>>>;
 
+/// Unwraps a poisoned lock: relation and symbol state stays usable after
+/// a panicking request thread (the panic cannot leave a half-inserted
+/// tuple behind — `Relation::insert` completes per index before
+/// returning).
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The relations, symbol table, and counter of one evaluation.
 #[derive(Debug)]
 pub struct Database {
-    relations: Vec<RefCell<Relation>>,
+    relations: Vec<RwLock<Relation>>,
     /// The symbol table grows at runtime (`cat`, `to_string`).
-    pub symbols: RefCell<SymbolTable>,
+    pub symbols: RwLock<SymbolTable>,
     /// The `$` auto-increment counter.
-    pub counter: Cell<u32>,
+    pub counter: AtomicU32,
 }
 
 impl Database {
@@ -90,23 +102,43 @@ impl Database {
                         }
                     }
                 };
-                RefCell::new(rel)
+                RwLock::new(rel)
             })
             .collect();
         let db = Database {
             relations,
-            symbols: RefCell::new(ram.symbols.clone()),
-            counter: Cell::new(0),
+            symbols: RwLock::new(ram.symbols.clone()),
+            counter: AtomicU32::new(0),
         };
         for (rel, tuple) in &ram.facts {
-            db.relations[rel.0].borrow_mut().insert(tuple);
+            db.wr(*rel).insert(tuple);
         }
         db
     }
 
-    /// The relation cell for `id`.
-    pub fn relation(&self, id: RelId) -> &RefCell<Relation> {
+    /// The relation lock for `id`.
+    pub fn relation(&self, id: RelId) -> &RwLock<Relation> {
         &self.relations[id.0]
+    }
+
+    /// Shared (read) access to relation `id`.
+    pub fn rd(&self, id: RelId) -> RwLockReadGuard<'_, Relation> {
+        unpoison(self.relations[id.0].read())
+    }
+
+    /// Exclusive (write) access to relation `id`.
+    pub fn wr(&self, id: RelId) -> RwLockWriteGuard<'_, Relation> {
+        unpoison(self.relations[id.0].write())
+    }
+
+    /// Shared access to the symbol table.
+    pub fn symbols_rd(&self) -> RwLockReadGuard<'_, SymbolTable> {
+        unpoison(self.symbols.read())
+    }
+
+    /// Exclusive access to the symbol table.
+    pub fn symbols_wr(&self) -> RwLockWriteGuard<'_, SymbolTable> {
+        unpoison(self.symbols.write())
     }
 
     /// Loads external facts into the `.input` relations.
@@ -127,8 +159,8 @@ impl Database {
                     "relation `{name}` is not declared `.input`"
                 )));
             }
-            let mut target = self.relations[rel.id.0].borrow_mut();
-            let mut symbols = self.symbols.borrow_mut();
+            let mut target = self.wr(rel.id);
+            let mut symbols = self.symbols_wr();
             let mut encoded = Vec::with_capacity(rel.arity);
             for tuple in tuples {
                 if tuple.len() != rel.arity {
@@ -151,8 +183,8 @@ impl Database {
     /// Extracts a relation's tuples as typed values, sorted.
     pub fn extract(&self, ram: &RamProgram, id: RelId) -> Vec<Vec<Value>> {
         let meta = ram.relation(id);
-        let rel = self.relations[id.0].borrow();
-        let symbols = self.symbols.borrow();
+        let rel = self.rd(id);
+        let symbols = self.symbols_rd();
         rel.to_sorted_tuples()
             .into_iter()
             .map(|t| {
@@ -182,7 +214,7 @@ impl Database {
         }
         let (mut tuples, mut indexes, mut bytes) = (0u64, 0u64, 0u64);
         for meta in &ram.relations {
-            let rel = self.relations[meta.id.0].borrow();
+            let rel = self.rd(meta.id);
             let len = rel.len() as u64;
             tuples += len;
             metrics.set(&format!("relation.{}.tuples", meta.name), len);
@@ -220,8 +252,14 @@ mod tests {
         );
         let db = Database::new(&ram, DataMode::Specialized);
         let e = ram.relation_by_name("e").unwrap().id;
-        assert_eq!(db.relation(e).borrow().len(), 2);
-        assert!(db.relation(e).borrow().contains(&[1, 2]));
+        assert_eq!(db.rd(e).len(), 2);
+        assert!(db.rd(e).contains(&[1, 2]));
+    }
+
+    #[test]
+    fn database_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Database>();
     }
 
     #[test]
@@ -229,7 +267,7 @@ mod tests {
         let ram = ram(".decl e(x: number, y: number)\ne(5, 6).");
         let db = Database::new(&ram, DataMode::LegacyDynamic);
         let e = ram.relation_by_name("e").unwrap().id;
-        let rel = db.relation(e).borrow();
+        let rel = db.rd(e);
         assert!(rel
             .index(0)
             .as_any()
@@ -250,7 +288,7 @@ mod tests {
         );
         db.load_inputs(&ram, &good).expect("loads");
         let e = ram.relation_by_name("e").unwrap().id;
-        assert_eq!(db.relation(e).borrow().len(), 1);
+        assert_eq!(db.rd(e).len(), 1);
 
         let mut wrong_arity = InputData::new();
         wrong_arity.insert("e".into(), vec![vec![Value::Number(1)]]);

@@ -90,6 +90,13 @@ impl Engine {
         &self.ram
     }
 
+    /// Consumes the engine, yielding the RAM program. Used by the
+    /// resident engine, which owns the program alongside the database it
+    /// keeps alive between requests.
+    pub fn into_ram(self) -> RamProgram {
+        self.ram
+    }
+
     /// Runs the program under `config` with the given external inputs.
     ///
     /// # Errors

@@ -5,7 +5,7 @@
 //! patterns; the [`IntrinsicOp`] variant encodes the interpretation.
 
 use crate::error::EvalError;
-use std::cell::RefCell;
+use std::sync::RwLock;
 use stir_frontend::SymbolTable;
 use stir_ram::expr::CmpKind;
 use stir_ram::IntrinsicOp;
@@ -20,7 +20,7 @@ use stir_ram::IntrinsicOp;
 pub fn eval_intrinsic(
     op: IntrinsicOp,
     args: &[u32],
-    symbols: &RefCell<SymbolTable>,
+    symbols: &RwLock<SymbolTable>,
 ) -> Result<u32, EvalError> {
     use IntrinsicOp::*;
     let s = |i: usize| args[i] as i32;
@@ -85,16 +85,22 @@ pub fn eval_intrinsic(
         MaxF => f(0).max(f(1)).to_bits(),
         Ord => u(0),
         Cat => {
-            let mut table = symbols.borrow_mut();
+            let mut table = symbols
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let joined = format!("{}{}", table.resolve(u(0)), table.resolve(u(1)));
             table.intern(&joined)
         }
         Strlen => {
-            let table = symbols.borrow();
+            let table = symbols
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             table.resolve(u(0)).chars().count() as u32
         }
         Substr => {
-            let mut table = symbols.borrow_mut();
+            let mut table = symbols
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let text: String = table.resolve(u(0)).to_owned();
             let from = s(1).max(0) as usize;
             let len = s(2).max(0) as usize;
@@ -102,7 +108,9 @@ pub fn eval_intrinsic(
             table.intern(&sub)
         }
         ToNumber => {
-            let table = symbols.borrow();
+            let table = symbols
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let text = table.resolve(u(0));
             text.trim()
                 .parse::<i32>()
@@ -110,7 +118,9 @@ pub fn eval_intrinsic(
                 .map_err(|_| EvalError::new(format!("to_number: `{text}` is not a number")))?
         }
         ToString => {
-            let mut table = symbols.borrow_mut();
+            let mut table = symbols
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let rendered = (u(0) as i32).to_string();
             table.intern(&rendered)
         }
@@ -143,8 +153,8 @@ pub fn eval_cmp(kind: CmpKind, a: u32, b: u32) -> bool {
 mod tests {
     use super::*;
 
-    fn syms() -> RefCell<SymbolTable> {
-        RefCell::new(SymbolTable::new())
+    fn syms() -> RwLock<SymbolTable> {
+        RwLock::new(SymbolTable::new())
     }
 
     fn ev(op: IntrinsicOp, args: &[u32]) -> u32 {
@@ -191,22 +201,22 @@ mod tests {
     #[test]
     fn string_functors() {
         let table = syms();
-        let a = table.borrow_mut().intern("foo");
-        let b = table.borrow_mut().intern("bar");
+        let a = table.write().unwrap().intern("foo");
+        let b = table.write().unwrap().intern("bar");
         let cat = eval_intrinsic(IntrinsicOp::Cat, &[a, b], &table).unwrap();
-        assert_eq!(table.borrow().resolve(cat), "foobar");
+        assert_eq!(table.read().unwrap().resolve(cat), "foobar");
         let len = eval_intrinsic(IntrinsicOp::Strlen, &[cat], &table).unwrap();
         assert_eq!(len, 6);
         let sub = eval_intrinsic(IntrinsicOp::Substr, &[cat, 1, 3], &table).unwrap();
-        assert_eq!(table.borrow().resolve(sub), "oob");
-        let n = table.borrow_mut().intern("42");
+        assert_eq!(table.read().unwrap().resolve(sub), "oob");
+        let n = table.write().unwrap().intern("42");
         assert_eq!(
             eval_intrinsic(IntrinsicOp::ToNumber, &[n], &table).unwrap(),
             42
         );
         assert!(eval_intrinsic(IntrinsicOp::ToNumber, &[a], &table).is_err());
         let rendered = eval_intrinsic(IntrinsicOp::ToString, &[(-3i32) as u32], &table).unwrap();
-        assert_eq!(table.borrow().resolve(rendered), "-3");
+        assert_eq!(table.read().unwrap().resolve(rendered), "-3");
     }
 
     #[test]

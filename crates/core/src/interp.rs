@@ -432,7 +432,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         let deltas: Vec<(usize, u64)> = self
             .ram
             .deltas()
-            .map(|r| (r.id.0, self.db.relation(r.id).borrow().len() as u64))
+            .map(|r| (r.id.0, self.db.rd(r.id).len() as u64))
             .collect();
         if let Some(tel) = self.tel {
             if tel.logger.enabled(LogLevel::Info) {
@@ -504,17 +504,17 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 Ok(Flow::Ok)
             }
             INode::Clear(rel) => {
-                self.db.relation(*rel).borrow_mut().clear();
+                self.db.wr(*rel).clear();
                 Ok(Flow::Ok)
             }
             INode::Merge { into, from } => {
-                let from = self.db.relation(*from).borrow();
-                self.db.relation(*into).borrow_mut().merge_from(&from);
+                let from = self.db.rd(*from);
+                self.db.wr(*into).merge_from(&from);
                 Ok(Flow::Ok)
             }
             INode::Swap(a, b) => {
-                let mut ra = self.db.relation(*a).borrow_mut();
-                let mut rb = self.db.relation(*b).borrow_mut();
+                let mut ra = self.db.wr(*a);
+                let mut rb = self.db.wr(*b);
                 ra.swap_data(&mut rb);
                 Ok(Flow::Ok)
             }
@@ -709,7 +709,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         regs: &mut [u32],
     ) -> Result<(), EvalError> {
         let meta = &self.ram.relations[rel.0];
-        let r = self.db.relation(rel).borrow();
+        let r = self.db.rd(rel);
         if meta.repr == ReprKind::EqRel {
             let eq = r
                 .index(index)
@@ -793,7 +793,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         let mut hi = [u32::MAX; MAX_ARITY];
         self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
         let meta = &self.ram.relations[rel.0];
-        let r = self.db.relation(rel).borrow();
+        let r = self.db.rd(rel);
         if meta.repr == ReprKind::EqRel {
             let eq = r
                 .index(index)
@@ -866,7 +866,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         body: &INode<'p>,
         regs: &mut [u32],
     ) -> Result<(), EvalError> {
-        let r = self.db.relation(rel).borrow();
+        let r = self.db.rd(rel);
         let mut it: Box<dyn TupleIter + '_> = if buffered {
             Box::new(BufferedTupleIter::new(r.index(index).scan()))
         } else {
@@ -913,7 +913,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         let mut hi = [u32::MAX; MAX_ARITY];
         self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
         let n = bounds.arity;
-        let r = self.db.relation(rel).borrow();
+        let r = self.db.rd(rel);
         let mut it: Box<dyn TupleIter + '_> = if buffered {
             Box::new(BufferedTupleIter::new(
                 r.index(index).range(&lo[..n], &hi[..n]),
@@ -947,11 +947,11 @@ impl<'p, 'd> Interpreter<'p, 'd> {
 
         if meta.arity == 0 {
             // Aggregating a nullary relation: one empty match if present.
-            if !self.db.relation(rel).borrow().is_empty() {
+            if !self.db.rd(rel).is_empty() {
                 acc.add(0);
             }
         } else {
-            let r = self.db.relation(rel).borrow();
+            let r = self.db.rd(rel);
             let n = meta.arity;
             if static_dispatch && meta.repr != ReprKind::EqRel {
                 with_static_set!(
@@ -1021,7 +1021,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     /// Inserts one source-order tuple into all indexes of a relation.
     fn insert<const PROF: bool>(&self, rel: RelId, static_dispatch: bool, tuple: &[u32]) {
         let meta = &self.ram.relations[rel.0];
-        let mut r = self.db.relation(rel).borrow_mut();
+        let mut r = self.db.wr(rel);
         let inserted = if !static_dispatch || meta.arity == 0 || meta.repr == ReprKind::EqRel {
             r.insert(tuple)
         } else {
@@ -1064,14 +1064,14 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 let b = self.eval_expr::<OUT, PROF>(rhs, regs)?;
                 Ok(eval_cmp(*kind, a, b))
             }
-            INode::Empty(rel) => Ok(self.db.relation(*rel).borrow().is_empty()),
+            INode::Empty(rel) => Ok(self.db.rd(*rel).is_empty()),
             INode::ExistsStatic { rel, index, bounds } => {
                 self.tick_prof::<PROF>(|p| p.count_exists(rel.0));
                 let mut lo = [0u32; MAX_ARITY];
                 let mut hi = [u32::MAX; MAX_ARITY];
                 self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
                 let meta = &self.ram.relations[rel.0];
-                let r = self.db.relation(*rel).borrow();
+                let r = self.db.rd(*rel);
                 if meta.arity == 0 {
                     return Ok(!r.is_empty());
                 }
@@ -1119,7 +1119,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 let mut hi = [u32::MAX; MAX_ARITY];
                 self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
                 let meta = &self.ram.relations[rel.0];
-                let r = self.db.relation(*rel).borrow();
+                let r = self.db.rd(*rel);
                 if meta.arity == 0 {
                     return Ok(!r.is_empty());
                 }
@@ -1193,11 +1193,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         match node {
             INode::Constant(k) => Ok(*k),
             INode::TupleElement { ofs } => Ok(regs[*ofs]),
-            INode::AutoInc => {
-                let v = self.db.counter.get();
-                self.db.counter.set(v + 1);
-                Ok(v)
-            }
+            INode::AutoInc => Ok(self
+                .db
+                .counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)),
             INode::Intrinsic { op, args } => {
                 let mut vals = [0u32; 3];
                 for (i, a) in args.iter().enumerate() {

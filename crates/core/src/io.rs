@@ -21,14 +21,29 @@ use stir_ram::RamProgram;
 ///
 /// # Errors
 ///
-/// Fails on unreadable files or fields that do not parse as the declared
-/// attribute type.
+/// Fails when `dir` is missing or not a directory, on fact files that
+/// exist but cannot be read, and on fields that do not parse as the
+/// declared attribute type. An *absent* fact file is not an error (empty
+/// relation, as in Soufflé) — only one that is present and unreadable.
 pub fn read_facts_dir(ram: &RamProgram, dir: &Path) -> Result<InputData, EvalError> {
+    if !dir.is_dir() {
+        return Err(EvalError::new(format!(
+            "fact directory {}: does not exist or is not a directory",
+            dir.display()
+        )));
+    }
     let mut inputs = InputData::new();
     for rel in ram.inputs() {
         let path = dir.join(format!("{}.facts", rel.name));
-        let Ok(content) = std::fs::read_to_string(&path) else {
-            continue; // absent file = empty relation
+        let content = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                return Err(EvalError::new(format!(
+                    "cannot read {}: {e}",
+                    path.display()
+                )));
+            }
         };
         let mut rows = Vec::new();
         for (lineno, line) in content.lines().enumerate() {
@@ -58,7 +73,9 @@ pub fn read_facts_dir(ram: &RamProgram, dir: &Path) -> Result<InputData, EvalErr
     Ok(inputs)
 }
 
-fn parse_field(field: &str, ty: AttrType) -> Result<Value, String> {
+/// Parses one text field as the declared attribute type (the `.facts`
+/// on-disk convention; also reused by the serving protocol's terms).
+pub fn parse_field(field: &str, ty: AttrType) -> Result<Value, String> {
     match ty {
         AttrType::Number => field
             .parse::<i32>()
@@ -149,6 +166,31 @@ mod tests {
         let engine = Engine::from_source(SRC).expect("compiles");
         let inputs = read_facts_dir(engine.ram(), &dir).expect("reads");
         assert!(!inputs.contains_key("e"));
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        let dir = std::env::temp_dir()
+            .join("stir-io-tests")
+            .join("no-such-dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::from_source(SRC).expect("compiles");
+        let err = read_facts_dir(engine.ram(), &dir).unwrap_err();
+        assert!(err.msg.contains("no-such-dir"));
+        assert!(err.msg.contains("does not exist or is not a directory"));
+    }
+
+    #[test]
+    fn unreadable_fact_file_is_an_error() {
+        // A directory where the fact *file* should be: `read_to_string`
+        // fails with something other than NotFound even when running as
+        // root (which ignores permission bits).
+        let dir = tmp("unreadable");
+        std::fs::create_dir(dir.join("e.facts")).expect("decoy dir");
+        let engine = Engine::from_source(SRC).expect("compiles");
+        let err = read_facts_dir(engine.ram(), &dir).unwrap_err();
+        assert!(err.msg.contains("cannot read"));
+        assert!(err.msg.contains("e.facts"));
     }
 
     #[test]

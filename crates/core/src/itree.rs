@@ -345,6 +345,33 @@ pub fn build_with_fusions<'p>(
     }
 }
 
+/// Builds a tree for one statement of `ram` instead of its `main` — the
+/// serving subsystem uses this to interpret a stratum's incremental
+/// update statement (or its recomputation statement) in isolation. Tree
+/// generation is cheap (the paper's core premise), so resident engines
+/// rebuild these per request rather than caching self-referential trees.
+pub fn build_stmt<'p>(
+    ram: &'p RamProgram,
+    config: &InterpreterConfig,
+    stmt: &'p RamStmt,
+) -> ITree<'p> {
+    let mut b = Builder {
+        ram,
+        config: *config,
+        labels: Vec::new(),
+        offsets: Vec::new(),
+        maps: Vec::new(),
+        fusions: Vec::new(),
+        active_fusion: None,
+        loops: 0,
+    };
+    let root = b.stmt(stmt);
+    ITree {
+        root,
+        labels: b.labels,
+    }
+}
+
 struct Builder<'p> {
     ram: &'p RamProgram,
     config: InterpreterConfig,

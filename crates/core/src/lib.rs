@@ -46,6 +46,7 @@ pub mod io;
 pub mod itree;
 pub mod json;
 pub mod profile;
+pub mod resident;
 pub mod static_set;
 pub mod telemetry;
 pub mod value;
@@ -57,5 +58,6 @@ pub use error::{EngineError, EvalError};
 pub use interp::Interpreter;
 pub use json::Json;
 pub use profile::ProfileReport;
+pub use resident::{ResidentEngine, ServerStats, UpdateReport};
 pub use telemetry::{profile_json, LogLevel, Logger, MetricsRegistry, Telemetry, Tracer};
 pub use value::Value;

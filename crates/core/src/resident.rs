@@ -1,0 +1,754 @@
+//! A resident engine: the database outlives the initial evaluation.
+//!
+//! Batch evaluation (via [`crate::Engine::run`]) builds a database, runs
+//! the fixpoint, extracts outputs, and throws everything away. The
+//! serving subsystem instead keeps the [`Database`] — relations, indexes,
+//! and symbol table — alive so that later fact insertions and point
+//! queries cost time proportional to the *change*, not the whole program.
+//!
+//! # Incremental updates
+//!
+//! [`ResidentEngine::insert_facts`] stages the genuinely new tuples of a
+//! batch in the target relation's `upd_` sibling and then walks the
+//! strata bottom-up. A stratum is *affected* when one of the relations it
+//! defines or reads changed this cycle. An affected stratum normally
+//! re-runs its translation-provided incremental update statement
+//! ([`stir_ram::program::RamStratum::update`]): new upstream tuples seed
+//! the semi-naive deltas, so only derivations that use at least one new
+//! tuple are enumerated, and the stratum's own newly derived tuples land
+//! in its `upd_` relations for downstream strata to pick up.
+//!
+//! Insertion-only delta restarts are sound only for monotone strata. When
+//! a changed relation is read under negation or inside an aggregate, or
+//! when an upstream stratum had to be recomputed from scratch (so its
+//! `upd_` staging is not a faithful "what's new" set), the stratum falls
+//! back to a full recompute: its relations are cleared, their facts
+//! replayed, and the original stratum statement re-run. The
+//! `server.full_fallbacks` counter tallies these.
+//!
+//! # Queries
+//!
+//! [`ResidentEngine::query`] answers a partially-bound pattern with the
+//! relation's existing indexes: the index whose order has the longest
+//! prefix of bound columns drives an inclusive range scan, and the
+//! remaining bound columns are post-filtered. No statement or tree is
+//! built, and the symbol table is only read — a bound symbol that was
+//! never interned simply matches nothing.
+//!
+//! Interpreter trees for update statements are rebuilt per request
+//! (microseconds, per the paper's thesis that tree generation is cheap);
+//! caching them would tie the tree's lifetime to the program's and buy
+//! nothing measurable.
+
+use crate::config::InterpreterConfig;
+use crate::database::{DataMode, Database, InputData};
+use crate::engine::Engine;
+use crate::error::{EngineError, EvalError};
+use crate::interp::Interpreter;
+use crate::itree;
+use crate::profile::ProfileReport;
+use crate::telemetry::Telemetry;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use stir_ram::expr::RamDomain;
+use stir_ram::program::{RamProgram, RelId, Role};
+
+/// What one [`ResidentEngine::insert_facts`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateReport {
+    /// Tuples of the batch that were not already present.
+    pub inserted: u64,
+    /// Strata re-run through their incremental update statement.
+    pub strata_rerun: u64,
+    /// Strata recomputed from scratch (negation/aggregate reads, eqrel
+    /// heads, or rebuilt upstream strata).
+    pub full_fallbacks: u64,
+}
+
+/// A point-in-time snapshot of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests served (updates + queries).
+    pub requests: u64,
+    /// Genuinely new tuples inserted across all updates.
+    pub update_tuples: u64,
+    /// Rows returned across all queries.
+    pub query_rows: u64,
+    /// Incremental stratum re-runs across all updates.
+    pub strata_rerun: u64,
+    /// Full stratum recomputations across all updates.
+    pub full_fallbacks: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    update_tuples: AtomicU64,
+    query_rows: AtomicU64,
+    strata_rerun: AtomicU64,
+    full_fallbacks: AtomicU64,
+}
+
+/// An engine whose database stays resident between requests.
+///
+/// Updates take `&mut self` (callers such as `stird` serialize them
+/// through a write lock); queries take `&self` and may run concurrently —
+/// the type is `Sync` because [`Database`] is.
+///
+/// # Example
+///
+/// ```
+/// use stir_core::{InterpreterConfig, ResidentEngine, Value};
+///
+/// let engine = stir_core::Engine::from_source(
+///     ".decl e(x: number, y: number)
+///      .input e
+///      .decl p(x: number, y: number)
+///      .output p
+///      e(1, 2).
+///      p(x, y) :- e(x, y).
+///      p(x, z) :- p(x, y), e(y, z).",
+/// )?;
+/// let mut resident = ResidentEngine::new(
+///     engine,
+///     InterpreterConfig::optimized(),
+///     &Default::default(),
+///     None,
+/// )?;
+/// resident.insert_facts("e", &[vec![Value::Number(2), Value::Number(3)]], None)?;
+/// let rows = resident.query("p", &[Some(Value::Number(1)), None], None)?;
+/// assert_eq!(rows.len(), 2); // p(1,2), p(1,3)
+/// # Ok::<(), stir_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct ResidentEngine {
+    ram: RamProgram,
+    config: InterpreterConfig,
+    db: Database,
+    /// Every tuple inserted after construction (plus the initial external
+    /// inputs), replayed when a fallback recompute clears a relation that
+    /// also holds ground facts.
+    extra_facts: Vec<(RelId, Vec<RamDomain>)>,
+    /// For each base relation, its `delta_`/`new_`/`upd_` siblings.
+    aux_of: Vec<Vec<RelId>>,
+    /// All `upd_` staging relations (cleared at the start of each cycle).
+    all_upds: Vec<RelId>,
+    counters: Counters,
+    initial_profile: Option<ProfileReport>,
+}
+
+impl ResidentEngine {
+    /// Runs the initial evaluation and keeps the database resident.
+    ///
+    /// Mirrors [`Engine::run`] (same phase spans when telemetry is
+    /// attached) but retains ownership of the RAM program and database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input-loading and runtime errors from the initial
+    /// fixpoint.
+    pub fn new(
+        engine: Engine,
+        config: InterpreterConfig,
+        inputs: &InputData,
+        tel: Option<&Telemetry>,
+    ) -> Result<ResidentEngine, EngineError> {
+        let ram = engine.into_ram();
+        let tracer = tel.map(|t| &t.tracer);
+        let mode = if config.legacy_data {
+            DataMode::LegacyDynamic
+        } else {
+            DataMode::Specialized
+        };
+        let db = {
+            let _span = tracer.map(|t| t.span("phase:build-db"));
+            Database::new(&ram, mode)
+        };
+        {
+            let _span = tracer.map(|t| t.span("phase:load-inputs"));
+            db.load_inputs(&ram, inputs)?;
+        }
+        let initial_profile = {
+            let tree = {
+                let _span = tracer.map(|t| t.span("phase:build-itree"));
+                itree::build_with_fusions(&ram, &config, &[])
+            };
+            let mut interp = Interpreter::new(&ram, &db, config);
+            if let Some(t) = tel {
+                interp.attach_telemetry(t);
+            }
+            {
+                let _span = tracer.map(|t| t.span("phase:evaluate"));
+                interp.run(&tree)?;
+            }
+            interp.profile_report()
+        };
+        if let Some(t) = tel {
+            db.sample_metrics(&ram, &t.metrics);
+        }
+
+        // Record the external inputs so a later fallback recompute can
+        // replay them alongside the program's own ground facts.
+        let mut extra_facts = Vec::new();
+        {
+            let mut symbols = db.symbols_wr();
+            for (name, tuples) in inputs {
+                let id = ram
+                    .relation_by_name(name)
+                    .expect("validated by load_inputs")
+                    .id;
+                for t in tuples {
+                    extra_facts.push((id, t.iter().map(|v| v.encode(&mut symbols)).collect()));
+                }
+            }
+        }
+
+        let mut aux_of = vec![Vec::new(); ram.relations.len()];
+        let mut all_upds = Vec::new();
+        for r in &ram.relations {
+            match r.role {
+                Role::Standard => {}
+                Role::Delta(b) | Role::New(b) => aux_of[b.0].push(r.id),
+                Role::Upd(b) => {
+                    aux_of[b.0].push(r.id);
+                    all_upds.push(r.id);
+                }
+            }
+        }
+
+        Ok(ResidentEngine {
+            ram,
+            config,
+            db,
+            extra_facts,
+            aux_of,
+            all_upds,
+            counters: Counters::default(),
+            initial_profile,
+        })
+    }
+
+    /// Convenience constructor: compile `source` and make it resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend, translation, input-loading, and runtime
+    /// errors.
+    pub fn from_source(
+        source: &str,
+        config: InterpreterConfig,
+        inputs: &InputData,
+        tel: Option<&Telemetry>,
+    ) -> Result<ResidentEngine, EngineError> {
+        let engine = Engine::from_source_with(source, tel)?;
+        ResidentEngine::new(engine, config, inputs, tel)
+    }
+
+    /// The resident RAM program.
+    pub fn ram(&self) -> &RamProgram {
+        &self.ram
+    }
+
+    /// The configuration the engine runs under.
+    pub fn config(&self) -> InterpreterConfig {
+        self.config
+    }
+
+    /// The profiling report of the initial evaluation, when profiling was
+    /// enabled.
+    pub fn initial_profile(&self) -> Option<&ProfileReport> {
+        self.initial_profile.as_ref()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            update_tuples: self.counters.update_tuples.load(Ordering::Relaxed),
+            query_rows: self.counters.query_rows.load(Ordering::Relaxed),
+            strata_rerun: self.counters.strata_rerun.load(Ordering::Relaxed),
+            full_fallbacks: self.counters.full_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flushes the serving counters and the database structure into an
+    /// attached metrics registry (under `server.*`). A no-op when the
+    /// registry is disabled.
+    pub fn sync_metrics(&self, tel: &Telemetry) {
+        let m = &tel.metrics;
+        if !m.enabled() {
+            return;
+        }
+        let s = self.stats();
+        m.set("server.requests", s.requests);
+        m.set("server.update_tuples", s.update_tuples);
+        m.set("server.query_rows", s.query_rows);
+        m.set("server.strata_rerun", s.strata_rerun);
+        m.set("server.full_fallbacks", s.full_fallbacks);
+        self.db.sample_metrics(&self.ram, m);
+    }
+
+    /// Every `.output` relation's current tuples, sorted, keyed by name.
+    pub fn outputs(&self) -> HashMap<String, Vec<Vec<Value>>> {
+        self.db.extract_outputs(&self.ram)
+    }
+
+    /// Inserts a batch of facts into an `.input` relation and brings all
+    /// downstream strata up to date incrementally (see the module docs
+    /// for the delta-restart algorithm and its fallback rule).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown or non-`.input` relations and wrong-arity tuples;
+    /// propagates runtime errors from re-evaluation.
+    pub fn insert_facts(
+        &mut self,
+        rel: &str,
+        rows: &[Vec<Value>],
+        tel: Option<&Telemetry>,
+    ) -> Result<UpdateReport, EvalError> {
+        let _span = tel.map(|t| t.tracer.span("phase:serve:update"));
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let meta = self
+            .ram
+            .relation_by_name(rel)
+            .ok_or_else(|| EvalError::new(format!("unknown relation `{rel}`")))?;
+        if !meta.is_input {
+            return Err(EvalError::new(format!(
+                "relation `{rel}` is not declared `.input`"
+            )));
+        }
+        let (target, arity) = (meta.id, meta.arity);
+        let upd = self.ram.upd_of(target);
+
+        let mut encoded = Vec::with_capacity(rows.len());
+        {
+            let mut symbols = self.db.symbols_wr();
+            for row in rows {
+                if row.len() != arity {
+                    return Err(EvalError::new(format!(
+                        "tuple for `{rel}` has {} values, expected {arity}",
+                        row.len()
+                    )));
+                }
+                encoded.push(
+                    row.iter()
+                        .map(|v| v.encode(&mut symbols))
+                        .collect::<Vec<RamDomain>>(),
+                );
+            }
+        }
+
+        // Start a fresh staging cycle: `upd_` relations hold exactly the
+        // tuples that became visible during *this* batch.
+        for &u in &self.all_upds {
+            self.db.wr(u).clear();
+        }
+        let mut fresh = 0u64;
+        for t in encoded {
+            if self.db.wr(target).insert(&t) {
+                fresh += 1;
+                if let Some(u) = upd {
+                    self.db.wr(u).insert(&t);
+                }
+                self.extra_facts.push((target, t));
+            }
+        }
+        self.counters
+            .update_tuples
+            .fetch_add(fresh, Ordering::Relaxed);
+        let mut report = UpdateReport {
+            inserted: fresh,
+            ..UpdateReport::default()
+        };
+        if fresh == 0 {
+            return Ok(report);
+        }
+
+        // `changed`: gained tuples this cycle, staged in `upd_` unless
+        // also `rebuilt`. `rebuilt`: recomputed from scratch, so its
+        // `upd_` staging is empty and readers cannot update incrementally.
+        let n = self.ram.relations.len();
+        let mut changed = vec![false; n];
+        let mut rebuilt = vec![false; n];
+        changed[target.0] = true;
+        if upd.is_none() {
+            rebuilt[target.0] = true; // eqrel input: no staging sibling
+        }
+
+        for i in 0..self.ram.strata.len() {
+            let s = &self.ram.strata[i];
+            let hit = |ids: &[RelId], flags: &[bool]| ids.iter().any(|r| flags[r.0]);
+            let affected = hit(&s.defines, &changed)
+                || hit(&s.pos_reads, &changed)
+                || hit(&s.neg_agg_reads, &changed);
+            if !affected {
+                continue;
+            }
+            let fallback = s.update.is_none()
+                || hit(&s.neg_agg_reads, &changed)
+                || hit(&s.pos_reads, &rebuilt)
+                || hit(&s.defines, &rebuilt);
+            if fallback {
+                self.recompute_stratum(i, tel)?;
+                for d in &self.ram.strata[i].defines {
+                    changed[d.0] = true;
+                    rebuilt[d.0] = true;
+                }
+                report.full_fallbacks += 1;
+            } else {
+                let stmt = s.update.as_ref().expect("checked by fallback condition");
+                let tree = itree::build_stmt(&self.ram, &self.config, stmt);
+                let mut interp = Interpreter::new(&self.ram, &self.db, self.config);
+                if let Some(t) = tel {
+                    interp.attach_telemetry(t);
+                }
+                interp.run(&tree)?;
+                for d in &s.defines {
+                    if let Some(u) = self.ram.upd_of(*d) {
+                        if !self.db.rd(u).is_empty() {
+                            changed[d.0] = true;
+                        }
+                    }
+                }
+                report.strata_rerun += 1;
+            }
+        }
+
+        self.counters
+            .strata_rerun
+            .fetch_add(report.strata_rerun, Ordering::Relaxed);
+        self.counters
+            .full_fallbacks
+            .fetch_add(report.full_fallbacks, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Clears a stratum's relations, replays their ground and inserted
+    /// facts, and re-runs the original stratum statement. Correct at any
+    /// point of the bottom-up walk because every upstream relation is
+    /// already fully up to date when its readers are visited.
+    fn recompute_stratum(&self, i: usize, tel: Option<&Telemetry>) -> Result<(), EvalError> {
+        let mut defined = vec![false; self.ram.relations.len()];
+        for d in &self.ram.strata[i].defines {
+            defined[d.0] = true;
+            self.db.wr(*d).clear();
+            for a in &self.aux_of[d.0] {
+                self.db.wr(*a).clear();
+            }
+        }
+        for (rid, t) in self.ram.facts.iter().chain(self.extra_facts.iter()) {
+            if defined[rid.0] {
+                self.db.wr(*rid).insert(t);
+            }
+        }
+        let tree = itree::build_stmt(&self.ram, &self.config, self.ram.stratum_stmt(i));
+        let mut interp = Interpreter::new(&self.ram, &self.db, self.config);
+        if let Some(t) = tel {
+            interp.attach_telemetry(t);
+        }
+        interp.run(&tree)
+    }
+
+    /// Answers a partially-bound pattern against the resident database.
+    ///
+    /// `pattern[i] = Some(v)` binds column `i` to `v`; `None` leaves it
+    /// free. Rows come back in the stored order of the chosen index. A
+    /// bound symbol that was never interned yields an empty result.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown relations, auxiliary (`delta_`/`new_`/`upd_`)
+    /// relations, and wrong-arity patterns.
+    pub fn query(
+        &self,
+        rel: &str,
+        pattern: &[Option<Value>],
+        tel: Option<&Telemetry>,
+    ) -> Result<Vec<Vec<Value>>, EvalError> {
+        let _span = tel.map(|t| t.tracer.span("phase:serve:query"));
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let meta = self
+            .ram
+            .relation_by_name(rel)
+            .ok_or_else(|| EvalError::new(format!("unknown relation `{rel}`")))?;
+        if meta.role != Role::Standard {
+            return Err(EvalError::new(format!(
+                "relation `{rel}` is internal and cannot be queried"
+            )));
+        }
+        if pattern.len() != meta.arity {
+            return Err(EvalError::new(format!(
+                "pattern for `{rel}` has {} terms, expected {}",
+                pattern.len(),
+                meta.arity
+            )));
+        }
+
+        let rel_guard = self.db.rd(meta.id);
+        if meta.arity == 0 {
+            let rows: Vec<Vec<Value>> = if rel_guard.is_empty() {
+                Vec::new()
+            } else {
+                vec![Vec::new()]
+            };
+            self.counters
+                .query_rows
+                .fetch_add(rows.len() as u64, Ordering::Relaxed);
+            return Ok(rows);
+        }
+
+        let symbols = self.db.symbols_rd();
+        let mut bound: Vec<Option<RamDomain>> = Vec::with_capacity(pattern.len());
+        for v in pattern {
+            match v {
+                None => bound.push(None),
+                Some(val) => match val.encode_existing(&symbols) {
+                    Some(bits) => bound.push(Some(bits)),
+                    None => return Ok(Vec::new()),
+                },
+            }
+        }
+
+        // The index whose order starts with the longest run of bound
+        // columns turns the most bindings into range bounds; anything not
+        // covered is post-filtered.
+        let mut best = (0usize, 0usize);
+        for k in 0..rel_guard.index_count() {
+            let cols = rel_guard.index(k).order().columns();
+            let m = cols.iter().take_while(|&&c| bound[c].is_some()).count();
+            if m > best.1 {
+                best = (k, m);
+            }
+        }
+        let (k, prefix) = best;
+        let idx = rel_guard.index(k);
+        let order = idx.order();
+        let arity = meta.arity;
+        // The comparator-based legacy index keeps tuples un-permuted: its
+        // range bounds and yielded tuples are in source order, so bound
+        // values land at their source positions and no decode happens.
+        let source_layout = idx.stores_source_order();
+        let mut it = if prefix == 0 {
+            idx.scan()
+        } else {
+            let mut lo = vec![RamDomain::MIN; arity];
+            let mut hi = vec![RamDomain::MAX; arity];
+            for (pos, &c) in order.columns().iter().enumerate().take(prefix) {
+                let bits = bound[c].expect("prefix columns are bound");
+                let at = if source_layout { c } else { pos };
+                lo[at] = bits;
+                hi[at] = bits;
+            }
+            idx.range(&lo, &hi)
+        };
+
+        let mut out = Vec::new();
+        let mut src = vec![0; arity];
+        while let Some(stored) = it.next_tuple() {
+            if source_layout {
+                src.copy_from_slice(stored);
+            } else {
+                order.decode(stored, &mut src);
+            }
+            if bound
+                .iter()
+                .zip(&src)
+                .all(|(b, &v)| b.is_none_or(|bits| bits == v))
+            {
+                out.push(
+                    src.iter()
+                        .zip(&meta.attr_types)
+                        .map(|(&bits, &ty)| Value::decode(bits, ty, &symbols))
+                        .collect(),
+                );
+            }
+        }
+        self.counters
+            .query_rows
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = "\
+        .decl e(x: number, y: number)\n.input e\n\
+        .decl p(x: number, y: number)\n.output p\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, z) :- p(x, y), e(y, z).\n";
+
+    fn pairs(rows: &[(i32, i32)]) -> Vec<Vec<Value>> {
+        rows.iter()
+            .map(|&(a, b)| vec![Value::Number(a), Value::Number(b)])
+            .collect()
+    }
+
+    fn resident(src: &str, inputs: &InputData) -> ResidentEngine {
+        ResidentEngine::from_source(src, InterpreterConfig::optimized(), inputs, None)
+            .expect("builds")
+    }
+
+    #[test]
+    fn resident_engine_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ResidentEngine>();
+    }
+
+    #[test]
+    fn incremental_chain_extension_matches_batch() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3)]));
+        let mut r = resident(TC, &inputs);
+        assert_eq!(r.outputs()["p"], pairs(&[(1, 2), (1, 3), (2, 3)]));
+
+        let report = r
+            .insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("updates");
+        assert_eq!(report.inserted, 1);
+        assert!(report.strata_rerun >= 1);
+        assert_eq!(
+            report.full_fallbacks, 0,
+            "monotone program never falls back"
+        );
+        assert_eq!(
+            r.outputs()["p"],
+            pairs(&[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)])
+        );
+    }
+
+    #[test]
+    fn duplicate_inserts_are_absorbed() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let mut r = resident(TC, &inputs);
+        let report = r
+            .insert_facts("e", &pairs(&[(1, 2)]), None)
+            .expect("updates");
+        assert_eq!(report.inserted, 0);
+        assert_eq!(report.strata_rerun + report.full_fallbacks, 0);
+    }
+
+    #[test]
+    fn negation_reader_falls_back_and_retracts() {
+        let src = "\
+            .decl a(x: number)\n.input a\n\
+            .decl b(x: number)\n.input b\n\
+            .decl r(x: number)\n.output r\n\
+            r(x) :- a(x), !b(x).\n";
+        let mut inputs = InputData::new();
+        inputs.insert(
+            "a".into(),
+            vec![vec![Value::Number(1)], vec![Value::Number(2)]],
+        );
+        inputs.insert("b".into(), vec![vec![Value::Number(2)]]);
+        let mut r = resident(src, &inputs);
+        assert_eq!(r.outputs()["r"], vec![vec![Value::Number(1)]]);
+
+        // Growing the negated relation must *remove* a derived tuple,
+        // which only the full-recompute fallback can do.
+        let report = r
+            .insert_facts("b", &[vec![Value::Number(1)]], None)
+            .expect("updates");
+        assert!(report.full_fallbacks >= 1);
+        assert!(r.outputs()["r"].is_empty());
+    }
+
+    #[test]
+    fn queries_use_bound_prefixes_and_post_filters() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3), (2, 4)]));
+        let mut r = resident(TC, &inputs);
+        r.insert_facts("e", &pairs(&[(4, 5)]), None)
+            .expect("updates");
+
+        let from2 = r
+            .query("p", &[Some(Value::Number(2)), None], None)
+            .expect("queries");
+        assert_eq!(from2.len(), 3); // (2,3) (2,4) (2,5)
+        let exact = r
+            .query("p", &[Some(Value::Number(1)), Some(Value::Number(5))], None)
+            .expect("queries");
+        assert_eq!(exact, pairs(&[(1, 5)]));
+        let all = r.query("e", &[None, None], None).expect("queries");
+        assert_eq!(all.len(), 4);
+        let to3 = r
+            .query("p", &[None, Some(Value::Number(3))], None)
+            .expect("queries");
+        assert_eq!(to3.len(), 2); // (1,3) (2,3)
+    }
+
+    #[test]
+    fn unknown_symbols_match_nothing_without_interning() {
+        let src = "\
+            .decl n(s: symbol)\n.input n\n\
+            .decl out(s: symbol)\n.output out\n\
+            out(s) :- n(s).\n";
+        let mut inputs = InputData::new();
+        inputs.insert("n".into(), vec![vec![Value::Symbol("ada".into())]]);
+        let r = resident(src, &inputs);
+        let rows = r
+            .query("out", &[Some(Value::Symbol("ghost".into()))], None)
+            .expect("queries");
+        assert!(rows.is_empty());
+        let rows = r
+            .query("out", &[Some(Value::Symbol("ada".into()))], None)
+            .expect("queries");
+        assert_eq!(rows, vec![vec![Value::Symbol("ada".into())]]);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let r = resident(TC, &InputData::new());
+        assert!(r.query("ghost", &[], None).is_err());
+        assert!(r.query("p", &[None], None).is_err());
+        assert!(r.query("upd_p", &[None, None], None).is_err());
+        let mut r = r;
+        assert!(r.insert_facts("p", &pairs(&[(1, 2)]), None).is_err());
+        assert!(r
+            .insert_facts("e", &[vec![Value::Number(1)]], None)
+            .is_err());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let mut r = resident(TC, &inputs);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("updates");
+        r.query("p", &[None, None], None).expect("queries");
+        let s = r.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.update_tuples, 1);
+        assert_eq!(s.query_rows, 3);
+        assert!(s.strata_rerun >= 1);
+    }
+
+    #[test]
+    fn multi_stratum_updates_cascade() {
+        let src = "\
+            .decl e(x: number, y: number)\n.input e\n\
+            .decl p(x: number, y: number)\n\
+            .decl q(x: number)\n.output q\n\
+            p(x, y) :- e(x, y).\n\
+            p(x, z) :- p(x, y), e(y, z).\n\
+            q(y) :- p(1, y).\n";
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let mut r = resident(src, &inputs);
+        assert_eq!(r.outputs()["q"], vec![vec![Value::Number(2)]]);
+        let report = r
+            .insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("updates");
+        assert!(report.strata_rerun >= 2, "both strata re-run incrementally");
+        assert_eq!(
+            r.outputs()["q"],
+            vec![vec![Value::Number(2)], vec![Value::Number(3)]]
+        );
+    }
+}

@@ -31,6 +31,18 @@ impl Value {
         }
     }
 
+    /// Encodes the value without interning: a symbol not already in the
+    /// table yields `None` (no stored tuple can contain it). Lets query
+    /// paths stay read-only on the symbol table.
+    pub fn encode_existing(&self, symbols: &SymbolTable) -> Option<u32> {
+        match self {
+            Value::Number(n) => Some(*n as u32),
+            Value::Unsigned(u) => Some(*u),
+            Value::Float(f) => Some(f.to_bits()),
+            Value::Symbol(s) => symbols.lookup(s),
+        }
+    }
+
     /// Decodes a bit pattern according to the attribute type.
     pub fn decode(bits: u32, ty: AttrType, symbols: &SymbolTable) -> Value {
         match ty {

@@ -72,6 +72,15 @@ pub trait IndexAdapter: Debug + Send + Sync {
     /// Membership test for a stored-order tuple (no encoding).
     fn contains_stored(&self, t: &[RamDomain]) -> bool;
 
+    /// Whether tuples are kept un-permuted, so "stored" order coincides
+    /// with source order regardless of [`order`](Self::order). The
+    /// comparator-based legacy index works this way; consumers that
+    /// decode stored-order scans back into source order must skip the
+    /// decode for such indexes.
+    fn stores_source_order(&self) -> bool {
+        false
+    }
+
     /// Full scan in stored order.
     fn scan(&self) -> Box<dyn TupleIter + '_>;
 

@@ -234,6 +234,10 @@ impl IndexAdapter for DynBTreeIndex {
         self.contains(t)
     }
 
+    fn stores_source_order(&self) -> bool {
+        true
+    }
+
     fn scan(&self) -> Box<dyn TupleIter + '_> {
         let lo = vec![0; self.arity()];
         let hi = vec![RamDomain::MAX; self.arity()];

@@ -195,7 +195,7 @@ impl Relation {
         }
         let primary = &self.indexes[0];
         let scan = primary.scan();
-        if primary.order().is_natural() {
+        if primary.order().is_natural() || primary.stores_source_order() {
             scan
         } else {
             Box::new(DecodingIter::new(scan, primary.order().clone()))
@@ -296,6 +296,31 @@ mod tests {
         rel.insert(&[2, 8]);
         let all = rel.scan_source().collect_tuples();
         assert_eq!(all, vec![vec![2, 8], vec![1, 9]]); // sorted by col 1
+    }
+
+    #[test]
+    fn scan_source_trusts_source_layout_adapters() {
+        use crate::dynindex::DynBTreeIndex;
+        // A comparator-based (legacy) primary with a non-natural order
+        // keeps tuples un-permuted, so scan_source must NOT decode them.
+        let indexes: Vec<Box<dyn IndexAdapter>> =
+            vec![Box::new(DynBTreeIndex::new(Order::new(vec![1, 0])))];
+        let mut rel = Relation::from_adapters("r", 2, indexes);
+        rel.insert(&[1, 9]);
+        rel.insert(&[2, 8]);
+        assert_eq!(
+            rel.scan_source().collect_tuples(),
+            vec![vec![2, 8], vec![1, 9]] // comparator order, source layout
+        );
+        assert_eq!(rel.to_sorted_tuples(), vec![vec![1, 9], vec![2, 8]]);
+
+        let mut dst = Relation::from_adapters(
+            "dst",
+            2,
+            vec![Box::new(DynBTreeIndex::new(Order::new(vec![1, 0]))) as Box<dyn IndexAdapter>],
+        );
+        dst.merge_from(&rel);
+        assert!(dst.contains(&[1, 9]) && dst.contains(&[2, 8]));
     }
 
     #[test]

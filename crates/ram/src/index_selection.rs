@@ -147,7 +147,7 @@ pub fn assign_indexes(program: &mut RamProgram) {
     let nrels = program.relations.len();
     let mut signatures: Vec<BTreeSet<Signature>> = vec![BTreeSet::new(); nrels];
 
-    program.main.walk(&mut |stmt| {
+    let mut collect = |stmt: &RamStmt| {
         if let RamStmt::Query { op, .. } = stmt {
             op.walk(&mut |op| match op {
                 RamOp::IndexScan { rel, pattern, .. } | RamOp::Aggregate { rel, pattern, .. } => {
@@ -160,7 +160,13 @@ pub fn assign_indexes(program: &mut RamProgram) {
         if let RamStmt::Exit(cond) = stmt {
             collect_cond(cond, &mut signatures);
         }
-    });
+    };
+    program.main.walk(&mut collect);
+    for stratum in &program.strata {
+        if let Some(update) = &stratum.update {
+            update.walk(&mut collect);
+        }
+    }
 
     // A relation and its `delta_`/`new_` versions are one logical relation:
     // they exchange contents via MERGE/SWAP, so they must share one index
@@ -170,7 +176,9 @@ pub fn assign_indexes(program: &mut RamProgram) {
         .relations
         .iter()
         .map(|r| match r.role {
-            crate::program::Role::Delta(base) | crate::program::Role::New(base) => base.0,
+            crate::program::Role::Delta(base)
+            | crate::program::Role::New(base)
+            | crate::program::Role::Upd(base) => base.0,
             crate::program::Role::Standard => r.id.0,
         })
         .collect();
@@ -207,7 +215,7 @@ pub fn assign_indexes(program: &mut RamProgram) {
         rel.orders = res.orders.clone();
     }
 
-    program.main.walk_mut(&mut |stmt| match stmt {
+    let mut patch = |stmt: &mut RamStmt| match stmt {
         RamStmt::Query { op, .. } => {
             op.walk_mut(&mut |op| match op {
                 RamOp::IndexScan {
@@ -230,7 +238,13 @@ pub fn assign_indexes(program: &mut RamProgram) {
         }
         RamStmt::Exit(cond) => patch_cond(cond, &results),
         _ => {}
-    });
+    };
+    program.main.walk_mut(&mut patch);
+    for stratum in &mut program.strata {
+        if let Some(update) = &mut stratum.update {
+            update.walk_mut(&mut patch);
+        }
+    }
 }
 
 fn collect_cond(cond: &RamCond, signatures: &mut [BTreeSet<Signature>]) {

@@ -26,6 +26,11 @@ pub enum Role {
     /// The `new_R` of a recursive relation (tuples derived in the current
     /// iteration); the payload is the base relation.
     New(RelId),
+    /// The `upd_R` of a servable relation: the tuples added to `R` during
+    /// the current incremental update cycle (user inserts plus newly
+    /// derived tuples), consumed by the update statements of downstream
+    /// strata. The payload is the base relation.
+    Upd(RelId),
 }
 
 /// The representation chosen for a relation's indexes.
@@ -80,15 +85,47 @@ pub struct TranslateStats {
     pub index_count: usize,
 }
 
+/// Stratum-level metadata: which relations a stratum defines and reads,
+/// plus its incremental update statement. Together with the 1:1 mapping
+/// between strata and the children of the main `Seq`, this gives a
+/// resident engine the re-entry points it needs to re-run individual
+/// strata after a fact insertion.
+#[derive(Debug, Clone)]
+pub struct RamStratum {
+    /// Relations whose rules live in this stratum.
+    pub defines: Vec<RelId>,
+    /// Relations of earlier strata read through positive body atoms.
+    pub pos_reads: Vec<RelId>,
+    /// Relations read under negation or inside aggregate bodies. Growth
+    /// of these is non-monotone for this stratum, so an incremental
+    /// update must fall back to recomputing the stratum.
+    pub neg_agg_reads: Vec<RelId>,
+    /// Whether the stratum is a recursive SCC.
+    pub recursive: bool,
+    /// Position of the stratum's statement among the children of the
+    /// main `Seq`.
+    pub main_index: usize,
+    /// Insertion-only incremental update statement: assumes the new
+    /// tuples of upstream relations are staged in their `upd_` siblings
+    /// and re-derives this stratum's consequences without clearing it.
+    /// `None` when the stratum cannot be updated incrementally (eqrel
+    /// heads) and must be recomputed instead.
+    pub update: Option<RamStmt>,
+}
+
 /// A complete translated program.
 #[derive(Debug, Clone)]
 pub struct RamProgram {
-    /// All relations (source + delta/new auxiliaries + aggregate helpers).
+    /// All relations (source + delta/new/upd auxiliaries + aggregate
+    /// helpers).
     pub relations: Vec<RamRelation>,
     /// Ground facts from the source text, already encoded as bit patterns.
     pub facts: Vec<(RelId, Vec<RamDomain>)>,
-    /// The main statement (a `Seq` of strata).
+    /// The main statement (a `Seq` with one child per rule-bearing
+    /// stratum, in bottom-up order).
     pub main: RamStmt,
+    /// Stratum metadata, aligned 1:1 with the children of `main`.
+    pub strata: Vec<RamStratum>,
     /// Symbols interned during translation (string constants).
     pub symbols: SymbolTable,
     /// Translation-time statistics (index-selection cost, index counts).
@@ -127,6 +164,28 @@ impl RamProgram {
     /// The name of a relation.
     pub fn name_of(&self, id: RelId) -> &str {
         &self.relations[id.0].name
+    }
+
+    /// The `upd_R` sibling of `id`, if one was created (servable
+    /// non-eqrel relations).
+    pub fn upd_of(&self, id: RelId) -> Option<RelId> {
+        self.relations
+            .iter()
+            .find(|r| r.role == Role::Upd(id))
+            .map(|r| r.id)
+    }
+
+    /// The main-`Seq` child implementing stratum `i` (its full
+    /// recomputation statement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `main` is not a `Seq` or `i` is out of range.
+    pub fn stratum_stmt(&self, i: usize) -> &RamStmt {
+        let RamStmt::Seq(children) = &self.main else {
+            panic!("main is always a Seq");
+        };
+        &children[self.strata[i].main_index]
     }
 }
 

@@ -18,9 +18,10 @@ use crate::program::RamProgram;
 use crate::stmt::{RamCond, RamOp, RamStmt};
 use crate::IntrinsicOp;
 
-/// Runs all passes in place.
+/// Runs all passes in place, over the main statement and every stratum's
+/// incremental update statement.
 pub fn optimize(program: &mut RamProgram) {
-    program.main.walk_mut(&mut |stmt| {
+    let mut pass = |stmt: &mut RamStmt| {
         if let RamStmt::Query { op, .. } = stmt {
             merge_filters(op);
             fold_op(op);
@@ -28,7 +29,13 @@ pub fn optimize(program: &mut RamProgram) {
         if let RamStmt::Exit(cond) = stmt {
             fold_cond(cond);
         }
-    });
+    };
+    program.main.walk_mut(&mut pass);
+    for stratum in &mut program.strata {
+        if let Some(update) = &mut stratum.update {
+            update.walk_mut(&mut pass);
+        }
+    }
 }
 
 /// Fuses `Filter(c1, Filter(c2, body))` into `Filter(c1 ∧ c2, body)`,

@@ -13,7 +13,7 @@ pub mod typing;
 
 use crate::expr::RamDomain;
 use crate::index_selection::assign_indexes;
-use crate::program::{RamProgram, RamRelation, RelId, ReprKind, Role, TranslateStats};
+use crate::program::{RamProgram, RamRelation, RamStratum, RelId, ReprKind, Role, TranslateStats};
 use crate::stmt::{RamCond, RamStmt};
 use crate::translate::rule::{translate_rule, RecursiveInfo, RuleCx};
 use std::collections::{BTreeSet, HashMap};
@@ -128,6 +128,35 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         }
     }
 
+    // upd_R for every servable relation: the staging area a resident
+    // engine fills with the tuples added to R during one incremental
+    // update cycle (user inserts plus newly derived tuples), consumed by
+    // the update statements of downstream strata. EqRel relations are
+    // excluded — their eager closure has no delta semantics, so their
+    // strata recompute instead.
+    let mut upd_ids: HashMap<String, RelId> = HashMap::new();
+    for i in 0..relations.len() {
+        let base = relations[i].clone();
+        if base.role != Role::Standard || base.repr == ReprKind::EqRel {
+            continue;
+        }
+        let id = RelId(relations.len());
+        let name = format!("upd_{}", base.name);
+        rel_ids.insert(name.clone(), id);
+        relations.push(RamRelation {
+            id,
+            name,
+            arity: base.arity,
+            attr_types: base.attr_types.clone(),
+            repr: base.repr,
+            orders: Vec::new(),
+            role: Role::Upd(base.id),
+            is_input: false,
+            is_output: false,
+        });
+        upd_ids.insert(base.name.clone(), id);
+    }
+
     // Facts.
     let mut symbols = SymbolTable::new();
     let mut facts: Vec<(RelId, Vec<RamDomain>)> = Vec::new();
@@ -149,18 +178,92 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         symbols: &mut symbols,
     };
     let mut main: Vec<RamStmt> = Vec::new();
+    let mut strata: Vec<RamStratum> = Vec::new();
     for stratum in &checked.strata {
         if stratum.rules.is_empty() {
             continue;
         }
-        if !stratum.recursive {
-            for &ri in &stratum.rules {
-                main.push(translate_rule(&mut cx, &checked.ast.rules[ri], None)?);
+        let defined: BTreeSet<String> = stratum.relations.iter().cloned().collect();
+
+        // AST-level read sets, for stratum-selective incremental updates.
+        let mut pos_reads: BTreeSet<RelId> = BTreeSet::new();
+        let mut neg_agg_reads: BTreeSet<RelId> = BTreeSet::new();
+        for &ri in &stratum.rules {
+            let r = &checked.ast.rules[ri];
+            for lit in &r.body {
+                match lit {
+                    Literal::Positive(a) => {
+                        if !defined.contains(&a.name) {
+                            pos_reads.insert(rel_ids[&a.name]);
+                        }
+                        for arg in &a.args {
+                            collect_agg_reads(arg, &rel_ids, &mut neg_agg_reads);
+                        }
+                    }
+                    Literal::Negative(a) => {
+                        neg_agg_reads.insert(rel_ids[&a.name]);
+                    }
+                    Literal::Constraint(c) => {
+                        collect_agg_reads(&c.lhs, &rel_ids, &mut neg_agg_reads);
+                        collect_agg_reads(&c.rhs, &rel_ids, &mut neg_agg_reads);
+                    }
+                }
             }
+            for arg in &r.head.args {
+                collect_agg_reads(arg, &rel_ids, &mut neg_agg_reads);
+            }
+        }
+        let meta = |update, main_index| RamStratum {
+            defines: stratum.relations.iter().map(|n| rel_ids[n]).collect(),
+            pos_reads: pos_reads.iter().copied().collect(),
+            neg_agg_reads: neg_agg_reads.iter().copied().collect(),
+            recursive: stratum.recursive,
+            main_index,
+            update,
+        };
+
+        if !stratum.recursive {
+            let mut seq: Vec<RamStmt> = Vec::new();
+            for &ri in &stratum.rules {
+                seq.push(translate_rule(&mut cx, &checked.ast.rules[ri], None)?);
+            }
+
+            // Update statement: re-derive with one upstream occurrence at
+            // a time reading its upd_ sibling, projecting fresh tuples
+            // into upd_head, then merge them in. A non-recursive SCC is a
+            // single relation.
+            let head_name = &stratum.relations[0];
+            let update = if let Some(&upd_h) = upd_ids.get(head_name) {
+                let scc1: BTreeSet<String> = std::iter::once(head_name.clone()).collect();
+                let aux1: HashMap<String, (RelId, RelId)> =
+                    std::iter::once((head_name.clone(), (upd_h, upd_h))).collect();
+                let mut useq: Vec<RamStmt> = Vec::new();
+                for &ri in &stratum.rules {
+                    let r = &checked.ast.rules[ri];
+                    for k in 0..count_upd_occurrences(r, &scc1, &upd_ids) {
+                        useq.push(seed_variant(&mut cx, r, k, &scc1, &aux1, &upd_ids)?);
+                    }
+                }
+                useq.push(RamStmt::Merge {
+                    into: rel_ids[head_name],
+                    from: upd_h,
+                });
+                Some(RamStmt::Seq(useq))
+            } else {
+                None // eqrel head: recompute instead
+            };
+
+            strata.push(meta(update, main.len()));
+            main.push(RamStmt::Seq(seq));
             continue;
         }
 
         let scc: BTreeSet<String> = stratum.relations.iter().cloned().collect();
+        let scc_aux: HashMap<String, (RelId, RelId)> = aux
+            .iter()
+            .filter(|(k, _)| scc.contains(*k))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
         let mut seq: Vec<RamStmt> = Vec::new();
 
         // Exit rules (no positive SCC body atom) run once, into R.
@@ -184,37 +287,15 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         }
 
         // The fixpoint loop.
-        let mut loop_body: Vec<RamStmt> = Vec::new();
-        for r in &recursive_rules {
-            let n = count_scc_occurrences(r, &scc);
-            for occurrence in 0..n {
-                let info = RecursiveInfo {
-                    scc: scc.clone(),
-                    aux: aux
-                        .iter()
-                        .filter(|(k, _)| scc.contains(*k))
-                        .map(|(k, v)| (k.clone(), *v))
-                        .collect(),
-                    delta_occurrence: occurrence,
-                };
-                loop_body.push(translate_rule(&mut cx, r, Some(&info))?);
-            }
-        }
-        let exit_cond = scc
-            .iter()
-            .map(|name| RamCond::EmptinessCheck { rel: aux[name].1 })
-            .reduce(RamCond::and)
-            .expect("SCC is nonempty");
-        loop_body.push(RamStmt::Exit(exit_cond));
-        for name in &scc {
-            let (delta, new) = aux[name];
-            loop_body.push(RamStmt::Merge {
-                into: rel_ids[name],
-                from: new,
-            });
-            loop_body.push(RamStmt::Swap(delta, new));
-            loop_body.push(RamStmt::Clear(new));
-        }
+        let loop_body = fixpoint_loop_body(
+            &mut cx,
+            &recursive_rules,
+            &scc,
+            &scc_aux,
+            &aux,
+            &rel_ids,
+            None,
+        )?;
         seq.push(RamStmt::Loop(Box::new(RamStmt::Seq(loop_body))));
 
         // Hygiene: the auxiliaries are dead after the stratum.
@@ -223,6 +304,65 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
             seq.push(RamStmt::Clear(delta));
             seq.push(RamStmt::Clear(new));
         }
+
+        // Update statement: a seed round re-derives every rule (exit and
+        // recursive) with one changed upstream occurrence reading its
+        // upd_ sibling and SCC occurrences reading the full (already
+        // grown) relations; the seed derivations plus the direct user
+        // inserts staged in upd_R become the delta frontier of a regular
+        // semi-naive loop. Every rule already passed the main
+        // translation, so re-translating cannot fail semantically.
+        let update = {
+            let mut useq: Vec<RamStmt> = Vec::new();
+            for &ri in &stratum.rules {
+                let r = &checked.ast.rules[ri];
+                for k in 0..count_upd_occurrences(r, &scc, &upd_ids) {
+                    useq.push(seed_variant(&mut cx, r, k, &scc, &scc_aux, &upd_ids)?);
+                }
+            }
+            // Direct user inserts (already merged into R) seed the
+            // frontier alongside the seed-round derivations.
+            for name in &scc {
+                useq.push(RamStmt::Merge {
+                    into: aux[name].0,
+                    from: upd_ids[name],
+                });
+            }
+            for name in &scc {
+                let (delta, new) = aux[name];
+                useq.push(RamStmt::Merge {
+                    into: rel_ids[name],
+                    from: new,
+                });
+                useq.push(RamStmt::Merge {
+                    into: delta,
+                    from: new,
+                });
+                useq.push(RamStmt::Merge {
+                    into: upd_ids[name],
+                    from: new,
+                });
+                useq.push(RamStmt::Clear(new));
+            }
+            let loop_body = fixpoint_loop_body(
+                &mut cx,
+                &recursive_rules,
+                &scc,
+                &scc_aux,
+                &aux,
+                &rel_ids,
+                Some(&upd_ids),
+            )?;
+            useq.push(RamStmt::Loop(Box::new(RamStmt::Seq(loop_body))));
+            for name in &scc {
+                let (delta, new) = aux[name];
+                useq.push(RamStmt::Clear(delta));
+                useq.push(RamStmt::Clear(new));
+            }
+            Some(RamStmt::Seq(useq))
+        };
+
+        strata.push(meta(update, main.len()));
         main.push(RamStmt::Seq(seq));
     }
 
@@ -230,6 +370,7 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         relations,
         facts,
         main: RamStmt::Seq(main),
+        strata,
         symbols,
         stats: TranslateStats::default(),
     };
@@ -249,6 +390,149 @@ fn count_scc_occurrences(rule: &Rule, scc: &BTreeSet<String>) -> usize {
         .iter()
         .filter(|l| matches!(l, Literal::Positive(a) if scc.contains(&a.name)))
         .count()
+}
+
+/// Counts positive non-SCC body occurrences of relations with `upd_`
+/// siblings — the occurrences an update-seed variant can substitute.
+/// Mirrors the occurrence counting of [`translate_rule`] exactly.
+fn count_upd_occurrences(
+    rule: &Rule,
+    scc: &BTreeSet<String>,
+    upd_ids: &HashMap<String, RelId>,
+) -> usize {
+    rule.body
+        .iter()
+        .filter(
+            |l| matches!(l, Literal::Positive(a) if !scc.contains(&a.name) && upd_ids.contains_key(&a.name)),
+        )
+        .count()
+}
+
+/// Translates the `k`-th update-seed variant of `rule`: the variant
+/// whose `k`-th substitutable upstream occurrence reads its staged
+/// `upd_` sibling. The substituted literal is rotated to the front of
+/// the join so the (typically tiny) staging relation drives it instead
+/// of a full scan of whatever literal happens to be written first —
+/// this is what keeps a single-fact update sublinear in the database.
+/// Moving a positive literal forward only accumulates bindings earlier,
+/// so groundedness survives; the one exception is an argument
+/// *expression* of the moved atom that references variables bound by a
+/// later literal, which fails to lower — in that case the original
+/// literal order is kept.
+fn seed_variant(
+    cx: &mut RuleCx<'_>,
+    rule: &Rule,
+    k: usize,
+    scc: &BTreeSet<String>,
+    aux: &HashMap<String, (RelId, RelId)>,
+    upd_ids: &HashMap<String, RelId>,
+) -> Result<RamStmt, TranslateError> {
+    let info = |occurrence| RecursiveInfo {
+        scc: scc.clone(),
+        aux: aux.clone(),
+        delta_occurrence: usize::MAX,
+        upd_occurrence: Some(occurrence),
+        upd: upd_ids.clone(),
+        allow_counter: true,
+    };
+    let mut seen = 0usize;
+    let pos = rule.body.iter().position(|l| {
+        matches!(l, Literal::Positive(a) if !scc.contains(&a.name) && upd_ids.contains_key(&a.name))
+            && {
+                let hit = seen == k;
+                seen += 1;
+                hit
+            }
+    });
+    if let Some(i) = pos.filter(|&i| i > 0) {
+        let mut rotated = rule.clone();
+        let lit = rotated.body.remove(i);
+        rotated.body.insert(0, lit);
+        if let Ok(stmt) = translate_rule(cx, &rotated, Some(&info(0))) {
+            return Ok(stmt);
+        }
+    }
+    translate_rule(cx, rule, Some(&info(k)))
+}
+
+/// Collects the helper relations read inside aggregate expressions
+/// (post-desugaring, each aggregate body is one positive helper atom).
+fn collect_agg_reads(e: &Expr, rel_ids: &HashMap<String, RelId>, out: &mut BTreeSet<RelId>) {
+    match e {
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_agg_reads(lhs, rel_ids, out);
+            collect_agg_reads(rhs, rel_ids, out);
+        }
+        Expr::Unary { expr, .. } => collect_agg_reads(expr, rel_ids, out),
+        Expr::Call { args, .. } => {
+            for a in args {
+                collect_agg_reads(a, rel_ids, out);
+            }
+        }
+        Expr::Aggregate { body, value, .. } => {
+            for lit in body {
+                if let Literal::Positive(a) = lit {
+                    out.insert(rel_ids[&a.name]);
+                }
+            }
+            if let Some(v) = value {
+                collect_agg_reads(v, rel_ids, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Builds the body of a semi-naive fixpoint loop: one query per
+/// (recursive rule, delta occurrence), the exit test, and the per-relation
+/// merge/swap epilogue. When `upd_ids` is given (incremental update
+/// loops), each iteration's new tuples are additionally merged into the
+/// `upd_` staging relations so downstream strata see them.
+#[allow(clippy::too_many_arguments)]
+fn fixpoint_loop_body(
+    cx: &mut RuleCx<'_>,
+    recursive_rules: &[&Rule],
+    scc: &BTreeSet<String>,
+    scc_aux: &HashMap<String, (RelId, RelId)>,
+    aux: &HashMap<String, (RelId, RelId)>,
+    rel_ids: &HashMap<String, RelId>,
+    upd_ids: Option<&HashMap<String, RelId>>,
+) -> Result<Vec<RamStmt>, TranslateError> {
+    let mut loop_body: Vec<RamStmt> = Vec::new();
+    for r in recursive_rules {
+        let n = count_scc_occurrences(r, scc);
+        for occurrence in 0..n {
+            let info = RecursiveInfo {
+                scc: scc.clone(),
+                aux: scc_aux.clone(),
+                delta_occurrence: occurrence,
+                ..RecursiveInfo::default()
+            };
+            loop_body.push(translate_rule(cx, r, Some(&info))?);
+        }
+    }
+    let exit_cond = scc
+        .iter()
+        .map(|name| RamCond::EmptinessCheck { rel: aux[name].1 })
+        .reduce(RamCond::and)
+        .expect("SCC is nonempty");
+    loop_body.push(RamStmt::Exit(exit_cond));
+    for name in scc {
+        let (delta, new) = aux[name];
+        loop_body.push(RamStmt::Merge {
+            into: rel_ids[name],
+            from: new,
+        });
+        if let Some(upd) = upd_ids {
+            loop_body.push(RamStmt::Merge {
+                into: upd[name],
+                from: new,
+            });
+        }
+        loop_body.push(RamStmt::Swap(delta, new));
+        loop_body.push(RamStmt::Clear(new));
+    }
+    Ok(loop_body)
 }
 
 /// Encodes a constant fact argument as its bit pattern.
@@ -295,9 +579,9 @@ mod tests {
     #[test]
     fn transitive_closure_shape() {
         let ram = ram_of(TC);
-        // Relations: e, p, delta_p, new_p.
+        // Relations: e, p, delta_p, new_p, plus the upd_ staging siblings.
         let names: Vec<&str> = ram.relations.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(names, vec!["e", "p", "delta_p", "new_p"]);
+        assert_eq!(names, vec!["e", "p", "delta_p", "new_p", "upd_e", "upd_p"]);
         assert_eq!(ram.facts.len(), 2);
         let listing = program_to_string(&ram);
         assert!(listing.contains("LOOP"), "{listing}");
@@ -480,8 +764,73 @@ mod tests {
         let base = ram.relation_by_name("p").unwrap();
         let delta = ram.relation_by_name("delta_p").unwrap();
         let new = ram.relation_by_name("new_p").unwrap();
+        let upd = ram.relation_by_name("upd_p").unwrap();
         assert_eq!(base.orders, delta.orders);
         assert_eq!(base.orders, new.orders);
+        assert_eq!(base.orders, upd.orders);
+    }
+
+    #[test]
+    fn strata_align_with_main_and_carry_update_statements() {
+        let ram = ram_of(TC);
+        // One rule-bearing stratum (p); e has no rules.
+        assert_eq!(ram.strata.len(), 1);
+        let s = &ram.strata[0];
+        assert!(s.recursive);
+        assert_eq!(s.defines, vec![ram.relation_by_name("p").unwrap().id]);
+        assert_eq!(s.pos_reads, vec![ram.relation_by_name("e").unwrap().id]);
+        assert!(s.neg_agg_reads.is_empty());
+        assert!(matches!(ram.stratum_stmt(0), RamStmt::Seq(_)));
+        // The update statement seeds from upd_e / upd_p and re-enters the
+        // fixpoint loop.
+        let update = s.update.as_ref().expect("recursive non-eqrel stratum");
+        let mut saw_loop = false;
+        let mut saw_upd_label = false;
+        update.walk(&mut |st| {
+            if matches!(st, RamStmt::Loop(_)) {
+                saw_loop = true;
+            }
+            if let RamStmt::Query { label, .. } = st {
+                if label.contains("[upd #") {
+                    saw_upd_label = true;
+                }
+            }
+        });
+        assert!(saw_loop);
+        assert!(saw_upd_label);
+    }
+
+    #[test]
+    fn negation_reads_are_recorded_per_stratum() {
+        let ram = ram_of(
+            ".decl a(x: number)\n.decl b(x: number)\n.decl r(x: number)\n\
+             a(1). b(2).\n\
+             r(x) :- a(x), !b(x).",
+        );
+        let s = ram
+            .strata
+            .iter()
+            .find(|s| s.defines == vec![ram.relation_by_name("r").unwrap().id])
+            .expect("stratum for r");
+        assert_eq!(s.pos_reads, vec![ram.relation_by_name("a").unwrap().id]);
+        assert_eq!(s.neg_agg_reads, vec![ram.relation_by_name("b").unwrap().id]);
+    }
+
+    #[test]
+    fn eqrel_strata_have_no_update_statement() {
+        let ram = ram_of(
+            ".decl s(x: number, y: number)\n.decl eq(x: number, y: number) eqrel\n\
+             s(1, 2).\n\
+             eq(x, y) :- s(x, y).",
+        );
+        assert!(ram.relation_by_name("upd_eq").is_none());
+        assert!(ram.relation_by_name("upd_s").is_some());
+        let s = ram
+            .strata
+            .iter()
+            .find(|s| s.defines == vec![ram.relation_by_name("eq").unwrap().id])
+            .expect("stratum for eq");
+        assert!(s.update.is_none());
     }
 
     #[test]

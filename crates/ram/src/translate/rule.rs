@@ -42,7 +42,20 @@ pub struct RecursiveInfo {
     pub aux: HashMap<String, (RelId, RelId)>,
     /// Among the positive SCC body occurrences (counted left to right),
     /// which one scans `delta_R` (the others scan the full relation).
+    /// `usize::MAX` makes every SCC occurrence scan the full relation
+    /// (used by update-seed variants).
     pub delta_occurrence: usize,
+    /// Among the positive non-SCC body occurrences of relations with
+    /// `upd_` siblings (counted left to right), which one scans the
+    /// `upd_` sibling instead of the full relation. Update-seed variants
+    /// only; `None` leaves all non-SCC atoms on their full relations.
+    pub upd_occurrence: Option<usize>,
+    /// `U → upd_U` for every relation with an update sibling.
+    pub upd: HashMap<String, RelId>,
+    /// Permits the `$` counter. Update variants set this: any rule they
+    /// re-translate already passed the main translation, which rejects
+    /// `$` inside genuinely recursive rules.
+    pub allow_counter: bool,
 }
 
 enum Step {
@@ -105,11 +118,12 @@ pub fn translate_rule(
         steps: Vec::new(),
         level_arity: Vec::new(),
         scanned: Vec::new(),
-        recursive: rec.is_some(),
+        recursive: rec.is_some_and(|i| !i.allow_counter),
     };
 
     let mut pending: Vec<Pending> = Vec::new();
     let mut scc_occurrence = 0usize;
+    let mut upd_occurrence = 0usize;
     for lit in &rule.body {
         match lit {
             Literal::Positive(atom) => {
@@ -122,6 +136,15 @@ pub fn translate_rule(
                             b.cx.rel_ids[&atom.name]
                         };
                         scc_occurrence += 1;
+                        r
+                    }
+                    Some(info) if info.upd.contains_key(&atom.name) => {
+                        let r = if Some(upd_occurrence) == info.upd_occurrence {
+                            info.upd[&atom.name]
+                        } else {
+                            b.cx.rel_ids[&atom.name]
+                        };
+                        upd_occurrence += 1;
                         r
                     }
                     _ => b.cx.rel_ids[&atom.name],
@@ -243,7 +266,11 @@ pub fn translate_rule(
 
     let mut label = rule.to_string();
     if let Some(info) = rec {
-        label.push_str(&format!(" [delta #{}]", info.delta_occurrence));
+        if let Some(u) = info.upd_occurrence {
+            label.push_str(&format!(" [upd #{u}]"));
+        } else {
+            label.push_str(&format!(" [delta #{}]", info.delta_occurrence));
+        }
     }
     Ok(RamStmt::Query {
         label,

@@ -23,9 +23,11 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::RwLock;
 use stir::core::io;
 use stir::{
-    profile_json, Engine, InputData, InterpreterConfig, LogLevel, ProfileReport, Telemetry,
+    profile_json, Engine, InputData, InterpreterConfig, LogLevel, ProfileReport, ResidentEngine,
+    Telemetry,
 };
 
 struct Options {
@@ -39,10 +41,16 @@ struct Options {
     log_level: LogLevel,
     print_ram: bool,
     synthesize: Option<PathBuf>,
+    repl: bool,
 }
 
 const HELP: &str = "\
-usage: stir PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
+usage: stir [repl] PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
+
+  repl                   load PROGRAM.dl, run the fixpoint once, then
+                         serve `+fact(...)` / `?query(...)` lines from
+                         stdin against the resident engine (see also the
+                         stird TCP server)
 
   -F, --fact-dir DIR     read <rel>.facts for every .input relation
   -D, --output-dir DIR   write <rel>.csv for every .output relation
@@ -78,7 +86,13 @@ fn parse_args() -> Options {
     let mut log_level = LogLevel::Off;
     let mut print_ram = false;
     let mut synthesize = None;
+    let mut repl = false;
+    let mut first = true;
     while let Some(arg) = args.next() {
+        if std::mem::take(&mut first) && arg == "repl" {
+            repl = true;
+            continue;
+        }
         match arg.as_str() {
             "-F" | "--fact-dir" => {
                 fact_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
@@ -152,6 +166,7 @@ fn parse_args() -> Options {
         log_level,
         print_ram,
         synthesize,
+        repl,
     }
 }
 
@@ -184,6 +199,50 @@ fn print_profile_table(profile: &ProfileReport) {
             rule.label
         );
     }
+}
+
+/// `stir repl`: make the engine resident and serve protocol lines from
+/// stdin until `.quit`/`.stop`/EOF. `--profile-json` then covers the
+/// whole session — the initial fixpoint plus every update and query span.
+fn run_repl(opts: &Options, engine: Engine, inputs: &InputData, tel: &Telemetry) -> ExitCode {
+    let started = std::time::Instant::now();
+    let resident = match ResidentEngine::new(engine, opts.config, inputs, Some(tel)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "stir: resident engine ready ({} relations, {} strata); .help for commands",
+        resident.ram().relations.len(),
+        resident.ram().strata.len()
+    );
+    let shared = RwLock::new(resident);
+    let mut input = std::io::stdin().lock();
+    let mut output = std::io::stdout().lock();
+    if let Err(e) = stir::serve::run_session(&shared, &mut input, &mut output, Some(tel)) {
+        eprintln!("stir: {e}");
+        return ExitCode::FAILURE;
+    }
+    drop(output);
+    let elapsed = started.elapsed();
+    let resident = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    if let Some(path) = &opts.profile_json {
+        resident.sync_metrics(tel);
+        let json = profile_json(resident.ram(), resident.initial_profile(), tel, elapsed);
+        if let Err(e) = std::fs::write(path, json.render() + "\n") {
+            eprintln!("stir: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.trace_folded {
+        if let Err(e) = std::fs::write(path, tel.tracer.folded()) {
+            eprintln!("stir: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -244,6 +303,10 @@ fn main() -> ExitCode {
         },
         None => InputData::new(),
     };
+
+    if opts.repl {
+        return run_repl(&opts, engine, &inputs, &tel);
+    }
 
     let started = std::time::Instant::now();
     let result = match engine.run_with(opts.config, &inputs, &[], tel_ref) {

@@ -1,0 +1,262 @@
+//! `stird` — the resident-engine TCP server.
+//!
+//! ```text
+//! stird PROGRAM.dl [-F facts_dir] [options]
+//!
+//!   -F, --fact-dir DIR     read <rel>.facts for every .input relation
+//!       --port PORT        TCP port to listen on (default 0 = pick a
+//!                          free port; the chosen address is printed as
+//!                          `stird: listening on ADDR`)
+//!       --mode MODE        sti | dynamic | unopt | legacy    (default sti)
+//!       --profile-json F   write the machine-readable profile JSON to F
+//!                          at shutdown (covers the initial fixpoint and
+//!                          the whole serving session)
+//!       --log LEVEL        stderr verbosity: off|error|warn|info|debug
+//!   -h, --help             print this help and exit
+//! ```
+//!
+//! One resident engine serves every connection with the line protocol of
+//! [`stir::serve`]: inserts take the engine's write lock (serialized),
+//! queries take the read lock (concurrent). A client sending `.stop`
+//! shuts the whole server down gracefully — in-flight connections finish
+//! their current request, then the profile JSON (if requested) is
+//! flushed. Telemetry lives behind a `Mutex` because the tracer is
+//! single-threaded by design; it is only locked when profiling was
+//! requested, so the serving fast path never touches it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
+use stir::core::io;
+use stir::serve::{handle_line, Control};
+use stir::{
+    profile_json, Engine, InputData, InterpreterConfig, LogLevel, ResidentEngine, Telemetry,
+};
+
+struct Options {
+    program: PathBuf,
+    fact_dir: Option<PathBuf>,
+    port: u16,
+    config: InterpreterConfig,
+    profile_json: Option<PathBuf>,
+    log_level: LogLevel,
+}
+
+const HELP: &str = "\
+usage: stird PROGRAM.dl [-F facts_dir] [options]
+
+  -F, --fact-dir DIR     read <rel>.facts for every .input relation
+      --port PORT        TCP port (default 0 = pick a free port)
+      --mode MODE        sti | dynamic | unopt | legacy    (default sti)
+      --profile-json F   write the profile JSON to F at shutdown
+      --log LEVEL        stderr verbosity: off|error|warn|info|debug
+  -h, --help             print this help and exit
+
+protocol (one request per line): +rel(1,2). | ?rel(1,_,x) | .stats |
+.help | .quit (close connection) | .stop (shut the server down)";
+
+fn usage() -> ! {
+    eprintln!("{HELP}");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut program = None;
+    let mut fact_dir = None;
+    let mut port = 0u16;
+    let mut config = InterpreterConfig::optimized();
+    let mut profile_json = None;
+    let mut log_level = LogLevel::Off;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-F" | "--fact-dir" => {
+                fact_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--port" => {
+                port = match args.next().map(|p| p.parse()) {
+                    Some(Ok(p)) => p,
+                    _ => usage(),
+                }
+            }
+            "--mode" => {
+                config = match args.next().as_deref() {
+                    Some("sti") => InterpreterConfig::optimized(),
+                    Some("dynamic") => InterpreterConfig::dynamic_adapter(),
+                    Some("unopt") => InterpreterConfig::unoptimized(),
+                    Some("legacy") => InterpreterConfig::legacy(),
+                    _ => usage(),
+                }
+            }
+            "--profile-json" => {
+                profile_json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--log" => {
+                log_level = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(level)) => level,
+                    Some(Err(e)) => {
+                        eprintln!("stird: {e}");
+                        std::process::exit(2)
+                    }
+                    None => usage(),
+                }
+            }
+            "-h" | "--help" => {
+                println!("{HELP}");
+                std::process::exit(0)
+            }
+            other if program.is_none() && !other.starts_with('-') => {
+                program = Some(PathBuf::from(other))
+            }
+            _ => usage(),
+        }
+    }
+    if profile_json.is_some() {
+        config.profile = true;
+    }
+    Options {
+        program: program.unwrap_or_else(|| usage()),
+        fact_dir,
+        port,
+        config,
+        profile_json,
+        log_level,
+    }
+}
+
+/// Serves one connection. The response to each request is written before
+/// the next is read, so a client can pipeline `request → read until
+/// ok/err` cycles.
+fn handle_conn(
+    mut stream: TcpStream,
+    engine: &RwLock<ResidentEngine>,
+    tel: Option<&Mutex<Telemetry>>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let control = {
+            let guard = tel.map(|m| m.lock().unwrap_or_else(PoisonError::into_inner));
+            handle_line(engine, &line, guard.as_deref(), &mut stream)?
+        };
+        stream.flush()?;
+        match control {
+            Control::Continue => {}
+            Control::Quit => return Ok(()),
+            Control::Stop => {
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so the server can wind down.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let wants_json = opts.profile_json.is_some();
+    let tel = Telemetry::new(wants_json, wants_json, opts.log_level);
+
+    let source = match std::fs::read_to_string(&opts.program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stird: cannot read {}: {e}", opts.program.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match Engine::from_source_with(&source, Some(&tel)) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("stird: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inputs = match &opts.fact_dir {
+        Some(dir) => match io::read_facts_dir(engine.ram(), dir) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("stird: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => InputData::new(),
+    };
+
+    let started = std::time::Instant::now();
+    let resident = match ResidentEngine::new(engine, opts.config, &inputs, Some(&tel)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stird: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("stird: cannot bind 127.0.0.1:{}: {e}", opts.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("stird: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Tests (and scripts) wait for this exact line to learn the port.
+    println!("stird: listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    let shared = RwLock::new(resident);
+    let stop = AtomicBool::new(false);
+    // The tracer is intentionally single-threaded (RefCell spans); a
+    // mutex serializes the rare profiled requests without making the
+    // unprofiled path pay for it.
+    let tel_mutex = Mutex::new(tel);
+    let tel_opt = wants_json.then_some(&tel_mutex);
+
+    std::thread::scope(|s| {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let (shared, stop) = (&shared, &stop);
+            s.spawn(move || {
+                let _ = handle_conn(stream, shared, tel_opt, stop, addr);
+            });
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let resident = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    let tel = tel_mutex
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(path) = &opts.profile_json {
+        resident.sync_metrics(&tel);
+        let json = profile_json(resident.ram(), resident.initial_profile(), &tel, elapsed);
+        if let Err(e) = std::fs::write(path, json.render() + "\n") {
+            eprintln!("stird: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let stats = resident.stats();
+    eprintln!(
+        "stird: served {} requests ({} tuples in, {} rows out) in {elapsed:?}",
+        stats.requests, stats.update_tuples, stats.query_rows
+    );
+    ExitCode::SUCCESS
+}

@@ -40,6 +40,8 @@
 
 #![warn(missing_docs)]
 
+pub mod serve;
+
 pub use stir_core as core;
 pub use stir_der as der;
 pub use stir_frontend as frontend;
@@ -49,5 +51,5 @@ pub use stir_workloads as workloads;
 
 pub use stir_core::{
     profile_json, Engine, EngineError, EvalOutcome, InputData, InterpreterConfig, Json, LogLevel,
-    ProfileReport, Telemetry, Value,
+    ProfileReport, ResidentEngine, ServerStats, Telemetry, UpdateReport, Value,
 };

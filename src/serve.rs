@@ -1,0 +1,407 @@
+//! The serving line protocol shared by `stir repl` and `stird`.
+//!
+//! One request per line, one response per request:
+//!
+//! ```text
+//! +rel(t1, t2, ...).     insert a fact        → `ok N inserted`
+//! ?rel(p1, p2, ...)      query a pattern      → TSV rows, then `ok N rows`
+//! .stats                 serving counters     → one `key=value` line
+//! .help                  command summary
+//! .quit                  close this session   → `bye`
+//! .stop                  shut the server down → `bye` (REPL: same as .quit)
+//! ```
+//!
+//! Insert terms are constants: numbers parse per the column's declared
+//! type and quoted strings are symbols (an unquoted word is also accepted
+//! as a symbol on a symbol-typed column, matching the `.facts` format).
+//! Query terms may additionally be `_` or a bare identifier, both meaning
+//! "free"; symbol constants in queries must be quoted so they cannot be
+//! mistaken for variables. Errors never kill the session — they come back
+//! as a single `err <reason>` line.
+//!
+//! The engine sits behind a [`std::sync::RwLock`]: inserts take the write
+//! lock, queries the read lock, so a TCP server gets serialized writes
+//! and concurrent reads for free and the REPL pays nothing (uncontended
+//! locks). The paper-adjacent crates vendor no dependencies, so this is
+//! the std stand-in for the `parking_lot` lock a production server would
+//! use.
+
+use std::io::Write;
+use std::sync::{PoisonError, RwLock};
+use stir_core::io::parse_field;
+use stir_core::{ResidentEngine, Telemetry, Value};
+use stir_frontend::ast::AttrType;
+
+/// What the session should do after a handled line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests.
+    Continue,
+    /// Close this session.
+    Quit,
+    /// Close this session and shut the whole server down.
+    Stop,
+}
+
+const HELP: &str = "\
+commands:
+  +rel(1, \"a\", ...).    insert a fact into an .input relation
+  ?rel(1, _, x)          query: constants bind, `_`/identifiers are free
+  .stats                 show serving counters
+  .help                  this summary
+  .quit                  close this session
+  .stop                  shut the server down";
+
+/// Handles one protocol line against a shared engine, writing the
+/// response to `out`.
+///
+/// # Errors
+///
+/// Only I/O errors writing the response propagate; protocol and
+/// evaluation errors are reported to the peer as `err` lines.
+pub fn handle_line(
+    engine: &RwLock<ResidentEngine>,
+    line: &str,
+    tel: Option<&Telemetry>,
+    out: &mut dyn Write,
+) -> std::io::Result<Control> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Control::Continue);
+    }
+    match line {
+        ".quit" | ".exit" => {
+            writeln!(out, "bye")?;
+            return Ok(Control::Quit);
+        }
+        ".stop" => {
+            writeln!(out, "bye")?;
+            return Ok(Control::Stop);
+        }
+        ".help" => {
+            writeln!(out, "{HELP}")?;
+            return Ok(Control::Continue);
+        }
+        ".stats" => {
+            let s = rd(engine).stats();
+            writeln!(
+                out,
+                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}",
+                s.requests, s.update_tuples, s.query_rows, s.strata_rerun, s.full_fallbacks
+            )?;
+            return Ok(Control::Continue);
+        }
+        _ => {}
+    }
+    match line.as_bytes()[0] {
+        b'+' => match insert(engine, &line[1..], tel) {
+            Ok(n) => writeln!(out, "ok {n} inserted")?,
+            Err(e) => writeln!(out, "err {e}")?,
+        },
+        b'?' => match query(engine, &line[1..], tel) {
+            Ok(rows) => {
+                for row in &rows {
+                    let rendered: Vec<String> = row.iter().map(ToString::to_string).collect();
+                    writeln!(out, "{}", rendered.join("\t"))?;
+                }
+                writeln!(out, "ok {} rows", rows.len())?;
+            }
+            Err(e) => writeln!(out, "err {e}")?,
+        },
+        _ => writeln!(out, "err unrecognized request (try .help)")?,
+    }
+    Ok(Control::Continue)
+}
+
+fn rd(engine: &RwLock<ResidentEngine>) -> std::sync::RwLockReadGuard<'_, ResidentEngine> {
+    engine.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn insert(
+    engine: &RwLock<ResidentEngine>,
+    atom: &str,
+    tel: Option<&Telemetry>,
+) -> Result<u64, String> {
+    let atom = atom.strip_suffix('.').unwrap_or(atom);
+    let (rel, terms) = parse_atom(atom)?;
+    let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
+    let types = attr_types(&engine, &rel, terms.len())?;
+    let mut row = Vec::with_capacity(terms.len());
+    for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
+        row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
+    }
+    engine
+        .insert_facts(&rel, &[row], tel)
+        .map(|r| r.inserted)
+        .map_err(|e| e.to_string())
+}
+
+fn query(
+    engine: &RwLock<ResidentEngine>,
+    atom: &str,
+    tel: Option<&Telemetry>,
+) -> Result<Vec<Vec<Value>>, String> {
+    let atom = atom.strip_suffix('.').unwrap_or(atom);
+    let (rel, terms) = parse_atom(atom)?;
+    let engine = rd(engine);
+    let types = attr_types(&engine, &rel, terms.len())?;
+    let mut pattern = Vec::with_capacity(terms.len());
+    for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
+        pattern.push(match term {
+            Term::Free => None,
+            // An unquoted identifier is a (named) free variable; only
+            // quoted strings and literals bind.
+            Term::Word(w) if w.starts_with(|c: char| c.is_ascii_alphabetic()) && is_ident(w) => {
+                None
+            }
+            _ => Some(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?),
+        });
+    }
+    engine.query(&rel, &pattern, tel).map_err(|e| e.to_string())
+}
+
+/// Looks the relation up and checks the term count, returning the
+/// declared column types (cloned so the engine lock can be reused).
+fn attr_types(engine: &ResidentEngine, rel: &str, n: usize) -> Result<Vec<AttrType>, String> {
+    let meta = engine
+        .ram()
+        .relation_by_name(rel)
+        .ok_or_else(|| format!("unknown relation `{rel}`"))?;
+    if meta.arity != n {
+        return Err(format!("`{rel}` has {} columns, got {n} terms", meta.arity));
+    }
+    Ok(meta.attr_types.clone())
+}
+
+/// One parsed protocol term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Term {
+    /// A quoted string: always a symbol constant.
+    Quoted(String),
+    /// An unquoted token: constant or (in queries) a free variable.
+    Word(String),
+    /// `_`.
+    Free,
+}
+
+fn constant(term: &Term, ty: AttrType) -> Result<Value, String> {
+    match term {
+        Term::Free => Err("`_` is not a constant".into()),
+        Term::Quoted(s) => {
+            if ty == AttrType::Symbol {
+                Ok(Value::Symbol(s.clone()))
+            } else {
+                Err(format!("quoted string on a {ty:?} column"))
+            }
+        }
+        Term::Word(w) => parse_field(w, ty),
+    }
+}
+
+/// Splits `rel(t1, t2, ...)` into the relation name and raw terms.
+/// `rel` and `rel()` both mean a nullary atom. In queries, an unquoted
+/// identifier term is a free variable.
+fn parse_atom(atom: &str) -> Result<(String, Vec<Term>), String> {
+    let atom = atom.trim();
+    let Some(open) = atom.find('(') else {
+        if atom.is_empty() || !is_ident(atom) {
+            return Err(format!("malformed atom `{atom}`"));
+        }
+        return Ok((atom.to_string(), Vec::new()));
+    };
+    let name = atom[..open].trim();
+    if name.is_empty() || !is_ident(name) {
+        return Err(format!("malformed relation name `{name}`"));
+    }
+    let Some(rest) = atom[open + 1..].trim_end().strip_suffix(')') else {
+        return Err("missing closing `)`".into());
+    };
+    let mut terms = Vec::new();
+    let mut chars = rest.chars();
+    let mut current = String::new();
+    let mut saw_quote = false;
+    let mut flush = |current: &mut String, saw_quote: &mut bool| -> Result<(), String> {
+        let tok = current.trim().to_string();
+        current.clear();
+        if std::mem::take(saw_quote) {
+            terms.push(Term::Quoted(tok));
+        } else if tok == "_" {
+            terms.push(Term::Free);
+        } else if tok.is_empty() {
+            return Err("empty term".into());
+        } else {
+            terms.push(Term::Word(tok));
+        }
+        Ok(())
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if saw_quote || !current.trim().is_empty() {
+                    return Err("stray `\"`".into());
+                }
+                saw_quote = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(q) => current.push(q),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+            }
+            ',' => flush(&mut current, &mut saw_quote)?,
+            _ => {
+                if saw_quote && !c.is_whitespace() {
+                    return Err("text after closing `\"`".into());
+                }
+                current.push(c);
+            }
+        }
+    }
+    if !current.trim().is_empty() || saw_quote {
+        flush(&mut current, &mut saw_quote)?;
+    } else if !terms.is_empty() {
+        return Err("trailing `,`".into());
+    }
+    Ok((name.to_string(), terms))
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Runs a full REPL-style session: reads protocol lines from `input`,
+/// writes responses to `output`, and returns how the session ended
+/// ([`Control::Quit`] at EOF).
+///
+/// # Errors
+///
+/// Propagates I/O errors on either stream.
+pub fn run_session(
+    engine: &RwLock<ResidentEngine>,
+    input: &mut dyn std::io::BufRead,
+    output: &mut dyn Write,
+    tel: Option<&Telemetry>,
+) -> std::io::Result<Control> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            return Ok(Control::Quit);
+        }
+        let control = handle_line(engine, &line, tel, output)?;
+        output.flush()?;
+        if control != Control::Continue {
+            return Ok(control);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_core::{InputData, InterpreterConfig};
+
+    const TC: &str = "\
+        .decl e(x: number, y: number)\n.input e\n\
+        .decl p(x: number, y: number)\n.output p\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, z) :- p(x, y), e(y, z).\n";
+
+    fn session(src: &str, script: &str) -> String {
+        let engine = RwLock::new(
+            ResidentEngine::from_source(
+                src,
+                InterpreterConfig::optimized(),
+                &InputData::new(),
+                None,
+            )
+            .expect("builds"),
+        );
+        let mut out = Vec::new();
+        let mut input = script.as_bytes();
+        run_session(&engine, &mut input, &mut out, None).expect("io");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn insert_then_query_round_trips() {
+        let out = session(
+            TC,
+            "+e(1, 2).\n+e(2, 3).\n?p(1, _)\n?p(_, _)\n+e(1, 2).\n.quit\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "ok 1 inserted");
+        assert_eq!(lines[1], "ok 1 inserted");
+        assert_eq!(lines[2], "1\t2");
+        assert_eq!(lines[3], "1\t3");
+        assert_eq!(lines[4], "ok 2 rows");
+        assert!(lines.contains(&"ok 3 rows"));
+        assert_eq!(lines[lines.len() - 2], "ok 0 inserted"); // duplicate
+        assert_eq!(lines[lines.len() - 1], "bye");
+    }
+
+    #[test]
+    fn named_variables_are_free() {
+        let out = session(TC, "+e(5, 6).\n?p(x, y)\n.quit\n");
+        assert!(out.contains("5\t6"));
+        assert!(out.contains("ok 1 rows"));
+    }
+
+    #[test]
+    fn errors_are_reported_inline_and_do_not_kill_the_session() {
+        let out = session(
+            TC,
+            "+ghost(1).\n+p(1, 2).\n+e(1).\n?e(\n nonsense\n?p(1, 2, 3)\n+e(1, 2).\n.quit\n",
+        );
+        let errs = out.lines().filter(|l| l.starts_with("err ")).count();
+        assert_eq!(errs, 6);
+        assert!(out.contains("err unknown relation `ghost`"));
+        assert!(out.contains("not declared `.input`"));
+        assert!(
+            out.contains("ok 1 inserted"),
+            "session continues after errors"
+        );
+    }
+
+    #[test]
+    fn symbols_need_quotes_in_queries() {
+        let src = "\
+            .decl n(s: symbol, k: number)\n.input n\n\
+            .decl out(s: symbol, k: number)\n.output out\n\
+            out(s, k) :- n(s, k).\n";
+        let out = session(
+            src,
+            "+n(\"ada\", 1).\n+n(\"grace\", 2).\n?out(\"ada\", _)\n?out(who, _)\n.quit\n",
+        );
+        assert!(out.contains("ada\t1"));
+        assert!(out.contains("ok 1 rows"));
+        assert!(out.contains("ok 2 rows"), "bare identifier means free");
+    }
+
+    #[test]
+    fn stats_help_and_stop() {
+        let out = session(TC, "+e(1, 2).\n.stats\n.help\n.stop\n");
+        assert!(out.contains("update_tuples=1"));
+        assert!(out.contains("commands:"));
+        assert!(out.trim_end().ends_with("bye"));
+    }
+
+    #[test]
+    fn nullary_atoms_parse_without_parens() {
+        let src = "\
+            .decl flag()\n.input flag\n\
+            .decl go()\n.output go\n\
+            go() :- flag().\n";
+        let out = session(src, "?go()\n+flag().\n?go\n.quit\n");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "ok 0 rows");
+        assert_eq!(lines[1], "ok 1 inserted");
+        assert_eq!(lines[2], "");
+        assert_eq!(lines[3], "ok 1 rows");
+    }
+}

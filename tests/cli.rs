@@ -277,3 +277,44 @@ fn missing_file_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn missing_fact_dir_fails_cleanly() {
+    let dir = setup("missing-fact-dir");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(dir.join("no-such-dir"))
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "missing -F dir must be an error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-dir"), "{stderr}");
+    assert!(
+        stderr.contains("does not exist or is not a directory"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn unreadable_fact_file_fails_cleanly() {
+    let dir = setup("unreadable-facts");
+    // Replace the fact *file* with a directory: reading it fails with a
+    // non-NotFound error even when the tests run as root (which ignores
+    // permission bits), unlike a chmod-000 file.
+    std::fs::remove_file(dir.join("edge.facts")).expect("remove");
+    std::fs::create_dir(dir.join("edge.facts")).expect("decoy dir");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .output()
+        .expect("runs");
+    assert!(
+        !out.status.success(),
+        "unreadable fact file must be an error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(stderr.contains("edge.facts"), "{stderr}");
+}

@@ -1,0 +1,320 @@
+//! End-to-end tests for the serving subsystem: the `stir repl` stdin
+//! session and the `stird` TCP server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn setup(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("stir-serve-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(
+        dir.join("tc.dl"),
+        ".decl edge(x: number, y: number)\n.input edge\n\
+         .decl path(x: number, y: number)\n.output path\n\
+         path(x, y) :- edge(x, y).\n\
+         path(x, z) :- path(x, y), edge(y, z).\n",
+    )
+    .expect("program written");
+    std::fs::write(dir.join("edge.facts"), "1\t2\n2\t3\n").expect("facts written");
+    dir
+}
+
+#[test]
+fn repl_session_script() {
+    let dir = setup("repl");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stir"))
+        .arg("repl")
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"?path(1, _)\n+edge(3, 4).\n?path(1, _)\n?path(_, 4)\n.stats\n.quit\n")
+        .expect("script written");
+    let out = child.wait_with_output().expect("waits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    // Initial fixpoint: path(1,2) path(1,3).
+    assert_eq!(lines[0], "1\t2");
+    assert_eq!(lines[1], "1\t3");
+    assert_eq!(lines[2], "ok 2 rows");
+    // After the incremental insert the chain extends to 4.
+    assert_eq!(lines[3], "ok 1 inserted");
+    assert!(lines.contains(&"1\t4"), "{stdout}");
+    assert!(lines.contains(&"ok 3 rows"), "{stdout}");
+    // path(_, 4) = (1,4) (2,4) (3,4); (1,4) also shows in the second
+    // ?path(1, _) response.
+    let all_to_4 = lines.iter().filter(|l| l.ends_with("\t4")).count();
+    assert_eq!(all_to_4, 4, "{stdout}");
+    assert!(
+        lines.contains(&"2\t4") && lines.contains(&"3\t4"),
+        "{stdout}"
+    );
+    let stats = lines
+        .iter()
+        .find(|l| l.starts_with("requests="))
+        .expect("stats line");
+    assert!(stats.contains("update_tuples=1"), "{stats}");
+    assert!(stats.contains("full_fallbacks=0"), "{stats}");
+    assert_eq!(*lines.last().expect("nonempty"), "bye");
+}
+
+#[test]
+fn repl_profile_json_covers_the_session() {
+    let dir = setup("repl-profile");
+    let json_path = dir.join("session.json");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stir"))
+        .arg("repl")
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("--profile-json")
+        .arg(&json_path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"+edge(3, 4).\n?path(1, _)\n.quit\n")
+        .expect("script written");
+    let out = child.wait_with_output().expect("waits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&json_path).expect("json written");
+    let json = stir::Json::parse(&text).expect("valid JSON");
+    let program = json
+        .get("root")
+        .and_then(|r| r.get("program"))
+        .expect("root.program");
+    // Serving spans sit alongside the batch phases.
+    let phase = program.get("phase").expect("phase section");
+    for name in ["evaluate", "serve:update", "serve:query"] {
+        assert!(
+            phase.get(name).and_then(stir::Json::as_u64).is_some(),
+            "phase {name} present"
+        );
+    }
+    // Serving counters are flushed into the metrics registry.
+    let counter = program.get("counter").expect("counter section");
+    for (name, expected) in [
+        ("server.requests", 2),
+        ("server.update_tuples", 1),
+        ("server.query_rows", 3),
+        ("server.full_fallbacks", 0),
+    ] {
+        assert_eq!(
+            counter.get(name).and_then(stir::Json::as_u64),
+            Some(expected),
+            "counter {name}"
+        );
+    }
+    assert!(
+        counter
+            .get("server.strata_rerun")
+            .and_then(stir::Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "incremental path taken"
+    );
+}
+
+struct Server {
+    child: Child,
+    port: u16,
+}
+
+impl Server {
+    fn start(dir: &std::path::Path, extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_stird"))
+            .arg(dir.join("tc.dl"))
+            .arg("-F")
+            .arg(dir)
+            .arg("--port")
+            .arg("0")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawns");
+        // The first stdout line announces the chosen port.
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("stird: listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"));
+        let port = addr
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.parse().ok())
+            .expect("port in banner");
+        Server { child, port }
+    }
+
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(("127.0.0.1", self.port)).expect("connects")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Sends one request line and reads the response through its
+/// `ok`/`err` terminator (queries stream rows first).
+fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Vec<String> {
+    stream.write_all(line.as_bytes()).expect("request written");
+    stream.write_all(b"\n").expect("newline written");
+    stream.flush().expect("flushes");
+    let mut lines = Vec::new();
+    loop {
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response line");
+        let response = response.trim_end().to_string();
+        let done = response.starts_with("ok ")
+            || response.starts_with("err ")
+            || response == "bye"
+            || response.starts_with("requests=");
+        lines.push(response);
+        if done {
+            return lines;
+        }
+    }
+}
+
+#[test]
+fn stird_serves_updates_and_concurrent_queries() {
+    let dir = setup("stird");
+    let server = Server::start(&dir, &[]);
+
+    // Writer connection: extend the graph.
+    let mut writer = server.connect();
+    let mut writer_rd = BufReader::new(writer.try_clone().expect("clone"));
+    let resp = request(&mut writer, &mut writer_rd, "+edge(3, 4).");
+    assert_eq!(resp, ["ok 1 inserted"]);
+
+    // Two concurrent query clients, each hammering the read path.
+    let results: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let server = &server;
+                s.spawn(move || {
+                    let mut conn = server.connect();
+                    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+                    let mut last = Vec::new();
+                    for _ in 0..50 {
+                        last = request(&mut conn, &mut rd, "?path(1, _)");
+                    }
+                    request(&mut conn, &mut rd, ".quit");
+                    last
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("joins"))
+            .collect()
+    });
+    for resp in &results {
+        // path(1,2) (1,3) (1,4) after the update.
+        assert_eq!(
+            resp.last().map(String::as_str),
+            Some("ok 3 rows"),
+            "{resp:?}"
+        );
+        assert_eq!(resp.len(), 4);
+    }
+
+    // A second write interleaved after reads, then stop the server.
+    let resp = request(&mut writer, &mut writer_rd, "+edge(4, 5).");
+    assert_eq!(resp, ["ok 1 inserted"]);
+    let resp = request(&mut writer, &mut writer_rd, "?path(1, _)");
+    assert_eq!(resp.last().map(String::as_str), Some("ok 4 rows"));
+    let resp = request(&mut writer, &mut writer_rd, ".stop");
+    assert_eq!(resp, ["bye"]);
+
+    let mut server = server;
+    let status = server.child.wait().expect("exits");
+    assert!(status.success(), "clean shutdown after .stop");
+}
+
+#[test]
+fn stird_writes_profile_json_on_stop() {
+    let dir = setup("stird-profile");
+    let json_path = dir.join("stird.json");
+    let server = Server::start(&dir, &["--profile-json", json_path.to_str().expect("utf8")]);
+
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    assert_eq!(
+        request(&mut conn, &mut rd, "+edge(3, 4)."),
+        ["ok 1 inserted"]
+    );
+    let resp = request(&mut conn, &mut rd, "?path(_, _)");
+    assert_eq!(resp.last().map(String::as_str), Some("ok 6 rows"));
+    assert_eq!(request(&mut conn, &mut rd, ".stop"), ["bye"]);
+
+    let mut server = server;
+    let status = server.child.wait().expect("exits");
+    assert!(status.success());
+    let mut stderr = String::new();
+    server
+        .child
+        .stderr
+        .take()
+        .expect("stderr")
+        .read_to_string(&mut stderr)
+        .expect("reads");
+    // `.stop` is session control, not an engine request: 2 requests.
+    assert!(stderr.contains("served 2 requests"), "{stderr}");
+
+    let text = std::fs::read_to_string(&json_path).expect("json written");
+    let json = stir::Json::parse(&text).expect("valid JSON");
+    let counter = json
+        .get("root")
+        .and_then(|r| r.get("program"))
+        .and_then(|p| p.get("counter"))
+        .expect("counter section");
+    assert_eq!(
+        counter.get("server.requests").and_then(stir::Json::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        counter
+            .get("server.update_tuples")
+            .and_then(stir::Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        counter
+            .get("server.query_rows")
+            .and_then(stir::Json::as_u64),
+        Some(6)
+    );
+}
