@@ -56,6 +56,21 @@ pub struct InterpreterConfig {
     /// §3). Only affects the dynamic (non-static-dispatch) paths; the
     /// legacy interpreter predates the buffer and runs without it.
     pub buffered_iterators: bool,
+    /// Worker threads for parallel fixpoint evaluation. Scans marked
+    /// `parallel` by translation are partitioned across this many workers;
+    /// `1` (the default) keeps evaluation on the calling thread,
+    /// bit-for-bit identical to the sequential interpreter.
+    pub jobs: usize,
+}
+
+/// The default worker count: `STIR_JOBS` when set to a positive integer,
+/// otherwise `1` (sequential evaluation).
+pub fn default_jobs() -> usize {
+    std::env::var("STIR_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl InterpreterConfig {
@@ -70,6 +85,7 @@ impl InterpreterConfig {
             trace: false,
             legacy_data: false,
             buffered_iterators: true,
+            jobs: default_jobs(),
         }
     }
 
@@ -94,6 +110,7 @@ impl InterpreterConfig {
             trace: false,
             legacy_data: false,
             buffered_iterators: true,
+            jobs: default_jobs(),
         }
     }
 
@@ -109,6 +126,7 @@ impl InterpreterConfig {
             trace: false,
             legacy_data: true,
             buffered_iterators: false,
+            jobs: default_jobs(),
         }
     }
 
@@ -122,6 +140,13 @@ impl InterpreterConfig {
     /// instantiation) on any configuration.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Sets the worker count for parallel fixpoint evaluation. Values
+    /// below `1` are clamped to `1`.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 }
@@ -149,5 +174,12 @@ mod tests {
         assert!(none.with_profile().profile);
         assert!(!none.trace);
         assert!(none.with_trace().trace);
+    }
+
+    #[test]
+    fn jobs_clamp_to_at_least_one() {
+        assert_eq!(InterpreterConfig::optimized().with_jobs(4).jobs, 4);
+        assert_eq!(InterpreterConfig::optimized().with_jobs(0).jobs, 1);
+        assert!(default_jobs() >= 1);
     }
 }

@@ -23,8 +23,10 @@ use crate::error::EvalError;
 use crate::functors::{eval_cmp, eval_intrinsic};
 use crate::itree::{Bounds, CopySpec, INode, ITree, Slot};
 use crate::profile::{ProfileReport, ProfileState};
+use crate::sink::InsertSink;
 use crate::static_set::{StaticAdapter, StaticSet};
 use crate::telemetry::{LogLevel, Telemetry};
+use std::cell::RefCell;
 use stir_der::adapter::EqRelIndex;
 use stir_der::iter::{BufferedTupleIter, TupleIter};
 use stir_der::tuple::MAX_ARITY;
@@ -300,25 +302,54 @@ fn insert_one<const N: usize, A: StaticAdapter<N>>(adapter: &mut A, tuple: &[u32
     adapter.insert_encoded(enc)
 }
 
-/// The tree interpreter.
-#[derive(Debug)]
-pub struct Interpreter<'p, 'd> {
+/// The immutable shared view of an evaluation: everything worker threads
+/// of a parallel scan may read concurrently. The program and interpreter
+/// tree are plain data, the database is `Sync` (relations and symbols sit
+/// behind `RwLock`s), and the configuration is `Copy` — so the view itself
+/// is `Copy` and crosses thread boundaries freely.
+#[derive(Debug, Clone, Copy)]
+struct EvalCx<'p, 'd> {
     ram: &'p RamProgram,
     db: &'d Database,
     config: InterpreterConfig,
+}
+
+/// The tree interpreter: the shared evaluation view plus one frame of
+/// mutable per-thread state (profiling counters, the optional insert
+/// sink). The coordinator's instance drives statements; parallel scans
+/// spawn additional worker instances over the same [`EvalCx`].
+#[derive(Debug)]
+pub struct Interpreter<'p, 'd> {
+    cx: EvalCx<'p, 'd>,
     prof: Option<ProfileState>,
     tel: Option<&'d Telemetry>,
+    /// `Some` on worker instances: projections are buffered here instead
+    /// of written to the database (see [`InsertSink`]).
+    sink: Option<RefCell<InsertSink>>,
 }
 
 impl<'p, 'd> Interpreter<'p, 'd> {
     /// Creates an interpreter over a database.
     pub fn new(ram: &'p RamProgram, db: &'d Database, config: InterpreterConfig) -> Self {
         Interpreter {
-            ram,
-            db,
-            config,
+            cx: EvalCx { ram, db, config },
             prof: None,
             tel: None,
+            sink: None,
+        }
+    }
+
+    /// Creates a worker frame over the shared view: a private profile
+    /// state (so the `Cell`-based counters never cross threads) and a
+    /// fresh insert sink. Workers only evaluate operations — statements,
+    /// spans, and frontier samples stay on the coordinator — so no
+    /// telemetry is attached.
+    fn worker(cx: EvalCx<'p, 'd>, with_prof: bool) -> Self {
+        Interpreter {
+            cx,
+            prof: with_prof.then(|| ProfileState::new(&[], cx.ram.relations.len())),
+            tel: None,
+            sink: Some(RefCell::new(InsertSink::new(cx.ram))),
         }
     }
 
@@ -336,13 +367,13 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     ///
     /// Propagates runtime errors (division by zero, ...).
     pub fn run(&mut self, tree: &ITree<'p>) -> Result<(), EvalError> {
-        if self.config.profile {
-            self.prof = Some(ProfileState::new(&tree.labels, self.ram.relations.len()));
+        if self.cx.config.profile {
+            self.prof = Some(ProfileState::new(&tree.labels, self.cx.ram.relations.len()));
         }
         // `PROF = true` selects the instrumented instantiation; tracing
         // rides on it so the common pair stays completely counter-free.
-        let prof = self.config.profile || self.config.trace;
-        let flow = match (self.config.outlined_handlers, prof) {
+        let prof = self.cx.config.profile || self.cx.config.trace;
+        let flow = match (self.cx.config.outlined_handlers, prof) {
             (false, false) => self.eval_stmt::<false, false>(&tree.root)?,
             (false, true) => self.eval_stmt::<false, true>(&tree.root)?,
             (true, false) => self.eval_stmt::<true, false>(&tree.root)?,
@@ -393,10 +424,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         node: &INode<'p>,
     ) -> Result<Flow, EvalError> {
         self.tick::<PROF>();
-        if PROF && self.config.trace {
+        if PROF && self.cx.config.trace {
             if let Some(tel) = self.tel {
                 if tel.tracer.enabled() {
-                    if let Some(name) = Self::span_name(self.ram, node) {
+                    if let Some(name) = Self::span_name(self.cx.ram, node) {
                         let _guard = tel.tracer.span(&name);
                         return self.eval_stmt_inner::<OUT, PROF>(node);
                     }
@@ -430,15 +461,16 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     #[cold]
     fn sample_frontier(&self, loop_id: usize, iteration: u64) {
         let deltas: Vec<(usize, u64)> = self
+            .cx
             .ram
             .deltas()
-            .map(|r| (r.id.0, self.db.rd(r.id).len() as u64))
+            .map(|r| (r.id.0, self.cx.db.rd(r.id).len() as u64))
             .collect();
         if let Some(tel) = self.tel {
             if tel.logger.enabled(LogLevel::Info) {
                 let parts: Vec<String> = deltas
                     .iter()
-                    .map(|&(rel, n)| format!("{}={n}", self.ram.relations[rel].name))
+                    .map(|&(rel, n)| format!("{}={n}", self.cx.ram.relations[rel].name))
                     .collect();
                 tel.logger.log(
                     LogLevel::Info,
@@ -504,17 +536,17 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 Ok(Flow::Ok)
             }
             INode::Clear(rel) => {
-                self.db.wr(*rel).clear();
+                self.cx.db.wr(*rel).clear();
                 Ok(Flow::Ok)
             }
             INode::Merge { into, from } => {
-                let from = self.db.rd(*from);
-                self.db.wr(*into).merge_from(&from);
+                let from = self.cx.db.rd(*from);
+                self.cx.db.wr(*into).merge_from(&from);
                 Ok(Flow::Ok)
             }
             INode::Swap(a, b) => {
-                let mut ra = self.db.wr(*a);
-                let mut rb = self.db.wr(*b);
+                let mut ra = self.cx.db.wr(*a);
+                let mut rb = self.cx.db.wr(*b);
                 ra.swap_data(&mut rb);
                 Ok(Flow::Ok)
             }
@@ -549,9 +581,15 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 index,
                 dst,
                 copy,
+                parallel,
                 body,
             } => {
                 self.tick_prof::<PROF>(|p| p.count_scan(rel.0));
+                if self.go_parallel(*parallel, dst) {
+                    return self.parallel_scan::<OUT, PROF>(
+                        *rel, *index, dst, copy, false, None, body, regs,
+                    );
+                }
                 if OUT {
                     outline(|| self.scan_static::<OUT, PROF>(*rel, *index, dst, copy, body, regs))
                 } else {
@@ -564,9 +602,15 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 dst,
                 copy,
                 buffered,
+                parallel,
                 body,
             } => {
                 self.tick_prof::<PROF>(|p| p.count_scan(rel.0));
+                if self.go_parallel(*parallel, dst) {
+                    return self.parallel_scan::<OUT, PROF>(
+                        *rel, *index, dst, copy, *buffered, None, body, regs,
+                    );
+                }
                 if OUT {
                     outline(|| {
                         self.scan_dynamic::<OUT, PROF>(
@@ -583,9 +627,22 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 dst,
                 copy,
                 bounds,
+                parallel,
                 body,
             } => {
                 self.tick_prof::<PROF>(|p| p.count_range(rel.0));
+                if self.go_parallel(*parallel, dst) {
+                    return self.parallel_scan::<OUT, PROF>(
+                        *rel,
+                        *index,
+                        dst,
+                        copy,
+                        false,
+                        Some(bounds),
+                        body,
+                        regs,
+                    );
+                }
                 if OUT {
                     outline(|| {
                         self.index_scan_static::<OUT, PROF>(
@@ -603,9 +660,22 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 copy,
                 buffered,
                 bounds,
+                parallel,
                 body,
             } => {
                 self.tick_prof::<PROF>(|p| p.count_range(rel.0));
+                if self.go_parallel(*parallel, dst) {
+                    return self.parallel_scan::<OUT, PROF>(
+                        *rel,
+                        *index,
+                        dst,
+                        copy,
+                        *buffered,
+                        Some(bounds),
+                        body,
+                        regs,
+                    );
+                }
                 if OUT {
                     outline(|| {
                         self.index_scan_dynamic::<OUT, PROF>(
@@ -708,8 +778,8 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         body: &INode<'p>,
         regs: &mut [u32],
     ) -> Result<(), EvalError> {
-        let meta = &self.ram.relations[rel.0];
-        let r = self.db.rd(rel);
+        let meta = &self.cx.ram.relations[rel.0];
+        let r = self.cx.db.rd(rel);
         if meta.repr == ReprKind::EqRel {
             let eq = r
                 .index(index)
@@ -792,8 +862,8 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         let mut lo = [0u32; MAX_ARITY];
         let mut hi = [u32::MAX; MAX_ARITY];
         self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
-        let meta = &self.ram.relations[rel.0];
-        let r = self.db.rd(rel);
+        let meta = &self.cx.ram.relations[rel.0];
+        let r = self.cx.db.rd(rel);
         if meta.repr == ReprKind::EqRel {
             let eq = r
                 .index(index)
@@ -866,7 +936,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         body: &INode<'p>,
         regs: &mut [u32],
     ) -> Result<(), EvalError> {
-        let r = self.db.rd(rel);
+        let r = self.cx.db.rd(rel);
         let mut it: Box<dyn TupleIter + '_> = if buffered {
             Box::new(BufferedTupleIter::new(r.index(index).scan()))
         } else {
@@ -896,6 +966,116 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         Ok(())
     }
 
+    /// Whether a scan marked `parallel` should actually fan out: only with
+    /// more than one configured job, never from inside a worker (the
+    /// outermost scan of a rule is the one marked, but incremental-update
+    /// statements can re-enter), and never for nullary relations (there is
+    /// nothing to partition).
+    #[inline]
+    fn go_parallel(&self, parallel: bool, dst: &Slot) -> bool {
+        parallel && self.cx.config.jobs > 1 && self.sink.is_none() && dst.arity > 0
+    }
+
+    /// Evaluates a scan marked parallel by partitioning its source index
+    /// across the configured number of worker threads.
+    ///
+    /// The coordinator resolves the search bounds once, takes a read guard
+    /// on the scanned relation, and splits the index into disjoint
+    /// sub-ranges via [`stir_der::IndexAdapter::partition_range`]. Each
+    /// worker owns a fresh frame — a cloned register arena, a private
+    /// profile state, and an [`InsertSink`] absorbing every projection —
+    /// and drives its partition through the ordinary dynamic iterator
+    /// loop, so the rule body runs unchanged (including statically
+    /// dispatched inner scans and probes). After the join the coordinator
+    /// folds worker counters into the main profile and merges the sinks
+    /// into the real relations, counting fresh inserts exactly as
+    /// sequential evaluation would.
+    ///
+    /// Semi-naive translation guarantees a query never reads the relation
+    /// it projects into, so deferring inserts to the end of the scan is
+    /// invisible to the rule itself, and deduplicating at merge time makes
+    /// results and profiles independent of the job count. If a worker
+    /// fails, the first error in partition order wins and no partial
+    /// results are merged.
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_scan<const OUT: bool, const PROF: bool>(
+        &self,
+        rel: RelId,
+        index: usize,
+        dst: &Slot,
+        copy: &CopySpec,
+        buffered: bool,
+        bounds: Option<&Bounds<'p>>,
+        body: &INode<'p>,
+        regs: &mut [u32],
+    ) -> Result<(), EvalError> {
+        let mut lo = [0u32; MAX_ARITY];
+        let mut hi = [u32::MAX; MAX_ARITY];
+        if let Some(b) = bounds {
+            self.fill_bounds::<OUT, PROF>(b, regs, &mut lo, &mut hi)?;
+        }
+        let cx = self.cx;
+        let with_prof = self.prof.is_some();
+        let outcomes: Vec<Result<(Option<ProfileState>, InsertSink), EvalError>> = {
+            let r = cx.db.rd(rel);
+            let idx = r.index(index);
+            let parts = match bounds {
+                Some(b) => idx.partition_range(&lo[..b.arity], &hi[..b.arity], cx.config.jobs),
+                None => idx.partition_scan(cx.config.jobs),
+            };
+            let seed: Vec<u32> = regs.to_vec();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let seed = seed.clone();
+                        s.spawn(move || {
+                            let worker = Interpreter::worker(cx, with_prof);
+                            let mut regs = seed;
+                            let mut part: Box<dyn TupleIter + '_> = part;
+                            let res = if buffered {
+                                let mut it = BufferedTupleIter::new(part);
+                                worker
+                                    .drive_dynamic::<OUT, PROF>(&mut it, dst, copy, body, &mut regs)
+                            } else {
+                                worker.drive_dynamic::<OUT, PROF>(
+                                    &mut *part, dst, copy, body, &mut regs,
+                                )
+                            };
+                            res.map(|()| {
+                                let sink = worker.sink.expect("worker has a sink").into_inner();
+                                (worker.prof, sink)
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        };
+        let mut sinks = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            let (wprof, sink) = outcome?;
+            if let (Some(p), Some(wp)) = (&self.prof, &wprof) {
+                p.absorb(wp);
+            }
+            sinks.push(sink);
+        }
+        for sink in sinks {
+            for (target, buffer) in sink.into_buffers() {
+                let mut t = cx.db.wr(target);
+                for tuple in buffer.tuples() {
+                    if t.insert(tuple) {
+                        self.tick_prof::<PROF>(|p| p.count_insert(target.0));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
     fn index_scan_dynamic<const OUT: bool, const PROF: bool>(
@@ -913,7 +1093,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         let mut hi = [u32::MAX; MAX_ARITY];
         self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
         let n = bounds.arity;
-        let r = self.db.rd(rel);
+        let r = self.cx.db.rd(rel);
         let mut it: Box<dyn TupleIter + '_> = if buffered {
             Box::new(BufferedTupleIter::new(
                 r.index(index).range(&lo[..n], &hi[..n]),
@@ -942,16 +1122,16 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         let mut lo = [0u32; MAX_ARITY];
         let mut hi = [u32::MAX; MAX_ARITY];
         self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
-        let meta = &self.ram.relations[rel.0];
+        let meta = &self.cx.ram.relations[rel.0];
         let mut acc = AggAcc::new(func);
 
         if meta.arity == 0 {
             // Aggregating a nullary relation: one empty match if present.
-            if !self.db.rd(rel).is_empty() {
+            if !self.cx.db.rd(rel).is_empty() {
                 acc.add(0);
             }
         } else {
-            let r = self.db.rd(rel);
+            let r = self.cx.db.rd(rel);
             let n = meta.arity;
             if static_dispatch && meta.repr != ReprKind::EqRel {
                 with_static_set!(
@@ -1018,10 +1198,16 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         Ok(())
     }
 
-    /// Inserts one source-order tuple into all indexes of a relation.
+    /// Inserts one source-order tuple into all indexes of a relation —
+    /// or, on a worker frame, buffers it in the insert sink for the
+    /// coordinator to merge after the join.
     fn insert<const PROF: bool>(&self, rel: RelId, static_dispatch: bool, tuple: &[u32]) {
-        let meta = &self.ram.relations[rel.0];
-        let mut r = self.db.wr(rel);
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().push(rel, tuple);
+            return;
+        }
+        let meta = &self.cx.ram.relations[rel.0];
+        let mut r = self.cx.db.wr(rel);
         let inserted = if !static_dispatch || meta.arity == 0 || meta.repr == ReprKind::EqRel {
             r.insert(tuple)
         } else {
@@ -1064,14 +1250,14 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 let b = self.eval_expr::<OUT, PROF>(rhs, regs)?;
                 Ok(eval_cmp(*kind, a, b))
             }
-            INode::Empty(rel) => Ok(self.db.rd(*rel).is_empty()),
+            INode::Empty(rel) => Ok(self.cx.db.rd(*rel).is_empty()),
             INode::ExistsStatic { rel, index, bounds } => {
                 self.tick_prof::<PROF>(|p| p.count_exists(rel.0));
                 let mut lo = [0u32; MAX_ARITY];
                 let mut hi = [u32::MAX; MAX_ARITY];
                 self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
-                let meta = &self.ram.relations[rel.0];
-                let r = self.db.rd(*rel);
+                let meta = &self.cx.ram.relations[rel.0];
+                let r = self.cx.db.rd(*rel);
                 if meta.arity == 0 {
                     return Ok(!r.is_empty());
                 }
@@ -1118,8 +1304,8 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 let mut lo = [0u32; MAX_ARITY];
                 let mut hi = [u32::MAX; MAX_ARITY];
                 self.fill_bounds::<OUT, PROF>(bounds, regs, &mut lo, &mut hi)?;
-                let meta = &self.ram.relations[rel.0];
-                let r = self.db.rd(*rel);
+                let meta = &self.cx.ram.relations[rel.0];
+                let r = self.cx.db.rd(*rel);
                 if meta.arity == 0 {
                     return Ok(!r.is_empty());
                 }
@@ -1194,6 +1380,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             INode::Constant(k) => Ok(*k),
             INode::TupleElement { ofs } => Ok(regs[*ofs]),
             INode::AutoInc => Ok(self
+                .cx
                 .db
                 .counter
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed)),
@@ -1202,7 +1389,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 for (i, a) in args.iter().enumerate() {
                     vals[i] = self.eval_expr::<OUT, PROF>(a, regs)?;
                 }
-                eval_intrinsic(*op, &vals[..args.len()], &self.db.symbols)
+                eval_intrinsic(*op, &vals[..args.len()], &self.cx.db.symbols)
             }
             other => unreachable!("not an expression node: {other:?}"),
         }

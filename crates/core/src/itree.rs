@@ -133,6 +133,8 @@ pub enum INode<'p> {
         dst: Slot,
         /// How it lands.
         copy: CopySpec,
+        /// Whether the scan may be partitioned across workers.
+        parallel: bool,
         /// Loop body.
         body: Box<INode<'p>>,
     },
@@ -148,6 +150,8 @@ pub enum INode<'p> {
         copy: CopySpec,
         /// Whether the 128-tuple buffer amortizes the virtual calls.
         buffered: bool,
+        /// Whether the scan may be partitioned across workers.
+        parallel: bool,
         /// Loop body.
         body: Box<INode<'p>>,
     },
@@ -163,6 +167,8 @@ pub enum INode<'p> {
         copy: CopySpec,
         /// The search bounds.
         bounds: Bounds<'p>,
+        /// Whether the scan may be partitioned across workers.
+        parallel: bool,
         /// Loop body.
         body: Box<INode<'p>>,
     },
@@ -180,6 +186,8 @@ pub enum INode<'p> {
         buffered: bool,
         /// The search bounds.
         bounds: Bounds<'p>,
+        /// Whether the scan may be partitioned across workers.
+        parallel: bool,
         /// Loop body.
         body: Box<INode<'p>>,
     },
@@ -490,7 +498,12 @@ impl<'p> Builder<'p> {
 
     fn op(&mut self, o: &'p RamOp) -> INode<'p> {
         match o {
-            RamOp::Scan { rel, level, body } => {
+            RamOp::Scan {
+                rel,
+                level,
+                parallel,
+                body,
+            } => {
                 let ord = self.emission_order(*rel, 0, false);
                 let copy = self.level_plumbing(*level, &ord);
                 let dst = Slot {
@@ -504,6 +517,7 @@ impl<'p> Builder<'p> {
                         index: 0,
                         dst,
                         copy,
+                        parallel: *parallel,
                         body,
                     }
                 } else {
@@ -513,6 +527,7 @@ impl<'p> Builder<'p> {
                         dst,
                         copy,
                         buffered: self.config.buffered_iterators,
+                        parallel: *parallel,
                         body,
                     }
                 }
@@ -523,6 +538,7 @@ impl<'p> Builder<'p> {
                 level,
                 pattern,
                 eqrel_swap,
+                parallel,
                 body,
             } => {
                 let storage = self.storage_order(*rel, *index);
@@ -541,6 +557,7 @@ impl<'p> Builder<'p> {
                         dst,
                         copy,
                         bounds,
+                        parallel: *parallel,
                         body,
                     }
                 } else {
@@ -551,6 +568,7 @@ impl<'p> Builder<'p> {
                         copy,
                         buffered: self.config.buffered_iterators,
                         bounds,
+                        parallel: *parallel,
                         body,
                     }
                 }

@@ -47,6 +47,7 @@ pub mod itree;
 pub mod json;
 pub mod profile;
 pub mod resident;
+pub mod sink;
 pub mod static_set;
 pub mod telemetry;
 pub mod value;

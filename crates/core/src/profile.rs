@@ -160,6 +160,33 @@ impl ProfileState {
         c.set(c.get() + 1);
     }
 
+    /// Folds another state's counters into this one. Worker threads of a
+    /// parallel scan each accumulate into a private `ProfileState` (the
+    /// `Cell`-based counters are not `Sync`); the coordinator absorbs them
+    /// after the join, so totals are independent of the worker count.
+    /// Only the flat counters are merged — per-query timings and frontier
+    /// samples belong to the coordinator, and workers never record them.
+    pub fn absorb(&self, other: &ProfileState) {
+        self.dispatches
+            .set(self.dispatches.get() + other.dispatches.get());
+        self.iterations
+            .set(self.iterations.get() + other.iterations.get());
+        self.super_hits
+            .set(self.super_hits.get() + other.super_hits.get());
+        self.total_inserts
+            .set(self.total_inserts.get() + other.total_inserts.get());
+        self.current_inserts
+            .set(self.current_inserts.get() + other.current_inserts.get());
+        for (mine, theirs) in self.rel_ops.iter().zip(&other.rel_ops) {
+            mine.inserts.set(mine.inserts.get() + theirs.inserts.get());
+            mine.exists_checks
+                .set(mine.exists_checks.get() + theirs.exists_checks.get());
+            mine.range_queries
+                .set(mine.range_queries.get() + theirs.range_queries.get());
+            mine.scans.set(mine.scans.get() + theirs.scans.get());
+        }
+    }
+
     /// Records the delta sizes at the end of one fixpoint iteration.
     pub fn record_frontier(&self, loop_id: usize, iteration: u64, deltas: Vec<(usize, u64)>) {
         self.frontier.borrow_mut().push(FrontierSample {
@@ -261,6 +288,34 @@ mod tests {
         assert_eq!(r.total_inserts, 2);
         assert_eq!(r.relations[1].inserts, 2);
         assert_eq!(r.relations[0].inserts, 0);
+    }
+
+    #[test]
+    fn absorb_merges_flat_counters() {
+        let main = ProfileState::new(&["q".into()], 2);
+        let t = main.begin_query();
+        main.count_dispatch();
+
+        let worker = ProfileState::new(&[], 2);
+        worker.count_dispatch();
+        worker.count_iterations(7);
+        worker.count_super();
+        worker.count_exists(0);
+        worker.count_scan(1);
+        worker.count_insert(1);
+
+        main.absorb(&worker);
+        main.end_query(0, t);
+        let r = main.report();
+        assert_eq!(r.dispatches, 2);
+        assert_eq!(r.iterations, 7);
+        assert_eq!(r.super_hits, 1);
+        assert_eq!(r.total_inserts, 1);
+        assert_eq!(r.relations[0].exists_checks, 1);
+        assert_eq!(r.relations[1].scans, 1);
+        assert_eq!(r.relations[1].inserts, 1);
+        // Absorbed inserts land in the query running at absorb time.
+        assert_eq!(r.queries[0].tuples, 1);
     }
 
     #[test]

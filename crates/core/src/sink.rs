@@ -1,0 +1,84 @@
+//! Per-worker insert sinks for parallel scans.
+//!
+//! A worker evaluating one partition of a parallel scan must not write
+//! into the database: the projection target's lock is shared with every
+//! other worker, and the partitioned design exists precisely so workers
+//! never contend. Instead each worker owns an `InsertSink` — one lazily
+//! created [`InsertBuffer`] per relation — that absorbs every projection
+//! lock-free. The coordinator merges the buffers into the real relations
+//! after the join; deduplication happens there, against the fully merged
+//! relation, so fresh-insert counts come out identical to sequential
+//! evaluation regardless of how tuples were split across workers.
+
+use stir_der::InsertBuffer;
+use stir_ram::program::{RamProgram, RelId};
+
+/// One worker's buffered inserts, indexed by relation.
+#[derive(Debug)]
+pub struct InsertSink {
+    /// Relation arities, so buffers can be created on first use.
+    arities: Vec<usize>,
+    buffers: Vec<Option<InsertBuffer>>,
+}
+
+impl InsertSink {
+    /// Creates an empty sink with one (lazy) slot per relation of `ram`.
+    pub fn new(ram: &RamProgram) -> Self {
+        InsertSink {
+            arities: ram.relations.iter().map(|r| r.arity).collect(),
+            buffers: (0..ram.relations.len()).map(|_| None).collect(),
+        }
+    }
+
+    /// Buffers one source-order tuple destined for `rel`.
+    pub fn push(&mut self, rel: RelId, tuple: &[u32]) {
+        let arity = self.arities[rel.0];
+        self.buffers[rel.0]
+            .get_or_insert_with(|| InsertBuffer::new(arity))
+            .push(tuple);
+    }
+
+    /// Drains the sink into `(relation, buffer)` pairs that received
+    /// at least one tuple.
+    pub fn into_buffers(self) -> impl Iterator<Item = (RelId, InsertBuffer)> {
+        self.buffers
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.map(|b| (RelId(i), b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stir_frontend::parse_and_check;
+    use stir_ram::translate::translate;
+
+    #[test]
+    fn buffers_per_relation_and_drains_nonempty_ones() {
+        let ram = translate(
+            &parse_and_check(".decl a(x: number)\n.decl b(x: number, y: number)\na(1).\nb(1, 2).")
+                .expect("checks"),
+        )
+        .expect("translates");
+        let a = ram.relation_by_name("a").unwrap().id;
+        let b = ram.relation_by_name("b").unwrap().id;
+
+        let mut sink = InsertSink::new(&ram);
+        sink.push(a, &[7]);
+        sink.push(a, &[7]);
+        sink.push(b, &[3, 4]);
+
+        let drained: Vec<(RelId, Vec<Vec<u32>>)> = sink
+            .into_buffers()
+            .map(|(rel, buf)| (rel, buf.tuples().map(<[u32]>::to_vec).collect()))
+            .collect();
+        let a_tuples = &drained.iter().find(|(r, _)| *r == a).unwrap().1;
+        // The sink does not deduplicate — that happens at merge time.
+        assert_eq!(a_tuples, &vec![vec![7], vec![7]]);
+        let b_tuples = &drained.iter().find(|(r, _)| *r == b).unwrap().1;
+        assert_eq!(b_tuples, &vec![vec![3, 4]]);
+        // Only relations that received tuples are drained.
+        assert_eq!(drained.len(), 2);
+    }
+}

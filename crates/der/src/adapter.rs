@@ -88,11 +88,68 @@ pub trait IndexAdapter: Debug + Send + Sync {
     /// tuples.
     fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_>;
 
+    /// Splits the full scan into at most `n` disjoint iterators whose
+    /// in-order concatenation equals [`scan`](Self::scan) — the
+    /// parallel-evaluation primitive. Iterators are `Send` so worker
+    /// threads can consume them.
+    ///
+    /// The default materializes the scan and chunks it; tree-backed
+    /// adapters override it with structural (zero-copy) partitions.
+    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        chunk_materialized(self.scan(), self.arity(), n)
+    }
+
+    /// Splits an inclusive range scan into at most `n` disjoint iterators
+    /// whose in-order concatenation equals [`range`](Self::range). Bounds
+    /// follow the same convention as `range` for this adapter.
+    fn partition_range(
+        &self,
+        lo: &[RamDomain],
+        hi: &[RamDomain],
+        n: usize,
+    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        chunk_materialized(self.range(lo, hi), self.arity(), n)
+    }
+
     /// Downcast support for the static instruction paths.
     fn as_any(&self) -> &dyn Any;
 
     /// Mutable downcast support.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Drains `it` and slices the materialized tuples into at most `n`
+/// near-equal chunks — the fallback partitioning for adapters without a
+/// structural split (e.g. the comparator-based legacy index).
+fn chunk_materialized(
+    mut it: Box<dyn TupleIter + '_>,
+    arity: usize,
+    n: usize,
+) -> Vec<Box<dyn TupleIter + Send + 'static>> {
+    let mut data = Vec::new();
+    it.fill(&mut data, usize::MAX);
+    let total = data.len() / arity.max(1);
+    let n = n.max(1);
+    if total == 0 {
+        return vec![Box::new(VecTupleIter::new(Vec::new(), arity))];
+    }
+    let per = total.div_ceil(n);
+    data.chunks(per * arity)
+        .map(|c| Box::new(VecTupleIter::new(c.to_vec(), arity)) as Box<dyn TupleIter + Send>)
+        .collect()
+}
+
+/// Slices materialized pairs into at most `n` near-equal chunks.
+fn chunk_pairs(pairs: Vec<[RamDomain; 2]>, n: usize) -> Vec<Box<dyn TupleIter + Send + 'static>> {
+    let n = n.max(1);
+    if pairs.is_empty() {
+        return vec![Box::new(VecTupleIter::from_tuples(Vec::new()))];
+    }
+    let per = pairs.len().div_ceil(n);
+    pairs
+        .chunks(per)
+        .map(|c| Box::new(VecTupleIter::from_tuples(c.to_vec())) as Box<dyn TupleIter + Send>)
+        .collect()
 }
 
 /// A B-tree index: [`BTreeIndexSet`] plus an insertion-time reordering.
@@ -191,6 +248,29 @@ impl<const N: usize> IndexAdapter for BTreeIndex<N> {
         let lo: Tuple<N> = tuple_from_slice(lo);
         let hi: Tuple<N> = tuple_from_slice(hi);
         Box::new(AdaptedIter::<_, N>::new(self.set.range(&lo, &hi).copied()))
+    }
+
+    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        self.set
+            .partition(n)
+            .into_iter()
+            .map(|p| Box::new(AdaptedIter::<_, N>::new(p.copied())) as Box<dyn TupleIter + Send>)
+            .collect()
+    }
+
+    fn partition_range(
+        &self,
+        lo: &[RamDomain],
+        hi: &[RamDomain],
+        n: usize,
+    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        let lo: Tuple<N> = tuple_from_slice(lo);
+        let hi: Tuple<N> = tuple_from_slice(hi);
+        self.set
+            .partition_range(&lo, &hi, n)
+            .into_iter()
+            .map(|p| Box::new(AdaptedIter::<_, N>::new(p.copied())) as Box<dyn TupleIter + Send>)
+            .collect()
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -298,6 +378,29 @@ impl<const N: usize> IndexAdapter for BrieIndex<N> {
         Box::new(AdaptedIter::<_, N>::new(self.set.range(&lo, &hi)))
     }
 
+    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        self.set
+            .partition(n)
+            .into_iter()
+            .map(|p| Box::new(AdaptedIter::<_, N>::new(p)) as Box<dyn TupleIter + Send>)
+            .collect()
+    }
+
+    fn partition_range(
+        &self,
+        lo: &[RamDomain],
+        hi: &[RamDomain],
+        n: usize,
+    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        let lo: Tuple<N> = tuple_from_slice(lo);
+        let hi: Tuple<N> = tuple_from_slice(hi);
+        self.set
+            .partition_range(&lo, &hi, n)
+            .into_iter()
+            .map(|p| Box::new(AdaptedIter::<_, N>::new(p)) as Box<dyn TupleIter + Send>)
+            .collect()
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -390,6 +493,19 @@ impl IndexAdapter for EqRelIndex {
         Box::new(VecTupleIter::from_tuples(
             self.rel.range_pairs([lo[0], lo[1]], [hi[0], hi[1]]),
         ))
+    }
+
+    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        chunk_pairs(self.rel.iter_pairs(), n)
+    }
+
+    fn partition_range(
+        &self,
+        lo: &[RamDomain],
+        hi: &[RamDomain],
+        n: usize,
+    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
+        chunk_pairs(self.rel.range_pairs([lo[0], lo[1]], [hi[0], hi[1]]), n)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -486,6 +602,56 @@ mod tests {
         assert_eq!(s.tuples, 8); // two classes of 2 => 2 * 2^2 pairs
         assert_eq!(s.nodes, 2); // two equivalence classes
         assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn partitioned_scans_concatenate_to_sequential() {
+        let order = Order::new(vec![1, 0]);
+        let mut bt = BTreeIndex::<2>::new(order.clone());
+        let mut br = BrieIndex::<2>::new(order);
+        let mut eq = EqRelIndex::new();
+        let mut seed = 3u32;
+        for _ in 0..800 {
+            seed = seed.wrapping_mul(48271) % 0x7fff_ffff;
+            let t = [seed % 41, seed % 23];
+            bt.insert(&t);
+            br.insert(&t);
+            eq.insert(&[seed % 19, seed % 13]);
+        }
+        for idx in [
+            &bt as &dyn IndexAdapter,
+            &br as &dyn IndexAdapter,
+            &eq as &dyn IndexAdapter,
+        ] {
+            let expected = idx.scan().collect_tuples();
+            for n in [1usize, 2, 4, 7] {
+                let mut joined = Vec::new();
+                for mut p in idx.partition_scan(n) {
+                    joined.extend(p.collect_tuples());
+                }
+                assert_eq!(joined, expected, "scan, n = {n}");
+            }
+            let (lo, hi) = ([3u32, 0], [17u32, u32::MAX]);
+            let expected = idx.range(&lo, &hi).collect_tuples();
+            for n in [1usize, 3, 4] {
+                let mut joined = Vec::new();
+                for mut p in idx.partition_range(&lo, &hi, n) {
+                    joined.extend(p.collect_tuples());
+                }
+                assert_eq!(joined, expected, "range, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_adapters_partition_to_empty() {
+        let bt = BTreeIndex::<2>::new(Order::natural(2));
+        let total: usize = bt
+            .partition_scan(4)
+            .into_iter()
+            .map(|mut p| p.count_tuples())
+            .sum();
+        assert_eq!(total, 0);
     }
 
     #[test]

@@ -181,6 +181,61 @@ impl<const N: usize> Brie<N> {
         }
         iter
     }
+
+    /// Splits the inclusive window `[lo, hi]` into at most `n` disjoint
+    /// sub-iterators that together yield exactly `range(lo, hi)`.
+    ///
+    /// Split points are drawn from the root level's edge values, so
+    /// partitions fall on first-column boundaries: partition `j` covers
+    /// `[(s_j, 0, ..), (s_{j+1}-1, MAX, ..)]`. Concatenating the parts in
+    /// order reproduces the sequential range scan.
+    pub fn partition_range(&self, lo: &Tuple<N>, hi: &Tuple<N>, n: usize) -> Vec<BrieIter<'_, N>> {
+        if n <= 1 || self.len == 0 || cmp_tuples(lo, hi) == Ordering::Greater {
+            return vec![self.range(lo, hi)];
+        }
+        // Candidate splits: first-column values strictly inside the
+        // window (a split equal to `lo[0]` would empty the first part).
+        let cands: Vec<RamDomain> = match &self.root {
+            TrieNode::Inner(edges) => edges
+                .iter()
+                .map(|(v, _)| *v)
+                .filter(|v| *v > lo[0] && *v <= hi[0])
+                .collect(),
+            TrieNode::Leaf(values) => values
+                .iter()
+                .copied()
+                .filter(|v| *v > lo[0] && *v <= hi[0])
+                .collect(),
+        };
+        if cands.is_empty() {
+            return vec![self.range(lo, hi)];
+        }
+        let k = (n - 1).min(cands.len());
+        let splits: Vec<RamDomain> = if cands.len() == k {
+            cands
+        } else {
+            (0..k)
+                .map(|j| cands[(j + 1) * cands.len() / (k + 1)])
+                .collect()
+        };
+        let mut parts = Vec::with_capacity(splits.len() + 1);
+        let mut start = *lo;
+        for &s in &splits {
+            let mut end = [RamDomain::MAX; N];
+            end[0] = s - 1;
+            parts.push(self.range(&start, &end));
+            start = [0; N];
+            start[0] = s;
+        }
+        parts.push(self.range(&start, hi));
+        parts
+    }
+
+    /// Splits the full scan into at most `n` disjoint sub-iterators (see
+    /// [`Brie::partition_range`]).
+    pub fn partition(&self, n: usize) -> Vec<BrieIter<'_, N>> {
+        self.partition_range(&[0; N], &[RamDomain::MAX; N], n)
+    }
 }
 
 impl<const N: usize> Default for Brie<N> {
@@ -383,5 +438,45 @@ mod tests {
         set.clear();
         assert!(set.is_empty());
         assert!(!set.contains(&[1, 1]));
+    }
+
+    #[test]
+    fn partitions_cover_the_scan_disjointly() {
+        let mut set = Brie::<2>::new();
+        let mut key = 11u32;
+        for _ in 0..3000 {
+            key = key.wrapping_mul(48271) % 0x7fff_ffff;
+            set.insert([key % 97, key % 53]);
+        }
+        let expected: Vec<_> = set.iter().collect();
+        for n in [1usize, 2, 4, 8, 16] {
+            let parts = set.partition(n);
+            assert!(parts.len() <= n.max(1));
+            let joined: Vec<_> = parts.into_iter().flatten().collect();
+            assert_eq!(joined, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn partition_range_matches_range() {
+        let mut set = Brie::<2>::new();
+        for a in 0..30u32 {
+            for b in 0..10u32 {
+                set.insert([a, b]);
+            }
+        }
+        let lo = [4u32, 6];
+        let hi = [22u32, 3];
+        let expected: Vec<_> = set.range(&lo, &hi).collect();
+        for n in [2usize, 3, 4, 9] {
+            let joined: Vec<_> = set
+                .partition_range(&lo, &hi, n)
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(joined, expected, "n = {n}");
+        }
+        // A window inside one first-column value cannot split.
+        assert_eq!(set.partition_range(&[5, 0], &[5, 9], 4).len(), 1);
     }
 }

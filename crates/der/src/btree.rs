@@ -195,6 +195,7 @@ impl<const N: usize> BTreeIndexSet<N> {
         let mut iter = Iter {
             stack: Vec::new(),
             hi: None,
+            hi_exclusive: false,
         };
         if self.len > 0 {
             iter.descend_left(&self.root);
@@ -211,6 +212,7 @@ impl<const N: usize> BTreeIndexSet<N> {
         let mut iter = Iter {
             stack: Vec::new(),
             hi: Some(*hi),
+            hi_exclusive: false,
         };
         if self.len > 0 && cmp_tuples(lo, hi) != Ordering::Greater {
             iter.descend_lower_bound(&self.root, lo);
@@ -223,11 +225,88 @@ impl<const N: usize> BTreeIndexSet<N> {
         let mut iter = Iter {
             stack: Vec::new(),
             hi: None,
+            hi_exclusive: false,
         };
         if self.len > 0 {
             iter.descend_lower_bound(&self.root, lo);
         }
         iter
+    }
+
+    /// Splits the inclusive window `[lo, hi]` into at most `n` disjoint
+    /// sub-iterators that together yield exactly `range(lo, hi)`.
+    ///
+    /// Split keys are drawn from the top two node levels (Soufflé's
+    /// partitioning scheme for parallel scans), so each partition is
+    /// balanced to within one third-level subtree. Partitions are
+    /// half-open `[start, split)` except the last, which is closed at
+    /// `hi`; concatenating them in order reproduces the sequential scan.
+    pub fn partition_range(&self, lo: &Tuple<N>, hi: &Tuple<N>, n: usize) -> Vec<Iter<'_, N>> {
+        if n <= 1 || self.len == 0 || cmp_tuples(lo, hi) == Ordering::Greater {
+            return vec![self.range(lo, hi)];
+        }
+        // Candidate split keys: every key in the top two levels that lies
+        // strictly inside the window (a split equal to `lo` would leave an
+        // empty first partition).
+        let mut cands: Vec<Tuple<N>> = Vec::new();
+        {
+            let mut push = |k: &Tuple<N>| {
+                if cmp_tuples(k, lo) == Ordering::Greater && cmp_tuples(k, hi) != Ordering::Greater
+                {
+                    cands.push(*k);
+                }
+            };
+            let root = &self.root;
+            if root.is_leaf() {
+                root.keys.iter().for_each(&mut push);
+            } else {
+                for (i, child) in root.children.iter().enumerate() {
+                    child.keys.iter().for_each(&mut push);
+                    if i < root.keys.len() {
+                        push(&root.keys[i]);
+                    }
+                }
+            }
+        }
+        if cands.is_empty() {
+            return vec![self.range(lo, hi)];
+        }
+        let k = (n - 1).min(cands.len());
+        let splits: Vec<Tuple<N>> = if cands.len() == k {
+            cands
+        } else {
+            // Evenly spaced picks; indices are strictly increasing because
+            // cands.len() >= k + 1, and keys are distinct.
+            (0..k)
+                .map(|j| cands[(j + 1) * cands.len() / (k + 1)])
+                .collect()
+        };
+        let mut parts = Vec::with_capacity(splits.len() + 1);
+        let mut start = *lo;
+        for split in &splits {
+            let mut it = Iter {
+                stack: Vec::new(),
+                hi: Some(*split),
+                hi_exclusive: true,
+            };
+            it.descend_lower_bound(&self.root, &start);
+            parts.push(it);
+            start = *split;
+        }
+        let mut last = Iter {
+            stack: Vec::new(),
+            hi: Some(*hi),
+            hi_exclusive: false,
+        };
+        last.descend_lower_bound(&self.root, &start);
+        parts.push(last);
+        parts
+    }
+
+    /// Splits the full scan into at most `n` disjoint sub-iterators (see
+    /// [`BTreeIndexSet::partition_range`]).
+    pub fn partition(&self, n: usize) -> Vec<Iter<'_, N>> {
+        self.partition_range(&[0; N], &[u32::MAX; N], n)
     }
 }
 
@@ -262,6 +341,10 @@ impl<const N: usize> FromIterator<Tuple<N>> for BTreeIndexSet<N> {
 pub struct Iter<'a, const N: usize> {
     stack: Vec<(&'a Node<N>, usize)>,
     hi: Option<Tuple<N>>,
+    /// When set, `hi` is an *exclusive* upper bound — used by
+    /// [`BTreeIndexSet::partition_range`] so that a split key starts the
+    /// next partition instead of ending this one.
+    hi_exclusive: bool,
 }
 
 impl<'a, const N: usize> Iter<'a, N> {
@@ -308,7 +391,12 @@ impl<'a, const N: usize> Iterator for Iter<'a, N> {
             }
             let key = &node.keys[i];
             if let Some(hi) = &self.hi {
-                if cmp_tuples(key, hi) == Ordering::Greater {
+                let past = match cmp_tuples(key, hi) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => self.hi_exclusive,
+                    Ordering::Less => false,
+                };
+                if past {
                     // Keys only grow from here; fuse the iterator.
                     self.stack.clear();
                     return None;
@@ -415,6 +503,73 @@ mod tests {
         assert!(!set.contains(&[42]));
         set.insert([7]);
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn partitions_cover_the_scan_disjointly() {
+        let mut set = BTreeIndexSet::<2>::new();
+        let mut key = 1u32;
+        for _ in 0..5_000 {
+            key = key.wrapping_mul(48271) % 0x7fff_ffff;
+            set.insert([key % 700, key % 991]);
+        }
+        let expected = collect(set.iter());
+        for n in [1usize, 2, 3, 4, 7, 16] {
+            let parts = set.partition(n);
+            assert!(parts.len() <= n.max(1), "at most {n} partitions");
+            let mut joined: Vec<Tuple<2>> = Vec::new();
+            for p in parts {
+                joined.extend(p.copied());
+            }
+            // Concatenation in order == sequential scan, which also
+            // proves disjointness (no duplicates) and coverage.
+            assert_eq!(joined, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn partition_range_matches_range() {
+        let mut set = BTreeIndexSet::<2>::new();
+        for a in 0..60u32 {
+            for b in 0..20u32 {
+                set.insert([a, b]);
+            }
+        }
+        let lo = [7u32, 3];
+        let hi = [41u32, 11];
+        let expected = collect(set.range(&lo, &hi));
+        for n in [1usize, 2, 4, 8] {
+            let mut joined: Vec<Tuple<2>> = Vec::new();
+            for p in set.partition_range(&lo, &hi, n) {
+                joined.extend(p.copied());
+            }
+            assert_eq!(joined, expected, "n = {n}");
+        }
+        // Degenerate windows still behave.
+        assert!(set
+            .partition_range(&[5, 5], &[5, 5], 4)
+            .into_iter()
+            .flatten()
+            .copied()
+            .eq([[5u32, 5]]));
+        assert_eq!(
+            set.partition_range(&[9, 9], &[2, 2], 4)
+                .into_iter()
+                .flatten()
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn partitioning_tiny_and_empty_sets() {
+        let empty = BTreeIndexSet::<1>::new();
+        assert_eq!(empty.partition(4).into_iter().flatten().count(), 0);
+        let mut tiny = BTreeIndexSet::<1>::new();
+        tiny.insert([3]);
+        tiny.insert([8]);
+        let joined: Vec<Tuple<1>> = tiny.partition(4).into_iter().flatten().copied().collect();
+        assert_eq!(joined, vec![[3], [8]]);
     }
 
     #[test]

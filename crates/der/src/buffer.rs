@@ -1,0 +1,116 @@
+//! Thread-local insert buffers for parallel evaluation.
+//!
+//! When a rule's outer scan is partitioned across workers, each worker
+//! diverts its projections into a private [`InsertBuffer`] instead of
+//! writing the destination relation directly. Buffers need no locking —
+//! each is owned by exactly one worker — and the coordinator merges them
+//! into the relation (with set-semantics deduplication) once the workers
+//! join. Because a query never reads the relation it projects into,
+//! deferring the inserts to the end of the rule is semantically
+//! transparent, and because relation insertion is a set union, the merge
+//! produces the same contents regardless of worker interleaving.
+
+use crate::tuple::RamDomain;
+
+/// A flat, append-only buffer of same-arity tuples owned by one worker.
+///
+/// Duplicates are *not* eliminated here (that would require the
+/// destination's index order); the coordinator's merge performs the
+/// deduplicating insert, so fresh-insert counts match a sequential run.
+#[derive(Debug, Clone)]
+pub struct InsertBuffer {
+    arity: usize,
+    data: Vec<RamDomain>,
+    /// Tuple count; carries the buffer's length for nullary relations,
+    /// whose tuples occupy no `data` slots.
+    count: usize,
+}
+
+impl InsertBuffer {
+    /// Creates an empty buffer for tuples of the given arity (0 allowed).
+    pub fn new(arity: usize) -> Self {
+        InsertBuffer {
+            arity,
+            data: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// Tuple arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of buffered tuples (including duplicates).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the buffer holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends one tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t.len()` differs from the buffer's arity.
+    pub fn push(&mut self, t: &[RamDomain]) {
+        assert_eq!(t.len(), self.arity, "arity mismatch");
+        self.data.extend_from_slice(t);
+        self.count += 1;
+    }
+
+    /// Iterates over the buffered tuples in insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[RamDomain]> + '_ {
+        let empty: &[RamDomain] = &[];
+        (0..self.count).map(move |i| {
+            if self.arity == 0 {
+                empty
+            } else {
+                &self.data[i * self.arity..(i + 1) * self.arity]
+            }
+        })
+    }
+
+    /// Removes all tuples, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut buf = InsertBuffer::new(3);
+        buf.push(&[1, 2, 3]);
+        buf.push(&[4, 5, 6]);
+        assert_eq!(buf.len(), 2);
+        let all: Vec<Vec<RamDomain>> = buf.tuples().map(<[RamDomain]>::to_vec).collect();
+        assert_eq!(all, vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.tuples().count(), 0);
+    }
+
+    #[test]
+    fn nullary_tuples_are_counted() {
+        let mut buf = InsertBuffer::new(0);
+        buf.push(&[]);
+        buf.push(&[]);
+        assert_eq!(buf.len(), 2);
+        assert!(buf.tuples().all(|t| t.is_empty()));
+        assert_eq!(buf.tuples().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_rejected() {
+        InsertBuffer::new(2).push(&[1]);
+    }
+}

@@ -83,6 +83,18 @@ impl TupleIter for Box<dyn TupleIter + '_> {
     }
 }
 
+impl TupleIter for Box<dyn TupleIter + Send + '_> {
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+    fn next_tuple(&mut self) -> Option<&[RamDomain]> {
+        (**self).next_tuple()
+    }
+    fn fill(&mut self, out: &mut Vec<RamDomain>, max: usize) -> usize {
+        (**self).fill(out, max)
+    }
+}
+
 /// Adapts any `Iterator` over fixed-arity tuples into a [`TupleIter`].
 ///
 /// The generic parameter keeps `fill` monomorphic: the inner loop compiles

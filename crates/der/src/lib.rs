@@ -54,6 +54,7 @@
 pub mod adapter;
 pub mod brie;
 pub mod btree;
+pub mod buffer;
 pub mod dynindex;
 pub mod eqrel;
 pub mod factory;
@@ -63,6 +64,7 @@ pub mod relation;
 pub mod tuple;
 
 pub use adapter::IndexAdapter;
+pub use buffer::InsertBuffer;
 pub use factory::{new_index, IndexSpec, Representation};
 pub use order::Order;
 pub use relation::Relation;

@@ -342,6 +342,104 @@ mod tests {
         assert_eq!(new.len(), 2);
     }
 
+    fn heterogeneous_relation() -> Relation {
+        // B-tree primary in natural order, Brie secondary on (col1, col0):
+        // the mixed-representation layout index selection can produce.
+        Relation::new(
+            "mixed",
+            2,
+            vec![
+                IndexSpec::btree_natural(2),
+                IndexSpec::new(Representation::Brie, Order::new(vec![1, 0])),
+            ],
+        )
+    }
+
+    #[test]
+    fn merge_from_keeps_heterogeneous_indexes_consistent() {
+        let mut dst = heterogeneous_relation();
+        let mut src = heterogeneous_relation();
+        dst.insert(&[1, 9]);
+        src.insert(&[1, 9]); // duplicate across relations
+        src.insert(&[2, 8]);
+        src.insert(&[3, 7]);
+        dst.merge_from(&src);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.index(0).len(), dst.index(1).len(), "indexes agree");
+        // The Brie secondary is sorted by source column 1 first.
+        assert_eq!(
+            dst.index(1).scan().collect_tuples(),
+            vec![vec![7, 3], vec![8, 2], vec![9, 1]]
+        );
+        // Source relation is unchanged by the merge.
+        assert_eq!(src.len(), 3);
+    }
+
+    #[test]
+    fn merge_from_decodes_across_different_primary_orders() {
+        // Source primary stores (col1, col0); destination primary is
+        // natural. merge_from must decode through the source order.
+        let mut src = Relation::new(
+            "src",
+            2,
+            vec![IndexSpec::new(
+                Representation::BTree,
+                Order::new(vec![1, 0]),
+            )],
+        );
+        src.insert(&[1, 9]);
+        src.insert(&[2, 8]);
+        let mut dst = heterogeneous_relation();
+        dst.merge_from(&src);
+        assert!(dst.contains(&[1, 9]) && dst.contains(&[2, 8]));
+        assert_eq!(dst.index(0).scan().collect_tuples()[0], vec![1, 9]);
+
+        // Contrast: a source-layout (legacy) primary with the same order
+        // must NOT be decoded — the stores_source_order distinction.
+        use crate::dynindex::DynBTreeIndex;
+        let mut legacy_src = Relation::from_adapters(
+            "legacy",
+            2,
+            vec![Box::new(DynBTreeIndex::new(Order::new(vec![1, 0]))) as Box<dyn IndexAdapter>],
+        );
+        assert!(legacy_src.index(0).stores_source_order());
+        legacy_src.insert(&[4, 6]);
+        legacy_src.insert(&[5, 5]);
+        let mut dst2 = heterogeneous_relation();
+        dst2.merge_from(&legacy_src);
+        assert!(dst2.contains(&[4, 6]) && dst2.contains(&[5, 5]));
+        assert!(!dst2.contains(&[6, 4]), "no spurious decode");
+    }
+
+    #[test]
+    fn swap_data_exchanges_heterogeneous_contents() {
+        let mut a = heterogeneous_relation();
+        let mut b = heterogeneous_relation();
+        a.insert(&[1, 2]);
+        a.insert(&[3, 4]);
+        b.insert(&[9, 9]);
+        a.swap_data(&mut b);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&[9, 9]));
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&[1, 2]) && b.contains(&[3, 4]));
+        // Both indexes of both relations moved together.
+        assert_eq!(a.index(1).scan().collect_tuples(), vec![vec![9, 9]]);
+        assert_eq!(
+            b.index(1).scan().collect_tuples(),
+            vec![vec![2, 1], vec![4, 3]]
+        );
+        assert_eq!(a.name(), "mixed", "names stay in place");
+    }
+
+    #[test]
+    #[should_panic(expected = "index layout mismatch")]
+    fn swap_data_rejects_different_index_layouts() {
+        let mut a = heterogeneous_relation();
+        let mut b = Relation::new("single", 2, vec![IndexSpec::btree_natural(2)]);
+        a.swap_data(&mut b);
+    }
+
     #[test]
     fn nullary_relations_are_flags() {
         let mut flag = Relation::new("flag", 0, vec![]);

@@ -39,6 +39,16 @@ impl RamExpr {
         RamExpr::Intrinsic { op, args }
     }
 
+    /// Whether the expression draws from the global auto-increment
+    /// counter (`$`).
+    pub fn uses_autoincrement(&self) -> bool {
+        match self {
+            RamExpr::AutoIncrement => true,
+            RamExpr::Intrinsic { args, .. } => args.iter().any(RamExpr::uses_autoincrement),
+            RamExpr::Constant(_) | RamExpr::TupleElement { .. } => false,
+        }
+    }
+
     /// Counts the nodes of the expression tree — each node is one
     /// interpreter dispatch, the quantity the paper's §5.2 case study
     /// measures.

@@ -121,8 +121,14 @@ impl Printer<'_> {
 
     fn op(&mut self, o: &RamOp, ind: usize) {
         match o {
-            RamOp::Scan { rel, level, body } => {
-                let t = format!("FOR t{level} IN {}", self.name(*rel));
+            RamOp::Scan {
+                rel,
+                level,
+                parallel,
+                body,
+            } => {
+                let par = if *parallel { "PARALLEL " } else { "" };
+                let t = format!("{par}FOR t{level} IN {}", self.name(*rel));
                 self.line(ind, &t);
                 self.op(body, ind + 1);
             }
@@ -132,12 +138,14 @@ impl Printer<'_> {
                 level,
                 pattern,
                 eqrel_swap,
+                parallel,
                 body,
             } => {
                 let pat = self.pattern(pattern);
                 let swap = if *eqrel_swap { " (swapped)" } else { "" };
+                let par = if *parallel { "PARALLEL " } else { "" };
                 let t = format!(
-                    "FOR t{level} IN {} ON INDEX#{index} {pat}{swap}",
+                    "{par}FOR t{level} IN {} ON INDEX#{index} {pat}{swap}",
                     self.name(*rel)
                 );
                 self.line(ind, &t);

@@ -79,6 +79,22 @@ impl RamCond {
             }
         }
     }
+
+    /// Whether any expression in the condition draws from the
+    /// auto-increment counter.
+    pub fn uses_autoincrement(&self) -> bool {
+        match self {
+            RamCond::True | RamCond::EmptinessCheck { .. } => false,
+            RamCond::Conjunction(cs) => cs.iter().any(RamCond::uses_autoincrement),
+            RamCond::Negation(c) => c.uses_autoincrement(),
+            RamCond::Comparison { lhs, rhs, .. } => {
+                lhs.uses_autoincrement() || rhs.uses_autoincrement()
+            }
+            RamCond::ExistenceCheck { pattern, .. } => {
+                pattern.iter().flatten().any(RamExpr::uses_autoincrement)
+            }
+        }
+    }
 }
 
 /// Aggregate functions at the RAM level (pre-typed).
@@ -137,6 +153,11 @@ pub enum RamOp {
         rel: RelId,
         /// Binding level of the scanned tuple.
         level: usize,
+        /// Whether a parallel interpreter may partition this scan across
+        /// workers. Translation marks the outermost scan of each rule
+        /// body (unless the rule draws auto-increment values); the
+        /// interpreter honours it only when configured with `jobs > 1`.
+        parallel: bool,
         /// Inner operation.
         body: Box<RamOp>,
     },
@@ -154,6 +175,9 @@ pub enum RamOp {
         /// For equivalence relations only: the pattern was flipped to
         /// exploit symmetry, so yielded tuples must be presented reversed.
         eqrel_swap: bool,
+        /// Whether a parallel interpreter may partition this scan (see
+        /// [`RamOp::Scan::parallel`]).
+        parallel: bool,
         /// Inner operation.
         body: Box<RamOp>,
     },
@@ -218,6 +242,27 @@ impl RamOp {
             | RamOp::Aggregate { body, .. } => body.walk_mut(f),
             RamOp::Project { .. } => {}
         }
+    }
+
+    /// Whether any expression under this operation draws from the
+    /// auto-increment counter. Such rules must stay sequential: the
+    /// values a worker draws would depend on partition interleaving.
+    pub fn uses_autoincrement(&self) -> bool {
+        let autoinc_in =
+            |p: &[Option<RamExpr>]| p.iter().flatten().any(RamExpr::uses_autoincrement);
+        let mut found = false;
+        self.walk(&mut |op| {
+            found |= match op {
+                RamOp::Scan { .. } => false,
+                RamOp::IndexScan { pattern, .. } => autoinc_in(pattern),
+                RamOp::Filter { cond, .. } => cond.uses_autoincrement(),
+                RamOp::Project { values, .. } => values.iter().any(RamExpr::uses_autoincrement),
+                RamOp::Aggregate { pattern, value, .. } => {
+                    autoinc_in(pattern) || value.as_ref().is_some_and(RamExpr::uses_autoincrement)
+                }
+            };
+        });
+        found
     }
 }
 
@@ -306,6 +351,7 @@ mod tests {
         let op = RamOp::Scan {
             rel: RelId(0),
             level: 0,
+            parallel: false,
             body: Box::new(RamOp::Filter {
                 cond: RamCond::True,
                 body: Box::new(RamOp::Project {

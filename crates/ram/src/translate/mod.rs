@@ -620,6 +620,57 @@ mod tests {
     }
 
     #[test]
+    fn outermost_scans_are_marked_parallel() {
+        let ram = ram_of(TC);
+        // Every query's outermost scan (under any guarding filters) is
+        // marked; inner scans of joins are not.
+        ram.main.walk(&mut |s| {
+            if let RamStmt::Query { op, label, .. } = s {
+                let mut depth = 0usize;
+                let mut outer_marked = false;
+                let mut inner_marked = false;
+                op.walk(&mut |o| {
+                    if let RamOp::Scan { parallel, .. } | RamOp::IndexScan { parallel, .. } = o {
+                        if depth == 0 {
+                            outer_marked = *parallel;
+                        } else {
+                            inner_marked |= *parallel;
+                        }
+                        depth += 1;
+                    }
+                });
+                assert!(outer_marked, "outermost scan unmarked in {label:?}");
+                assert!(!inner_marked, "inner scan marked in {label:?}");
+            }
+        });
+        let listing = program_to_string(&ram);
+        assert!(listing.contains("PARALLEL FOR"), "{listing}");
+    }
+
+    #[test]
+    fn autoincrement_rules_stay_sequential() {
+        let ram = ram_of(
+            ".decl src(x: number)\n\
+             .decl tagged(x: number, id: number)\n\
+             .output tagged\n\
+             src(10). src(20).\n\
+             tagged(x, $) :- src(x).\n",
+        );
+        ram.main.walk(&mut |s| {
+            if let RamStmt::Query { op, label, .. } = s {
+                if label.contains("tagged") {
+                    op.walk(&mut |o| {
+                        if let RamOp::Scan { parallel, .. } | RamOp::IndexScan { parallel, .. } = o
+                        {
+                            assert!(!parallel, "auto-increment rule marked parallel: {label:?}");
+                        }
+                    });
+                }
+            }
+        });
+    }
+
+    #[test]
     fn recursive_head_projects_into_new_with_guard() {
         let ram = ram_of(TC);
         let listing = program_to_string(&ram);

@@ -207,6 +207,7 @@ pub fn translate_rule(
             Step::Scan { rel, level } => RamOp::Scan {
                 rel,
                 level,
+                parallel: false,
                 body: Box::new(op),
             },
             Step::IndexScan {
@@ -220,6 +221,7 @@ pub fn translate_rule(
                 level,
                 pattern,
                 eqrel_swap,
+                parallel: false,
                 body: Box::new(op),
             },
             Step::Filter(cond) => RamOp::Filter {
@@ -262,6 +264,25 @@ pub fn translate_rule(
             cond,
             body: Box::new(op),
         };
+    }
+
+    // Mark the outermost scan for partitioned execution (Soufflé's
+    // parallel evaluation model: only the outer loop of a rule is split
+    // across workers). Rules drawing fresh auto-increment values stay
+    // sequential — the values a worker draws would depend on the
+    // partition interleaving.
+    if !op.uses_autoincrement() {
+        let mut cur = &mut op;
+        loop {
+            match cur {
+                RamOp::Filter { body, .. } => cur = body,
+                RamOp::Scan { parallel, .. } | RamOp::IndexScan { parallel, .. } => {
+                    *parallel = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
     }
 
     let mut label = rule.to_string();

@@ -10,6 +10,8 @@
 //!       --no-super         disable super-instructions
 //!       --no-reorder       disable static tuple reordering
 //!       --no-outline       disable handler outlining
+//!   -j, --jobs N           evaluate parallel scans with N workers
+//!                          (default: $STIR_JOBS or 1)
 //!       --profile          print the per-rule profile after the run
 //!       --profile-json F   write the machine-readable profile JSON to F
 //!       --trace-folded F   write flamegraph folded stacks to F
@@ -59,6 +61,8 @@ usage: stir [repl] PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
       --no-super         disable super-instructions
       --no-reorder       disable static tuple reordering
       --no-outline       disable handler outlining
+  -j, --jobs N           evaluate parallel scans with N workers
+                         (default: $STIR_JOBS or 1)
       --profile          print the per-rule profile after the run
       --profile-json F   write the machine-readable profile JSON to F
       --trace-folded F   write flamegraph folded stacks to F
@@ -87,6 +91,7 @@ fn parse_args() -> Options {
     let mut print_ram = false;
     let mut synthesize = None;
     let mut repl = false;
+    let mut jobs = None;
     let mut first = true;
     while let Some(arg) = args.next() {
         if std::mem::take(&mut first) && arg == "repl" {
@@ -107,6 +112,16 @@ fn parse_args() -> Options {
                     Some("unopt") => InterpreterConfig::unoptimized(),
                     Some("legacy") => InterpreterConfig::legacy(),
                     _ => usage(),
+                }
+            }
+            "-j" | "--jobs" => {
+                jobs = match args.next().as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if n >= 1 => Some(n),
+                    Some(_) => {
+                        eprintln!("stir: --jobs needs a positive integer");
+                        std::process::exit(2)
+                    }
+                    None => usage(),
                 }
             }
             "--no-super" => config.super_instructions = false,
@@ -149,6 +164,11 @@ fn parse_args() -> Options {
     }
     if profile || profile_json.is_some() {
         config.profile = true;
+    }
+    // `--mode` rebuilds the config, so the worker count is applied last
+    // to make flag order irrelevant.
+    if let Some(n) = jobs {
+        config.jobs = n;
     }
     // Folded stacks need statement spans; `info` heartbeats need the
     // instrumented interpreter instantiation, which `trace` selects.

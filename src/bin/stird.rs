@@ -8,6 +8,8 @@
 //!                          free port; the chosen address is printed as
 //!                          `stird: listening on ADDR`)
 //!       --mode MODE        sti | dynamic | unopt | legacy    (default sti)
+//!   -j, --jobs N           evaluate parallel scans with N workers
+//!                          (default: $STIR_JOBS or 1)
 //!       --profile-json F   write the machine-readable profile JSON to F
 //!                          at shutdown (covers the initial fixpoint and
 //!                          the whole serving session)
@@ -51,6 +53,8 @@ usage: stird PROGRAM.dl [-F facts_dir] [options]
   -F, --fact-dir DIR     read <rel>.facts for every .input relation
       --port PORT        TCP port (default 0 = pick a free port)
       --mode MODE        sti | dynamic | unopt | legacy    (default sti)
+  -j, --jobs N           evaluate parallel scans with N workers
+                         (default: $STIR_JOBS or 1)
       --profile-json F   write the profile JSON to F at shutdown
       --log LEVEL        stderr verbosity: off|error|warn|info|debug
   -h, --help             print this help and exit
@@ -71,6 +75,7 @@ fn parse_args() -> Options {
     let mut config = InterpreterConfig::optimized();
     let mut profile_json = None;
     let mut log_level = LogLevel::Off;
+    let mut jobs = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-F" | "--fact-dir" => {
@@ -89,6 +94,16 @@ fn parse_args() -> Options {
                     Some("unopt") => InterpreterConfig::unoptimized(),
                     Some("legacy") => InterpreterConfig::legacy(),
                     _ => usage(),
+                }
+            }
+            "-j" | "--jobs" => {
+                jobs = match args.next().as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if n >= 1 => Some(n),
+                    Some(_) => {
+                        eprintln!("stird: --jobs needs a positive integer");
+                        std::process::exit(2)
+                    }
+                    None => usage(),
                 }
             }
             "--profile-json" => {
@@ -117,6 +132,11 @@ fn parse_args() -> Options {
     if profile_json.is_some() {
         config.profile = true;
     }
+    // `--mode` rebuilds the config, so the worker count is applied last
+    // to make flag order irrelevant.
+    if let Some(n) = jobs {
+        config.jobs = n;
+    }
     Options {
         program: program.unwrap_or_else(|| usage()),
         fact_dir,
@@ -127,10 +147,29 @@ fn parse_args() -> Options {
     }
 }
 
-/// Serves one connection. The response to each request is written before
-/// the next is read, so a client can pipeline `request → read until
-/// ok/err` cycles.
+/// Serves one connection. A client vanishing mid-request (reset, broken
+/// pipe, half-written line) is routine for a long-lived server: the
+/// error is logged with the peer address and the connection dropped,
+/// never propagated — the server keeps accepting.
 fn handle_conn(
+    stream: TcpStream,
+    engine: &RwLock<ResidentEngine>,
+    tel: Option<&Mutex<Telemetry>>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "<unknown>".to_owned(), |p| p.to_string());
+    if let Err(e) = serve_conn(stream, engine, tel, stop, addr) {
+        eprintln!("stird: dropping connection from {peer}: {e}");
+    }
+}
+
+/// The request/response loop behind [`handle_conn`]. The response to
+/// each request is written before the next is read, so a client can
+/// pipeline `request → read until ok/err` cycles.
+fn serve_conn(
     mut stream: TcpStream,
     engine: &RwLock<ResidentEngine>,
     tel: Option<&Mutex<Telemetry>>,
@@ -234,9 +273,7 @@ fn main() -> ExitCode {
             }
             let Ok(stream) = conn else { continue };
             let (shared, stop) = (&shared, &stop);
-            s.spawn(move || {
-                let _ = handle_conn(stream, shared, tel_opt, stop, addr);
-            });
+            s.spawn(move || handle_conn(stream, shared, tel_opt, stop, addr));
         }
     });
 

@@ -78,6 +78,117 @@ fn all_modes_agree() {
 }
 
 #[test]
+fn jobs_flag_rejects_non_positive_values() {
+    let dir = setup("jobs-bad");
+    for bad in ["0", "abc", "-2", "1.5"] {
+        let out = stir()
+            .arg(dir.join("tc.dl"))
+            .arg("-F")
+            .arg(&dir)
+            .arg("--jobs")
+            .arg(bad)
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad} is a usage error");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("positive integer"),
+            "--jobs {bad}: {stderr}"
+        );
+    }
+
+    // A missing value prints the usage text.
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("--jobs")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: stir"));
+}
+
+#[test]
+fn jobs_flag_preserves_outputs_in_every_mode() {
+    let dir = setup("jobs");
+    for mode in ["sti", "dynamic", "unopt", "legacy"] {
+        let mut results = Vec::new();
+        for jobs in ["1", "4"] {
+            // `--jobs` before `--mode`, so this also checks that the
+            // mode switch does not clobber the worker count.
+            let out = stir()
+                .arg(dir.join("tc.dl"))
+                .arg("-F")
+                .arg(&dir)
+                .arg("--jobs")
+                .arg(jobs)
+                .arg("--mode")
+                .arg(mode)
+                .output()
+                .expect("runs");
+            assert!(
+                out.status.success(),
+                "mode {mode} jobs {jobs}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            results.push(String::from_utf8_lossy(&out.stdout).to_string());
+        }
+        assert_eq!(results[0], results[1], "mode {mode}");
+        assert!(results[0].contains("--- path (3 tuples)"));
+    }
+}
+
+#[test]
+fn profile_json_tuple_counts_survive_parallel_evaluation() {
+    let dir = setup("jobs-profile");
+    let json_path = dir.join("prof.json");
+    let out = stir()
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("-j")
+        .arg("4")
+        .arg("--profile-json")
+        .arg(&json_path)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&json_path).expect("json written");
+    let json = stir::Json::parse(&text).expect("valid JSON");
+    let program = json
+        .get("root")
+        .and_then(|r| r.get("program"))
+        .expect("root.program");
+    // The worker-count-independent invariant: per-rule tuples still sum
+    // to the global insert counter, and the output is complete.
+    let rule_tuples: u64 = program
+        .get("rule")
+        .and_then(stir::Json::entries)
+        .expect("rule object")
+        .iter()
+        .map(|(_, r)| {
+            r.get("tuples")
+                .and_then(stir::Json::as_u64)
+                .expect("tuples")
+        })
+        .sum();
+    let inserts = program
+        .get("counter")
+        .and_then(|c| c.get("interp.inserts"))
+        .and_then(stir::Json::as_u64)
+        .expect("insert counter");
+    assert_eq!(rule_tuples, inserts, "per-rule tuples sum to total inserts");
+    let path_rel = program
+        .get("relation")
+        .and_then(|r| r.get("path"))
+        .expect("path relation");
+    assert_eq!(path_rel.get("tuples").and_then(stir::Json::as_u64), Some(3));
+}
+
+#[test]
 fn ram_listing_mode() {
     let dir = setup("ram");
     let out = stir()

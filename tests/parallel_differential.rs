@@ -1,0 +1,224 @@
+//! Randomized differential testing for parallel evaluation: running a
+//! program with `--jobs 4` must produce exactly the relations (and the
+//! same profile tuple counts) as `--jobs 1`, in every interpreter mode.
+//!
+//! Programs come from the same restricted seeded grammar as
+//! `resident_differential`. proptest is not vendored; each failing case
+//! reproduces from its seed.
+
+use std::collections::BTreeSet;
+use stir::{Engine, InputData, InterpreterConfig, Value};
+use stir_frontend::parse_and_check;
+
+#[derive(Debug, Clone)]
+enum BodyAtom {
+    E(usize, usize),
+    F(usize, usize),
+    NotE(usize, usize),
+    Lt(usize, usize),
+    Bind(usize, usize, i64),
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn body_atom(state: &mut u64) -> BodyAtom {
+    let a = (splitmix(state) % 4) as usize;
+    let b = (splitmix(state) % 4) as usize;
+    match splitmix(state) % 9 {
+        0..=2 => BodyAtom::E(a, b),
+        3..=5 => BodyAtom::F(a, b),
+        6 => BodyAtom::NotE(a, b),
+        7 => BodyAtom::Lt(a, b),
+        _ => BodyAtom::Bind(a, b, (splitmix(state) % 7) as i64 - 3),
+    }
+}
+
+fn render_rule(head: (usize, usize), body: &[BodyAtom]) -> Option<String> {
+    let mut bound = [false; 4];
+    let mut parts: Vec<String> = Vec::new();
+    let mut positives = 0;
+    for atom in body {
+        match atom {
+            BodyAtom::E(a, b) => {
+                bound[*a] = true;
+                bound[*b] = true;
+                parts.push(format!("e(v{a}, v{b})"));
+                positives += 1;
+            }
+            BodyAtom::F(a, b) => {
+                bound[*a] = true;
+                bound[*b] = true;
+                parts.push(format!("f(v{a}, v{b})"));
+                positives += 1;
+            }
+            BodyAtom::NotE(a, b) => {
+                if !bound[*a] || !bound[*b] {
+                    return None;
+                }
+                parts.push(format!("!e(v{a}, v{b})"));
+            }
+            BodyAtom::Lt(a, b) => {
+                if !bound[*a] || !bound[*b] {
+                    return None;
+                }
+                parts.push(format!("v{a} < v{b}"));
+            }
+            BodyAtom::Bind(k, i, c) => {
+                if !bound[*i] || bound[*k] {
+                    return None;
+                }
+                bound[*k] = true;
+                parts.push(format!("v{k} = v{i} + {c}"));
+            }
+        }
+    }
+    if positives == 0 || !bound[head.0] || !bound[head.1] {
+        return None;
+    }
+    Some(format!(
+        "r(v{}, v{}) :- {}.",
+        head.0,
+        head.1,
+        parts.join(", ")
+    ))
+}
+
+fn pairs(state: &mut u64, n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                Value::Number((splitmix(state) % 9) as i32),
+                Value::Number((splitmix(state) % 9) as i32),
+            ]
+        })
+        .collect()
+}
+
+fn sorted(rows: &[Vec<Value>]) -> BTreeSet<String> {
+    rows.iter()
+        .map(|r| {
+            r.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect()
+}
+
+#[test]
+fn four_jobs_match_one_job_in_every_mode() {
+    let modes: [(&str, InterpreterConfig); 4] = [
+        ("sti", InterpreterConfig::optimized()),
+        ("dynamic", InterpreterConfig::dynamic_adapter()),
+        ("unopt", InterpreterConfig::unoptimized()),
+        ("legacy", InterpreterConfig::legacy()),
+    ];
+    let mut checked_cases = 0;
+    for seed in 1u64..=48 {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let n_rules = 1 + (splitmix(&mut state) % 3) as usize;
+        let mut rules: Vec<String> = Vec::new();
+        for _ in 0..n_rules {
+            let n_atoms = 1 + (splitmix(&mut state) % 4) as usize;
+            let body: Vec<BodyAtom> = (0..n_atoms).map(|_| body_atom(&mut state)).collect();
+            let head = (
+                (splitmix(&mut state) % 4) as usize,
+                (splitmix(&mut state) % 4) as usize,
+            );
+            if let Some(r) = render_rule(head, &body) {
+                rules.push(r);
+            }
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        if splitmix(&mut state).is_multiple_of(2) {
+            rules.push("r(x, z) :- r(x, y), e(y, z).".to_owned());
+        }
+        let src = format!(
+            ".decl e(x: number, y: number)\n.input e\n\
+             .decl f(x: number, y: number)\n.input f\n\
+             .decl r(x: number, y: number)\n.output r\n\
+             {}\n",
+            rules.join("\n")
+        );
+        if parse_and_check(&src).is_err() {
+            continue;
+        }
+
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&mut state, 12));
+        inputs.insert("f".into(), pairs(&mut state, 9));
+
+        let engine = Engine::from_source(&src).expect("compiles");
+        for (mode, config) in &modes {
+            let sequential = engine
+                .run(config.with_jobs(1), &inputs)
+                .unwrap_or_else(|e| panic!("seed {seed} mode {mode} jobs=1: {e}\n{src}"));
+            let parallel = engine
+                .run(config.with_jobs(4), &inputs)
+                .unwrap_or_else(|e| panic!("seed {seed} mode {mode} jobs=4: {e}\n{src}"));
+            assert_eq!(
+                sorted(&sequential.outputs["r"]),
+                sorted(&parallel.outputs["r"]),
+                "seed {seed} mode {mode}\nprogram:\n{src}"
+            );
+        }
+        checked_cases += 1;
+    }
+    assert!(
+        checked_cases >= 10,
+        "generator degenerated: only {checked_cases} well-formed cases"
+    );
+}
+
+/// Tuple counts in the profile must be independent of the worker count:
+/// total inserts, per-relation inserts, and per-query `(executions,
+/// tuples)` are all deterministic, only wall time may differ.
+#[test]
+fn profile_tuple_counts_are_job_count_invariant() {
+    const TC: &str = ".decl e(x: number, y: number)\n.input e\n\
+                      .decl p(x: number, y: number)\n.output p\n\
+                      p(x, y) :- e(x, y).\n\
+                      p(x, z) :- p(x, y), e(y, z).\n";
+    let mut state = 7u64;
+    let mut inputs = InputData::new();
+    inputs.insert("e".into(), pairs(&mut state, 40));
+
+    let engine = Engine::from_source(TC).expect("compiles");
+    for config in [
+        InterpreterConfig::optimized(),
+        InterpreterConfig::dynamic_adapter(),
+        InterpreterConfig::unoptimized(),
+        InterpreterConfig::legacy(),
+    ] {
+        let config = config.with_profile();
+        let seq = engine
+            .run(config.with_jobs(1), &inputs)
+            .expect("jobs=1 runs");
+        let par = engine
+            .run(config.with_jobs(4), &inputs)
+            .expect("jobs=4 runs");
+        let (sp, pp) = (
+            seq.profile.expect("profiled"),
+            par.profile.expect("profiled"),
+        );
+        assert_eq!(sp.total_inserts, pp.total_inserts);
+        assert_eq!(sp.relations, pp.relations);
+        assert_eq!(sp.dispatches, pp.dispatches);
+        assert_eq!(sp.iterations, pp.iterations);
+        assert_eq!(sp.queries.len(), pp.queries.len());
+        for (s, p) in sp.queries.iter().zip(&pp.queries) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.executions, p.executions, "query {}", s.label);
+            assert_eq!(s.tuples, p.tuples, "query {}", s.label);
+        }
+        assert_eq!(sorted(&seq.outputs["p"]), sorted(&par.outputs["p"]));
+    }
+}

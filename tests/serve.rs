@@ -265,6 +265,58 @@ fn stird_serves_updates_and_concurrent_queries() {
 }
 
 #[test]
+fn stird_survives_abrupt_client_disconnect() {
+    let dir = setup("stird-disconnect");
+    let server = Server::start(&dir, &[]);
+
+    // A client that queries, never reads the response, and vanishes:
+    // dropping the socket with unread data in its receive buffer makes
+    // the kernel send RST, so the server's next read fails with a
+    // connection error rather than clean EOF.
+    {
+        let mut rude = server.connect();
+        rude.write_all(b"?path(_, _)\n").expect("request written");
+        rude.flush().expect("flushes");
+        // Let the server write the response rows before the drop.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+    }
+    // And one that hangs up mid-line, without the newline terminator.
+    {
+        let mut half = server.connect();
+        half.write_all(b"+edge(7, ").expect("half request written");
+        half.flush().expect("flushes");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // The server must still be accepting and serving.
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    let resp = request(&mut conn, &mut rd, "?path(1, _)");
+    assert_eq!(
+        resp.last().map(String::as_str),
+        Some("ok 2 rows"),
+        "{resp:?}"
+    );
+    assert_eq!(request(&mut conn, &mut rd, ".stop"), ["bye"]);
+
+    let mut server = server;
+    let status = server.child.wait().expect("exits");
+    assert!(status.success(), "clean shutdown after rude clients");
+    let mut stderr = String::new();
+    server
+        .child
+        .stderr
+        .take()
+        .expect("stderr")
+        .read_to_string(&mut stderr)
+        .expect("reads");
+    assert!(
+        stderr.contains("dropping connection from"),
+        "reset is logged, not swallowed: {stderr}"
+    );
+}
+
+#[test]
 fn stird_writes_profile_json_on_stop() {
     let dir = setup("stird-profile");
     let json_path = dir.join("stird.json");
