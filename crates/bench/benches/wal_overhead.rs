@@ -1,0 +1,156 @@
+//! **WAL overhead** — what durability costs per acknowledged insert.
+//!
+//! A warm transitive-closure database absorbs a stream of single-edge
+//! insert batches through the resident engine, once per durability
+//! level: `off` (no data dir at all — the incremental baseline),
+//! `none` (WAL appended, OS-buffered), `batch` (append + flush, the
+//! default), and `always` (append + flush + fsync). The table reports
+//! the median per-insert latency and the overhead ratio against the
+//! non-durable baseline, plus the WAL bytes each accepted batch costs
+//! on disk. This backs the EXPERIMENTS.md E13 claim that `batch`
+//! durability is effectively free next to evaluation while `always` is
+//! dominated by the fsync.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use stir_bench::{fmt_dur, fmt_ratio, median, print_table, reps, scale};
+use stir_core::resident::{PersistOptions, ResidentEngine};
+use stir_core::wal::Durability;
+use stir_core::{Engine, InputData, InterpreterConfig, Value};
+use stir_workloads::spec::Scale;
+
+const TC: &str = "\
+    .decl edge(x: number, y: number)\n.input edge\n\
+    .decl path(x: number, y: number)\n.output path\n\
+    path(x, y) :- edge(x, y).\n\
+    path(x, z) :- path(x, y), edge(y, z).\n";
+
+fn chain(nodes: i32) -> Vec<Vec<Value>> {
+    (0..nodes - 1)
+        .map(|i| vec![Value::Number(i), Value::Number(i + 1)])
+        .collect()
+}
+
+fn inputs_with(edges: Vec<Vec<Value>>) -> InputData {
+    let mut inputs = InputData::new();
+    inputs.insert("edge".into(), edges);
+    inputs
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("stir-wal-bench")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    dir
+}
+
+/// Median per-insert latency over `updates` single-edge batches on a
+/// warm engine, opened with the given durability (or fully non-durable
+/// when `durability` is `None`). Returns the latency and the WAL bytes
+/// the whole stream left on disk.
+fn run_stream(
+    initial: &InputData,
+    updates: usize,
+    nodes: i32,
+    durability: Option<Durability>,
+) -> (Duration, u64) {
+    let config = InterpreterConfig::optimized();
+    let engine = Engine::from_source(TC).expect("compiles");
+    let (mut resident, dir) = match durability {
+        Some(d) => {
+            let dir = fresh_dir(d.as_str());
+            let opts = PersistOptions {
+                durability: d,
+                snapshot_interval: None,
+            };
+            let (r, _) = ResidentEngine::open(engine, config, initial, &dir, opts, None)
+                .expect("durable engine opens");
+            (r, Some(dir))
+        }
+        None => (
+            ResidentEngine::new(engine, config, initial, None).expect("warm engine builds"),
+            None,
+        ),
+    };
+    let mut times = Vec::with_capacity(updates);
+    for k in 0..updates {
+        // A fresh back-edge each time: every batch is genuinely new,
+        // and the delta wave stays small, so the WAL cost is visible.
+        let v = (nodes - 2) - (k as i32 * 13) % (nodes - 8);
+        let rows = vec![vec![Value::Number(v), Value::Number(v - 5)]];
+        let started = Instant::now();
+        resident
+            .insert_facts("edge", &rows, None)
+            .expect("update succeeds");
+        times.push(started.elapsed());
+    }
+    let wal_bytes = dir
+        .as_ref()
+        .map(|d| {
+            std::fs::metadata(d.join(stir_core::resident::WAL_FILE))
+                .map(|m| m.len())
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    if let Some(d) = dir {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    (median(times), wal_bytes)
+}
+
+fn main() {
+    let nodes: i32 = match scale() {
+        Scale::Tiny => 120,
+        Scale::Small => 400,
+        Scale::Medium => 800,
+        Scale::Large => 1600,
+    };
+    let updates = (reps() * 20).clamp(40, 400);
+    let initial = inputs_with(chain(nodes));
+
+    let levels: [(&str, Option<Durability>); 4] = [
+        ("off", None),
+        ("none", Some(Durability::None)),
+        ("batch", Some(Durability::Batch)),
+        ("always", Some(Durability::Always)),
+    ];
+
+    let (baseline, _) = run_stream(&initial, updates, nodes, None);
+    let mut rows_out = Vec::new();
+    let mut batch_overhead = 0.0;
+    for (name, durability) in levels {
+        let (lat, wal_bytes) = run_stream(&initial, updates, nodes, durability);
+        let overhead = lat.as_secs_f64() / baseline.as_secs_f64();
+        if name == "batch" {
+            batch_overhead = overhead;
+        }
+        let per_batch = if durability.is_some() {
+            format!("{}", wal_bytes / updates as u64)
+        } else {
+            "-".into()
+        };
+        rows_out.push(vec![
+            name.to_string(),
+            fmt_dur(lat),
+            fmt_ratio(overhead),
+            per_batch,
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "WAL overhead — median single-edge insert latency on a warm \
+             {nodes}-node TC chain ({updates} updates per level; \
+             overhead vs the non-durable engine)"
+        ),
+        &["durability", "insert", "overhead", "wal B/batch"],
+        &rows_out,
+    );
+    println!("\nbatch-durability overhead: {batch_overhead:.2}x vs non-durable");
+    assert!(
+        batch_overhead < 10.0,
+        "default (batch) durability should not be 10x the non-durable path"
+    );
+}

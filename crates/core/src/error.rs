@@ -25,7 +25,39 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Any failure across the whole pipeline (parse → translate → evaluate).
+/// A durability-layer failure (WAL append/fsync, snapshot write, data-dir
+/// recovery). Carries a rendered message instead of the underlying
+/// [`std::io::Error`] so [`EngineError`] stays `Clone + PartialEq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError {
+    /// Human-readable description, including the failed operation.
+    pub msg: String,
+}
+
+impl StorageError {
+    /// Creates an error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        StorageError { msg: msg.into() }
+    }
+
+    /// Wraps an I/O error with the operation that failed.
+    pub fn io(op: &str, e: &std::io::Error) -> Self {
+        StorageError {
+            msg: format!("{op}: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storage error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Any failure across the whole pipeline (parse → translate → evaluate →
+/// persist).
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The frontend rejected the program.
@@ -34,6 +66,8 @@ pub enum EngineError {
     Translate(stir_ram::translate::TranslateError),
     /// Evaluation failed.
     Eval(EvalError),
+    /// The durability layer failed (the batch is *not* acknowledged).
+    Storage(StorageError),
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +76,7 @@ impl fmt::Display for EngineError {
             EngineError::Frontend(e) => e.fmt(f),
             EngineError::Translate(e) => e.fmt(f),
             EngineError::Eval(e) => e.fmt(f),
+            EngineError::Storage(e) => e.fmt(f),
         }
     }
 }
@@ -63,6 +98,12 @@ impl From<stir_ram::translate::TranslateError> for EngineError {
 impl From<EvalError> for EngineError {
     fn from(e: EvalError) -> Self {
         EngineError::Eval(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
     }
 }
 

@@ -1,0 +1,269 @@
+//! Deterministic fault injection for durability testing.
+//!
+//! Production code calls [`check`] (or [`crash_point`]) at named fault
+//! points — WAL appends, fsyncs, snapshot writes/renames, client socket
+//! writes. With no plan armed every call is a branch on a relaxed atomic
+//! and costs nothing observable. Tests and the CI crash-recovery smoke
+//! arm a plan via the `STIR_FAULT` environment variable:
+//!
+//! ```text
+//! STIR_FAULT=point:mode[,point:mode...]
+//! ```
+//!
+//! Recognized points (an unknown point is a parse error so typos fail
+//! loudly): `wal_write`, `wal_fsync`, `snapshot_write`,
+//! `snapshot_rename`, `conn_write`.
+//!
+//! Modes:
+//!
+//! * `once` — the first hit returns an injected I/O error, later hits
+//!   pass.
+//! * `always` — every hit returns an injected I/O error.
+//! * `at=N` — the N-th hit (1-based) returns an error, others pass.
+//! * `crash` — the first hit aborts the process (simulating power
+//!   loss mid-operation; the caller never runs its error path).
+//! * `crash_at=N` — the N-th hit aborts the process.
+//!
+//! Injected errors use [`std::io::ErrorKind::Other`] with a message
+//! naming the point, so operator-facing errors are self-describing.
+//! Crashes use [`std::process::abort`] — no destructors, no flushes —
+//! which is the closest portable stand-in for `kill -9` at an exact
+//! instruction boundary.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The behavior armed at a single fault point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail the first hit, pass afterwards.
+    Once,
+    /// Fail every hit.
+    Always,
+    /// Fail exactly the `N`-th hit (1-based).
+    At(u64),
+    /// Abort the process on the first hit.
+    Crash,
+    /// Abort the process on the `N`-th hit (1-based).
+    CrashAt(u64),
+}
+
+/// A named fault point: where to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// A WAL record append (before bytes reach the file).
+    WalWrite,
+    /// A WAL fsync under `--durability always`.
+    WalFsync,
+    /// A snapshot temp-file write.
+    SnapshotWrite,
+    /// The atomic rename publishing a snapshot.
+    SnapshotRename,
+    /// A reply write on a client socket.
+    ConnWrite,
+}
+
+impl FaultPoint {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wal_write" => Some(Self::WalWrite),
+            "wal_fsync" => Some(Self::WalFsync),
+            "snapshot_write" => Some(Self::SnapshotWrite),
+            "snapshot_rename" => Some(Self::SnapshotRename),
+            "conn_write" => Some(Self::ConnWrite),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::WalWrite => "wal_write",
+            Self::WalFsync => "wal_fsync",
+            Self::SnapshotWrite => "snapshot_write",
+            Self::SnapshotRename => "snapshot_rename",
+            Self::ConnWrite => "conn_write",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Self::WalWrite => 0,
+            Self::WalFsync => 1,
+            Self::SnapshotWrite => 2,
+            Self::SnapshotRename => 3,
+            Self::ConnWrite => 4,
+        }
+    }
+}
+
+const POINT_COUNT: usize = 5;
+
+/// A parsed `STIR_FAULT` specification plus per-point hit counters.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    modes: [Option<FaultMode>; POINT_COUNT],
+    hits: [AtomicU64; POINT_COUNT],
+}
+
+impl FaultPlan {
+    /// Parses a `point:mode[,point:mode...]` spec. Empty input yields an
+    /// empty (all-pass) plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (point_s, mode_s) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("fault entry `{entry}` is not point:mode"))?;
+            let point = FaultPoint::parse(point_s)
+                .ok_or_else(|| format!("unknown fault point `{point_s}`"))?;
+            let mode = match mode_s {
+                "once" => FaultMode::Once,
+                "always" => FaultMode::Always,
+                "crash" => FaultMode::Crash,
+                _ => {
+                    if let Some(n) = mode_s.strip_prefix("at=") {
+                        FaultMode::At(
+                            n.parse()
+                                .map_err(|_| format!("bad fault count in `{entry}`"))?,
+                        )
+                    } else if let Some(n) = mode_s.strip_prefix("crash_at=") {
+                        FaultMode::CrashAt(
+                            n.parse()
+                                .map_err(|_| format!("bad fault count in `{entry}`"))?,
+                        )
+                    } else {
+                        return Err(format!("unknown fault mode `{mode_s}`"));
+                    }
+                }
+            };
+            plan.modes[point.index()] = Some(mode);
+        }
+        Ok(plan)
+    }
+
+    /// Evaluates one hit of `point` against this plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error when the armed mode fires on this hit.
+    /// May abort the process (crash modes).
+    pub fn check(&self, point: FaultPoint) -> io::Result<()> {
+        let Some(mode) = self.modes[point.index()] else {
+            return Ok(());
+        };
+        // 1-based hit number for this point.
+        let hit = self.hits[point.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = match mode {
+            FaultMode::Once | FaultMode::Crash => hit == 1,
+            FaultMode::Always => true,
+            FaultMode::At(n) | FaultMode::CrashAt(n) => hit == n,
+        };
+        if !fire {
+            return Ok(());
+        }
+        match mode {
+            FaultMode::Crash | FaultMode::CrashAt(_) => {
+                // Simulated power loss: no unwinding, no buffers flushed.
+                eprintln!("stir: injected crash at fault point {}", point.name());
+                std::process::abort();
+            }
+            _ => Err(io::Error::other(format!(
+                "injected fault at {}",
+                point.name()
+            ))),
+        }
+    }
+}
+
+fn global() -> &'static FaultPlan {
+    static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+    PLAN.get_or_init(|| match std::env::var("STIR_FAULT") {
+        Ok(spec) => match FaultPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("stir: ignoring malformed STIR_FAULT: {e}");
+                FaultPlan::default()
+            }
+        },
+        Err(_) => FaultPlan::default(),
+    })
+}
+
+/// Evaluates one hit of `point` against the process-global plan parsed
+/// from `STIR_FAULT` (armed lazily on first call).
+///
+/// # Errors
+///
+/// Returns the injected error when the armed mode fires; may abort the
+/// process for crash modes.
+pub fn check(point: FaultPoint) -> io::Result<()> {
+    global().check(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_all_pass() {
+        let plan = FaultPlan::parse("").expect("parses");
+        for _ in 0..3 {
+            assert!(plan.check(FaultPoint::WalWrite).is_ok());
+        }
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let plan = FaultPlan::parse("wal_write:once").expect("parses");
+        assert!(plan.check(FaultPoint::WalWrite).is_err());
+        assert!(plan.check(FaultPoint::WalWrite).is_ok());
+        assert!(
+            plan.check(FaultPoint::WalFsync).is_ok(),
+            "other points pass"
+        );
+    }
+
+    #[test]
+    fn always_fires_every_time() {
+        let plan = FaultPlan::parse("snapshot_write:always").expect("parses");
+        for _ in 0..3 {
+            assert!(plan.check(FaultPoint::SnapshotWrite).is_err());
+        }
+    }
+
+    #[test]
+    fn at_n_fires_on_the_nth_hit_only() {
+        let plan = FaultPlan::parse("conn_write:at=3").expect("parses");
+        assert!(plan.check(FaultPoint::ConnWrite).is_ok());
+        assert!(plan.check(FaultPoint::ConnWrite).is_ok());
+        let err = plan.check(FaultPoint::ConnWrite).unwrap_err();
+        assert!(err.to_string().contains("conn_write"), "{err}");
+        assert!(plan.check(FaultPoint::ConnWrite).is_ok());
+    }
+
+    #[test]
+    fn multiple_entries_parse() {
+        let plan = FaultPlan::parse("wal_write:at=2, snapshot_rename:once").expect("parses");
+        assert!(plan.check(FaultPoint::WalWrite).is_ok());
+        assert!(plan.check(FaultPoint::WalWrite).is_err());
+        assert!(plan.check(FaultPoint::SnapshotRename).is_err());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "wal_write",
+            "nope:once",
+            "wal_write:sometimes",
+            "wal_write:at=x",
+            "wal_write:crash_at=",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -40,6 +40,7 @@ pub mod config;
 pub mod database;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod functors;
 pub mod interp;
 pub mod io;
@@ -51,14 +52,16 @@ pub mod sink;
 pub mod static_set;
 pub mod telemetry;
 pub mod value;
+pub mod wal;
 
 pub use config::InterpreterConfig;
 pub use database::{DataMode, Database, InputData};
 pub use engine::{Engine, EvalOutcome};
-pub use error::{EngineError, EvalError};
+pub use error::{EngineError, EvalError, StorageError};
 pub use interp::Interpreter;
 pub use json::Json;
 pub use profile::ProfileReport;
-pub use resident::{ResidentEngine, ServerStats, UpdateReport};
+pub use resident::{PersistOptions, RecoveryReport, ResidentEngine, ServerStats, UpdateReport};
 pub use telemetry::{profile_json, LogLevel, Logger, MetricsRegistry, Telemetry, Tracer};
 pub use value::Value;
+pub use wal::Durability;

@@ -43,14 +43,18 @@
 use crate::config::InterpreterConfig;
 use crate::database::{DataMode, Database, InputData};
 use crate::engine::Engine;
-use crate::error::{EngineError, EvalError};
+use crate::error::{EngineError, EvalError, StorageError};
 use crate::interp::Interpreter;
 use crate::itree;
 use crate::profile::ProfileReport;
-use crate::telemetry::Telemetry;
+use crate::telemetry::{LogLevel, Telemetry};
 use crate::value::Value;
+use crate::wal::{self, Durability, SnapshotLoad, SnapshotStats, WalWriter};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use stir_frontend::SymbolTable;
 use stir_ram::expr::RamDomain;
 use stir_ram::program::{RamProgram, RelId, Role};
 
@@ -64,6 +68,63 @@ pub struct UpdateReport {
     /// Strata recomputed from scratch (negation/aggregate reads, eqrel
     /// heads, or rebuilt upstream strata).
     pub full_fallbacks: u64,
+    /// The request's deadline elapsed during evaluation. The update was
+    /// still applied in full (and, when durability is on, logged) —
+    /// aborting between strata would leave downstream strata stale — so
+    /// callers should report the timeout while treating the data as
+    /// committed.
+    pub deadline_exceeded: bool,
+}
+
+/// Durability settings for [`ResidentEngine::open`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PersistOptions {
+    /// How hard each accepted batch is pushed toward stable storage.
+    pub durability: Durability,
+    /// Auto-snapshot (and truncate the WAL) every N accepted batches;
+    /// `None` snapshots only on demand and at graceful shutdown.
+    pub snapshot_interval: Option<u64>,
+}
+
+/// What [`ResidentEngine::open`] recovered from the data directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A valid snapshot was loaded (skipping the initial fixpoint).
+    pub snapshot_loaded: bool,
+    /// WAL batches re-applied after the snapshot point.
+    pub replayed_batches: u64,
+    /// Genuinely new tuples those batches contributed.
+    pub replayed_tuples: u64,
+    /// WAL batches that no longer apply (e.g. the program changed in a
+    /// way the fingerprint tolerates only for identical RAM, so this is
+    /// normally 0); they are dropped, not fatal.
+    pub skipped_batches: u64,
+    /// Torn bytes discarded from the WAL tail.
+    pub torn_bytes: u64,
+}
+
+/// Live durability state: the open WAL plus snapshot bookkeeping.
+#[derive(Debug)]
+struct Persistence {
+    dir: PathBuf,
+    wal: WalWriter,
+    fp: u64,
+    snapshot_every: Option<u64>,
+    batches_since_snapshot: u64,
+    snapshot_writes: u64,
+    snapshot_tuples: u64,
+    recovery: RecoveryReport,
+}
+
+/// The WAL file name inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
+/// The snapshot file name inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+impl Persistence {
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
 }
 
 /// A point-in-time snapshot of the serving counters.
@@ -136,6 +197,8 @@ pub struct ResidentEngine {
     all_upds: Vec<RelId>,
     counters: Counters,
     initial_profile: Option<ProfileReport>,
+    /// Durable state, when the engine was opened with a data directory.
+    persistence: Option<Persistence>,
 }
 
 impl ResidentEngine {
@@ -226,7 +289,185 @@ impl ResidentEngine {
             all_upds,
             counters: Counters::default(),
             initial_profile,
+            persistence: None,
         })
+    }
+
+    /// Builds a resident engine from a valid snapshot, skipping the
+    /// initial fixpoint: relations (EDB *and* IDB), symbols, the
+    /// auto-increment counter, and the fact replay list all come from
+    /// the snapshot.
+    fn from_snapshot(
+        engine: Engine,
+        config: InterpreterConfig,
+        snap: wal::SnapshotData,
+        tel: Option<&Telemetry>,
+    ) -> Result<ResidentEngine, EngineError> {
+        let ram = engine.into_ram();
+        let tracer = tel.map(|t| &t.tracer);
+        let mode = if config.legacy_data {
+            DataMode::LegacyDynamic
+        } else {
+            DataMode::Specialized
+        };
+        let db = {
+            let _span = tracer.map(|t| t.span("phase:build-db"));
+            Database::new(&ram, mode)
+        };
+        {
+            // Replace the table wholesale: every bit pattern in the
+            // snapshot was encoded against it. The program's own symbols
+            // are a prefix of it (interning only appends), so the
+            // `ram.facts` tuples inserted by `Database::new` stay valid.
+            let mut fresh = SymbolTable::new();
+            for s in &snap.symbols {
+                fresh.intern(s);
+            }
+            if fresh.len() < ram.symbols.len() {
+                return Err(StorageError::new(
+                    "snapshot symbol table is smaller than the program's",
+                )
+                .into());
+            }
+            *db.symbols_wr() = fresh;
+        }
+        db.counter
+            .store(snap.counter, std::sync::atomic::Ordering::Relaxed);
+
+        {
+            let _span = tracer.map(|t| t.span("phase:load-snapshot"));
+            for (name, tuples) in &snap.relations {
+                let meta = ram.relation_by_name(name).ok_or_else(|| {
+                    StorageError::new(format!("snapshot relation `{name}` is not in the program"))
+                })?;
+                let mut rel = db.wr(meta.id);
+                for t in tuples {
+                    if t.len() != meta.arity {
+                        return Err(StorageError::new(format!(
+                            "snapshot tuple for `{name}` has arity {}, expected {}",
+                            t.len(),
+                            meta.arity
+                        ))
+                        .into());
+                    }
+                    rel.insert(t);
+                }
+            }
+        }
+        for (rid, _) in &snap.extra_facts {
+            if rid.0 >= ram.relations.len() {
+                return Err(
+                    StorageError::new("snapshot replay list names an unknown relation").into(),
+                );
+            }
+        }
+        if let Some(t) = tel {
+            db.sample_metrics(&ram, &t.metrics);
+        }
+
+        let mut aux_of = vec![Vec::new(); ram.relations.len()];
+        let mut all_upds = Vec::new();
+        for r in &ram.relations {
+            match r.role {
+                Role::Standard => {}
+                Role::Delta(b) | Role::New(b) => aux_of[b.0].push(r.id),
+                Role::Upd(b) => {
+                    aux_of[b.0].push(r.id);
+                    all_upds.push(r.id);
+                }
+            }
+        }
+
+        Ok(ResidentEngine {
+            ram,
+            config,
+            db,
+            extra_facts: snap.extra_facts,
+            aux_of,
+            all_upds,
+            counters: Counters::default(),
+            initial_profile: None,
+            persistence: None,
+        })
+    }
+
+    /// Opens a resident engine backed by a data directory: loads the
+    /// latest valid snapshot (falling back to a fresh evaluation of
+    /// `inputs`), replays the WAL suffix, truncates any torn tail, and
+    /// keeps the WAL open for [`Self::insert_facts`] appends.
+    ///
+    /// When a snapshot is loaded, `inputs` is ignored — the snapshot
+    /// already contains those facts (and everything inserted since).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors and I/O failures on the data
+    /// directory. An *invalid* snapshot or torn WAL tail is not an
+    /// error: recovery degrades to re-evaluation and reports it.
+    pub fn open(
+        engine: Engine,
+        config: InterpreterConfig,
+        inputs: &InputData,
+        data_dir: &Path,
+        opts: PersistOptions,
+        tel: Option<&Telemetry>,
+    ) -> Result<(ResidentEngine, RecoveryReport), EngineError> {
+        std::fs::create_dir_all(data_dir).map_err(|e| StorageError::io("create data dir", &e))?;
+        let fp = wal::fingerprint(&engine.ram().to_string());
+        let snap_path = data_dir.join(SNAPSHOT_FILE);
+        let wal_path = data_dir.join(WAL_FILE);
+
+        let mut report = RecoveryReport::default();
+        let mut this = match wal::read_snapshot(&snap_path, fp) {
+            SnapshotLoad::Loaded(snap) => {
+                report.snapshot_loaded = true;
+                Self::from_snapshot(engine, config, snap, tel)?
+            }
+            SnapshotLoad::Missing => Self::new(engine, config, inputs, tel)?,
+            SnapshotLoad::Invalid(reason) => {
+                if let Some(t) = tel {
+                    t.logger.log(
+                        LogLevel::Warn,
+                        &format!("ignoring unusable snapshot: {reason}"),
+                    );
+                }
+                Self::new(engine, config, inputs, tel)?
+            }
+        };
+
+        let replayed = wal::replay(&wal_path, fp)?;
+        report.torn_bytes = replayed.torn_bytes;
+        for rec in &replayed.records {
+            // Replay runs the same validated path as serving, minus the
+            // WAL append; batches already covered by the snapshot
+            // re-insert zero fresh tuples and touch no strata.
+            match this.insert_internal(&rec.rel, &rec.rows, None, tel) {
+                Ok(r) => {
+                    report.replayed_batches += 1;
+                    report.replayed_tuples += r.inserted;
+                }
+                Err(e) => {
+                    report.skipped_batches += 1;
+                    if let Some(t) = tel {
+                        t.logger
+                            .log(LogLevel::Warn, &format!("skipping WAL batch: {e}"));
+                    }
+                }
+            }
+        }
+
+        let wal = WalWriter::open(&wal_path, opts.durability, fp, replayed.valid_len)?;
+        this.persistence = Some(Persistence {
+            dir: data_dir.to_path_buf(),
+            wal,
+            fp,
+            snapshot_every: opts.snapshot_interval,
+            batches_since_snapshot: report.replayed_batches,
+            snapshot_writes: 0,
+            snapshot_tuples: 0,
+            recovery: report,
+        });
+        Ok((this, report))
     }
 
     /// Convenience constructor: compile `source` and make it resident.
@@ -286,6 +527,22 @@ impl ResidentEngine {
         m.set("server.query_rows", s.query_rows);
         m.set("server.strata_rerun", s.strata_rerun);
         m.set("server.full_fallbacks", s.full_fallbacks);
+        if let Some(p) = &self.persistence {
+            m.set("wal.appends", p.wal.stats.appends);
+            m.set("wal.bytes", p.wal.stats.bytes);
+            m.set("wal.fsyncs", p.wal.stats.fsyncs);
+            m.set("wal.append_errors", p.wal.stats.append_errors);
+            m.set("snapshot.writes", p.snapshot_writes);
+            m.set("snapshot.tuples", p.snapshot_tuples);
+            m.set(
+                "recovery.snapshot_loaded",
+                u64::from(p.recovery.snapshot_loaded),
+            );
+            m.set("recovery.replayed_batches", p.recovery.replayed_batches);
+            m.set("recovery.replayed_tuples", p.recovery.replayed_tuples);
+            m.set("recovery.skipped_batches", p.recovery.skipped_batches);
+            m.set("recovery.torn_bytes", p.recovery.torn_bytes);
+        }
         self.db.sample_metrics(&self.ram, m);
     }
 
@@ -298,18 +555,58 @@ impl ResidentEngine {
     /// downstream strata up to date incrementally (see the module docs
     /// for the delta-restart algorithm and its fallback rule).
     ///
+    /// When the engine was [`Self::open`]ed with a data directory, the
+    /// batch is appended to the write-ahead log *before* evaluation, so
+    /// an `Ok` return means the facts survive a crash at any later
+    /// point; a [`EngineError::Storage`] return means the batch was
+    /// neither logged nor applied.
+    ///
     /// # Errors
     ///
     /// Rejects unknown or non-`.input` relations and wrong-arity tuples;
-    /// propagates runtime errors from re-evaluation.
+    /// propagates WAL failures and runtime errors from re-evaluation.
     pub fn insert_facts(
         &mut self,
         rel: &str,
         rows: &[Vec<Value>],
         tel: Option<&Telemetry>,
-    ) -> Result<UpdateReport, EvalError> {
+    ) -> Result<UpdateReport, EngineError> {
+        self.insert_facts_deadline(rel, rows, None, tel)
+    }
+
+    /// [`Self::insert_facts`] with a per-request deadline. Evaluation is
+    /// never aborted mid-way (that would leave downstream strata stale);
+    /// instead [`UpdateReport::deadline_exceeded`] is set when the
+    /// deadline elapsed, and the caller decides how to report it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::insert_facts`].
+    pub fn insert_facts_deadline(
+        &mut self,
+        rel: &str,
+        rows: &[Vec<Value>],
+        deadline: Option<Instant>,
+        tel: Option<&Telemetry>,
+    ) -> Result<UpdateReport, EngineError> {
         let _span = tel.map(|t| t.tracer.span("phase:serve:update"));
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        // Validate before logging, so the WAL only ever holds batches
+        // the engine would accept on replay.
+        self.validate_insert(rel, rows)?;
+        if let Some(p) = &mut self.persistence {
+            // WAL-then-evaluate: nothing is acknowledged (or applied)
+            // unless it is recoverable first.
+            p.wal.append(rel, rows)?;
+        }
+        let report = self.insert_internal(rel, rows, deadline, tel)?;
+        self.maybe_auto_snapshot(tel);
+        Ok(report)
+    }
+
+    /// Structural checks shared by the serving path (pre-WAL) and
+    /// [`Self::insert_internal`].
+    fn validate_insert(&self, rel: &str, rows: &[Vec<Value>]) -> Result<(), EvalError> {
         let meta = self
             .ram
             .relation_by_name(rel)
@@ -319,19 +616,37 @@ impl ResidentEngine {
                 "relation `{rel}` is not declared `.input`"
             )));
         }
-        let (target, arity) = (meta.id, meta.arity);
+        for row in rows {
+            if row.len() != meta.arity {
+                return Err(EvalError::new(format!(
+                    "tuple for `{rel}` has {} values, expected {}",
+                    row.len(),
+                    meta.arity
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one validated batch: staging, delta restart, fallback.
+    /// Does *not* touch the WAL — the serving path appends first, the
+    /// recovery path replays from it.
+    fn insert_internal(
+        &mut self,
+        rel: &str,
+        rows: &[Vec<Value>],
+        deadline: Option<Instant>,
+        tel: Option<&Telemetry>,
+    ) -> Result<UpdateReport, EvalError> {
+        self.validate_insert(rel, rows)?;
+        let meta = self.ram.relation_by_name(rel).expect("validated above");
+        let target = meta.id;
         let upd = self.ram.upd_of(target);
 
         let mut encoded = Vec::with_capacity(rows.len());
         {
             let mut symbols = self.db.symbols_wr();
             for row in rows {
-                if row.len() != arity {
-                    return Err(EvalError::new(format!(
-                        "tuple for `{rel}` has {} values, expected {arity}",
-                        row.len()
-                    )));
-                }
                 encoded.push(
                     row.iter()
                         .map(|v| v.encode(&mut symbols))
@@ -363,6 +678,7 @@ impl ResidentEngine {
             ..UpdateReport::default()
         };
         if fresh == 0 {
+            report.deadline_exceeded = deadline.is_some_and(|d| Instant::now() > d);
             return Ok(report);
         }
 
@@ -422,7 +738,76 @@ impl ResidentEngine {
         self.counters
             .full_fallbacks
             .fetch_add(report.full_fallbacks, Ordering::Relaxed);
+        report.deadline_exceeded = deadline.is_some_and(|d| Instant::now() > d);
         Ok(report)
+    }
+
+    /// Writes a snapshot and truncates the WAL. The snapshot is the new
+    /// recovery baseline: every previously logged batch is covered by
+    /// it, so the log restarts empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the engine has no data directory, and on snapshot or
+    /// WAL I/O errors (the previous snapshot stays in place; on a WAL
+    /// truncation failure replay after the *new* snapshot merely
+    /// re-inserts duplicates, which is idempotent).
+    pub fn snapshot(&mut self, tel: Option<&Telemetry>) -> Result<SnapshotStats, EngineError> {
+        let _span = tel.map(|t| t.tracer.span("phase:serve:snapshot"));
+        let Some(p) = &mut self.persistence else {
+            return Err(StorageError::new("no data directory configured").into());
+        };
+        let stats = wal::write_snapshot(
+            &p.snapshot_path(),
+            p.fp,
+            &self.ram,
+            &self.db,
+            &self.extra_facts,
+        )?;
+        p.wal.reset()?;
+        p.batches_since_snapshot = 0;
+        p.snapshot_writes += 1;
+        p.snapshot_tuples += stats.tuples;
+        Ok(stats)
+    }
+
+    /// Auto-snapshot bookkeeping after each accepted batch. A failed
+    /// auto-snapshot is logged and retried after the next batch; the
+    /// insert it rode on is already durable in the WAL.
+    fn maybe_auto_snapshot(&mut self, tel: Option<&Telemetry>) {
+        let Some(p) = &mut self.persistence else {
+            return;
+        };
+        p.batches_since_snapshot += 1;
+        let due = p
+            .snapshot_every
+            .is_some_and(|every| p.batches_since_snapshot >= every);
+        if due {
+            if let Err(e) = self.snapshot(tel) {
+                if let Some(t) = tel {
+                    t.logger
+                        .log(LogLevel::Warn, &format!("auto-snapshot failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Whether the engine persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Flushes and fsyncs the WAL regardless of the durability policy
+    /// (used at graceful shutdown). A no-op without a data directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL I/O errors.
+    pub fn flush_wal(&mut self) -> Result<(), EngineError> {
+        if let Some(p) = &mut self.persistence {
+            p.wal.sync()?;
+        }
+        Ok(())
     }
 
     /// Clears a stratum's relations, replays their ground and inserted
@@ -467,6 +852,24 @@ impl ResidentEngine {
         pattern: &[Option<Value>],
         tel: Option<&Telemetry>,
     ) -> Result<Vec<Vec<Value>>, EvalError> {
+        self.query_deadline(rel, pattern, None, tel)
+    }
+
+    /// [`Self::query`] with a per-request deadline. Unlike updates,
+    /// queries are read-only, so an elapsed deadline aborts the scan
+    /// outright — nothing is poisoned — and reports an error.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::query`], plus a `deadline exceeded` error when the
+    /// scan ran past `deadline`.
+    pub fn query_deadline(
+        &self,
+        rel: &str,
+        pattern: &[Option<Value>],
+        deadline: Option<Instant>,
+        tel: Option<&Telemetry>,
+    ) -> Result<Vec<Vec<Value>>, EvalError> {
         let _span = tel.map(|t| t.tracer.span("phase:serve:query"));
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let meta = self
@@ -484,6 +887,11 @@ impl ResidentEngine {
                 pattern.len(),
                 meta.arity
             )));
+        }
+        // Check once up front so an already-elapsed deadline aborts even
+        // a tiny scan; the in-loop poll only fires every 4096 tuples.
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            return Err(EvalError::new("deadline exceeded"));
         }
 
         let rel_guard = self.db.rd(meta.id);
@@ -546,7 +954,18 @@ impl ResidentEngine {
 
         let mut out = Vec::new();
         let mut src = vec![0; arity];
+        let mut scanned = 0u32;
         while let Some(stored) = it.next_tuple() {
+            // Poll the clock every 4096 tuples: cheap enough to leave on,
+            // frequent enough that a runaway scan stops promptly.
+            scanned = scanned.wrapping_add(1);
+            if scanned & 0xFFF == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() > d {
+                        return Err(EvalError::new("deadline exceeded"));
+                    }
+                }
+            }
             if source_layout {
                 src.copy_from_slice(stored);
             } else {
@@ -727,6 +1146,209 @@ mod tests {
         assert_eq!(s.update_tuples, 1);
         assert_eq!(s.query_rows, 3);
         assert!(s.strata_rerun >= 1);
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stir-resident-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_dir(
+        src: &str,
+        config: InterpreterConfig,
+        inputs: &InputData,
+        dir: &Path,
+        opts: PersistOptions,
+    ) -> (ResidentEngine, RecoveryReport) {
+        let engine = crate::engine::Engine::from_source(src).expect("compiles");
+        ResidentEngine::open(engine, config, inputs, dir, opts, None).expect("opens")
+    }
+
+    #[test]
+    fn wal_replay_recovers_acked_inserts() {
+        let dir = tmpdir("wal-replay");
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+
+        let (mut r, rec) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        assert_eq!(rec, RecoveryReport::default());
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        let before = r.outputs();
+        drop(r); // simulated crash: no snapshot, no graceful shutdown
+
+        let (r, rec) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        assert!(!rec.snapshot_loaded);
+        assert_eq!(rec.replayed_batches, 2);
+        assert_eq!(rec.replayed_tuples, 2);
+        assert_eq!(rec.skipped_batches, 0);
+        assert_eq!(r.outputs(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_truncates_wal_and_restores() {
+        let dir = tmpdir("snapshot");
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        let stats = r.snapshot(None).expect("snapshots");
+        assert!(stats.tuples > 0);
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        let before = r.outputs();
+        drop(r);
+
+        let (r, rec) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.replayed_batches, 1, "only the post-snapshot suffix");
+        assert_eq!(r.outputs(), before);
+        assert!(
+            r.initial_profile().is_none(),
+            "snapshot load skips the initial fixpoint"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshots_are_portable_across_engine_modes() {
+        let src = "\
+            .decl n(s: symbol)\n.input n\n\
+            .decl out(s: symbol)\n.output out\n\
+            out(s) :- n(s).\n";
+        let dir = tmpdir("modes");
+        let mut inputs = InputData::new();
+        inputs.insert("n".into(), vec![vec![Value::Symbol("ada".into())]]);
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(src, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        r.insert_facts("n", &[vec![Value::Symbol("grace".into())]], None)
+            .expect("inserts");
+        r.snapshot(None).expect("snapshots");
+        let before = r.outputs();
+        drop(r);
+
+        // Same data dir, opposite end of the configuration space.
+        let (r, rec) = open_dir(src, InterpreterConfig::legacy(), &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(r.outputs(), before);
+        let rows = r
+            .query("out", &[Some(Value::Symbol("grace".into()))], None)
+            .expect("queries");
+        assert_eq!(rows.len(), 1, "recovered symbols stay queryable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_snapshot_interval_resets_the_wal() {
+        let dir = tmpdir("auto");
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions {
+            snapshot_interval: Some(2),
+            ..PersistOptions::default()
+        };
+
+        let (mut r, _) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        assert!(!dir.join(SNAPSHOT_FILE).exists(), "below the interval");
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        assert!(dir.join(SNAPSHOT_FILE).exists(), "interval reached");
+        drop(r);
+
+        let (r, rec) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.replayed_batches, 0, "snapshot covered everything");
+        assert_eq!(r.outputs()["p"].len(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn negation_retraction_survives_recovery() {
+        // The explicit extra_facts section: a derived tuple in an .input
+        // relation must not be replayed as ground after recovery.
+        let src = "\
+            .decl a(x: number)\n.input a\n\
+            .decl b(x: number)\n.input b\n\
+            .decl r(x: number)\n.output r\n\
+            r(x) :- a(x), !b(x).\n";
+        let dir = tmpdir("negation");
+        let mut inputs = InputData::new();
+        inputs.insert("a".into(), vec![vec![Value::Number(1)]]);
+        inputs.insert("b".into(), Vec::new());
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(src, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        r.snapshot(None).expect("snapshots");
+        r.insert_facts("b", &[vec![Value::Number(1)]], None)
+            .expect("inserts");
+        assert!(r.outputs()["r"].is_empty());
+        drop(r);
+
+        let (r, _) = open_dir(src, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        assert!(
+            r.outputs()["r"].is_empty(),
+            "retraction holds after snapshot + WAL replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn insert_deadline_sets_flag_but_commits() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let mut r = resident(TC, &inputs);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let report = r
+            .insert_facts_deadline("e", &pairs(&[(2, 3)]), Some(past), None)
+            .expect("applies despite deadline");
+        assert!(report.deadline_exceeded);
+        assert_eq!(report.inserted, 1, "the update still committed");
+        assert_eq!(r.outputs()["p"].len(), 3);
+    }
+
+    #[test]
+    fn query_deadline_aborts_cleanly() {
+        // Non-recursive program: large EDB without a quadratic closure.
+        let src = "\
+            .decl e(x: number, y: number)\n.input e\n\
+            .decl p(x: number, y: number)\n.output p\n\
+            p(x, y) :- e(x, y).\n";
+        let mut inputs = InputData::new();
+        // Enough rows that the scan crosses at least one deadline poll.
+        inputs.insert(
+            "e".into(),
+            pairs(&(0..5000).map(|i| (i, i + 1)).collect::<Vec<_>>()),
+        );
+        let r = resident(src, &inputs);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let err = r
+            .query_deadline("e", &[None, None], Some(past), None)
+            .unwrap_err();
+        assert!(err.msg.contains("deadline"), "{err:?}");
+        // The engine is untouched: the same query without a deadline works.
+        assert_eq!(
+            r.query("e", &[None, None], None).expect("queries").len(),
+            5000
+        );
+    }
+
+    #[test]
+    fn snapshot_without_data_dir_is_an_error() {
+        let mut r = resident(TC, &InputData::new());
+        assert!(!r.is_durable());
+        assert!(matches!(r.snapshot(None), Err(EngineError::Storage(_))));
+        r.flush_wal().expect("no-op without persistence");
     }
 
     #[test]

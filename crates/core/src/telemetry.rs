@@ -247,7 +247,12 @@ impl Drop for SpanGuard<'_> {
 ///
 /// Keys are dot-separated paths (`relation.path.inserts`,
 /// `interp.dispatches`, `db.index.bytes`); the map is ordered so dumps
-/// are deterministic.
+/// are deterministic. The durability layer contributes `wal.*`
+/// (appends, bytes, fsyncs, append_errors), `snapshot.*` (writes,
+/// tuples), and `recovery.*` (snapshot_loaded, replayed_batches,
+/// replayed_tuples, skipped_batches, torn_bytes) when a resident engine
+/// runs with a data directory — see
+/// [`crate::resident::ResidentEngine::sync_metrics`].
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     enabled: bool,

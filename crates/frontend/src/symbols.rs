@@ -64,6 +64,14 @@ impl SymbolTable {
         self.strings.len()
     }
 
+    /// All interned strings, in id order (id `i` is `strings()[i]`).
+    ///
+    /// Used by the durability layer to persist the table; interning the
+    /// strings back in this order reproduces identical ids.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()

@@ -27,6 +27,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::RwLock;
 use stir::core::io;
+use stir::core::{Durability, PersistOptions};
 use stir::{
     profile_json, Engine, InputData, InterpreterConfig, LogLevel, ProfileReport, ResidentEngine,
     Telemetry,
@@ -44,6 +45,8 @@ struct Options {
     print_ram: bool,
     synthesize: Option<PathBuf>,
     repl: bool,
+    data_dir: Option<PathBuf>,
+    persist: PersistOptions,
 }
 
 const HELP: &str = "\
@@ -70,6 +73,14 @@ usage: stir [repl] PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
       --ram              print the RAM listing and exit
       --synthesize DIR   emit + rustc-compile the synthesized program
                          into DIR instead of interpreting
+
+repl-only durability flags (see DESIGN.md §10):
+      --data-dir DIR     write-ahead log + snapshots under DIR; restart
+                         recovers every acknowledged insert
+      --durability MODE  none | batch | always
+                         (default: $STIR_DURABILITY or batch)
+      --snapshot-interval N  auto-snapshot every N insert batches
+
   -h, --help             print this help and exit
   -V, --version          print the version and exit";
 
@@ -92,6 +103,11 @@ fn parse_args() -> Options {
     let mut synthesize = None;
     let mut repl = false;
     let mut jobs = None;
+    let mut data_dir = None;
+    let mut persist = PersistOptions {
+        durability: Durability::default_from_env(),
+        snapshot_interval: None,
+    };
     let mut first = true;
     while let Some(arg) = args.next() {
         if std::mem::take(&mut first) && arg == "repl" {
@@ -144,6 +160,24 @@ fn parse_args() -> Options {
                     None => usage(),
                 }
             }
+            "--data-dir" => data_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--durability" => match args.next().as_deref().map(Durability::parse) {
+                Some(Ok(d)) => persist.durability = d,
+                Some(Err(e)) => {
+                    eprintln!("stir: {e}");
+                    std::process::exit(2)
+                }
+                None => usage(),
+            },
+            "--snapshot-interval" => {
+                persist.snapshot_interval = match args.next().as_deref().map(str::parse::<u64>) {
+                    Some(Ok(n)) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("stir: --snapshot-interval needs a positive integer");
+                        std::process::exit(2)
+                    }
+                }
+            }
             "--ram" => print_ram = true,
             "--synthesize" => {
                 synthesize = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
@@ -187,6 +221,8 @@ fn parse_args() -> Options {
         print_ram,
         synthesize,
         repl,
+        data_dir,
+        persist,
     }
 }
 
@@ -226,12 +262,32 @@ fn print_profile_table(profile: &ProfileReport) {
 /// whole session — the initial fixpoint plus every update and query span.
 fn run_repl(opts: &Options, engine: Engine, inputs: &InputData, tel: &Telemetry) -> ExitCode {
     let started = std::time::Instant::now();
-    let resident = match ResidentEngine::new(engine, opts.config, inputs, Some(tel)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("stir: {e}");
-            return ExitCode::FAILURE;
+    let resident = match &opts.data_dir {
+        Some(dir) => {
+            match ResidentEngine::open(engine, opts.config, inputs, dir, opts.persist, Some(tel)) {
+                Ok((r, recovery)) => {
+                    eprintln!(
+                        "stir: recovery snapshot={} replayed={} batches ({} tuples) torn_bytes={}",
+                        recovery.snapshot_loaded,
+                        recovery.replayed_batches,
+                        recovery.replayed_tuples,
+                        recovery.torn_bytes,
+                    );
+                    r
+                }
+                Err(e) => {
+                    eprintln!("stir: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        None => match ResidentEngine::new(engine, opts.config, inputs, Some(tel)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("stir: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     eprintln!(
         "stir: resident engine ready ({} relations, {} strata); .help for commands",
@@ -247,7 +303,19 @@ fn run_repl(opts: &Options, engine: Engine, inputs: &InputData, tel: &Telemetry)
     }
     drop(output);
     let elapsed = started.elapsed();
-    let resident = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    let mut resident = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    if resident.is_durable() {
+        if let Err(e) = resident.flush_wal() {
+            eprintln!("stir: WAL flush at exit failed: {e}");
+        }
+        match resident.snapshot(Some(tel)) {
+            Ok(s) => eprintln!(
+                "stir: exit snapshot: {} tuples, {} bytes",
+                s.tuples, s.bytes
+            ),
+            Err(e) => eprintln!("stir: exit snapshot failed: {e}"),
+        }
+    }
     if let Some(path) = &opts.profile_json {
         resident.sync_metrics(tel);
         let json = profile_json(resident.ram(), resident.initial_profile(), tel, elapsed);

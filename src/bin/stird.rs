@@ -3,37 +3,53 @@
 //! ```text
 //! stird PROGRAM.dl [-F facts_dir] [options]
 //!
-//!   -F, --fact-dir DIR     read <rel>.facts for every .input relation
-//!       --port PORT        TCP port to listen on (default 0 = pick a
-//!                          free port; the chosen address is printed as
-//!                          `stird: listening on ADDR`)
-//!       --mode MODE        sti | dynamic | unopt | legacy    (default sti)
-//!   -j, --jobs N           evaluate parallel scans with N workers
-//!                          (default: $STIR_JOBS or 1)
-//!       --profile-json F   write the machine-readable profile JSON to F
-//!                          at shutdown (covers the initial fixpoint and
-//!                          the whole serving session)
-//!       --log LEVEL        stderr verbosity: off|error|warn|info|debug
-//!   -h, --help             print this help and exit
+//!   -F, --fact-dir DIR       read <rel>.facts for every .input relation
+//!       --port PORT          TCP port to listen on (default 0 = pick a
+//!                            free port; the chosen address is printed as
+//!                            `stird: listening on ADDR`)
+//!       --mode MODE          sti | dynamic | unopt | legacy  (default sti)
+//!   -j, --jobs N             evaluate parallel scans with N workers
+//!                            (default: $STIR_JOBS or 1)
+//!   -D, --data-dir DIR       persist inserts to a write-ahead log and
+//!                            snapshots under DIR; on restart the engine
+//!                            recovers every acknowledged insert
+//!       --durability MODE    none | batch | always
+//!                            (default: $STIR_DURABILITY or batch)
+//!       --snapshot-interval N  auto-snapshot (truncating the WAL) every
+//!                            N accepted insert batches
+//!       --max-conns N        refuse connections beyond N concurrent
+//!                            sessions with `err server busy` (default 64)
+//!       --request-timeout S  per-request evaluation deadline in seconds
+//!       --max-line-bytes N   reject request lines longer than N bytes
+//!                            (default 1048576)
+//!       --profile-json F     write the machine-readable profile JSON to F
+//!                            at shutdown (covers the initial fixpoint and
+//!                            the whole serving session)
+//!       --log LEVEL          stderr verbosity: off|error|warn|info|debug
+//!   -h, --help               print this help and exit
 //! ```
 //!
 //! One resident engine serves every connection with the line protocol of
 //! [`stir::serve`]: inserts take the engine's write lock (serialized),
-//! queries take the read lock (concurrent). A client sending `.stop`
-//! shuts the whole server down gracefully — in-flight connections finish
-//! their current request, then the profile JSON (if requested) is
-//! flushed. Telemetry lives behind a `Mutex` because the tracer is
-//! single-threaded by design; it is only locked when profiling was
-//! requested, so the serving fast path never touches it.
+//! queries take the read lock (concurrent). Shutdown is graceful on
+//! `.stop`, SIGINT, or SIGTERM: in-flight connections finish their
+//! current request, the WAL is flushed, and (when a data dir is
+//! configured) a final snapshot is written. Telemetry lives behind a
+//! `Mutex` because the tracer is single-threaded by design; it is only
+//! locked when profiling was requested, so the serving fast path never
+//! touches it.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError, RwLock};
+use std::time::Duration;
+use stir::core::fault::{self, FaultPoint};
 use stir::core::io;
-use stir::serve::{handle_line, Control};
+use stir::core::{Durability, PersistOptions};
+use stir::serve::{handle_line_cfg, read_request, Control, Request, SessionConfig};
 use stir::{
     profile_json, Engine, InputData, InterpreterConfig, LogLevel, ResidentEngine, Telemetry,
 };
@@ -45,25 +61,42 @@ struct Options {
     config: InterpreterConfig,
     profile_json: Option<PathBuf>,
     log_level: LogLevel,
+    data_dir: Option<PathBuf>,
+    persist: PersistOptions,
+    max_conns: usize,
+    session: SessionConfig,
 }
 
 const HELP: &str = "\
 usage: stird PROGRAM.dl [-F facts_dir] [options]
 
-  -F, --fact-dir DIR     read <rel>.facts for every .input relation
-      --port PORT        TCP port (default 0 = pick a free port)
-      --mode MODE        sti | dynamic | unopt | legacy    (default sti)
-  -j, --jobs N           evaluate parallel scans with N workers
-                         (default: $STIR_JOBS or 1)
-      --profile-json F   write the profile JSON to F at shutdown
-      --log LEVEL        stderr verbosity: off|error|warn|info|debug
-  -h, --help             print this help and exit
+  -F, --fact-dir DIR       read <rel>.facts for every .input relation
+      --port PORT          TCP port (default 0 = pick a free port)
+      --mode MODE          sti | dynamic | unopt | legacy  (default sti)
+  -j, --jobs N             evaluate parallel scans with N workers
+                           (default: $STIR_JOBS or 1)
+  -D, --data-dir DIR       write-ahead log + snapshots under DIR;
+                           restart recovers every acknowledged insert
+      --durability MODE    none | batch | always
+                           (default: $STIR_DURABILITY or batch)
+      --snapshot-interval N  auto-snapshot every N insert batches
+      --max-conns N        concurrent session limit (default 64)
+      --request-timeout S  per-request evaluation deadline in seconds
+      --max-line-bytes N   request line size limit (default 1048576)
+      --profile-json F     write the profile JSON to F at shutdown
+      --log LEVEL          stderr verbosity: off|error|warn|info|debug
+  -h, --help               print this help and exit
 
 protocol (one request per line): +rel(1,2). | ?rel(1,_,x) | .stats |
-.help | .quit (close connection) | .stop (shut the server down)";
+.snapshot | .help | .quit (close connection) | .stop (shut down)";
 
 fn usage() -> ! {
     eprintln!("{HELP}");
+    std::process::exit(2)
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("stird: {msg}");
     std::process::exit(2)
 }
 
@@ -76,6 +109,13 @@ fn parse_args() -> Options {
     let mut profile_json = None;
     let mut log_level = LogLevel::Off;
     let mut jobs = None;
+    let mut data_dir = None;
+    let mut persist = PersistOptions {
+        durability: Durability::default_from_env(),
+        snapshot_interval: None,
+    };
+    let mut max_conns = 64usize;
+    let mut session = SessionConfig::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-F" | "--fact-dir" => {
@@ -99,11 +139,40 @@ fn parse_args() -> Options {
             "-j" | "--jobs" => {
                 jobs = match args.next().as_deref().map(str::parse::<usize>) {
                     Some(Ok(n)) if n >= 1 => Some(n),
-                    Some(_) => {
-                        eprintln!("stird: --jobs needs a positive integer");
-                        std::process::exit(2)
-                    }
+                    Some(_) => fatal("--jobs needs a positive integer"),
                     None => usage(),
+                }
+            }
+            "-D" | "--data-dir" => {
+                data_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--durability" => match args.next().as_deref().map(Durability::parse) {
+                Some(Ok(d)) => persist.durability = d,
+                Some(Err(e)) => fatal(&e),
+                None => usage(),
+            },
+            "--snapshot-interval" => {
+                persist.snapshot_interval = match args.next().as_deref().map(str::parse::<u64>) {
+                    Some(Ok(n)) if n >= 1 => Some(n),
+                    _ => fatal("--snapshot-interval needs a positive integer"),
+                }
+            }
+            "--max-conns" => {
+                max_conns = match args.next().as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => fatal("--max-conns needs a positive integer"),
+                }
+            }
+            "--request-timeout" => {
+                session.request_timeout = match args.next().as_deref().map(str::parse::<f64>) {
+                    Some(Ok(s)) if s > 0.0 => Some(Duration::from_secs_f64(s)),
+                    _ => fatal("--request-timeout needs a positive number of seconds"),
+                }
+            }
+            "--max-line-bytes" => {
+                session.max_line_bytes = match args.next().as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => fatal("--max-line-bytes needs a positive integer"),
                 }
             }
             "--profile-json" => {
@@ -112,10 +181,7 @@ fn parse_args() -> Options {
             "--log" => {
                 log_level = match args.next().as_deref().map(str::parse) {
                     Some(Ok(level)) => level,
-                    Some(Err(e)) => {
-                        eprintln!("stird: {e}");
-                        std::process::exit(2)
-                    }
+                    Some(Err(e)) => fatal(&e.to_string()),
                     None => usage(),
                 }
             }
@@ -144,6 +210,56 @@ fn parse_args() -> Options {
         config,
         profile_json,
         log_level,
+        data_dir,
+        persist,
+        max_conns,
+        session,
+    }
+}
+
+/// Minimal libc-free signal handling: SIGINT/SIGTERM raise a flag the
+/// accept loop and idle connections poll, so `kill` (or Ctrl-C) drains
+/// in-flight requests, flushes the WAL, and snapshots instead of
+/// dropping acknowledged-but-unsnapshotted state on the floor.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// A [`TcpStream`] writer that runs the `conn_write` fault hook before
+/// every write, so the fault harness can simulate clients whose socket
+/// dies mid-response.
+struct FaultStream(TcpStream);
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        fault::check(FaultPoint::ConnWrite)?;
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
     }
 }
 
@@ -156,45 +272,59 @@ fn handle_conn(
     engine: &RwLock<ResidentEngine>,
     tel: Option<&Mutex<Telemetry>>,
     stop: &AtomicBool,
-    addr: SocketAddr,
+    cfg: &SessionConfig,
 ) {
     let peer = stream
         .peer_addr()
         .map_or_else(|_| "<unknown>".to_owned(), |p| p.to_string());
-    if let Err(e) = serve_conn(stream, engine, tel, stop, addr) {
+    if let Err(e) = serve_conn(stream, engine, tel, stop, cfg) {
         eprintln!("stird: dropping connection from {peer}: {e}");
     }
 }
 
 /// The request/response loop behind [`handle_conn`]. The response to
 /// each request is written before the next is read, so a client can
-/// pipeline `request → read until ok/err` cycles.
+/// pipeline `request → read until ok/err` cycles. The short read
+/// timeout makes an idle connection wake up a few times a second to
+/// poll the stop flag; [`read_request`] treats those timeouts as
+/// retries, so they are invisible to a live client.
 fn serve_conn(
-    mut stream: TcpStream,
+    stream: TcpStream,
     engine: &RwLock<ResidentEngine>,
     tel: Option<&Mutex<Telemetry>>,
     stop: &AtomicBool,
-    addr: SocketAddr,
+    cfg: &SessionConfig,
 ) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut line = String::new();
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = FaultStream(stream);
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(());
-        }
-        let control = {
-            let guard = tel.map(|m| m.lock().unwrap_or_else(PoisonError::into_inner));
-            handle_line(engine, &line, guard.as_deref(), &mut stream)?
+        let control = match read_request(&mut reader, cfg.max_line_bytes, Some(stop))? {
+            Request::Eof | Request::Shutdown => return Ok(()),
+            Request::TooLong => {
+                writeln!(
+                    writer,
+                    "err request line exceeds {} bytes",
+                    cfg.max_line_bytes
+                )?;
+                Control::Continue
+            }
+            Request::BadUtf8 => {
+                writeln!(writer, "err request is not valid UTF-8")?;
+                Control::Continue
+            }
+            Request::Line(line) => {
+                let guard = tel.map(|m| m.lock().unwrap_or_else(PoisonError::into_inner));
+                handle_line_cfg(engine, &line, cfg, guard.as_deref(), &mut writer)?
+            }
         };
-        stream.flush()?;
+        writer.flush()?;
         match control {
             Control::Continue => {}
             Control::Quit => return Ok(()),
             Control::Stop => {
                 stop.store(true, Ordering::SeqCst);
-                // Unblock the accept loop so the server can wind down.
-                let _ = TcpStream::connect(addr);
                 return Ok(());
             }
         }
@@ -232,12 +362,35 @@ fn main() -> ExitCode {
     };
 
     let started = std::time::Instant::now();
-    let resident = match ResidentEngine::new(engine, opts.config, &inputs, Some(&tel)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("stird: {e}");
-            return ExitCode::FAILURE;
+    let resident = match &opts.data_dir {
+        Some(dir) => {
+            match ResidentEngine::open(engine, opts.config, &inputs, dir, opts.persist, Some(&tel))
+            {
+                Ok((r, recovery)) => {
+                    eprintln!(
+                        "stird: recovery snapshot={} replayed={} batches ({} tuples) \
+                         skipped={} torn_bytes={}",
+                        recovery.snapshot_loaded,
+                        recovery.replayed_batches,
+                        recovery.replayed_tuples,
+                        recovery.skipped_batches,
+                        recovery.torn_bytes,
+                    );
+                    r
+                }
+                Err(e) => {
+                    eprintln!("stird: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        None => match ResidentEngine::new(engine, opts.config, &inputs, Some(&tel)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("stird: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
 
     let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
@@ -254,12 +407,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The accept loop must wake up to notice `.stop` and signals, so it
+    // polls instead of blocking in `accept`.
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("stird: {e}");
+        return ExitCode::FAILURE;
+    }
+    signals::install();
     // Tests (and scripts) wait for this exact line to learn the port.
     println!("stird: listening on {addr}");
     let _ = std::io::stdout().flush();
 
     let shared = RwLock::new(resident);
-    let stop = AtomicBool::new(false);
+    let stop = &signals::STOP;
+    let active = AtomicUsize::new(0);
     // The tracer is intentionally single-threaded (RefCell spans); a
     // mutex serializes the rare profiled requests without making the
     // unprofiled path pay for it.
@@ -267,21 +428,58 @@ fn main() -> ExitCode {
     let tel_opt = wants_json.then_some(&tel_mutex);
 
     std::thread::scope(|s| {
-        for conn in listener.incoming() {
+        loop {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = conn else { continue };
-            let (shared, stop) = (&shared, &stop);
-            s.spawn(move || handle_conn(stream, shared, tel_opt, stop, addr));
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("stird: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(25));
+                    continue;
+                }
+            };
+            // Admission control: a clean, bounded reply beats an
+            // unbounded thread pile-up under connection floods.
+            if active.fetch_add(1, Ordering::SeqCst) >= opts.max_conns {
+                active.fetch_sub(1, Ordering::SeqCst);
+                let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = writeln!(stream, "err server busy");
+                continue;
+            }
+            let (shared, active, session) = (&shared, &active, &opts.session);
+            s.spawn(move || {
+                handle_conn(stream, shared, tel_opt, stop, session);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
         }
+        // The scope joins every connection thread here: in-flight
+        // requests drain before shutdown work below starts.
     });
 
     let elapsed = started.elapsed();
-    let resident = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    let mut resident = shared.into_inner().unwrap_or_else(|p| p.into_inner());
     let tel = tel_mutex
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
+    if resident.is_durable() {
+        if let Err(e) = resident.flush_wal() {
+            eprintln!("stird: WAL flush at shutdown failed: {e}");
+        }
+        match resident.snapshot(Some(&tel)) {
+            Ok(s) => eprintln!(
+                "stird: shutdown snapshot: {} tuples, {} bytes",
+                s.tuples, s.bytes
+            ),
+            Err(e) => eprintln!("stird: shutdown snapshot failed: {e}"),
+        }
+    }
     if let Some(path) = &opts.profile_json {
         resident.sync_metrics(&tel);
         let json = profile_json(resident.ram(), resident.initial_profile(), &tel, elapsed);

@@ -26,8 +26,10 @@
 //! the std stand-in for the `parking_lot` lock a production server would
 //! use.
 
-use std::io::Write;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{PoisonError, RwLock};
+use std::time::{Duration, Instant};
 use stir_core::io::parse_field;
 use stir_core::{ResidentEngine, Telemetry, Value};
 use stir_frontend::ast::AttrType;
@@ -43,11 +45,33 @@ pub enum Control {
     Stop,
 }
 
+/// Per-session limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Longest accepted request line; anything longer is answered with a
+    /// protocol error (and the excess discarded) instead of buffered.
+    pub max_line_bytes: usize,
+    /// Per-request evaluation deadline. A query past it aborts with an
+    /// error; an update past it still commits (see
+    /// [`ResidentEngine::insert_facts_deadline`]) but is reported.
+    pub request_timeout: Option<Duration>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_line_bytes: 1 << 20,
+            request_timeout: None,
+        }
+    }
+}
+
 const HELP: &str = "\
 commands:
   +rel(1, \"a\", ...).    insert a fact into an .input relation
   ?rel(1, _, x)          query: constants bind, `_`/identifiers are free
   .stats                 show serving counters
+  .snapshot              persist a snapshot and truncate the WAL
   .help                  this summary
   .quit                  close this session
   .stop                  shut the server down";
@@ -62,6 +86,21 @@ commands:
 pub fn handle_line(
     engine: &RwLock<ResidentEngine>,
     line: &str,
+    tel: Option<&Telemetry>,
+    out: &mut dyn Write,
+) -> std::io::Result<Control> {
+    handle_line_cfg(engine, line, &SessionConfig::default(), tel, out)
+}
+
+/// [`handle_line`] with explicit session limits (request deadline).
+///
+/// # Errors
+///
+/// Only I/O errors writing the response propagate.
+pub fn handle_line_cfg(
+    engine: &RwLock<ResidentEngine>,
+    line: &str,
+    cfg: &SessionConfig,
     tel: Option<&Telemetry>,
     out: &mut dyn Write,
 ) -> std::io::Result<Control> {
@@ -91,14 +130,35 @@ pub fn handle_line(
             )?;
             return Ok(Control::Continue);
         }
+        ".snapshot" => {
+            let result = {
+                let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
+                engine.snapshot(tel)
+            };
+            match result {
+                Ok(stats) => writeln!(
+                    out,
+                    "ok snapshot {} tuples {} bytes",
+                    stats.tuples, stats.bytes
+                )?,
+                Err(e) => writeln!(out, "err {e}")?,
+            }
+            return Ok(Control::Continue);
+        }
         _ => {}
     }
+    let deadline = cfg.request_timeout.map(|t| Instant::now() + t);
     match line.as_bytes()[0] {
-        b'+' => match insert(engine, &line[1..], tel) {
-            Ok(n) => writeln!(out, "ok {n} inserted")?,
+        b'+' => match insert(engine, &line[1..], deadline, tel) {
+            Ok(report) if report.deadline_exceeded => {
+                // The WAL-then-evaluate ordering means the data is
+                // already durable and applied; only the reply is late.
+                writeln!(out, "err deadline exceeded (update committed)")?;
+            }
+            Ok(report) => writeln!(out, "ok {} inserted", report.inserted)?,
             Err(e) => writeln!(out, "err {e}")?,
         },
-        b'?' => match query(engine, &line[1..], tel) {
+        b'?' => match query(engine, &line[1..], deadline, tel) {
             Ok(rows) => {
                 for row in &rows {
                     let rendered: Vec<String> = row.iter().map(ToString::to_string).collect();
@@ -120,8 +180,9 @@ fn rd(engine: &RwLock<ResidentEngine>) -> std::sync::RwLockReadGuard<'_, Residen
 fn insert(
     engine: &RwLock<ResidentEngine>,
     atom: &str,
+    deadline: Option<Instant>,
     tel: Option<&Telemetry>,
-) -> Result<u64, String> {
+) -> Result<stir_core::UpdateReport, String> {
     let atom = atom.strip_suffix('.').unwrap_or(atom);
     let (rel, terms) = parse_atom(atom)?;
     let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
@@ -131,14 +192,14 @@ fn insert(
         row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
     }
     engine
-        .insert_facts(&rel, &[row], tel)
-        .map(|r| r.inserted)
+        .insert_facts_deadline(&rel, &[row], deadline, tel)
         .map_err(|e| e.to_string())
 }
 
 fn query(
     engine: &RwLock<ResidentEngine>,
     atom: &str,
+    deadline: Option<Instant>,
     tel: Option<&Telemetry>,
 ) -> Result<Vec<Vec<Value>>, String> {
     let atom = atom.strip_suffix('.').unwrap_or(atom);
@@ -157,7 +218,9 @@ fn query(
             _ => Some(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?),
         });
     }
-    engine.query(&rel, &pattern, tel).map_err(|e| e.to_string())
+    engine
+        .query_deadline(&rel, &pattern, deadline, tel)
+        .map_err(|e| e.to_string())
 }
 
 /// Looks the relation up and checks the term count, returning the
@@ -274,6 +337,103 @@ fn is_ident(s: &str) -> bool {
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
+/// One request-framing outcome from [`read_request`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Request {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// The line exceeded the session's byte limit; the excess up to the
+    /// next newline was discarded, so the session can continue.
+    TooLong,
+    /// The line was not valid UTF-8; it was consumed in full.
+    BadUtf8,
+    /// The peer closed the stream.
+    Eof,
+    /// The server's stop flag was raised while waiting between requests.
+    Shutdown,
+}
+
+/// Reads one request line with a hard byte bound, without ever buffering
+/// more than [`SessionConfig::max_line_bytes`] of a single line.
+///
+/// When `stop` is given, the input is expected to yield
+/// `WouldBlock`/`TimedOut` periodically (a socket with a read timeout);
+/// each such wakeup polls the flag so an idle connection notices a
+/// server shutdown. Partial lines already read are preserved across
+/// wakeups.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the polling timeouts.
+pub fn read_request(
+    input: &mut dyn BufRead,
+    max_line_bytes: usize,
+    stop: Option<&AtomicBool>,
+) -> std::io::Result<Request> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+            return Ok(Request::Shutdown);
+        }
+        let (consumed, done) = match input.fill_buf() {
+            Ok([]) => {
+                // EOF. A buffered partial line is still a request (a
+                // final line without a newline).
+                if discarding {
+                    return Ok(Request::TooLong);
+                }
+                if buf.is_empty() {
+                    return Ok(Request::Eof);
+                }
+                (0, true)
+            }
+            Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if !discarding {
+                        buf.extend_from_slice(&chunk[..i]);
+                    }
+                    (i + 1, true)
+                }
+                None => {
+                    if !discarding {
+                        buf.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        input.consume(consumed);
+        if buf.len() > max_line_bytes {
+            // Switch to discard mode: drop what we buffered and skip
+            // ahead to the newline so the *next* request parses cleanly.
+            discarding = true;
+            buf.clear();
+        }
+        if done {
+            break;
+        }
+    }
+    if discarding {
+        return Ok(Request::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Request::Line(s)),
+        Err(_) => Ok(Request::BadUtf8),
+    }
+}
+
 /// Runs a full REPL-style session: reads protocol lines from `input`,
 /// writes responses to `output`, and returns how the session ended
 /// ([`Control::Quit`] at EOF).
@@ -287,13 +447,43 @@ pub fn run_session(
     output: &mut dyn Write,
     tel: Option<&Telemetry>,
 ) -> std::io::Result<Control> {
-    let mut line = String::new();
+    run_session_with(engine, input, output, &SessionConfig::default(), None, tel)
+}
+
+/// [`run_session`] with explicit limits and an optional server stop
+/// flag. Oversized and non-UTF-8 request lines are answered with `err`
+/// protocol errors — the session (and the engine behind it) survives
+/// arbitrary garbage on the wire.
+///
+/// # Errors
+///
+/// Propagates I/O errors on either stream.
+pub fn run_session_with(
+    engine: &RwLock<ResidentEngine>,
+    input: &mut dyn std::io::BufRead,
+    output: &mut dyn Write,
+    cfg: &SessionConfig,
+    stop: Option<&AtomicBool>,
+    tel: Option<&Telemetry>,
+) -> std::io::Result<Control> {
     loop {
-        line.clear();
-        if input.read_line(&mut line)? == 0 {
-            return Ok(Control::Quit);
-        }
-        let control = handle_line(engine, &line, tel, output)?;
+        let control = match read_request(input, cfg.max_line_bytes, stop)? {
+            Request::Eof => return Ok(Control::Quit),
+            Request::Shutdown => return Ok(Control::Quit),
+            Request::TooLong => {
+                writeln!(
+                    output,
+                    "err request line exceeds {} bytes",
+                    cfg.max_line_bytes
+                )?;
+                Control::Continue
+            }
+            Request::BadUtf8 => {
+                writeln!(output, "err request is not valid UTF-8")?;
+                Control::Continue
+            }
+            Request::Line(line) => handle_line_cfg(engine, &line, cfg, tel, output)?,
+        };
         output.flush()?;
         if control != Control::Continue {
             return Ok(control);
@@ -313,19 +503,26 @@ mod tests {
         p(x, z) :- p(x, y), e(y, z).\n";
 
     fn session(src: &str, script: &str) -> String {
-        let engine = RwLock::new(
-            ResidentEngine::from_source(
-                src,
-                InterpreterConfig::optimized(),
-                &InputData::new(),
-                None,
-            )
-            .expect("builds"),
-        );
+        session_cfg(src, script.as_bytes(), &SessionConfig::default()).expect("session")
+    }
+
+    fn session_cfg(
+        src: &str,
+        script: &[u8],
+        cfg: &SessionConfig,
+    ) -> Result<String, stir_core::EngineError> {
+        let engine = RwLock::new(ResidentEngine::from_source(
+            src,
+            InterpreterConfig::optimized(),
+            &InputData::new(),
+            None,
+        )?);
         let mut out = Vec::new();
-        let mut input = script.as_bytes();
-        run_session(&engine, &mut input, &mut out, None).expect("io");
-        String::from_utf8(out).expect("utf8")
+        let mut input = script;
+        run_session_with(&engine, &mut input, &mut out, cfg, None, None)
+            .map_err(|e| stir_core::StorageError::io("session io", &e))
+            .map_err(stir_core::EngineError::from)?;
+        Ok(String::from_utf8_lossy(&out).into_owned())
     }
 
     #[test]
@@ -403,5 +600,117 @@ mod tests {
         assert_eq!(lines[1], "ok 1 inserted");
         assert_eq!(lines[2], "");
         assert_eq!(lines[3], "ok 1 rows");
+    }
+
+    /// Satellite (c): hostile input never kills the session or wedges
+    /// the engine. Each case feeds garbage followed by a known-good
+    /// insert + query and asserts the tail still works.
+    #[test]
+    fn malformed_input_keeps_engine_queryable() -> Result<(), stir_core::EngineError> {
+        let cases: &[(&str, &[u8])] = &[
+            ("truncated fact", b"+e(1,\n"),
+            ("truncated atom", b"?e(\n"),
+            ("wrong arity insert", b"+e(1).\n"),
+            ("wrong arity query", b"?p(1, 2, 3)\n"),
+            ("unknown relation", b"+ghost(1, 2).\n"),
+            ("query of idb insert", b"+p(1, 2).\n"),
+            ("embedded nul", b"+e(\x001, 2).\n"),
+            ("nul in command", b".st\x00ats\n"),
+            ("bare garbage", b"lorem ipsum dolor\n"),
+            ("non-utf8 line", b"+e(\xff\xfe1, 2).\n"),
+            ("empty insert", b"+\n"),
+        ];
+        for (name, garbage) in cases {
+            let mut script = garbage.to_vec();
+            script.extend_from_slice(b"+e(7, 8).\n?p(7, _)\n.quit\n");
+            let out = session_cfg(TC, &script, &SessionConfig::default())?;
+            assert!(
+                out.lines().any(|l| l.starts_with("err ")),
+                "{name}: garbage should produce an err reply, got:\n{out}"
+            );
+            assert!(
+                out.contains("ok 1 inserted") && out.contains("7\t8"),
+                "{name}: engine no longer queryable, got:\n{out}"
+            );
+        }
+        Ok(())
+    }
+
+    /// Satellite (b): request lines over the limit get a protocol error
+    /// and the excess is discarded, so the next request parses cleanly.
+    #[test]
+    fn oversized_lines_are_rejected_not_buffered() -> Result<(), stir_core::EngineError> {
+        let cfg = SessionConfig {
+            max_line_bytes: 64,
+            request_timeout: None,
+        };
+        let mut script = Vec::new();
+        script.extend_from_slice(&vec![b'x'; 1000]);
+        script.extend_from_slice(b"\n+e(1, 2).\n?p(1, _)\n.quit\n");
+        let out = session_cfg(TC, &script, &cfg)?;
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "err request line exceeds 64 bytes");
+        assert_eq!(lines[1], "ok 1 inserted");
+        assert!(out.contains("1\t2"));
+        Ok(())
+    }
+
+    /// A final unterminated oversized line (no trailing newline before
+    /// EOF) is still reported, not silently dropped.
+    #[test]
+    fn oversized_final_line_without_newline() -> Result<(), stir_core::EngineError> {
+        let cfg = SessionConfig {
+            max_line_bytes: 16,
+            request_timeout: None,
+        };
+        let out = session_cfg(TC, &vec![b'y'; 500], &cfg)?;
+        assert!(out.contains("err request line exceeds 16 bytes"));
+        Ok(())
+    }
+
+    #[test]
+    fn non_utf8_gets_a_parse_error_not_a_disconnect() -> Result<(), stir_core::EngineError> {
+        let out = session_cfg(
+            TC,
+            b"\xc3\x28\n+e(3, 4).\n.quit\n",
+            &SessionConfig::default(),
+        )?;
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "err request is not valid UTF-8");
+        assert_eq!(lines[1], "ok 1 inserted");
+        Ok(())
+    }
+
+    #[test]
+    fn read_request_frames_lines_and_eof() {
+        let mut input: &[u8] = b"alpha\nbeta";
+        assert_eq!(
+            read_request(&mut input, 1024, None).expect("io"),
+            Request::Line("alpha".into())
+        );
+        assert_eq!(
+            read_request(&mut input, 1024, None).expect("io"),
+            Request::Line("beta".into())
+        );
+        assert_eq!(
+            read_request(&mut input, 1024, None).expect("io"),
+            Request::Eof
+        );
+    }
+
+    #[test]
+    fn read_request_honors_stop_flag() {
+        let stop = AtomicBool::new(true);
+        let mut input: &[u8] = b"+e(1, 2).\n";
+        assert_eq!(
+            read_request(&mut input, 1024, Some(&stop)).expect("io"),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn snapshot_without_data_dir_reports_err() {
+        let out = session(TC, ".snapshot\n.quit\n");
+        assert!(out.lines().next().is_some_and(|l| l.starts_with("err ")));
     }
 }

@@ -1,0 +1,345 @@
+//! Crash-recovery differential tests for the durable serving stack.
+//!
+//! Each scenario starts `stird` with a data directory and a
+//! `STIR_FAULT` crash injection, feeds it insert batches until the
+//! injected fault kills the process, restarts it fault-free, and
+//! checks the recovered database against an in-process oracle: a
+//! from-scratch evaluation over exactly the acknowledged inserts.
+//!
+//! The invariant under test is the WAL contract: **acknowledged ⇒
+//! recovered**. An insert that was in flight when the process died may
+//! or may not survive (it is allowed to have reached the WAL before
+//! the crash), so the recovered set must sit between `oracle(acked)`
+//! and `oracle(acked ∪ in-flight)`.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use stir::{Engine, InputData, InterpreterConfig, Value};
+
+const PROGRAM: &str = "\
+.decl edge(x: number, y: number)\n.input edge\n\
+.decl path(x: number, y: number)\n.output path\n\
+path(x, y) :- edge(x, y).\n\
+path(x, z) :- path(x, y), edge(y, z).\n";
+
+const BASE_EDGES: &[[i64; 2]] = &[[1, 2], [2, 3]];
+
+const MODES: &[&str] = &["sti", "dynamic", "unopt", "legacy"];
+
+fn setup(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("stir-crash-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(dir.join("tc.dl"), PROGRAM).expect("program written");
+    let facts: String = BASE_EDGES
+        .iter()
+        .map(|[x, y]| format!("{x}\t{y}\n"))
+        .collect();
+    std::fs::write(dir.join("edge.facts"), facts).expect("facts written");
+    dir
+}
+
+struct Server {
+    child: Child,
+    port: u16,
+}
+
+impl Server {
+    fn start(dir: &Path, mode: &str, fault: Option<&str>, extra: &[&str]) -> Server {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_stird"));
+        cmd.arg(dir.join("tc.dl"))
+            .arg("-F")
+            .arg(dir)
+            .arg("--mode")
+            .arg(mode)
+            .arg("--data-dir")
+            .arg(dir.join("data"))
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .env_remove("STIR_FAULT");
+        if let Some(spec) = fault {
+            cmd.env("STIR_FAULT", spec);
+        }
+        let mut child = cmd.spawn().expect("spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+        let mut banner = String::new();
+        stdout.read_line(&mut banner).expect("banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("stird: listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"));
+        let port = addr
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.parse().ok())
+            .expect("port in banner");
+        Server { child, port }
+    }
+
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(("127.0.0.1", self.port)).expect("connects")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Feeds `+edge(x, y).` batches one by one until `count` are
+/// acknowledged or the connection dies mid-protocol (the injected
+/// crash). Returns `(acked, in_flight)`: the edges the server said
+/// `ok` to, and the one edge (if any) whose ack never arrived.
+fn insert_until_crash(server: &Server, edges: &[[i64; 2]]) -> (Vec<[i64; 2]>, Option<[i64; 2]>) {
+    let mut conn = server.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut acked = Vec::new();
+    for &[x, y] in edges {
+        if conn
+            .write_all(format!("+edge({x}, {y}).\n").as_bytes())
+            .is_err()
+        {
+            return (acked, Some([x, y]));
+        }
+        let _ = conn.flush();
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 && response.starts_with("ok ") => acked.push([x, y]),
+            // Dead connection, EOF, or an err reply: the batch did not
+            // commit from the client's point of view.
+            _ => return (acked, Some([x, y])),
+        }
+    }
+    (acked, None)
+}
+
+/// Queries `?path(_, _)` over a fresh connection and returns the rows.
+fn query_path(server: &Server) -> BTreeSet<Vec<i64>> {
+    let mut conn = server.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    conn.write_all(b"?path(_, _)\n").expect("query written");
+    conn.flush().expect("flushes");
+    let mut rows = BTreeSet::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        let line = line.trim_end();
+        if line.starts_with("ok ") {
+            return rows;
+        }
+        assert!(!line.starts_with("err "), "query failed: {line}");
+        let row: Vec<i64> = line
+            .split('\t')
+            .map(|v| v.parse().expect("numeric cell"))
+            .collect();
+        rows.insert(row);
+    }
+}
+
+/// The from-scratch oracle: evaluate the program in-process over the
+/// base facts plus `extra` edges, entirely bypassing the durability
+/// stack, and return the `path` rows.
+fn oracle(config: InterpreterConfig, extra: &[[i64; 2]]) -> BTreeSet<Vec<i64>> {
+    let engine = Engine::from_source(PROGRAM).expect("oracle builds");
+    let mut inputs = InputData::new();
+    let edges: Vec<Vec<Value>> = BASE_EDGES
+        .iter()
+        .chain(extra)
+        .map(|&[x, y]| vec![Value::Number(x as i32), Value::Number(y as i32)])
+        .collect();
+    inputs.insert("edge".to_owned(), edges);
+    let result = engine.run(config, &inputs).expect("oracle runs");
+    result.outputs["path"]
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match v {
+                    Value::Number(n) => i64::from(*n),
+                    other => panic!("unexpected value {other}"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn config_for(mode: &str) -> InterpreterConfig {
+    match mode {
+        "sti" => InterpreterConfig::optimized(),
+        "dynamic" => InterpreterConfig::dynamic_adapter(),
+        "unopt" => InterpreterConfig::unoptimized(),
+        "legacy" => InterpreterConfig::legacy(),
+        other => panic!("unknown mode {other}"),
+    }
+}
+
+/// A fresh chain suffix per scenario so every insert genuinely extends
+/// the transitive closure.
+fn edges_for_run(n: usize) -> Vec<[i64; 2]> {
+    (0..n as i64).map(|i| [10 + i, 11 + i]).collect()
+}
+
+/// Runs one crash scenario end to end and asserts the recovery
+/// invariant. `fault` must eventually kill the server while the insert
+/// stream is running.
+fn crash_scenario(name: &str, mode: &str, fault: &str, extra: &[&str]) {
+    let dir = setup(&format!("{name}-{mode}"));
+    let edges = edges_for_run(8);
+
+    let server = Server::start(&dir, mode, Some(fault), extra);
+    let (acked, in_flight) = insert_until_crash(&server, &edges);
+    let status = {
+        let mut server = server;
+        server.child.wait().expect("crashed server reaped")
+    };
+    assert!(
+        !status.success(),
+        "{name}/{mode}: the injected fault should have killed the server"
+    );
+    assert!(
+        in_flight.is_some(),
+        "{name}/{mode}: the crash should interrupt the insert stream"
+    );
+
+    // Restart fault-free over the same data dir and read what survived.
+    let server = Server::start(&dir, mode, None, extra);
+    let recovered = query_path(&server);
+
+    let config = config_for(mode);
+    let floor = oracle(config, &acked);
+    assert!(
+        recovered.is_superset(&floor),
+        "{name}/{mode}: acknowledged inserts lost in recovery\n  \
+         acked={acked:?}\n  missing={:?}",
+        floor.difference(&recovered).collect::<Vec<_>>()
+    );
+    let mut ceiling_edges = acked.clone();
+    ceiling_edges.extend(in_flight);
+    let ceiling = oracle(config, &ceiling_edges);
+    assert!(
+        recovered.is_subset(&ceiling),
+        "{name}/{mode}: recovery invented tuples\n  extra={:?}",
+        recovered.difference(&ceiling).collect::<Vec<_>>()
+    );
+
+    // The recovered server must still accept work.
+    let (more, none) = insert_until_crash(&server, &[[90, 91]]);
+    assert_eq!(
+        more.len(),
+        1,
+        "{name}/{mode}: recovered server rejects inserts"
+    );
+    assert!(none.is_none());
+}
+
+#[test]
+fn crash_during_wal_write_loses_nothing_acked() {
+    for mode in MODES {
+        crash_scenario("wal-write", mode, "wal_write:crash_at=3", &[]);
+    }
+}
+
+#[test]
+fn crash_during_wal_fsync_loses_nothing_acked() {
+    for mode in MODES {
+        crash_scenario(
+            "wal-fsync",
+            mode,
+            "wal_fsync:crash_at=2",
+            &["--durability", "always"],
+        );
+    }
+}
+
+#[test]
+fn crash_during_snapshot_write_loses_nothing_acked() {
+    for mode in MODES {
+        crash_scenario(
+            "snap-write",
+            mode,
+            "snapshot_write:crash_at=2",
+            &["--snapshot-interval", "1"],
+        );
+    }
+}
+
+#[test]
+fn crash_during_snapshot_rename_loses_nothing_acked() {
+    for mode in MODES {
+        crash_scenario(
+            "snap-rename",
+            mode,
+            "snapshot_rename:crash_at=2",
+            &["--snapshot-interval", "1"],
+        );
+    }
+}
+
+#[test]
+fn sigkill_mid_stream_loses_nothing_acked() {
+    let dir = setup("sigkill");
+    let edges = edges_for_run(6);
+    let server = Server::start(&dir, "sti", None, &["--durability", "always"]);
+    let (acked, in_flight) = insert_until_crash(&server, &edges);
+    assert_eq!(
+        acked.len(),
+        edges.len(),
+        "all inserts acked before the kill"
+    );
+    assert!(in_flight.is_none());
+    {
+        let mut server = server;
+        server.child.kill().expect("SIGKILL");
+        server.child.wait().expect("reaped");
+    }
+
+    let server = Server::start(&dir, "sti", None, &[]);
+    let recovered = query_path(&server);
+    assert_eq!(
+        recovered,
+        oracle(InterpreterConfig::optimized(), &acked),
+        "SIGKILL after ack must not lose data under --durability always"
+    );
+}
+
+/// A transient (non-crash) WAL write failure must refuse the insert —
+/// never ack-and-drop — and leave the engine serving.
+#[test]
+fn transient_wal_failure_refuses_the_insert() {
+    let dir = setup("wal-once");
+    let server = Server::start(&dir, "sti", Some("wal_write:once"), &[]);
+    let mut conn = server.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+
+    conn.write_all(b"+edge(50, 51).\n")
+        .expect("request written");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("response");
+    assert!(
+        response.starts_with("err "),
+        "injected write failure must surface as an error, got {response:?}"
+    );
+
+    // The very next batch hits a healthy WAL and commits.
+    conn.write_all(b"+edge(60, 61).\n")
+        .expect("request written");
+    response.clear();
+    reader.read_line(&mut response).expect("response");
+    assert!(response.starts_with("ok 1"), "got {response:?}");
+
+    // Restart: only the acked batch is recovered.
+    drop(conn);
+    drop(server);
+    let server = Server::start(&dir, "sti", None, &[]);
+    let recovered = query_path(&server);
+    assert_eq!(
+        recovered,
+        oracle(InterpreterConfig::optimized(), &[[60, 61]]),
+        "refused batch must not reappear, acked batch must survive"
+    );
+}

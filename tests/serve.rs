@@ -370,3 +370,159 @@ fn stird_writes_profile_json_on_stop() {
         Some(6)
     );
 }
+
+#[test]
+fn stird_rejects_oversized_and_non_utf8_lines() {
+    let dir = setup("stird-hostile");
+    let server = Server::start(&dir, &["--max-line-bytes", "128"]);
+
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+
+    // An oversized line gets a bounded error, not an unbounded buffer.
+    let mut big = vec![b'z'; 4096];
+    big.push(b'\n');
+    conn.write_all(&big).expect("big line written");
+    conn.flush().expect("flushes");
+    let mut response = String::new();
+    rd.read_line(&mut response).expect("response");
+    assert_eq!(response.trim_end(), "err request line exceeds 128 bytes");
+
+    // Non-UTF-8 bytes get a parse error, not a dropped connection.
+    conn.write_all(b"+edge(\xff\xfe, 2).\n").expect("written");
+    conn.flush().expect("flushes");
+    response.clear();
+    rd.read_line(&mut response).expect("response");
+    assert_eq!(response.trim_end(), "err request is not valid UTF-8");
+
+    // The session (and the engine) still works afterwards.
+    let resp = request(&mut conn, &mut rd, "+edge(3, 4).");
+    assert_eq!(resp, ["ok 1 inserted"]);
+    let resp = request(&mut conn, &mut rd, "?path(1, _)");
+    assert_eq!(resp.last().map(String::as_str), Some("ok 3 rows"));
+}
+
+#[test]
+fn stird_enforces_max_conns_with_a_clean_busy_reply() {
+    let dir = setup("stird-busy");
+    let server = Server::start(&dir, &["--max-conns", "1"]);
+
+    // First connection occupies the only slot.
+    let mut held = server.connect();
+    let mut held_rd = BufReader::new(held.try_clone().expect("clone"));
+    let resp = request(&mut held, &mut held_rd, "?path(1, _)");
+    assert_eq!(resp.last().map(String::as_str), Some("ok 2 rows"));
+
+    // Subsequent connections are refused with a protocol-level reply.
+    let over = server.connect();
+    let mut over_rd = BufReader::new(over);
+    let mut response = String::new();
+    over_rd.read_line(&mut response).expect("busy reply");
+    assert_eq!(response.trim_end(), "err server busy");
+    // ...and then closed.
+    response.clear();
+    assert_eq!(over_rd.read_line(&mut response).expect("eof"), 0);
+
+    // Releasing the held slot frees capacity for the next client.
+    assert_eq!(request(&mut held, &mut held_rd, ".quit"), ["bye"]);
+    // The server decrements the counter after the session unwinds;
+    // poll briefly instead of racing it.
+    let mut served = false;
+    for _ in 0..50 {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut conn = server.connect();
+        let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+        let mut line = String::new();
+        conn.write_all(b"?path(1, _)\n").expect("query written");
+        rd.read_line(&mut line).expect("line");
+        if line.trim_end() == "err server busy" {
+            continue;
+        }
+        while !line.starts_with("ok ") && !line.starts_with("err ") {
+            line.clear();
+            rd.read_line(&mut line).expect("line");
+        }
+        assert_eq!(line.trim_end(), "ok 2 rows");
+        served = true;
+        break;
+    }
+    assert!(served, "slot never freed after .quit");
+}
+
+#[test]
+fn stird_sigterm_drains_flushes_and_snapshots() {
+    let dir = setup("stird-sigterm");
+    let data_dir = dir.join("data");
+    let server = Server::start(&dir, &["--data-dir", data_dir.to_str().expect("utf8")]);
+
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    assert_eq!(
+        request(&mut conn, &mut rd, "+edge(3, 4)."),
+        ["ok 1 inserted"]
+    );
+
+    // SIGTERM instead of `.stop`: the signal handler raises the stop
+    // flag, the accept loop and the idle connection notice it, and the
+    // shutdown path writes a final snapshot.
+    let mut server = server;
+    let pid = server.child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+    let status = server.child.wait().expect("exits");
+    assert!(status.success(), "graceful exit on SIGTERM");
+
+    let mut stderr = String::new();
+    server
+        .child
+        .stderr
+        .take()
+        .expect("stderr")
+        .read_to_string(&mut stderr)
+        .expect("reads");
+    assert!(
+        stderr.contains("shutdown snapshot:"),
+        "snapshot written at SIGTERM: {stderr}"
+    );
+    assert!(
+        data_dir.join("snapshot.bin").exists(),
+        "snapshot file exists"
+    );
+
+    // Restarting over the same data dir recovers the insert.
+    let server = Server::start(&dir, &["--data-dir", data_dir.to_str().expect("utf8")]);
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    let resp = request(&mut conn, &mut rd, "?path(1, _)");
+    assert_eq!(
+        resp.last().map(String::as_str),
+        Some("ok 3 rows"),
+        "acked insert recovered after SIGTERM restart: {resp:?}"
+    );
+}
+
+#[test]
+fn stird_request_timeout_commits_updates_and_aborts_queries() {
+    let dir = setup("stird-timeout");
+    // An absurdly small deadline: every request exceeds it.
+    let server = Server::start(&dir, &["--request-timeout", "0.000001"]);
+
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    // Updates run to completion (aborting mid-fixpoint would leave
+    // derived strata stale) but report the blown deadline.
+    let resp = request(&mut conn, &mut rd, "+edge(3, 4).");
+    assert_eq!(resp, ["err deadline exceeded (update committed)"]);
+    // Queries abort cleanly.
+    let resp = request(&mut conn, &mut rd, "?path(_, _)");
+    assert_eq!(resp, ["err evaluation error: deadline exceeded"]);
+
+    // `.stats` is session control (no deadline): it shows the update
+    // really committed despite the blown deadline.
+    let resp = request(&mut conn, &mut rd, ".stats");
+    let stats = resp.last().expect("stats line");
+    assert!(stats.contains("update_tuples=1"), "{stats}");
+}
