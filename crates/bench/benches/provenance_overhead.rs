@@ -1,0 +1,118 @@
+//! **Provenance overhead** — cost of annotated evaluation on a
+//! transitive-closure micro-benchmark (mirrors `telemetry_overhead`).
+//!
+//! Three configurations of the same evaluation:
+//!
+//! * `baseline` — the plain STI, provenance compiled in but off. The
+//!   flag is a runtime branch on the cold insert path (not a const
+//!   generic), so with provenance off the evaluation must be within
+//!   noise of a build without the subsystem (< 1%).
+//! * `provenance` — annotated evaluation: every fresh tuple records its
+//!   (rule, height) pair in the relation's side annotation index.
+//! * `provenance+explain` — annotated evaluation plus one `.explain` of
+//!   the longest-path tuple, pricing proof reconstruction itself.
+//!
+//! The interesting number is `baseline` vs a historical run: provenance
+//! off must be free. The `provenance` ratio is the documented price of
+//! turning annotations on (one extra B-tree insert per fresh tuple).
+
+use std::time::{Duration, Instant};
+use stir_bench::{best, fmt_dur, fmt_ratio, print_table, reps, scale};
+use stir_core::{
+    database::{DataMode, Database},
+    itree, prov, Engine, ExplainLimits, InputData, Interpreter, InterpreterConfig,
+};
+use stir_workloads::spec::Scale;
+
+/// Same chain-with-shortcuts edge set as `telemetry_overhead`.
+fn tc_source(nodes: usize) -> String {
+    let mut src = String::from(
+        ".decl edge(x: number, y: number)\n\
+         .decl path(x: number, y: number)\n\
+         .output path\n\
+         path(x, y) :- edge(x, y).\n\
+         path(x, z) :- path(x, y), edge(y, z).\n",
+    );
+    for i in 0..nodes - 1 {
+        src.push_str(&format!("edge({}, {}).\n", i, i + 1));
+        if i % 7 == 0 && i + 3 < nodes {
+            src.push_str(&format!("edge({}, {}).\n", i, i + 3));
+        }
+    }
+    src
+}
+
+/// One timed evaluation; database construction excluded, tree generation
+/// included (paper §5). With `explain`, one proof reconstruction of the
+/// full-chain tuple rides on top.
+fn eval(engine: &Engine, config: InterpreterConfig, explain: Option<u32>) -> Duration {
+    let ram = engine.ram();
+    let db = Database::new_with(ram, DataMode::Specialized, config.provenance);
+    db.load_inputs(ram, &InputData::new()).expect("no inputs");
+    let started = Instant::now();
+    let tree = itree::build(ram, &config);
+    let mut interp = Interpreter::new(ram, &db, config);
+    interp.run(&tree).expect("evaluation succeeds");
+    if let Some(last) = explain {
+        let rel = ram.relation_by_name("path").expect("declared").id;
+        prov::explain(ram, &db, rel, &[0, last], &ExplainLimits::default())
+            .expect("the full chain is derivable");
+    }
+    started.elapsed()
+}
+
+fn main() {
+    let nodes = match scale() {
+        Scale::Tiny => 60,
+        Scale::Small => 160,
+        Scale::Medium => 320,
+        Scale::Large => 640,
+    };
+    let engine = Engine::from_source(&tc_source(nodes)).expect("compiles");
+
+    let base_cfg = InterpreterConfig::optimized();
+    let runs: Vec<(&str, InterpreterConfig, Option<u32>)> = vec![
+        ("baseline", base_cfg, None),
+        ("provenance", base_cfg.with_provenance(), None),
+        (
+            "provenance+explain",
+            base_cfg.with_provenance(),
+            Some((nodes - 1) as u32),
+        ),
+    ];
+
+    // Warm-up, then interleaved repetitions (cancels drift).
+    for (_, cfg, explain) in &runs {
+        let _ = eval(&engine, *cfg, *explain);
+    }
+    let mut times: Vec<Vec<Duration>> = vec![Vec::new(); runs.len()];
+    for _ in 0..reps().max(5) {
+        for (i, (_, cfg, explain)) in runs.iter().enumerate() {
+            times[i].push(eval(&engine, *cfg, *explain));
+        }
+    }
+    let times: Vec<Duration> = times.into_iter().map(best).collect();
+
+    let baseline = times[0];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .zip(&times)
+        .map(|((name, _, _), t)| {
+            vec![
+                name.to_string(),
+                fmt_dur(*t),
+                fmt_ratio(t.as_secs_f64() / baseline.as_secs_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Provenance overhead — TC on a {nodes}-node chain (best of interleaved reps)"),
+        &["configuration", "time", "vs baseline"],
+        &rows,
+    );
+    let on_pct = 100.0 * (times[1].as_secs_f64() / baseline.as_secs_f64() - 1.0);
+    println!(
+        "\nannotated-evaluation overhead: {on_pct:+.2}%   (off-mode is a cold-path runtime \
+         branch and must stay at noise level vs a pre-provenance build)"
+    );
+}

@@ -61,6 +61,15 @@ pub struct InterpreterConfig {
     /// `1` (the default) keeps evaluation on the calling thread,
     /// bit-for-bit identical to the sequential interpreter.
     pub jobs: usize,
+    /// Annotated evaluation: every derived tuple additionally records a
+    /// `(height, rule)` annotation pair — the fixpoint iteration that
+    /// first produced it and the source rule that fired — enabling
+    /// minimal-height proof-tree reconstruction (`.explain`). Annotations
+    /// are carried as two extra de-specialized columns in a side index
+    /// per relation and never affect the logical database. Off by
+    /// default; when off, evaluation is bit-for-bit identical to an
+    /// unannotated run.
+    pub provenance: bool,
 }
 
 /// The default worker count: `STIR_JOBS` when set to a positive integer,
@@ -86,6 +95,7 @@ impl InterpreterConfig {
             legacy_data: false,
             buffered_iterators: true,
             jobs: default_jobs(),
+            provenance: false,
         }
     }
 
@@ -111,6 +121,7 @@ impl InterpreterConfig {
             legacy_data: false,
             buffered_iterators: true,
             jobs: default_jobs(),
+            provenance: false,
         }
     }
 
@@ -127,6 +138,7 @@ impl InterpreterConfig {
             legacy_data: true,
             buffered_iterators: false,
             jobs: default_jobs(),
+            provenance: false,
         }
     }
 
@@ -147,6 +159,13 @@ impl InterpreterConfig {
     /// below `1` are clamped to `1`.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables annotated evaluation (provenance recording) on any
+    /// configuration.
+    pub fn with_provenance(mut self) -> Self {
+        self.provenance = true;
         self
     }
 }
@@ -172,6 +191,8 @@ mod tests {
         assert!(!none.static_dispatch && !none.super_instructions);
         assert!(InterpreterConfig::default().static_dispatch);
         assert!(none.with_profile().profile);
+        assert!(!full.provenance && !none.provenance);
+        assert!(none.with_provenance().provenance);
         assert!(!none.trace);
         assert!(none.with_trace().trace);
     }

@@ -44,6 +44,11 @@ fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
     r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// The rule-id annotation of input tuples and source-text facts (no rule
+/// fired; the tuple is an axiom). Re-exported from the RAM layer's
+/// provenance module.
+pub const RULE_INPUT: u32 = stir_ram::prov::RULE_INPUT;
+
 /// The relations, symbol table, and counter of one evaluation.
 #[derive(Debug)]
 pub struct Database {
@@ -52,13 +57,28 @@ pub struct Database {
     pub symbols: RwLock<SymbolTable>,
     /// The `$` auto-increment counter.
     pub counter: AtomicU32,
+    /// Derivation-height clock for annotated evaluation: bumped once per
+    /// executed RAM query, so every tuple a query derives is annotated
+    /// with a height strictly greater than all of its premises'
+    /// (semi-naive evaluation never scans a query's own projection
+    /// target). `0` is reserved for input facts. Stays at `0` when
+    /// provenance is off.
+    pub epoch: AtomicU32,
+    provenance: bool,
 }
 
 impl Database {
     /// Builds the database for a RAM program: creates every relation with
     /// the orders chosen by index selection and loads the source-text
-    /// facts.
+    /// facts. Equivalent to [`Database::new_with`] without provenance.
     pub fn new(ram: &RamProgram, mode: DataMode) -> Database {
+        Self::new_with(ram, mode, false)
+    }
+
+    /// Builds the database, optionally with annotation stores enabled on
+    /// every relation (annotated evaluation). Source-text facts are
+    /// annotated `(0, RULE_INPUT)`.
+    pub fn new_with(ram: &RamProgram, mode: DataMode, provenance: bool) -> Database {
         let relations = ram
             .relations
             .iter()
@@ -102,6 +122,10 @@ impl Database {
                         }
                     }
                 };
+                let mut rel = rel;
+                if provenance {
+                    rel.enable_annotations();
+                }
                 RwLock::new(rel)
             })
             .collect();
@@ -109,11 +133,21 @@ impl Database {
             relations,
             symbols: RwLock::new(ram.symbols.clone()),
             counter: AtomicU32::new(0),
+            epoch: AtomicU32::new(0),
+            provenance,
         };
         for (rel, tuple) in &ram.facts {
-            db.wr(*rel).insert(tuple);
+            let mut target = db.wr(*rel);
+            if target.insert(tuple) && provenance {
+                target.record_annotation(tuple, 0, RULE_INPUT);
+            }
         }
         db
+    }
+
+    /// Whether annotated evaluation is enabled.
+    pub fn provenance(&self) -> bool {
+        self.provenance
     }
 
     /// The relation lock for `id`.
@@ -174,7 +208,9 @@ impl Database {
                 for v in tuple {
                     encoded.push(v.encode(&mut symbols));
                 }
-                target.insert(&encoded);
+                if target.insert(&encoded) && self.provenance {
+                    target.record_annotation(&encoded, 0, RULE_INPUT);
+                }
             }
         }
         Ok(())

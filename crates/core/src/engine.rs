@@ -150,7 +150,7 @@ impl Engine {
         };
         let db = {
             let _span = tracer.map(|t| t.span("phase:build-db"));
-            Database::new(&self.ram, mode)
+            Database::new_with(&self.ram, mode, config.provenance)
         };
         {
             let _span = tracer.map(|t| t.span("phase:load-inputs"));

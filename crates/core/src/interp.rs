@@ -349,7 +349,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             cx,
             prof: with_prof.then(|| ProfileState::new(&[], cx.ram.relations.len())),
             tel: None,
-            sink: Some(RefCell::new(InsertSink::new(cx.ram))),
+            sink: Some(RefCell::new(InsertSink::new_with(
+                cx.ram,
+                cx.db.provenance(),
+            ))),
         }
     }
 
@@ -525,6 +528,18 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 body,
                 ..
             } => {
+                if self.cx.db.provenance() {
+                    // Annotated evaluation: each executed query opens a
+                    // new derivation epoch, so everything it derives is
+                    // strictly higher than all of its premises (a query
+                    // never scans its own projection target). Statements
+                    // run on the coordinator only, so the bump is
+                    // job-count-invariant.
+                    self.cx
+                        .db
+                        .epoch
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 let mut regs = vec![0u32; *arena_size];
                 if let Some(p) = &self.prof {
                     let started = p.begin_query();
@@ -691,6 +706,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             INode::ProjectSuper {
                 rel,
                 static_dispatch,
+                rule,
                 template,
                 elems,
                 generic,
@@ -705,19 +721,20 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 for (c, e) in generic {
                     tuple[*c] = self.eval_expr::<OUT, PROF>(e, regs)?;
                 }
-                self.insert::<PROF>(*rel, *static_dispatch, &tuple[..n]);
+                self.insert::<PROF>(*rel, *static_dispatch, &tuple[..n], *rule);
                 Ok(())
             }
             INode::ProjectPlain {
                 rel,
                 static_dispatch,
+                rule,
                 values,
             } => {
                 let mut tuple = [0u32; MAX_ARITY];
                 for (c, v) in values.iter().enumerate() {
                     tuple[c] = self.eval_expr::<OUT, PROF>(v, regs)?;
                 }
-                self.insert::<PROF>(*rel, *static_dispatch, &tuple[..values.len()]);
+                self.insert::<PROF>(*rel, *static_dispatch, &tuple[..values.len()], *rule);
                 Ok(())
             }
             INode::Aggregate {
@@ -1063,11 +1080,28 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             }
             sinks.push(sink);
         }
+        let prov = cx.db.provenance();
+        let height = if prov {
+            cx.db.epoch.load(std::sync::atomic::Ordering::Relaxed)
+        } else {
+            0
+        };
         for sink in sinks {
             for (target, buffer) in sink.into_buffers() {
+                let arity = cx.ram.relations[target.0].arity;
                 let mut t = cx.db.wr(target);
                 for tuple in buffer.tuples() {
-                    if t.insert(tuple) {
+                    if prov {
+                        // Annotated sinks widen tuples by a trailing
+                        // rule-id column; only the first worker to land a
+                        // tuple annotates it, so heights stay minimal and
+                        // independent of the job count.
+                        let (bare, rule) = tuple.split_at(arity);
+                        if t.insert(bare) {
+                            t.record_annotation(bare, height, rule[0]);
+                            self.tick_prof::<PROF>(|p| p.count_insert(target.0));
+                        }
+                    } else if t.insert(tuple) {
                         self.tick_prof::<PROF>(|p| p.count_insert(target.0));
                     }
                 }
@@ -1201,9 +1235,20 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     /// Inserts one source-order tuple into all indexes of a relation —
     /// or, on a worker frame, buffers it in the insert sink for the
     /// coordinator to merge after the join.
-    fn insert<const PROF: bool>(&self, rel: RelId, static_dispatch: bool, tuple: &[u32]) {
+    fn insert<const PROF: bool>(
+        &self,
+        rel: RelId,
+        static_dispatch: bool,
+        tuple: &[u32],
+        rule: u32,
+    ) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().push(rel, tuple);
+            let mut sink = sink.borrow_mut();
+            if sink.prov() {
+                sink.push_annotated(rel, tuple, rule);
+            } else {
+                sink.push(rel, tuple);
+            }
             return;
         }
         let meta = &self.cx.ram.relations[rel.0];
@@ -1222,6 +1267,10 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             fresh
         };
         if inserted {
+            if self.cx.db.provenance() {
+                let height = self.cx.db.epoch.load(std::sync::atomic::Ordering::Relaxed);
+                r.record_annotation(tuple, height, rule);
+            }
             self.tick_prof::<PROF>(|p| p.count_insert(rel.0));
         }
     }
@@ -1396,9 +1445,9 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     }
 }
 
-/// Aggregate accumulator.
+/// Aggregate accumulator (shared with the provenance matcher).
 #[derive(Debug)]
-struct AggAcc {
+pub(crate) struct AggAcc {
     func: AggFunc,
     count: u64,
     bits: u32,
@@ -1406,7 +1455,7 @@ struct AggAcc {
 }
 
 impl AggAcc {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         let bits = match func {
             AggFunc::SumF => 0.0f32.to_bits(),
             _ => 0,
@@ -1420,7 +1469,7 @@ impl AggAcc {
     }
 
     #[inline]
-    fn add(&mut self, v: u32) {
+    pub(crate) fn add(&mut self, v: u32) {
         self.count += 1;
         match self.func {
             AggFunc::Count => {}
@@ -1462,7 +1511,7 @@ impl AggAcc {
     }
 
     /// `None` means "aggregate failed" (min/max over nothing).
-    fn finish(&self) -> Option<u32> {
+    pub(crate) fn finish(&self) -> Option<u32> {
         match self.func {
             AggFunc::Count => Some(self.count as u32),
             AggFunc::SumS | AggFunc::SumU | AggFunc::SumF => Some(self.bits),

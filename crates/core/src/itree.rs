@@ -215,6 +215,9 @@ pub enum INode<'p> {
         rel: RelId,
         /// Whether to statically dispatch the insert.
         static_dispatch: bool,
+        /// Source rule id for annotated evaluation (`RULE_INPUT` for
+        /// synthetic projections); folded in like the constants.
+        rule: u32,
         /// Tuple template with constants baked in.
         template: Vec<u32>,
         /// `(column, arena offset)` copies.
@@ -228,6 +231,9 @@ pub enum INode<'p> {
         rel: RelId,
         /// Whether to statically dispatch the insert.
         static_dispatch: bool,
+        /// Source rule id for annotated evaluation (`RULE_INPUT` for
+        /// synthetic projections).
+        rule: u32,
         /// One expression per column.
         values: Vec<INode<'p>>,
     },
@@ -597,7 +603,7 @@ impl<'p> Builder<'p> {
                     body: Box::new(self.op(body)),
                 }
             }
-            RamOp::Project { rel, values } => self.project(*rel, values),
+            RamOp::Project { rel, values, rule } => self.project(*rel, values, *rule),
             RamOp::Aggregate {
                 level,
                 func,
@@ -635,12 +641,17 @@ impl<'p> Builder<'p> {
         }
     }
 
-    fn project(&mut self, rel: RelId, values: &'p [RamExpr]) -> INode<'p> {
+    fn project(&mut self, rel: RelId, values: &'p [RamExpr], rule: Option<u32>) -> INode<'p> {
         let static_dispatch = self.config.static_dispatch;
+        // The rule id is absorbed at tree-generation time like any other
+        // super-instruction constant; RULE_INPUT marks synthetic
+        // projections (aggregate helpers, update seeds without a rule).
+        let rule = rule.unwrap_or(crate::database::RULE_INPUT);
         if !self.config.super_instructions {
             return INode::ProjectPlain {
                 rel,
                 static_dispatch,
+                rule,
                 values: values.iter().map(|v| self.expr(v)).collect(),
             };
         }
@@ -660,6 +671,7 @@ impl<'p> Builder<'p> {
         INode::ProjectSuper {
             rel,
             static_dispatch,
+            rule,
             template,
             elems,
             generic,

@@ -47,6 +47,7 @@ pub mod io;
 pub mod itree;
 pub mod json;
 pub mod profile;
+pub mod prov;
 pub mod resident;
 pub mod sink;
 pub mod static_set;
@@ -61,6 +62,7 @@ pub use error::{EngineError, EvalError, StorageError};
 pub use interp::Interpreter;
 pub use json::Json;
 pub use profile::ProfileReport;
+pub use prov::{ExplainLimits, ProofNode};
 pub use resident::{PersistOptions, RecoveryReport, ResidentEngine, ServerStats, UpdateReport};
 pub use telemetry::{profile_json, LogLevel, Logger, MetricsRegistry, Telemetry, Tracer};
 pub use value::Value;

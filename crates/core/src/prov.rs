@@ -1,0 +1,637 @@
+//! Proof-tree reconstruction over annotated databases (`.explain`).
+//!
+//! Annotated evaluation ([`crate::config::InterpreterConfig::provenance`])
+//! records a `(height, rule)` pair for every tuple: the derivation epoch
+//! that first produced it and the source rule that fired. This module
+//! turns those annotations back into *minimal-height proof trees* by
+//! height-constrained re-querying, following the approach of provenance
+//! in Soufflé: to explain a tuple `t` of height `h` derived by rule `R`,
+//! re-run `R`'s body over the full database restricted to premises of
+//! height `< h`, pick the binding that minimizes the maximum premise
+//! height, and recurse.
+//!
+//! The re-querying runs over the [`stir_ram::prov::ProvInfo`] plans — each
+//! source rule re-lowered over the full base relations, outside the reach
+//! of the optimizer and index selection. The matcher therefore ignores
+//! index numbers entirely (prov plans keep the `usize::MAX` placeholder)
+//! and matches search patterns against source-order scans.
+//!
+//! Heights make the search sound and terminating: every internal node's
+//! premises have strictly smaller heights, so recursion bottoms out at
+//! height-0 input facts. Minimality makes proofs canonical: among all
+//! derivations the one whose tallest premise is shortest is reported,
+//! independent of rule order and worker count.
+
+use crate::database::{Database, RULE_INPUT};
+use crate::error::EvalError;
+use crate::functors::{eval_cmp, eval_intrinsic};
+use crate::interp::AggAcc;
+use crate::value::Value;
+use stir_der::iter::TupleIter;
+use stir_ram::expr::RamExpr;
+use stir_ram::program::{RamProgram, RelId};
+use stir_ram::stmt::{RamCond, RamOp, RamStmt};
+
+/// One node of a proof tree: a fact, how it was derived, and the premise
+/// sub-proofs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProofNode {
+    /// The fact's relation.
+    pub rel: RelId,
+    /// The fact, as source-order bit patterns.
+    pub tuple: Vec<u32>,
+    /// Annotated derivation height (`0` for input facts).
+    pub height: u32,
+    /// Annotated rule id (`RULE_INPUT` for input facts and facts without
+    /// an annotation, e.g. equivalence-closure pairs).
+    pub rule: u32,
+    /// Source text of the firing rule (derived nodes only).
+    pub label: Option<String>,
+    /// The rule could not be re-matched (it draws auto-increment values,
+    /// or the match budget ran out); premises are omitted.
+    pub opaque: bool,
+    /// The depth or node limit cut the tree here; premises are omitted.
+    pub truncated: bool,
+    /// Sub-proofs of the rule's positive body atoms, in body order.
+    pub premises: Vec<ProofNode>,
+}
+
+impl ProofNode {
+    /// Whether this node is an axiom leaf (input fact / ground fact).
+    pub fn is_input(&self) -> bool {
+        self.rule == RULE_INPUT
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.premises.iter().map(ProofNode::size).sum::<usize>()
+    }
+}
+
+/// Budget limits for proof-tree reconstruction.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplainLimits {
+    /// Maximum proof-tree depth; deeper premises are reported truncated.
+    pub max_depth: usize,
+    /// Maximum total proof-tree nodes.
+    pub max_nodes: usize,
+    /// Maximum candidate tuples examined per rule re-match; exhaustion
+    /// renders the node opaque instead of looping on huge joins.
+    pub max_candidates: usize,
+}
+
+impl Default for ExplainLimits {
+    fn default() -> Self {
+        ExplainLimits {
+            max_depth: 64,
+            max_nodes: 10_000,
+            max_candidates: 100_000,
+        }
+    }
+}
+
+/// Reconstructs the minimal-height proof tree of `tuple` in `rel`.
+///
+/// # Errors
+///
+/// Fails when the database was not built with provenance enabled, when
+/// `rel`'s tuple is not in the database (not derivable), or when the
+/// recorded rule id is out of range (corrupt annotations).
+pub fn explain(
+    ram: &RamProgram,
+    db: &Database,
+    rel: RelId,
+    tuple: &[u32],
+    limits: &ExplainLimits,
+) -> Result<ProofNode, EvalError> {
+    if !db.provenance() {
+        return Err(EvalError::new(
+            "provenance is off: restart with --provenance to enable .explain",
+        ));
+    }
+    if !db.rd(rel).contains(tuple) {
+        let fact = format_fact(ram, db, rel, tuple);
+        return Err(EvalError::new(format!("`{fact}` is not derivable")));
+    }
+    let mut nodes = limits.max_nodes;
+    build(ram, db, rel, tuple, limits.max_depth, limits, &mut nodes)
+}
+
+/// Renders a tuple as `name(v1, v2, ...)` using the relation's declared
+/// attribute types.
+pub fn format_fact(ram: &RamProgram, db: &Database, rel: RelId, tuple: &[u32]) -> String {
+    let meta = ram.relation(rel);
+    let symbols = db.symbols_rd();
+    let args: Vec<String> = tuple
+        .iter()
+        .zip(&meta.attr_types)
+        .map(|(&bits, &ty)| Value::decode(bits, ty, &symbols).to_string())
+        .collect();
+    format!("{}({})", meta.name, args.join(", "))
+}
+
+/// Renders a proof tree as an indented listing, one fact per line: the
+/// root first, each premise two spaces deeper, with the firing rule (or
+/// `input`) in brackets.
+pub fn render_proof(ram: &RamProgram, db: &Database, node: &ProofNode) -> String {
+    let mut out = String::new();
+    render_into(ram, db, node, 0, &mut out);
+    out
+}
+
+fn render_into(ram: &RamProgram, db: &Database, node: &ProofNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&format_fact(ram, db, node.rel, &node.tuple));
+    if node.is_input() {
+        out.push_str("  [input]");
+    } else {
+        let rule = node.label.as_deref().unwrap_or("?");
+        out.push_str(&format!("  [height {}] {}", node.height, rule));
+        if node.opaque {
+            out.push_str("  (opaque)");
+        } else if node.truncated {
+            out.push_str("  (depth limit)");
+        }
+    }
+    out.push('\n');
+    for p in &node.premises {
+        render_into(ram, db, p, depth + 1, out);
+    }
+}
+
+fn build(
+    ram: &RamProgram,
+    db: &Database,
+    rel: RelId,
+    tuple: &[u32],
+    depth: usize,
+    limits: &ExplainLimits,
+    nodes: &mut usize,
+) -> Result<ProofNode, EvalError> {
+    *nodes = nodes.saturating_sub(1);
+    // Tuples without an annotation (equivalence-closure pairs implied by
+    // the union-find representation) read as height-0 axioms.
+    let (height, rule) = db.rd(rel).annotation(tuple).unwrap_or((0, RULE_INPUT));
+    let mut node = ProofNode {
+        rel,
+        tuple: tuple.to_vec(),
+        height,
+        rule,
+        label: None,
+        opaque: false,
+        truncated: false,
+        premises: Vec::new(),
+    };
+    if rule == RULE_INPUT {
+        return Ok(node);
+    }
+    let prov_rule = ram
+        .prov
+        .rules
+        .get(rule as usize)
+        .ok_or_else(|| EvalError::new(format!("annotation names unknown rule #{rule}")))?;
+    node.label = Some(prov_rule.label.clone());
+    if prov_rule.opaque {
+        node.opaque = true;
+        return Ok(node);
+    }
+    if depth == 0 || *nodes == 0 {
+        node.truncated = true;
+        return Ok(node);
+    }
+    let Some(RamStmt::Query { levels, op, .. }) = &prov_rule.stmt else {
+        node.opaque = true;
+        return Ok(node);
+    };
+    let mut m = Matcher {
+        db,
+        target: tuple,
+        target_h: height,
+        levels: vec![Vec::new(); *levels],
+        premises: Vec::new(),
+        cur_max: 0,
+        best: None,
+        candidates: limits.max_candidates,
+    };
+    m.search(op);
+    match m.best {
+        Some((_, premises)) => {
+            for (prel, pt) in premises {
+                node.premises
+                    .push(build(ram, db, prel, &pt, depth - 1, limits, nodes)?);
+            }
+        }
+        // Budget exhausted before a binding was found (or, defensively,
+        // no binding re-matched): report the rule without premises.
+        None => node.opaque = true,
+    }
+    Ok(node)
+}
+
+/// A premise bound during matching: relation, source-order tuple, height.
+type Premise = (RelId, Vec<u32>, u32);
+
+/// A fact in a completed binding: relation and source-order tuple.
+type BoundFact = (RelId, Vec<u32>);
+
+/// Depth-first search over a provenance plan's operation tree for the
+/// binding that derives the target tuple while minimizing the maximum
+/// premise height (all premise heights strictly below the target's).
+struct Matcher<'a> {
+    db: &'a Database,
+    target: &'a [u32],
+    target_h: u32,
+    /// Bound tuple per binding level (empty = unbound).
+    levels: Vec<Vec<u32>>,
+    /// Premises bound so far, outermost first.
+    premises: Vec<Premise>,
+    /// Maximum premise height bound so far.
+    cur_max: u32,
+    /// Best complete binding: (max premise height, premises).
+    best: Option<(u32, Vec<BoundFact>)>,
+    /// Remaining candidate-tuple budget.
+    candidates: usize,
+}
+
+impl Matcher<'_> {
+    fn search(&mut self, op: &RamOp) {
+        if self.candidates == 0 {
+            return;
+        }
+        match op {
+            RamOp::Scan {
+                rel, level, body, ..
+            } => {
+                self.scan_candidates(*rel, *level, &[], body);
+            }
+            RamOp::IndexScan {
+                rel,
+                level,
+                pattern,
+                eqrel_swap,
+                body,
+                ..
+            } => {
+                // Eqrel symmetry probes carry the pattern flipped into the
+                // probing order; swap it back so constraints line up with
+                // source columns (an eqrel scan yields every ordered pair
+                // of each class, so matching in source order is complete).
+                let source_pattern: Vec<Option<RamExpr>> = if *eqrel_swap {
+                    vec![pattern[1].clone(), pattern[0].clone()]
+                } else {
+                    pattern.clone()
+                };
+                let mut constraints = Vec::new();
+                for (col, p) in source_pattern.iter().enumerate() {
+                    if let Some(e) = p {
+                        match self.eval_expr(e) {
+                            Ok(v) => constraints.push((col, v)),
+                            Err(_) => return, // dead end, not a failure
+                        }
+                    }
+                }
+                self.scan_candidates(*rel, *level, &constraints, body);
+            }
+            RamOp::Filter { cond, body } => {
+                if matches!(self.eval_cond(cond), Ok(true)) {
+                    self.search(body);
+                }
+            }
+            RamOp::Project { values, .. } => {
+                for (c, v) in values.iter().enumerate() {
+                    match self.eval_expr(v) {
+                        Ok(x) if x == self.target[c] => {}
+                        _ => return,
+                    }
+                }
+                let better = match &self.best {
+                    Some((best_max, _)) => self.cur_max < *best_max,
+                    None => true,
+                };
+                if better {
+                    self.best = Some((
+                        self.cur_max,
+                        self.premises
+                            .iter()
+                            .map(|(r, t, _)| (*r, t.clone()))
+                            .collect(),
+                    ));
+                }
+            }
+            RamOp::Aggregate {
+                level,
+                func,
+                rel,
+                pattern,
+                value,
+                body,
+                ..
+            } => {
+                let mut constraints = Vec::new();
+                for (col, p) in pattern.iter().enumerate() {
+                    if let Some(e) = p {
+                        match self.eval_expr(e) {
+                            Ok(v) => constraints.push((col, v)),
+                            Err(_) => return,
+                        }
+                    }
+                }
+                // Aggregates are recomputed over the current database (they
+                // read relations of strictly lower strata, complete before
+                // the target's rule fired); scanned tuples are not premises.
+                let tuples = collect_source(&self.db.rd(*rel));
+                let mut acc = AggAcc::new(*func);
+                for t in &tuples {
+                    if !constraints.iter().all(|&(c, v)| t[c] == v) {
+                        continue;
+                    }
+                    let folded = match value {
+                        Some(e) => {
+                            self.levels[*level] = t.clone();
+                            let r = self.eval_expr(e);
+                            self.levels[*level] = Vec::new();
+                            match r {
+                                Ok(v) => v,
+                                Err(_) => return,
+                            }
+                        }
+                        None => 0,
+                    };
+                    acc.add(folded);
+                }
+                if let Some(result) = acc.finish() {
+                    self.levels[*level] = vec![result];
+                    self.search(body);
+                    self.levels[*level] = Vec::new();
+                }
+            }
+        }
+    }
+
+    /// Binds, one by one, every tuple of `rel` matching `constraints`
+    /// whose height admits a better proof, and recurses into `body`.
+    fn scan_candidates(
+        &mut self,
+        rel: RelId,
+        level: usize,
+        constraints: &[(usize, u32)],
+        body: &RamOp,
+    ) {
+        let tuples = collect_source(&self.db.rd(rel));
+        for t in tuples {
+            if self.candidates == 0 {
+                return;
+            }
+            self.candidates -= 1;
+            if !constraints.iter().all(|&(c, v)| t[c] == v) {
+                continue;
+            }
+            let h = self.db.rd(rel).annotation(&t).map_or(0, |(h, _)| h);
+            // Premises must sit strictly below the target; and once a
+            // proof is known, only strictly lower maxima can improve it.
+            if h >= self.target_h {
+                continue;
+            }
+            if let Some((best_max, _)) = &self.best {
+                if h.max(self.cur_max) >= *best_max {
+                    continue;
+                }
+            }
+            let saved_max = self.cur_max;
+            self.cur_max = self.cur_max.max(h);
+            self.levels[level] = t.clone();
+            self.premises.push((rel, t, h));
+            self.search(body);
+            self.premises.pop();
+            self.levels[level] = Vec::new();
+            self.cur_max = saved_max;
+        }
+    }
+
+    fn eval_expr(&self, e: &RamExpr) -> Result<u32, EvalError> {
+        match e {
+            RamExpr::Constant(k) => Ok(*k),
+            RamExpr::TupleElement { level, column } => {
+                // An unbound level is an internal invariant violation;
+                // treated as a dead end rather than panicking on it.
+                self.levels[*level]
+                    .get(*column)
+                    .copied()
+                    .ok_or_else(|| EvalError::new("unbound tuple element"))
+            }
+            RamExpr::Intrinsic { op, args } => {
+                let mut vs = Vec::with_capacity(args.len());
+                for a in args {
+                    vs.push(self.eval_expr(a)?);
+                }
+                eval_intrinsic(*op, &vs, &self.db.symbols)
+            }
+            RamExpr::AutoIncrement => {
+                Err(EvalError::new("auto-increment rules cannot be re-matched"))
+            }
+        }
+    }
+
+    fn eval_cond(&self, c: &RamCond) -> Result<bool, EvalError> {
+        match c {
+            RamCond::True => Ok(true),
+            RamCond::Conjunction(cs) => {
+                for c in cs {
+                    if !self.eval_cond(c)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            RamCond::Negation(inner) => Ok(!self.eval_cond(inner)?),
+            RamCond::Comparison { kind, lhs, rhs } => {
+                Ok(eval_cmp(*kind, self.eval_expr(lhs)?, self.eval_expr(rhs)?))
+            }
+            RamCond::EmptinessCheck { rel } => Ok(self.db.rd(*rel).is_empty()),
+            RamCond::ExistenceCheck { rel, pattern, .. } => {
+                let mut constraints = Vec::new();
+                for (col, p) in pattern.iter().enumerate() {
+                    if let Some(e) = p {
+                        constraints.push((col, self.eval_expr(e)?));
+                    }
+                }
+                let r = self.db.rd(*rel);
+                if constraints.len() == r.arity() {
+                    let mut t = vec![0u32; r.arity()];
+                    for &(c, v) in &constraints {
+                        t[c] = v;
+                    }
+                    return Ok(r.contains(&t));
+                }
+                let mut it = r.scan_source();
+                while let Some(t) = it.next_tuple() {
+                    if constraints.iter().all(|&(c, v)| t[c] == v) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Collects a relation's tuples in source order (eqrel relations yield
+/// every ordered pair of each equivalence class).
+fn collect_source(r: &stir_der::relation::Relation) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut it = r.scan_source();
+    while let Some(t) = it.next_tuple() {
+        out.push(t.to_vec());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InterpreterConfig;
+    use crate::database::DataMode;
+    use crate::interp::Interpreter;
+    use crate::itree;
+    use stir_frontend::parse_and_check;
+    use stir_ram::translate::translate;
+
+    fn annotated_db(src: &str, config: InterpreterConfig) -> (RamProgram, Database) {
+        let ram = translate(&parse_and_check(src).expect("checks")).expect("translates");
+        let db = Database::new_with(&ram, DataMode::Specialized, true);
+        let tree = itree::build(&ram, &config);
+        Interpreter::new(&ram, &db, config)
+            .run(&tree)
+            .expect("runs");
+        (ram, db)
+    }
+
+    const TC: &str = "\
+        .decl e(x: number, y: number)\n\
+        .decl p(x: number, y: number)\n\
+        .output p\n\
+        e(1, 2). e(2, 3). e(3, 4).\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, z) :- p(x, y), e(y, z).\n";
+
+    fn check_heights(n: &ProofNode) {
+        for p in &n.premises {
+            assert!(p.height < n.height, "premise height must drop: {n:?}");
+            check_heights(p);
+        }
+    }
+
+    #[test]
+    fn explains_transitive_closure_with_decreasing_heights() {
+        let config = InterpreterConfig::optimized().with_provenance();
+        let (ram, db) = annotated_db(TC, config);
+        let p = ram.relation_by_name("p").unwrap().id;
+        let proof = explain(&ram, &db, p, &[1, 4], &ExplainLimits::default()).expect("explains");
+        assert_eq!(proof.tuple, vec![1, 4]);
+        assert!(!proof.is_input());
+        assert_eq!(proof.premises.len(), 2, "{proof:?}");
+        check_heights(&proof);
+        let rendered = render_proof(&ram, &db, &proof);
+        assert!(rendered.contains("p(1, 4)"), "{rendered}");
+        assert!(rendered.contains("[input]"), "{rendered}");
+        assert!(rendered.contains(":-"), "{rendered}");
+    }
+
+    #[test]
+    fn direct_facts_are_input_leaves() {
+        let config = InterpreterConfig::optimized().with_provenance();
+        let (ram, db) = annotated_db(TC, config);
+        let e = ram.relation_by_name("e").unwrap().id;
+        let proof = explain(&ram, &db, e, &[1, 2], &ExplainLimits::default()).expect("explains");
+        assert!(proof.is_input());
+        assert!(proof.premises.is_empty());
+    }
+
+    #[test]
+    fn underivable_facts_and_provenance_off_error() {
+        let config = InterpreterConfig::optimized().with_provenance();
+        let (ram, db) = annotated_db(TC, config);
+        let p = ram.relation_by_name("p").unwrap().id;
+        let err = explain(&ram, &db, p, &[4, 1], &ExplainLimits::default()).unwrap_err();
+        assert!(err.to_string().contains("not derivable"), "{err}");
+
+        let plain = InterpreterConfig::optimized();
+        let ram2 = translate(&parse_and_check(TC).expect("checks")).expect("translates");
+        let db2 = Database::new_with(&ram2, DataMode::Specialized, false);
+        let tree = itree::build(&ram2, &plain);
+        Interpreter::new(&ram2, &db2, plain)
+            .run(&tree)
+            .expect("runs");
+        let p2 = ram2.relation_by_name("p").unwrap().id;
+        let err = explain(&ram2, &db2, p2, &[1, 2], &ExplainLimits::default()).unwrap_err();
+        assert!(err.to_string().contains("provenance is off"), "{err}");
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let config = InterpreterConfig::optimized().with_provenance();
+        let (ram, db) = annotated_db(TC, config);
+        let p = ram.relation_by_name("p").unwrap().id;
+        let limits = ExplainLimits {
+            max_depth: 1,
+            ..ExplainLimits::default()
+        };
+        let proof = explain(&ram, &db, p, &[1, 4], &limits).expect("explains");
+        assert!(
+            proof
+                .premises
+                .iter()
+                .any(|n| n.truncated && n.premises.is_empty()),
+            "{proof:?}"
+        );
+    }
+
+    #[test]
+    fn negation_and_arithmetic_rules_rematch() {
+        let src = "\
+            .decl a(x: number)\n.decl b(x: number)\n.decl r(x: number, y: number)\n\
+            .output r\n\
+            a(1). a(2). b(2).\n\
+            r(x, y) :- a(x), !b(x), y = x * 10 + 1.\n";
+        let config = InterpreterConfig::optimized().with_provenance();
+        let (ram, db) = annotated_db(src, config);
+        let r = ram.relation_by_name("r").unwrap().id;
+        let proof = explain(&ram, &db, r, &[1, 11], &ExplainLimits::default()).expect("explains");
+        assert_eq!(proof.premises.len(), 1);
+        assert_eq!(proof.premises[0].tuple, vec![1]);
+        check_heights(&proof);
+    }
+
+    #[test]
+    fn aggregate_rules_rematch_via_recomputation() {
+        let src = "\
+            .decl e(x: number, y: number)\n.decl t(n: number)\n\
+            .output t\n\
+            e(1, 2). e(1, 3).\n\
+            t(n) :- n = count : { e(1, _) }.\n";
+        let config = InterpreterConfig::optimized().with_provenance();
+        let (ram, db) = annotated_db(src, config);
+        let t = ram.relation_by_name("t").unwrap().id;
+        let proof = explain(&ram, &db, t, &[2], &ExplainLimits::default()).expect("explains");
+        assert!(!proof.opaque, "{proof:?}");
+        check_heights(&proof);
+    }
+
+    #[test]
+    fn autoincrement_rules_are_opaque() {
+        let src = "\
+            .decl s(x: number)\n.decl tagged(x: number, id: number)\n\
+            .output tagged\n\
+            s(10).\n\
+            tagged(x, $) :- s(x).\n";
+        let config = InterpreterConfig::optimized().with_provenance();
+        let (ram, db) = annotated_db(src, config);
+        let tagged = ram.relation_by_name("tagged").unwrap().id;
+        let rows = db.rd(tagged).to_sorted_tuples();
+        let proof = explain(&ram, &db, tagged, &rows[0], &ExplainLimits::default()).expect("ok");
+        assert!(proof.opaque);
+        assert!(proof.premises.is_empty());
+    }
+}

@@ -47,6 +47,7 @@ use crate::error::{EngineError, EvalError, StorageError};
 use crate::interp::Interpreter;
 use crate::itree;
 use crate::profile::ProfileReport;
+use crate::prov::{ExplainLimits, ProofNode};
 use crate::telemetry::{LogLevel, Telemetry};
 use crate::value::Value;
 use crate::wal::{self, Durability, SnapshotLoad, SnapshotStats, WalWriter};
@@ -140,6 +141,10 @@ pub struct ServerStats {
     pub strata_rerun: u64,
     /// Full stratum recomputations across all updates.
     pub full_fallbacks: u64,
+    /// `.explain` requests served (always 0 with provenance off).
+    pub explain_requests: u64,
+    /// Proof-tree nodes returned across all `.explain` requests.
+    pub explain_nodes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -149,6 +154,8 @@ struct Counters {
     query_rows: AtomicU64,
     strata_rerun: AtomicU64,
     full_fallbacks: AtomicU64,
+    explain_requests: AtomicU64,
+    explain_nodes: AtomicU64,
 }
 
 /// An engine whose database stays resident between requests.
@@ -226,7 +233,7 @@ impl ResidentEngine {
         };
         let db = {
             let _span = tracer.map(|t| t.span("phase:build-db"));
-            Database::new(&ram, mode)
+            Database::new_with(&ram, mode, config.provenance)
         };
         {
             let _span = tracer.map(|t| t.span("phase:load-inputs"));
@@ -312,7 +319,7 @@ impl ResidentEngine {
         };
         let db = {
             let _span = tracer.map(|t| t.span("phase:build-db"));
-            Database::new(&ram, mode)
+            Database::new_with(&ram, mode, config.provenance)
         };
         {
             // Replace the table wholesale: every bit pattern in the
@@ -331,8 +338,10 @@ impl ResidentEngine {
             }
             *db.symbols_wr() = fresh;
         }
-        db.counter
-            .store(snap.counter, std::sync::atomic::Ordering::Relaxed);
+        if !config.provenance {
+            db.counter
+                .store(snap.counter, std::sync::atomic::Ordering::Relaxed);
+        }
 
         {
             let _span = tracer.map(|t| t.span("phase:load-snapshot"));
@@ -340,6 +349,15 @@ impl ResidentEngine {
                 let meta = ram.relation_by_name(name).ok_or_else(|| {
                     StorageError::new(format!("snapshot relation `{name}` is not in the program"))
                 })?;
+                // Annotations are deliberately not serialized: with
+                // provenance on, only the `.input` relations are taken
+                // from the snapshot (as height-0 axioms) and everything
+                // derived is recomputed below, regaining its rule and
+                // height annotations. The snapshot format stays identical
+                // in both modes.
+                if config.provenance && !meta.is_input {
+                    continue;
+                }
                 let mut rel = db.wr(meta.id);
                 for t in tuples {
                     if t.len() != meta.arity {
@@ -350,9 +368,33 @@ impl ResidentEngine {
                         ))
                         .into());
                     }
-                    rel.insert(t);
+                    if rel.insert(t) && config.provenance {
+                        rel.record_annotation(t, 0, crate::database::RULE_INPUT);
+                    }
                 }
             }
+        }
+        if config.provenance {
+            // Recompute-on-recovery: re-run the main fixpoint over the
+            // recovered inputs so derived tuples exist *with* annotations.
+            let tree = {
+                let _span = tracer.map(|t| t.span("phase:build-itree"));
+                itree::build_with_fusions(&ram, &config, &[])
+            };
+            let mut interp = Interpreter::new(&ram, &db, config);
+            if let Some(t) = tel {
+                interp.attach_telemetry(t);
+            }
+            {
+                let _span = tracer.map(|t| t.span("phase:evaluate"));
+                interp.run(&tree)?;
+            }
+            // Auto-increment ids were re-allocated during the recompute;
+            // keep the snapshot's high-water mark so future allocations
+            // never collide with values it recorded.
+            let cur = db.counter.load(std::sync::atomic::Ordering::Relaxed);
+            db.counter
+                .store(cur.max(snap.counter), std::sync::atomic::Ordering::Relaxed);
         }
         for (rid, _) in &snap.extra_facts {
             if rid.0 >= ram.relations.len() {
@@ -510,6 +552,8 @@ impl ResidentEngine {
             query_rows: self.counters.query_rows.load(Ordering::Relaxed),
             strata_rerun: self.counters.strata_rerun.load(Ordering::Relaxed),
             full_fallbacks: self.counters.full_fallbacks.load(Ordering::Relaxed),
+            explain_requests: self.counters.explain_requests.load(Ordering::Relaxed),
+            explain_nodes: self.counters.explain_nodes.load(Ordering::Relaxed),
         }
     }
 
@@ -527,6 +571,12 @@ impl ResidentEngine {
         m.set("server.query_rows", s.query_rows);
         m.set("server.strata_rerun", s.strata_rerun);
         m.set("server.full_fallbacks", s.full_fallbacks);
+        if self.config.provenance {
+            // Gated so that provenance-off metric dumps (and the profile
+            // JSON built from them) stay byte-identical to older builds.
+            m.set("explain.requests", s.explain_requests);
+            m.set("explain.nodes", s.explain_nodes);
+        }
         if let Some(p) = &self.persistence {
             m.set("wal.appends", p.wal.stats.appends);
             m.set("wal.bytes", p.wal.stats.bytes);
@@ -660,9 +710,15 @@ impl ResidentEngine {
         for &u in &self.all_upds {
             self.db.wr(u).clear();
         }
+        let prov = self.db.provenance();
         let mut fresh = 0u64;
         for t in encoded {
-            if self.db.wr(target).insert(&t) {
+            let mut rel_wr = self.db.wr(target);
+            if rel_wr.insert(&t) {
+                if prov {
+                    rel_wr.record_annotation(&t, 0, crate::database::RULE_INPUT);
+                }
+                drop(rel_wr);
                 fresh += 1;
                 if let Some(u) = upd {
                     self.db.wr(u).insert(&t);
@@ -823,9 +879,13 @@ impl ResidentEngine {
                 self.db.wr(*a).clear();
             }
         }
+        let prov = self.db.provenance();
         for (rid, t) in self.ram.facts.iter().chain(self.extra_facts.iter()) {
             if defined[rid.0] {
-                self.db.wr(*rid).insert(t);
+                let mut rel = self.db.wr(*rid);
+                if rel.insert(t) && prov {
+                    rel.record_annotation(t, 0, crate::database::RULE_INPUT);
+                }
             }
         }
         let tree = itree::build_stmt(&self.ram, &self.config, self.ram.stratum_stmt(i));
@@ -976,18 +1036,97 @@ impl ResidentEngine {
                 .zip(&src)
                 .all(|(b, &v)| b.is_none_or(|bits| bits == v))
             {
-                out.push(
-                    src.iter()
-                        .zip(&meta.attr_types)
-                        .map(|(&bits, &ty)| Value::decode(bits, ty, &symbols))
-                        .collect(),
-                );
+                out.push(src.clone());
             }
         }
+        // Which index answered the query depends on the engine mode and
+        // the program's search signatures; sorting the encoded tuples
+        // makes the row order deterministic across all of them (the same
+        // convention `to_sorted_tuples` uses for batch outputs).
+        out.sort_unstable();
+        let rows: Vec<Vec<Value>> = out
+            .iter()
+            .map(|src| {
+                src.iter()
+                    .zip(&meta.attr_types)
+                    .map(|(&bits, &ty)| Value::decode(bits, ty, &symbols))
+                    .collect()
+            })
+            .collect();
         self.counters
             .query_rows
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        Ok(out)
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        Ok(rows)
+    }
+
+    /// Explains how `row` of relation `rel` was derived, as a
+    /// minimal-height proof tree (see [`crate::prov`]).
+    ///
+    /// Requires the engine to run with
+    /// [`InterpreterConfig::provenance`] on; render the result with
+    /// [`Self::render_proof`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown/internal relations and wrong-arity rows; reports
+    /// provenance-off engines and non-derivable facts as evaluation
+    /// errors.
+    pub fn explain(
+        &self,
+        rel: &str,
+        row: &[Value],
+        limits: ExplainLimits,
+        tel: Option<&Telemetry>,
+    ) -> Result<ProofNode, EvalError> {
+        let _span = tel.map(|t| t.tracer.span("phase:serve:explain"));
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .explain_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let meta = self
+            .ram
+            .relation_by_name(rel)
+            .ok_or_else(|| EvalError::new(format!("unknown relation `{rel}`")))?;
+        if meta.role != Role::Standard {
+            return Err(EvalError::new(format!(
+                "relation `{rel}` is internal and cannot be explained"
+            )));
+        }
+        if row.len() != meta.arity {
+            return Err(EvalError::new(format!(
+                "fact for `{rel}` has {} values, expected {}",
+                row.len(),
+                meta.arity
+            )));
+        }
+        let mut tuple = Vec::with_capacity(row.len());
+        {
+            let symbols = self.db.symbols_rd();
+            for v in row {
+                match v.encode_existing(&symbols) {
+                    Some(bits) => tuple.push(bits),
+                    // A never-interned symbol cannot be in any relation.
+                    None => {
+                        let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        return Err(EvalError::new(format!(
+                            "`{rel}({})` is not derivable",
+                            vals.join(", ")
+                        )));
+                    }
+                }
+            }
+        }
+        let node = crate::prov::explain(&self.ram, &self.db, meta.id, &tuple, &limits)?;
+        self.counters
+            .explain_nodes
+            .fetch_add(node.size() as u64, Ordering::Relaxed);
+        Ok(node)
+    }
+
+    /// Renders a proof tree from [`Self::explain`] as an indented text
+    /// block (one line per node, premises indented under their rule).
+    pub fn render_proof(&self, node: &ProofNode) -> String {
+        crate::prov::render_proof(&self.ram, &self.db, node)
     }
 }
 
@@ -1349,6 +1488,127 @@ mod tests {
         assert!(!r.is_durable());
         assert!(matches!(r.snapshot(None), Err(EngineError::Storage(_))));
         r.flush_wal().expect("no-op without persistence");
+    }
+
+    #[test]
+    fn explain_covers_incremental_derivations() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3)]));
+        let mut r = ResidentEngine::from_source(
+            TC,
+            InterpreterConfig::optimized().with_provenance(),
+            &inputs,
+            None,
+        )
+        .expect("builds");
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("updates");
+
+        // p(1,4) only exists because of the incrementally inserted edge.
+        let node = r
+            .explain(
+                "p",
+                &[Value::Number(1), Value::Number(4)],
+                ExplainLimits::default(),
+                None,
+            )
+            .expect("explains");
+        assert!(!node.is_input());
+        assert!(node.premises.iter().any(|p| p.tuple == vec![3, 4]));
+        let rendered = r.render_proof(&node);
+        assert!(rendered.contains("p(1, 4)"), "{rendered}");
+        assert!(rendered.contains("[input]"), "{rendered}");
+        let s = r.stats();
+        assert_eq!(s.explain_requests, 1);
+        assert!(s.explain_nodes >= node.size() as u64);
+
+        // Non-derivable and never-interned facts report errors, not trees.
+        assert!(r
+            .explain(
+                "p",
+                &[Value::Number(9), Value::Number(9)],
+                ExplainLimits::default(),
+                None,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn explain_rejects_provenance_off_engines() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let r = resident(TC, &inputs);
+        let err = r
+            .explain(
+                "p",
+                &[Value::Number(1), Value::Number(2)],
+                ExplainLimits::default(),
+                None,
+            )
+            .unwrap_err();
+        assert!(err.msg.contains("provenance"), "{err:?}");
+    }
+
+    #[test]
+    fn provenance_survives_snapshot_recovery_by_recompute() {
+        let dir = tmpdir("prov-snap");
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+        let config = InterpreterConfig::optimized().with_provenance();
+
+        let (mut r, _) = open_dir(TC, config, &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        r.snapshot(None).expect("snapshots");
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        let before = r.outputs();
+        drop(r);
+
+        let (r, rec) = open_dir(TC, config, &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(r.outputs(), before, "recompute-on-recovery reaches parity");
+        // Every recovered derived tuple is explainable again.
+        for row in &r.outputs()["p"] {
+            let node = r
+                .explain("p", row, ExplainLimits::default(), None)
+                .expect("explains after recovery");
+            assert!(node.height >= 1 || node.is_input());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_rows_come_back_sorted_in_every_mode() {
+        // Insertion order deliberately scrambled; rows must come back in
+        // encoded-tuple order regardless of which index serves the scan.
+        let scrambled = pairs(&[(5, 1), (2, 9), (2, 3), (4, 4), (1, 7)]);
+        for config in [
+            InterpreterConfig::optimized(),
+            InterpreterConfig::dynamic_adapter(),
+            InterpreterConfig::unoptimized(),
+            InterpreterConfig::legacy(),
+        ] {
+            let mut inputs = InputData::new();
+            inputs.insert("e".into(), scrambled.clone());
+            let r = ResidentEngine::from_source(TC, config, &inputs, None).expect("builds");
+            let rows = r.query("e", &[None, None], None).expect("queries");
+            assert_eq!(
+                rows,
+                pairs(&[(1, 7), (2, 3), (2, 9), (4, 4), (5, 1)]),
+                "sorted rows in {config:?}"
+            );
+            let bound = r
+                .query("p", &[Some(Value::Number(2)), None], None)
+                .expect("queries");
+            let mut sorted = bound.clone();
+            sorted.sort_by_key(|row| match row[1] {
+                Value::Number(n) => n,
+                _ => unreachable!(),
+            });
+            assert_eq!(bound, sorted, "bound-prefix rows sorted in {config:?}");
+        }
     }
 
     #[test]

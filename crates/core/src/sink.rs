@@ -19,23 +19,53 @@ pub struct InsertSink {
     /// Relation arities, so buffers can be created on first use.
     arities: Vec<usize>,
     buffers: Vec<Option<InsertBuffer>>,
+    /// Annotated evaluation: buffers are widened by one column holding
+    /// the firing rule's id, split back off at merge time. (The height
+    /// needs no column — it is the coordinator's epoch, uniform across
+    /// the whole merge.)
+    prov: bool,
 }
 
 impl InsertSink {
     /// Creates an empty sink with one (lazy) slot per relation of `ram`.
     pub fn new(ram: &RamProgram) -> Self {
+        Self::new_with(ram, false)
+    }
+
+    /// Creates an empty sink; with `prov`, buffered tuples carry a
+    /// trailing rule-id column for annotation at merge time.
+    pub fn new_with(ram: &RamProgram, prov: bool) -> Self {
         InsertSink {
             arities: ram.relations.iter().map(|r| r.arity).collect(),
             buffers: (0..ram.relations.len()).map(|_| None).collect(),
+            prov,
         }
+    }
+
+    /// Whether buffered tuples carry a trailing rule-id column.
+    pub fn prov(&self) -> bool {
+        self.prov
     }
 
     /// Buffers one source-order tuple destined for `rel`.
     pub fn push(&mut self, rel: RelId, tuple: &[u32]) {
+        debug_assert!(!self.prov, "annotated sinks take push_annotated");
         let arity = self.arities[rel.0];
         self.buffers[rel.0]
             .get_or_insert_with(|| InsertBuffer::new(arity))
             .push(tuple);
+    }
+
+    /// Buffers one source-order tuple together with the id of the rule
+    /// that derived it (annotated evaluation).
+    pub fn push_annotated(&mut self, rel: RelId, tuple: &[u32], rule: u32) {
+        debug_assert!(self.prov, "plain sinks take push");
+        let arity = self.arities[rel.0] + 1;
+        let buf = self.buffers[rel.0].get_or_insert_with(|| InsertBuffer::new(arity));
+        let mut widened = Vec::with_capacity(arity);
+        widened.extend_from_slice(tuple);
+        widened.push(rule);
+        buf.push(&widened);
     }
 
     /// Drains the sink into `(relation, buffer)` pairs that received
@@ -80,5 +110,18 @@ mod tests {
         assert_eq!(b_tuples, &vec![vec![3, 4]]);
         // Only relations that received tuples are drained.
         assert_eq!(drained.len(), 2);
+    }
+
+    #[test]
+    fn annotated_sink_widens_tuples_by_rule_id() {
+        let ram = translate(&parse_and_check(".decl a(x: number)\na(1).").expect("checks"))
+            .expect("translates");
+        let a = ram.relation_by_name("a").unwrap().id;
+        let mut sink = InsertSink::new_with(&ram, true);
+        assert!(sink.prov());
+        sink.push_annotated(a, &[7], 3);
+        let (_, buf) = sink.into_buffers().next().unwrap();
+        let tuples: Vec<Vec<u32>> = buf.tuples().map(<[u32]>::to_vec).collect();
+        assert_eq!(tuples, vec![vec![7, 3]]);
     }
 }

@@ -10,8 +10,10 @@
 //! are represented directly by a presence flag, as in Soufflé.
 
 use crate::adapter::{IndexAdapter, IndexStats};
+use crate::dynindex::DynBTreeIndex;
 use crate::factory::{new_index, IndexSpec};
 use crate::iter::{DecodingIter, TupleIter, VecTupleIter};
+use crate::order::Order;
 use crate::tuple::RamDomain;
 
 /// A named, indexed set of tuples.
@@ -35,6 +37,13 @@ pub struct Relation {
     indexes: Vec<Box<dyn IndexAdapter>>,
     /// Presence flag for nullary relations (`arity == 0`).
     nullary_present: bool,
+    /// Provenance annotations, when enabled: widened tuples
+    /// `(t..., height, rule)` — the two de-specialized annotation columns —
+    /// held in one extra natural-order index that is excluded from the
+    /// queryable index set, so it never participates in logical
+    /// ordering/dedup/set-semantics. The natural lexicographic order makes
+    /// a prefix lookup on `t` yield the *minimum-height* row first.
+    annotations: Option<Box<DynBTreeIndex>>,
 }
 
 impl Relation {
@@ -54,6 +63,7 @@ impl Relation {
                 arity,
                 indexes: Vec::new(),
                 nullary_present: false,
+                annotations: None,
             };
         }
         assert!(!specs.is_empty(), "relations need at least a primary index");
@@ -65,6 +75,7 @@ impl Relation {
             arity,
             indexes: specs.iter().map(new_index).collect(),
             nullary_present: false,
+            annotations: None,
         }
     }
 
@@ -97,7 +108,55 @@ impl Relation {
             arity,
             indexes,
             nullary_present: false,
+            annotations: None,
         }
+    }
+
+    /// Turns on annotation tracking: every tuple may carry a
+    /// `(height, rule)` annotation pair recorded by the evaluator. Off by
+    /// default; the store costs nothing until enabled.
+    pub fn enable_annotations(&mut self) {
+        if self.annotations.is_none() {
+            self.annotations = Some(Box::new(DynBTreeIndex::new(Order::natural(self.arity + 2))));
+        }
+    }
+
+    /// Whether annotation tracking is enabled.
+    pub fn annotations_enabled(&self) -> bool {
+        self.annotations.is_some()
+    }
+
+    /// Records the `(height, rule)` annotation of a source-order tuple.
+    /// Callers record on *fresh* logical inserts only, which makes the
+    /// first (minimum-height) derivation win; even on a duplicate record,
+    /// lookups return the minimum-height row because the widened tuples
+    /// sort by `(t..., height, rule)`. A no-op when annotations are off.
+    pub fn record_annotation(&mut self, t: &[RamDomain], height: RamDomain, rule: RamDomain) {
+        debug_assert_eq!(t.len(), self.arity, "annotation arity mismatch");
+        if let Some(store) = &mut self.annotations {
+            let mut widened = Vec::with_capacity(t.len() + 2);
+            widened.extend_from_slice(t);
+            widened.push(height);
+            widened.push(rule);
+            store.insert(&widened);
+        }
+    }
+
+    /// Looks up the minimum-height `(height, rule)` annotation of a
+    /// source-order tuple, if one was recorded.
+    pub fn annotation(&self, t: &[RamDomain]) -> Option<(RamDomain, RamDomain)> {
+        debug_assert_eq!(t.len(), self.arity, "annotation arity mismatch");
+        let store = self.annotations.as_ref()?;
+        let mut lo = Vec::with_capacity(t.len() + 2);
+        lo.extend_from_slice(t);
+        lo.push(0);
+        lo.push(0);
+        let mut hi = Vec::with_capacity(t.len() + 2);
+        hi.extend_from_slice(t);
+        hi.push(RamDomain::MAX);
+        hi.push(RamDomain::MAX);
+        let mut it = store.range(&lo, &hi);
+        it.next_tuple().map(|w| (w[self.arity], w[self.arity + 1]))
     }
 
     /// The relation's name.
@@ -149,11 +208,14 @@ impl Relation {
         self.len() == 0
     }
 
-    /// Removes all tuples from all indexes.
+    /// Removes all tuples from all indexes (and their annotations).
     pub fn clear(&mut self) {
         self.nullary_present = false;
         for idx in &mut self.indexes {
             idx.clear();
+        }
+        if let Some(store) = &mut self.annotations {
+            store.clear();
         }
     }
 
@@ -209,13 +271,30 @@ impl Relation {
     /// Panics if arities differ.
     pub fn merge_from(&mut self, other: &Relation) {
         assert_eq!(self.arity, other.arity, "merge arity mismatch");
+        let copy_annotations = self.annotations.is_some() && other.annotations.is_some();
         if self.arity == 0 {
+            let fresh = !self.nullary_present && other.nullary_present;
             self.nullary_present |= other.nullary_present;
+            if fresh && copy_annotations {
+                if let Some((h, r)) = other.annotation(&[]) {
+                    self.record_annotation(&[], h, r);
+                }
+            }
             return;
         }
+        let mut moved: Vec<Vec<RamDomain>> = Vec::new();
         let mut it = other.scan_source();
         while let Some(t) = it.next_tuple() {
-            self.insert(t);
+            if self.insert(t) && copy_annotations {
+                moved.push(t.to_vec());
+            }
+        }
+        // Annotations follow freshly merged tuples, preserving their
+        // original derivation heights (the keep-first/min-height rule).
+        for t in moved {
+            if let Some((h, r)) = other.annotation(&t) {
+                self.record_annotation(&t, h, r);
+            }
         }
     }
 
@@ -234,6 +313,7 @@ impl Relation {
         );
         std::mem::swap(&mut self.indexes, &mut other.indexes);
         std::mem::swap(&mut self.nullary_present, &mut other.nullary_present);
+        std::mem::swap(&mut self.annotations, &mut other.annotations);
     }
 
     /// Collects all tuples, in source order, as owned vectors (IO/tests).
@@ -458,6 +538,51 @@ mod tests {
     #[should_panic(expected = "at least a primary")]
     fn positive_arity_requires_an_index() {
         Relation::new("r", 2, vec![]);
+    }
+
+    #[test]
+    fn annotations_follow_merge_swap_and_clear() {
+        let mut new = two_index_relation();
+        new.enable_annotations();
+        assert!(new.annotations_enabled());
+        assert!(new.insert(&[1, 2]));
+        new.record_annotation(&[1, 2], 3, 7);
+        assert_eq!(new.annotation(&[1, 2]), Some((3, 7)));
+        assert_eq!(new.annotation(&[9, 9]), None);
+
+        // Keep-first: a later (higher) derivation never wins the lookup.
+        new.record_annotation(&[1, 2], 5, 8);
+        assert_eq!(new.annotation(&[1, 2]), Some((3, 7)));
+
+        // MERGE copies annotations of freshly inserted tuples only.
+        let mut full = two_index_relation();
+        full.enable_annotations();
+        full.insert(&[1, 2]);
+        full.record_annotation(&[1, 2], 1, 0);
+        let mut delta = two_index_relation();
+        delta.enable_annotations();
+        full.merge_from(&new);
+        assert_eq!(full.annotation(&[1, 2]), Some((1, 0)), "kept original");
+
+        // SWAP exchanges annotation stores with the data.
+        delta.swap_data(&mut new);
+        assert_eq!(delta.annotation(&[1, 2]), Some((3, 7)));
+        assert_eq!(new.annotation(&[1, 2]), None);
+
+        // CLEAR drops annotations with the tuples.
+        delta.clear();
+        assert_eq!(delta.annotation(&[1, 2]), None);
+
+        // Nullary relations annotate their single empty tuple.
+        let mut flag = Relation::new("flag", 0, vec![]);
+        flag.enable_annotations();
+        flag.insert(&[]);
+        flag.record_annotation(&[], 2, 4);
+        assert_eq!(flag.annotation(&[]), Some((2, 4)));
+        let mut flag2 = Relation::new("flag2", 0, vec![]);
+        flag2.enable_annotations();
+        flag2.merge_from(&flag);
+        assert_eq!(flag2.annotation(&[]), Some((2, 4)));
     }
 
     #[test]

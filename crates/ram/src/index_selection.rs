@@ -168,6 +168,18 @@ pub fn assign_indexes(program: &mut RamProgram) {
         }
     }
 
+    // Provenance annotation columns are excluded by construction: the two
+    // widened `(height, rule)` columns live in a dedicated side store
+    // outside the queryable index set, so no search signature may bind
+    // them — every signature must fit the relation's declared arity.
+    debug_assert!(
+        signatures
+            .iter()
+            .zip(&program.relations)
+            .all(|(sigs, r)| sigs.iter().all(|s| (s >> r.arity) == 0)),
+        "search signature covers columns beyond the declared arity"
+    );
+
     // A relation and its `delta_`/`new_` versions are one logical relation:
     // they exchange contents via MERGE/SWAP, so they must share one index
     // layout. Union their signatures and select once per group (this is

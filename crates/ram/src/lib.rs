@@ -45,6 +45,7 @@ pub mod expr;
 pub mod index_selection;
 pub mod pretty;
 pub mod program;
+pub mod prov;
 pub mod stmt;
 pub mod transform;
 pub mod translate;

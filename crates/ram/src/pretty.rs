@@ -156,7 +156,7 @@ impl Printer<'_> {
                 self.line(ind, &format!("IF {c}"));
                 self.op(body, ind + 1);
             }
-            RamOp::Project { rel, values } => {
+            RamOp::Project { rel, values, .. } => {
                 let vals: Vec<String> = values.iter().map(|v| self.expr(v)).collect();
                 let t = format!("INSERT ({}) INTO {}", vals.join(", "), self.name(*rel));
                 self.line(ind, &t);

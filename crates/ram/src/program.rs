@@ -130,6 +130,10 @@ pub struct RamProgram {
     pub symbols: SymbolTable,
     /// Translation-time statistics (index-selection cost, index counts).
     pub stats: TranslateStats,
+    /// Provenance metadata: each source rule re-lowered over the full
+    /// base relations, for proof-tree reconstruction. Built once at
+    /// translation; ignored entirely unless annotated evaluation is on.
+    pub prov: crate::prov::ProvInfo,
 }
 
 impl RamProgram {

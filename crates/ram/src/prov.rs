@@ -1,0 +1,44 @@
+//! Provenance metadata carried alongside a translated program.
+//!
+//! Annotated evaluation stamps every derived tuple with `(height, rule)`:
+//! the global iteration height at which it was first derived and the index
+//! of the source rule that derived it. Reconstructing a proof tree then
+//! needs the *rule bodies themselves* back in executable form — not the
+//! semi-naive delta variants of the main statement, but each rule lowered
+//! once over the full base relations. [`ProvRule`] holds exactly that: a
+//! plain re-translation of the rule (`translate_rule` with no recursion
+//! info), which a height-constrained top-down matcher can drive to find
+//! the premises of a tuple.
+
+use crate::program::RelId;
+use crate::stmt::RamStmt;
+
+/// Sentinel rule id for tuples that were not derived by any rule: ground
+/// facts from the source text, external inputs, and tuples inserted over
+/// the serving protocol. They are the leaves of every proof tree.
+pub const RULE_INPUT: u32 = u32::MAX;
+
+/// One source rule in provenance form.
+#[derive(Debug, Clone)]
+pub struct ProvRule {
+    /// The head relation.
+    pub head: RelId,
+    /// The rule's source text (proof-tree rendering).
+    pub label: String,
+    /// The rule lowered non-recursively over the full base relations
+    /// (always a [`RamStmt::Query`]); `None` if the plain lowering failed,
+    /// which makes the rule opaque.
+    pub stmt: Option<RamStmt>,
+    /// Opaque rules cannot be re-matched against the database: they draw
+    /// from the `$` auto-increment counter, so the values they produced
+    /// cannot be re-derived. Their proof-tree nodes carry no premises.
+    pub opaque: bool,
+}
+
+/// Provenance metadata for a whole program: one entry per desugared
+/// source rule, indexed by the rule ids stamped onto `Project` operations.
+#[derive(Debug, Clone, Default)]
+pub struct ProvInfo {
+    /// Rules in desugared order (aggregate helper rules included).
+    pub rules: Vec<ProvRule>,
+}

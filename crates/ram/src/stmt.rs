@@ -194,6 +194,13 @@ pub enum RamOp {
         rel: RelId,
         /// Value expressions, one per column.
         values: Vec<RamExpr>,
+        /// Index of the source rule this projection implements (into the
+        /// desugared rule list), for provenance annotation writes. The
+        /// rule id is a per-query constant, so annotated inserts absorb it
+        /// the same way super-instructions absorb constant columns; plain
+        /// evaluation ignores it entirely. `None` for synthetic
+        /// projections that implement no source rule.
+        rule: Option<u32>,
     },
     /// Scan `rel` on `pattern`, folding `value` over the matches; then
     /// bind the result as a 1-column tuple at `level` and run `body` once.
@@ -357,6 +364,7 @@ mod tests {
                 body: Box::new(RamOp::Project {
                     rel: RelId(1),
                     values: vec![],
+                    rule: None,
                 }),
             }),
         };

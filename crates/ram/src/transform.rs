@@ -62,6 +62,7 @@ pub fn merge_filters(op: &mut RamOp) {
                 Box::new(RamOp::Project {
                     rel: crate::program::RelId(0),
                     values: vec![],
+                    rule: None,
                 }),
             );
             *cond = merged;

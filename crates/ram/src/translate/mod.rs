@@ -176,6 +176,7 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         rel_ids: &rel_ids,
         relations: &relations,
         symbols: &mut symbols,
+        current_rule: None,
     };
     let mut main: Vec<RamStmt> = Vec::new();
     let mut strata: Vec<RamStratum> = Vec::new();
@@ -225,6 +226,7 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         if !stratum.recursive {
             let mut seq: Vec<RamStmt> = Vec::new();
             for &ri in &stratum.rules {
+                cx.current_rule = Some(ri as u32);
                 seq.push(translate_rule(&mut cx, &checked.ast.rules[ri], None)?);
             }
 
@@ -240,6 +242,7 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
                 let mut useq: Vec<RamStmt> = Vec::new();
                 for &ri in &stratum.rules {
                     let r = &checked.ast.rules[ri];
+                    cx.current_rule = Some(ri as u32);
                     for k in 0..count_upd_occurrences(r, &scc1, &upd_ids) {
                         useq.push(seed_variant(&mut cx, r, k, &scc1, &aux1, &upd_ids)?);
                     }
@@ -267,13 +270,14 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         let mut seq: Vec<RamStmt> = Vec::new();
 
         // Exit rules (no positive SCC body atom) run once, into R.
-        let mut recursive_rules: Vec<&Rule> = Vec::new();
+        let mut recursive_rules: Vec<(u32, &Rule)> = Vec::new();
         for &ri in &stratum.rules {
             let r = &checked.ast.rules[ri];
             if count_scc_occurrences(r, &scc) == 0 {
+                cx.current_rule = Some(ri as u32);
                 seq.push(translate_rule(&mut cx, r, None)?);
             } else {
-                recursive_rules.push(r);
+                recursive_rules.push((ri as u32, r));
             }
         }
 
@@ -316,6 +320,7 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
             let mut useq: Vec<RamStmt> = Vec::new();
             for &ri in &stratum.rules {
                 let r = &checked.ast.rules[ri];
+                cx.current_rule = Some(ri as u32);
                 for k in 0..count_upd_occurrences(r, &scc, &upd_ids) {
                     useq.push(seed_variant(&mut cx, r, k, &scc, &scc_aux, &upd_ids)?);
                 }
@@ -366,6 +371,27 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         main.push(RamStmt::Seq(seq));
     }
 
+    // Provenance plans: each desugared rule lowered once more over the
+    // full base relations (no recursion info), for proof-tree matching.
+    // Constants were interned by the main translation above, so this adds
+    // no symbols; the plans live outside `main`, so the optimizer and
+    // index selection never see them and plain evaluation is unaffected.
+    let mut prov = crate::prov::ProvInfo::default();
+    for (ri, rule) in checked.ast.rules.iter().enumerate() {
+        cx.current_rule = Some(ri as u32);
+        let stmt = translate_rule(&mut cx, rule, None).ok();
+        let opaque = match &stmt {
+            Some(RamStmt::Query { op, .. }) => op.uses_autoincrement(),
+            _ => true,
+        };
+        prov.rules.push(crate::prov::ProvRule {
+            head: rel_ids[&rule.head.name],
+            label: rule.to_string(),
+            stmt,
+            opaque,
+        });
+    }
+
     let mut program = RamProgram {
         relations,
         facts,
@@ -373,6 +399,7 @@ pub fn translate(checked: &CheckedProgram) -> Result<RamProgram, TranslateError>
         strata,
         symbols,
         stats: TranslateStats::default(),
+        prov,
     };
     crate::transform::optimize(&mut program);
     let started = std::time::Instant::now();
@@ -491,7 +518,7 @@ fn collect_agg_reads(e: &Expr, rel_ids: &HashMap<String, RelId>, out: &mut BTree
 #[allow(clippy::too_many_arguments)]
 fn fixpoint_loop_body(
     cx: &mut RuleCx<'_>,
-    recursive_rules: &[&Rule],
+    recursive_rules: &[(u32, &Rule)],
     scc: &BTreeSet<String>,
     scc_aux: &HashMap<String, (RelId, RelId)>,
     aux: &HashMap<String, (RelId, RelId)>,
@@ -499,7 +526,8 @@ fn fixpoint_loop_body(
     upd_ids: Option<&HashMap<String, RelId>>,
 ) -> Result<Vec<RamStmt>, TranslateError> {
     let mut loop_body: Vec<RamStmt> = Vec::new();
-    for r in recursive_rules {
+    for (ri, r) in recursive_rules {
+        cx.current_rule = Some(*ri);
         let n = count_scc_occurrences(r, scc);
         for occurrence in 0..n {
             let info = RecursiveInfo {

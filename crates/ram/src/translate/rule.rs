@@ -31,6 +31,10 @@ pub struct RuleCx<'a> {
     pub relations: &'a [RamRelation],
     /// The engine-wide symbol table (string constants intern here).
     pub symbols: &'a mut SymbolTable,
+    /// Index (into the desugared rule list) of the source rule currently
+    /// being translated; stamped onto the query's `Project` so annotated
+    /// evaluation can attribute derived tuples to their rule.
+    pub current_rule: Option<u32>,
 }
 
 /// Which relation each positive SCC occurrence should scan.
@@ -189,6 +193,7 @@ pub fn translate_rule(
     let mut op = RamOp::Project {
         rel: dest,
         values: values.clone(),
+        rule: b.cx.current_rule,
     };
     if let Some(full) = guard {
         op = RamOp::Filter {

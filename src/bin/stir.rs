@@ -1,7 +1,7 @@
 //! The `stir` command-line driver: run Datalog programs like `souffle`.
 //!
 //! ```text
-//! stir PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
+//! stir [repl|explain] PROGRAM.dl [ATOM] [-F facts_dir] [-D out_dir] [options]
 //!
 //!   -F, --fact-dir DIR     read <rel>.facts for every .input relation
 //!   -D, --output-dir DIR   write <rel>.csv for every .output relation
@@ -12,6 +12,8 @@
 //!       --no-outline       disable handler outlining
 //!   -j, --jobs N           evaluate parallel scans with N workers
 //!                          (default: $STIR_JOBS or 1)
+//!       --provenance       annotated evaluation; `.explain` in the repl
+//!                          (and `stir explain`) serves proof trees
 //!       --profile          print the per-rule profile after the run
 //!       --profile-json F   write the machine-readable profile JSON to F
 //!       --trace-folded F   write flamegraph folded stacks to F
@@ -45,17 +47,24 @@ struct Options {
     print_ram: bool,
     synthesize: Option<PathBuf>,
     repl: bool,
+    /// `stir explain PROGRAM.dl 'rel(c1, ...)'`: run the fixpoint with
+    /// provenance on, print the fact's proof tree, exit.
+    explain_atom: Option<String>,
     data_dir: Option<PathBuf>,
     persist: PersistOptions,
 }
 
 const HELP: &str = "\
-usage: stir [repl] PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
+usage: stir [repl|explain] PROGRAM.dl [ATOM] [-F facts_dir] [-D out_dir] [options]
 
   repl                   load PROGRAM.dl, run the fixpoint once, then
                          serve `+fact(...)` / `?query(...)` lines from
                          stdin against the resident engine (see also the
                          stird TCP server)
+  explain                one-shot provenance query: run the fixpoint with
+                         annotations on and print the minimal-height
+                         proof tree of ATOM, e.g.
+                           stir explain prog.dl 'path(1, 3)' -F facts
 
   -F, --fact-dir DIR     read <rel>.facts for every .input relation
   -D, --output-dir DIR   write <rel>.csv for every .output relation
@@ -66,6 +75,9 @@ usage: stir [repl] PROGRAM.dl [-F facts_dir] [-D out_dir] [options]
       --no-outline       disable handler outlining
   -j, --jobs N           evaluate parallel scans with N workers
                          (default: $STIR_JOBS or 1)
+      --provenance       annotate tuples with (rule, height); the repl
+                         then answers `.explain rel(...)` with proof
+                         trees (`stir explain` implies this)
       --profile          print the per-rule profile after the run
       --profile-json F   write the machine-readable profile JSON to F
       --trace-folded F   write flamegraph folded stacks to F
@@ -102,6 +114,9 @@ fn parse_args() -> Options {
     let mut print_ram = false;
     let mut synthesize = None;
     let mut repl = false;
+    let mut explain = false;
+    let mut explain_atom = None;
+    let mut provenance = false;
     let mut jobs = None;
     let mut data_dir = None;
     let mut persist = PersistOptions {
@@ -110,8 +125,21 @@ fn parse_args() -> Options {
     };
     let mut first = true;
     while let Some(arg) = args.next() {
-        if std::mem::take(&mut first) && arg == "repl" {
-            repl = true;
+        if std::mem::take(&mut first) {
+            match arg.as_str() {
+                "repl" => {
+                    repl = true;
+                    continue;
+                }
+                "explain" => {
+                    explain = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if explain && program.is_some() && explain_atom.is_none() && !arg.starts_with('-') {
+            explain_atom = Some(arg);
             continue;
         }
         match arg.as_str() {
@@ -140,6 +168,7 @@ fn parse_args() -> Options {
                     None => usage(),
                 }
             }
+            "--provenance" => provenance = true,
             "--no-super" => config.super_instructions = false,
             "--no-reorder" => config.static_reordering = false,
             "--no-outline" => config.outlined_handlers = false,
@@ -199,10 +228,18 @@ fn parse_args() -> Options {
     if profile || profile_json.is_some() {
         config.profile = true;
     }
-    // `--mode` rebuilds the config, so the worker count is applied last
-    // to make flag order irrelevant.
+    // `--mode` rebuilds the config, so the worker count and provenance
+    // switch are applied last to make flag order irrelevant. `stir
+    // explain` is pointless without annotations, so it implies them.
     if let Some(n) = jobs {
         config.jobs = n;
+    }
+    if provenance || explain {
+        config.provenance = true;
+    }
+    if explain && explain_atom.is_none() {
+        eprintln!("stir: explain needs a fact atom, e.g. stir explain prog.dl 'path(1, 3)'");
+        std::process::exit(2)
     }
     // Folded stacks need statement spans; `info` heartbeats need the
     // instrumented interpreter instantiation, which `trace` selects.
@@ -221,6 +258,7 @@ fn parse_args() -> Options {
         print_ram,
         synthesize,
         repl,
+        explain_atom,
         data_dir,
         persist,
     }
@@ -255,6 +293,40 @@ fn print_profile_table(profile: &ProfileReport) {
             rule.label
         );
     }
+}
+
+/// `stir explain PROG.dl 'rel(c1, ...)'`: run the fixpoint with
+/// annotations, print the fact's proof tree through the same `.explain`
+/// handler the serving protocol uses, and exit non-zero when the fact
+/// is not derivable (so scripts can branch on it).
+fn run_explain(
+    opts: &Options,
+    engine: Engine,
+    inputs: &InputData,
+    tel: &Telemetry,
+    atom: &str,
+) -> ExitCode {
+    let resident = match ResidentEngine::new(engine, opts.config, inputs, Some(tel)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shared = RwLock::new(resident);
+    let mut buf = Vec::new();
+    let line = format!(".explain {atom}");
+    if let Err(e) = stir::serve::handle_line(&shared, &line, Some(tel), &mut buf) {
+        eprintln!("stir: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = String::from_utf8_lossy(&buf);
+    if let Some(err) = text.strip_prefix("err ") {
+        eprintln!("stir: {}", err.trim_end());
+        return ExitCode::FAILURE;
+    }
+    print!("{text}");
+    ExitCode::SUCCESS
 }
 
 /// `stir repl`: make the engine resident and serve protocol lines from
@@ -392,6 +464,9 @@ fn main() -> ExitCode {
         None => InputData::new(),
     };
 
+    if let Some(atom) = opts.explain_atom.clone() {
+        return run_explain(&opts, engine, &inputs, &tel, &atom);
+    }
     if opts.repl {
         return run_repl(&opts, engine, &inputs, &tel);
     }

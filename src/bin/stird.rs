@@ -10,6 +10,8 @@
 //!       --mode MODE          sti | dynamic | unopt | legacy  (default sti)
 //!   -j, --jobs N             evaluate parallel scans with N workers
 //!                            (default: $STIR_JOBS or 1)
+//!       --provenance         annotate tuples with (rule, height) so
+//!                            `.explain rel(...)` can serve proof trees
 //!   -D, --data-dir DIR       persist inserts to a write-ahead log and
 //!                            snapshots under DIR; on restart the engine
 //!                            recovers every acknowledged insert
@@ -75,6 +77,8 @@ usage: stird PROGRAM.dl [-F facts_dir] [options]
       --mode MODE          sti | dynamic | unopt | legacy  (default sti)
   -j, --jobs N             evaluate parallel scans with N workers
                            (default: $STIR_JOBS or 1)
+      --provenance         annotate tuples with (rule, height) so
+                           `.explain rel(...)` can serve proof trees
   -D, --data-dir DIR       write-ahead log + snapshots under DIR;
                            restart recovers every acknowledged insert
       --durability MODE    none | batch | always
@@ -87,8 +91,9 @@ usage: stird PROGRAM.dl [-F facts_dir] [options]
       --log LEVEL          stderr verbosity: off|error|warn|info|debug
   -h, --help               print this help and exit
 
-protocol (one request per line): +rel(1,2). | ?rel(1,_,x) | .stats |
-.snapshot | .help | .quit (close connection) | .stop (shut down)";
+protocol (one request per line): +rel(1,2). | ?rel(1,_,x) |
+.explain rel(1,2) | .stats | .snapshot | .help | .quit (close
+connection) | .stop (shut down)";
 
 fn usage() -> ! {
     eprintln!("{HELP}");
@@ -109,6 +114,7 @@ fn parse_args() -> Options {
     let mut profile_json = None;
     let mut log_level = LogLevel::Off;
     let mut jobs = None;
+    let mut provenance = false;
     let mut data_dir = None;
     let mut persist = PersistOptions {
         durability: Durability::default_from_env(),
@@ -143,6 +149,7 @@ fn parse_args() -> Options {
                     None => usage(),
                 }
             }
+            "--provenance" => provenance = true,
             "-D" | "--data-dir" => {
                 data_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
@@ -198,11 +205,12 @@ fn parse_args() -> Options {
     if profile_json.is_some() {
         config.profile = true;
     }
-    // `--mode` rebuilds the config, so the worker count is applied last
-    // to make flag order irrelevant.
+    // `--mode` rebuilds the config, so the worker count and provenance
+    // switch are applied last to make flag order irrelevant.
     if let Some(n) = jobs {
         config.jobs = n;
     }
+    config.provenance = provenance;
     Options {
         program: program.unwrap_or_else(|| usage()),
         fact_dir,

@@ -50,6 +50,7 @@ pub use stir_synth as synth;
 pub use stir_workloads as workloads;
 
 pub use stir_core::{
-    profile_json, Engine, EngineError, EvalOutcome, InputData, InterpreterConfig, Json, LogLevel,
-    ProfileReport, ResidentEngine, ServerStats, Telemetry, UpdateReport, Value,
+    profile_json, Engine, EngineError, EvalOutcome, ExplainLimits, InputData, InterpreterConfig,
+    Json, LogLevel, ProfileReport, ProofNode, ResidentEngine, ServerStats, Telemetry, UpdateReport,
+    Value,
 };

@@ -5,6 +5,7 @@
 //! ```text
 //! +rel(t1, t2, ...).     insert a fact        → `ok N inserted`
 //! ?rel(p1, p2, ...)      query a pattern      → TSV rows, then `ok N rows`
+//! .explain rel(c1, ...)  proof of a fact      → tree lines, then `ok N nodes`
 //! .stats                 serving counters     → one `key=value` line
 //! .help                  command summary
 //! .quit                  close this session   → `bye`
@@ -70,6 +71,7 @@ const HELP: &str = "\
 commands:
   +rel(1, \"a\", ...).    insert a fact into an .input relation
   ?rel(1, _, x)          query: constants bind, `_`/identifiers are free
+  .explain rel(1, 2)     show a minimal-height proof tree (needs --provenance)
   .stats                 show serving counters
   .snapshot              persist a snapshot and truncate the WAL
   .help                  this summary
@@ -122,10 +124,21 @@ pub fn handle_line_cfg(
             return Ok(Control::Continue);
         }
         ".stats" => {
-            let s = rd(engine).stats();
+            let engine = rd(engine);
+            let s = engine.stats();
+            // The explain counters only appear when provenance is on, so
+            // provenance-off sessions keep the historical line verbatim.
+            let explain = if engine.config().provenance {
+                format!(
+                    " explain_requests={} explain_nodes={}",
+                    s.explain_requests, s.explain_nodes
+                )
+            } else {
+                String::new()
+            };
             writeln!(
                 out,
-                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}",
+                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}{explain}",
                 s.requests, s.update_tuples, s.query_rows, s.strata_rerun, s.full_fallbacks
             )?;
             return Ok(Control::Continue);
@@ -146,6 +159,16 @@ pub fn handle_line_cfg(
             return Ok(Control::Continue);
         }
         _ => {}
+    }
+    if let Some(atom) = line.strip_prefix(".explain") {
+        match explain(engine, atom.trim(), tel) {
+            Ok((tree, nodes)) => {
+                write!(out, "{tree}")?;
+                writeln!(out, "ok {nodes} nodes")?;
+            }
+            Err(e) => writeln!(out, "err {e}")?,
+        }
+        return Ok(Control::Continue);
     }
     let deadline = cfg.request_timeout.map(|t| Instant::now() + t);
     match line.as_bytes()[0] {
@@ -221,6 +244,31 @@ fn query(
     engine
         .query_deadline(&rel, &pattern, deadline, tel)
         .map_err(|e| e.to_string())
+}
+
+/// Answers `.explain rel(c1, ...)`: all terms must be constants (a proof
+/// is of one concrete fact), and the engine must run with provenance on.
+/// Returns the rendered tree plus its node count for the `ok` trailer.
+fn explain(
+    engine: &RwLock<ResidentEngine>,
+    atom: &str,
+    tel: Option<&Telemetry>,
+) -> Result<(String, usize), String> {
+    let atom = atom.strip_suffix('.').unwrap_or(atom);
+    if atom.is_empty() {
+        return Err("usage: .explain rel(c1, c2, ...)".into());
+    }
+    let (rel, terms) = parse_atom(atom)?;
+    let engine = rd(engine);
+    let types = attr_types(&engine, &rel, terms.len())?;
+    let mut row = Vec::with_capacity(terms.len());
+    for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
+        row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
+    }
+    let node = engine
+        .explain(&rel, &row, stir_core::ExplainLimits::default(), tel)
+        .map_err(|e| e.to_string())?;
+    Ok((engine.render_proof(&node), node.size()))
 }
 
 /// Looks the relation up and checks the term count, returning the
@@ -506,14 +554,33 @@ mod tests {
         session_cfg(src, script.as_bytes(), &SessionConfig::default()).expect("session")
     }
 
+    fn session_prov(src: &str, script: &str) -> String {
+        session_with(
+            src,
+            script.as_bytes(),
+            &SessionConfig::default(),
+            InterpreterConfig::optimized().with_provenance(),
+        )
+        .expect("session")
+    }
+
     fn session_cfg(
         src: &str,
         script: &[u8],
         cfg: &SessionConfig,
     ) -> Result<String, stir_core::EngineError> {
+        session_with(src, script, cfg, InterpreterConfig::optimized())
+    }
+
+    fn session_with(
+        src: &str,
+        script: &[u8],
+        cfg: &SessionConfig,
+        config: InterpreterConfig,
+    ) -> Result<String, stir_core::EngineError> {
         let engine = RwLock::new(ResidentEngine::from_source(
             src,
-            InterpreterConfig::optimized(),
+            config,
             &InputData::new(),
             None,
         )?);
@@ -706,6 +773,50 @@ mod tests {
             read_request(&mut input, 1024, Some(&stop)).expect("io"),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn explain_renders_a_proof_tree() {
+        let out = session_prov(
+            TC,
+            "+e(1, 2).\n+e(2, 3).\n.explain p(1, 3)\n.stats\n.quit\n",
+        );
+        assert!(out.contains("p(1, 3)"), "{out}");
+        assert!(out.contains("[input]"), "{out}");
+        assert!(out.contains("[height"), "{out}");
+        assert!(
+            out.lines()
+                .any(|l| l.starts_with("ok ") && l.ends_with(" nodes")),
+            "{out}"
+        );
+        assert!(out.contains("explain_requests=1"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_errors_inline() {
+        // Non-derivable fact on a provenance engine; any fact on a
+        // provenance-off engine; malformed and free-variable atoms.
+        let out = session_prov(
+            TC,
+            "+e(1, 2).\n.explain p(5, 5)\n.explain\n.explain p(_, 2)\n.quit\n",
+        );
+        assert!(out.contains("`p(5, 5)` is not derivable"), "{out}");
+        assert!(out.contains("err usage: .explain"), "{out}");
+        assert!(out.contains("err term 1"), "{out}");
+
+        let out = session(TC, "+e(1, 2).\n.explain p(1, 2)\n.quit\n");
+        assert!(out.contains("provenance is off"), "{out}");
+        assert!(
+            !out.contains("explain_requests"),
+            "provenance-off stats keep the historical shape: {out}"
+        );
+    }
+
+    #[test]
+    fn query_rows_are_sorted() {
+        let out = session(TC, "+e(2, 9).\n+e(2, 3).\n+e(1, 7).\n?e(_, _)\n.quit\n");
+        let rows: Vec<&str> = out.lines().filter(|l| l.contains('\t')).collect();
+        assert_eq!(rows, vec!["1\t7", "2\t3", "2\t9"], "{out}");
     }
 
     #[test]

@@ -178,6 +178,55 @@ fn four_jobs_match_one_job_in_every_mode() {
     );
 }
 
+/// Provenance heights must be independent of the worker count: the
+/// annotation epoch advances once per executed RAM query on the
+/// coordinator, so worker interleavings inside a query cannot move a
+/// tuple between heights. Compared via the proof trees' root heights
+/// (and shapes) for every derived tuple.
+#[test]
+fn proof_heights_are_job_count_invariant() {
+    use stir::{ExplainLimits, ResidentEngine};
+    const TC: &str = ".decl e(x: number, y: number)\n.input e\n\
+                      .decl p(x: number, y: number)\n.output p\n\
+                      p(x, y) :- e(x, y).\n\
+                      p(x, z) :- p(x, y), e(y, z).\n";
+    let mut state = 13u64;
+    let mut inputs = InputData::new();
+    inputs.insert("e".into(), pairs(&mut state, 24));
+
+    for (mode, config) in [
+        ("sti", InterpreterConfig::optimized()),
+        ("dynamic", InterpreterConfig::dynamic_adapter()),
+        ("unopt", InterpreterConfig::unoptimized()),
+        ("legacy", InterpreterConfig::legacy()),
+    ] {
+        let config = config.with_provenance();
+        let seq = ResidentEngine::from_source(TC, config.with_jobs(1), &inputs, None)
+            .unwrap_or_else(|e| panic!("mode {mode} jobs=1: {e}"));
+        let par = ResidentEngine::from_source(TC, config.with_jobs(4), &inputs, None)
+            .unwrap_or_else(|e| panic!("mode {mode} jobs=4: {e}"));
+        let rows = seq.outputs()["p"].clone();
+        assert_eq!(sorted(&rows), sorted(&par.outputs()["p"]), "mode {mode}");
+        for row in &rows {
+            let a = seq
+                .explain("p", row, ExplainLimits::default(), None)
+                .unwrap_or_else(|e| panic!("mode {mode} jobs=1 explain {row:?}: {e}"));
+            let b = par
+                .explain("p", row, ExplainLimits::default(), None)
+                .unwrap_or_else(|e| panic!("mode {mode} jobs=4 explain {row:?}: {e}"));
+            assert_eq!(
+                a.height, b.height,
+                "mode {mode}: height of p{row:?} depends on the job count"
+            );
+            assert_eq!(
+                a.size(),
+                b.size(),
+                "mode {mode}: proof shape of p{row:?} depends on the job count"
+            );
+        }
+    }
+}
+
 /// Tuple counts in the profile must be independent of the worker count:
 /// total inserts, per-relation inserts, and per-query `(executions,
 /// tuples)` are all deterministic, only wall time may differ.
