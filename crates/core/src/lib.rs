@@ -64,6 +64,9 @@ pub use json::Json;
 pub use profile::ProfileReport;
 pub use prov::{ExplainLimits, ProofNode};
 pub use resident::{PersistOptions, RecoveryReport, ResidentEngine, ServerStats, UpdateReport};
-pub use telemetry::{profile_json, LogLevel, Logger, MetricsRegistry, Telemetry, Tracer};
+pub use telemetry::{
+    profile_json, rfc3339, rfc3339_now, Histogram, HistogramSnapshot, LogLevel, Logger,
+    MetricsRegistry, ServeMetrics, Telemetry, Tracer,
+};
 pub use value::Value;
 pub use wal::Durability;

@@ -48,12 +48,13 @@ use crate::interp::Interpreter;
 use crate::itree;
 use crate::profile::ProfileReport;
 use crate::prov::{ExplainLimits, ProofNode};
-use crate::telemetry::{LogLevel, Telemetry};
+use crate::telemetry::{LogLevel, ServeMetrics, Telemetry};
 use crate::value::Value;
-use crate::wal::{self, Durability, SnapshotLoad, SnapshotStats, WalWriter};
+use crate::wal::{self, Durability, SnapshotLoad, SnapshotStats, WalStats, WalWriter};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use stir_frontend::SymbolTable;
 use stir_ram::expr::RamDomain;
@@ -102,6 +103,8 @@ pub struct RecoveryReport {
     pub skipped_batches: u64,
     /// Torn bytes discarded from the WAL tail.
     pub torn_bytes: u64,
+    /// Wall-clock milliseconds spent reading and replaying the WAL.
+    pub replay_ms: u64,
 }
 
 /// Live durability state: the open WAL plus snapshot bookkeeping.
@@ -206,6 +209,9 @@ pub struct ResidentEngine {
     initial_profile: Option<ProfileReport>,
     /// Durable state, when the engine was opened with a data directory.
     persistence: Option<Persistence>,
+    /// Serving latency histograms and gauges, shared with the daemon's
+    /// admin endpoint (disabled outside serving mode).
+    serve_metrics: Arc<ServeMetrics>,
 }
 
 impl ResidentEngine {
@@ -297,6 +303,7 @@ impl ResidentEngine {
             counters: Counters::default(),
             initial_profile,
             persistence: None,
+            serve_metrics: Arc::new(ServeMetrics::off()),
         })
     }
 
@@ -430,6 +437,7 @@ impl ResidentEngine {
             counters: Counters::default(),
             initial_profile: None,
             persistence: None,
+            serve_metrics: Arc::new(ServeMetrics::off()),
         })
     }
 
@@ -477,6 +485,7 @@ impl ResidentEngine {
             }
         };
 
+        let replay_started = Instant::now();
         let replayed = wal::replay(&wal_path, fp)?;
         report.torn_bytes = replayed.torn_bytes;
         for rec in &replayed.records {
@@ -497,6 +506,8 @@ impl ResidentEngine {
                 }
             }
         }
+
+        report.replay_ms = replay_started.elapsed().as_millis().min(u64::MAX as u128) as u64;
 
         let wal = WalWriter::open(&wal_path, opts.durability, fp, replayed.valid_len)?;
         this.persistence = Some(Persistence {
@@ -592,8 +603,71 @@ impl ResidentEngine {
             m.set("recovery.replayed_tuples", p.recovery.replayed_tuples);
             m.set("recovery.skipped_batches", p.recovery.skipped_batches);
             m.set("recovery.torn_bytes", p.recovery.torn_bytes);
+            m.set("recovery.replay_ms", p.recovery.replay_ms);
         }
         self.db.sample_metrics(&self.ram, m);
+    }
+
+    /// Shares a serving metrics registry with the engine: WAL append
+    /// and fsync latencies flow into its histograms, snapshot durations
+    /// are recorded, and the recovery report is exported as gauges so a
+    /// scrape after restart can verify recovery health.
+    pub fn attach_serve_metrics(&mut self, metrics: Arc<ServeMetrics>) {
+        if let Some(p) = &mut self.persistence {
+            p.wal.attach_metrics(Arc::clone(&metrics));
+            let rec = p.recovery;
+            metrics.recovery_wal_records.store(
+                rec.replayed_batches + rec.skipped_batches,
+                Ordering::Relaxed,
+            );
+            metrics
+                .recovery_replay_ms
+                .store(rec.replay_ms, Ordering::Relaxed);
+            metrics
+                .recovery_snapshot_loaded
+                .store(u64::from(rec.snapshot_loaded), Ordering::Relaxed);
+        }
+        self.serve_metrics = metrics;
+    }
+
+    /// The serving metrics registry attached to this engine (a disabled
+    /// one unless [`Self::attach_serve_metrics`] was called).
+    pub fn serve_metrics(&self) -> &Arc<ServeMetrics> {
+        &self.serve_metrics
+    }
+
+    /// The WAL append-path counters, when the engine is durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.persistence.as_ref().map(|p| p.wal.stats)
+    }
+
+    /// Snapshot-write counters `(writes, tuples)`, when durable.
+    pub fn snapshot_stats(&self) -> Option<(u64, u64)> {
+        self.persistence
+            .as_ref()
+            .map(|p| (p.snapshot_writes, p.snapshot_tuples))
+    }
+
+    /// What recovery did at [`Self::open`] time, when durable.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.persistence.as_ref().map(|p| p.recovery)
+    }
+
+    /// The database epoch: bumped on every visible mutation, so two
+    /// equal readings bracket an unchanged database.
+    pub fn db_epoch(&self) -> u64 {
+        u64::from(self.db.epoch.load(Ordering::Relaxed))
+    }
+
+    /// Current tuple count of every base (`Role::Standard`) relation,
+    /// in declaration order — the per-relation gauges on `/metrics`.
+    pub fn relation_tuples(&self) -> Vec<(String, u64)> {
+        self.ram
+            .relations
+            .iter()
+            .filter(|r| matches!(r.role, Role::Standard))
+            .map(|r| (r.name.clone(), self.db.rd(r.id).len() as u64))
+            .collect()
     }
 
     /// Every `.output` relation's current tuples, sorted, keyed by name.
@@ -810,6 +884,7 @@ impl ResidentEngine {
     /// re-inserts duplicates, which is idempotent).
     pub fn snapshot(&mut self, tel: Option<&Telemetry>) -> Result<SnapshotStats, EngineError> {
         let _span = tel.map(|t| t.tracer.span("phase:serve:snapshot"));
+        let t_snap = self.serve_metrics.start();
         let Some(p) = &mut self.persistence else {
             return Err(StorageError::new("no data directory configured").into());
         };
@@ -824,6 +899,8 @@ impl ResidentEngine {
         p.batches_since_snapshot = 0;
         p.snapshot_writes += 1;
         p.snapshot_tuples += stats.tuples;
+        self.serve_metrics
+            .observe(&self.serve_metrics.snapshot_write, t_snap);
         Ok(stats)
     }
 

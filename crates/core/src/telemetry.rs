@@ -25,7 +25,8 @@ use crate::json::Json;
 use crate::profile::ProfileReport;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant, SystemTime};
 use stir_ram::program::{RamProgram, ReprKind, Role};
 
 /// Verbosity of the [`Logger`].
@@ -60,16 +61,63 @@ impl std::str::FromStr for LogLevel {
     }
 }
 
+/// Renders a [`SystemTime`] as an RFC 3339 UTC timestamp with
+/// millisecond precision (`2026-08-07T12:34:56.789Z`). Hand-rolled
+/// (civil-from-days) because the workspace vendors no date crate.
+pub fn rfc3339(t: SystemTime) -> String {
+    let d = t.duration_since(SystemTime::UNIX_EPOCH).unwrap_or_default();
+    let secs = d.as_secs();
+    let millis = d.subsec_millis();
+    let (days, rem) = (secs / 86_400, secs % 86_400);
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    // Howard Hinnant's civil_from_days, specialized to the post-1970
+    // range a log timestamp lives in.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe as i64 + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}T{hh:02}:{mm:02}:{ss:02}.{millis:03}Z")
+}
+
+/// The current instant as an RFC 3339 UTC timestamp.
+pub fn rfc3339_now() -> String {
+    rfc3339(SystemTime::now())
+}
+
 /// A leveled stderr logger.
 #[derive(Debug, Clone, Copy)]
 pub struct Logger {
     level: LogLevel,
+    /// Prefix every line with an RFC 3339 UTC timestamp (serving mode).
+    timestamps: bool,
+    /// The process name in the line prefix (`stir` for the batch
+    /// pipeline, `stird` for the daemon's serving logs).
+    name: &'static str,
 }
 
 impl Logger {
     /// A logger that prints everything at or below `level`.
     pub fn new(level: LogLevel) -> Logger {
-        Logger { level }
+        Logger {
+            level,
+            timestamps: false,
+            name: "stir",
+        }
+    }
+
+    /// A serving logger: named, and every line carries an RFC 3339
+    /// timestamp so request and lifecycle logs are correlatable.
+    pub fn serving(name: &'static str, level: LogLevel) -> Logger {
+        Logger {
+            level,
+            timestamps: true,
+            name,
+        }
     }
 
     /// Whether `level` messages are printed — guard expensive message
@@ -89,7 +137,11 @@ impl Logger {
                 LogLevel::Info => "info",
                 LogLevel::Debug => "debug",
             };
-            eprintln!("stir[{tag}] {msg}");
+            if self.timestamps {
+                eprintln!("{} {}[{tag}] {msg}", rfc3339_now(), self.name);
+            } else {
+                eprintln!("{}[{tag}] {msg}", self.name);
+            }
         }
     }
 }
@@ -300,6 +352,288 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
+    }
+}
+
+/// Sub-bucket resolution of the log-linear histogram: each power-of-two
+/// octave is split into `2^SUB_BITS` linear sub-buckets, bounding the
+/// relative error of any recorded value by `1 / 2^SUB_BITS` (12.5%).
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Octaves covered — enough for the full `u64` range.
+const OCTAVES: usize = 64;
+/// Total bucket count.
+const BUCKETS: usize = OCTAVES * SUBS;
+
+/// A lock-light log-linear latency histogram.
+///
+/// Values (nanoseconds) land in one of 512 buckets: below 8 the bucket
+/// is exact; above, the octave is the position of the highest set bit
+/// and the next three bits pick a linear sub-bucket, so quantile
+/// estimates carry at most 12.5% relative error. All state is
+/// `AtomicU64` with relaxed ordering — concurrent recorders never
+/// contend on a lock, and [`Histogram::merge_from`] folds one
+/// histogram into another for cross-thread aggregation.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket a value lands in.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros();
+        let sub = ((v >> (octave - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        (octave - SUB_BITS + 1) as usize * SUBS + sub
+    }
+}
+
+/// The inclusive upper bound of a bucket (the value reported for
+/// quantiles falling in it).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUBS {
+        index as u64
+    } else {
+        let octave = (index / SUBS) as u32 + SUB_BITS - 1;
+        let sub = (index % SUBS) as u64;
+        // Subtract before adding: the top octave's last bucket ends at
+        // exactly `u64::MAX` and would otherwise overflow.
+        ((1u64 << octave) - 1) + ((sub + 1) << (octave - SUB_BITS))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// How many values were recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Folds every sample of `other` into `self`.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q * count)`-th sample, clamped by the
+    /// exact recorded max. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time summary of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum_ns: self.sum(),
+            max_ns: self.max(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`], in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+    /// Median estimate.
+    pub p50_ns: u64,
+    /// 90th-percentile estimate.
+    pub p90_ns: u64,
+    /// 99th-percentile estimate.
+    pub p99_ns: u64,
+    /// 99.9th-percentile estimate.
+    pub p999_ns: u64,
+}
+
+/// The serving-side metrics registry: request latency histograms plus
+/// engine and connection gauges.
+///
+/// Unlike [`MetricsRegistry`] (a `RefCell` map owned by one
+/// evaluation thread), every field here is atomic, so one `Arc` of it
+/// is shared by all connection threads, the WAL writer, and the admin
+/// endpoint without locks. When constructed [`ServeMetrics::off`],
+/// recording is skipped entirely — [`ServeMetrics::start`] returns
+/// `None` and no clock is read — except request-id assignment, which
+/// stays monotone so logs remain correlatable either way.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    enabled: bool,
+    /// Latency of `+fact.` update requests.
+    pub serve_update: Histogram,
+    /// Latency of `?pattern` query requests.
+    pub serve_query: Histogram,
+    /// Latency of `.explain` requests.
+    pub serve_explain: Histogram,
+    /// Latency of one WAL append (write + buffering).
+    pub wal_append: Histogram,
+    /// Latency of one WAL fsync.
+    pub wal_fsync: Histogram,
+    /// Duration of one snapshot write.
+    pub snapshot_write: Histogram,
+    /// The next request id to assign (ids start at 1).
+    next_request_id: AtomicU64,
+    /// Connections currently open.
+    pub conns_live: AtomicU64,
+    /// High-water mark of concurrently open connections.
+    pub conns_peak: AtomicU64,
+    /// Connections accepted over the process lifetime.
+    pub conns_total: AtomicU64,
+    /// Requests that exceeded the slow-query threshold.
+    pub slow_requests: AtomicU64,
+    /// WAL records replayed during recovery.
+    pub recovery_wal_records: AtomicU64,
+    /// Wall-clock milliseconds spent replaying the WAL at startup.
+    pub recovery_replay_ms: AtomicU64,
+    /// Whether recovery loaded a snapshot (0/1).
+    pub recovery_snapshot_loaded: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// A disabled registry: request ids still advance, nothing else
+    /// records.
+    pub fn off() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// An active registry.
+    pub fn on() -> ServeMetrics {
+        ServeMetrics {
+            enabled: true,
+            ..ServeMetrics::default()
+        }
+    }
+
+    /// Whether samples are recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing one operation; `None` (no clock read) when
+    /// disabled.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a timing started with [`ServeMetrics::start`], recording
+    /// the elapsed nanoseconds into `hist`. Returns the elapsed
+    /// nanoseconds (zero when timing was off).
+    #[inline]
+    pub fn observe(&self, hist: &Histogram, started: Option<Instant>) -> u64 {
+        match started {
+            Some(t0) => {
+                let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                hist.record(ns);
+                ns
+            }
+            None => 0,
+        }
+    }
+
+    /// Assigns the next request id (monotone, starts at 1). Runs even
+    /// when disabled so logs always carry an id.
+    #[inline]
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Notes an accepted connection; returns the live count after.
+    pub fn conn_opened(&self) -> u64 {
+        self.conns_total.fetch_add(1, Ordering::Relaxed);
+        let live = self.conns_live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(live, Ordering::Relaxed);
+        live
+    }
+
+    /// Notes a closed connection.
+    pub fn conn_closed(&self) {
+        self.conns_live.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -590,5 +924,112 @@ mod tests {
         assert!(!Logger::new(LogLevel::Off).enabled(LogLevel::Error));
         assert_eq!("debug".parse::<LogLevel>().unwrap(), LogLevel::Debug);
         assert!("loud".parse::<LogLevel>().is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_bound_their_values() {
+        // Small values are exact.
+        for v in 0..8u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper(bucket_of(v)), v);
+        }
+        // Above, the bucket upper bound is >= the value and within
+        // 12.5% relative error.
+        for v in [8u64, 9, 100, 1_000, 4_095, 4_096, 1 << 20, u64::MAX / 2] {
+            let up = bucket_upper(bucket_of(v));
+            assert!(up >= v, "upper({v}) = {up}");
+            assert!(up - v <= v / 8 + 1, "error too large for {v}: {up}");
+        }
+        // Bucket upper bounds are strictly increasing over the
+        // reachable range (the last reachable bucket holds u64::MAX).
+        assert_eq!(bucket_upper(bucket_of(u64::MAX)), u64::MAX);
+        let mut prev = bucket_upper(0);
+        for i in 1..=bucket_of(u64::MAX) {
+            let up = bucket_upper(i);
+            assert!(up > prev, "bucket {i} not monotone: {up} <= {prev}");
+            prev = up;
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in 1..=1000u64 {
+            h.record(v * 1_000);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1_000_000);
+        let snap = h.snapshot();
+        assert!(snap.p50_ns <= snap.p90_ns);
+        assert!(snap.p90_ns <= snap.p99_ns);
+        assert!(snap.p99_ns <= snap.p999_ns);
+        assert!(snap.p999_ns <= snap.max_ns);
+        // p50 of 1..=1000 ms-in-ns is ~500_000; allow bucket error.
+        assert!(
+            (440_000..=580_000).contains(&snap.p50_ns),
+            "{}",
+            snap.p50_ns
+        );
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [5u64, 50, 500] {
+            a.record(v);
+        }
+        for v in [7u64, 70, 700, 7_000] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.sum(), 5 + 50 + 500 + 7 + 70 + 700 + 7_000);
+        assert_eq!(a.max(), 7_000);
+        assert_eq!(a.quantile(1.0), 7_000);
+    }
+
+    #[test]
+    fn serve_metrics_disabled_is_inert_but_ids_advance() {
+        let m = ServeMetrics::off();
+        assert!(!m.enabled());
+        assert!(m.start().is_none());
+        assert_eq!(m.observe(&m.serve_query, None), 0);
+        assert_eq!(m.serve_query.count(), 0);
+        assert_eq!(m.next_request_id(), 1);
+        assert_eq!(m.next_request_id(), 2);
+
+        let on = ServeMetrics::on();
+        let t0 = on.start();
+        assert!(t0.is_some());
+        let ns = on.observe(&on.serve_query, t0);
+        assert_eq!(on.serve_query.count(), 1);
+        assert_eq!(on.serve_query.sum(), ns);
+    }
+
+    #[test]
+    fn serve_metrics_tracks_connections() {
+        let m = ServeMetrics::on();
+        assert_eq!(m.conn_opened(), 1);
+        assert_eq!(m.conn_opened(), 2);
+        m.conn_closed();
+        assert_eq!(m.conn_opened(), 2);
+        assert_eq!(m.conns_peak.load(Ordering::Relaxed), 2);
+        assert_eq!(m.conns_total.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn rfc3339_renders_known_instants() {
+        use std::time::{Duration, SystemTime};
+        let epoch = SystemTime::UNIX_EPOCH;
+        assert_eq!(rfc3339(epoch), "1970-01-01T00:00:00.000Z");
+        // 2004-02-29 (leap day) 12:34:56.789 UTC == 1078058096.789.
+        let leap = epoch + Duration::from_millis(1_078_058_096_789);
+        assert_eq!(rfc3339(leap), "2004-02-29T12:34:56.789Z");
+        // 2026-08-07T00:00:00Z == 1786060800.
+        let today = epoch + Duration::from_secs(1_786_060_800);
+        assert_eq!(rfc3339(today), "2026-08-07T00:00:00.000Z");
     }
 }

@@ -53,10 +53,12 @@
 use crate::database::Database;
 use crate::error::StorageError;
 use crate::fault::{self, FaultPoint};
+use crate::telemetry::ServeMetrics;
 use crate::value::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use stir_ram::expr::RamDomain;
 use stir_ram::program::{RamProgram, RelId, Role};
 
@@ -405,6 +407,8 @@ pub struct WalWriter {
     broken: bool,
     /// Append-path counters.
     pub stats: WalStats,
+    /// Serving-side latency sinks (disabled in batch mode).
+    metrics: Arc<ServeMetrics>,
 }
 
 impl WalWriter {
@@ -451,7 +455,14 @@ impl WalWriter {
             len,
             broken: false,
             stats: WalStats::default(),
+            metrics: Arc::new(ServeMetrics::off()),
         })
+    }
+
+    /// Routes append and fsync latencies into a serving metrics
+    /// registry (the daemon attaches its shared one after recovery).
+    pub fn attach_metrics(&mut self, metrics: Arc<ServeMetrics>) {
+        self.metrics = metrics;
     }
 
     /// Appends one batch and pushes it toward stable storage per the
@@ -470,6 +481,8 @@ impl WalWriter {
             ));
         }
         let framed = WalRecord::encode(rel, rows);
+        let metrics = Arc::clone(&self.metrics);
+        let t_append = metrics.start();
         let result = fault::check(FaultPoint::WalWrite)
             .and_then(|()| self.file.write_all(&framed))
             .and_then(|()| match self.durability {
@@ -479,11 +492,15 @@ impl WalWriter {
                     self.file.flush()?;
                     fault::check(FaultPoint::WalFsync)?;
                     self.stats.fsyncs += 1;
-                    self.file.sync_data()
+                    let t_sync = metrics.start();
+                    let r = self.file.sync_data();
+                    metrics.observe(&metrics.wal_fsync, t_sync);
+                    r
                 }
             });
         match result {
             Ok(()) => {
+                metrics.observe(&metrics.wal_append, t_append);
                 self.len += framed.len() as u64;
                 self.stats.appends += 1;
                 self.stats.bytes += framed.len() as u64;
@@ -510,10 +527,12 @@ impl WalWriter {
     ///
     /// Propagates I/O errors.
     pub fn sync(&mut self) -> Result<(), StorageError> {
+        let t_sync = self.metrics.start();
         self.file
             .flush()
             .and_then(|()| self.file.sync_data())
             .map_err(|e| StorageError::io("sync WAL", &e))?;
+        self.metrics.observe(&self.metrics.wal_fsync, t_sync);
         self.stats.fsyncs += 1;
         Ok(())
     }

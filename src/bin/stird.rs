@@ -27,7 +27,16 @@
 //!       --profile-json F     write the machine-readable profile JSON to F
 //!                            at shutdown (covers the initial fixpoint and
 //!                            the whole serving session)
+//!       --admin-addr ADDR    serve GET /metrics (Prometheus text),
+//!                            /healthz, and /readyz on ADDR; binds before
+//!                            recovery so /readyz reports 503 until the
+//!                            engine is up, and again while draining
+//!       --slow-query-ms N    log any request slower than N ms (id,
+//!                            client, latency, tuples, truncated line)
+//!       --metrics-interval S periodically log the full metrics registry
+//!                            as one JSON object every S seconds
 //!       --log LEVEL          stderr verbosity: off|error|warn|info|debug
+//!                            (serving logs default to info)
 //!   -h, --help               print this help and exit
 //! ```
 //!
@@ -39,19 +48,24 @@
 //! configured) a final snapshot is written. Telemetry lives behind a
 //! `Mutex` because the tracer is single-threaded by design; it is only
 //! locked when profiling was requested, so the serving fast path never
-//! touches it.
+//! touches it. Serving observability — request latency histograms,
+//! connection gauges, per-request ids — lives in the lock-free
+//! [`stir::core::telemetry::ServeMetrics`] registry instead, shared by
+//! every connection thread and the admin endpoint.
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
+use stir::admin::{self, AdminState};
 use stir::core::fault::{self, FaultPoint};
 use stir::core::io;
+use stir::core::telemetry::{Logger, ServeMetrics};
 use stir::core::{Durability, PersistOptions};
-use stir::serve::{handle_line_cfg, read_request, Control, Request, SessionConfig};
+use stir::serve::{handle_request, read_request, Control, Request, RequestCtx, SessionConfig};
 use stir::{
     profile_json, Engine, InputData, InterpreterConfig, LogLevel, ResidentEngine, Telemetry,
 };
@@ -62,11 +76,16 @@ struct Options {
     port: u16,
     config: InterpreterConfig,
     profile_json: Option<PathBuf>,
-    log_level: LogLevel,
+    /// `--log`; `None` keeps the split default (serving logs at info,
+    /// engine telemetry logs off).
+    log_level: Option<LogLevel>,
     data_dir: Option<PathBuf>,
     persist: PersistOptions,
     max_conns: usize,
     session: SessionConfig,
+    admin_addr: Option<String>,
+    slow_query_ms: Option<u64>,
+    metrics_interval: Option<Duration>,
 }
 
 const HELP: &str = "\
@@ -88,12 +107,16 @@ usage: stird PROGRAM.dl [-F facts_dir] [options]
       --request-timeout S  per-request evaluation deadline in seconds
       --max-line-bytes N   request line size limit (default 1048576)
       --profile-json F     write the profile JSON to F at shutdown
+      --admin-addr ADDR    serve /metrics, /healthz, /readyz on ADDR
+      --slow-query-ms N    log requests slower than N milliseconds
+      --metrics-interval S log the metrics registry every S seconds
       --log LEVEL          stderr verbosity: off|error|warn|info|debug
+                           (serving logs default to info)
   -h, --help               print this help and exit
 
 protocol (one request per line): +rel(1,2). | ?rel(1,_,x) |
-.explain rel(1,2) | .stats | .snapshot | .help | .quit (close
-connection) | .stop (shut down)";
+.explain rel(1,2) | .stats | .stats json | .snapshot | .help |
+.quit (close connection) | .stop (shut down)";
 
 fn usage() -> ! {
     eprintln!("{HELP}");
@@ -112,8 +135,11 @@ fn parse_args() -> Options {
     let mut port = 0u16;
     let mut config = InterpreterConfig::optimized();
     let mut profile_json = None;
-    let mut log_level = LogLevel::Off;
+    let mut log_level = None;
     let mut jobs = None;
+    let mut admin_addr = None;
+    let mut slow_query_ms = None;
+    let mut metrics_interval = None;
     let mut provenance = false;
     let mut data_dir = None;
     let mut persist = PersistOptions {
@@ -185,9 +211,24 @@ fn parse_args() -> Options {
             "--profile-json" => {
                 profile_json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
+            "--admin-addr" => {
+                admin_addr = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--slow-query-ms" => {
+                slow_query_ms = match args.next().as_deref().map(str::parse::<u64>) {
+                    Some(Ok(n)) => Some(n),
+                    _ => fatal("--slow-query-ms needs a non-negative integer"),
+                }
+            }
+            "--metrics-interval" => {
+                metrics_interval = match args.next().as_deref().map(str::parse::<f64>) {
+                    Some(Ok(s)) if s > 0.0 => Some(Duration::from_secs_f64(s)),
+                    _ => fatal("--metrics-interval needs a positive number of seconds"),
+                }
+            }
             "--log" => {
-                log_level = match args.next().as_deref().map(str::parse) {
-                    Some(Ok(level)) => level,
+                log_level = match args.next().as_deref().map(str::parse::<LogLevel>) {
+                    Some(Ok(level)) => Some(level),
                     Some(Err(e)) => fatal(&e.to_string()),
                     None => usage(),
                 }
@@ -222,6 +263,9 @@ fn parse_args() -> Options {
         persist,
         max_conns,
         session,
+        admin_addr,
+        slow_query_ms,
+        metrics_interval,
     }
 }
 
@@ -275,19 +319,41 @@ impl Write for FaultStream {
 /// pipe, half-written line) is routine for a long-lived server: the
 /// error is logged with the peer address and the connection dropped,
 /// never propagated — the server keeps accepting.
+#[allow(clippy::too_many_arguments)]
 fn handle_conn(
     stream: TcpStream,
     engine: &RwLock<ResidentEngine>,
     tel: Option<&Mutex<Telemetry>>,
     stop: &AtomicBool,
     cfg: &SessionConfig,
+    metrics: &Arc<ServeMetrics>,
+    slow_ms: Option<u64>,
+    logger: Logger,
+    admin: &AdminState,
 ) {
     let peer = stream
         .peer_addr()
         .map_or_else(|_| "<unknown>".to_owned(), |p| p.to_string());
-    if let Err(e) = serve_conn(stream, engine, tel, stop, cfg) {
-        eprintln!("stird: dropping connection from {peer}: {e}");
+    let live = metrics.conn_opened();
+    logger.log(
+        LogLevel::Debug,
+        &format!("connection from {peer} accepted (live={live})"),
+    );
+    let ctx = RequestCtx {
+        metrics: Arc::clone(metrics),
+        client: peer.clone(),
+        slow_ms,
+        logger,
+    };
+    if let Err(e) = serve_conn(stream, engine, tel, stop, cfg, &ctx, admin) {
+        logger.log(
+            LogLevel::Warn,
+            &format!("dropping connection from {peer}: {e}"),
+        );
+    } else {
+        logger.log(LogLevel::Debug, &format!("connection from {peer} closed"));
     }
+    metrics.conn_closed();
 }
 
 /// The request/response loop behind [`handle_conn`]. The response to
@@ -296,12 +362,15 @@ fn handle_conn(
 /// timeout makes an idle connection wake up a few times a second to
 /// poll the stop flag; [`read_request`] treats those timeouts as
 /// retries, so they are invisible to a live client.
+#[allow(clippy::too_many_arguments)]
 fn serve_conn(
     stream: TcpStream,
     engine: &RwLock<ResidentEngine>,
     tel: Option<&Mutex<Telemetry>>,
     stop: &AtomicBool,
     cfg: &SessionConfig,
+    ctx: &RequestCtx,
+    admin: &AdminState,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
@@ -324,7 +393,7 @@ fn serve_conn(
             }
             Request::Line(line) => {
                 let guard = tel.map(|m| m.lock().unwrap_or_else(PoisonError::into_inner));
-                handle_line_cfg(engine, &line, cfg, guard.as_deref(), &mut writer)?
+                handle_request(engine, &line, cfg, ctx, guard.as_deref(), &mut writer)?
             }
         };
         writer.flush()?;
@@ -332,6 +401,10 @@ fn serve_conn(
             Control::Continue => {}
             Control::Quit => return Ok(()),
             Control::Stop => {
+                // Flip readiness before raising the stop flag, so a
+                // probe racing the shutdown never sees a ready server
+                // that is about to drain.
+                admin.start_drain();
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }
@@ -342,7 +415,35 @@ fn serve_conn(
 fn main() -> ExitCode {
     let opts = parse_args();
     let wants_json = opts.profile_json.is_some();
-    let tel = Telemetry::new(wants_json, wants_json, opts.log_level);
+    let tel = Telemetry::new(
+        wants_json,
+        wants_json,
+        opts.log_level.unwrap_or(LogLevel::Off),
+    );
+    // Serving logs (recovery, lifecycle, slow requests, admin) default
+    // to info so operational lines appear without any flag; `--log`
+    // overrides both this stream and the engine telemetry one.
+    let slog = Logger::serving("stird", opts.log_level.unwrap_or(LogLevel::Info));
+
+    // Bind the admin endpoint before the (potentially long) recovery,
+    // so orchestrators can probe `/readyz` from the first millisecond —
+    // it answers 503 until the engine is published below.
+    let admin_state = Arc::new(AdminState::new());
+    let mut admin_thread = None;
+    let mut admin_addr = None;
+    if let Some(addr) = &opts.admin_addr {
+        match TcpListener::bind(addr.as_str()) {
+            Ok(l) => {
+                admin_addr = l.local_addr().ok();
+                let state = Arc::clone(&admin_state);
+                admin_thread = Some(std::thread::spawn(move || admin::serve(l, state, slog)));
+            }
+            Err(e) => {
+                eprintln!("stird: cannot bind admin address {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let source = match std::fs::read_to_string(&opts.program) {
         Ok(s) => s,
@@ -375,14 +476,18 @@ fn main() -> ExitCode {
             match ResidentEngine::open(engine, opts.config, &inputs, dir, opts.persist, Some(&tel))
             {
                 Ok((r, recovery)) => {
-                    eprintln!(
-                        "stird: recovery snapshot={} replayed={} batches ({} tuples) \
-                         skipped={} torn_bytes={}",
-                        recovery.snapshot_loaded,
-                        recovery.replayed_batches,
-                        recovery.replayed_tuples,
-                        recovery.skipped_batches,
-                        recovery.torn_bytes,
+                    slog.log(
+                        LogLevel::Info,
+                        &format!(
+                            "recovery snapshot={} replayed={} batches ({} tuples) \
+                             skipped={} torn_bytes={} replay_ms={}",
+                            recovery.snapshot_loaded,
+                            recovery.replayed_batches,
+                            recovery.replayed_tuples,
+                            recovery.skipped_batches,
+                            recovery.torn_bytes,
+                            recovery.replay_ms,
+                        ),
                     );
                     r
                 }
@@ -400,6 +505,19 @@ fn main() -> ExitCode {
             }
         },
     };
+
+    // Histograms record only when something reads them; a bare run
+    // keeps the warm path free of clock reads and atomic bumps.
+    let observing = opts.admin_addr.is_some()
+        || opts.metrics_interval.is_some()
+        || opts.slow_query_ms.is_some();
+    let metrics = Arc::new(if observing {
+        ServeMetrics::on()
+    } else {
+        ServeMetrics::off()
+    });
+    let mut resident = resident;
+    resident.attach_serve_metrics(Arc::clone(&metrics));
 
     let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
         Ok(l) => l,
@@ -422,11 +540,41 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     signals::install();
-    // Tests (and scripts) wait for this exact line to learn the port.
+
+    let shared = Arc::new(RwLock::new(resident));
+    // Publishing the engine flips `/readyz` to 200: recovery is done and
+    // the accept loop is about to start.
+    admin_state.publish(Arc::clone(&shared));
+    // Tests (and scripts) wait for this exact line to learn the port; it
+    // must stay the first stdout line.
     println!("stird: listening on {addr}");
+    if let Some(a) = admin_addr {
+        println!("stird: admin listening on {a}");
+    }
     let _ = std::io::stdout().flush();
 
-    let shared = RwLock::new(resident);
+    // `--metrics-interval` dumps the whole registry to the serving log
+    // periodically — the poor operator's scrape when nothing can reach
+    // the admin port.
+    let ticker = opts.metrics_interval.map(|interval| {
+        let engine = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let mut waited = Duration::ZERO;
+            while !signals::STOP.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+                waited += Duration::from_millis(100);
+                if waited >= interval {
+                    waited = Duration::ZERO;
+                    let engine = engine.read().unwrap_or_else(PoisonError::into_inner);
+                    slog.log(
+                        LogLevel::Info,
+                        &format!("metrics {}", admin::registry_json(&engine).render()),
+                    );
+                }
+            }
+        })
+    });
+
     let stop = &signals::STOP;
     let active = AtomicUsize::new(0);
     // The tracer is intentionally single-threaded (RefCell spans); a
@@ -461,31 +609,50 @@ fn main() -> ExitCode {
                 let _ = writeln!(stream, "err server busy");
                 continue;
             }
-            let (shared, active, session) = (&shared, &active, &opts.session);
+            let (engine, active, session) = (&*shared, &active, &opts.session);
+            let (metrics, admin) = (&metrics, &*admin_state);
             s.spawn(move || {
-                handle_conn(stream, shared, tel_opt, stop, session);
+                handle_conn(
+                    stream,
+                    engine,
+                    tel_opt,
+                    stop,
+                    session,
+                    metrics,
+                    opts.slow_query_ms,
+                    slog,
+                    admin,
+                );
                 active.fetch_sub(1, Ordering::SeqCst);
             });
         }
         // The scope joins every connection thread here: in-flight
         // requests drain before shutdown work below starts.
     });
+    // Signal-initiated shutdowns reach here without `.stop` having
+    // flipped readiness; make the drain visible to probes either way.
+    admin_state.start_drain();
 
     let elapsed = started.elapsed();
-    let mut resident = shared.into_inner().unwrap_or_else(|p| p.into_inner());
+    // The admin thread still holds a clone of `shared`, so the engine
+    // comes back through a write lock rather than `into_inner`.
+    let mut resident = shared.write().unwrap_or_else(PoisonError::into_inner);
     let tel = tel_mutex
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
     if resident.is_durable() {
         if let Err(e) = resident.flush_wal() {
-            eprintln!("stird: WAL flush at shutdown failed: {e}");
+            slog.log(
+                LogLevel::Error,
+                &format!("WAL flush at shutdown failed: {e}"),
+            );
         }
         match resident.snapshot(Some(&tel)) {
-            Ok(s) => eprintln!(
-                "stird: shutdown snapshot: {} tuples, {} bytes",
-                s.tuples, s.bytes
+            Ok(s) => slog.log(
+                LogLevel::Info,
+                &format!("shutdown snapshot: {} tuples, {} bytes", s.tuples, s.bytes),
             ),
-            Err(e) => eprintln!("stird: shutdown snapshot failed: {e}"),
+            Err(e) => slog.log(LogLevel::Error, &format!("shutdown snapshot failed: {e}")),
         }
     }
     if let Some(path) = &opts.profile_json {
@@ -497,9 +664,19 @@ fn main() -> ExitCode {
         }
     }
     let stats = resident.stats();
-    eprintln!(
-        "stird: served {} requests ({} tuples in, {} rows out) in {elapsed:?}",
-        stats.requests, stats.update_tuples, stats.query_rows
+    slog.log(
+        LogLevel::Info,
+        &format!(
+            "served {} requests ({} tuples in, {} rows out) in {elapsed:?}",
+            stats.requests, stats.update_tuples, stats.query_rows
+        ),
     );
+    drop(resident);
+    if let Some(h) = admin_thread {
+        let _ = h.join();
+    }
+    if let Some(h) = ticker {
+        let _ = h.join();
+    }
     ExitCode::SUCCESS
 }

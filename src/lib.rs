@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod serve;
 
 pub use stir_core as core;

@@ -7,6 +7,7 @@
 //! ?rel(p1, p2, ...)      query a pattern      → TSV rows, then `ok N rows`
 //! .explain rel(c1, ...)  proof of a fact      → tree lines, then `ok N nodes`
 //! .stats                 serving counters     → one `key=value` line
+//! .stats json            the full metrics registry as one JSON object
 //! .help                  command summary
 //! .quit                  close this session   → `bye`
 //! .stop                  shut the server down → `bye` (REPL: same as .quit)
@@ -29,9 +30,10 @@
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{PoisonError, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 use stir_core::io::parse_field;
+use stir_core::telemetry::{LogLevel, Logger, ServeMetrics};
 use stir_core::{ResidentEngine, Telemetry, Value};
 use stir_frontend::ast::AttrType;
 
@@ -67,12 +69,84 @@ impl Default for SessionConfig {
     }
 }
 
+/// Per-connection serving context: the shared metrics registry, the
+/// peer's identity for log lines, and the slow-request threshold.
+///
+/// The default context is inert (metrics off, logging off), so callers
+/// that don't serve traffic — the REPL, tests — pay nothing.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    /// Serving metrics shared across every connection (latency
+    /// histograms, gauges, the request-id counter).
+    pub metrics: Arc<ServeMetrics>,
+    /// The peer's address label (`"local"` for an in-process session).
+    pub client: String,
+    /// Log any update/query/explain slower than this many milliseconds.
+    pub slow_ms: Option<u64>,
+    /// The serving log stream (slow-request and per-request lines).
+    pub logger: Logger,
+}
+
+impl Default for RequestCtx {
+    fn default() -> Self {
+        RequestCtx {
+            metrics: Arc::new(ServeMetrics::off()),
+            client: "local".to_string(),
+            slow_ms: None,
+            logger: Logger::default(),
+        }
+    }
+}
+
+/// The latency bucket a protocol line falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    Update,
+    Query,
+    Explain,
+}
+
+impl ReqKind {
+    fn name(self) -> &'static str {
+        match self {
+            ReqKind::Update => "update",
+            ReqKind::Query => "query",
+            ReqKind::Explain => "explain",
+        }
+    }
+}
+
+/// Telemetry-relevant facts about one handled line.
+struct ReqInfo {
+    /// `None` for control lines (`.stats`, `.help`, …) and parse noise.
+    kind: Option<ReqKind>,
+    /// Tuples the request touched: inserted, returned, or proof nodes.
+    tuples: u64,
+}
+
+impl ReqInfo {
+    fn none() -> ReqInfo {
+        ReqInfo {
+            kind: None,
+            tuples: 0,
+        }
+    }
+
+    fn new(kind: ReqKind, tuples: u64) -> ReqInfo {
+        ReqInfo {
+            kind: Some(kind),
+            tuples,
+        }
+    }
+}
+
 const HELP: &str = "\
 commands:
   +rel(1, \"a\", ...).    insert a fact into an .input relation
   ?rel(1, _, x)          query: constants bind, `_`/identifiers are free
   .explain rel(1, 2)     show a minimal-height proof tree (needs --provenance)
   .stats                 show serving counters
+  .stats json            the full metrics registry as one JSON object
   .snapshot              persist a snapshot and truncate the WAL
   .help                  this summary
   .quit                  close this session
@@ -106,28 +180,114 @@ pub fn handle_line_cfg(
     tel: Option<&Telemetry>,
     out: &mut dyn Write,
 ) -> std::io::Result<Control> {
+    handle_line_inner(engine, line, cfg, tel, out).map(|(control, _)| control)
+}
+
+/// [`handle_line_cfg`] plus per-request tracing: assigns a request id,
+/// records the request's latency into the context's histograms, and
+/// logs requests that exceed the slow threshold (truncated line, id,
+/// client address, latency, tuples touched).
+///
+/// # Errors
+///
+/// Only I/O errors writing the response propagate.
+pub fn handle_request(
+    engine: &RwLock<ResidentEngine>,
+    line: &str,
+    cfg: &SessionConfig,
+    ctx: &RequestCtx,
+    tel: Option<&Telemetry>,
+    out: &mut dyn Write,
+) -> std::io::Result<Control> {
+    let rid = ctx.metrics.next_request_id();
+    let timed =
+        ctx.metrics.enabled() || ctx.slow_ms.is_some() || ctx.logger.enabled(LogLevel::Debug);
+    let t0 = if timed { Some(Instant::now()) } else { None };
+    let (control, info) = handle_line_inner(engine, line, cfg, tel, out)?;
+    let (Some(t0), Some(kind)) = (t0, info.kind) else {
+        return Ok(control);
+    };
+    let elapsed = t0.elapsed();
+    if ctx.metrics.enabled() {
+        let hist = match kind {
+            ReqKind::Update => &ctx.metrics.serve_update,
+            ReqKind::Query => &ctx.metrics.serve_query,
+            ReqKind::Explain => &ctx.metrics.serve_explain,
+        };
+        hist.record(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+    let ms = elapsed.as_millis().min(u64::MAX as u128) as u64;
+    if ctx.slow_ms.is_some_and(|threshold| ms >= threshold) {
+        ctx.metrics.slow_requests.fetch_add(1, Ordering::Relaxed);
+        ctx.logger.log(
+            LogLevel::Warn,
+            &format!(
+                "slow request id={rid} client={} kind={} latency_ms={ms} tuples={} line={}",
+                ctx.client,
+                kind.name(),
+                info.tuples,
+                truncate_for_log(line.trim()),
+            ),
+        );
+    } else if ctx.logger.enabled(LogLevel::Debug) {
+        ctx.logger.log(
+            LogLevel::Debug,
+            &format!(
+                "request id={rid} client={} kind={} latency_ms={ms} tuples={}",
+                ctx.client,
+                kind.name(),
+                info.tuples,
+            ),
+        );
+    }
+    Ok(control)
+}
+
+/// The request line as it appears in a log message: `Debug`-escaped and
+/// cut to at most 120 bytes (on a char boundary) so a pathological line
+/// cannot flood the log.
+fn truncate_for_log(line: &str) -> String {
+    const MAX: usize = 120;
+    if line.len() <= MAX {
+        return format!("{line:?}");
+    }
+    let mut end = MAX;
+    while !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{:?}.. ({} bytes)", &line[..end], line.len())
+}
+
+fn handle_line_inner(
+    engine: &RwLock<ResidentEngine>,
+    line: &str,
+    cfg: &SessionConfig,
+    tel: Option<&Telemetry>,
+    out: &mut dyn Write,
+) -> std::io::Result<(Control, ReqInfo)> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
-        return Ok(Control::Continue);
+        return Ok((Control::Continue, ReqInfo::none()));
     }
     match line {
         ".quit" | ".exit" => {
             writeln!(out, "bye")?;
-            return Ok(Control::Quit);
+            return Ok((Control::Quit, ReqInfo::none()));
         }
         ".stop" => {
             writeln!(out, "bye")?;
-            return Ok(Control::Stop);
+            return Ok((Control::Stop, ReqInfo::none()));
         }
         ".help" => {
             writeln!(out, "{HELP}")?;
-            return Ok(Control::Continue);
+            return Ok((Control::Continue, ReqInfo::none()));
         }
         ".stats" => {
             let engine = rd(engine);
             let s = engine.stats();
-            // The explain counters only appear when provenance is on, so
-            // provenance-off sessions keep the historical line verbatim.
+            // The explain counters only appear when provenance is on, and
+            // the durability fields only on durable engines, so plain
+            // in-memory sessions keep the historical line verbatim.
             let explain = if engine.config().provenance {
                 format!(
                     " explain_requests={} explain_nodes={}",
@@ -136,12 +296,36 @@ pub fn handle_line_cfg(
             } else {
                 String::new()
             };
+            let durable = match (
+                engine.wal_stats(),
+                engine.snapshot_stats(),
+                engine.recovery_report(),
+            ) {
+                (Some(w), Some((snap_writes, snap_tuples)), Some(rec)) => format!(
+                    " wal_appends={} wal_bytes={} wal_fsyncs={} wal_append_errors={} \
+                     snapshot_writes={snap_writes} snapshot_tuples={snap_tuples} \
+                     recovery_snapshot_loaded={} recovery_replayed_batches={} recovery_replay_ms={}",
+                    w.appends,
+                    w.bytes,
+                    w.fsyncs,
+                    w.append_errors,
+                    u64::from(rec.snapshot_loaded),
+                    rec.replayed_batches,
+                    rec.replay_ms,
+                ),
+                _ => String::new(),
+            };
             writeln!(
                 out,
-                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}{explain}",
+                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}{explain}{durable}",
                 s.requests, s.update_tuples, s.query_rows, s.strata_rerun, s.full_fallbacks
             )?;
-            return Ok(Control::Continue);
+            return Ok((Control::Continue, ReqInfo::none()));
+        }
+        ".stats json" => {
+            let engine = rd(engine);
+            writeln!(out, "{}", crate::admin::registry_json(&engine).render())?;
+            return Ok((Control::Continue, ReqInfo::none()));
         }
         ".snapshot" => {
             let result = {
@@ -156,30 +340,41 @@ pub fn handle_line_cfg(
                 )?,
                 Err(e) => writeln!(out, "err {e}")?,
             }
-            return Ok(Control::Continue);
+            return Ok((Control::Continue, ReqInfo::none()));
         }
         _ => {}
     }
     if let Some(atom) = line.strip_prefix(".explain") {
-        match explain(engine, atom.trim(), tel) {
+        let info = match explain(engine, atom.trim(), tel) {
             Ok((tree, nodes)) => {
                 write!(out, "{tree}")?;
                 writeln!(out, "ok {nodes} nodes")?;
+                ReqInfo::new(ReqKind::Explain, nodes as u64)
             }
-            Err(e) => writeln!(out, "err {e}")?,
-        }
-        return Ok(Control::Continue);
+            Err(e) => {
+                writeln!(out, "err {e}")?;
+                ReqInfo::new(ReqKind::Explain, 0)
+            }
+        };
+        return Ok((Control::Continue, info));
     }
     let deadline = cfg.request_timeout.map(|t| Instant::now() + t);
-    match line.as_bytes()[0] {
+    let info = match line.as_bytes()[0] {
         b'+' => match insert(engine, &line[1..], deadline, tel) {
             Ok(report) if report.deadline_exceeded => {
                 // The WAL-then-evaluate ordering means the data is
                 // already durable and applied; only the reply is late.
                 writeln!(out, "err deadline exceeded (update committed)")?;
+                ReqInfo::new(ReqKind::Update, report.inserted)
             }
-            Ok(report) => writeln!(out, "ok {} inserted", report.inserted)?,
-            Err(e) => writeln!(out, "err {e}")?,
+            Ok(report) => {
+                writeln!(out, "ok {} inserted", report.inserted)?;
+                ReqInfo::new(ReqKind::Update, report.inserted)
+            }
+            Err(e) => {
+                writeln!(out, "err {e}")?;
+                ReqInfo::new(ReqKind::Update, 0)
+            }
         },
         b'?' => match query(engine, &line[1..], deadline, tel) {
             Ok(rows) => {
@@ -188,12 +383,19 @@ pub fn handle_line_cfg(
                     writeln!(out, "{}", rendered.join("\t"))?;
                 }
                 writeln!(out, "ok {} rows", rows.len())?;
+                ReqInfo::new(ReqKind::Query, rows.len() as u64)
             }
-            Err(e) => writeln!(out, "err {e}")?,
+            Err(e) => {
+                writeln!(out, "err {e}")?;
+                ReqInfo::new(ReqKind::Query, 0)
+            }
         },
-        _ => writeln!(out, "err unrecognized request (try .help)")?,
-    }
-    Ok(Control::Continue)
+        _ => {
+            writeln!(out, "err unrecognized request (try .help)")?;
+            ReqInfo::none()
+        }
+    };
+    Ok((Control::Continue, info))
 }
 
 fn rd(engine: &RwLock<ResidentEngine>) -> std::sync::RwLockReadGuard<'_, ResidentEngine> {
@@ -514,6 +716,32 @@ pub fn run_session_with(
     stop: Option<&AtomicBool>,
     tel: Option<&Telemetry>,
 ) -> std::io::Result<Control> {
+    run_session_ctx(
+        engine,
+        input,
+        output,
+        cfg,
+        stop,
+        &RequestCtx::default(),
+        tel,
+    )
+}
+
+/// [`run_session_with`] plus a serving context: every request gets an id
+/// and its latency recorded (see [`handle_request`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors on either stream.
+pub fn run_session_ctx(
+    engine: &RwLock<ResidentEngine>,
+    input: &mut dyn std::io::BufRead,
+    output: &mut dyn Write,
+    cfg: &SessionConfig,
+    stop: Option<&AtomicBool>,
+    ctx: &RequestCtx,
+    tel: Option<&Telemetry>,
+) -> std::io::Result<Control> {
     loop {
         let control = match read_request(input, cfg.max_line_bytes, stop)? {
             Request::Eof => return Ok(Control::Quit),
@@ -530,7 +758,7 @@ pub fn run_session_with(
                 writeln!(output, "err request is not valid UTF-8")?;
                 Control::Continue
             }
-            Request::Line(line) => handle_line_cfg(engine, &line, cfg, tel, output)?,
+            Request::Line(line) => handle_request(engine, &line, cfg, ctx, tel, output)?,
         };
         output.flush()?;
         if control != Control::Continue {
@@ -542,7 +770,7 @@ pub fn run_session_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stir_core::{InputData, InterpreterConfig};
+    use stir_core::{Engine, InputData, InterpreterConfig};
 
     const TC: &str = "\
         .decl e(x: number, y: number)\n.input e\n\
@@ -810,6 +1038,95 @@ mod tests {
             !out.contains("explain_requests"),
             "provenance-off stats keep the historical shape: {out}"
         );
+    }
+
+    /// Satellite (a): a plain in-memory, provenance-off session keeps
+    /// the exact historical `.stats` line — no explain fields, no
+    /// WAL/snapshot/recovery fields — byte for byte.
+    #[test]
+    fn stats_plain_shape_is_pinned_without_durability() {
+        let out = session(TC, "+e(1, 2).\n?p(1, _)\n.stats\n.quit\n");
+        let stats = out
+            .lines()
+            .find(|l| l.starts_with("requests="))
+            .expect("stats line");
+        assert_eq!(
+            stats, "requests=2 update_tuples=1 query_rows=1 strata_rerun=1 full_fallbacks=0",
+            "historical shape changed: {out}"
+        );
+    }
+
+    #[test]
+    fn stats_plain_gains_durability_fields_on_a_durable_engine() {
+        let dir = std::env::temp_dir().join("stir-serve-stats-durable");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::from_source(TC).expect("compiles");
+        let (resident, _recovery) = ResidentEngine::open(
+            engine,
+            InterpreterConfig::optimized(),
+            &InputData::new(),
+            &dir,
+            stir_core::PersistOptions::default(),
+            None,
+        )
+        .expect("durable engine");
+        let engine = RwLock::new(resident);
+        let mut out = Vec::new();
+        let mut input: &[u8] = b"+e(1, 2).\n.stats\n.quit\n";
+        run_session_with(
+            &engine,
+            &mut input,
+            &mut out,
+            &SessionConfig::default(),
+            None,
+            None,
+        )
+        .expect("session io");
+        let out = String::from_utf8_lossy(&out);
+        let stats = out
+            .lines()
+            .find(|l| l.starts_with("requests="))
+            .expect("stats line");
+        for field in [
+            "wal_appends=1",
+            "wal_bytes=",
+            "wal_fsyncs=",
+            "wal_append_errors=0",
+            "snapshot_writes=0",
+            "snapshot_tuples=0",
+            "recovery_snapshot_loaded=0",
+            "recovery_replayed_batches=0",
+            "recovery_replay_ms=",
+        ] {
+            assert!(stats.contains(field), "missing {field}: {stats}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_json_is_one_parsable_registry_object() {
+        let out = session(TC, "+e(1, 2).\n?p(1, _)\n.stats json\n.quit\n");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("json stats line");
+        let json = stir_core::Json::parse(line).expect("valid JSON");
+        assert_eq!(
+            json.get("server")
+                .and_then(|s| s.get("requests"))
+                .and_then(stir_core::Json::as_u64),
+            Some(2)
+        );
+        // In-process sessions run with the inert default context, so the
+        // histograms are present but empty.
+        assert_eq!(
+            json.get("histograms")
+                .and_then(|h| h.get("serve_query"))
+                .and_then(|q| q.get("count"))
+                .and_then(stir_core::Json::as_u64),
+            Some(0)
+        );
+        assert!(json.get("wal").is_none(), "non-durable has no wal section");
     }
 
     #[test]

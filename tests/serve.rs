@@ -143,6 +143,7 @@ fn repl_profile_json_covers_the_session() {
 struct Server {
     child: Child,
     port: u16,
+    stdout: BufReader<std::process::ChildStdout>,
 }
 
 impl Server {
@@ -171,7 +172,32 @@ impl Server {
             .next()
             .and_then(|p| p.parse().ok())
             .expect("port in banner");
-        Server { child, port }
+        Server {
+            child,
+            port,
+            stdout,
+        }
+    }
+
+    /// Starts with `--admin-addr 127.0.0.1:0` and returns the chosen
+    /// admin port alongside the server (announced on stdout right
+    /// after the protocol banner).
+    fn start_with_admin(dir: &std::path::Path, extra: &[&str]) -> (Server, u16) {
+        let mut args = vec!["--admin-addr", "127.0.0.1:0"];
+        args.extend_from_slice(extra);
+        let mut server = Server::start(dir, &args);
+        let mut line = String::new();
+        server.stdout.read_line(&mut line).expect("admin banner");
+        let addr = line
+            .trim()
+            .strip_prefix("stird: admin listening on ")
+            .unwrap_or_else(|| panic!("unexpected admin banner: {line:?}"));
+        let admin_port = addr
+            .rsplit(':')
+            .next()
+            .and_then(|p| p.parse().ok())
+            .expect("port in admin banner");
+        (server, admin_port)
     }
 
     fn connect(&self) -> TcpStream {
@@ -525,4 +551,233 @@ fn stird_request_timeout_commits_updates_and_aborts_queries() {
     let resp = request(&mut conn, &mut rd, ".stats");
     let stats = resp.last().expect("stats line");
     assert!(stats.contains("update_tuples=1"), "{stats}");
+}
+
+/// Sends one HTTP GET to the admin endpoint and returns (status, body).
+fn http_get(port: u16, path: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(("127.0.0.1", port)).expect("admin connects");
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request written");
+    conn.flush().expect("flushes");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("admin response");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Finds `series value` in a Prometheus exposition and parses the value.
+fn metric_value(body: &str, series: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(series).and_then(|r| r.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("series {series} missing"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("series {series} not numeric"))
+}
+
+#[test]
+fn stird_metrics_endpoint_agrees_with_stats_json() {
+    let dir = setup("stird-metrics");
+    let (server, admin_port) = Server::start_with_admin(&dir, &[]);
+
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    assert_eq!(
+        request(&mut conn, &mut rd, "+edge(3, 4)."),
+        ["ok 1 inserted"]
+    );
+    for _ in 0..2 {
+        let resp = request(&mut conn, &mut rd, "?path(1, _)");
+        assert_eq!(resp.last().map(String::as_str), Some("ok 3 rows"));
+    }
+
+    // `.stats json` is the line-protocol view of the same registry:
+    // one JSON line, no ok/err terminator (like `.stats` plain).
+    conn.write_all(b".stats json\n").expect("stats written");
+    conn.flush().expect("flushes");
+    let mut stats_line = String::new();
+    rd.read_line(&mut stats_line).expect("stats line");
+    assert!(stats_line.starts_with('{'), "{stats_line}");
+    let stats = stir::Json::parse(&stats_line).expect("valid stats JSON");
+    let req_in_json = stats
+        .get("server")
+        .and_then(|s| s.get("requests"))
+        .and_then(stir::Json::as_u64)
+        .expect("server.requests");
+    assert_eq!(req_in_json, 3, "update + two queries");
+    let query_count_json = stats
+        .get("histograms")
+        .and_then(|h| h.get("serve_query"))
+        .and_then(|q| q.get("count"))
+        .and_then(stir::Json::as_u64)
+        .expect("histograms.serve_query.count");
+    assert_eq!(query_count_json, 2);
+
+    // The scrape endpoint serves the same counts in exposition format.
+    let (status, body) = http_get(admin_port, "/metrics");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("# TYPE stir_serve_query_latency_ns summary"),
+        "{body}"
+    );
+    assert_eq!(
+        metric_value(&body, "stir_server_requests_total"),
+        req_in_json
+    );
+    assert_eq!(metric_value(&body, "stir_server_update_tuples_total"), 1);
+    assert_eq!(metric_value(&body, "stir_server_query_rows_total"), 6);
+    assert_eq!(
+        metric_value(&body, "stir_serve_query_latency_ns_count"),
+        query_count_json
+    );
+    assert_eq!(metric_value(&body, "stir_serve_update_latency_ns_count"), 1);
+    assert_eq!(
+        metric_value(&body, "stir_relation_tuples{relation=\"edge\"}"),
+        3
+    );
+
+    // Quantiles are monotone and bounded by the recorded maximum.
+    let p50 = metric_value(&body, "stir_serve_query_latency_ns{quantile=\"0.5\"}");
+    let p90 = metric_value(&body, "stir_serve_query_latency_ns{quantile=\"0.9\"}");
+    let p99 = metric_value(&body, "stir_serve_query_latency_ns{quantile=\"0.99\"}");
+    let p999 = metric_value(&body, "stir_serve_query_latency_ns{quantile=\"0.999\"}");
+    let max = metric_value(&body, "stir_serve_query_latency_ns_max");
+    assert!(p50 > 0, "a real query takes nonzero time");
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= p999, "{body}");
+    assert!(p999 <= max, "quantiles clamp to the recorded max: {body}");
+
+    let (status, body) = http_get(admin_port, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = http_get(admin_port, "/nonsense");
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn stird_readyz_flips_to_503_when_draining() {
+    let dir = setup("stird-readyz");
+    let (server, admin_port) = Server::start_with_admin(&dir, &[]);
+
+    // Serving: ready.
+    let (status, body) = http_get(admin_port, "/readyz");
+    assert_eq!(status, 200, "{body}");
+
+    // Pre-connect the probe so it is in the admin accept queue before
+    // the drain begins; the admin loop serves queued connections while
+    // draining, so this GET deterministically sees the 503.
+    let mut probe = TcpStream::connect(("127.0.0.1", admin_port)).expect("probe connects");
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    assert_eq!(request(&mut conn, &mut rd, ".stop"), ["bye"]);
+    // `.stop` flips readiness before raising the stop flag; the tiny
+    // window between the `bye` write and the flip is closed by waiting.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    write!(
+        probe,
+        "GET /readyz HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("probe written");
+    probe.flush().expect("flushes");
+    let mut raw = String::new();
+    probe.read_to_string(&mut raw).expect("probe response");
+    assert!(
+        raw.starts_with("HTTP/1.1 503"),
+        "draining server is not ready: {raw:?}"
+    );
+
+    let mut server = server;
+    let status = server.child.wait().expect("exits");
+    assert!(status.success(), "clean shutdown after .stop");
+}
+
+#[test]
+fn stird_logs_slow_requests_over_the_threshold() {
+    let dir = setup("stird-slow");
+    // Threshold zero: every engine request is "slow".
+    let server = Server::start(&dir, &["--slow-query-ms", "0"]);
+
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    assert_eq!(
+        request(&mut conn, &mut rd, "+edge(3, 4)."),
+        ["ok 1 inserted"]
+    );
+    let resp = request(&mut conn, &mut rd, "?path(1, _)");
+    assert_eq!(resp.last().map(String::as_str), Some("ok 3 rows"));
+    assert_eq!(request(&mut conn, &mut rd, ".stop"), ["bye"]);
+
+    let mut server = server;
+    let status = server.child.wait().expect("exits");
+    assert!(status.success());
+    let mut stderr = String::new();
+    server
+        .child
+        .stderr
+        .take()
+        .expect("stderr")
+        .read_to_string(&mut stderr)
+        .expect("reads");
+    assert!(
+        stderr.contains("slow request id=1") && stderr.contains("kind=update"),
+        "update logged as slow: {stderr}"
+    );
+    assert!(
+        stderr.contains("slow request id=2") && stderr.contains("kind=query"),
+        "query logged as slow: {stderr}"
+    );
+    assert!(
+        stderr.contains("line=\"?path(1, _)\""),
+        "offending line quoted: {stderr}"
+    );
+}
+
+#[test]
+fn stird_without_admin_flags_emits_no_new_output() {
+    let dir = setup("stird-quiet");
+    let server = Server::start(&dir, &[]);
+
+    let mut conn = server.connect();
+    let mut rd = BufReader::new(conn.try_clone().expect("clone"));
+    assert_eq!(
+        request(&mut conn, &mut rd, "+edge(3, 4)."),
+        ["ok 1 inserted"]
+    );
+    let resp = request(&mut conn, &mut rd, "?path(1, _)");
+    assert_eq!(resp.last().map(String::as_str), Some("ok 3 rows"));
+    assert_eq!(request(&mut conn, &mut rd, ".stop"), ["bye"]);
+
+    let mut server = server;
+    let status = server.child.wait().expect("exits");
+    assert!(status.success());
+
+    // Stdout holds nothing past the banner, and stderr holds exactly
+    // the historical summary line: observability is silent until a
+    // flag asks for it.
+    let mut rest = String::new();
+    server
+        .stdout
+        .read_to_string(&mut rest)
+        .expect("stdout drained");
+    assert_eq!(rest, "", "no stdout beyond the banner");
+    let mut stderr = String::new();
+    server
+        .child
+        .stderr
+        .take()
+        .expect("stderr")
+        .read_to_string(&mut stderr)
+        .expect("reads");
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert_eq!(lines.len(), 1, "one summary line only: {stderr}");
+    assert!(lines[0].contains("served 2 requests"), "{stderr}");
 }
