@@ -1,0 +1,153 @@
+//! **Incremental retraction latency** — the deletion dual of
+//! `incr_update`.
+//!
+//! A warm transitive-closure database absorbs retraction batches of 1,
+//! 10, and 100 edges through [`ResidentEngine::retract_facts`]'s
+//! DRed-style over-delete / re-derive path; each batch is compared
+//! against a from-scratch re-evaluation over the surviving facts (the
+//! only option a batch engine has — and what the resident engine itself
+//! does when it must fall back). The headline number is the single-fact
+//! retraction speedup, which the retraction subsystem promises to keep
+//! ≥ 10× on this workload; large batches doom a growing share of the
+//! database and are allowed to approach break-even.
+//!
+//! The doomed edges walk down from the chain's tail, so a single
+//! retraction kills a localized cone (the deletion wave dies out fast)
+//! while the shortcut edges left in place force real re-derivation
+//! work — over-deleted tuples with surviving alternative paths have to
+//! be found and restored, not just dropped.
+
+use std::time::{Duration, Instant};
+use stir_bench::{fmt_dur, fmt_ratio, interp_time, print_table, reps, scale};
+use stir_core::resident::ResidentEngine;
+use stir_core::{Engine, InputData, InterpreterConfig, Value};
+use stir_workloads::spec::Scale;
+
+const TC: &str = "\
+    .decl edge(x: number, y: number)\n.input edge\n\
+    .decl path(x: number, y: number)\n.output path\n\
+    path(x, y) :- edge(x, y).\n\
+    path(x, z) :- path(x, y), edge(y, z).\n";
+
+/// The same warm database as `incr_update`: a chain with periodic
+/// forward shortcuts, deep enough for a real fixpoint, quadratic enough
+/// that full recomputation visibly hurts.
+fn chain(nodes: i32) -> Vec<Vec<Value>> {
+    let mut edges = Vec::new();
+    for i in 0..nodes - 1 {
+        edges.push(vec![Value::Number(i), Value::Number(i + 1)]);
+        if i % 7 == 0 && i + 3 < nodes {
+            edges.push(vec![Value::Number(i), Value::Number(i + 3)]);
+        }
+    }
+    edges
+}
+
+/// `n` chain edges to retract, walking down from the tail the same way
+/// `incr_update` walks its insertions. Repeats are possible for large
+/// `n` (a repeat retraction is a no-op, as in real update streams);
+/// every row is a real edge of [`chain`], so each batch genuinely
+/// shrinks the database.
+fn doomed(nodes: i32, n: usize) -> Vec<Vec<Value>> {
+    let span = nodes - 8;
+    (0..n)
+        .map(|k| {
+            let v = (nodes - 2) - (k as i32 * 13) % span;
+            vec![Value::Number(v), Value::Number(v + 1)]
+        })
+        .collect()
+}
+
+fn inputs_with(edges: Vec<Vec<Value>>) -> InputData {
+    let mut inputs = InputData::new();
+    inputs.insert("edge".into(), edges);
+    inputs
+}
+
+/// Best-of-reps retraction latency on a warm engine. The engine is
+/// rebuilt per repetition (a retraction mutates it), with the rebuild
+/// outside the timed region; the timed region is exactly what a `stird`
+/// client waits for on a `-fact.` line.
+fn retract_time(initial: &InputData, rows: &[Vec<Value>]) -> (Duration, u64, u64) {
+    let config = InterpreterConfig::optimized();
+    let mut best = Duration::MAX;
+    let mut retracted = 0;
+    let mut rederived = 0;
+    for _ in 0..reps().max(3) {
+        let mut resident =
+            ResidentEngine::from_source(TC, config, initial, None).expect("warm engine builds");
+        let started = Instant::now();
+        let report = resident
+            .retract_facts("edge", rows, None)
+            .expect("retraction succeeds");
+        best = best.min(started.elapsed());
+        retracted = report.retracted;
+        rederived = report.rederived;
+    }
+    (best, retracted, rederived)
+}
+
+fn main() {
+    let nodes: i32 = match scale() {
+        Scale::Tiny => 120,
+        Scale::Small => 400,
+        Scale::Medium => 800,
+        Scale::Large => 1600,
+    };
+    let initial = inputs_with(chain(nodes));
+    let engine = Engine::from_source(TC).expect("compiles");
+    let config = InterpreterConfig::optimized();
+
+    let mut rows_out: Vec<Vec<String>> = Vec::new();
+    let mut single_fact_speedup = 0.0;
+    for n in [1usize, 10, 100] {
+        let rows = doomed(nodes, n);
+        let survivors = inputs_with(
+            initial["edge"]
+                .iter()
+                .filter(|e| !rows.contains(e))
+                .cloned()
+                .collect(),
+        );
+
+        let (incr, retracted, rederived) = retract_time(&initial, &rows);
+        let full = interp_time(&engine, config, &survivors);
+        let speedup = full.as_secs_f64() / incr.as_secs_f64();
+        if n == 1 {
+            single_fact_speedup = speedup;
+        }
+
+        rows_out.push(vec![
+            n.to_string(),
+            retracted.to_string(),
+            rederived.to_string(),
+            fmt_dur(incr),
+            fmt_dur(full),
+            fmt_ratio(speedup),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Incremental retraction latency — warm TC on a {nodes}-node chain \
+             (best of {} reps; full = from-scratch over the survivors)",
+            reps().max(3)
+        ),
+        &[
+            "batch",
+            "retracted",
+            "rederived",
+            "incremental",
+            "full recompute",
+            "speedup",
+        ],
+        &rows_out,
+    );
+    println!(
+        "\nsingle-fact retraction speedup: {single_fact_speedup:.1}x   (retraction-subsystem target: >= 10x)"
+    );
+    assert!(
+        single_fact_speedup >= 10.0,
+        "single-fact incremental retraction regressed below 10x vs full recompute"
+    );
+}

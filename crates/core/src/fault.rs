@@ -11,8 +11,11 @@
 //! ```
 //!
 //! Recognized points (an unknown point is a parse error so typos fail
-//! loudly): `wal_write`, `wal_fsync`, `snapshot_write`,
-//! `snapshot_rename`, `conn_write`.
+//! loudly): `wal_write`, `wal_fsync`, `wal_delete_write`,
+//! `wal_delete_fsync`, `snapshot_write`, `snapshot_rename`,
+//! `conn_write`. Insert and delete appends hit distinct points so a
+//! test can crash exactly on the N-th *delete* record regardless of how
+//! many inserts preceded it.
 //!
 //! Modes:
 //!
@@ -52,10 +55,14 @@ pub enum FaultMode {
 /// A named fault point: where to inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultPoint {
-    /// A WAL record append (before bytes reach the file).
+    /// A WAL insert-record append (before bytes reach the file).
     WalWrite,
-    /// A WAL fsync under `--durability always`.
+    /// A WAL fsync after an insert append under `--durability always`.
     WalFsync,
+    /// A WAL delete-record append (before bytes reach the file).
+    WalDeleteWrite,
+    /// A WAL fsync after a delete append under `--durability always`.
+    WalDeleteFsync,
     /// A snapshot temp-file write.
     SnapshotWrite,
     /// The atomic rename publishing a snapshot.
@@ -69,6 +76,8 @@ impl FaultPoint {
         match s {
             "wal_write" => Some(Self::WalWrite),
             "wal_fsync" => Some(Self::WalFsync),
+            "wal_delete_write" => Some(Self::WalDeleteWrite),
+            "wal_delete_fsync" => Some(Self::WalDeleteFsync),
             "snapshot_write" => Some(Self::SnapshotWrite),
             "snapshot_rename" => Some(Self::SnapshotRename),
             "conn_write" => Some(Self::ConnWrite),
@@ -80,6 +89,8 @@ impl FaultPoint {
         match self {
             Self::WalWrite => "wal_write",
             Self::WalFsync => "wal_fsync",
+            Self::WalDeleteWrite => "wal_delete_write",
+            Self::WalDeleteFsync => "wal_delete_fsync",
             Self::SnapshotWrite => "snapshot_write",
             Self::SnapshotRename => "snapshot_rename",
             Self::ConnWrite => "conn_write",
@@ -90,14 +101,16 @@ impl FaultPoint {
         match self {
             Self::WalWrite => 0,
             Self::WalFsync => 1,
-            Self::SnapshotWrite => 2,
-            Self::SnapshotRename => 3,
-            Self::ConnWrite => 4,
+            Self::WalDeleteWrite => 2,
+            Self::WalDeleteFsync => 3,
+            Self::SnapshotWrite => 4,
+            Self::SnapshotRename => 5,
+            Self::ConnWrite => 6,
         }
     }
 }
 
-const POINT_COUNT: usize = 5;
+const POINT_COUNT: usize = 7;
 
 /// A parsed `STIR_FAULT` specification plus per-point hit counters.
 #[derive(Debug, Default)]
@@ -252,6 +265,17 @@ mod tests {
         assert!(plan.check(FaultPoint::WalWrite).is_ok());
         assert!(plan.check(FaultPoint::WalWrite).is_err());
         assert!(plan.check(FaultPoint::SnapshotRename).is_err());
+    }
+
+    #[test]
+    fn delete_points_are_independent_of_insert_points() {
+        let plan = FaultPlan::parse("wal_delete_write:at=2,wal_delete_fsync:once").expect("parses");
+        assert!(plan.check(FaultPoint::WalWrite).is_ok(), "inserts pass");
+        assert!(plan.check(FaultPoint::WalDeleteWrite).is_ok());
+        let err = plan.check(FaultPoint::WalDeleteWrite).unwrap_err();
+        assert!(err.to_string().contains("wal_delete_write"), "{err}");
+        assert!(plan.check(FaultPoint::WalDeleteFsync).is_err());
+        assert!(plan.check(FaultPoint::WalFsync).is_ok());
     }
 
     #[test]

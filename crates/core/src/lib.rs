@@ -48,6 +48,7 @@ pub mod itree;
 pub mod json;
 pub mod profile;
 pub mod prov;
+pub mod rederive;
 pub mod resident;
 pub mod sink;
 pub mod static_set;
@@ -63,7 +64,9 @@ pub use interp::Interpreter;
 pub use json::Json;
 pub use profile::ProfileReport;
 pub use prov::{ExplainLimits, ProofNode};
-pub use resident::{PersistOptions, RecoveryReport, ResidentEngine, ServerStats, UpdateReport};
+pub use resident::{
+    PersistOptions, RecoveryReport, ResidentEngine, RetractReport, ServerStats, UpdateReport,
+};
 pub use telemetry::{
     profile_json, rfc3339, rfc3339_now, Histogram, HistogramSnapshot, LogLevel, Logger,
     MetricsRegistry, ServeMetrics, Telemetry, Tracer,

@@ -26,6 +26,21 @@
 //! replayed, and the original stratum statement re-run. The
 //! `server.full_fallbacks` counter tallies these.
 //!
+//! # Retractions
+//!
+//! [`ResidentEngine::retract_facts`] is the deletion dual, a DRed-style
+//! delete-and-re-derive: the deletion-mode twin of each monotone
+//! stratum's update statement ([`stir_ram::deletion`]) collects the
+//! *over-delete cone* — every derived tuple with at least one derivation
+//! touching a removed tuple — against the unmutated database; the doomed
+//! tuples and cones are erased; and each erased tuple that is still a
+//! ground fact or still one-step derivable ([`crate::rederive`]) is
+//! re-admitted and propagated with the normal insertion-mode statement.
+//! The same situations that defeat insertion-only delta restarts
+//! (negation or aggregate readers, eqrel heads, rebuilt upstream strata,
+//! plus provenance mode and opaque auto-increment heads) fall back to a
+//! full stratum recompute.
+//!
 //! # Queries
 //!
 //! [`ResidentEngine::query`] answers a partially-bound pattern with the
@@ -75,6 +90,26 @@ pub struct UpdateReport {
     /// aborting between strata would leave downstream strata stale — so
     /// callers should report the timeout while treating the data as
     /// committed.
+    pub deadline_exceeded: bool,
+}
+
+/// What one [`ResidentEngine::retract_facts`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetractReport {
+    /// Tuples of the batch that were actually present (and removed).
+    pub retracted: u64,
+    /// Over-deleted derived tuples restored because a surviving
+    /// derivation (or surviving ground fact) still supports them.
+    pub rederived: u64,
+    /// Strata repaired through the deletion-mode delta + re-derivation
+    /// pipeline.
+    pub strata_rerun: u64,
+    /// Strata recomputed from scratch (negation/aggregate readers,
+    /// eqrel heads, provenance mode, or rebuilt upstream strata).
+    pub full_fallbacks: u64,
+    /// The request's deadline elapsed during evaluation; the retraction
+    /// was still applied in full (see [`UpdateReport::deadline_exceeded`]
+    /// for why mid-way aborts are never an option).
     pub deadline_exceeded: bool,
 }
 
@@ -148,6 +183,12 @@ pub struct ServerStats {
     pub explain_requests: u64,
     /// Proof-tree nodes returned across all `.explain` requests.
     pub explain_nodes: u64,
+    /// Retraction requests served.
+    pub retracts: u64,
+    /// Tuples actually removed across all retractions.
+    pub retract_tuples: u64,
+    /// Over-deleted tuples restored by re-derivation.
+    pub rederived: u64,
 }
 
 #[derive(Debug, Default)]
@@ -159,6 +200,9 @@ struct Counters {
     full_fallbacks: AtomicU64,
     explain_requests: AtomicU64,
     explain_nodes: AtomicU64,
+    retracts: AtomicU64,
+    retract_tuples: AtomicU64,
+    rederived: AtomicU64,
 }
 
 /// An engine whose database stays resident between requests.
@@ -317,7 +361,7 @@ impl ResidentEngine {
         snap: wal::SnapshotData,
         tel: Option<&Telemetry>,
     ) -> Result<ResidentEngine, EngineError> {
-        let ram = engine.into_ram();
+        let mut ram = engine.into_ram();
         let tracer = tel.map(|t| &t.tracer);
         let mode = if config.legacy_data {
             DataMode::LegacyDynamic
@@ -366,6 +410,11 @@ impl ResidentEngine {
                     continue;
                 }
                 let mut rel = db.wr(meta.id);
+                // The snapshot is the *complete* state of this relation.
+                // `Database::new_with` pre-inserted the program's ground
+                // facts; any of them missing from the snapshot was
+                // retracted before it was taken and must not resurrect.
+                rel.clear();
                 for t in tuples {
                     if t.len() != meta.arity {
                         return Err(StorageError::new(format!(
@@ -380,6 +429,22 @@ impl ResidentEngine {
                     }
                 }
             }
+        }
+        {
+            // Reconcile the ground-fact replay list the same way: a
+            // program fact of a snapshot-covered `.input` relation that
+            // the snapshot no longer contains was retracted, and a later
+            // fallback recompute must not replay it back to life.
+            let mut covered = vec![false; ram.relations.len()];
+            for (name, _) in &snap.relations {
+                if let Some(m) = ram.relation_by_name(name) {
+                    if m.is_input {
+                        covered[m.id.0] = true;
+                    }
+                }
+            }
+            ram.facts
+                .retain(|(rid, t)| !covered[rid.0] || db.rd(*rid).contains(t));
         }
         if config.provenance {
             // Recompute-on-recovery: re-run the main fixpoint over the
@@ -491,11 +556,20 @@ impl ResidentEngine {
         for rec in &replayed.records {
             // Replay runs the same validated path as serving, minus the
             // WAL append; batches already covered by the snapshot
-            // re-insert zero fresh tuples and touch no strata.
-            match this.insert_internal(&rec.rel, &rec.rows, None, tel) {
-                Ok(r) => {
+            // re-insert (or re-remove) zero fresh tuples and touch no
+            // strata.
+            let applied = match rec.kind {
+                wal::WalRecordKind::Insert => this
+                    .insert_internal(&rec.rel, &rec.rows, None, tel)
+                    .map(|r| r.inserted),
+                wal::WalRecordKind::Delete => this
+                    .retract_internal(&rec.rel, &rec.rows, None, tel)
+                    .map(|r| r.retracted),
+            };
+            match applied {
+                Ok(tuples) => {
                     report.replayed_batches += 1;
-                    report.replayed_tuples += r.inserted;
+                    report.replayed_tuples += tuples;
                 }
                 Err(e) => {
                     report.skipped_batches += 1;
@@ -509,7 +583,14 @@ impl ResidentEngine {
 
         report.replay_ms = replay_started.elapsed().as_millis().min(u64::MAX as u128) as u64;
 
-        let wal = WalWriter::open(&wal_path, opts.durability, fp, replayed.valid_len)?;
+        let valid_len = if replayed.version == 1 {
+            // Upgrade a version-1 log in place before appending: one
+            // file never mixes kind-less and kinded frames.
+            wal::rewrite(&wal_path, fp, &replayed.records)?
+        } else {
+            replayed.valid_len
+        };
+        let wal = WalWriter::open(&wal_path, opts.durability, fp, valid_len)?;
         this.persistence = Some(Persistence {
             dir: data_dir.to_path_buf(),
             wal,
@@ -565,6 +646,9 @@ impl ResidentEngine {
             full_fallbacks: self.counters.full_fallbacks.load(Ordering::Relaxed),
             explain_requests: self.counters.explain_requests.load(Ordering::Relaxed),
             explain_nodes: self.counters.explain_nodes.load(Ordering::Relaxed),
+            retracts: self.counters.retracts.load(Ordering::Relaxed),
+            retract_tuples: self.counters.retract_tuples.load(Ordering::Relaxed),
+            rederived: self.counters.rederived.load(Ordering::Relaxed),
         }
     }
 
@@ -582,6 +666,14 @@ impl ResidentEngine {
         m.set("server.query_rows", s.query_rows);
         m.set("server.strata_rerun", s.strata_rerun);
         m.set("server.full_fallbacks", s.full_fallbacks);
+        if s.retracts > 0 {
+            // Gated the same way as the explain counters: a server that
+            // never saw a retraction produces a metric dump
+            // byte-identical to older builds.
+            m.set("server.retracts", s.retracts);
+            m.set("server.retract_tuples", s.retract_tuples);
+            m.set("server.rederived", s.rederived);
+        }
         if self.config.provenance {
             // Gated so that provenance-off metric dumps (and the profile
             // JSON built from them) stay byte-identical to older builds.
@@ -717,7 +809,7 @@ impl ResidentEngine {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         // Validate before logging, so the WAL only ever holds batches
         // the engine would accept on replay.
-        self.validate_insert(rel, rows)?;
+        self.validate_batch(rel, rows)?;
         if let Some(p) = &mut self.persistence {
             // WAL-then-evaluate: nothing is acknowledged (or applied)
             // unless it is recoverable first.
@@ -728,9 +820,10 @@ impl ResidentEngine {
         Ok(report)
     }
 
-    /// Structural checks shared by the serving path (pre-WAL) and
-    /// [`Self::insert_internal`].
-    fn validate_insert(&self, rel: &str, rows: &[Vec<Value>]) -> Result<(), EvalError> {
+    /// Structural checks shared by the insert and retract serving paths
+    /// (pre-WAL) and their replay twins: the relation must exist, be
+    /// `.input`, and every row must have its arity.
+    fn validate_batch(&self, rel: &str, rows: &[Vec<Value>]) -> Result<(), EvalError> {
         let meta = self
             .ram
             .relation_by_name(rel)
@@ -762,7 +855,7 @@ impl ResidentEngine {
         deadline: Option<Instant>,
         tel: Option<&Telemetry>,
     ) -> Result<UpdateReport, EvalError> {
-        self.validate_insert(rel, rows)?;
+        self.validate_batch(rel, rows)?;
         let meta = self.ram.relation_by_name(rel).expect("validated above");
         let target = meta.id;
         let upd = self.ram.upd_of(target);
@@ -868,6 +961,355 @@ impl ResidentEngine {
         self.counters
             .full_fallbacks
             .fetch_add(report.full_fallbacks, Ordering::Relaxed);
+        report.deadline_exceeded = deadline.is_some_and(|d| Instant::now() > d);
+        Ok(report)
+    }
+
+    /// Retracts a batch of facts from an `.input` relation and repairs
+    /// all downstream strata (delete-and-re-derive; see the module docs).
+    ///
+    /// When the engine is durable, the batch is appended to the WAL as a
+    /// delete record *before* evaluation, so an `Ok` return means the
+    /// retraction survives a crash at any later point.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown or non-`.input` relations and wrong-arity tuples;
+    /// propagates WAL failures and runtime errors from re-evaluation.
+    pub fn retract_facts(
+        &mut self,
+        rel: &str,
+        rows: &[Vec<Value>],
+        tel: Option<&Telemetry>,
+    ) -> Result<RetractReport, EngineError> {
+        self.retract_facts_deadline(rel, rows, None, tel)
+    }
+
+    /// [`Self::retract_facts`] with a per-request deadline; like
+    /// updates, retraction commits in full and only flags the overrun.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::retract_facts`].
+    pub fn retract_facts_deadline(
+        &mut self,
+        rel: &str,
+        rows: &[Vec<Value>],
+        deadline: Option<Instant>,
+        tel: Option<&Telemetry>,
+    ) -> Result<RetractReport, EngineError> {
+        let _span = tel.map(|t| t.tracer.span("phase:serve:retract"));
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.retracts.fetch_add(1, Ordering::Relaxed);
+        self.validate_batch(rel, rows)?;
+        if let Some(p) = &mut self.persistence {
+            p.wal.append_delete(rel, rows)?;
+        }
+        let report = self.retract_internal(rel, rows, deadline, tel)?;
+        self.maybe_auto_snapshot(tel);
+        Ok(report)
+    }
+
+    /// Applies one validated retraction batch: DRed-style over-delete of
+    /// the derived cone, erase, then re-derivation of the survivors.
+    /// Does *not* touch the WAL — the serving path appends first, the
+    /// recovery path replays from it.
+    ///
+    /// The three phases:
+    ///
+    /// 1. **Cone** — with the doomed tuples staged in `upd_target` and
+    ///    the database *unmutated*, each affected monotone stratum runs
+    ///    its deletion-mode twin statement
+    ///    ([`stir_ram::deletion::deletion_stmt`]): every derived tuple
+    ///    with at least one derivation touching a removed tuple
+    ///    accumulates in its `upd_` relation. Strata behind negation,
+    ///    aggregation, eqrel heads, opaque (auto-increment) heads, or a
+    ///    rebuilt upstream stratum are planned for full recomputation
+    ///    instead, exactly like the insert path.
+    /// 2. **Erase** — the doomed tuples and every collected cone leave
+    ///    their relations. All `upd_` staging is then cleared: it holds
+    ///    *deleted* tuples, which a downstream insertion-mode statement
+    ///    would otherwise happily treat as new.
+    /// 3. **Re-derive** — bottom-up again: fallback strata recompute
+    ///    from scratch; incremental strata re-admit each cone member
+    ///    that is still a ground fact or still one-step derivable
+    ///    ([`crate::rederive::derivable`]) from the post-deletion
+    ///    database, then run the *normal* update statement so restored
+    ///    seeds propagate (within-stratum recursion included). Skipping
+    ///    the statement when no seed survives is sound: any truly
+    ///    derivable cone member of minimal derivation height has all its
+    ///    premises outside the cone, so it would have been a seed.
+    fn retract_internal(
+        &mut self,
+        rel: &str,
+        rows: &[Vec<Value>],
+        deadline: Option<Instant>,
+        tel: Option<&Telemetry>,
+    ) -> Result<RetractReport, EvalError> {
+        self.validate_batch(rel, rows)?;
+        let meta = self.ram.relation_by_name(rel).expect("validated above");
+        let target = meta.id;
+        let upd = self.ram.upd_of(target);
+
+        // Encode, dedup, and keep only tuples actually present. A row
+        // naming a never-interned symbol cannot be present.
+        let mut doomed: Vec<Vec<RamDomain>> = Vec::new();
+        {
+            let symbols = self.db.symbols_rd();
+            'rows: for row in rows {
+                let mut t = Vec::with_capacity(row.len());
+                for v in row {
+                    match v.encode_existing(&symbols) {
+                        Some(bits) => t.push(bits),
+                        None => continue 'rows,
+                    }
+                }
+                doomed.push(t);
+            }
+        }
+        doomed.sort_unstable();
+        doomed.dedup();
+        {
+            let rel_rd = self.db.rd(target);
+            doomed.retain(|t| rel_rd.contains(t));
+        }
+        self.counters
+            .retract_tuples
+            .fetch_add(doomed.len() as u64, Ordering::Relaxed);
+        let mut report = RetractReport {
+            retracted: doomed.len() as u64,
+            ..RetractReport::default()
+        };
+        if doomed.is_empty() {
+            report.deadline_exceeded = deadline.is_some_and(|d| Instant::now() > d);
+            return Ok(report);
+        }
+
+        // The retracted rows stop being ground: a fallback replay (or a
+        // recovery that loads this state from a snapshot) must not
+        // resurrect them.
+        self.ram
+            .facts
+            .retain(|(rid, t)| *rid != target || doomed.binary_search(t).is_err());
+        self.extra_facts
+            .retain(|(rid, t)| *rid != target || doomed.binary_search(t).is_err());
+
+        // ---- Phase 1: collect the over-delete cone (DB unmutated). ----
+        for &u in &self.all_upds {
+            self.db.wr(u).clear();
+        }
+        if let Some(u) = upd {
+            let mut w = self.db.wr(u);
+            for t in &doomed {
+                w.insert(t);
+            }
+        }
+        let n = self.ram.relations.len();
+        let mut changed = vec![false; n];
+        let mut rebuilt = vec![false; n];
+        changed[target.0] = true;
+        if upd.is_none() {
+            rebuilt[target.0] = true; // eqrel input: no staging sibling
+        }
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Plan {
+            Untouched,
+            Incremental,
+            Fallback,
+        }
+        let strata = self.ram.strata.len();
+        let mut plan = vec![Plan::Untouched; strata];
+        // Per incremental stratum: each defined relation's cone.
+        let mut cones: Vec<Vec<(RelId, Vec<Vec<RamDomain>>)>> = vec![Vec::new(); strata];
+
+        for i in 0..strata {
+            let s = &self.ram.strata[i];
+            let hit = |ids: &[RelId], flags: &[bool]| ids.iter().any(|r| flags[r.0]);
+            let affected = hit(&s.defines, &changed)
+                || hit(&s.pos_reads, &changed)
+                || hit(&s.neg_agg_reads, &changed);
+            if !affected {
+                continue;
+            }
+            // A head whose provenance plan cannot be re-matched (opaque
+            // auto-increment values, or no plan at all) defeats the
+            // one-step derivability check of phase 3.
+            let opaque = s.defines.iter().any(|d| {
+                let mut rules = self
+                    .ram
+                    .prov
+                    .rules
+                    .iter()
+                    .filter(|r| r.head == *d)
+                    .peekable();
+                rules.peek().is_none() || rules.any(|r| r.opaque || r.stmt.is_none())
+            });
+            let fallback = self.config.provenance // recompute re-annotates exactly
+                || s.update.is_none()
+                || opaque
+                || hit(&s.neg_agg_reads, &changed)
+                || hit(&s.pos_reads, &rebuilt)
+                || hit(&s.defines, &rebuilt);
+            let del = if fallback {
+                None
+            } else {
+                stir_ram::deletion::deletion_stmt(&self.ram, i)
+            };
+            match del {
+                None => {
+                    plan[i] = Plan::Fallback;
+                    for d in &self.ram.strata[i].defines {
+                        changed[d.0] = true;
+                        rebuilt[d.0] = true;
+                    }
+                    report.full_fallbacks += 1;
+                }
+                Some(stmt) => {
+                    let tree = itree::build_stmt(&self.ram, &self.config, &stmt);
+                    let mut interp = Interpreter::new(&self.ram, &self.db, self.config);
+                    if let Some(t) = tel {
+                        interp.attach_telemetry(t);
+                    }
+                    interp.run(&tree)?;
+                    let mut stratum_cones: Vec<(RelId, Vec<Vec<RamDomain>>)> = Vec::new();
+                    let mut cone_total = 0usize;
+                    let mut live_total = 0usize;
+                    for d in &self.ram.strata[i].defines {
+                        let u = self.ram.upd_of(*d).expect("deletion_stmt requires upd");
+                        let cone = self.db.rd(u).to_sorted_tuples();
+                        cone_total += cone.len();
+                        live_total += self.db.rd(*d).len();
+                        stratum_cones.push((*d, cone));
+                    }
+                    // Cost-based demotion: when the deletion wave swallows
+                    // most of a non-trivial stratum, erasing and re-checking
+                    // the cone tuple by tuple costs more than recomputing
+                    // the stratum outright. Tiny strata stay incremental —
+                    // either path is cheap and the counters stay stable.
+                    if live_total > 1024 && cone_total * 2 > live_total {
+                        plan[i] = Plan::Fallback;
+                        for d in &self.ram.strata[i].defines {
+                            changed[d.0] = true;
+                            rebuilt[d.0] = true;
+                        }
+                        report.full_fallbacks += 1;
+                    } else {
+                        plan[i] = Plan::Incremental;
+                        report.strata_rerun += 1;
+                        for (d, cone) in &stratum_cones {
+                            if !cone.is_empty() {
+                                changed[d.0] = true;
+                            }
+                        }
+                        cones[i] = stratum_cones;
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 2: erase the doomed tuples and the cones. ----
+        let prov = self.db.provenance();
+        if upd.is_none() {
+            // An eqrel input cannot erase a single pair soundly (the
+            // closure may re-imply it); rebuild it from the surviving
+            // ground facts and let insertion re-close it.
+            self.db.wr(target).clear();
+            for (rid, t) in self.ram.facts.iter().chain(self.extra_facts.iter()) {
+                if *rid == target {
+                    let mut w = self.db.wr(target);
+                    if w.insert(t) && prov {
+                        w.record_annotation(t, 0, crate::database::RULE_INPUT);
+                    }
+                }
+            }
+        } else {
+            let mut w = self.db.wr(target);
+            for t in &doomed {
+                w.erase(t);
+            }
+        }
+        for i in 0..strata {
+            if plan[i] == Plan::Incremental {
+                for (d, cone) in &cones[i] {
+                    let mut w = self.db.wr(*d);
+                    for t in cone {
+                        w.erase(t);
+                    }
+                }
+            }
+        }
+        // Phase 1 left doomed tuples and cones staged in `upd_`; an
+        // insertion-mode statement in phase 3 would consume them as if
+        // they were fresh inserts. Restart the staging from empty.
+        for &u in &self.all_upds {
+            self.db.wr(u).clear();
+        }
+
+        // ---- Phase 3: re-derive survivors, bottom-up. ----
+        for i in 0..strata {
+            match plan[i] {
+                Plan::Untouched => {}
+                Plan::Fallback => self.recompute_stratum(i, tel)?,
+                Plan::Incremental => {
+                    let mut seeded = false;
+                    for (d, cone) in &cones[i] {
+                        if cone.is_empty() {
+                            continue;
+                        }
+                        // Ground facts of `d` (an `.input` relation can
+                        // also be a rule head) survive unconditionally.
+                        let ground: std::collections::HashSet<&[RamDomain]> = self
+                            .ram
+                            .facts
+                            .iter()
+                            .chain(self.extra_facts.iter())
+                            .filter(|(rid, _)| rid == d)
+                            .map(|(_, t)| t.as_slice())
+                            .collect();
+                        let u = self.ram.upd_of(*d).expect("incremental plan");
+                        // The batch checker shares the per-rule matching
+                        // state across the whole cone; seeds go in only
+                        // after it returns, which is the pure DRed
+                        // re-derive step (the insertion statement below
+                        // restores multi-step survivors from the seeds).
+                        let derivable =
+                            crate::rederive::derivable_batch(&self.ram, &self.db, *d, cone);
+                        for (t, ok) in cone.iter().zip(derivable) {
+                            if ok || ground.contains(t.as_slice()) {
+                                self.db.wr(*d).insert(t);
+                                self.db.wr(u).insert(t);
+                                report.rederived += 1;
+                                seeded = true;
+                            }
+                        }
+                    }
+                    if seeded {
+                        // The *insertion* statement: restored seeds
+                        // propagate to their within-stratum consequences,
+                        // and its `upd_` staging feeds downstream strata.
+                        let s = &self.ram.strata[i];
+                        let stmt = s.update.as_ref().expect("incremental plan");
+                        let tree = itree::build_stmt(&self.ram, &self.config, stmt);
+                        let mut interp = Interpreter::new(&self.ram, &self.db, self.config);
+                        if let Some(t) = tel {
+                            interp.attach_telemetry(t);
+                        }
+                        interp.run(&tree)?;
+                    }
+                }
+            }
+        }
+
+        self.counters
+            .strata_rerun
+            .fetch_add(report.strata_rerun, Ordering::Relaxed);
+        self.counters
+            .full_fallbacks
+            .fetch_add(report.full_fallbacks, Ordering::Relaxed);
+        self.counters
+            .rederived
+            .fetch_add(report.rederived, Ordering::Relaxed);
         report.deadline_exceeded = deadline.is_some_and(|d| Instant::now() > d);
         Ok(report)
     }
@@ -1709,5 +2151,346 @@ mod tests {
             r.outputs()["q"],
             vec![vec![Value::Number(2)], vec![Value::Number(3)]]
         );
+    }
+
+    #[test]
+    fn retraction_removes_the_derived_cone_incrementally() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3), (3, 4)]));
+        let mut r = resident(TC, &inputs);
+        assert_eq!(r.outputs()["p"].len(), 6);
+
+        let report = r
+            .retract_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("retracts");
+        assert_eq!(report.retracted, 1);
+        assert!(report.strata_rerun >= 1);
+        assert_eq!(report.full_fallbacks, 0, "monotone program stays delta");
+        // Only e(1,2)→p(1,2) and e(3,4)→p(3,4) survive.
+        assert_eq!(r.outputs()["p"], pairs(&[(1, 2), (3, 4)]));
+        assert_eq!(r.query("e", &[None, None], None).expect("queries").len(), 2);
+    }
+
+    #[test]
+    fn retraction_restores_alternatively_derivable_tuples() {
+        // Diamond: p(1,4) via 2 and via 3. Removing one path must keep it.
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 4), (1, 3), (3, 4)]));
+        let mut r = resident(TC, &inputs);
+
+        let report = r
+            .retract_facts("e", &pairs(&[(2, 4)]), None)
+            .expect("retracts");
+        assert_eq!(report.retracted, 1);
+        assert!(report.rederived >= 1, "p(1,4) must be restored: {report:?}");
+        assert_eq!(r.outputs()["p"], pairs(&[(1, 2), (1, 3), (1, 4), (3, 4)]));
+    }
+
+    #[test]
+    fn retracting_absent_or_unknown_tuples_is_a_noop() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let mut r = resident(TC, &inputs);
+        let report = r
+            .retract_facts("e", &pairs(&[(7, 8)]), None)
+            .expect("retracts");
+        assert_eq!(report.retracted, 0);
+        assert_eq!(report.strata_rerun + report.full_fallbacks, 0);
+        assert_eq!(r.outputs()["p"], pairs(&[(1, 2)]));
+        // Bad requests are rejected exactly like inserts.
+        assert!(r.retract_facts("p", &pairs(&[(1, 2)]), None).is_err());
+        assert!(r
+            .retract_facts("e", &[vec![Value::Number(1)]], None)
+            .is_err());
+    }
+
+    #[test]
+    fn retraction_cascades_across_strata() {
+        let src = "\
+            .decl e(x: number, y: number)\n.input e\n\
+            .decl p(x: number, y: number)\n\
+            .decl q(x: number)\n.output q\n\
+            p(x, y) :- e(x, y).\n\
+            p(x, z) :- p(x, y), e(y, z).\n\
+            q(y) :- p(1, y).\n";
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3)]));
+        let mut r = resident(src, &inputs);
+        assert_eq!(r.outputs()["q"].len(), 2);
+
+        let report = r
+            .retract_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("retracts");
+        assert!(report.strata_rerun >= 2, "{report:?}");
+        assert_eq!(report.full_fallbacks, 0);
+        assert_eq!(r.outputs()["q"], vec![vec![Value::Number(2)]]);
+    }
+
+    #[test]
+    fn negation_reader_gains_tuples_via_fallback() {
+        let src = "\
+            .decl a(x: number)\n.input a\n\
+            .decl b(x: number)\n.input b\n\
+            .decl r(x: number)\n.output r\n\
+            r(x) :- a(x), !b(x).\n";
+        let mut inputs = InputData::new();
+        inputs.insert("a".into(), vec![vec![Value::Number(1)]]);
+        inputs.insert("b".into(), vec![vec![Value::Number(1)]]);
+        let mut r = resident(src, &inputs);
+        assert!(r.outputs()["r"].is_empty());
+
+        // Shrinking a negated relation *adds* downstream tuples — only
+        // the full-recompute fallback can produce them.
+        let report = r
+            .retract_facts("b", &[vec![Value::Number(1)]], None)
+            .expect("retracts");
+        assert!(report.full_fallbacks >= 1, "{report:?}");
+        assert_eq!(r.outputs()["r"], vec![vec![Value::Number(1)]]);
+    }
+
+    #[test]
+    fn interleaved_inserts_and_retractions_match_from_scratch() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let mut r = resident(TC, &inputs);
+        r.insert_facts("e", &pairs(&[(2, 3), (3, 4)]), None)
+            .expect("inserts");
+        r.retract_facts("e", &pairs(&[(1, 2)]), None)
+            .expect("retracts");
+        r.insert_facts("e", &pairs(&[(4, 1)]), None)
+            .expect("inserts");
+        r.retract_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("retracts");
+
+        // Survivors: e(2,3), e(4,1).
+        let mut fresh_inputs = InputData::new();
+        fresh_inputs.insert("e".into(), pairs(&[(2, 3), (4, 1)]));
+        let fresh = resident(TC, &fresh_inputs);
+        assert_eq!(r.outputs(), fresh.outputs());
+    }
+
+    #[test]
+    fn retracting_a_program_ground_fact_sticks() {
+        // The fact comes from the source text, not an insert; fallback
+        // replays must not resurrect it.
+        let src = "\
+            .decl a(x: number)\n.input a\n\
+            .decl b(x: number)\n.input b\n\
+            .decl r(x: number)\n.output r\n\
+            a(1). a(2). b(9).\n\
+            r(x) :- a(x), !b(x).\n";
+        let mut r = resident(src, &InputData::new());
+        assert_eq!(r.outputs()["r"].len(), 2);
+        r.retract_facts("a", &[vec![Value::Number(1)]], None)
+            .expect("retracts");
+        assert_eq!(r.outputs()["r"], vec![vec![Value::Number(2)]]);
+        // Force the negation fallback (full recompute of r's stratum):
+        // the replay list must no longer contain a(1).
+        r.insert_facts("b", &[vec![Value::Number(3)]], None)
+            .expect("inserts");
+        assert_eq!(r.outputs()["r"], vec![vec![Value::Number(2)]]);
+    }
+
+    #[test]
+    fn eqrel_input_retraction_rebuilds_the_closure() {
+        let src = "\
+            .decl eq(x: number, y: number) eqrel\n.input eq\n\
+            .decl out(x: number, y: number)\n.output out\n\
+            out(x, y) :- eq(x, y).\n";
+        let mut r = resident(src, &InputData::new());
+        r.insert_facts("eq", &pairs(&[(1, 2), (2, 3)]), None)
+            .expect("inserts");
+        assert!(
+            r.query(
+                "eq",
+                &[Some(Value::Number(1)), Some(Value::Number(3))],
+                None
+            )
+            .expect("queries")
+            .len()
+                == 1
+        );
+
+        let report = r
+            .retract_facts("eq", &pairs(&[(1, 2)]), None)
+            .expect("retracts");
+        assert_eq!(report.retracted, 1);
+        assert!(report.full_fallbacks >= 1, "eqrel readers recompute");
+        // The closure of the surviving generator {(2,3)} excludes 1.
+        assert!(r
+            .query("eq", &[Some(Value::Number(1)), None], None)
+            .expect("queries")
+            .is_empty());
+        assert!(
+            r.query(
+                "out",
+                &[Some(Value::Number(2)), Some(Value::Number(3))],
+                None
+            )
+            .expect("queries")
+            .len()
+                == 1
+        );
+    }
+
+    #[test]
+    fn retraction_survives_wal_replay() {
+        let dir = tmpdir("retract-wal");
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        r.retract_facts("e", &pairs(&[(1, 2)]), None)
+            .expect("retracts");
+        let before = r.outputs();
+        drop(r); // crash: recovery must replay the delete record too
+
+        let (r, rec) = open_dir(TC, InterpreterConfig::optimized(), &inputs, &dir, opts);
+        assert_eq!(rec.replayed_batches, 2);
+        assert_eq!(r.outputs(), before);
+        assert_eq!(r.outputs()["p"], pairs(&[(2, 3)]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retraction_is_covered_by_snapshots() {
+        // Retract a *program* ground fact, snapshot, recover: neither
+        // `Database::new_with`'s fact pre-load nor the replay list may
+        // resurrect it.
+        let src = "\
+            .decl e(x: number, y: number)\n.input e\n\
+            .decl p(x: number, y: number)\n.output p\n\
+            e(1, 2). e(2, 3).\n\
+            p(x, y) :- e(x, y).\n\
+            p(x, z) :- p(x, y), e(y, z).\n";
+        let dir = tmpdir("retract-snap");
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(
+            src,
+            InterpreterConfig::optimized(),
+            &InputData::new(),
+            &dir,
+            opts,
+        );
+        r.retract_facts("e", &pairs(&[(1, 2)]), None)
+            .expect("retracts");
+        r.snapshot(None).expect("snapshots");
+        let before = r.outputs();
+        drop(r);
+
+        let (mut r, rec) = open_dir(
+            src,
+            InterpreterConfig::optimized(),
+            &InputData::new(),
+            &dir,
+            opts,
+        );
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.replayed_batches, 0);
+        assert_eq!(r.outputs(), before);
+        assert_eq!(r.outputs()["p"], pairs(&[(2, 3)]));
+        // And a post-recovery fallback recompute must not resurrect it
+        // from the reconciled replay list either.
+        let report = r
+            .retract_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("retracts");
+        assert_eq!(report.retracted, 1);
+        assert!(r.outputs()["p"].is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retract_deadline_sets_flag_but_commits() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3)]));
+        let mut r = resident(TC, &inputs);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let report = r
+            .retract_facts_deadline("e", &pairs(&[(2, 3)]), Some(past), None)
+            .expect("applies despite deadline");
+        assert!(report.deadline_exceeded);
+        assert_eq!(report.retracted, 1, "the retraction still committed");
+        assert_eq!(r.outputs()["p"], pairs(&[(1, 2)]));
+    }
+
+    #[test]
+    fn retraction_counters_accumulate_and_stay_gated() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (1, 3)]));
+        let mut r = resident(TC, &inputs);
+        let s = r.stats();
+        assert_eq!((s.retracts, s.retract_tuples, s.rederived), (0, 0, 0));
+        r.retract_facts("e", &pairs(&[(1, 2), (9, 9)]), None)
+            .expect("retracts");
+        let s = r.stats();
+        assert_eq!(s.retracts, 1);
+        assert_eq!(s.retract_tuples, 1, "absent tuples don't count");
+        assert_eq!(s.requests, 1);
+    }
+
+    #[test]
+    fn explain_stays_exact_after_retraction() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3), (1, 3)]));
+        let mut r = ResidentEngine::from_source(
+            TC,
+            InterpreterConfig::optimized().with_provenance(),
+            &inputs,
+            None,
+        )
+        .expect("builds");
+
+        let report = r
+            .retract_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("retracts");
+        assert!(
+            report.full_fallbacks >= 1,
+            "provenance mode recomputes for exact annotations: {report:?}"
+        );
+        // p(1,3) survives via the direct edge and explains as such.
+        let node = r
+            .explain(
+                "p",
+                &[Value::Number(1), Value::Number(3)],
+                ExplainLimits::default(),
+                None,
+            )
+            .expect("explains");
+        assert!(node.premises.iter().all(|p| p.tuple != vec![2, 3]));
+        // p(2,3) is gone and reports non-derivable.
+        assert!(r
+            .explain(
+                "p",
+                &[Value::Number(2), Value::Number(3)],
+                ExplainLimits::default(),
+                None,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn retraction_matches_from_scratch_in_every_mode() {
+        for config in [
+            InterpreterConfig::optimized(),
+            InterpreterConfig::dynamic_adapter(),
+            InterpreterConfig::unoptimized(),
+            InterpreterConfig::legacy(),
+        ] {
+            let mut inputs = InputData::new();
+            inputs.insert("e".into(), pairs(&[(1, 2), (2, 3), (3, 1), (3, 4)]));
+            let mut r = ResidentEngine::from_source(TC, config, &inputs, None).expect("builds");
+            r.retract_facts("e", &pairs(&[(2, 3)]), None)
+                .expect("retracts");
+
+            let mut fresh_inputs = InputData::new();
+            fresh_inputs.insert("e".into(), pairs(&[(1, 2), (3, 1), (3, 4)]));
+            let fresh =
+                ResidentEngine::from_source(TC, config, &fresh_inputs, None).expect("builds");
+            assert_eq!(r.outputs(), fresh.outputs(), "mode {config:?}");
+        }
     }
 }

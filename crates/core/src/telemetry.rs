@@ -545,6 +545,8 @@ pub struct ServeMetrics {
     pub serve_query: Histogram,
     /// Latency of `.explain` requests.
     pub serve_explain: Histogram,
+    /// Latency of `-fact.` retraction requests.
+    pub serve_retract: Histogram,
     /// Latency of one WAL append (write + buffering).
     pub wal_append: Histogram,
     /// Latency of one WAL fsync.

@@ -10,20 +10,30 @@
 //! # WAL format
 //!
 //! ```text
-//! header:  b"STIRWAL1"  [u64 program fingerprint]
+//! header:  b"STIRWAL2"  [u64 program fingerprint]
 //! record:  [u32 payload_len] [u32 crc32(payload)] [payload]
-//! payload: [u32 name_len] [name bytes]
+//! payload: [u8 kind: 0 insert, 1 delete]
+//!          [u32 name_len] [name bytes]
 //!          [u32 row_count] [u32 arity]  row_count × arity × value
 //! value:   [u8 tag] tag 0|1|2 → [u32 bits]   (number/unsigned/float)
 //!                   tag 3     → [u32 len] [utf-8 bytes]   (symbol)
 //! ```
 //!
-//! Values are stored *typed* (not as interned bit patterns) because a
-//! recovery without a snapshot re-interns symbols into a fresh table
-//! whose ids need not match the crashed process's. All integers are
-//! little-endian. Replay stops at the first short read or checksum
-//! mismatch — a torn tail from a crash mid-append — and the writer
-//! truncates the file back to the last valid record.
+//! Version 2 adds the per-record kind byte so retractions are logged
+//! alongside insertions. Version-1 logs (magic `STIRWAL1`, no kind byte)
+//! are still replayed — every record reads as an insert — and the opener
+//! rewrites them in the v2 format before appending, so a single log file
+//! never mixes frame formats. Values are stored *typed* (not as interned
+//! bit patterns) because a recovery without a snapshot re-interns symbols
+//! into a fresh table whose ids need not match the crashed process's. All
+//! integers are little-endian. Replay stops at the first short read or
+//! checksum mismatch — a torn tail from a crash mid-append — and the
+//! writer truncates the file back to the last valid record. A frame whose
+//! checksum *verifies* but whose payload does not decode (an unknown
+//! record kind, trailing bytes) is different: those bytes were written
+//! deliberately, by a newer or foreign writer, so replay fails loudly
+//! with the record's file offset instead of silently truncating
+//! acknowledged history.
 //!
 //! # Snapshot format
 //!
@@ -62,8 +72,10 @@ use std::sync::Arc;
 use stir_ram::expr::RamDomain;
 use stir_ram::program::{RamProgram, RelId, Role};
 
-/// WAL file magic.
-const WAL_MAGIC: &[u8; 8] = b"STIRWAL1";
+/// WAL file magic (current, version 2: records carry a kind byte).
+const WAL_MAGIC: &[u8; 8] = b"STIRWAL2";
+/// Version-1 WAL magic: kind-less records, accepted on read as inserts.
+const WAL_MAGIC_V1: &[u8; 8] = b"STIRWAL1";
 /// Snapshot file magic.
 const SNAP_MAGIC: &[u8; 8] = b"STIRSNP1";
 /// WAL header length: magic + fingerprint.
@@ -266,9 +278,29 @@ impl<'a> ByteReader<'a> {
 // WAL records
 // ---------------------------------------------------------------------
 
-/// One logged `insert_facts` batch.
+/// What a WAL record does to its target relation on replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalRecordKind {
+    /// An `insert_facts` batch (v1 records all read as this).
+    Insert,
+    /// A `retract_facts` batch.
+    Delete,
+}
+
+impl WalRecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            WalRecordKind::Insert => 0,
+            WalRecordKind::Delete => 1,
+        }
+    }
+}
+
+/// One logged `insert_facts` / `retract_facts` batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalRecord {
+    /// Whether the batch inserts or deletes.
+    pub kind: WalRecordKind,
     /// Target `.input` relation name.
     pub rel: String,
     /// The batch, as typed values.
@@ -276,9 +308,10 @@ pub struct WalRecord {
 }
 
 impl WalRecord {
-    fn encode(rel: &str, rows: &[Vec<Value>]) -> Vec<u8> {
+    fn encode(kind: WalRecordKind, rel: &str, rows: &[Vec<Value>]) -> Vec<u8> {
         let arity = rows.first().map_or(0, Vec::len);
         let mut payload = Vec::new();
+        payload.push(kind.tag());
         put_str(&mut payload, rel);
         put_u32(&mut payload, rows.len() as u32);
         put_u32(&mut payload, arity as u32);
@@ -294,8 +327,21 @@ impl WalRecord {
         framed
     }
 
-    fn decode(payload: &[u8]) -> Result<WalRecord, StorageError> {
+    fn decode(payload: &[u8], version: u8) -> Result<WalRecord, StorageError> {
         let mut r = ByteReader::new(payload);
+        let kind = if version >= 2 {
+            match r.u8()? {
+                0 => WalRecordKind::Insert,
+                1 => WalRecordKind::Delete,
+                k => {
+                    return Err(StorageError::new(format!(
+                        "unknown WAL record kind {k} (written by a newer stir?)"
+                    )))
+                }
+            }
+        } else {
+            WalRecordKind::Insert
+        };
         let rel = r.str()?;
         let rows = r.u32()? as usize;
         let arity = r.u32()? as usize;
@@ -310,12 +356,16 @@ impl WalRecord {
         if !r.done() {
             return Err(StorageError::new("trailing bytes in WAL record"));
         }
-        Ok(WalRecord { rel, rows: out })
+        Ok(WalRecord {
+            kind,
+            rel,
+            rows: out,
+        })
     }
 }
 
 /// What [`replay`] found in an existing WAL.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WalReplay {
     /// Valid records, in append order.
     pub records: Vec<WalRecord>,
@@ -323,6 +373,21 @@ pub struct WalReplay {
     pub valid_len: u64,
     /// Bytes of torn tail discarded after the last valid record.
     pub torn_bytes: u64,
+    /// The header version of the file (2 for fresh/missing logs). A
+    /// version-1 log must be rewritten (see [`rewrite`]) before a v2
+    /// record is appended to it.
+    pub version: u8,
+}
+
+impl Default for WalReplay {
+    fn default() -> Self {
+        WalReplay {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_bytes: 0,
+            version: 2,
+        }
+    }
 }
 
 /// Reads every valid record of the WAL at `path`, stopping at the first
@@ -334,7 +399,11 @@ pub struct WalReplay {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors other than the file not existing.
+/// Propagates I/O errors other than the file not existing, and rejects a
+/// checksum-*valid* frame whose payload does not decode (an unknown
+/// record kind or trailing bytes — a newer or foreign writer, not a torn
+/// crash tail), reporting its file offset. Truncating such a frame would
+/// silently drop acknowledged history behind it.
 pub fn replay(path: &Path, fp: u64) -> Result<WalReplay, StorageError> {
     let mut bytes = Vec::new();
     match File::open(path) {
@@ -345,7 +414,7 @@ pub fn replay(path: &Path, fp: u64) -> Result<WalReplay, StorageError> {
         Err(e) => return Err(StorageError::io("open WAL", &e)),
     };
     if bytes.len() < WAL_HEADER as usize
-        || &bytes[..8] != WAL_MAGIC
+        || (&bytes[..8] != WAL_MAGIC && &bytes[..8] != WAL_MAGIC_V1)
         || bytes[8..16] != fp.to_le_bytes()
     {
         // Foreign or truncated-below-header WAL: start over. (A header
@@ -353,8 +422,10 @@ pub fn replay(path: &Path, fp: u64) -> Result<WalReplay, StorageError> {
         // case nothing was ever acknowledged.)
         return Ok(WalReplay::default());
     }
+    let version: u8 = if &bytes[..8] == WAL_MAGIC { 2 } else { 1 };
     let mut out = WalReplay {
         valid_len: WAL_HEADER,
+        version,
         ..WalReplay::default()
     };
     let mut pos = WAL_HEADER as usize;
@@ -370,15 +441,49 @@ pub fn replay(path: &Path, fp: u64) -> Result<WalReplay, StorageError> {
         if crc32(payload) != crc {
             break; // corrupt or torn payload
         }
-        let Ok(record) = WalRecord::decode(payload) else {
-            break; // structurally invalid payload counts as torn too
-        };
+        // The checksum passed, so these bytes are exactly what some
+        // writer meant to append; a decode failure here is a format we
+        // do not understand, not damage, and must not be "recovered"
+        // from by truncation.
+        let record = WalRecord::decode(payload, version)
+            .map_err(|e| StorageError::new(format!("WAL record at offset {pos}: {}", e.msg)))?;
         out.records.push(record);
         pos += 8 + len;
         out.valid_len = pos as u64;
     }
     out.torn_bytes = bytes.len() as u64 - out.valid_len;
     Ok(out)
+}
+
+/// Rewrites the WAL at `path` as a fresh version-2 log holding exactly
+/// `records` (atomically: temp file + fsync + rename), returning the new
+/// valid length. Used by recovery to upgrade a version-1 log in place so
+/// appended delete records never share a file with kind-less v1 frames.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on failure the original log is untouched.
+pub fn rewrite(path: &Path, fp: u64, records: &[WalRecord]) -> Result<u64, StorageError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(WAL_MAGIC);
+    buf.extend_from_slice(&fp.to_le_bytes());
+    for rec in records {
+        buf.extend_from_slice(&WalRecord::encode(rec.kind, &rec.rel, &rec.rows));
+    }
+    let err = |op: &'static str| move |e: io::Error| StorageError::io(op, &e);
+    let tmp = path.with_extension("upgrade");
+    {
+        let mut f = File::create(&tmp).map_err(err("create WAL upgrade temp"))?;
+        f.write_all(&buf).map_err(err("write WAL upgrade"))?;
+        f.sync_all().map_err(err("fsync WAL upgrade"))?;
+    }
+    std::fs::rename(&tmp, path).map_err(err("publish WAL upgrade"))?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(buf.len() as u64)
 }
 
 /// Append-path counters, surfaced as `wal.*` metrics.
@@ -465,32 +570,59 @@ impl WalWriter {
         self.metrics = metrics;
     }
 
-    /// Appends one batch and pushes it toward stable storage per the
-    /// durability policy. On failure the partial write is rolled back
-    /// (or, if even that fails, the log is marked broken and refuses
-    /// further appends); either way the batch must not be acknowledged.
+    /// Appends one insert batch and pushes it toward stable storage per
+    /// the durability policy. On failure the partial write is rolled
+    /// back (or, if even that fails, the log is marked broken and
+    /// refuses further appends); either way the batch must not be
+    /// acknowledged.
     ///
     /// # Errors
     ///
     /// I/O failures and injected `wal_write`/`wal_fsync` faults.
     pub fn append(&mut self, rel: &str, rows: &[Vec<Value>]) -> Result<(), StorageError> {
+        self.append_kind(WalRecordKind::Insert, rel, rows)
+    }
+
+    /// Appends one delete batch; same durability and rollback contract
+    /// as [`WalWriter::append`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and injected `wal_delete_write`/`wal_delete_fsync`
+    /// faults.
+    pub fn append_delete(&mut self, rel: &str, rows: &[Vec<Value>]) -> Result<(), StorageError> {
+        self.append_kind(WalRecordKind::Delete, rel, rows)
+    }
+
+    fn append_kind(
+        &mut self,
+        kind: WalRecordKind,
+        rel: &str,
+        rows: &[Vec<Value>],
+    ) -> Result<(), StorageError> {
         if self.broken {
             self.stats.append_errors += 1;
             return Err(StorageError::new(
                 "WAL is in a failed state; snapshot to reset it",
             ));
         }
-        let framed = WalRecord::encode(rel, rows);
+        // Distinct fault points per kind, so a test can crash on exactly
+        // the N-th delete record independent of preceding inserts.
+        let (write_pt, fsync_pt) = match kind {
+            WalRecordKind::Insert => (FaultPoint::WalWrite, FaultPoint::WalFsync),
+            WalRecordKind::Delete => (FaultPoint::WalDeleteWrite, FaultPoint::WalDeleteFsync),
+        };
+        let framed = WalRecord::encode(kind, rel, rows);
         let metrics = Arc::clone(&self.metrics);
         let t_append = metrics.start();
-        let result = fault::check(FaultPoint::WalWrite)
+        let result = fault::check(write_pt)
             .and_then(|()| self.file.write_all(&framed))
             .and_then(|()| match self.durability {
                 Durability::None => Ok(()),
                 Durability::Batch => self.file.flush(),
                 Durability::Always => {
                     self.file.flush()?;
-                    fault::check(FaultPoint::WalFsync)?;
+                    fault::check(fsync_pt)?;
                     self.stats.fsyncs += 1;
                     let t_sync = metrics.start();
                     let r = self.file.sync_data();
@@ -931,5 +1063,145 @@ mod tests {
         assert_ne!(fingerprint("abc"), fingerprint("abd"));
         // Pinned so snapshots stay readable across builds.
         assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn mixed_inserts_and_deletes_round_trip_in_order() {
+        let dir = tmpdir("mixed");
+        let path = dir.join("wal.log");
+        let fp = fingerprint("prog");
+        let mut w = WalWriter::open(&path, Durability::Batch, fp, 0).expect("opens");
+        w.append("e", &rows(&[(1, "a"), (2, "b")])).expect("insert");
+        w.append_delete("e", &rows(&[(1, "a")])).expect("delete");
+        w.append("e", &rows(&[(3, "c")])).expect("insert");
+        drop(w);
+
+        let replayed = replay(&path, fp).expect("replays");
+        assert_eq!(replayed.version, 2);
+        assert_eq!(
+            replayed.records.iter().map(|r| r.kind).collect::<Vec<_>>(),
+            vec![
+                WalRecordKind::Insert,
+                WalRecordKind::Delete,
+                WalRecordKind::Insert
+            ]
+        );
+        assert_eq!(replayed.records[1].rows, rows(&[(1, "a")]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Encodes a record the way a version-1 writer did: no kind byte.
+    fn encode_v1(rel: &str, rows: &[Vec<Value>]) -> Vec<u8> {
+        let arity = rows.first().map_or(0, Vec::len);
+        let mut payload = Vec::new();
+        put_str(&mut payload, rel);
+        put_u32(&mut payload, rows.len() as u32);
+        put_u32(&mut payload, arity as u32);
+        for row in rows {
+            for v in row {
+                put_value(&mut payload, v);
+            }
+        }
+        let mut framed = Vec::new();
+        put_u32(&mut framed, payload.len() as u32);
+        put_u32(&mut framed, crc32(&payload));
+        framed.extend_from_slice(&payload);
+        framed
+    }
+
+    fn write_v1_log(path: &Path, fp: u64, batches: &[(&str, Vec<Vec<Value>>)]) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(WAL_MAGIC_V1);
+        bytes.extend_from_slice(&fp.to_le_bytes());
+        for (rel, rows) in batches {
+            bytes.extend_from_slice(&encode_v1(rel, rows));
+        }
+        std::fs::write(path, &bytes).expect("writes v1 log");
+    }
+
+    #[test]
+    fn v1_logs_replay_as_inserts_and_rewrite_upgrades_them() {
+        let dir = tmpdir("v1compat");
+        let path = dir.join("wal.log");
+        let fp = fingerprint("prog");
+        write_v1_log(
+            &path,
+            fp,
+            &[("e", rows(&[(1, "a")])), ("f", rows(&[(2, "b")]))],
+        );
+
+        let replayed = replay(&path, fp).expect("replays v1");
+        assert_eq!(replayed.version, 1);
+        assert_eq!(replayed.records.len(), 2);
+        assert!(replayed
+            .records
+            .iter()
+            .all(|r| r.kind == WalRecordKind::Insert));
+
+        // Upgrade in place, then append a delete — one file, one format.
+        let new_len = rewrite(&path, fp, &replayed.records).expect("rewrites");
+        let mut w = WalWriter::open(&path, Durability::Batch, fp, new_len).expect("opens");
+        w.append_delete("e", &rows(&[(1, "a")])).expect("delete");
+        drop(w);
+
+        let replayed = replay(&path, fp).expect("replays v2");
+        assert_eq!(replayed.version, 2);
+        assert_eq!(replayed.records.len(), 3);
+        assert_eq!(replayed.records[0].rel, "e");
+        assert_eq!(replayed.records[0].rows, rows(&[(1, "a")]));
+        assert_eq!(replayed.records[2].kind, WalRecordKind::Delete);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_record_kind_is_a_hard_error_with_the_offset() {
+        let dir = tmpdir("unknown-kind");
+        let path = dir.join("wal.log");
+        let fp = fingerprint("prog");
+        let mut w = WalWriter::open(&path, Durability::Batch, fp, 0).expect("opens");
+        w.append("e", &rows(&[(1, "a")])).expect("appends");
+        let offset = std::fs::metadata(&path).expect("stats").len();
+        w.append("e", &rows(&[(2, "b")])).expect("appends");
+        drop(w);
+
+        // Rewrite the second record's kind byte to a future tag and fix
+        // up its checksum — a deliberate frame from a newer writer, not
+        // a torn tail.
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let p = offset as usize;
+        let len = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
+        bytes[p + 8] = 9;
+        let crc = crc32(&bytes[p + 8..p + 8 + len]);
+        bytes[p + 4..p + 8].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("writes");
+
+        let err = replay(&path, fp).expect_err("must not truncate");
+        assert!(err.msg.contains("unknown WAL record kind 9"), "{}", err.msg);
+        assert!(err.msg.contains(&format!("offset {offset}")), "{}", err.msg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc_valid_frame_with_trailing_bytes_is_a_hard_error() {
+        let dir = tmpdir("trailing");
+        let path = dir.join("wal.log");
+        let fp = fingerprint("prog");
+        let mut w = WalWriter::open(&path, Durability::Batch, fp, 0).expect("opens");
+        w.append("e", &rows(&[(1, "a")])).expect("appends");
+        drop(w);
+
+        // Extend the payload by one byte with a matching checksum.
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let p = WAL_HEADER as usize;
+        let len = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
+        bytes.push(0);
+        bytes[p..p + 4].copy_from_slice(&((len + 1) as u32).to_le_bytes());
+        let crc = crc32(&bytes[p + 8..p + 9 + len]);
+        bytes[p + 4..p + 8].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("writes");
+
+        let err = replay(&path, fp).expect_err("must not truncate");
+        assert!(err.msg.contains("trailing bytes"), "{}", err.msg);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

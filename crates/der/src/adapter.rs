@@ -66,6 +66,21 @@ pub trait IndexAdapter: Debug + Send + Sync {
     /// Inserts a source-order tuple; `true` if it was new.
     fn insert(&mut self, t: &[RamDomain]) -> bool;
 
+    /// Removes a source-order tuple; `true` if it was present and the
+    /// structure shrank. Best-effort on structures that do not store
+    /// tuples explicitly: [`EqRelIndex`] can only drop a pair the
+    /// closure of the survivors does not re-derive (see
+    /// [`crate::eqrel::EquivalenceRelation::erase`]), so callers
+    /// needing generator-accurate eqrel deletion must rebuild from the
+    /// surviving input pairs instead.
+    fn erase(&mut self, t: &[RamDomain]) -> bool;
+
+    /// Removes every tuple whose first `prefix.len()` *stored-order*
+    /// columns equal `prefix` (the prefix special case of the bound
+    /// convention of [`range`](Self::range)); returns how many tuples
+    /// were removed.
+    fn erase_prefix(&mut self, prefix: &[RamDomain]) -> usize;
+
     /// Membership test for a source-order tuple.
     fn contains(&self, t: &[RamDomain]) -> bool;
 
@@ -231,6 +246,24 @@ impl<const N: usize> IndexAdapter for BTreeIndex<N> {
         self.set.insert(enc)
     }
 
+    fn erase(&mut self, t: &[RamDomain]) -> bool {
+        let enc = self.encode(t);
+        self.set.remove(&enc)
+    }
+
+    fn erase_prefix(&mut self, prefix: &[RamDomain]) -> usize {
+        debug_assert!(prefix.len() <= N);
+        let mut lo = [0; N];
+        let mut hi = [RamDomain::MAX; N];
+        lo[..prefix.len()].copy_from_slice(prefix);
+        hi[..prefix.len()].copy_from_slice(prefix);
+        let doomed: Vec<Tuple<N>> = self.set.range(&lo, &hi).copied().collect();
+        for t in &doomed {
+            self.set.remove(t);
+        }
+        doomed.len()
+    }
+
     fn contains(&self, t: &[RamDomain]) -> bool {
         let enc = self.encode(t);
         self.set.contains(&enc)
@@ -359,6 +392,24 @@ impl<const N: usize> IndexAdapter for BrieIndex<N> {
         self.set.insert(enc)
     }
 
+    fn erase(&mut self, t: &[RamDomain]) -> bool {
+        let enc = self.encode(t);
+        self.set.remove(&enc)
+    }
+
+    fn erase_prefix(&mut self, prefix: &[RamDomain]) -> usize {
+        debug_assert!(prefix.len() <= N);
+        let mut lo = [0; N];
+        let mut hi = [RamDomain::MAX; N];
+        lo[..prefix.len()].copy_from_slice(prefix);
+        hi[..prefix.len()].copy_from_slice(prefix);
+        let doomed: Vec<Tuple<N>> = self.set.range(&lo, &hi).collect();
+        for t in &doomed {
+            self.set.remove(t);
+        }
+        doomed.len()
+    }
+
     fn contains(&self, t: &[RamDomain]) -> bool {
         let enc = self.encode(t);
         self.set.contains(&enc)
@@ -472,6 +523,26 @@ impl IndexAdapter for EqRelIndex {
     fn insert(&mut self, t: &[RamDomain]) -> bool {
         debug_assert_eq!(t.len(), 2);
         self.rel.insert(t[0], t[1])
+    }
+
+    fn erase(&mut self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), 2);
+        self.rel.erase(t[0], t[1])
+    }
+
+    fn erase_prefix(&mut self, prefix: &[RamDomain]) -> usize {
+        debug_assert!(prefix.len() <= 2);
+        let mut lo = [0; 2];
+        let mut hi = [RamDomain::MAX; 2];
+        lo[..prefix.len()].copy_from_slice(prefix);
+        hi[..prefix.len()].copy_from_slice(prefix);
+        let mut erased = 0;
+        for [a, b] in self.rel.range_pairs(lo, hi) {
+            if self.rel.erase(a, b) {
+                erased += 1;
+            }
+        }
+        erased
     }
 
     fn contains(&self, t: &[RamDomain]) -> bool {
@@ -652,6 +723,33 @@ mod tests {
             .map(|mut p| p.count_tuples())
             .sum();
         assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn erase_through_every_adapter() {
+        let order = Order::new(vec![1, 0]);
+        let mut bt = BTreeIndex::<2>::new(order.clone());
+        let mut br = BrieIndex::<2>::new(order);
+        for idx in [&mut bt as &mut dyn IndexAdapter, &mut br] {
+            idx.insert(&[1, 50]);
+            idx.insert(&[2, 40]);
+            idx.insert(&[3, 40]);
+            assert!(idx.erase(&[1, 50]), "source-order erase encodes");
+            assert!(!idx.erase(&[1, 50]));
+            assert!(!idx.contains(&[1, 50]));
+            assert_eq!(idx.len(), 2);
+            // Stored-order prefix: source column 1 == 40.
+            assert_eq!(idx.erase_prefix(&[40]), 2);
+            assert!(idx.is_empty());
+            assert_eq!(idx.scan().collect_tuples(), Vec::<Vec<u32>>::new());
+        }
+
+        let mut eq = EqRelIndex::new();
+        eq.insert(&[1, 2]);
+        assert!(eq.erase(&[1, 2]), "pair class splits");
+        assert!(!eq.contains(&[1, 2]));
+        assert!(eq.contains(&[1, 1]), "reflexive survivors remain");
+        assert!(eq.erase_prefix(&[1]) > 0, "prefix erase drops 1's row");
     }
 
     #[test]

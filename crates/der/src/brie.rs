@@ -141,6 +141,44 @@ impl<const N: usize> Brie<N> {
         }
     }
 
+    /// Removes a tuple, returning `true` if it was present. Emptied
+    /// trie paths are pruned on the way back up, so the node count
+    /// tracks the live population.
+    pub fn remove(&mut self, key: &Tuple<N>) -> bool {
+        fn remove_rec(node: &mut TrieNode, key: &[RamDomain]) -> bool {
+            match node {
+                TrieNode::Leaf(values) => match values.binary_search(&key[0]) {
+                    Ok(i) => {
+                        values.remove(i);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                TrieNode::Inner(edges) => {
+                    let Ok(i) = edges.binary_search_by_key(&key[0], |(v, _)| *v) else {
+                        return false;
+                    };
+                    let removed = remove_rec(&mut edges[i].1, &key[1..]);
+                    if removed {
+                        let empty = match &edges[i].1 {
+                            TrieNode::Leaf(values) => values.is_empty(),
+                            TrieNode::Inner(children) => children.is_empty(),
+                        };
+                        if empty {
+                            edges.remove(i);
+                        }
+                    }
+                    removed
+                }
+            }
+        }
+        let removed = remove_rec(&mut self.root, &key[..]);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
     /// Membership test.
     pub fn contains(&self, key: &Tuple<N>) -> bool {
         let mut node = &self.root;
@@ -438,6 +476,49 @@ mod tests {
         set.clear();
         assert!(set.is_empty());
         assert!(!set.contains(&[1, 1]));
+    }
+
+    #[test]
+    fn remove_matches_std_btreeset_oracle() {
+        let mut set = Brie::<3>::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        let mut key = 5u32;
+        for step in 0..15_000u32 {
+            key = key.wrapping_mul(48271) % 0x7fff_ffff;
+            let t = [key % 11, key % 13, key % 17];
+            if step % 3 == 0 {
+                assert_eq!(set.remove(&t), oracle.remove(&t), "step {step}");
+            } else {
+                assert_eq!(set.insert(t), oracle.insert(t), "step {step}");
+            }
+            assert_eq!(set.len(), oracle.len(), "step {step}");
+        }
+        let got: Vec<_> = set.iter().collect();
+        let want: Vec<Tuple<3>> = oracle.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_prunes_empty_paths() {
+        let mut set = Brie::<3>::new();
+        set.insert([1, 2, 3]);
+        set.insert([1, 2, 4]);
+        set.insert([5, 6, 7]);
+        let nodes_before = set.node_count();
+        assert!(set.remove(&[5, 6, 7]));
+        assert!(!set.remove(&[5, 6, 7]));
+        assert!(!set.contains(&[5, 6, 7]));
+        assert!(
+            set.node_count() < nodes_before,
+            "emptied branch should be pruned"
+        );
+        assert!(set.remove(&[1, 2, 3]));
+        assert!(set.remove(&[1, 2, 4]));
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+        // The drained trie is reusable.
+        assert!(set.insert([9, 9, 9]));
+        assert!(set.contains(&[9, 9, 9]));
     }
 
     #[test]

@@ -190,6 +190,84 @@ impl<const N: usize> BTreeIndexSet<N> {
         self.root.contains(key)
     }
 
+    /// Removes a tuple, returning `true` if it was present.
+    ///
+    /// Deletion is structural but *lazy*: keys leave their node (an
+    /// internal key is replaced by its in-order predecessor or
+    /// successor) and no underflow rebalancing happens, so nodes may
+    /// shrink below the usual B-tree minimum. Search, iteration and
+    /// partitioning only rely on sorted keys and
+    /// `children.len() == keys.len() + 1`, both of which are preserved;
+    /// the empty root chain is collapsed so the tree height tracks the
+    /// live population.
+    pub fn remove(&mut self, key: &Tuple<N>) -> bool {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed {
+            self.len -= 1;
+            while self.root.keys.is_empty() && self.root.children.len() == 1 {
+                let child = self.root.children.pop().expect("single child");
+                *self.root = *child;
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<N>, key: &Tuple<N>) -> bool {
+        match node.find(key) {
+            Ok(pos) => {
+                if node.is_leaf() {
+                    node.keys.remove(pos);
+                } else if let Some(pred) = Self::pop_max(&mut node.children[pos]) {
+                    node.keys[pos] = pred;
+                } else if let Some(succ) = Self::pop_min(&mut node.children[pos + 1]) {
+                    node.keys[pos] = succ;
+                } else {
+                    // Both adjacent subtrees are drained: drop the key and
+                    // one empty child to keep children.len() == keys.len()+1.
+                    node.keys.remove(pos);
+                    node.children.remove(pos);
+                }
+                true
+            }
+            Err(pos) => !node.is_leaf() && Self::remove_rec(&mut node.children[pos], key),
+        }
+    }
+
+    /// Extracts the largest key of the subtree, or `None` if it is empty.
+    fn pop_max(node: &mut Node<N>) -> Option<Tuple<N>> {
+        if node.is_leaf() {
+            return node.keys.pop();
+        }
+        let last = node.children.len() - 1;
+        if let Some(k) = Self::pop_max(&mut node.children[last]) {
+            return Some(k);
+        }
+        // Rightmost subtree is empty: yield the node's own last key and
+        // drop the drained child alongside it.
+        let k = node.keys.pop()?;
+        node.children.pop();
+        Some(k)
+    }
+
+    /// Extracts the smallest key of the subtree, or `None` if it is empty.
+    fn pop_min(node: &mut Node<N>) -> Option<Tuple<N>> {
+        if node.is_leaf() {
+            if node.keys.is_empty() {
+                return None;
+            }
+            return Some(node.keys.remove(0));
+        }
+        if let Some(k) = Self::pop_min(&mut node.children[0]) {
+            return Some(k);
+        }
+        if node.keys.is_empty() {
+            return None;
+        }
+        let k = node.keys.remove(0);
+        node.children.remove(0);
+        Some(k)
+    }
+
     /// Iterates over all tuples in lexicographic order.
     pub fn iter(&self) -> Iter<'_, N> {
         let mut iter = Iter {
@@ -570,6 +648,73 @@ mod tests {
         tiny.insert([8]);
         let joined: Vec<Tuple<1>> = tiny.partition(4).into_iter().flatten().copied().collect();
         assert_eq!(joined, vec![[3], [8]]);
+    }
+
+    #[test]
+    fn remove_matches_std_btreeset_oracle() {
+        let mut set = BTreeIndexSet::<2>::new();
+        let mut oracle = std::collections::BTreeSet::new();
+        let mut key = 1u32;
+        // Interleave inserts and removes over a small key space so
+        // removals hit leaves, internal keys, and absent tuples alike.
+        for step in 0..20_000u32 {
+            key = key.wrapping_mul(48271) % 0x7fff_ffff;
+            let t = [key % 89, key % 97];
+            if step % 3 == 0 {
+                assert_eq!(set.remove(&t), oracle.remove(&t), "step {step}");
+            } else {
+                assert_eq!(set.insert(t), oracle.insert(t), "step {step}");
+            }
+            assert_eq!(set.len(), oracle.len(), "step {step}");
+        }
+        let got = collect(set.iter());
+        let want: Vec<Tuple<2>> = oracle.iter().copied().collect();
+        assert_eq!(got, want, "iteration after mixed insert/remove");
+        for t in &want {
+            assert!(set.contains(t));
+        }
+    }
+
+    #[test]
+    fn remove_drains_to_empty_and_reuses() {
+        let mut set: BTreeIndexSet<1> = (0..2_000u32).map(|v| [v]).collect();
+        for v in 0..2_000u32 {
+            assert!(set.remove(&[v]));
+            assert!(!set.remove(&[v]), "double remove is a no-op");
+        }
+        assert!(set.is_empty());
+        assert_eq!(collect(set.iter()), Vec::<Tuple<1>>::new());
+        assert!(set.insert([7]));
+        assert!(set.contains(&[7]));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn range_and_partition_survive_removals() {
+        let mut set = BTreeIndexSet::<2>::new();
+        for a in 0..50u32 {
+            for b in 0..10u32 {
+                set.insert([a, b]);
+            }
+        }
+        for a in 0..50u32 {
+            for b in 0..10u32 {
+                if (a + b) % 3 == 0 {
+                    assert!(set.remove(&[a, b]));
+                }
+            }
+        }
+        let expected = collect(set.iter());
+        assert!(expected.iter().all(|[a, b]| (a + b) % 3 != 0));
+        for n in [1usize, 2, 4, 8] {
+            let mut joined: Vec<Tuple<2>> = Vec::new();
+            for p in set.partition(n) {
+                joined.extend(p.copied());
+            }
+            assert_eq!(joined, expected, "n = {n}");
+        }
+        let hits = collect(set.range(&[7, 0], &[7, u32::MAX]));
+        assert!(hits.iter().all(|t| t[0] == 7 && (t[0] + t[1]) % 3 != 0));
     }
 
     #[test]

@@ -104,6 +104,61 @@ impl DynNode {
         }
     }
 
+    /// Structural lazy removal, mirroring
+    /// [`crate::btree::BTreeIndexSet::remove`]: internal keys are
+    /// replaced by their in-order predecessor or successor, nodes are
+    /// never rebalanced, and `children.len() == keys.len() + 1` is
+    /// preserved throughout.
+    fn remove(&mut self, key: &[RamDomain], order: &Order) -> bool {
+        match self.find(key, order) {
+            Ok(pos) => {
+                if self.is_leaf() {
+                    self.keys.remove(pos);
+                } else if let Some(pred) = self.children[pos].pop_max() {
+                    self.keys[pos] = pred;
+                } else if let Some(succ) = self.children[pos + 1].pop_min() {
+                    self.keys[pos] = succ;
+                } else {
+                    self.keys.remove(pos);
+                    self.children.remove(pos);
+                }
+                true
+            }
+            Err(pos) => !self.is_leaf() && self.children[pos].remove(key, order),
+        }
+    }
+
+    fn pop_max(&mut self) -> Option<Box<[RamDomain]>> {
+        if self.is_leaf() {
+            return self.keys.pop();
+        }
+        let last = self.children.len() - 1;
+        if let Some(k) = self.children[last].pop_max() {
+            return Some(k);
+        }
+        let k = self.keys.pop()?;
+        self.children.pop();
+        Some(k)
+    }
+
+    fn pop_min(&mut self) -> Option<Box<[RamDomain]>> {
+        if self.is_leaf() {
+            if self.keys.is_empty() {
+                return None;
+            }
+            return Some(self.keys.remove(0));
+        }
+        if let Some(k) = self.children[0].pop_min() {
+            return Some(k);
+        }
+        if self.keys.is_empty() {
+            return None;
+        }
+        let k = self.keys.remove(0);
+        self.children.remove(0);
+        Some(k)
+    }
+
     fn collect_range(
         &self,
         lo: &[RamDomain],
@@ -224,6 +279,43 @@ impl IndexAdapter for DynBTreeIndex {
         inserted
     }
 
+    fn erase(&mut self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), self.arity());
+        let removed = self.root.remove(t, &self.order);
+        if removed {
+            self.len -= 1;
+            while self.root.keys.is_empty() && self.root.children.len() == 1 {
+                let child = self.root.children.pop().expect("single child");
+                *self.root = *child;
+            }
+        }
+        removed
+    }
+
+    /// Tuples are stored in source layout, so a "stored-order" prefix
+    /// constrains the first `prefix.len()` columns of the runtime
+    /// comparator order — the same convention the prefix special case
+    /// of [`DynBTreeIndex::range`] realizes with source-order bounds.
+    fn erase_prefix(&mut self, prefix: &[RamDomain]) -> usize {
+        let arity = self.arity();
+        debug_assert!(prefix.len() <= arity);
+        let mut lo = vec![0; arity];
+        let mut hi = vec![RamDomain::MAX; arity];
+        for (i, &v) in prefix.iter().enumerate() {
+            let c = self.order.columns()[i];
+            lo[c] = v;
+            hi[c] = v;
+        }
+        let doomed = self.range(&lo, &hi).collect_tuples();
+        let mut erased = 0;
+        for t in &doomed {
+            if self.erase(t) {
+                erased += 1;
+            }
+        }
+        erased
+    }
+
     fn contains(&self, t: &[RamDomain]) -> bool {
         self.root.contains(t, &self.order)
     }
@@ -321,5 +413,49 @@ mod tests {
         assert_eq!(idx.len(), 1);
         idx.clear();
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn erase_matches_oracle_under_permuted_order() {
+        let order = Order::new(vec![1, 0]);
+        let mut idx = DynBTreeIndex::new(order);
+        let mut oracle = std::collections::BTreeSet::new();
+        let mut seed = 17u32;
+        for step in 0..10_000u32 {
+            seed = seed.wrapping_mul(48271) % 0x7fff_ffff;
+            let t = vec![seed % 37, seed % 41];
+            if step % 3 == 0 {
+                assert_eq!(idx.erase(&t), oracle.remove(&t), "step {step}");
+            } else {
+                assert_eq!(idx.insert(&t), oracle.insert(t.clone()), "step {step}");
+            }
+            assert_eq!(idx.len(), oracle.len(), "step {step}");
+        }
+        let mut got = idx.scan().collect_tuples();
+        got.sort();
+        let want: Vec<Vec<u32>> = oracle.iter().cloned().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn erase_prefix_follows_the_comparator_order() {
+        // Order [1, 0]: a stored-order prefix constrains source column 1.
+        let mut idx = DynBTreeIndex::new(Order::new(vec![1, 0]));
+        for a in 0..10u32 {
+            for b in 0..4u32 {
+                idx.insert(&[a, b]);
+            }
+        }
+        assert_eq!(idx.erase_prefix(&[2]), 10, "all tuples with col1 == 2");
+        assert_eq!(idx.len(), 30);
+        assert!(idx.scan().collect_tuples().iter().all(|t| t[1] != 2));
+        // Widened-annotation idiom: natural order, prefix = the base tuple.
+        let mut ann = DynBTreeIndex::new(Order::natural(4));
+        ann.insert(&[1, 2, 0, 3]);
+        ann.insert(&[1, 2, 5, 8]);
+        ann.insert(&[1, 3, 0, 0]);
+        assert_eq!(ann.erase_prefix(&[1, 2]), 2);
+        assert_eq!(ann.len(), 1);
+        assert!(ann.contains(&[1, 3, 0, 0]));
     }
 }

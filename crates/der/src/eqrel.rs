@@ -141,6 +141,34 @@ impl EquivalenceRelation {
         true
     }
 
+    /// Removes the pair `(a, b)` (and its symmetric twin) and rebuilds
+    /// the union-find as the closure of the surviving pairs. Returns
+    /// `true` if the logical pair count shrank.
+    ///
+    /// This is a *conservative* erase: the structure stores classes, not
+    /// the generator pairs that produced them, so the survivors of a
+    /// class of three or more still connect `a` and `b` transitively and
+    /// the erase is a no-op on the closure. Callers that need
+    /// generator-accurate deletion (the resident engine's retraction
+    /// path) must instead rebuild the relation from the surviving
+    /// *input* pairs.
+    pub fn erase(&mut self, a: RamDomain, b: RamDomain) -> bool {
+        if !self.contains(a, b) {
+            return false;
+        }
+        let survivors: Vec<[RamDomain; 2]> = self
+            .iter_pairs()
+            .into_iter()
+            .filter(|&[x, y]| !(x == a && y == b || x == b && y == a))
+            .collect();
+        let before = self.pairs;
+        self.clear();
+        for [x, y] in survivors {
+            self.insert(x, y);
+        }
+        self.pairs < before
+    }
+
     /// Whether `a` and `b` are in the same class.
     pub fn contains(&self, a: RamDomain, b: RamDomain) -> bool {
         match (self.ids.get(&a), self.ids.get(&b)) {
@@ -282,5 +310,44 @@ mod tests {
         rel.clear();
         assert!(rel.is_empty());
         assert!(!rel.contains(1, 2));
+    }
+
+    #[test]
+    fn erase_splits_a_pair_class() {
+        let mut rel = EquivalenceRelation::new();
+        rel.insert(1, 2);
+        rel.insert(4, 5);
+        assert_eq!(rel.len(), 8);
+        assert!(rel.erase(1, 2));
+        assert!(!rel.contains(1, 2));
+        assert!(!rel.contains(2, 1));
+        assert!(rel.contains(1, 1), "reflexive survivors stay");
+        assert!(rel.contains(2, 2));
+        assert!(rel.contains(4, 5), "other classes untouched");
+        assert_eq!(rel.len(), 6);
+        assert!(!rel.erase(1, 2), "already gone");
+        assert!(!rel.erase(7, 8), "unknown pair");
+    }
+
+    #[test]
+    fn erase_is_conservative_on_larger_classes() {
+        // {1,2,3}: the survivors (1,3),(3,2) re-derive (1,2) in the
+        // closure, so the erase is a documented no-op.
+        let mut rel = EquivalenceRelation::new();
+        rel.insert(1, 2);
+        rel.insert(2, 3);
+        assert!(!rel.erase(1, 2));
+        assert!(rel.contains(1, 2));
+        assert_eq!(rel.len(), 9);
+    }
+
+    #[test]
+    fn erase_reflexive_pair_drops_a_singleton() {
+        let mut rel = EquivalenceRelation::new();
+        rel.insert(7, 7);
+        rel.insert(1, 2);
+        assert!(rel.erase(7, 7));
+        assert!(!rel.contains(7, 7));
+        assert_eq!(rel.len(), 4);
     }
 }

@@ -237,6 +237,41 @@ impl Relation {
         true
     }
 
+    /// Removes a source-order tuple from every index, along with all of
+    /// its annotation rows; `true` if it was present.
+    ///
+    /// The primary index decides presence, exactly mirroring
+    /// [`Relation::insert`]. An eqrel-backed relation erases only what
+    /// the closure of the survivors does not re-derive (see
+    /// [`crate::eqrel::EquivalenceRelation::erase`]); callers needing
+    /// generator-accurate eqrel deletion rebuild from surviving inputs.
+    pub fn erase(&mut self, t: &[RamDomain]) -> bool {
+        debug_assert_eq!(t.len(), self.arity, "tuple arity mismatch");
+        if self.arity == 0 {
+            let was_present = self.nullary_present;
+            self.nullary_present = false;
+            if was_present {
+                if let Some(store) = &mut self.annotations {
+                    store.clear();
+                }
+            }
+            return was_present;
+        }
+        let (primary, rest) = self.indexes.split_first_mut().expect("has primary");
+        if !primary.erase(t) {
+            return false;
+        }
+        for idx in rest {
+            idx.erase(t);
+        }
+        if let Some(store) = &mut self.annotations {
+            // The annotation store is natural-order over (t..., h, r), so
+            // a prefix erase on t drops every recorded derivation.
+            store.erase_prefix(t);
+        }
+        true
+    }
+
     /// Membership test via the primary index.
     pub fn contains(&self, t: &[RamDomain]) -> bool {
         debug_assert_eq!(t.len(), self.arity);
@@ -583,6 +618,96 @@ mod tests {
         flag2.enable_annotations();
         flag2.merge_from(&flag);
         assert_eq!(flag2.annotation(&[]), Some((2, 4)));
+    }
+
+    #[test]
+    fn erase_reaches_all_indexes_and_annotations() {
+        let mut rel = two_index_relation();
+        rel.enable_annotations();
+        rel.insert(&[1, 9]);
+        rel.insert(&[2, 8]);
+        rel.record_annotation(&[1, 9], 0, 3);
+        rel.record_annotation(&[1, 9], 4, 5); // a later, higher derivation
+        rel.record_annotation(&[2, 8], 1, 1);
+
+        assert!(rel.erase(&[1, 9]));
+        assert!(!rel.erase(&[1, 9]), "double erase is a no-op");
+        assert!(!rel.contains(&[1, 9]));
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.index(0).len(), 1);
+        assert_eq!(rel.index(1).len(), 1, "secondary indexes shrink too");
+        assert_eq!(rel.annotation(&[1, 9]), None, "all annotation rows gone");
+        assert_eq!(rel.annotation(&[2, 8]), Some((1, 1)), "others untouched");
+        assert_eq!(
+            rel.index(1).scan().collect_tuples(),
+            vec![vec![8, 2]],
+            "permuted secondary stays consistent"
+        );
+        // Reinsertion after erase is fresh.
+        assert!(rel.insert(&[1, 9]));
+        rel.record_annotation(&[1, 9], 7, 7);
+        assert_eq!(rel.annotation(&[1, 9]), Some((7, 7)));
+    }
+
+    #[test]
+    fn erase_heterogeneous_and_legacy_relations() {
+        let mut mixed = heterogeneous_relation();
+        mixed.insert(&[1, 9]);
+        mixed.insert(&[2, 8]);
+        assert!(mixed.erase(&[2, 8]));
+        assert_eq!(mixed.index(0).len(), 1);
+        assert_eq!(mixed.index(1).len(), 1);
+        assert_eq!(
+            mixed.index(1).scan().collect_tuples(),
+            vec![vec![9, 1]],
+            "brie secondary erased through its permuted order"
+        );
+
+        use crate::dynindex::DynBTreeIndex;
+        let mut legacy = Relation::from_adapters(
+            "legacy",
+            2,
+            vec![Box::new(DynBTreeIndex::new(Order::new(vec![1, 0]))) as Box<dyn IndexAdapter>],
+        );
+        legacy.insert(&[4, 6]);
+        legacy.insert(&[5, 5]);
+        assert!(legacy.erase(&[4, 6]));
+        assert!(!legacy.contains(&[4, 6]));
+        assert!(legacy.contains(&[5, 5]));
+        assert_eq!(legacy.to_sorted_tuples(), vec![vec![5, 5]]);
+    }
+
+    #[test]
+    fn erase_nullary_clears_the_flag() {
+        let mut flag = Relation::new("flag", 0, vec![]);
+        flag.enable_annotations();
+        assert!(!flag.erase(&[]));
+        flag.insert(&[]);
+        flag.record_annotation(&[], 0, 0);
+        assert!(flag.erase(&[]));
+        assert!(flag.is_empty());
+        assert_eq!(flag.annotation(&[]), None);
+    }
+
+    #[test]
+    fn merge_after_erase_restores_tuples_and_annotations() {
+        let mut full = two_index_relation();
+        full.enable_annotations();
+        full.insert(&[1, 2]);
+        full.record_annotation(&[1, 2], 0, 0);
+        full.erase(&[1, 2]);
+
+        let mut upd = two_index_relation();
+        upd.enable_annotations();
+        upd.insert(&[1, 2]);
+        upd.record_annotation(&[1, 2], 2, 9);
+        full.merge_from(&upd);
+        assert!(full.contains(&[1, 2]));
+        assert_eq!(
+            full.annotation(&[1, 2]),
+            Some((2, 9)),
+            "re-merged tuple carries the new derivation, not the erased one"
+        );
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Deletion-mode rewriting of incremental update statements.
+//!
+//! Retraction needs the *over-delete* step of DRed (delete-and-re-derive):
+//! given the tuples removed from upstream relations, compute every tuple of
+//! a stratum that has at least one derivation touching a removed tuple.
+//! That is exactly the fixpoint the stratum's insertion-mode update
+//! statement already computes — the same seed variants driven by the `upd_`
+//! staging relations, the same semi-naive loop — with two twists:
+//!
+//! * the base relations must stay **unmutated** (the cone is collected, not
+//!   applied; erasure happens afterwards, once the engine knows the full
+//!   extent), so every `MERGE ... INTO R` targeting a stratum-defined
+//!   base relation is dropped; and
+//! * the head freshness guard flips: insertion skips consequences already
+//!   in `R` (`∉ R`), while over-deletion visits consequences that *are* in
+//!   `R` but have not been collected yet (`∈ R ∧ ∉ upd_R`). The `upd_R`
+//!   accumulator strictly grows and is bounded by `|R|`, which is what
+//!   makes the rewritten loop terminate.
+//!
+//! The rewrite runs on a clone of the already-optimized, already-indexed
+//! update statement, so no re-optimization or index re-selection is
+//! needed: the inserted membership conjunct reuses the guard's assigned
+//! index, and the `∉ upd_R` probe is a *full-tuple* existence check, which
+//! the interpreter services on any index (index 0 here) via a plain
+//! membership test.
+
+use crate::program::{RamProgram, RelId};
+use crate::stmt::{RamCond, RamOp, RamStmt};
+
+/// Builds the deletion-mode twin of stratum `i`'s incremental update
+/// statement.
+///
+/// Run it with the deleted upstream tuples staged in their `upd_`
+/// relations (and direct deletions of the stratum's own relations staged
+/// in theirs); it leaves the over-delete cone of each defined relation
+/// `R` accumulated in `upd_R` and every base relation untouched.
+///
+/// Returns `None` when the stratum has no update statement (eqrel heads)
+/// or a defined relation has no `upd_` sibling — callers fall back to
+/// full recomputation, exactly as they do for insertion.
+pub fn deletion_stmt(program: &RamProgram, stratum: usize) -> Option<RamStmt> {
+    let meta = &program.strata[stratum];
+    let mut stmt = meta.update.clone()?;
+    let acc: Vec<(RelId, RelId)> = meta
+        .defines
+        .iter()
+        .map(|&r| program.upd_of(r).map(|u| (r, u)))
+        .collect::<Option<_>>()?;
+    let is_base = |id: RelId| acc.iter().any(|&(r, _)| r == id);
+    let acc_of = |id: RelId| acc.iter().find(|&&(r, _)| r == id).map(|&(_, u)| u);
+
+    strip_base_merges(&mut stmt, &is_base);
+    stmt.walk_mut(&mut |s| {
+        if let RamStmt::Query { op, .. } = s {
+            op.walk_mut(&mut |o| {
+                if let RamOp::Filter { cond, .. } = o {
+                    rewrite_guards(cond, &acc_of);
+                }
+            });
+        }
+    });
+    Some(stmt)
+}
+
+/// Drops every `MERGE ... INTO R` whose destination is a stratum-defined
+/// base relation, recursively. Merges into `delta_`/`new_`/`upd_`
+/// auxiliaries survive — they are the machinery that drives the frontier
+/// and collects the cone.
+fn strip_base_merges(stmt: &mut RamStmt, is_base: &dyn Fn(RelId) -> bool) {
+    match stmt {
+        RamStmt::Seq(children) => {
+            children.retain(|c| !matches!(c, RamStmt::Merge { into, .. } if is_base(*into)));
+            for c in children {
+                strip_base_merges(c, is_base);
+            }
+        }
+        RamStmt::Loop(body) => strip_base_merges(body, is_base),
+        _ => {}
+    }
+}
+
+/// Rewrites head freshness guards `∉ R` (for stratum-defined `R`) into
+/// `∈ R ∧ ∉ upd_R`. Negations over other relations — user-written
+/// negation is always on earlier strata — are left alone. Head guards
+/// always constrain every column, so the `upd_R` probe is a full-tuple
+/// check and its index choice is immaterial.
+fn rewrite_guards(cond: &mut RamCond, acc_of: &dyn Fn(RelId) -> Option<RelId>) {
+    match cond {
+        RamCond::Conjunction(cs) => {
+            for c in cs {
+                rewrite_guards(c, acc_of);
+            }
+        }
+        RamCond::Negation(inner) => {
+            if let RamCond::ExistenceCheck { rel, pattern, .. } = inner.as_ref() {
+                if pattern.iter().all(Option::is_some) {
+                    if let Some(upd) = acc_of(*rel) {
+                        let member = (**inner).clone();
+                        let unseen = RamCond::Negation(Box::new(RamCond::ExistenceCheck {
+                            rel: upd,
+                            index: 0,
+                            pattern: pattern.clone(),
+                        }));
+                        *cond = RamCond::Conjunction(vec![member, unseen]);
+                        return;
+                    }
+                }
+            }
+            rewrite_guards(inner, acc_of);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::stmt_to_string;
+    use crate::translate::translate;
+    use stir_frontend::parse_and_check;
+
+    fn ram(src: &str) -> RamProgram {
+        translate(&parse_and_check(src).expect("checks")).expect("translates")
+    }
+
+    const TC: &str = "\
+        .decl e(x: number, y: number)\n\
+        .decl p(x: number, y: number)\n\
+        .output p\n\
+        e(1, 2). e(2, 3).\n\
+        p(x, y) :- e(x, y).\n\
+        p(x, z) :- p(x, y), e(y, z).\n";
+
+    #[test]
+    fn recursive_stratum_keeps_the_loop_but_never_merges_into_the_base() {
+        let p = ram(TC);
+        let del = deletion_stmt(&p, 0).expect("p has an update statement");
+        let listing = stmt_to_string(&p, &del);
+        assert!(listing.contains("LOOP"), "{listing}");
+        assert!(listing.contains("EXIT"), "{listing}");
+        assert!(!listing.contains("INTO p"), "base mutated: {listing}");
+        assert!(listing.contains("MERGE new_p INTO upd_p"), "{listing}");
+        assert!(listing.contains("MERGE upd_p INTO delta_p"), "{listing}");
+        // The insertion statement it was cloned from still merges into p.
+        let upd = p.strata[0].update.as_ref().unwrap();
+        assert!(stmt_to_string(&p, upd).contains("INTO p"));
+    }
+
+    #[test]
+    fn freshness_guards_flip_to_membership_plus_unseen() {
+        let p = ram(TC);
+        let del = deletion_stmt(&p, 0).unwrap();
+        let listing = stmt_to_string(&p, &del);
+        // ∈ p conjoined with ∉ upd_p, replacing the plain ∉ p.
+        assert!(listing.contains("∈ p"), "{listing}");
+        assert!(listing.contains("(NOT ((t0.0,t0.1) ∈ upd_p))"), "{listing}");
+        let mut flipped = 0usize;
+        del.walk(&mut |s| {
+            if let RamStmt::Query { op, .. } = s {
+                op.walk(&mut |o| {
+                    if let RamOp::Filter { cond, .. } = o {
+                        cond_walk(cond, &mut |c| {
+                            if let RamCond::Conjunction(cs) = c {
+                                let member = cs.iter().any(|c| {
+                                    matches!(c,
+                                    RamCond::ExistenceCheck { rel, .. }
+                                        if p.name_of(*rel) == "p")
+                                });
+                                let unseen = cs.iter().any(|c| {
+                                    matches!(c,
+                                    RamCond::Negation(n) if matches!(n.as_ref(),
+                                        RamCond::ExistenceCheck { rel, index: 0, .. }
+                                            if p.name_of(*rel) == "upd_p"))
+                                });
+                                if member && unseen {
+                                    flipped += 1;
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        // Two seed variants (one per upd_e/upd_p-occurrence rule form)
+        // plus the delta-loop query all carry the flipped guard.
+        assert!(flipped >= 3, "only {flipped} flipped guards:\n{listing}");
+    }
+
+    #[test]
+    fn non_recursive_stratum_drops_the_final_merge_and_flips_its_guard() {
+        let p = ram(".decl e(x: number)\n.decl q(x: number)\n.output q\n\
+             e(1).\n\
+             q(x) :- e(x).\n");
+        let s = p
+            .strata
+            .iter()
+            .position(|s| s.defines == vec![p.relation_by_name("q").unwrap().id])
+            .unwrap();
+        let del = deletion_stmt(&p, s).unwrap();
+        let listing = stmt_to_string(&p, &del);
+        assert!(!listing.contains("INTO q"), "{listing}");
+        assert!(listing.contains("∈ q"), "{listing}");
+        assert!(listing.contains("∈ upd_q"), "{listing}");
+    }
+
+    #[test]
+    fn upstream_negation_survives_untouched() {
+        let p = ram(
+            ".decl a(x: number)\n.decl b(x: number)\n.decl r(x: number)\n\
+             a(1). b(2).\n\
+             r(x) :- a(x), !b(x).\n",
+        );
+        let s = p
+            .strata
+            .iter()
+            .position(|s| s.defines == vec![p.relation_by_name("r").unwrap().id])
+            .unwrap();
+        let del = deletion_stmt(&p, s).unwrap();
+        let listing = stmt_to_string(&p, &del);
+        // `!b(x)` stays a plain negation (b is upstream, not a head).
+        assert!(listing.contains("NOT ((t0.0) ∈ b)"), "{listing}");
+        // The head guard on r still flips.
+        assert!(listing.contains("∈ r"), "{listing}");
+        assert!(listing.contains("∈ upd_r"), "{listing}");
+    }
+
+    #[test]
+    fn eqrel_heads_have_no_deletion_statement() {
+        let p = ram(".decl s(x: number, y: number)\n\
+             .decl eq(x: number, y: number) eqrel\n\
+             s(1, 2).\n\
+             eq(x, y) :- s(x, y).\n");
+        let s = p
+            .strata
+            .iter()
+            .position(|s| s.defines == vec![p.relation_by_name("eq").unwrap().id])
+            .unwrap();
+        assert!(deletion_stmt(&p, s).is_none());
+    }
+
+    fn cond_walk(c: &RamCond, f: &mut dyn FnMut(&RamCond)) {
+        f(c);
+        match c {
+            RamCond::Conjunction(cs) => cs.iter().for_each(|c| cond_walk(c, f)),
+            RamCond::Negation(inner) => cond_walk(inner, f),
+            _ => {}
+        }
+    }
+}

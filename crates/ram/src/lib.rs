@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod deletion;
 pub mod expr;
 pub mod index_selection;
 pub mod pretty;

@@ -157,6 +157,9 @@ pub fn registry_json(engine: &ResidentEngine) -> Json {
             ("query_rows".to_string(), Json::num(s.query_rows)),
             ("strata_rerun".to_string(), Json::num(s.strata_rerun)),
             ("full_fallbacks".to_string(), Json::num(s.full_fallbacks)),
+            ("retracts".to_string(), Json::num(s.retracts)),
+            ("retract_tuples".to_string(), Json::num(s.retract_tuples)),
+            ("rederived".to_string(), Json::num(s.rederived)),
             (
                 "explain_requests".to_string(),
                 Json::num(s.explain_requests),
@@ -267,9 +270,10 @@ pub fn registry_json(engine: &ResidentEngine) -> Json {
 }
 
 /// The tracked latency histograms, in exposition order.
-fn histograms(m: &ServeMetrics) -> [(&'static str, &stir_core::Histogram); 6] {
+fn histograms(m: &ServeMetrics) -> [(&'static str, &stir_core::Histogram); 7] {
     [
         ("serve_update", &m.serve_update),
+        ("serve_retract", &m.serve_retract),
         ("serve_query", &m.serve_query),
         ("serve_explain", &m.serve_explain),
         ("wal_append", &m.wal_append),
@@ -328,6 +332,24 @@ pub fn render_prometheus(engine: &ResidentEngine) -> String {
         "server_full_fallbacks_total",
         "Full stratum recomputations.",
         s.full_fallbacks,
+    );
+    counter(
+        &mut out,
+        "server_retracts_total",
+        "Retraction requests served.",
+        s.retracts,
+    );
+    counter(
+        &mut out,
+        "server_retract_tuples_total",
+        "Tuples removed by retractions.",
+        s.retract_tuples,
+    );
+    counter(
+        &mut out,
+        "server_rederived_total",
+        "Over-deleted tuples restored by re-derivation.",
+        s.rederived,
     );
     counter(
         &mut out,

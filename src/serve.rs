@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! +rel(t1, t2, ...).     insert a fact        → `ok N inserted`
+//! -rel(t1, t2, ...).     retract a fact       → `ok N retracted`
 //! ?rel(p1, p2, ...)      query a pattern      → TSV rows, then `ok N rows`
 //! .explain rel(c1, ...)  proof of a fact      → tree lines, then `ok N nodes`
 //! .stats                 serving counters     → one `key=value` line
@@ -20,6 +21,13 @@
 //! "free"; symbol constants in queries must be quoted so they cannot be
 //! mistaken for variables. Errors never kill the session — they come back
 //! as a single `err <reason>` line.
+//!
+//! Retractions take the same constant terms as inserts. A retracted
+//! fact disappears along with everything derived only from it; tuples
+//! with surviving alternative derivations are restored incrementally
+//! (see [`ResidentEngine::retract_facts`]), and on a durable engine the
+//! delete record is WAL-appended (and fsynced per the durability mode)
+//! before evaluation, so the acknowledged retraction survives a crash.
 //!
 //! The engine sits behind a [`std::sync::RwLock`]: inserts take the write
 //! lock, queries the read lock, so a TCP server gets serialized writes
@@ -55,8 +63,9 @@ pub struct SessionConfig {
     /// protocol error (and the excess discarded) instead of buffered.
     pub max_line_bytes: usize,
     /// Per-request evaluation deadline. A query past it aborts with an
-    /// error; an update past it still commits (see
-    /// [`ResidentEngine::insert_facts_deadline`]) but is reported.
+    /// error; an update or retraction past it still commits (see
+    /// [`ResidentEngine::insert_facts_deadline`] and
+    /// [`ResidentEngine::retract_facts_deadline`]) but is reported.
     pub request_timeout: Option<Duration>,
 }
 
@@ -102,6 +111,7 @@ impl Default for RequestCtx {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ReqKind {
     Update,
+    Retract,
     Query,
     Explain,
 }
@@ -110,6 +120,7 @@ impl ReqKind {
     fn name(self) -> &'static str {
         match self {
             ReqKind::Update => "update",
+            ReqKind::Retract => "retract",
             ReqKind::Query => "query",
             ReqKind::Explain => "explain",
         }
@@ -143,6 +154,7 @@ impl ReqInfo {
 const HELP: &str = "\
 commands:
   +rel(1, \"a\", ...).    insert a fact into an .input relation
+  -rel(1, \"a\", ...).    retract a fact (derived-only consequences go too)
   ?rel(1, _, x)          query: constants bind, `_`/identifiers are free
   .explain rel(1, 2)     show a minimal-height proof tree (needs --provenance)
   .stats                 show serving counters
@@ -211,6 +223,7 @@ pub fn handle_request(
     if ctx.metrics.enabled() {
         let hist = match kind {
             ReqKind::Update => &ctx.metrics.serve_update,
+            ReqKind::Retract => &ctx.metrics.serve_retract,
             ReqKind::Query => &ctx.metrics.serve_query,
             ReqKind::Explain => &ctx.metrics.serve_explain,
         };
@@ -285,9 +298,19 @@ fn handle_line_inner(
         ".stats" => {
             let engine = rd(engine);
             let s = engine.stats();
-            // The explain counters only appear when provenance is on, and
-            // the durability fields only on durable engines, so plain
-            // in-memory sessions keep the historical line verbatim.
+            // The retract counters only appear once a retraction has
+            // been served, the explain counters only when provenance is
+            // on, and the durability fields only on durable engines, so
+            // plain in-memory sessions keep the historical line
+            // verbatim.
+            let retract = if s.retracts > 0 {
+                format!(
+                    " retracts={} retract_tuples={} rederived={}",
+                    s.retracts, s.retract_tuples, s.rederived
+                )
+            } else {
+                String::new()
+            };
             let explain = if engine.config().provenance {
                 format!(
                     " explain_requests={} explain_nodes={}",
@@ -317,7 +340,7 @@ fn handle_line_inner(
             };
             writeln!(
                 out,
-                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}{explain}{durable}",
+                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}{retract}{explain}{durable}",
                 s.requests, s.update_tuples, s.query_rows, s.strata_rerun, s.full_fallbacks
             )?;
             return Ok((Control::Continue, ReqInfo::none()));
@@ -376,6 +399,22 @@ fn handle_line_inner(
                 ReqInfo::new(ReqKind::Update, 0)
             }
         },
+        b'-' => match retract(engine, &line[1..], deadline, tel) {
+            Ok(report) if report.deadline_exceeded => {
+                // As with inserts, WAL-then-evaluate means the delete
+                // record is durable and applied; only the reply is late.
+                writeln!(out, "err deadline exceeded (retraction committed)")?;
+                ReqInfo::new(ReqKind::Retract, report.retracted)
+            }
+            Ok(report) => {
+                writeln!(out, "ok {} retracted", report.retracted)?;
+                ReqInfo::new(ReqKind::Retract, report.retracted)
+            }
+            Err(e) => {
+                writeln!(out, "err {e}")?;
+                ReqInfo::new(ReqKind::Retract, 0)
+            }
+        },
         b'?' => match query(engine, &line[1..], deadline, tel) {
             Ok(rows) => {
                 for row in &rows {
@@ -418,6 +457,25 @@ fn insert(
     }
     engine
         .insert_facts_deadline(&rel, &[row], deadline, tel)
+        .map_err(|e| e.to_string())
+}
+
+fn retract(
+    engine: &RwLock<ResidentEngine>,
+    atom: &str,
+    deadline: Option<Instant>,
+    tel: Option<&Telemetry>,
+) -> Result<stir_core::RetractReport, String> {
+    let atom = atom.strip_suffix('.').unwrap_or(atom);
+    let (rel, terms) = parse_atom(atom)?;
+    let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
+    let types = attr_types(&engine, &rel, terms.len())?;
+    let mut row = Vec::with_capacity(terms.len());
+    for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
+        row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
+    }
+    engine
+        .retract_facts_deadline(&rel, &[row], deadline, tel)
         .map_err(|e| e.to_string())
 }
 
@@ -835,6 +893,72 @@ mod tests {
         assert!(lines.contains(&"ok 3 rows"));
         assert_eq!(lines[lines.len() - 2], "ok 0 inserted"); // duplicate
         assert_eq!(lines[lines.len() - 1], "bye");
+    }
+
+    #[test]
+    fn retract_then_query_round_trips() {
+        let out = session(
+            TC,
+            "+e(1, 2).\n+e(2, 3).\n?p(_, _)\n-e(2, 3).\n?p(_, _)\n-e(2, 3).\n.stats\n.quit\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.contains(&"ok 3 rows"), "{out}");
+        assert!(lines.contains(&"ok 1 retracted"), "{out}");
+        assert!(lines.contains(&"ok 1 rows"), "cone removed: {out}");
+        assert!(
+            lines.contains(&"ok 0 retracted"),
+            "retracting an absent fact is a no-op: {out}"
+        );
+        let stats = out
+            .lines()
+            .find(|l| l.starts_with("requests="))
+            .expect("stats line");
+        assert!(
+            stats.contains("retracts=2 retract_tuples=1 rederived=0"),
+            "retract counters appear once a retraction was served: {stats}"
+        );
+    }
+
+    #[test]
+    fn retract_restores_alternative_derivations() {
+        // Diamond: p(1, 4) via 2 and via 3; retracting e(2, 4) must keep
+        // p(1, 4) alive through the surviving path.
+        let out = session(
+            TC,
+            "+e(1, 2).\n+e(2, 4).\n+e(1, 3).\n+e(3, 4).\n-e(2, 4).\n?p(1, 4)\n.quit\n",
+        );
+        assert!(out.contains("ok 1 retracted"), "{out}");
+        assert!(out.contains("1\t4"), "{out}");
+        assert!(out.contains("ok 1 rows"), "{out}");
+    }
+
+    #[test]
+    fn retract_errors_are_reported_inline() {
+        let out = session(
+            TC,
+            "-ghost(1, 2).\n-p(1, 2).\n-e(1).\n-e(\n-e(1, x).\n+e(7, 8).\n?p(7, _)\n.quit\n",
+        );
+        let errs = out.lines().filter(|l| l.starts_with("err ")).count();
+        assert_eq!(errs, 5, "{out}");
+        assert!(out.contains("err unknown relation `ghost`"), "{out}");
+        assert!(out.contains("not declared `.input`"), "{out}");
+        assert!(
+            out.contains("ok 1 inserted") && out.contains("7\t8"),
+            "session survives retract errors: {out}"
+        );
+    }
+
+    #[test]
+    fn explain_tracks_retractions() {
+        // After retracting e(2, 3), p(1, 3) must stop explaining and the
+        // still-derivable p(1, 2) must keep its proof.
+        let out = session_prov(
+            TC,
+            "+e(1, 2).\n+e(2, 3).\n-e(2, 3).\n.explain p(1, 3)\n.explain p(1, 2)\n.quit\n",
+        );
+        assert!(out.contains("`p(1, 3)` is not derivable"), "{out}");
+        assert!(out.contains("p(1, 2)"), "{out}");
+        assert!(out.contains("[input]"), "{out}");
     }
 
     #[test]

@@ -119,6 +119,29 @@ fn insert_until_crash(server: &Server, edges: &[[i64; 2]]) -> (Vec<[i64; 2]>, Op
     (acked, None)
 }
 
+/// The retraction dual of [`insert_until_crash`]: feeds `-edge(x, y).`
+/// lines one by one until all are acknowledged or the connection dies.
+fn retract_until_crash(server: &Server, edges: &[[i64; 2]]) -> (Vec<[i64; 2]>, Option<[i64; 2]>) {
+    let mut conn = server.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut acked = Vec::new();
+    for &[x, y] in edges {
+        if conn
+            .write_all(format!("-edge({x}, {y}).\n").as_bytes())
+            .is_err()
+        {
+            return (acked, Some([x, y]));
+        }
+        let _ = conn.flush();
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 && response.starts_with("ok ") => acked.push([x, y]),
+            _ => return (acked, Some([x, y])),
+        }
+    }
+    (acked, None)
+}
+
 /// Queries `?path(_, _)` over a fresh connection and returns the rows.
 fn query_path(server: &Server) -> BTreeSet<Vec<i64>> {
     let mut conn = server.connect();
@@ -237,6 +260,75 @@ fn crash_scenario(name: &str, mode: &str, fault: &str, extra: &[&str]) {
     assert!(none.is_none());
 }
 
+/// Runs one *delete-record* crash scenario: inserts commit cleanly (the
+/// armed fault only fires on delete records), then a retraction stream
+/// runs until the injected crash. Recovery must replay exactly the
+/// acknowledged retractions; the one in flight may or may not have
+/// reached the WAL, so the recovered set must match one of the two
+/// possible worlds — never a third.
+fn delete_crash_scenario(name: &str, mode: &str, fault: &str, extra: &[&str]) {
+    let dir = setup(&format!("{name}-{mode}"));
+    let edges = edges_for_run(8);
+
+    let server = Server::start(&dir, mode, Some(fault), extra);
+    let (inserted, none) = insert_until_crash(&server, &edges);
+    assert_eq!(
+        inserted.len(),
+        edges.len(),
+        "{name}/{mode}: inserts must not trip a delete-record fault"
+    );
+    assert!(none.is_none());
+    let (retracted, in_flight) = retract_until_crash(&server, &edges);
+    let status = {
+        let mut server = server;
+        server.child.wait().expect("crashed server reaped")
+    };
+    assert!(
+        !status.success(),
+        "{name}/{mode}: the injected fault should have killed the server"
+    );
+    let in_flight =
+        in_flight.unwrap_or_else(|| panic!("{name}/{mode}: crash should interrupt the stream"));
+
+    let server = Server::start(&dir, mode, None, extra);
+    let recovered = query_path(&server);
+
+    let config = config_for(mode);
+    let survivors = |gone: &[[i64; 2]]| -> Vec<[i64; 2]> {
+        edges
+            .iter()
+            .filter(|e| !gone.contains(e))
+            .copied()
+            .collect()
+    };
+    let committed = oracle(config, &survivors(&retracted));
+    let mut with_in_flight = retracted.clone();
+    with_in_flight.push(in_flight);
+    let also_in_flight = oracle(config, &survivors(&with_in_flight));
+    assert!(
+        recovered == committed || recovered == also_in_flight,
+        "{name}/{mode}: recovery matches neither acked-only nor \
+         acked+in-flight\n  retracted={retracted:?}\n  in_flight={in_flight:?}\n  \
+         recovered={recovered:?}"
+    );
+
+    // The recovered server must accept both kinds of work.
+    let (more, none) = insert_until_crash(&server, &[[90, 91]]);
+    assert_eq!(
+        more.len(),
+        1,
+        "{name}/{mode}: recovered server rejects inserts"
+    );
+    assert!(none.is_none());
+    let (gone, none) = retract_until_crash(&server, &[[90, 91]]);
+    assert_eq!(
+        gone.len(),
+        1,
+        "{name}/{mode}: recovered server rejects retractions"
+    );
+    assert!(none.is_none());
+}
+
 #[test]
 fn crash_during_wal_write_loses_nothing_acked() {
     for mode in MODES {
@@ -281,6 +373,107 @@ fn crash_during_snapshot_rename_loses_nothing_acked() {
 }
 
 #[test]
+fn crash_during_wal_delete_write_loses_no_acked_retraction() {
+    for mode in MODES {
+        delete_crash_scenario("wal-del-write", mode, "wal_delete_write:crash_at=3", &[]);
+    }
+}
+
+#[test]
+fn crash_during_wal_delete_fsync_loses_no_acked_retraction() {
+    for mode in MODES {
+        delete_crash_scenario(
+            "wal-del-fsync",
+            mode,
+            "wal_delete_fsync:crash_at=2",
+            &["--durability", "always"],
+        );
+    }
+}
+
+/// SIGKILL after a mixed insert/retract stream: with `--durability
+/// always` every acked line — including the retractions — must survive
+/// a hard kill byte for byte.
+#[test]
+fn sigkill_after_retractions_recovers_the_survivors() {
+    let dir = setup("sigkill-retract");
+    let edges = edges_for_run(6);
+    let server = Server::start(&dir, "sti", None, &["--durability", "always"]);
+    let (acked, none) = insert_until_crash(&server, &edges);
+    assert_eq!(acked.len(), edges.len());
+    assert!(none.is_none());
+    let doomed = [edges[1], edges[4]];
+    let (retracted, none) = retract_until_crash(&server, &doomed);
+    assert_eq!(retracted.len(), doomed.len(), "retractions acked");
+    assert!(none.is_none());
+    {
+        let mut server = server;
+        server.child.kill().expect("SIGKILL");
+        server.child.wait().expect("reaped");
+    }
+
+    let server = Server::start(&dir, "sti", None, &[]);
+    let recovered = query_path(&server);
+    let survivors: Vec<[i64; 2]> = edges
+        .iter()
+        .filter(|e| !doomed.contains(e))
+        .copied()
+        .collect();
+    assert_eq!(
+        recovered,
+        oracle(InterpreterConfig::optimized(), &survivors),
+        "SIGKILL after acked retractions must not resurrect the doomed facts"
+    );
+}
+
+/// A transient (non-crash) failure writing a delete record must refuse
+/// the retraction — never ack-and-drop — and leave the fact in place.
+#[test]
+fn transient_delete_record_failure_refuses_the_retraction() {
+    let dir = setup("wal-del-once");
+    let server = Server::start(&dir, "sti", Some("wal_delete_write:once"), &[]);
+    let mut conn = server.connect();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+
+    conn.write_all(b"+edge(50, 51).\n")
+        .expect("request written");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("response");
+    assert!(
+        response.starts_with("ok 1"),
+        "insert unaffected: {response:?}"
+    );
+
+    conn.write_all(b"-edge(50, 51).\n")
+        .expect("request written");
+    response.clear();
+    reader.read_line(&mut response).expect("response");
+    assert!(
+        response.starts_with("err "),
+        "injected delete-record failure must surface as an error, got {response:?}"
+    );
+
+    // The very next retraction hits a healthy WAL and commits.
+    conn.write_all(b"-edge(50, 51).\n")
+        .expect("request written");
+    response.clear();
+    reader.read_line(&mut response).expect("response");
+    assert!(response.starts_with("ok 1"), "got {response:?}");
+
+    // Restart: the refused retraction left no trace, the committed one
+    // holds — edge(50, 51) stays gone.
+    drop(conn);
+    drop(server);
+    let server = Server::start(&dir, "sti", None, &[]);
+    let recovered = query_path(&server);
+    assert_eq!(
+        recovered,
+        oracle(InterpreterConfig::optimized(), &[]),
+        "the retraction must survive the restart"
+    );
+}
+
+#[test]
 fn sigkill_mid_stream_loses_nothing_acked() {
     let dir = setup("sigkill");
     let edges = edges_for_run(6);
@@ -304,6 +497,64 @@ fn sigkill_mid_stream_loses_nothing_acked() {
         recovered,
         oracle(InterpreterConfig::optimized(), &acked),
         "SIGKILL after ack must not lose data under --durability always"
+    );
+}
+
+/// A WAL record carrying a future kind tag (a deliberate frame from a
+/// newer writer, CRC intact — not a torn tail) must refuse startup with
+/// the record's offset, never silently truncate acknowledged history.
+#[test]
+fn hostile_wal_record_fails_startup_with_the_offset() {
+    let dir = setup("wal-hostile");
+    {
+        let server = Server::start(&dir, "sti", None, &["--durability", "always"]);
+        let (acked, none) = insert_until_crash(&server, &[[10, 11], [11, 12]]);
+        assert_eq!(acked.len(), 2, "both inserts acked and fsynced");
+        assert!(none.is_none());
+    }
+
+    // Walk the frames ([u32 len][u32 crc][payload]) past the 16-byte
+    // header to the last record, flip its kind byte to a future tag,
+    // and fix up the checksum.
+    let wal = dir.join("data").join("wal.log");
+    let mut bytes = std::fs::read(&wal).expect("wal exists");
+    let mut p = 16usize;
+    let mut last = p;
+    while p + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
+        if p + 8 + len > bytes.len() {
+            break;
+        }
+        last = p;
+        p += 8 + len;
+    }
+    let len = u32::from_le_bytes(bytes[last..last + 4].try_into().unwrap()) as usize;
+    bytes[last + 8] = 7;
+    let crc = stir_core::wal::crc32(&bytes[last + 8..last + 8 + len]);
+    bytes[last + 4..last + 8].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&wal, &bytes).expect("hostile record written");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_stird"))
+        .arg(dir.join("tc.dl"))
+        .arg("-F")
+        .arg(&dir)
+        .arg("--data-dir")
+        .arg(dir.join("data"))
+        .env_remove("STIR_FAULT")
+        .output()
+        .expect("stird runs");
+    assert!(
+        !out.status.success(),
+        "a hostile WAL record must refuse startup"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown WAL record kind 7"),
+        "startup error names the unknown kind: {err}"
+    );
+    assert!(
+        err.contains(&format!("offset {last}")),
+        "startup error names the record offset {last}: {err}"
     );
 }
 
