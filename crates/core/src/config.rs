@@ -57,10 +57,18 @@ pub struct InterpreterConfig {
     /// legacy interpreter predates the buffer and runs without it.
     pub buffered_iterators: bool,
     /// Worker threads for parallel fixpoint evaluation. Scans marked
-    /// `parallel` by translation are partitioned across this many workers;
-    /// `1` (the default) keeps evaluation on the calling thread,
-    /// bit-for-bit identical to the sequential interpreter.
+    /// `parallel` by translation are split into morsels drained by this
+    /// many workers from a shared work-stealing queue; `1` (the default)
+    /// keeps evaluation on the calling thread, bit-for-bit identical to
+    /// the sequential interpreter.
     pub jobs: usize,
+    /// Target tuples per morsel for work-stealing parallel scans. Scans
+    /// over indexes no larger than this run sequentially (a single morsel
+    /// is not worth a thread fan-out); larger scans are split into
+    /// roughly `len / morsel_size` disjoint chunks that workers claim and
+    /// steal until drained. Has no effect when `jobs == 1`. Results and
+    /// profiles are invariant under this knob — only scheduling changes.
+    pub morsel_size: usize,
     /// Annotated evaluation: every derived tuple additionally records a
     /// `(height, rule)` annotation pair — the fixpoint iteration that
     /// first produced it and the source rule that fired — enabling
@@ -82,6 +90,25 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// The default morsel size: `STIR_MORSEL_SIZE` when set to a positive
+/// integer, otherwise [`DEFAULT_MORSEL_SIZE`]. The env knob exists mainly
+/// so tests and CI can shrink morsels far below real data sizes and force
+/// the work-stealing machinery (including stolen morsels) onto small
+/// inputs.
+pub fn default_morsel_size() -> usize {
+    std::env::var("STIR_MORSEL_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_MORSEL_SIZE)
+}
+
+/// Default target tuples per morsel. Small enough that any scan worth
+/// parallelizing yields many more chunks than workers (the skew
+/// insurance), large enough that per-morsel queue traffic is noise next
+/// to evaluating the chunk.
+pub const DEFAULT_MORSEL_SIZE: usize = 1024;
+
 impl InterpreterConfig {
     /// The full STI: all optimizations on.
     pub fn optimized() -> Self {
@@ -95,6 +122,7 @@ impl InterpreterConfig {
             legacy_data: false,
             buffered_iterators: true,
             jobs: default_jobs(),
+            morsel_size: default_morsel_size(),
             provenance: false,
         }
     }
@@ -121,6 +149,7 @@ impl InterpreterConfig {
             legacy_data: false,
             buffered_iterators: true,
             jobs: default_jobs(),
+            morsel_size: default_morsel_size(),
             provenance: false,
         }
     }
@@ -138,6 +167,7 @@ impl InterpreterConfig {
             legacy_data: true,
             buffered_iterators: false,
             jobs: default_jobs(),
+            morsel_size: default_morsel_size(),
             provenance: false,
         }
     }
@@ -159,6 +189,13 @@ impl InterpreterConfig {
     /// below `1` are clamped to `1`.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the morsel target size for work-stealing parallel scans.
+    /// Values below `1` are clamped to `1`.
+    pub fn with_morsel_size(mut self, target: usize) -> Self {
+        self.morsel_size = target.max(1);
         self
     }
 
@@ -202,5 +239,26 @@ mod tests {
         assert_eq!(InterpreterConfig::optimized().with_jobs(4).jobs, 4);
         assert_eq!(InterpreterConfig::optimized().with_jobs(0).jobs, 1);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn morsel_size_clamps_to_at_least_one() {
+        assert_eq!(
+            InterpreterConfig::optimized()
+                .with_morsel_size(64)
+                .morsel_size,
+            64
+        );
+        assert_eq!(
+            InterpreterConfig::optimized()
+                .with_morsel_size(0)
+                .morsel_size,
+            1
+        );
+        assert!(default_morsel_size() >= 1);
+        assert_eq!(
+            InterpreterConfig::dynamic_adapter().morsel_size,
+            InterpreterConfig::optimized().morsel_size
+        );
     }
 }

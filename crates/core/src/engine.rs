@@ -12,6 +12,7 @@ use crate::database::{DataMode, Database, InputData};
 use crate::error::EngineError;
 use crate::interp::Interpreter;
 use crate::itree;
+use crate::morsel::ParallelReport;
 use crate::profile::ProfileReport;
 use crate::telemetry::Telemetry;
 use crate::value::Value;
@@ -25,6 +26,10 @@ pub struct EvalOutcome {
     pub outputs: HashMap<String, Vec<Vec<Value>>>,
     /// The profiling report, when profiling was enabled.
     pub profile: Option<ProfileReport>,
+    /// Work-stealing scheduling statistics, when at least one scan was
+    /// eligible to fan out (absent under sequential configurations, so
+    /// profiles keep their sequential schema).
+    pub parallel: Option<ParallelReport>,
 }
 
 /// A compiled-to-RAM Datalog program, ready to run any number of times.
@@ -168,13 +173,38 @@ impl Engine {
             let _span = tracer.map(|t| t.span("phase:evaluate"));
             interp.run(&tree)?;
         }
+        let parallel = interp.parallel_report();
         if let Some(t) = tel {
             db.sample_metrics(&self.ram, &t.metrics);
+            if let Some(par) = &parallel {
+                publish_parallel_metrics(&t.metrics, par);
+            }
         }
         Ok(EvalOutcome {
             outputs: db.extract_outputs(&self.ram),
             profile: interp.profile_report(),
+            parallel,
         })
+    }
+}
+
+/// Publishes work-stealing statistics into the metrics registry, whence
+/// they flow into `--profile-json`'s counter section and the serving
+/// metrics endpoint. Only called when a parallel scan actually ran, so
+/// sequential runs keep their exact counter schema.
+pub(crate) fn publish_parallel_metrics(
+    metrics: &crate::telemetry::MetricsRegistry,
+    par: &ParallelReport,
+) {
+    metrics.set("parallel.scans", par.scans);
+    metrics.set("parallel.small_scans", par.small_scans);
+    metrics.set("parallel.morsels", par.morsels());
+    metrics.set("parallel.steals", par.steals());
+    for (w, stats) in par.workers.iter().enumerate() {
+        metrics.set(&format!("parallel.worker.{w}.tuples"), stats.tuples);
+        if stats.work > 0 {
+            metrics.set(&format!("parallel.worker.{w}.work"), stats.work);
+        }
     }
 }
 

@@ -22,6 +22,7 @@ use crate::database::Database;
 use crate::error::EvalError;
 use crate::functors::{eval_cmp, eval_intrinsic};
 use crate::itree::{Bounds, CopySpec, INode, ITree, Slot};
+use crate::morsel::{MorselQueue, ParallelReport, WorkerStats};
 use crate::profile::{ProfileReport, ProfileState};
 use crate::sink::InsertSink;
 use crate::static_set::{StaticAdapter, StaticSet};
@@ -326,6 +327,10 @@ pub struct Interpreter<'p, 'd> {
     /// `Some` on worker instances: projections are buffered here instead
     /// of written to the database (see [`InsertSink`]).
     sink: Option<RefCell<InsertSink>>,
+    /// Coordinator-side accumulator of parallel-scan scheduling
+    /// statistics (morsels claimed, stolen, per-worker tuples). Worker
+    /// frames never touch it — they cannot fan out.
+    par: RefCell<ParallelReport>,
 }
 
 impl<'p, 'd> Interpreter<'p, 'd> {
@@ -336,6 +341,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             prof: None,
             tel: None,
             sink: None,
+            par: RefCell::new(ParallelReport::default()),
         }
     }
 
@@ -353,6 +359,7 @@ impl<'p, 'd> Interpreter<'p, 'd> {
                 cx.ram,
                 cx.db.provenance(),
             ))),
+            par: RefCell::new(ParallelReport::default()),
         }
     }
 
@@ -389,6 +396,14 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     /// The profiling report of the last run, if profiling was enabled.
     pub fn profile_report(&self) -> Option<ProfileReport> {
         self.prof.as_ref().map(ProfileState::report)
+    }
+
+    /// Parallel-execution statistics accumulated across every scan that
+    /// was marked parallel and eligible to fan out: `None` when no such
+    /// scan ran (sequential configuration, or nothing marked).
+    pub fn parallel_report(&self) -> Option<ParallelReport> {
+        let par = self.par.borrow();
+        (par.scans > 0 || par.small_scans > 0).then(|| par.clone())
     }
 
     #[inline]
@@ -984,36 +999,45 @@ impl<'p, 'd> Interpreter<'p, 'd> {
     }
 
     /// Whether a scan marked `parallel` should actually fan out: only with
-    /// more than one configured job, never from inside a worker (the
-    /// outermost scan of a rule is the one marked, but incremental-update
-    /// statements can re-enter), and never for nullary relations (there is
-    /// nothing to partition).
+    /// more than one configured job, never from inside a worker (every
+    /// scan level carries the mark, so the outermost one that fans out
+    /// claims the whole subtree), and never for nullary relations (there
+    /// is nothing to chunk).
     #[inline]
     fn go_parallel(&self, parallel: bool, dst: &Slot) -> bool {
         parallel && self.cx.config.jobs > 1 && self.sink.is_none() && dst.arity > 0
     }
 
-    /// Evaluates a scan marked parallel by partitioning its source index
-    /// across the configured number of worker threads.
+    /// Evaluates a scan marked parallel by splitting its source index
+    /// into morsels drained by the configured number of worker threads
+    /// from a shared work-stealing [`MorselQueue`].
     ///
     /// The coordinator resolves the search bounds once, takes a read guard
-    /// on the scanned relation, and splits the index into disjoint
-    /// sub-ranges via [`stir_der::IndexAdapter::partition_range`]. Each
-    /// worker owns a fresh frame — a cloned register arena, a private
+    /// on the scanned relation, and asks the index for many small disjoint
+    /// chunks via [`stir_der::IndexAdapter::morsels`] (structural B-tree /
+    /// brie splits, or a size-bounded stream for representations that
+    /// cannot chunk). An index no larger than one morsel is not worth a
+    /// fan-out and runs the ordinary sequential loop on the coordinator
+    /// instead — identical profile counts by construction.
+    ///
+    /// Each worker owns a fresh frame — a cloned register arena, a private
     /// profile state, and an [`InsertSink`] absorbing every projection —
-    /// and drives its partition through the ordinary dynamic iterator
-    /// loop, so the rule body runs unchanged (including statically
-    /// dispatched inner scans and probes). After the join the coordinator
-    /// folds worker counters into the main profile and merges the sinks
-    /// into the real relations, counting fresh inserts exactly as
+    /// and pulls tuple *batches* off the queue: one virtual `fill` per
+    /// batch replaces per-tuple virtual dispatch, and the batch loop runs
+    /// the rule body unchanged (including statically dispatched inner
+    /// scans and probes), ticking the same per-tuple counters as the
+    /// sequential path. After the join the coordinator folds worker
+    /// counters and scheduling stats into the main profile and merges the
+    /// sinks into the real relations, counting fresh inserts exactly as
     /// sequential evaluation would.
     ///
     /// Semi-naive translation guarantees a query never reads the relation
     /// it projects into, so deferring inserts to the end of the scan is
     /// invisible to the rule itself, and deduplicating at merge time makes
-    /// results and profiles independent of the job count. If a worker
-    /// fails, the first error in partition order wins and no partial
-    /// results are merged.
+    /// results and profiles independent of the job count, the morsel
+    /// size, and the steal schedule. If a worker fails it poisons the
+    /// queue so the others stop early; the first error in worker-id order
+    /// wins and no partial results are merged.
     #[allow(clippy::too_many_arguments)]
     fn parallel_scan<const OUT: bool, const PROF: bool>(
         &self,
@@ -1033,36 +1057,64 @@ impl<'p, 'd> Interpreter<'p, 'd> {
         }
         let cx = self.cx;
         let with_prof = self.prof.is_some();
-        let outcomes: Vec<Result<(Option<ProfileState>, InsertSink), EvalError>> = {
+        let jobs = cx.config.jobs;
+        let target = cx.config.morsel_size.max(1);
+        type Outcome = (
+            Option<ProfileState>,
+            InsertSink,
+            WorkerStats,
+            Option<EvalError>,
+        );
+        let outcomes: Vec<Outcome> = {
             let r = cx.db.rd(rel);
             let idx = r.index(index);
-            let parts = match bounds {
-                Some(b) => idx.partition_range(&lo[..b.arity], &hi[..b.arity], cx.config.jobs),
-                None => idx.partition_scan(cx.config.jobs),
+            if idx.len() <= target {
+                // A single morsel: fan-out overhead would dominate. The
+                // `buffered` flag still applies — this is the ordinary
+                // dynamic loop, just reached through the parallel gate.
+                self.par.borrow_mut().small_scans += 1;
+                let inner = match bounds {
+                    Some(b) => idx.range(&lo[..b.arity], &hi[..b.arity]),
+                    None => idx.scan(),
+                };
+                let mut it: Box<dyn TupleIter + '_> = if buffered {
+                    Box::new(BufferedTupleIter::new(inner))
+                } else {
+                    inner
+                };
+                return self.drive_dynamic::<OUT, PROF>(&mut *it, dst, copy, body, regs);
+            }
+            let morsels = match bounds {
+                Some(b) => idx.morsels_range(&lo[..b.arity], &hi[..b.arity], target),
+                None => idx.morsels(target),
             };
+            let queue = MorselQueue::new(morsels, jobs, target);
+            let queue = &queue;
             let seed: Vec<u32> = regs.to_vec();
             std::thread::scope(|s| {
-                let handles: Vec<_> = parts
-                    .into_iter()
-                    .map(|part| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| {
                         let seed = seed.clone();
                         s.spawn(move || {
                             let worker = Interpreter::worker(cx, with_prof);
                             let mut regs = seed;
-                            let mut part: Box<dyn TupleIter + '_> = part;
-                            let res = if buffered {
-                                let mut it = BufferedTupleIter::new(part);
-                                worker
-                                    .drive_dynamic::<OUT, PROF>(&mut it, dst, copy, body, &mut regs)
-                            } else {
-                                worker.drive_dynamic::<OUT, PROF>(
-                                    &mut *part, dst, copy, body, &mut regs,
-                                )
-                            };
-                            res.map(|()| {
-                                let sink = worker.sink.expect("worker has a sink").into_inner();
-                                (worker.prof, sink)
-                            })
+                            let mut handle = queue.worker(w);
+                            let mut batch: Vec<u32> = Vec::new();
+                            let mut err = None;
+                            'outer: while handle.next_batch(&mut batch) > 0 {
+                                for t in batch.chunks_exact(dst.arity) {
+                                    worker.tick_iter::<PROF>();
+                                    worker.copy_out(dst, copy, t, &mut regs);
+                                    if let Err(e) = worker.eval_op::<OUT, PROF>(body, &mut regs) {
+                                        queue.poison();
+                                        err = Some(e);
+                                        break 'outer;
+                                    }
+                                }
+                            }
+                            let stats = handle.stats();
+                            let sink = worker.sink.expect("worker has a sink").into_inner();
+                            (worker.prof, sink, stats, err)
                         })
                     })
                     .collect();
@@ -1073,12 +1125,31 @@ impl<'p, 'd> Interpreter<'p, 'd> {
             })
         };
         let mut sinks = Vec::with_capacity(outcomes.len());
-        for outcome in outcomes {
-            let (wprof, sink) = outcome?;
-            if let (Some(p), Some(wp)) = (&self.prof, &wprof) {
-                p.absorb(wp);
+        let mut first_err = None;
+        {
+            let mut par = self.par.borrow_mut();
+            par.scans += 1;
+            if par.workers.len() < jobs {
+                par.workers.resize(jobs, WorkerStats::default());
             }
-            sinks.push(sink);
+            for (w, (wprof, sink, mut stats, err)) in outcomes.into_iter().enumerate() {
+                if let Some(wp) = &wprof {
+                    // Whole-frame iterations (outer tuples plus inner
+                    // joins/probes): the balance metric.
+                    stats.work = wp.iterations.get();
+                    if let Some(p) = &self.prof {
+                        p.absorb(wp);
+                    }
+                }
+                par.workers[w].absorb(&stats);
+                if first_err.is_none() {
+                    first_err = err;
+                }
+                sinks.push(sink);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let prov = cx.db.provenance();
         let height = if prov {

@@ -46,6 +46,7 @@ pub mod interp;
 pub mod io;
 pub mod itree;
 pub mod json;
+pub mod morsel;
 pub mod profile;
 pub mod prov;
 pub mod rederive;
@@ -62,6 +63,7 @@ pub use engine::{Engine, EvalOutcome};
 pub use error::{EngineError, EvalError, StorageError};
 pub use interp::Interpreter;
 pub use json::Json;
+pub use morsel::{MorselQueue, ParallelReport, WorkerStats};
 pub use profile::ProfileReport;
 pub use prov::{ExplainLimits, ProofNode};
 pub use resident::{

@@ -61,6 +61,7 @@ use crate::engine::Engine;
 use crate::error::{EngineError, EvalError, StorageError};
 use crate::interp::Interpreter;
 use crate::itree;
+use crate::morsel::ParallelReport;
 use crate::profile::ProfileReport;
 use crate::prov::{ExplainLimits, ProofNode};
 use crate::telemetry::{LogLevel, ServeMetrics, Telemetry};
@@ -189,6 +190,13 @@ pub struct ServerStats {
     pub retract_tuples: u64,
     /// Over-deleted tuples restored by re-derivation.
     pub rederived: u64,
+    /// Scans that fanned out to work-stealing workers (0 when the engine
+    /// runs sequentially).
+    pub parallel_scans: u64,
+    /// Morsels claimed across all parallel scans and workers.
+    pub parallel_morsels: u64,
+    /// Morsels claimed outside the claiming worker's own range.
+    pub parallel_steals: u64,
 }
 
 #[derive(Debug, Default)]
@@ -203,6 +211,32 @@ struct Counters {
     retracts: AtomicU64,
     retract_tuples: AtomicU64,
     rederived: AtomicU64,
+    parallel_scans: AtomicU64,
+    parallel_morsels: AtomicU64,
+    parallel_steals: AtomicU64,
+    /// Per-worker tuple totals across every parallel scan; grows to the
+    /// largest job count seen.
+    worker_tuples: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Counters {
+    /// Folds one evaluation's work-stealing statistics into the serving
+    /// counters. A no-op for sequential evaluations (`None`).
+    fn absorb_parallel(&self, par: Option<&ParallelReport>) {
+        let Some(par) = par else { return };
+        self.parallel_scans.fetch_add(par.scans, Ordering::Relaxed);
+        self.parallel_morsels
+            .fetch_add(par.morsels(), Ordering::Relaxed);
+        self.parallel_steals
+            .fetch_add(par.steals(), Ordering::Relaxed);
+        let mut wt = self.worker_tuples.lock().expect("worker tuples lock");
+        if wt.len() < par.workers.len() {
+            wt.resize(par.workers.len(), 0);
+        }
+        for (w, s) in par.workers.iter().enumerate() {
+            wt[w] += s.tuples;
+        }
+    }
 }
 
 /// An engine whose database stays resident between requests.
@@ -289,6 +323,7 @@ impl ResidentEngine {
             let _span = tracer.map(|t| t.span("phase:load-inputs"));
             db.load_inputs(&ram, inputs)?;
         }
+        let counters = Counters::default();
         let initial_profile = {
             let tree = {
                 let _span = tracer.map(|t| t.span("phase:build-itree"));
@@ -302,6 +337,7 @@ impl ResidentEngine {
                 let _span = tracer.map(|t| t.span("phase:evaluate"));
                 interp.run(&tree)?;
             }
+            counters.absorb_parallel(interp.parallel_report().as_ref());
             interp.profile_report()
         };
         if let Some(t) = tel {
@@ -344,7 +380,7 @@ impl ResidentEngine {
             extra_facts,
             aux_of,
             all_upds,
-            counters: Counters::default(),
+            counters,
             initial_profile,
             persistence: None,
             serve_metrics: Arc::new(ServeMetrics::off()),
@@ -446,6 +482,7 @@ impl ResidentEngine {
             ram.facts
                 .retain(|(rid, t)| !covered[rid.0] || db.rd(*rid).contains(t));
         }
+        let counters = Counters::default();
         if config.provenance {
             // Recompute-on-recovery: re-run the main fixpoint over the
             // recovered inputs so derived tuples exist *with* annotations.
@@ -461,6 +498,7 @@ impl ResidentEngine {
                 let _span = tracer.map(|t| t.span("phase:evaluate"));
                 interp.run(&tree)?;
             }
+            counters.absorb_parallel(interp.parallel_report().as_ref());
             // Auto-increment ids were re-allocated during the recompute;
             // keep the snapshot's high-water mark so future allocations
             // never collide with values it recorded.
@@ -499,7 +537,7 @@ impl ResidentEngine {
             extra_facts: snap.extra_facts,
             aux_of,
             all_upds,
-            counters: Counters::default(),
+            counters,
             initial_profile: None,
             persistence: None,
             serve_metrics: Arc::new(ServeMetrics::off()),
@@ -649,7 +687,20 @@ impl ResidentEngine {
             retracts: self.counters.retracts.load(Ordering::Relaxed),
             retract_tuples: self.counters.retract_tuples.load(Ordering::Relaxed),
             rederived: self.counters.rederived.load(Ordering::Relaxed),
+            parallel_scans: self.counters.parallel_scans.load(Ordering::Relaxed),
+            parallel_morsels: self.counters.parallel_morsels.load(Ordering::Relaxed),
+            parallel_steals: self.counters.parallel_steals.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-worker tuple totals across every parallel scan the engine has
+    /// run; empty when evaluation is sequential.
+    pub fn parallel_worker_tuples(&self) -> Vec<u64> {
+        self.counters
+            .worker_tuples
+            .lock()
+            .expect("worker tuples lock")
+            .clone()
     }
 
     /// Flushes the serving counters and the database structure into an
@@ -673,6 +724,16 @@ impl ResidentEngine {
             m.set("server.retracts", s.retracts);
             m.set("server.retract_tuples", s.retract_tuples);
             m.set("server.rederived", s.rederived);
+        }
+        if s.parallel_scans > 0 {
+            // Gated likewise: sequential servers keep the sequential
+            // counter schema.
+            m.set("server.parallel_scans", s.parallel_scans);
+            m.set("server.parallel_morsels", s.parallel_morsels);
+            m.set("server.parallel_steals", s.parallel_steals);
+            for (w, tuples) in self.parallel_worker_tuples().iter().enumerate() {
+                m.set(&format!("server.parallel_worker.{w}.tuples"), *tuples);
+            }
         }
         if self.config.provenance {
             // Gated so that provenance-off metric dumps (and the profile
@@ -944,6 +1005,8 @@ impl ResidentEngine {
                     interp.attach_telemetry(t);
                 }
                 interp.run(&tree)?;
+                self.counters
+                    .absorb_parallel(interp.parallel_report().as_ref());
                 for d in &s.defines {
                     if let Some(u) = self.ram.upd_of(*d) {
                         if !self.db.rd(u).is_empty() {
@@ -1172,6 +1235,8 @@ impl ResidentEngine {
                         interp.attach_telemetry(t);
                     }
                     interp.run(&tree)?;
+                    self.counters
+                        .absorb_parallel(interp.parallel_report().as_ref());
                     let mut stratum_cones: Vec<(RelId, Vec<Vec<RamDomain>>)> = Vec::new();
                     let mut cone_total = 0usize;
                     let mut live_total = 0usize;
@@ -1296,6 +1361,8 @@ impl ResidentEngine {
                             interp.attach_telemetry(t);
                         }
                         interp.run(&tree)?;
+                        self.counters
+                            .absorb_parallel(interp.parallel_report().as_ref());
                     }
                 }
             }
@@ -1412,7 +1479,10 @@ impl ResidentEngine {
         if let Some(t) = tel {
             interp.attach_telemetry(t);
         }
-        interp.run(&tree)
+        let res = interp.run(&tree);
+        self.counters
+            .absorb_parallel(interp.parallel_report().as_ref());
+        res
     }
 
     /// Answers a partially-bound pattern against the resident database.

@@ -1,14 +1,17 @@
 //! Per-worker insert sinks for parallel scans.
 //!
-//! A worker evaluating one partition of a parallel scan must not write
-//! into the database: the projection target's lock is shared with every
-//! other worker, and the partitioned design exists precisely so workers
-//! never contend. Instead each worker owns an `InsertSink` — one lazily
+//! A worker draining morsels of a parallel scan must not write into the
+//! database: the projection target's lock is shared with every other
+//! worker, and the morsel design exists precisely so workers never
+//! contend. Instead each worker owns an `InsertSink` — one lazily
 //! created [`InsertBuffer`] per relation — that absorbs every projection
 //! lock-free. The coordinator merges the buffers into the real relations
-//! after the join; deduplication happens there, against the fully merged
-//! relation, so fresh-insert counts come out identical to sequential
-//! evaluation regardless of how tuples were split across workers.
+//! after the join, always in worker-id order; work stealing makes the
+//! *split* of tuples across sinks schedule-dependent, but the merged
+//! *set* is not, and deduplication happens at merge time against the
+//! fully merged relation — so outputs and fresh-insert counts come out
+//! identical to sequential evaluation regardless of the job count, the
+//! morsel size, or which worker stole what.
 
 use stir_der::InsertBuffer;
 use stir_ram::program::{RamProgram, RelId};

@@ -96,34 +96,38 @@ pub trait IndexAdapter: Debug + Send + Sync {
         false
     }
 
-    /// Full scan in stored order.
-    fn scan(&self) -> Box<dyn TupleIter + '_>;
+    /// Full scan in stored order. The iterator is `Send` so parallel
+    /// workers can drive it (all implementations borrow `&self`, which is
+    /// `Sync`).
+    fn scan(&self) -> Box<dyn TupleIter + Send + '_>;
 
     /// Inclusive range scan with stored-order bounds, yielding stored-order
     /// tuples.
-    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_>;
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + Send + '_>;
 
-    /// Splits the full scan into at most `n` disjoint iterators whose
-    /// in-order concatenation equals [`scan`](Self::scan) — the
-    /// parallel-evaluation primitive. Iterators are `Send` so worker
-    /// threads can consume them.
+    /// Splits the full scan into disjoint morsels of roughly `target`
+    /// tuples each — the work-stealing parallel-evaluation primitive.
+    /// Concatenating every morsel in order yields exactly
+    /// [`scan`](Self::scan).
     ///
-    /// The default materializes the scan and chunks it; tree-backed
-    /// adapters override it with structural (zero-copy) partitions.
-    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
-        chunk_materialized(self.scan(), self.arity(), n)
+    /// The default streams the ordinary scan cursor: workers share it and
+    /// drain `target`-sized batches under a lock, so representations
+    /// without a structural split never materialize per-chunk copies (the
+    /// comparator-based legacy index and eqrel take this path — their
+    /// scans build one flat buffer which is then handed out in
+    /// size-bounded batches). Tree-backed adapters override this with
+    /// structural zero-copy chunks.
+    fn morsels(&self, target: usize) -> Morsels<'_> {
+        let _ = target;
+        Morsels::Stream(self.scan())
     }
 
-    /// Splits an inclusive range scan into at most `n` disjoint iterators
-    /// whose in-order concatenation equals [`range`](Self::range). Bounds
-    /// follow the same convention as `range` for this adapter.
-    fn partition_range(
-        &self,
-        lo: &[RamDomain],
-        hi: &[RamDomain],
-        n: usize,
-    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
-        chunk_materialized(self.range(lo, hi), self.arity(), n)
+    /// Splits an inclusive range scan into disjoint morsels (see
+    /// [`morsels`](Self::morsels)). Bounds follow the same convention as
+    /// [`range`](Self::range) for this adapter.
+    fn morsels_range(&self, lo: &[RamDomain], hi: &[RamDomain], target: usize) -> Morsels<'_> {
+        let _ = target;
+        Morsels::Stream(self.range(lo, hi))
     }
 
     /// Downcast support for the static instruction paths.
@@ -133,38 +137,35 @@ pub trait IndexAdapter: Debug + Send + Sync {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-/// Drains `it` and slices the materialized tuples into at most `n`
-/// near-equal chunks — the fallback partitioning for adapters without a
-/// structural split (e.g. the comparator-based legacy index).
-fn chunk_materialized(
-    mut it: Box<dyn TupleIter + '_>,
-    arity: usize,
-    n: usize,
-) -> Vec<Box<dyn TupleIter + Send + 'static>> {
-    let mut data = Vec::new();
-    it.fill(&mut data, usize::MAX);
-    let total = data.len() / arity.max(1);
-    let n = n.max(1);
-    if total == 0 {
-        return vec![Box::new(VecTupleIter::new(Vec::new(), arity))];
-    }
-    let per = total.div_ceil(n);
-    data.chunks(per * arity)
-        .map(|c| Box::new(VecTupleIter::new(c.to_vec(), arity)) as Box<dyn TupleIter + Send>)
-        .collect()
+/// Disjoint work units of one index scan, sized for morsel-driven
+/// parallel evaluation (see [`IndexAdapter::morsels`]).
+pub enum Morsels<'a> {
+    /// Structural zero-copy chunks: disjoint sub-iterators whose in-order
+    /// concatenation equals the full scan. Tree-backed indexes derive
+    /// them from node-level split keys, so each chunk is a window into
+    /// the existing structure.
+    Chunks(Vec<Box<dyn TupleIter + Send + 'a>>),
+    /// Streaming fallback for representations without a structural split:
+    /// one shared cursor that workers drain in size-bounded batches under
+    /// a lock.
+    Stream(Box<dyn TupleIter + Send + 'a>),
 }
 
-/// Slices materialized pairs into at most `n` near-equal chunks.
-fn chunk_pairs(pairs: Vec<[RamDomain; 2]>, n: usize) -> Vec<Box<dyn TupleIter + Send + 'static>> {
-    let n = n.max(1);
-    if pairs.is_empty() {
-        return vec![Box::new(VecTupleIter::from_tuples(Vec::new()))];
+impl Debug for Morsels<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Morsels::Chunks(c) => write!(f, "Morsels::Chunks({})", c.len()),
+            Morsels::Stream(_) => write!(f, "Morsels::Stream"),
+        }
     }
-    let per = pairs.len().div_ceil(n);
-    pairs
-        .chunks(per)
-        .map(|c| Box::new(VecTupleIter::from_tuples(c.to_vec())) as Box<dyn TupleIter + Send>)
-        .collect()
+}
+
+/// How many structural chunks to request so each holds roughly `target`
+/// tuples. Tree partitioning treats the result as an upper bound (split
+/// candidates come from the top node levels), so over-asking only makes
+/// chunks finer, never unbalanced.
+fn chunk_count(len: usize, target: usize) -> usize {
+    len.div_ceil(target.max(1)).max(1)
 }
 
 /// A B-tree index: [`BTreeIndexSet`] plus an insertion-time reordering.
@@ -273,37 +274,40 @@ impl<const N: usize> IndexAdapter for BTreeIndex<N> {
         self.set.contains(&tuple_from_slice(t))
     }
 
-    fn scan(&self) -> Box<dyn TupleIter + '_> {
+    fn scan(&self) -> Box<dyn TupleIter + Send + '_> {
         Box::new(AdaptedIter::<_, N>::new(self.set.iter().copied()))
     }
 
-    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + Send + '_> {
         let lo: Tuple<N> = tuple_from_slice(lo);
         let hi: Tuple<N> = tuple_from_slice(hi);
         Box::new(AdaptedIter::<_, N>::new(self.set.range(&lo, &hi).copied()))
     }
 
-    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
-        self.set
-            .partition(n)
-            .into_iter()
-            .map(|p| Box::new(AdaptedIter::<_, N>::new(p.copied())) as Box<dyn TupleIter + Send>)
-            .collect()
+    fn morsels(&self, target: usize) -> Morsels<'_> {
+        Morsels::Chunks(
+            self.set
+                .partition(chunk_count(self.set.len(), target))
+                .into_iter()
+                .map(|p| {
+                    Box::new(AdaptedIter::<_, N>::new(p.copied())) as Box<dyn TupleIter + Send>
+                })
+                .collect(),
+        )
     }
 
-    fn partition_range(
-        &self,
-        lo: &[RamDomain],
-        hi: &[RamDomain],
-        n: usize,
-    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
+    fn morsels_range(&self, lo: &[RamDomain], hi: &[RamDomain], target: usize) -> Morsels<'_> {
         let lo: Tuple<N> = tuple_from_slice(lo);
         let hi: Tuple<N> = tuple_from_slice(hi);
-        self.set
-            .partition_range(&lo, &hi, n)
-            .into_iter()
-            .map(|p| Box::new(AdaptedIter::<_, N>::new(p.copied())) as Box<dyn TupleIter + Send>)
-            .collect()
+        Morsels::Chunks(
+            self.set
+                .partition_range(&lo, &hi, chunk_count(self.set.len(), target))
+                .into_iter()
+                .map(|p| {
+                    Box::new(AdaptedIter::<_, N>::new(p.copied())) as Box<dyn TupleIter + Send>
+                })
+                .collect(),
+        )
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -419,37 +423,36 @@ impl<const N: usize> IndexAdapter for BrieIndex<N> {
         self.set.contains(&tuple_from_slice(t))
     }
 
-    fn scan(&self) -> Box<dyn TupleIter + '_> {
+    fn scan(&self) -> Box<dyn TupleIter + Send + '_> {
         Box::new(AdaptedIter::<_, N>::new(self.set.iter()))
     }
 
-    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + Send + '_> {
         let lo: Tuple<N> = tuple_from_slice(lo);
         let hi: Tuple<N> = tuple_from_slice(hi);
         Box::new(AdaptedIter::<_, N>::new(self.set.range(&lo, &hi)))
     }
 
-    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
-        self.set
-            .partition(n)
-            .into_iter()
-            .map(|p| Box::new(AdaptedIter::<_, N>::new(p)) as Box<dyn TupleIter + Send>)
-            .collect()
+    fn morsels(&self, target: usize) -> Morsels<'_> {
+        Morsels::Chunks(
+            self.set
+                .partition(chunk_count(self.set.len(), target))
+                .into_iter()
+                .map(|p| Box::new(AdaptedIter::<_, N>::new(p)) as Box<dyn TupleIter + Send>)
+                .collect(),
+        )
     }
 
-    fn partition_range(
-        &self,
-        lo: &[RamDomain],
-        hi: &[RamDomain],
-        n: usize,
-    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
+    fn morsels_range(&self, lo: &[RamDomain], hi: &[RamDomain], target: usize) -> Morsels<'_> {
         let lo: Tuple<N> = tuple_from_slice(lo);
         let hi: Tuple<N> = tuple_from_slice(hi);
-        self.set
-            .partition_range(&lo, &hi, n)
-            .into_iter()
-            .map(|p| Box::new(AdaptedIter::<_, N>::new(p)) as Box<dyn TupleIter + Send>)
-            .collect()
+        Morsels::Chunks(
+            self.set
+                .partition_range(&lo, &hi, chunk_count(self.set.len(), target))
+                .into_iter()
+                .map(|p| Box::new(AdaptedIter::<_, N>::new(p)) as Box<dyn TupleIter + Send>)
+                .collect(),
+        )
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -554,11 +557,11 @@ impl IndexAdapter for EqRelIndex {
         self.contains(t)
     }
 
-    fn scan(&self) -> Box<dyn TupleIter + '_> {
+    fn scan(&self) -> Box<dyn TupleIter + Send + '_> {
         Box::new(VecTupleIter::from_tuples(self.rel.iter_pairs()))
     }
 
-    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + Send + '_> {
         debug_assert_eq!(lo.len(), 2);
         debug_assert_eq!(hi.len(), 2);
         Box::new(VecTupleIter::from_tuples(
@@ -566,18 +569,9 @@ impl IndexAdapter for EqRelIndex {
         ))
     }
 
-    fn partition_scan(&self, n: usize) -> Vec<Box<dyn TupleIter + Send + '_>> {
-        chunk_pairs(self.rel.iter_pairs(), n)
-    }
-
-    fn partition_range(
-        &self,
-        lo: &[RamDomain],
-        hi: &[RamDomain],
-        n: usize,
-    ) -> Vec<Box<dyn TupleIter + Send + '_>> {
-        chunk_pairs(self.rel.range_pairs([lo[0], lo[1]], [hi[0], hi[1]]), n)
-    }
+    // `morsels`/`morsels_range` stay on the streaming default: the
+    // union-find enumerates its closure into one flat pair buffer, which
+    // workers then drain in size-bounded batches — no per-chunk copies.
 
     fn as_any(&self) -> &dyn Any {
         self
@@ -675,8 +669,22 @@ mod tests {
         assert!(s.bytes > 0);
     }
 
+    /// Drains every morsel in order into owned tuples.
+    fn drain(m: Morsels<'_>) -> Vec<Vec<RamDomain>> {
+        match m {
+            Morsels::Chunks(chunks) => {
+                let mut out = Vec::new();
+                for mut c in chunks {
+                    out.extend(c.collect_tuples());
+                }
+                out
+            }
+            Morsels::Stream(mut it) => it.collect_tuples(),
+        }
+    }
+
     #[test]
-    fn partitioned_scans_concatenate_to_sequential() {
+    fn morsels_concatenate_to_sequential_scans() {
         let order = Order::new(vec![1, 0]);
         let mut bt = BTreeIndex::<2>::new(order.clone());
         let mut br = BrieIndex::<2>::new(order);
@@ -695,34 +703,53 @@ mod tests {
             &eq as &dyn IndexAdapter,
         ] {
             let expected = idx.scan().collect_tuples();
-            for n in [1usize, 2, 4, 7] {
-                let mut joined = Vec::new();
-                for mut p in idx.partition_scan(n) {
-                    joined.extend(p.collect_tuples());
-                }
-                assert_eq!(joined, expected, "scan, n = {n}");
+            for target in [1usize, 7, 64, usize::MAX] {
+                assert_eq!(
+                    drain(idx.morsels(target)),
+                    expected,
+                    "scan, target {target}"
+                );
             }
             let (lo, hi) = ([3u32, 0], [17u32, u32::MAX]);
             let expected = idx.range(&lo, &hi).collect_tuples();
-            for n in [1usize, 3, 4] {
-                let mut joined = Vec::new();
-                for mut p in idx.partition_range(&lo, &hi, n) {
-                    joined.extend(p.collect_tuples());
-                }
-                assert_eq!(joined, expected, "range, n = {n}");
+            for target in [1usize, 16, usize::MAX] {
+                assert_eq!(
+                    drain(idx.morsels_range(&lo, &hi, target)),
+                    expected,
+                    "range, target {target}"
+                );
             }
         }
     }
 
     #[test]
-    fn empty_adapters_partition_to_empty() {
+    fn tree_morsels_are_structural_and_size_bounded() {
+        let mut bt = BTreeIndex::<2>::new(Order::natural(2));
+        for i in 0..4000u32 {
+            bt.insert(&[i / 10, i % 97]);
+        }
+        // Small targets yield many chunks; a target at least the size of
+        // the index yields one.
+        match bt.morsels(64) {
+            Morsels::Chunks(chunks) => assert!(chunks.len() > 4, "{}", chunks.len()),
+            Morsels::Stream(_) => panic!("b-tree should chunk structurally"),
+        }
+        match bt.morsels(usize::MAX) {
+            Morsels::Chunks(chunks) => assert_eq!(chunks.len(), 1),
+            Morsels::Stream(_) => panic!("b-tree should chunk structurally"),
+        };
+    }
+
+    #[test]
+    fn empty_and_tiny_adapters_morselize() {
         let bt = BTreeIndex::<2>::new(Order::natural(2));
-        let total: usize = bt
-            .partition_scan(4)
-            .into_iter()
-            .map(|mut p| p.count_tuples())
-            .sum();
-        assert_eq!(total, 0);
+        assert_eq!(drain(bt.morsels(4)), Vec::<Vec<u32>>::new());
+        let mut one = BTreeIndex::<1>::new(Order::natural(1));
+        one.insert(&[9]);
+        assert_eq!(drain(one.morsels(1024)), vec![vec![9]]);
+        assert_eq!(drain(one.morsels(1)), vec![vec![9]]);
+        let eq = EqRelIndex::new();
+        assert_eq!(drain(eq.morsels(8)), Vec::<Vec<u32>>::new());
     }
 
     #[test]

@@ -330,7 +330,7 @@ impl IndexAdapter for DynBTreeIndex {
         true
     }
 
-    fn scan(&self) -> Box<dyn TupleIter + '_> {
+    fn scan(&self) -> Box<dyn TupleIter + Send + '_> {
         let lo = vec![0; self.arity()];
         let hi = vec![RamDomain::MAX; self.arity()];
         self.range(&lo, &hi)
@@ -338,7 +338,11 @@ impl IndexAdapter for DynBTreeIndex {
 
     /// Range scan with **source-order** bounds compared through the runtime
     /// order (the legacy interpreter builds its bounds in source order).
-    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + '_> {
+    ///
+    /// The scan materializes into one flat buffer; parallel evaluation
+    /// streams morsels out of it via the default
+    /// [`IndexAdapter::morsels`] instead of copying per-worker slices.
+    fn range(&self, lo: &[RamDomain], hi: &[RamDomain]) -> Box<dyn TupleIter + Send + '_> {
         let mut out = Vec::new();
         if self.len > 0 && cmp_with_order(lo, hi, &self.order) != Ordering::Greater {
             self.root.collect_range(lo, hi, &self.order, &mut out);

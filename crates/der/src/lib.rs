@@ -64,7 +64,7 @@ pub mod order;
 pub mod relation;
 pub mod tuple;
 
-pub use adapter::IndexAdapter;
+pub use adapter::{IndexAdapter, Morsels};
 pub use buffer::InsertBuffer;
 pub use factory::{new_index, IndexSpec, Representation};
 pub use order::Order;

@@ -153,10 +153,11 @@ pub enum RamOp {
         rel: RelId,
         /// Binding level of the scanned tuple.
         level: usize,
-        /// Whether a parallel interpreter may partition this scan across
-        /// workers. Translation marks the outermost scan of each rule
-        /// body (unless the rule draws auto-increment values); the
-        /// interpreter honours it only when configured with `jobs > 1`.
+        /// Whether a parallel interpreter may chunk this scan into
+        /// morsels drained by a worker pool. Translation marks every
+        /// scan in a rule body (unless the rule draws auto-increment
+        /// values); at runtime the outermost scan that clears the
+        /// size gate fans out and the rest run inline in its workers.
         parallel: bool,
         /// Inner operation.
         body: Box<RamOp>,

@@ -271,23 +271,17 @@ pub fn translate_rule(
         };
     }
 
-    // Mark the outermost scan for partitioned execution (Soufflé's
-    // parallel evaluation model: only the outer loop of a rule is split
-    // across workers). Rules drawing fresh auto-increment values stay
-    // sequential — the values a worker draws would depend on the
-    // partition interleaving.
+    // Mark every scan level for morsel-driven execution. The interpreter
+    // decides at runtime which marked scan actually fans out: worker
+    // frames never re-fan (their projections go to a sink), and a scan
+    // whose index fits in a single morsel stays sequential — so in
+    // practice the outermost scan over a large index parallelizes, but
+    // when that one is small (a thin delta, say) an inner scan over a
+    // large index still can. Rules drawing fresh auto-increment values
+    // stay sequential — the values a worker draws would depend on the
+    // schedule.
     if !op.uses_autoincrement() {
-        let mut cur = &mut op;
-        loop {
-            match cur {
-                RamOp::Filter { body, .. } => cur = body,
-                RamOp::Scan { parallel, .. } | RamOp::IndexScan { parallel, .. } => {
-                    *parallel = true;
-                    break;
-                }
-                _ => break,
-            }
-        }
+        mark_scans_parallel(&mut op);
     }
 
     let mut label = rule.to_string();
@@ -304,6 +298,23 @@ pub fn translate_rule(
         level_arity: b.level_arity,
         op,
     })
+}
+
+/// Marks every `Scan`/`IndexScan` in an operation tree for parallel
+/// execution, descending through filters, scans, and aggregate
+/// continuations. Which marked scan actually fans out is a runtime
+/// decision (see the interpreter's morsel-size gate and worker-frame
+/// check).
+fn mark_scans_parallel(op: &mut RamOp) {
+    match op {
+        RamOp::Filter { body, .. } => mark_scans_parallel(body),
+        RamOp::Scan { parallel, body, .. } | RamOp::IndexScan { parallel, body, .. } => {
+            *parallel = true;
+            mark_scans_parallel(body);
+        }
+        RamOp::Aggregate { body, .. } => mark_scans_parallel(body),
+        _ => {}
+    }
 }
 
 impl Builder<'_, '_> {

@@ -28,5 +28,6 @@ pub mod doop;
 pub mod rng;
 pub mod spec;
 pub mod vpc;
+pub mod zipf;
 
 pub use spec::{all_suites, instances, Suite, Workload};

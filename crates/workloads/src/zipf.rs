@@ -1,0 +1,143 @@
+//! A Zipf-skewed edge workload for parallel-balance experiments.
+//!
+//! EXPERIMENTS E12 needs an input on which static contiguous
+//! partitioning of the outer scan is provably unbalanced while
+//! morsel-driven work stealing is not. This generator builds a directed
+//! graph whose out-degrees follow a Zipf law *clustered at low node
+//! ids*: node `i` has out-degree proportional to `1 / (i + 1)^s`, so a
+//! contiguous count-equal split of the node table hands nearly all join
+//! work (the edge fan-out) to the worker that draws the first slice.
+//! The degree sequence is computed deterministically from `(n, s,
+//! total_edges)` — no sampling noise — and only the *targets* of each
+//! edge are drawn from the seeded [`SmallRng`], so the skew profile is
+//! exact and reproducible.
+
+use crate::rng::SmallRng;
+
+/// A deterministic Zipf-skewed graph: `nodes` vertices, edge list with
+/// out-degrees following a Zipf law over the source id.
+#[derive(Debug, Clone)]
+pub struct ZipfGraph {
+    /// Number of vertices; vertex ids are `0..nodes`.
+    pub nodes: u32,
+    /// Directed edges `(src, dst)`, grouped by source in id order.
+    pub edges: Vec<(u32, u32)>,
+    /// Out-degree of each vertex (index = vertex id).
+    pub degrees: Vec<u32>,
+}
+
+impl ZipfGraph {
+    /// Builds a graph over `nodes` vertices with roughly `total_edges`
+    /// edges whose out-degrees follow a Zipf law with exponent `s`
+    /// (`s = 0` is uniform; `s ≈ 1` is the classic heavy head). Edge
+    /// targets are drawn uniformly from the seeded generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn generate(nodes: u32, total_edges: u64, s: f64, seed: u64) -> ZipfGraph {
+        assert!(nodes > 0, "empty graph");
+        // Normalize the Zipf weights to the requested edge budget. The
+        // per-node degree is rounded, so the realized edge count can
+        // differ from `total_edges` by at most `nodes / 2`.
+        let h: f64 = (0..nodes).map(|i| 1.0 / f64::from(i + 1).powf(s)).sum();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        let mut degrees = Vec::with_capacity(nodes as usize);
+        for i in 0..nodes {
+            let w = 1.0 / f64::from(i + 1).powf(s) / h;
+            let deg = (w * total_edges as f64).round() as u32;
+            degrees.push(deg);
+            for _ in 0..deg {
+                edges.push((i, rng.gen_range(0..nodes)));
+            }
+        }
+        ZipfGraph {
+            nodes,
+            edges,
+            degrees,
+        }
+    }
+
+    /// Edge work assigned to each of `jobs` contiguous count-equal
+    /// slices of the node table — the split the old static partitioner
+    /// produced. The ratio `max / min` of this vector is the analytic
+    /// imbalance a static scheme cannot avoid on this input.
+    pub fn static_partition_work(&self, jobs: usize) -> Vec<u64> {
+        let jobs = jobs.max(1);
+        let n = self.nodes as usize;
+        let base = n / jobs;
+        let extra = n % jobs;
+        let mut work = Vec::with_capacity(jobs);
+        let mut at = 0usize;
+        for w in 0..jobs {
+            let len = base + usize::from(w < extra);
+            let sum: u64 = self.degrees[at..at + len]
+                .iter()
+                .map(|&d| u64::from(d))
+                .sum();
+            work.push(sum);
+            at += len;
+        }
+        work
+    }
+
+    /// Renders the graph as Datalog facts for the given relation names
+    /// (`node(i).` per vertex, `edge(src, dst).` per edge).
+    pub fn to_facts(&self, node_rel: &str, edge_rel: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for i in 0..self.nodes {
+            let _ = writeln!(out, "{node_rel}({i}).");
+        }
+        for (s, d) in &self.edges {
+            let _ = writeln!(out, "{edge_rel}({s}, {d}).");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_are_deterministic_and_skewed() {
+        let a = ZipfGraph::generate(100, 10_000, 1.0, 42);
+        let b = ZipfGraph::generate(100, 10_000, 1.0, 42);
+        assert_eq!(a.edges, b.edges, "same seed, same graph");
+        assert!(a.degrees[0] > a.degrees[50] * 10, "heavy head");
+        let total: u64 = a.degrees.iter().map(|&d| u64::from(d)).sum();
+        assert!(total.abs_diff(10_000) < 100, "edge budget honored: {total}");
+    }
+
+    #[test]
+    fn static_partition_work_is_unbalanced_under_skew() {
+        let g = ZipfGraph::generate(1000, 100_000, 1.0, 7);
+        let work = g.static_partition_work(4);
+        let max = *work.iter().max().unwrap();
+        let min = *work.iter().min().unwrap().max(&1);
+        assert!(
+            max / min > 10,
+            "contiguous split should be badly skewed: {work:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_exponent_is_balanced() {
+        let g = ZipfGraph::generate(1000, 100_000, 0.0, 7);
+        let work = g.static_partition_work(4);
+        let max = *work.iter().max().unwrap();
+        let min = *work.iter().min().unwrap();
+        assert!(max <= min + min / 4, "s = 0 is near-uniform: {work:?}");
+    }
+
+    #[test]
+    fn facts_render_both_relations() {
+        let g = ZipfGraph::generate(3, 6, 0.5, 1);
+        let facts = g.to_facts("node", "edge");
+        assert!(facts.contains("node(0)."));
+        assert!(facts.contains("node(2)."));
+        assert!(facts.matches("edge(").count() >= 3);
+    }
+}

@@ -357,6 +357,40 @@ pub fn render_prometheus(engine: &ResidentEngine) -> String {
         "Explain requests served.",
         s.explain_requests,
     );
+    if s.parallel_scans > 0 {
+        // Only emitted once a scan has fanned out, so sequential servers
+        // keep their exposition byte-stable.
+        counter(
+            &mut out,
+            "parallel_scans_total",
+            "Scans fanned out to work-stealing workers.",
+            s.parallel_scans,
+        );
+        counter(
+            &mut out,
+            "parallel_morsels_total",
+            "Morsels claimed across all parallel scans.",
+            s.parallel_morsels,
+        );
+        counter(
+            &mut out,
+            "parallel_steals_total",
+            "Morsels stolen from other workers' ranges.",
+            s.parallel_steals,
+        );
+        let worker_tuples = engine.parallel_worker_tuples();
+        let _ = writeln!(
+            out,
+            "# HELP stir_parallel_worker_tuples_total Tuples processed per worker."
+        );
+        let _ = writeln!(out, "# TYPE stir_parallel_worker_tuples_total counter");
+        for (w, tuples) in worker_tuples.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "stir_parallel_worker_tuples_total{{worker=\"{w}\"}} {tuples}"
+            );
+        }
+    }
     counter(
         &mut out,
         "server_slow_requests_total",

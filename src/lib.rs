@@ -52,6 +52,6 @@ pub use stir_workloads as workloads;
 
 pub use stir_core::{
     profile_json, Engine, EngineError, EvalOutcome, ExplainLimits, InputData, InterpreterConfig,
-    Json, LogLevel, ProfileReport, ProofNode, ResidentEngine, ServerStats, Telemetry, UpdateReport,
-    Value,
+    Json, LogLevel, ParallelReport, ProfileReport, ProofNode, ResidentEngine, ServerStats,
+    Telemetry, UpdateReport, Value,
 };

@@ -1,6 +1,10 @@
 //! Randomized differential testing for parallel evaluation: running a
-//! program with `--jobs 4` must produce exactly the relations (and the
-//! same profile tuple counts) as `--jobs 1`, in every interpreter mode.
+//! program with `--jobs N` (including odd/prime worker counts that
+//! never divide the data evenly) must produce exactly the relations
+//! (and the same profile tuple counts) as `--jobs 1`, in every
+//! interpreter mode. A tiny morsel size forces the work-stealing
+//! machinery onto these small test relations — the default target would
+//! route them all through the sequential small-scan fallback.
 //!
 //! Programs come from the same restricted seeded grammar as
 //! `resident_differential`. proptest is not vendored; each failing case
@@ -111,8 +115,16 @@ fn sorted(rows: &[Vec<Value>]) -> BTreeSet<String> {
         .collect()
 }
 
+/// Job counts exercised against the sequential baseline: the even split,
+/// plus odd/prime counts that leave remainder morsels on every range.
+const JOB_COUNTS: [usize; 3] = [3, 4, 7];
+
+/// Morsel target small enough that the tiny test relations still split
+/// into many chunks (and steals actually happen).
+const TINY_MORSELS: usize = 2;
+
 #[test]
-fn four_jobs_match_one_job_in_every_mode() {
+fn many_jobs_match_one_job_in_every_mode() {
     let modes: [(&str, InterpreterConfig); 4] = [
         ("sti", InterpreterConfig::optimized()),
         ("dynamic", InterpreterConfig::dynamic_adapter()),
@@ -161,14 +173,19 @@ fn four_jobs_match_one_job_in_every_mode() {
             let sequential = engine
                 .run(config.with_jobs(1), &inputs)
                 .unwrap_or_else(|e| panic!("seed {seed} mode {mode} jobs=1: {e}\n{src}"));
-            let parallel = engine
-                .run(config.with_jobs(4), &inputs)
-                .unwrap_or_else(|e| panic!("seed {seed} mode {mode} jobs=4: {e}\n{src}"));
-            assert_eq!(
-                sorted(&sequential.outputs["r"]),
-                sorted(&parallel.outputs["r"]),
-                "seed {seed} mode {mode}\nprogram:\n{src}"
-            );
+            for jobs in JOB_COUNTS {
+                let parallel = engine
+                    .run(
+                        config.with_jobs(jobs).with_morsel_size(TINY_MORSELS),
+                        &inputs,
+                    )
+                    .unwrap_or_else(|e| panic!("seed {seed} mode {mode} jobs={jobs}: {e}\n{src}"));
+                assert_eq!(
+                    sorted(&sequential.outputs["r"]),
+                    sorted(&parallel.outputs["r"]),
+                    "seed {seed} mode {mode} jobs={jobs}\nprogram:\n{src}"
+                );
+            }
         }
         checked_cases += 1;
     }
@@ -203,26 +220,37 @@ fn proof_heights_are_job_count_invariant() {
         let config = config.with_provenance();
         let seq = ResidentEngine::from_source(TC, config.with_jobs(1), &inputs, None)
             .unwrap_or_else(|e| panic!("mode {mode} jobs=1: {e}"));
-        let par = ResidentEngine::from_source(TC, config.with_jobs(4), &inputs, None)
-            .unwrap_or_else(|e| panic!("mode {mode} jobs=4: {e}"));
         let rows = seq.outputs()["p"].clone();
-        assert_eq!(sorted(&rows), sorted(&par.outputs()["p"]), "mode {mode}");
-        for row in &rows {
-            let a = seq
-                .explain("p", row, ExplainLimits::default(), None)
-                .unwrap_or_else(|e| panic!("mode {mode} jobs=1 explain {row:?}: {e}"));
-            let b = par
-                .explain("p", row, ExplainLimits::default(), None)
-                .unwrap_or_else(|e| panic!("mode {mode} jobs=4 explain {row:?}: {e}"));
+        for jobs in JOB_COUNTS {
+            let par = ResidentEngine::from_source(
+                TC,
+                config.with_jobs(jobs).with_morsel_size(TINY_MORSELS),
+                &inputs,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("mode {mode} jobs={jobs}: {e}"));
             assert_eq!(
-                a.height, b.height,
-                "mode {mode}: height of p{row:?} depends on the job count"
+                sorted(&rows),
+                sorted(&par.outputs()["p"]),
+                "mode {mode} jobs={jobs}"
             );
-            assert_eq!(
-                a.size(),
-                b.size(),
-                "mode {mode}: proof shape of p{row:?} depends on the job count"
-            );
+            for row in &rows {
+                let a = seq
+                    .explain("p", row, ExplainLimits::default(), None)
+                    .unwrap_or_else(|e| panic!("mode {mode} jobs=1 explain {row:?}: {e}"));
+                let b = par
+                    .explain("p", row, ExplainLimits::default(), None)
+                    .unwrap_or_else(|e| panic!("mode {mode} jobs={jobs} explain {row:?}: {e}"));
+                assert_eq!(
+                    a.height, b.height,
+                    "mode {mode} jobs={jobs}: height of p{row:?} depends on the job count"
+                );
+                assert_eq!(
+                    a.size(),
+                    b.size(),
+                    "mode {mode} jobs={jobs}: proof shape of p{row:?} depends on the job count"
+                );
+            }
         }
     }
 }
@@ -251,23 +279,30 @@ fn profile_tuple_counts_are_job_count_invariant() {
         let seq = engine
             .run(config.with_jobs(1), &inputs)
             .expect("jobs=1 runs");
-        let par = engine
-            .run(config.with_jobs(4), &inputs)
-            .expect("jobs=4 runs");
-        let (sp, pp) = (
-            seq.profile.expect("profiled"),
-            par.profile.expect("profiled"),
-        );
-        assert_eq!(sp.total_inserts, pp.total_inserts);
-        assert_eq!(sp.relations, pp.relations);
-        assert_eq!(sp.dispatches, pp.dispatches);
-        assert_eq!(sp.iterations, pp.iterations);
-        assert_eq!(sp.queries.len(), pp.queries.len());
-        for (s, p) in sp.queries.iter().zip(&pp.queries) {
-            assert_eq!(s.label, p.label);
-            assert_eq!(s.executions, p.executions, "query {}", s.label);
-            assert_eq!(s.tuples, p.tuples, "query {}", s.label);
+        let sp = seq.profile.expect("profiled");
+        for jobs in JOB_COUNTS {
+            let par = engine
+                .run(
+                    config.with_jobs(jobs).with_morsel_size(TINY_MORSELS),
+                    &inputs,
+                )
+                .unwrap_or_else(|e| panic!("jobs={jobs} runs: {e}"));
+            let pp = par.profile.expect("profiled");
+            assert_eq!(sp.total_inserts, pp.total_inserts, "jobs={jobs}");
+            assert_eq!(sp.relations, pp.relations, "jobs={jobs}");
+            assert_eq!(sp.dispatches, pp.dispatches, "jobs={jobs}");
+            assert_eq!(sp.iterations, pp.iterations, "jobs={jobs}");
+            assert_eq!(sp.queries.len(), pp.queries.len(), "jobs={jobs}");
+            for (s, p) in sp.queries.iter().zip(&pp.queries) {
+                assert_eq!(s.label, p.label, "jobs={jobs}");
+                assert_eq!(s.executions, p.executions, "jobs={jobs} query {}", s.label);
+                assert_eq!(s.tuples, p.tuples, "jobs={jobs} query {}", s.label);
+            }
+            assert_eq!(
+                sorted(&seq.outputs["p"]),
+                sorted(&par.outputs["p"]),
+                "jobs={jobs}"
+            );
         }
-        assert_eq!(sorted(&seq.outputs["p"]), sorted(&par.outputs["p"]));
     }
 }
