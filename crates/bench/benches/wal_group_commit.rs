@@ -1,0 +1,188 @@
+//! **Group commit** — what fsync coalescing buys concurrent writers
+//! under `always` durability.
+//!
+//! A warm transitive-closure database absorbs concurrent single-edge
+//! insert streams from 1, 4, and 16 writer threads, once with
+//! per-request fsyncs (the pre-group-commit `always` path) and once
+//! with group commit (appends stay ordered under the engine write
+//! lock; the fsync is deferred to a shared barrier where one
+//! `sync_data` acknowledges every append it covers). The table reports
+//! wall-clock throughput, mean per-insert latency, and the actual
+//! fsync count next to the commit count — the coalescing ratio is the
+//! whole story: at 1 writer the barrier degenerates to one fsync per
+//! commit, and the win grows with concurrency while `ok` ⟹ durable is
+//! preserved verbatim. This backs the EXPERIMENTS.md E13 group-commit
+//! claim.
+
+use std::path::PathBuf;
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+use stir_bench::{fmt_dur, print_table, reps, scale};
+use stir_core::resident::{PersistOptions, ResidentEngine};
+use stir_core::wal::Durability;
+use stir_core::{Engine, InputData, InterpreterConfig, Value};
+use stir_workloads::spec::Scale;
+
+const TC: &str = "\
+    .decl edge(x: number, y: number)\n.input edge\n\
+    .decl path(x: number, y: number)\n.output path\n\
+    path(x, y) :- edge(x, y).\n\
+    path(x, z) :- path(x, y), edge(y, z).\n";
+
+fn inputs_with(nodes: i32) -> InputData {
+    let mut inputs = InputData::new();
+    inputs.insert(
+        "edge".into(),
+        (0..nodes - 1)
+            .map(|i| vec![Value::Number(i), Value::Number(i + 1)])
+            .collect(),
+    );
+    inputs
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("stir-group-commit-bench")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    dir
+}
+
+struct Run {
+    wall: Duration,
+    mean_insert: Duration,
+    fsyncs: u64,
+    commits: u64,
+}
+
+/// `writers` threads each push `per_writer` disjoint single-edge
+/// batches through one engine under `always` durability, with or
+/// without group commit. Returns wall time, mean ack latency, and the
+/// fsync/commit counts.
+fn run(nodes: i32, writers: usize, per_writer: usize, group: bool) -> Run {
+    let tag = format!("{writers}w-{}", if group { "group" } else { "each" });
+    let dir = fresh_dir(&tag);
+    let engine = Engine::from_source(TC).expect("compiles");
+    let opts = PersistOptions {
+        durability: Durability::Always,
+        snapshot_interval: None,
+    };
+    let (mut resident, _) = ResidentEngine::open(
+        engine,
+        InterpreterConfig::optimized(),
+        &inputs_with(nodes),
+        &dir,
+        opts,
+        None,
+    )
+    .expect("durable engine opens");
+    if group {
+        resident.enable_group_commit();
+    }
+    let shared = RwLock::new(resident);
+
+    let barrier = std::sync::Barrier::new(writers);
+    let started = Instant::now();
+    let total_ack: Duration = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let (shared, barrier) = (&shared, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut acks = Duration::ZERO;
+                    for k in 0..per_writer {
+                        // Disjoint back-edges per writer: every batch is
+                        // genuinely new and the delta wave stays small.
+                        let v = (nodes - 2) - ((w * per_writer + k) as i32 * 13) % (nodes - 8);
+                        let rows = vec![vec![Value::Number(v), Value::Number(v - 5)]];
+                        let t0 = Instant::now();
+                        let ticket = {
+                            let mut eng = shared.write().unwrap();
+                            eng.insert_facts("edge", &rows, None).expect("insert");
+                            eng.take_commit_ticket()
+                        };
+                        if let Some(t) = ticket {
+                            t.wait().expect("group fsync");
+                        }
+                        acks += t0.elapsed();
+                    }
+                    acks
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("writer")).sum()
+    });
+    let wall = started.elapsed();
+
+    let eng = shared.read().unwrap();
+    let commits = (writers * per_writer) as u64;
+    let (fsyncs, barrier_commits) = eng.group_commit_stats().unwrap_or((0, 0));
+    let fsyncs = if group {
+        assert_eq!(barrier_commits, commits, "every ack passed the barrier");
+        fsyncs
+    } else {
+        eng.wal_stats().expect("wal").fsyncs
+    };
+    drop(eng);
+    let _ = std::fs::remove_dir_all(&dir);
+    Run {
+        wall,
+        mean_insert: total_ack / commits as u32,
+        fsyncs,
+        commits,
+    }
+}
+
+fn main() {
+    let nodes: i32 = match scale() {
+        Scale::Tiny => 120,
+        Scale::Small => 400,
+        Scale::Medium => 800,
+        Scale::Large => 1600,
+    };
+    let per_writer = (reps() * 8).clamp(16, 128);
+
+    let mut rows_out = Vec::new();
+    let mut coalesced_at_16 = (0u64, 0u64);
+    for writers in [1usize, 4, 16] {
+        let each = run(nodes, writers, per_writer, false);
+        let grouped = run(nodes, writers, per_writer, true);
+        if writers == 16 {
+            coalesced_at_16 = (grouped.fsyncs, grouped.commits);
+        }
+        let speedup = each.wall.as_secs_f64() / grouped.wall.as_secs_f64();
+        rows_out.push(vec![
+            format!("{writers}"),
+            fmt_dur(each.mean_insert),
+            fmt_dur(grouped.mean_insert),
+            format!("{}/{}", each.fsyncs, each.commits),
+            format!("{}/{}", grouped.fsyncs, grouped.commits),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Group commit — concurrent single-edge inserts on a warm \
+             {nodes}-node TC chain under `always` durability \
+             ({per_writer} inserts per writer; fsync-per-request vs \
+             group-committed)"
+        ),
+        &[
+            "writers",
+            "ack (each)",
+            "ack (group)",
+            "fsync/commit (each)",
+            "fsync/commit (group)",
+            "wall speedup",
+        ],
+        &rows_out,
+    );
+    let (fsyncs, commits) = coalesced_at_16;
+    println!("\ngroup commit at 16 writers: {fsyncs} fsyncs for {commits} commits");
+    assert!(
+        fsyncs < commits,
+        "16 concurrent writers should coalesce fsyncs ({fsyncs}/{commits})"
+    );
+}

@@ -23,9 +23,18 @@
 //!   pass.
 //! * `always` — every hit returns an injected I/O error.
 //! * `at=N` — the N-th hit (1-based) returns an error, others pass.
+//! * `p=F` — each hit fails independently with probability `F` in
+//!   `[0, 1]`. The decision is a pure function of the plan seed
+//!   (`STIR_FAULT_SEED`, default 0), the point, and the 1-based hit
+//!   number, so a given seed replays the same fail/pass sequence.
 //! * `crash` — the first hit aborts the process (simulating power
 //!   loss mid-operation; the caller never runs its error path).
 //! * `crash_at=N` — the N-th hit aborts the process.
+//!
+//! `STIR_FAULT_WINDOW_MS=N` bounds the whole plan in time: once `N`
+//! milliseconds have elapsed since the plan was armed (first check),
+//! every point passes. This models "the disk recovers" for soak tests
+//! that need faults to stop mid-process without restarting it.
 //!
 //! Injected errors use [`std::io::ErrorKind::Other`] with a message
 //! naming the point, so operator-facing errors are self-describing.
@@ -36,9 +45,10 @@
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// The behavior armed at a single fault point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultMode {
     /// Fail the first hit, pass afterwards.
     Once,
@@ -46,6 +56,9 @@ pub enum FaultMode {
     Always,
     /// Fail exactly the `N`-th hit (1-based).
     At(u64),
+    /// Fail each hit independently with the given probability, decided
+    /// deterministically from the plan seed, point, and hit number.
+    P(f64),
     /// Abort the process on the first hit.
     Crash,
     /// Abort the process on the `N`-th hit (1-based).
@@ -69,6 +82,9 @@ pub enum FaultPoint {
     SnapshotRename,
     /// A reply write on a client socket.
     ConnWrite,
+    /// A storage health probe (degraded-mode heal attempt). Distinct
+    /// from the WAL points so probes never shift `at=N` hit counts.
+    WalProbe,
 }
 
 impl FaultPoint {
@@ -81,6 +97,7 @@ impl FaultPoint {
             "snapshot_write" => Some(Self::SnapshotWrite),
             "snapshot_rename" => Some(Self::SnapshotRename),
             "conn_write" => Some(Self::ConnWrite),
+            "wal_probe" => Some(Self::WalProbe),
             _ => None,
         }
     }
@@ -94,6 +111,7 @@ impl FaultPoint {
             Self::SnapshotWrite => "snapshot_write",
             Self::SnapshotRename => "snapshot_rename",
             Self::ConnWrite => "conn_write",
+            Self::WalProbe => "wal_probe",
         }
     }
 
@@ -106,17 +124,47 @@ impl FaultPoint {
             Self::SnapshotWrite => 4,
             Self::SnapshotRename => 5,
             Self::ConnWrite => 6,
+            Self::WalProbe => 7,
         }
     }
 }
 
-const POINT_COUNT: usize = 7;
+const POINT_COUNT: usize = 8;
 
 /// A parsed `STIR_FAULT` specification plus per-point hit counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultPlan {
     modes: [Option<FaultMode>; POINT_COUNT],
     hits: [AtomicU64; POINT_COUNT],
+    /// Seed for `p=` decisions; every hit is a pure function of
+    /// `(seed, point, hit)`, so two plans with equal seeds replay the
+    /// same fail/pass sequence.
+    seed: u64,
+    /// When set, all checks pass once this much time has elapsed since
+    /// `armed_at` — "the disk recovers".
+    window: Option<Duration>,
+    armed_at: Instant,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            modes: Default::default(),
+            hits: Default::default(),
+            seed: 0,
+            window: None,
+            armed_at: Instant::now(),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix used to turn
+/// `(seed, point, hit)` into an independent uniform draw.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl FaultPlan {
@@ -127,7 +175,19 @@ impl FaultPlan {
     ///
     /// Returns a description of the first malformed entry.
     pub fn parse(spec: &str) -> Result<Self, String> {
-        let mut plan = FaultPlan::default();
+        Self::parse_seeded(spec, 0)
+    }
+
+    /// Like [`FaultPlan::parse`] with an explicit seed for `p=` modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse_seeded(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
             let (point_s, mode_s) = entry
                 .split_once(':')
@@ -149,6 +209,14 @@ impl FaultPlan {
                             n.parse()
                                 .map_err(|_| format!("bad fault count in `{entry}`"))?,
                         )
+                    } else if let Some(f) = mode_s.strip_prefix("p=") {
+                        let p: f64 = f
+                            .parse()
+                            .map_err(|_| format!("bad fault probability in `{entry}`"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("fault probability out of [0,1] in `{entry}`"));
+                        }
+                        FaultMode::P(p)
                     } else {
                         return Err(format!("unknown fault mode `{mode_s}`"));
                     }
@@ -169,12 +237,29 @@ impl FaultPlan {
         let Some(mode) = self.modes[point.index()] else {
             return Ok(());
         };
+        if let Some(window) = self.window {
+            if self.armed_at.elapsed() >= window {
+                // The fault window has closed: the disk has "recovered".
+                return Ok(());
+            }
+        }
         // 1-based hit number for this point.
         let hit = self.hits[point.index()].fetch_add(1, Ordering::Relaxed) + 1;
         let fire = match mode {
             FaultMode::Once | FaultMode::Crash => hit == 1,
             FaultMode::Always => true,
             FaultMode::At(n) | FaultMode::CrashAt(n) => hit == n,
+            FaultMode::P(p) => {
+                // Deterministic per-hit draw: mix (seed, point, hit)
+                // into a uniform in [0, 1) and compare against p. No
+                // shared RNG state, so concurrent hits at different
+                // points never perturb each other's sequences.
+                let mixed = splitmix64(
+                    self.seed ^ (point.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ hit,
+                );
+                let draw = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+                draw < p
+            }
         };
         if !fire {
             return Ok(());
@@ -195,15 +280,29 @@ impl FaultPlan {
 
 fn global() -> &'static FaultPlan {
     static PLAN: OnceLock<FaultPlan> = OnceLock::new();
-    PLAN.get_or_init(|| match std::env::var("STIR_FAULT") {
-        Ok(spec) => match FaultPlan::parse(&spec) {
-            Ok(plan) => plan,
-            Err(e) => {
-                eprintln!("stir: ignoring malformed STIR_FAULT: {e}");
-                FaultPlan::default()
-            }
-        },
-        Err(_) => FaultPlan::default(),
+    PLAN.get_or_init(|| {
+        let seed = std::env::var("STIR_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut plan = match std::env::var("STIR_FAULT") {
+            Ok(spec) => match FaultPlan::parse_seeded(&spec, seed) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("stir: ignoring malformed STIR_FAULT: {e}");
+                    FaultPlan::default()
+                }
+            },
+            Err(_) => FaultPlan::default(),
+        };
+        if let Some(ms) = std::env::var("STIR_FAULT_WINDOW_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            plan.window = Some(Duration::from_millis(ms));
+            plan.armed_at = Instant::now();
+        }
+        plan
     })
 }
 
@@ -286,8 +385,79 @@ mod tests {
             "wal_write:sometimes",
             "wal_write:at=x",
             "wal_write:crash_at=",
+            "wal_write:p=",
+            "wal_write:p=nan",
+            "wal_write:p=1.5",
+            "wal_write:p=-0.1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn probabilistic_mode_is_deterministic_under_a_seed() {
+        // Two plans with the same seed replay the same sequence...
+        let a = FaultPlan::parse_seeded("wal_fsync:p=0.5", 42).expect("parses");
+        let b = FaultPlan::parse_seeded("wal_fsync:p=0.5", 42).expect("parses");
+        let seq_a: Vec<bool> = (0..64)
+            .map(|_| a.check(FaultPoint::WalFsync).is_err())
+            .collect();
+        let seq_b: Vec<bool> = (0..64)
+            .map(|_| b.check(FaultPoint::WalFsync).is_err())
+            .collect();
+        assert_eq!(seq_a, seq_b, "same seed must replay identically");
+        // ...with a fire rate in the right ballpark for p=0.5.
+        let fires = seq_a.iter().filter(|f| **f).count();
+        assert!((16..=48).contains(&fires), "p=0.5 fired {fires}/64 times");
+        // A different seed produces a different sequence.
+        let c = FaultPlan::parse_seeded("wal_fsync:p=0.5", 43).expect("parses");
+        let seq_c: Vec<bool> = (0..64)
+            .map(|_| c.check(FaultPoint::WalFsync).is_err())
+            .collect();
+        assert_ne!(seq_a, seq_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn probabilistic_draws_are_independent_per_point() {
+        // The per-point salt decorrelates sequences: two points armed at
+        // the same probability under the same seed must not fire in
+        // lockstep.
+        let plan = FaultPlan::parse_seeded("wal_write:p=0.5,wal_fsync:p=0.5", 7).expect("parses");
+        let writes: Vec<bool> = (0..64)
+            .map(|_| plan.check(FaultPoint::WalWrite).is_err())
+            .collect();
+        let fsyncs: Vec<bool> = (0..64)
+            .map(|_| plan.check(FaultPoint::WalFsync).is_err())
+            .collect();
+        assert_ne!(writes, fsyncs, "points should draw independently");
+    }
+
+    #[test]
+    fn probability_extremes_always_or_never_fire() {
+        let plan = FaultPlan::parse_seeded("wal_write:p=1.0,wal_fsync:p=0.0", 9).expect("parses");
+        for _ in 0..16 {
+            assert!(plan.check(FaultPoint::WalWrite).is_err(), "p=1 fires");
+            assert!(plan.check(FaultPoint::WalFsync).is_ok(), "p=0 passes");
+        }
+    }
+
+    #[test]
+    fn an_expired_window_disarms_every_point() {
+        let mut plan = FaultPlan::parse("wal_write:always").expect("parses");
+        plan.window = Some(Duration::from_millis(0));
+        plan.armed_at = Instant::now() - Duration::from_millis(5);
+        assert!(plan.check(FaultPoint::WalWrite).is_ok(), "window closed");
+        let mut open = FaultPlan::parse("wal_write:always").expect("parses");
+        open.window = Some(Duration::from_secs(3600));
+        assert!(open.check(FaultPoint::WalWrite).is_err(), "window open");
+    }
+
+    #[test]
+    fn wal_probe_point_parses_and_fires() {
+        let plan = FaultPlan::parse("wal_probe:once").expect("parses");
+        let err = plan.check(FaultPoint::WalProbe).unwrap_err();
+        assert!(err.to_string().contains("wal_probe"), "{err}");
+        assert!(plan.check(FaultPoint::WalProbe).is_ok());
+        assert!(plan.check(FaultPoint::WalWrite).is_ok(), "others pass");
     }
 }

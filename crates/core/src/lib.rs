@@ -42,6 +42,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod functors;
+pub mod health;
 pub mod interp;
 pub mod io;
 pub mod itree;
@@ -61,6 +62,7 @@ pub use config::InterpreterConfig;
 pub use database::{DataMode, Database, InputData};
 pub use engine::{Engine, EvalOutcome};
 pub use error::{EngineError, EvalError, StorageError};
+pub use health::{HealthMonitor, HealthState};
 pub use interp::Interpreter;
 pub use json::Json;
 pub use morsel::{MorselQueue, ParallelReport, WorkerStats};

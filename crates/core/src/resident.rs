@@ -59,6 +59,8 @@ use crate::config::InterpreterConfig;
 use crate::database::{DataMode, Database, InputData};
 use crate::engine::Engine;
 use crate::error::{EngineError, EvalError, StorageError};
+use crate::fault::{self, FaultPoint};
+use crate::health::HealthMonitor;
 use crate::interp::Interpreter;
 use crate::itree;
 use crate::morsel::ParallelReport;
@@ -66,8 +68,11 @@ use crate::profile::ProfileReport;
 use crate::prov::{ExplainLimits, ProofNode};
 use crate::telemetry::{LogLevel, ServeMetrics, Telemetry};
 use crate::value::Value;
-use crate::wal::{self, Durability, SnapshotLoad, SnapshotStats, WalStats, WalWriter};
+use crate::wal::{
+    self, CommitTicket, Durability, SnapshotLoad, SnapshotStats, WalStats, WalWriter,
+};
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -160,6 +165,24 @@ struct Persistence {
 pub const WAL_FILE: &str = "wal.log";
 /// The snapshot file name inside a data directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// The transient probe file written by storage health checks.
+pub const PROBE_FILE: &str = "wal.probe";
+
+/// Writes, fsyncs, and removes a probe file in `dir` — the core of a
+/// storage health check. Gated by the `wal_probe` fault point (distinct
+/// from the WAL append points so probes never shift `at=N` hit counts).
+fn probe_storage_dir(dir: &Path) -> Result<(), StorageError> {
+    let err = |op: &'static str| move |e: std::io::Error| StorageError::io(op, &e);
+    fault::check(FaultPoint::WalProbe).map_err(err("probe storage"))?;
+    let path = dir.join(PROBE_FILE);
+    let mut f = std::fs::File::create(&path).map_err(err("create storage probe"))?;
+    f.write_all(b"stir-probe")
+        .map_err(err("write storage probe"))?;
+    f.sync_data().map_err(err("fsync storage probe"))?;
+    drop(f);
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}
 
 impl Persistence {
     fn snapshot_path(&self) -> PathBuf {
@@ -290,6 +313,10 @@ pub struct ResidentEngine {
     /// Serving latency histograms and gauges, shared with the daemon's
     /// admin endpoint (disabled outside serving mode).
     serve_metrics: Arc<ServeMetrics>,
+    /// Storage health state machine, shared (`Arc`) with the serving
+    /// layer, admin endpoint, and heal loop. Stays Healthy forever on
+    /// non-durable engines.
+    health: Arc<HealthMonitor>,
 }
 
 impl ResidentEngine {
@@ -384,6 +411,7 @@ impl ResidentEngine {
             initial_profile,
             persistence: None,
             serve_metrics: Arc::new(ServeMetrics::off()),
+            health: Arc::new(HealthMonitor::new()),
         })
     }
 
@@ -541,6 +569,7 @@ impl ResidentEngine {
             initial_profile: None,
             persistence: None,
             serve_metrics: Arc::new(ServeMetrics::off()),
+            health: Arc::new(HealthMonitor::new()),
         })
     }
 
@@ -758,6 +787,32 @@ impl ResidentEngine {
             m.set("recovery.torn_bytes", p.recovery.torn_bytes);
             m.set("recovery.replay_ms", p.recovery.replay_ms);
         }
+        if let Some((fsyncs, commits)) = self.group_commit_stats() {
+            m.set("group_commit.fsyncs", fsyncs);
+            m.set("group_commit.commits", commits);
+        }
+        let h = &self.health;
+        if h.state_code() != 0 || h.degraded_entered.load(Ordering::Relaxed) > 0 {
+            // Gated like the retract/parallel counters: an engine that
+            // never degraded keeps the old metric schema.
+            m.set("health.state", u64::from(h.state_code()));
+            m.set(
+                "health.degraded_entered",
+                h.degraded_entered.load(Ordering::Relaxed),
+            );
+            m.set(
+                "health.degraded_healed",
+                h.degraded_healed.load(Ordering::Relaxed),
+            );
+            m.set(
+                "health.probe_failures",
+                h.probe_failures.load(Ordering::Relaxed),
+            );
+            m.set(
+                "health.writes_refused",
+                h.writes_refused.load(Ordering::Relaxed),
+            );
+        }
         self.db.sample_metrics(&self.ram, m);
     }
 
@@ -804,6 +859,98 @@ impl ResidentEngine {
     /// What recovery did at [`Self::open`] time, when durable.
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
         self.persistence.as_ref().map(|p| p.recovery)
+    }
+
+    /// The storage health monitor, shared with the serving layer, the
+    /// admin endpoint, and the daemon's heal loop.
+    pub fn health(&self) -> Arc<HealthMonitor> {
+        Arc::clone(&self.health)
+    }
+
+    /// Probes the storage layer and repairs recoverable damage: writes,
+    /// fsyncs, and removes a probe file in the data directory (the
+    /// `wal_probe` fault point), then — if a failed rollback poisoned
+    /// the WAL — writes a fresh snapshot covering all logged history and
+    /// truncates the log, which clears the poison. A no-op without a
+    /// data directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the probe or repair failure; the engine is not healthy.
+    pub fn heal_storage(&mut self) -> Result<(), StorageError> {
+        let Some(p) = &self.persistence else {
+            return Ok(());
+        };
+        probe_storage_dir(&p.dir)?;
+        if p.wal.is_broken() {
+            // Truncate-or-rotate: the snapshot is the new recovery
+            // baseline, so resetting the poisoned tail loses nothing.
+            self.snapshot(None)
+                .map_err(|e| StorageError::new(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Reacts to a storage failure on the write path: probe (and
+    /// repair) immediately. A passing probe means the failure was
+    /// transient — the engine stays Healthy and only the failing
+    /// request reports an error. A failing probe enters Degraded:
+    /// writes are refused with a `retry-after` hint until the heal
+    /// loop's probe succeeds.
+    pub fn note_storage_failure(&mut self, cause: &str) {
+        let health = Arc::clone(&self.health);
+        match self.heal_storage() {
+            Ok(()) => health.mark_healed(),
+            Err(_) => health.record_degraded(cause),
+        }
+    }
+
+    /// One background heal attempt: probe (and repair) storage, then
+    /// record the outcome on the health monitor. Returns `true` when
+    /// the engine came out healthy.
+    pub fn try_heal(&mut self) -> bool {
+        let health = Arc::clone(&self.health);
+        match self.heal_storage() {
+            Ok(()) => {
+                health.mark_healed();
+                true
+            }
+            Err(e) => {
+                health.record_probe_failure(&e.to_string());
+                false
+            }
+        }
+    }
+
+    /// Switches `always`-durability WAL appends to group commit (see
+    /// [`crate::wal::GroupCommit`]). A no-op without persistence or
+    /// under other durability policies.
+    pub fn enable_group_commit(&mut self) {
+        if let Some(p) = &mut self.persistence {
+            p.wal.enable_group_commit();
+        }
+    }
+
+    /// Takes the durability ticket minted by the most recent
+    /// group-committed append. The serving layer waits on it *after*
+    /// releasing the engine write lock, so concurrent writers share
+    /// fsyncs at the barrier instead of serializing them under the
+    /// lock.
+    pub fn take_commit_ticket(&mut self) -> Option<CommitTicket> {
+        self.persistence.as_mut().and_then(|p| p.wal.take_ticket())
+    }
+
+    /// Group-commit counters `(fsyncs, commits)`, when enabled.
+    pub fn group_commit_stats(&self) -> Option<(u64, u64)> {
+        self.persistence
+            .as_ref()
+            .and_then(|p| p.wal.group_commit())
+            .map(|g| {
+                (
+                    g.fsyncs.load(Ordering::Relaxed),
+                    g.commits.load(Ordering::Relaxed),
+                )
+            })
     }
 
     /// The database epoch: bumped on every visible mutation, so two
@@ -874,7 +1021,10 @@ impl ResidentEngine {
         if let Some(p) = &mut self.persistence {
             // WAL-then-evaluate: nothing is acknowledged (or applied)
             // unless it is recoverable first.
-            p.wal.append(rel, rows)?;
+            if let Err(e) = p.wal.append(rel, rows) {
+                self.note_storage_failure(&e.to_string());
+                return Err(e.into());
+            }
         }
         let report = self.insert_internal(rel, rows, deadline, tel)?;
         self.maybe_auto_snapshot(tel);
@@ -1066,7 +1216,10 @@ impl ResidentEngine {
         self.counters.retracts.fetch_add(1, Ordering::Relaxed);
         self.validate_batch(rel, rows)?;
         if let Some(p) = &mut self.persistence {
-            p.wal.append_delete(rel, rows)?;
+            if let Err(e) = p.wal.append_delete(rel, rows) {
+                self.note_storage_failure(&e.to_string());
+                return Err(e.into());
+            }
         }
         let report = self.retract_internal(rel, rows, deadline, tel)?;
         self.maybe_auto_snapshot(tel);
@@ -1430,6 +1583,9 @@ impl ResidentEngine {
                     t.logger
                         .log(LogLevel::Warn, &format!("auto-snapshot failed: {e}"));
                 }
+                // A failed snapshot is a storage failure like any
+                // other: probe immediately and degrade if persistent.
+                self.note_storage_failure(&e.to_string());
             }
         }
     }

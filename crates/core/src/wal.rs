@@ -68,7 +68,8 @@ use crate::value::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use stir_ram::expr::RamDomain;
 use stir_ram::program::{RamProgram, RelId, Role};
 
@@ -502,7 +503,11 @@ pub struct WalStats {
 /// An open WAL accepting appends.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    /// Shared with the group-commit barrier (when enabled), which
+    /// fsyncs outside the engine write lock. `&File` implements
+    /// `Write`/`Seek`, so the writer's exclusive `&mut self` methods
+    /// keep their single-writer discipline through the `Arc`.
+    file: Arc<File>,
     durability: Durability,
     len: u64,
     /// Set when a failed append could not be rolled back: the tail may
@@ -514,6 +519,13 @@ pub struct WalWriter {
     pub stats: WalStats,
     /// Serving-side latency sinks (disabled in batch mode).
     metrics: Arc<ServeMetrics>,
+    /// When set (serving under `always`), appends defer their fsync to
+    /// this barrier and hand the caller a [`CommitTicket`] instead of
+    /// syncing inline.
+    group: Option<Arc<GroupCommit>>,
+    /// The ticket minted by the most recent deferred-fsync append,
+    /// picked up by the engine via [`WalWriter::take_ticket`].
+    pending_ticket: Option<CommitTicket>,
 }
 
 impl WalWriter {
@@ -555,12 +567,14 @@ impl WalWriter {
             file.sync_all().map_err(err("fsync WAL"))?;
         }
         Ok(WalWriter {
-            file,
+            file: Arc::new(file),
             durability,
             len,
             broken: false,
             stats: WalStats::default(),
             metrics: Arc::new(ServeMetrics::off()),
+            group: None,
+            pending_ticket: None,
         })
     }
 
@@ -568,6 +582,37 @@ impl WalWriter {
     /// registry (the daemon attaches its shared one after recovery).
     pub fn attach_metrics(&mut self, metrics: Arc<ServeMetrics>) {
         self.metrics = metrics;
+        if let Some(group) = &self.group {
+            // Keep the barrier's latency sink in step.
+            *group.metrics.lock().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&self.metrics);
+        }
+    }
+
+    /// Switches `always`-durability appends to group commit: the WAL
+    /// write stays inline (ordered under the engine write lock) but the
+    /// fsync is deferred to a shared [`GroupCommit`] barrier so
+    /// concurrent writers amortize one fsync across many appends. No-op
+    /// under other durability policies.
+    pub fn enable_group_commit(&mut self) {
+        if self.durability == Durability::Always && self.group.is_none() {
+            self.group = Some(Arc::new(GroupCommit::new(
+                Arc::clone(&self.file),
+                Arc::clone(&self.metrics),
+            )));
+        }
+    }
+
+    /// The group-commit barrier, when enabled.
+    pub fn group_commit(&self) -> Option<Arc<GroupCommit>> {
+        self.group.clone()
+    }
+
+    /// Takes the commit ticket minted by the most recent append (if the
+    /// append deferred its fsync to the group-commit barrier). The
+    /// caller must wait on it *after* releasing the engine write lock
+    /// before acknowledging the batch.
+    pub fn take_ticket(&mut self) -> Option<CommitTicket> {
+        self.pending_ticket.take()
     }
 
     /// Appends one insert batch and pushes it toward stable storage per
@@ -615,19 +660,28 @@ impl WalWriter {
         let framed = WalRecord::encode(kind, rel, rows);
         let metrics = Arc::clone(&self.metrics);
         let t_append = metrics.start();
+        let mut deferred = false;
         let result = fault::check(write_pt)
-            .and_then(|()| self.file.write_all(&framed))
+            .and_then(|()| (&*self.file).write_all(&framed))
             .and_then(|()| match self.durability {
                 Durability::None => Ok(()),
-                Durability::Batch => self.file.flush(),
+                Durability::Batch => (&*self.file).flush(),
                 Durability::Always => {
-                    self.file.flush()?;
-                    fault::check(fsync_pt)?;
-                    self.stats.fsyncs += 1;
-                    let t_sync = metrics.start();
-                    let r = self.file.sync_data();
-                    metrics.observe(&metrics.wal_fsync, t_sync);
-                    r
+                    (&*self.file).flush()?;
+                    if self.group.is_some() {
+                        // Group commit: the fsync (and its fault point)
+                        // moves to the barrier, outside the engine
+                        // write lock.
+                        deferred = true;
+                        Ok(())
+                    } else {
+                        fault::check(fsync_pt)?;
+                        self.stats.fsyncs += 1;
+                        let t_sync = metrics.start();
+                        let r = self.file.sync_data();
+                        metrics.observe(&metrics.wal_fsync, t_sync);
+                        r
+                    }
                 }
             });
         match result {
@@ -636,6 +690,14 @@ impl WalWriter {
                 self.len += framed.len() as u64;
                 self.stats.appends += 1;
                 self.stats.bytes += framed.len() as u64;
+                if deferred {
+                    let group = self.group.as_ref().expect("deferred implies group");
+                    let seq = group.note_append(kind);
+                    self.pending_ticket = Some(CommitTicket {
+                        seq,
+                        group: Arc::clone(group),
+                    });
+                }
                 Ok(())
             }
             Err(e) => {
@@ -643,7 +705,7 @@ impl WalWriter {
                 // Roll the file back so the failed frame's bytes cannot
                 // precede a later successful append.
                 if self.file.set_len(self.len).is_err()
-                    || self.file.seek(SeekFrom::Start(self.len)).is_err()
+                    || (&*self.file).seek(SeekFrom::Start(self.len)).is_err()
                 {
                     self.broken = true;
                 }
@@ -660,13 +722,19 @@ impl WalWriter {
     /// Propagates I/O errors.
     pub fn sync(&mut self) -> Result<(), StorageError> {
         let t_sync = self.metrics.start();
-        self.file
+        (&*self.file)
             .flush()
             .and_then(|()| self.file.sync_data())
             .map_err(|e| StorageError::io("sync WAL", &e))?;
         self.metrics.observe(&self.metrics.wal_fsync, t_sync);
         self.stats.fsyncs += 1;
         Ok(())
+    }
+
+    /// True when a failed append could not be rolled back and the log
+    /// refuses further appends until reset by a snapshot.
+    pub fn is_broken(&self) -> bool {
+        self.broken
     }
 
     /// Resets the log to just its header — every logged batch is now
@@ -678,13 +746,176 @@ impl WalWriter {
     pub fn reset(&mut self) -> Result<(), StorageError> {
         let err = |op: &'static str| move |e: io::Error| StorageError::io(op, &e);
         self.file.set_len(WAL_HEADER).map_err(err("truncate WAL"))?;
-        self.file
+        (&*self.file)
             .seek(SeekFrom::Start(WAL_HEADER))
             .map_err(err("seek WAL"))?;
         self.file.sync_data().map_err(err("fsync WAL"))?;
         self.len = WAL_HEADER;
         self.broken = false;
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------
+
+/// Sequence bookkeeping behind the group-commit barrier.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Log sequence number of the latest appended (flushed-to-OS)
+    /// record.
+    appended_seq: u64,
+    /// Sequence number of the latest appended *delete* record (0 when
+    /// none), so the barrier fsync can answer for the
+    /// `wal_delete_fsync` fault point when it covers a retraction.
+    delete_seq: u64,
+    /// Highest sequence number covered by a successful fsync.
+    durable_seq: u64,
+    /// A leader is currently inside `sync_data`.
+    flushing: bool,
+    /// Sequence numbers at or below this were covered by a *failed*
+    /// fsync; their waiters report an error rather than acknowledging.
+    failed_through: u64,
+    /// The failure message for `failed_through` waiters.
+    last_error: Option<String>,
+}
+
+/// A group-commit barrier: many appends, one fsync.
+///
+/// Appends remain ordered under the engine write lock (WAL order must
+/// equal evaluation order — inserts and retractions do not commute on
+/// replay); only the fsync is deferred. After releasing the lock each
+/// writer waits on its [`CommitTicket`]. The first waiter to find no
+/// flush in flight becomes the *leader*: it snapshots the current
+/// `appended_seq` and issues one `sync_data`, which covers every append
+/// up to that point, then wakes all waiters. Followers whose sequence
+/// is already durable return immediately — under N concurrent writers
+/// one fsync acknowledges up to N batches, while a lone writer
+/// degenerates to exactly the old fsync-per-request behavior.
+///
+/// `ok` ⟹ durable is preserved: no acknowledgement is sent until an
+/// fsync covering that append has returned. A failed fsync fails every
+/// waiter it covered (their batches are applied and reader-visible but
+/// not guaranteed durable — the same contract as
+/// `err deadline exceeded (update committed)`).
+#[derive(Debug)]
+pub struct GroupCommit {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+    file: Arc<File>,
+    /// Latency sink shared with the owning [`WalWriter`] (swapped when
+    /// the daemon attaches its registry after recovery).
+    metrics: Mutex<Arc<ServeMetrics>>,
+    /// fsyncs issued by the barrier.
+    pub fsyncs: AtomicU64,
+    /// Acknowledgements that waited on the barrier.
+    pub commits: AtomicU64,
+}
+
+impl GroupCommit {
+    fn new(file: Arc<File>, metrics: Arc<ServeMetrics>) -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GroupState::default()),
+            cv: Condvar::new(),
+            file,
+            metrics: Mutex::new(metrics),
+            fsyncs: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers one appended record; returns its sequence number.
+    fn note_append(&self, kind: WalRecordKind) -> u64 {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.appended_seq += 1;
+        if kind == WalRecordKind::Delete {
+            st.delete_seq = st.appended_seq;
+        }
+        st.appended_seq
+    }
+
+    /// Blocks until `seq` is durable (or its covering fsync failed).
+    fn wait(&self, seq: u64) -> Result<(), StorageError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.durable_seq >= seq {
+                self.commits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if st.failed_through >= seq {
+                let msg = st.last_error.clone().unwrap_or_default();
+                return Err(StorageError::new(format!(
+                    "group commit fsync failed: {msg}"
+                )));
+            }
+            if !st.flushing {
+                // Become the leader: one fsync covers every append so
+                // far, including those by waiters still queueing up.
+                st.flushing = true;
+                let target = st.appended_seq;
+                // The per-kind fault points stay meaningful under group
+                // commit: a barrier fsync whose window covers a delete
+                // record also answers for `wal_delete_fsync`.
+                let covers_delete = st.delete_seq > st.durable_seq.max(st.failed_through);
+                drop(st);
+                let metrics = Arc::clone(&self.metrics.lock().unwrap_or_else(|e| e.into_inner()));
+                let t_sync = metrics.start();
+                let r = fault::check(FaultPoint::WalFsync)
+                    .and_then(|()| {
+                        if covers_delete {
+                            fault::check(FaultPoint::WalDeleteFsync)
+                        } else {
+                            Ok(())
+                        }
+                    })
+                    .and_then(|()| self.file.sync_data());
+                metrics.observe(&metrics.wal_fsync, t_sync);
+                st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.flushing = false;
+                match r {
+                    Ok(()) => {
+                        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        if target > st.durable_seq {
+                            st.durable_seq = target;
+                        }
+                    }
+                    Err(e) => {
+                        if target > st.failed_through {
+                            st.failed_through = target;
+                        }
+                        st.last_error = Some(e.to_string());
+                    }
+                }
+                self.cv.notify_all();
+            } else {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+/// A pending durability acknowledgement from a group-committed append.
+///
+/// Minted by [`WalWriter::append`]/[`WalWriter::append_delete`] when
+/// group commit is enabled; the serving layer waits on it *after*
+/// dropping the engine write lock, so concurrent writers park at the
+/// barrier instead of serializing their fsyncs under the lock.
+#[derive(Debug)]
+pub struct CommitTicket {
+    seq: u64,
+    group: Arc<GroupCommit>,
+}
+
+impl CommitTicket {
+    /// Blocks until the append is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fsync failure covering this append. The batch is
+    /// applied and reader-visible but not guaranteed durable.
+    pub fn wait(self) -> Result<(), StorageError> {
+        self.group.wait(self.seq)
     }
 }
 
@@ -1054,6 +1285,83 @@ mod tests {
         w.append("e", &rows(&[(2, "b")]))
             .expect("appends after rollback");
         assert_eq!(replay(&path, fp).expect("replays").records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_clears_broken_and_post_heal_appends_replay() {
+        let dir = tmpdir("broken-heal");
+        let path = dir.join("wal.log");
+        let fp = fingerprint("prog");
+        let mut w = WalWriter::open(&path, Durability::Batch, fp, 0).expect("opens");
+        w.append("e", &rows(&[(1, "a")])).expect("appends");
+
+        // Poison the log as a failed rollback would.
+        w.broken = true;
+        assert!(w.is_broken());
+        let err = w.append("e", &rows(&[(2, "b")])).expect_err("refused");
+        assert!(err.to_string().contains("failed state"), "{err}");
+        assert_eq!(w.stats.append_errors, 1);
+
+        // The heal path: a snapshot covers logged history, then reset
+        // truncates the log and clears the poison.
+        w.reset().expect("resets");
+        assert!(!w.is_broken(), "reset clears broken");
+        w.append("e", &rows(&[(3, "c")]))
+            .expect("appends after heal");
+        drop(w);
+
+        // The post-heal append round-trips through open's replay path.
+        let replayed = replay(&path, fp).expect("replays");
+        assert_eq!(replayed.records.len(), 1, "only the post-heal record");
+        assert_eq!(replayed.records[0].rows, rows(&[(3, "c")]));
+        let mut w =
+            WalWriter::open(&path, Durability::Batch, fp, replayed.valid_len).expect("reopens");
+        w.append("e", &rows(&[(4, "d")])).expect("appends");
+        assert_eq!(replay(&path, fp).expect("replays").records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_defers_the_fsync_to_the_ticket() {
+        let dir = tmpdir("group");
+        let path = dir.join("wal.log");
+        let fp = fingerprint("prog");
+        let mut w = WalWriter::open(&path, Durability::Always, fp, 0).expect("opens");
+        w.enable_group_commit();
+        let group = w.group_commit().expect("enabled");
+
+        w.append("e", &rows(&[(1, "a")])).expect("appends");
+        let t1 = w.take_ticket().expect("ticket minted");
+        assert_eq!(w.stats.fsyncs, 0, "inline fsync skipped");
+        w.append("e", &rows(&[(2, "b")])).expect("appends");
+        let t2 = w.take_ticket().expect("ticket minted");
+        assert!(w.take_ticket().is_none(), "ticket is taken once");
+
+        // The first waiter leads one fsync covering both appends; the
+        // second finds its sequence already durable.
+        t1.wait().expect("durable");
+        t2.wait().expect("durable");
+        assert_eq!(group.fsyncs.load(Ordering::Relaxed), 1, "one fsync");
+        assert_eq!(group.commits.load(Ordering::Relaxed), 2, "two acks");
+
+        assert_eq!(replay(&path, fp).expect("replays").records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_is_inert_until_enabled() {
+        let dir = tmpdir("group-inert");
+        let path = dir.join("wal.log");
+        let fp = fingerprint("prog");
+        let mut w = WalWriter::open(&path, Durability::Always, fp, 0).expect("opens");
+        w.append("e", &rows(&[(1, "a")])).expect("appends");
+        assert!(w.take_ticket().is_none(), "no barrier, no ticket");
+        assert_eq!(w.stats.fsyncs, 1, "inline fsync preserved");
+        // Non-`always` policies never defer, even if asked.
+        let mut b = WalWriter::open(&dir.join("b.log"), Durability::Batch, fp, 0).expect("opens");
+        b.enable_group_commit();
+        assert!(b.group_commit().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

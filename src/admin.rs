@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 use std::time::Duration;
 use stir_core::telemetry::{HistogramSnapshot, Logger, ServeMetrics};
-use stir_core::{Json, LogLevel, ResidentEngine};
+use stir_core::{HealthState, Json, LogLevel, ResidentEngine};
 
 /// Where the daemon is in its lifecycle, as `/readyz` reports it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,10 +100,31 @@ pub fn respond(path: &str, state: &AdminState) -> Response {
             body: "ok\n".to_string(),
         },
         "/readyz" => match state.phase() {
-            Phase::Serving => Response {
-                status: 200,
-                content_type: text,
-                body: "ready\n".to_string(),
+            // While serving, readiness composes the storage health state:
+            // a degraded engine still answers reads, so it stays ready
+            // with a flag in the body; a failed one (heal budget
+            // exhausted) reports 503 so orchestrators can replace it.
+            Phase::Serving => match state.engine.get().map(|e| {
+                e.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .health()
+                    .snapshot()
+            }) {
+                Some(HealthState::Failed { cause }) => Response {
+                    status: 503,
+                    content_type: text,
+                    body: format!("not ready (storage failed: {cause})\n"),
+                },
+                Some(HealthState::Degraded { cause, .. }) => Response {
+                    status: 200,
+                    content_type: text,
+                    body: format!("ready (degraded, read-only: {cause})\n"),
+                },
+                _ => Response {
+                    status: 200,
+                    content_type: text,
+                    body: "ready\n".to_string(),
+                },
             },
             Phase::Starting => Response {
                 status: 503,
@@ -145,7 +166,8 @@ pub fn respond(path: &str, state: &AdminState) -> Response {
 /// Always present: `server` (request counters), `connections`, `db`
 /// (epoch + per-relation tuple counts), and `histograms` (one
 /// count/sum/max/quantile block per tracked latency). Durable engines
-/// add `wal`, `snapshot`, and `recovery`.
+/// add `wal`, `snapshot`, and `recovery`; group-committed engines add
+/// `group_commit`; an engine that has ever degraded adds `health`.
 pub fn registry_json(engine: &ResidentEngine) -> Json {
     let s = engine.stats();
     let m = engine.serve_metrics();
@@ -208,6 +230,43 @@ pub fn registry_json(engine: &ResidentEngine) -> Json {
                 ("bytes".to_string(), Json::num(w.bytes)),
                 ("fsyncs".to_string(), Json::num(w.fsyncs)),
                 ("append_errors".to_string(), Json::num(w.append_errors)),
+            ]),
+        ));
+    }
+    if let Some((fsyncs, commits)) = engine.group_commit_stats() {
+        root.push((
+            "group_commit".to_string(),
+            Json::obj(vec![
+                ("fsyncs".to_string(), Json::num(fsyncs)),
+                ("commits".to_string(), Json::num(commits)),
+            ]),
+        ));
+    }
+    let health = engine.health();
+    if health.state_code() != 0 || health.degraded_entered.load(Ordering::Relaxed) > 0 {
+        root.push((
+            "health".to_string(),
+            Json::obj(vec![
+                (
+                    "state".to_string(),
+                    Json::Str(health.snapshot().label().to_string()),
+                ),
+                (
+                    "degraded_entered".to_string(),
+                    Json::num(health.degraded_entered.load(Ordering::Relaxed)),
+                ),
+                (
+                    "degraded_healed".to_string(),
+                    Json::num(health.degraded_healed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "probe_failures".to_string(),
+                    Json::num(health.probe_failures.load(Ordering::Relaxed)),
+                ),
+                (
+                    "writes_refused".to_string(),
+                    Json::num(health.writes_refused.load(Ordering::Relaxed)),
+                ),
             ]),
         ));
     }
@@ -437,6 +496,55 @@ pub fn render_prometheus(engine: &ResidentEngine) -> String {
             w.append_errors,
         );
     }
+    if let Some((fsyncs, commits)) = engine.group_commit_stats() {
+        counter(
+            &mut out,
+            "group_commit_fsyncs_total",
+            "Group-commit fsync barriers flushed.",
+            fsyncs,
+        );
+        counter(
+            &mut out,
+            "group_commit_commits_total",
+            "Commits acknowledged through group-commit barriers.",
+            commits,
+        );
+    }
+    let health = engine.health();
+    if health.state_code() != 0 || health.degraded_entered.load(Ordering::Relaxed) > 0 {
+        // Only emitted once the engine has degraded at least once, so a
+        // healthy server's exposition stays byte-stable.
+        gauge(
+            &mut out,
+            "degraded",
+            "Storage health (0 healthy, 1 degraded read-only, 2 failed).",
+            u64::from(health.state_code()),
+        );
+        counter(
+            &mut out,
+            "degraded_entered_total",
+            "Transitions into degraded read-only mode.",
+            health.degraded_entered.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "degraded_healed_total",
+            "Degraded episodes that healed back to healthy.",
+            health.degraded_healed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "degraded_probe_failures_total",
+            "Storage heal probes that failed.",
+            health.probe_failures.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "degraded_writes_refused_total",
+            "Writes refused while degraded or failed.",
+            health.writes_refused.load(Ordering::Relaxed),
+        );
+    }
     if let Some((writes, tuples)) = engine.snapshot_stats() {
         counter(
             &mut out,
@@ -603,12 +711,14 @@ pub fn request_ctx(
     client: String,
     slow_ms: Option<u64>,
     logger: Logger,
+    admission: Option<Arc<crate::serve::WriteAdmission>>,
 ) -> RequestCtx {
     RequestCtx {
         metrics,
         client,
         slow_ms,
         logger,
+        admission,
     }
 }
 
@@ -649,6 +759,50 @@ mod tests {
         assert_eq!(respond("/healthz", &state).status, 200);
         assert_eq!(respond("/metrics", &state).status, 200);
         assert_eq!(respond("/nope", &state).status, 404);
+    }
+
+    #[test]
+    fn readyz_and_metrics_surface_degraded_storage() {
+        let state = AdminState::new();
+        let eng = engine();
+        state.publish(Arc::clone(&eng));
+        let health = eng.read().unwrap().health();
+
+        // Healthy: no degraded series pollute the exposition.
+        let body = respond("/metrics", &state).body;
+        assert!(!body.contains("stir_degraded"));
+        let json = registry_json(&eng.read().unwrap());
+        assert!(json.get("health").is_none(), "healthy has no health block");
+
+        // Degraded: still ready (reads serve), flagged in body + metrics.
+        health.record_degraded("disk full");
+        let ready = respond("/readyz", &state);
+        assert_eq!(ready.status, 200);
+        assert!(ready.body.contains("degraded"), "body: {}", ready.body);
+        assert!(ready.body.contains("disk full"));
+        let body = respond("/metrics", &state).body;
+        assert!(body.contains("stir_degraded 1"));
+        assert!(body.contains("stir_degraded_entered_total 1"));
+        let json = registry_json(&eng.read().unwrap());
+        let h = json.get("health").expect("health block");
+        assert_eq!(h.get("state").and_then(Json::as_str), Some("degraded"));
+
+        // Failed (heal budget exhausted): readiness flips to 503.
+        health.set_budget(1);
+        health.record_probe_failure("still down");
+        health.record_probe_failure("still down");
+        let ready = respond("/readyz", &state);
+        assert_eq!(ready.status, 503);
+        assert!(ready.body.contains("storage failed"));
+        assert!(respond("/metrics", &state).body.contains("stir_degraded 2"));
+
+        // Healed: ready again, and the episode stays visible.
+        health.mark_healed();
+        assert_eq!(respond("/readyz", &state).status, 200);
+        assert_eq!(respond("/readyz", &state).body, "ready\n");
+        let body = respond("/metrics", &state).body;
+        assert!(body.contains("stir_degraded 0"));
+        assert!(body.contains("stir_degraded_healed_total 1"));
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //!       --snapshot-interval N  auto-snapshot (truncating the WAL) every
 //!                            N accepted insert batches
 //!       --max-conns N        refuse connections beyond N concurrent
-//!                            sessions with `err server busy` (default 64)
+//!                            sessions with `err server busy retry-after
+//!                            <ms>` (default 64)
+//!       --max-pending-writes N  shed writes beyond N queued/executing
+//!                            with `err overloaded retry-after <ms>`;
+//!                            reads are never shed (default 64)
+//!       --heal-budget N      consecutive failed storage heal probes
+//!                            before the degraded engine gives up and
+//!                            reports Failed on /readyz (default 8)
 //!       --request-timeout S  per-request evaluation deadline in seconds
 //!       --max-line-bytes N   reject request lines longer than N bytes
 //!                            (default 1048576)
@@ -64,8 +71,10 @@ use stir::admin::{self, AdminState};
 use stir::core::fault::{self, FaultPoint};
 use stir::core::io;
 use stir::core::telemetry::{Logger, ServeMetrics};
-use stir::core::{Durability, PersistOptions};
-use stir::serve::{handle_request, read_request, Control, Request, RequestCtx, SessionConfig};
+use stir::core::{Durability, HealthState, PersistOptions};
+use stir::serve::{
+    handle_request, read_request, Control, Request, RequestCtx, SessionConfig, WriteAdmission,
+};
 use stir::{
     profile_json, Engine, InputData, InterpreterConfig, LogLevel, ResidentEngine, Telemetry,
 };
@@ -82,6 +91,8 @@ struct Options {
     data_dir: Option<PathBuf>,
     persist: PersistOptions,
     max_conns: usize,
+    max_pending_writes: usize,
+    heal_budget: u32,
     session: SessionConfig,
     admin_addr: Option<String>,
     slow_query_ms: Option<u64>,
@@ -104,6 +115,8 @@ usage: stird PROGRAM.dl [-F facts_dir] [options]
                            (default: $STIR_DURABILITY or batch)
       --snapshot-interval N  auto-snapshot every N insert batches
       --max-conns N        concurrent session limit (default 64)
+      --max-pending-writes N  queued-write limit before shedding (default 64)
+      --heal-budget N      failed heal probes before Failed (default 8)
       --request-timeout S  per-request evaluation deadline in seconds
       --max-line-bytes N   request line size limit (default 1048576)
       --profile-json F     write the profile JSON to F at shutdown
@@ -147,6 +160,8 @@ fn parse_args() -> Options {
         snapshot_interval: None,
     };
     let mut max_conns = 64usize;
+    let mut max_pending_writes = 64usize;
+    let mut heal_budget = stir::core::health::DEFAULT_HEAL_BUDGET;
     let mut session = SessionConfig::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -194,6 +209,18 @@ fn parse_args() -> Options {
                 max_conns = match args.next().as_deref().map(str::parse::<usize>) {
                     Some(Ok(n)) if n >= 1 => n,
                     _ => fatal("--max-conns needs a positive integer"),
+                }
+            }
+            "--max-pending-writes" => {
+                max_pending_writes = match args.next().as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => fatal("--max-pending-writes needs a positive integer"),
+                }
+            }
+            "--heal-budget" => {
+                heal_budget = match args.next().as_deref().map(str::parse::<u32>) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => fatal("--heal-budget needs a positive integer"),
                 }
             }
             "--request-timeout" => {
@@ -262,6 +289,8 @@ fn parse_args() -> Options {
         data_dir,
         persist,
         max_conns,
+        max_pending_writes,
+        heal_budget,
         session,
         admin_addr,
         slow_query_ms,
@@ -299,6 +328,27 @@ mod signals {
     }
 }
 
+/// Retry hint attached to the `err server busy` connection-admission
+/// reply; connection churn settles fast, so the hint is short.
+const BUSY_RETRY_MS: u64 = 100;
+
+/// Probes the data directory for writability with a real
+/// create/write/fsync/remove round-trip before the listener binds, so a
+/// read-only volume or a typoed path fails loudly at startup instead of
+/// after the first acknowledged write. Deliberately not routed through
+/// the fault harness: chaos tests arm `STIR_FAULT` in the environment
+/// before spawning the server and still need it to boot.
+fn probe_data_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(stir::core::resident::PROBE_FILE);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(b"stir-probe")?;
+    f.sync_data()?;
+    drop(f);
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}
+
 /// A [`TcpStream`] writer that runs the `conn_write` fault hook before
 /// every write, so the fault harness can simulate clients whose socket
 /// dies mid-response.
@@ -327,6 +377,7 @@ fn handle_conn(
     stop: &AtomicBool,
     cfg: &SessionConfig,
     metrics: &Arc<ServeMetrics>,
+    admission: &Arc<WriteAdmission>,
     slow_ms: Option<u64>,
     logger: Logger,
     admin: &AdminState,
@@ -341,6 +392,7 @@ fn handle_conn(
     );
     let ctx = RequestCtx {
         metrics: Arc::clone(metrics),
+        admission: Some(Arc::clone(admission)),
         client: peer.clone(),
         slow_ms,
         logger,
@@ -424,6 +476,15 @@ fn main() -> ExitCode {
     // to info so operational lines appear without any flag; `--log`
     // overrides both this stream and the engine telemetry one.
     let slog = Logger::serving("stird", opts.log_level.unwrap_or(LogLevel::Info));
+
+    // Refuse to start on unwritable storage: an engine that boots, binds,
+    // and then degrades on its very first write helps nobody.
+    if let Some(dir) = &opts.data_dir {
+        if let Err(e) = probe_data_dir(dir) {
+            eprintln!("stird: data dir {} is not writable: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
 
     // Bind the admin endpoint before the (potentially long) recovery,
     // so orchestrators can probe `/readyz` from the first millisecond —
@@ -518,6 +579,15 @@ fn main() -> ExitCode {
     });
     let mut resident = resident;
     resident.attach_serve_metrics(Arc::clone(&metrics));
+    let health = resident.health();
+    health.set_budget(opts.heal_budget);
+    let durable = resident.is_durable();
+    if durable {
+        // Under `--durability always`, coalesce concurrent commits into
+        // one fsync; `enable_group_commit` is a no-op for other levels.
+        resident.enable_group_commit();
+    }
+    let admission = Arc::new(WriteAdmission::new(opts.max_pending_writes));
 
     let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
         Ok(l) => l,
@@ -575,6 +645,43 @@ fn main() -> ExitCode {
         })
     });
 
+    // Self-heal loop: when a storage failure put the engine in degraded
+    // read-only mode, probe on the health monitor's backoff schedule and
+    // transition back to healthy once a probe round-trips. Every state
+    // transition is logged; a healthy engine costs one atomic load per
+    // tick.
+    let healer = durable.then(|| {
+        let engine = Arc::clone(&shared);
+        let health = Arc::clone(&health);
+        std::thread::spawn(move || {
+            let mut last = health.state_code();
+            while !signals::STOP.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(20));
+                if health.due_for_probe() {
+                    let mut eng = engine.write().unwrap_or_else(PoisonError::into_inner);
+                    eng.try_heal();
+                }
+                let code = health.state_code();
+                if code != last {
+                    last = code;
+                    match health.snapshot() {
+                        HealthState::Healthy => {
+                            slog.log(LogLevel::Warn, "storage healed; resuming writes");
+                        }
+                        HealthState::Degraded { cause, .. } => slog.log(
+                            LogLevel::Warn,
+                            &format!("storage degraded, serving read-only: {cause}"),
+                        ),
+                        HealthState::Failed { cause } => slog.log(
+                            LogLevel::Error,
+                            &format!("storage heal budget exhausted, writes disabled: {cause}"),
+                        ),
+                    }
+                }
+            }
+        })
+    });
+
     let stop = &signals::STOP;
     let active = AtomicUsize::new(0);
     // The tracer is intentionally single-threaded (RefCell spans); a
@@ -606,11 +713,12 @@ fn main() -> ExitCode {
                 active.fetch_sub(1, Ordering::SeqCst);
                 let mut stream = stream;
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let _ = writeln!(stream, "err server busy");
+                let _ = writeln!(stream, "err server busy retry-after {BUSY_RETRY_MS}");
                 continue;
             }
             let (engine, active, session) = (&*shared, &active, &opts.session);
             let (metrics, admin) = (&metrics, &*admin_state);
+            let admission = &admission;
             s.spawn(move || {
                 handle_conn(
                     stream,
@@ -619,6 +727,7 @@ fn main() -> ExitCode {
                     stop,
                     session,
                     metrics,
+                    admission,
                     opts.slow_query_ms,
                     slog,
                     admin,
@@ -676,6 +785,9 @@ fn main() -> ExitCode {
         let _ = h.join();
     }
     if let Some(h) = ticker {
+        let _ = h.join();
+    }
+    if let Some(h) = healer {
         let _ = h.join();
     }
     ExitCode::SUCCESS

@@ -37,13 +37,17 @@
 //! use.
 
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 use stir_core::io::parse_field;
 use stir_core::telemetry::{LogLevel, Logger, ServeMetrics};
 use stir_core::{ResidentEngine, Telemetry, Value};
 use stir_frontend::ast::AttrType;
+
+/// `retry-after` hint (milliseconds) on `err overloaded` replies: shed
+/// writes should come back after roughly one write-queue drain.
+const OVERLOADED_RETRY_MS: u64 = 50;
 
 /// What the session should do after a handled line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +98,9 @@ pub struct RequestCtx {
     pub slow_ms: Option<u64>,
     /// The serving log stream (slow-request and per-request lines).
     pub logger: Logger,
+    /// Bounded write admission shared across connections; `None` (the
+    /// default) admits every write. Reads are never shed.
+    pub admission: Option<Arc<WriteAdmission>>,
 }
 
 impl Default for RequestCtx {
@@ -103,7 +110,69 @@ impl Default for RequestCtx {
             client: "local".to_string(),
             slow_ms: None,
             logger: Logger::default(),
+            admission: None,
         }
+    }
+}
+
+/// Bounded write admission: at most `max` write requests may be queued
+/// on or holding the engine write lock at once; excess writers are shed
+/// with `err overloaded retry-after <ms>` *before* they block, so a
+/// storm of writers cannot starve readers of the lock or pile up
+/// unbounded threads. Reads are admitted unconditionally — shedding is
+/// per-class, which is what keeps queries serving while a write burst
+/// (or a degraded write path) saturates the write side.
+#[derive(Debug)]
+pub struct WriteAdmission {
+    inflight: AtomicUsize,
+    max: usize,
+    /// Writes shed because the bound was hit.
+    pub shed: AtomicU64,
+}
+
+impl WriteAdmission {
+    /// A bound of `max` concurrent (queued + executing) writes.
+    pub fn new(max: usize) -> WriteAdmission {
+        WriteAdmission {
+            inflight: AtomicUsize::new(0),
+            max: max.max(1),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims a write slot; `None` means the write must be shed.
+    fn try_acquire(self: &Arc<Self>) -> Option<WritePermit> {
+        if self.inflight.fetch_add(1, Ordering::SeqCst) >= self.max {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(WritePermit(Arc::clone(self)))
+    }
+}
+
+/// RAII write slot from [`WriteAdmission::try_acquire`].
+#[derive(Debug)]
+struct WritePermit(Arc<WriteAdmission>);
+
+impl Drop for WritePermit {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Claims a write slot from the context's admission bound (if any).
+///
+/// # Errors
+///
+/// The protocol error reply (without the `err ` prefix) when shed.
+fn admit_write(ctx: &RequestCtx) -> Result<Option<WritePermit>, String> {
+    match &ctx.admission {
+        None => Ok(None),
+        Some(adm) => match adm.try_acquire() {
+            Some(permit) => Ok(Some(permit)),
+            None => Err(format!("overloaded retry-after {OVERLOADED_RETRY_MS}")),
+        },
     }
 }
 
@@ -192,7 +261,8 @@ pub fn handle_line_cfg(
     tel: Option<&Telemetry>,
     out: &mut dyn Write,
 ) -> std::io::Result<Control> {
-    handle_line_inner(engine, line, cfg, tel, out).map(|(control, _)| control)
+    handle_line_inner(engine, line, cfg, &RequestCtx::default(), tel, out)
+        .map(|(control, _)| control)
 }
 
 /// [`handle_line_cfg`] plus per-request tracing: assigns a request id,
@@ -215,7 +285,7 @@ pub fn handle_request(
     let timed =
         ctx.metrics.enabled() || ctx.slow_ms.is_some() || ctx.logger.enabled(LogLevel::Debug);
     let t0 = if timed { Some(Instant::now()) } else { None };
-    let (control, info) = handle_line_inner(engine, line, cfg, tel, out)?;
+    let (control, info) = handle_line_inner(engine, line, cfg, ctx, tel, out)?;
     let (Some(t0), Some(kind)) = (t0, info.kind) else {
         return Ok(control);
     };
@@ -275,6 +345,7 @@ fn handle_line_inner(
     engine: &RwLock<ResidentEngine>,
     line: &str,
     cfg: &SessionConfig,
+    ctx: &RequestCtx,
     tel: Option<&Telemetry>,
     out: &mut dyn Write,
 ) -> std::io::Result<(Control, ReqInfo)> {
@@ -338,9 +409,32 @@ fn handle_line_inner(
                 ),
                 _ => String::new(),
             };
+            let group = match engine.group_commit_stats() {
+                Some((fsyncs, commits)) => {
+                    format!(" group_commit_fsyncs={fsyncs} group_commit_commits={commits}")
+                }
+                None => String::new(),
+            };
+            let health = {
+                let h = engine.health();
+                if h.state_code() != 0 || h.degraded_entered.load(Ordering::Relaxed) > 0 {
+                    // Appears only once the engine has ever degraded, so
+                    // the healthy-path line stays byte-identical.
+                    format!(
+                        " health={} degraded_entered={} degraded_healed={} probe_failures={} writes_refused={}",
+                        h.snapshot().label(),
+                        h.degraded_entered.load(Ordering::Relaxed),
+                        h.degraded_healed.load(Ordering::Relaxed),
+                        h.probe_failures.load(Ordering::Relaxed),
+                        h.writes_refused.load(Ordering::Relaxed),
+                    )
+                } else {
+                    String::new()
+                }
+            };
             writeln!(
                 out,
-                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}{retract}{explain}{durable}",
+                "requests={} update_tuples={} query_rows={} strata_rerun={} full_fallbacks={}{retract}{explain}{durable}{group}{health}",
                 s.requests, s.update_tuples, s.query_rows, s.strata_rerun, s.full_fallbacks
             )?;
             return Ok((Control::Continue, ReqInfo::none()));
@@ -361,7 +455,15 @@ fn handle_line_inner(
                     "ok snapshot {} tuples {} bytes",
                     stats.tuples, stats.bytes
                 )?,
-                Err(e) => writeln!(out, "err {e}")?,
+                Err(e) => {
+                    {
+                        // A failed snapshot write is a storage failure:
+                        // probe immediately, degrade if persistent.
+                        let mut eng = engine.write().unwrap_or_else(PoisonError::into_inner);
+                        eng.note_storage_failure(&e.to_string());
+                    }
+                    writeln!(out, "err {e}")?;
+                }
             }
             return Ok((Control::Continue, ReqInfo::none()));
         }
@@ -383,7 +485,7 @@ fn handle_line_inner(
     }
     let deadline = cfg.request_timeout.map(|t| Instant::now() + t);
     let info = match line.as_bytes()[0] {
-        b'+' => match insert(engine, &line[1..], deadline, tel) {
+        b'+' => match insert(engine, &line[1..], deadline, ctx, tel) {
             Ok(report) if report.deadline_exceeded => {
                 // The WAL-then-evaluate ordering means the data is
                 // already durable and applied; only the reply is late.
@@ -399,7 +501,7 @@ fn handle_line_inner(
                 ReqInfo::new(ReqKind::Update, 0)
             }
         },
-        b'-' => match retract(engine, &line[1..], deadline, tel) {
+        b'-' => match retract(engine, &line[1..], deadline, ctx, tel) {
             Ok(report) if report.deadline_exceeded => {
                 // As with inserts, WAL-then-evaluate means the delete
                 // record is durable and applied; only the reply is late.
@@ -441,42 +543,88 @@ fn rd(engine: &RwLock<ResidentEngine>) -> std::sync::RwLockReadGuard<'_, Residen
     engine.read().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Refuses a write while the storage layer is Degraded or Failed.
+///
+/// # Errors
+///
+/// The protocol error reply (without the `err ` prefix), carrying the
+/// suggested client backoff in milliseconds.
+fn gate_write(engine: &ResidentEngine) -> Result<(), String> {
+    match engine.health().gate_write() {
+        Ok(()) => Ok(()),
+        Err(ms) => Err(format!("degraded retry-after {ms}")),
+    }
+}
+
 fn insert(
     engine: &RwLock<ResidentEngine>,
     atom: &str,
     deadline: Option<Instant>,
+    ctx: &RequestCtx,
     tel: Option<&Telemetry>,
 ) -> Result<stir_core::UpdateReport, String> {
     let atom = atom.strip_suffix('.').unwrap_or(atom);
     let (rel, terms) = parse_atom(atom)?;
-    let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
-    let types = attr_types(&engine, &rel, terms.len())?;
-    let mut row = Vec::with_capacity(terms.len());
-    for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
-        row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
+    // Shed before blocking on the write lock: bounding the queue is the
+    // point, and reads never pass through here.
+    let _permit = admit_write(ctx)?;
+    let (report, ticket) = {
+        let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
+        gate_write(&engine)?;
+        let types = attr_types(&engine, &rel, terms.len())?;
+        let mut row = Vec::with_capacity(terms.len());
+        for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
+            row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
+        }
+        let report = engine
+            .insert_facts_deadline(&rel, &[row], deadline, tel)
+            .map_err(|e| e.to_string())?;
+        (report, engine.take_commit_ticket())
+    };
+    // Group commit: the engine write lock is released before waiting on
+    // the fsync barrier, so concurrent writers coalesce their fsyncs
+    // instead of serializing them under the lock.
+    if let Some(ticket) = ticket {
+        if let Err(e) = ticket.wait() {
+            let mut eng = engine.write().unwrap_or_else(PoisonError::into_inner);
+            eng.note_storage_failure(&e.to_string());
+            return Err(format!("{e} (update committed)"));
+        }
     }
-    engine
-        .insert_facts_deadline(&rel, &[row], deadline, tel)
-        .map_err(|e| e.to_string())
+    Ok(report)
 }
 
 fn retract(
     engine: &RwLock<ResidentEngine>,
     atom: &str,
     deadline: Option<Instant>,
+    ctx: &RequestCtx,
     tel: Option<&Telemetry>,
 ) -> Result<stir_core::RetractReport, String> {
     let atom = atom.strip_suffix('.').unwrap_or(atom);
     let (rel, terms) = parse_atom(atom)?;
-    let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
-    let types = attr_types(&engine, &rel, terms.len())?;
-    let mut row = Vec::with_capacity(terms.len());
-    for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
-        row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
+    let _permit = admit_write(ctx)?;
+    let (report, ticket) = {
+        let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
+        gate_write(&engine)?;
+        let types = attr_types(&engine, &rel, terms.len())?;
+        let mut row = Vec::with_capacity(terms.len());
+        for (i, (term, ty)) in terms.iter().zip(&types).enumerate() {
+            row.push(constant(term, *ty).map_err(|e| format!("term {}: {e}", i + 1))?);
+        }
+        let report = engine
+            .retract_facts_deadline(&rel, &[row], deadline, tel)
+            .map_err(|e| e.to_string())?;
+        (report, engine.take_commit_ticket())
+    };
+    if let Some(ticket) = ticket {
+        if let Err(e) = ticket.wait() {
+            let mut eng = engine.write().unwrap_or_else(PoisonError::into_inner);
+            eng.note_storage_failure(&e.to_string());
+            return Err(format!("{e} (retraction committed)"));
+        }
     }
-    engine
-        .retract_facts_deadline(&rel, &[row], deadline, tel)
-        .map_err(|e| e.to_string())
+    Ok(report)
 }
 
 fn query(
