@@ -69,6 +69,15 @@ pub struct InterpreterConfig {
     /// steal until drained. Has no effect when `jobs == 1`. Results and
     /// profiles are invariant under this knob — only scheduling changes.
     pub morsel_size: usize,
+    /// Storage backend for standard relations: `Mem` keeps every index
+    /// fully in RAM (the classic configuration); `Disk` installs
+    /// [`stir_der::disk::DiskIndex`] adapters — an immutable paged base
+    /// run from the latest snapshot plus an in-memory delta overlay — so
+    /// a database larger than RAM can be served within a bounded page
+    /// cache and cold starts can map the snapshot instead of replaying a
+    /// fixpoint. Auxiliary (delta/new) and equivalence relations always
+    /// stay in memory. Results are bit-for-bit identical across backends.
+    pub storage: StorageBackend,
     /// Annotated evaluation: every derived tuple additionally records a
     /// `(height, rule)` annotation pair — the fixpoint iteration that
     /// first produced it and the source rule that fired — enabling
@@ -78,6 +87,52 @@ pub struct InterpreterConfig {
     /// default; when off, evaluation is bit-for-bit identical to an
     /// unannotated run.
     pub provenance: bool,
+}
+
+/// Where standard relations keep their tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// Fully in-memory indexes (B-tree / Brie / eqrel). The default.
+    #[default]
+    Mem,
+    /// Disk-backed indexes: paged snapshot base runs + delta overlays.
+    Disk,
+}
+
+impl StorageBackend {
+    /// Parses a `--storage` / `$STIR_STORAGE` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mem" => Some(StorageBackend::Mem),
+            "disk" => Some(StorageBackend::Disk),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this backend.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StorageBackend::Mem => "mem",
+            StorageBackend::Disk => "disk",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The default storage backend: `STIR_STORAGE` when set to a valid value
+/// (`mem`/`disk`), otherwise [`StorageBackend::Mem`]. The env knob is how
+/// CI runs the whole workspace suite over the disk backend without
+/// touching each test.
+pub fn default_storage() -> StorageBackend {
+    std::env::var("STIR_STORAGE")
+        .ok()
+        .and_then(|v| StorageBackend::parse(&v))
+        .unwrap_or(StorageBackend::Mem)
 }
 
 /// The default worker count: `STIR_JOBS` when set to a positive integer,
@@ -123,6 +178,7 @@ impl InterpreterConfig {
             buffered_iterators: true,
             jobs: default_jobs(),
             morsel_size: default_morsel_size(),
+            storage: default_storage(),
             provenance: false,
         }
     }
@@ -150,6 +206,7 @@ impl InterpreterConfig {
             buffered_iterators: true,
             jobs: default_jobs(),
             morsel_size: default_morsel_size(),
+            storage: default_storage(),
             provenance: false,
         }
     }
@@ -168,6 +225,7 @@ impl InterpreterConfig {
             buffered_iterators: false,
             jobs: default_jobs(),
             morsel_size: default_morsel_size(),
+            storage: default_storage(),
             provenance: false,
         }
     }
@@ -205,6 +263,12 @@ impl InterpreterConfig {
         self.provenance = true;
         self
     }
+
+    /// Selects the storage backend for standard relations.
+    pub fn with_storage(mut self, storage: StorageBackend) -> Self {
+        self.storage = storage;
+        self
+    }
 }
 
 impl Default for InterpreterConfig {
@@ -232,6 +296,17 @@ mod tests {
         assert!(none.with_provenance().provenance);
         assert!(!none.trace);
         assert!(none.with_trace().trace);
+    }
+
+    #[test]
+    fn storage_backend_parses_and_round_trips() {
+        assert_eq!(StorageBackend::parse("mem"), Some(StorageBackend::Mem));
+        assert_eq!(StorageBackend::parse("disk"), Some(StorageBackend::Disk));
+        assert_eq!(StorageBackend::parse("tape"), None);
+        assert_eq!(StorageBackend::Disk.as_str(), "disk");
+        assert_eq!(StorageBackend::default(), StorageBackend::Mem);
+        let cfg = InterpreterConfig::optimized().with_storage(StorageBackend::Disk);
+        assert_eq!(cfg.storage, StorageBackend::Disk);
     }
 
     #[test]

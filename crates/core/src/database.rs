@@ -10,18 +10,20 @@
 //! concurrent query readers while updates hold an exclusive engine-level
 //! lock, so `Database` (unlike the old `RefCell`-based version) is `Sync`.
 
+use crate::config::StorageBackend;
 use crate::error::EvalError;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU32;
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use stir_der::disk::DiskIndex;
 use stir_der::dynindex::DynBTreeIndex;
 use stir_der::factory::{IndexSpec, Representation};
 use stir_der::order::Order;
 use stir_der::relation::Relation;
 use stir_der::IndexAdapter;
 use stir_frontend::SymbolTable;
-use stir_ram::program::{RamProgram, RelId, ReprKind};
+use stir_ram::program::{RamProgram, RamRelation, RelId, ReprKind, Role};
 
 /// How relations are represented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +50,19 @@ fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
 /// fired; the tuple is an axiom). Re-exported from the RAM layer's
 /// provenance module.
 pub const RULE_INPUT: u32 = stir_ram::prov::RULE_INPUT;
+
+/// Whether a relation is *eligible* for disk-backed storage. Auxiliary
+/// relations (`delta_`/`new_`/`upd_`) are working sets of a single
+/// fixpoint — small, cleared constantly, never snapshotted — so they stay
+/// in memory. Equivalence relations are semantic (the union-find closes
+/// pairs); serving them off a materialized run would silently drop that
+/// behavior. Nullary relations are a single presence bit. Everything else
+/// — every standard B-tree or Brie relation — can live on disk. The
+/// interpreter-tree builder consults the same predicate to route these
+/// relations through the dynamic (adapter-based) instruction variants.
+pub fn disk_backed(rel: &RamRelation) -> bool {
+    rel.role == Role::Standard && rel.repr != ReprKind::EqRel && rel.arity > 0
+}
 
 /// The relations, symbol table, and counter of one evaluation.
 #[derive(Debug)]
@@ -79,12 +94,40 @@ impl Database {
     /// every relation (annotated evaluation). Source-text facts are
     /// annotated `(0, RULE_INPUT)`.
     pub fn new_with(ram: &RamProgram, mode: DataMode, provenance: bool) -> Database {
+        Self::new_with_storage(ram, mode, provenance, StorageBackend::Mem)
+    }
+
+    /// Builds the database on the selected storage backend: under
+    /// [`StorageBackend::Disk`] every [`disk_backed`]-eligible relation
+    /// gets [`DiskIndex`] adapters (initially overlay-only; the resident
+    /// engine attaches snapshot base runs on cold start). Everything else
+    /// is identical to [`Database::new_with`].
+    pub fn new_with_storage(
+        ram: &RamProgram,
+        mode: DataMode,
+        provenance: bool,
+        storage: StorageBackend,
+    ) -> Database {
         let relations = ram
             .relations
             .iter()
             .map(|r| {
                 let rel = if r.arity == 0 {
                     Relation::new(r.name.clone(), 0, vec![])
+                } else if storage == StorageBackend::Disk && disk_backed(r) {
+                    // Source-layout mode keeps the legacy layer's
+                    // source-order calling convention while the bytes stay
+                    // layout-canonical.
+                    let source_layout = mode == DataMode::LegacyDynamic;
+                    let indexes: Vec<Box<dyn IndexAdapter>> = r
+                        .orders
+                        .iter()
+                        .map(|o| {
+                            Box::new(DiskIndex::new(Order::new(o.clone()), source_layout))
+                                as Box<dyn IndexAdapter>
+                        })
+                        .collect();
+                    Relation::from_adapters(r.name.clone(), r.arity, indexes)
                 } else {
                     match mode {
                         DataMode::Specialized => {
@@ -310,6 +353,43 @@ mod tests {
             .downcast_ref::<DynBTreeIndex>()
             .is_some());
         assert!(rel.contains(&[5, 6]));
+    }
+
+    #[test]
+    fn disk_storage_installs_disk_indexes_for_standard_relations_only() {
+        let ram = ram(
+            ".decl e(x: number, y: number)\n.decl p(x: number, y: number)\n\
+             e(1, 2). e(2, 3).\np(x, y) :- e(x, y), e(y, _).\np(x, y) :- p(x, z), e(z, y).",
+        );
+        for mode in [DataMode::Specialized, DataMode::LegacyDynamic] {
+            let db = Database::new_with_storage(&ram, mode, false, StorageBackend::Disk);
+            for meta in &ram.relations {
+                if meta.arity == 0 {
+                    continue;
+                }
+                let rel = db.rd(meta.id);
+                let is_disk = rel.index(0).as_any().downcast_ref::<DiskIndex>().is_some();
+                assert_eq!(
+                    is_disk,
+                    disk_backed(meta),
+                    "{} ({:?}) backend mismatch",
+                    meta.name,
+                    meta.role
+                );
+                if is_disk {
+                    assert_eq!(
+                        rel.index(0).stores_source_order(),
+                        mode == DataMode::LegacyDynamic,
+                        "{} layout mismatch",
+                        meta.name
+                    );
+                }
+            }
+            // Facts loaded through the normal path land in the overlay.
+            let e = ram.relation_by_name("e").unwrap().id;
+            assert!(db.rd(e).contains(&[1, 2]));
+            assert_eq!(db.rd(e).len(), 2);
+        }
     }
 
     #[test]

@@ -155,7 +155,7 @@ impl Engine {
         };
         let db = {
             let _span = tracer.map(|t| t.span("phase:build-db"));
-            Database::new_with(&self.ram, mode, config.provenance)
+            Database::new_with_storage(&self.ram, mode, config.provenance, config.storage)
         };
         {
             let _span = tracer.map(|t| t.span("phase:load-inputs"));

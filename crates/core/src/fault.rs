@@ -13,7 +13,8 @@
 //! Recognized points (an unknown point is a parse error so typos fail
 //! loudly): `wal_write`, `wal_fsync`, `wal_delete_write`,
 //! `wal_delete_fsync`, `snapshot_write`, `snapshot_rename`,
-//! `conn_write`. Insert and delete appends hit distinct points so a
+//! `conn_write`, `wal_probe`, `disk_map`, `compact_write`.
+//! Insert and delete appends hit distinct points so a
 //! test can crash exactly on the N-th *delete* record regardless of how
 //! many inserts preceded it.
 //!
@@ -85,6 +86,13 @@ pub enum FaultPoint {
     /// A storage health probe (degraded-mode heal attempt). Distinct
     /// from the WAL points so probes never shift `at=N` hit counts.
     WalProbe,
+    /// Opening/mapping a v2 snapshot for disk-backed cold start (fired
+    /// before the file is trusted; a failure falls back or aborts open,
+    /// never serves unverified data).
+    DiskMap,
+    /// A compaction temp-file write (the `.compact` verb's analogue of
+    /// `snapshot_write`).
+    CompactWrite,
 }
 
 impl FaultPoint {
@@ -98,6 +106,8 @@ impl FaultPoint {
             "snapshot_rename" => Some(Self::SnapshotRename),
             "conn_write" => Some(Self::ConnWrite),
             "wal_probe" => Some(Self::WalProbe),
+            "disk_map" => Some(Self::DiskMap),
+            "compact_write" => Some(Self::CompactWrite),
             _ => None,
         }
     }
@@ -112,6 +122,8 @@ impl FaultPoint {
             Self::SnapshotRename => "snapshot_rename",
             Self::ConnWrite => "conn_write",
             Self::WalProbe => "wal_probe",
+            Self::DiskMap => "disk_map",
+            Self::CompactWrite => "compact_write",
         }
     }
 
@@ -125,11 +137,13 @@ impl FaultPoint {
             Self::SnapshotRename => 5,
             Self::ConnWrite => 6,
             Self::WalProbe => 7,
+            Self::DiskMap => 8,
+            Self::CompactWrite => 9,
         }
     }
 }
 
-const POINT_COUNT: usize = 8;
+const POINT_COUNT: usize = 10;
 
 /// A parsed `STIR_FAULT` specification plus per-point hit counters.
 #[derive(Debug)]
@@ -450,6 +464,18 @@ mod tests {
         let mut open = FaultPlan::parse("wal_write:always").expect("parses");
         open.window = Some(Duration::from_secs(3600));
         assert!(open.check(FaultPoint::WalWrite).is_err(), "window open");
+    }
+
+    #[test]
+    fn disk_points_parse_and_fire() {
+        let plan = FaultPlan::parse("disk_map:once,compact_write:at=2").expect("parses");
+        let err = plan.check(FaultPoint::DiskMap).unwrap_err();
+        assert!(err.to_string().contains("disk_map"), "{err}");
+        assert!(plan.check(FaultPoint::DiskMap).is_ok());
+        assert!(plan.check(FaultPoint::CompactWrite).is_ok());
+        let err = plan.check(FaultPoint::CompactWrite).unwrap_err();
+        assert!(err.to_string().contains("compact_write"), "{err}");
+        assert!(plan.check(FaultPoint::SnapshotWrite).is_ok(), "others pass");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! * the **outlining** ablation (§4.3 analogue) is an execution-time
 //!   choice and does not affect tree shape.
 
-use crate::config::InterpreterConfig;
+use crate::config::{InterpreterConfig, StorageBackend};
 use stir_ram::expr::{CmpKind, RamExpr};
 use stir_ram::program::{RamProgram, RelId, ReprKind};
 use stir_ram::stmt::{AggFunc, RamCond, RamOp, RamStmt};
@@ -403,6 +403,24 @@ struct Builder<'p> {
 }
 
 impl<'p> Builder<'p> {
+    /// Whether `rel` is served by disk-backed (`DiskIndex`) adapters and
+    /// must therefore answer through the virtual interface: the
+    /// monomorphized static handlers downcast to the factory's
+    /// specialized index types and would miss. This is the paper's
+    /// de-specialization seam doing its job — swapping the storage of one
+    /// relation is a per-relation dispatch decision here, not an engine
+    /// rewrite.
+    fn disk_override(&self, rel: RelId) -> bool {
+        self.config.storage == StorageBackend::Disk
+            && crate::database::disk_backed(&self.ram.relations[rel.0])
+    }
+
+    /// Whether accesses to `rel` may use statically-dispatched
+    /// instruction variants.
+    fn static_ok(&self, rel: RelId) -> bool {
+        self.config.static_dispatch && !self.disk_override(rel)
+    }
+
     fn stmt(&mut self, s: &'p RamStmt) -> INode<'p> {
         match s {
             RamStmt::Seq(stmts) => INode::Seq(stmts.iter().map(|st| self.stmt(st)).collect()),
@@ -517,7 +535,7 @@ impl<'p> Builder<'p> {
                     arity: self.ram.relations[rel.0].arity,
                 };
                 let body = Box::new(self.op(body));
-                if self.config.static_dispatch {
+                if self.static_ok(*rel) {
                     INode::ScanStatic {
                         rel: *rel,
                         index: 0,
@@ -556,7 +574,7 @@ impl<'p> Builder<'p> {
                     arity: self.ram.relations[rel.0].arity,
                 };
                 let body = Box::new(self.op(body));
-                if self.config.static_dispatch {
+                if self.static_ok(*rel) {
                     INode::IndexScanStatic {
                         rel: *rel,
                         index: *index,
@@ -627,7 +645,7 @@ impl<'p> Builder<'p> {
                 self.maps[*level] = None;
                 let body = Box::new(self.op(body));
                 INode::Aggregate {
-                    static_dispatch: self.config.static_dispatch,
+                    static_dispatch: self.static_ok(*rel),
                     rel: *rel,
                     index: *index,
                     func: *func,
@@ -642,7 +660,7 @@ impl<'p> Builder<'p> {
     }
 
     fn project(&mut self, rel: RelId, values: &'p [RamExpr], rule: Option<u32>) -> INode<'p> {
-        let static_dispatch = self.config.static_dispatch;
+        let static_dispatch = self.static_ok(rel);
         // The rule id is absorbed at tree-generation time like any other
         // super-instruction constant; RULE_INPUT marks synthetic
         // projections (aggregate helpers, update seeds without a rule).
@@ -747,7 +765,7 @@ impl<'p> Builder<'p> {
                 let ord = self.storage_order(*rel, *index);
                 let _ = eqrel_swap;
                 let bounds = self.bounds_owned(pattern_ref, &ord);
-                if self.config.static_dispatch {
+                if self.static_ok(*rel) {
                     INode::ExistsStatic {
                         rel: *rel,
                         index: *index,
@@ -898,7 +916,10 @@ mod tests {
     #[test]
     fn static_config_builds_static_nodes() {
         let ram = ram(TC);
-        let tree = build(&ram, &InterpreterConfig::optimized());
+        // Pin mem storage: under `STIR_STORAGE=disk` the presets would
+        // legitimately demote standard-relation access to dynamic nodes.
+        let cfg = InterpreterConfig::optimized().with_storage(StorageBackend::Mem);
+        let tree = build(&ram, &cfg);
         assert!(count_kind(&tree.root, &|n| matches!(n, INode::IndexScanStatic { .. })) > 0);
         assert_eq!(
             count_kind(&tree.root, &|n| matches!(n, INode::IndexScanDynamic { .. })),
@@ -921,13 +942,55 @@ mod tests {
     }
 
     #[test]
+    fn disk_storage_forces_dynamic_nodes_for_standard_relations() {
+        let ram = ram(TC);
+        let cfg = InterpreterConfig::optimized().with_storage(StorageBackend::Disk);
+        let tree = build(&ram, &cfg);
+        // Standard relations (e, p) answer through the adapter interface;
+        // the auxiliary delta/new relations keep their specialized static
+        // handlers.
+        let is_disk_rel = |rel: &RelId| crate::database::disk_backed(&ram.relations[rel.0]);
+        assert_eq!(
+            count_kind(&tree.root, &|n| match n {
+                INode::ScanStatic { rel, .. } | INode::IndexScanStatic { rel, .. } =>
+                    is_disk_rel(rel),
+                INode::ProjectSuper {
+                    rel,
+                    static_dispatch,
+                    ..
+                } => *static_dispatch && is_disk_rel(rel),
+                INode::ExistsStatic { rel, .. } => is_disk_rel(rel),
+                _ => false,
+            }),
+            0,
+            "no static access to a disk-backed relation"
+        );
+        assert!(
+            count_kind(&tree.root, &|n| matches!(
+                n,
+                INode::ScanDynamic { .. } | INode::IndexScanDynamic { .. }
+            )) > 0,
+            "disk-backed relations scan dynamically"
+        );
+        assert!(
+            count_kind(&tree.root, &|n| match n {
+                INode::ScanStatic { rel, .. } | INode::IndexScanStatic { rel, .. } =>
+                    !is_disk_rel(rel),
+                _ => false,
+            }) > 0,
+            "auxiliary relations keep static dispatch"
+        );
+    }
+
+    #[test]
     fn super_instructions_fold_constants_into_bounds() {
         let src = "\
             .decl e(x: number, y: number)\n.decl r(y: number)\n\
             e(7, 8).\n\
             r(y) :- e(7, y).\n";
         let ram = ram(src);
-        let with = build(&ram, &InterpreterConfig::optimized());
+        let mem = InterpreterConfig::optimized().with_storage(StorageBackend::Mem);
+        let with = build(&ram, &mem);
         // The constant 7 is baked into the bound template: no dynamic
         // entries, no generic Constant nodes under the scan.
         let dyn_entries = count_kind(&with.root, &|n| match n {
@@ -940,7 +1003,7 @@ mod tests {
             &ram,
             &InterpreterConfig {
                 super_instructions: false,
-                ..InterpreterConfig::optimized()
+                ..mem
             },
         );
         let dyn_entries = count_kind(&without.root, &|n| match n {

@@ -53,12 +53,13 @@ pub mod prov;
 pub mod rederive;
 pub mod resident;
 pub mod sink;
+pub mod snap2;
 pub mod static_set;
 pub mod telemetry;
 pub mod value;
 pub mod wal;
 
-pub use config::InterpreterConfig;
+pub use config::{InterpreterConfig, StorageBackend};
 pub use database::{DataMode, Database, InputData};
 pub use engine::{Engine, EvalOutcome};
 pub use error::{EngineError, EvalError, StorageError};

@@ -55,7 +55,7 @@
 //! caching them would tie the tree's lifetime to the program's and buy
 //! nothing measurable.
 
-use crate::config::InterpreterConfig;
+use crate::config::{InterpreterConfig, StorageBackend};
 use crate::database::{DataMode, Database, InputData};
 use crate::engine::Engine;
 use crate::error::{EngineError, EvalError, StorageError};
@@ -66,6 +66,7 @@ use crate::itree;
 use crate::morsel::ParallelReport;
 use crate::profile::ProfileReport;
 use crate::prov::{ExplainLimits, ProofNode};
+use crate::snap2;
 use crate::telemetry::{LogLevel, ServeMetrics, Telemetry};
 use crate::value::Value;
 use crate::wal::{
@@ -77,6 +78,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use stir_der::disk::{self, DiskIndex, RunFile};
 use stir_frontend::SymbolTable;
 use stir_ram::expr::RamDomain;
 use stir_ram::program::{RamProgram, RelId, Role};
@@ -317,6 +319,10 @@ pub struct ResidentEngine {
     /// layer, admin endpoint, and heal loop. Stays Healthy forever on
     /// non-durable engines.
     health: Arc<HealthMonitor>,
+    /// The mapped v2 snapshot the disk-backed indexes serve pages off
+    /// (cold start or `.compact`); `None` when every index is
+    /// memory-resident or no base has been installed yet.
+    run_file: Option<Arc<RunFile>>,
 }
 
 impl ResidentEngine {
@@ -344,7 +350,7 @@ impl ResidentEngine {
         };
         let db = {
             let _span = tracer.map(|t| t.span("phase:build-db"));
-            Database::new_with(&ram, mode, config.provenance)
+            Database::new_with_storage(&ram, mode, config.provenance, config.storage)
         };
         {
             let _span = tracer.map(|t| t.span("phase:load-inputs"));
@@ -412,6 +418,7 @@ impl ResidentEngine {
             persistence: None,
             serve_metrics: Arc::new(ServeMetrics::off()),
             health: Arc::new(HealthMonitor::new()),
+            run_file: None,
         })
     }
 
@@ -434,7 +441,7 @@ impl ResidentEngine {
         };
         let db = {
             let _span = tracer.map(|t| t.span("phase:build-db"));
-            Database::new_with(&ram, mode, config.provenance)
+            Database::new_with_storage(&ram, mode, config.provenance, config.storage)
         };
         {
             // Replace the table wholesale: every bit pattern in the
@@ -570,6 +577,182 @@ impl ResidentEngine {
             persistence: None,
             serve_metrics: Arc::new(ServeMetrics::off()),
             health: Arc::new(HealthMonitor::new()),
+            run_file: None,
+        })
+    }
+
+    /// Builds a resident engine directly off a mapped v2 snapshot — the
+    /// disk-storage cold-start path. No fixpoint runs and no index is
+    /// rebuilt: each disk-backed index is rebased onto its persisted run
+    /// (pages fault in lazily through the shared cache) and only the
+    /// inline relations (nullary, eqrel) are materialized. Callers
+    /// guarantee `config.storage == Disk` and provenance off (provenance
+    /// recovery recomputes annotations, so it goes through
+    /// [`Self::from_snapshot`] on materialized tuples instead).
+    fn from_snap2(
+        engine: Engine,
+        config: InterpreterConfig,
+        snap: snap2::Snap2,
+        tel: Option<&Telemetry>,
+    ) -> Result<ResidentEngine, EngineError> {
+        let mut ram = engine.into_ram();
+        let tracer = tel.map(|t| &t.tracer);
+        let mode = if config.legacy_data {
+            DataMode::LegacyDynamic
+        } else {
+            DataMode::Specialized
+        };
+        let db = {
+            let _span = tracer.map(|t| t.span("phase:build-db"));
+            Database::new_with_storage(&ram, mode, config.provenance, config.storage)
+        };
+        {
+            // Same wholesale symbol-table replacement as
+            // [`Self::from_snapshot`]: the snapshot's bit patterns were
+            // encoded against it.
+            let mut fresh = SymbolTable::new();
+            for s in &snap.symbols {
+                fresh.intern(s);
+            }
+            if fresh.len() < ram.symbols.len() {
+                return Err(StorageError::new(
+                    "snapshot symbol table is smaller than the program's",
+                )
+                .into());
+            }
+            *db.symbols_wr() = fresh;
+        }
+        db.counter
+            .store(snap.counter, std::sync::atomic::Ordering::Relaxed);
+
+        {
+            let _span = tracer.map(|t| t.span("phase:map-snapshot"));
+            for srel in &snap.relations {
+                let meta = ram.relation_by_name(&srel.name).ok_or_else(|| {
+                    StorageError::new(format!(
+                        "snapshot relation `{}` is not in the program",
+                        srel.name
+                    ))
+                })?;
+                if srel.arity != meta.arity {
+                    return Err(StorageError::new(format!(
+                        "snapshot relation `{}` has arity {}, expected {}",
+                        srel.name, srel.arity, meta.arity
+                    ))
+                    .into());
+                }
+                let mut rel = db.wr(meta.id);
+                if let Some(tuples) = &srel.inline {
+                    // The snapshot is the complete state: ground facts
+                    // pre-inserted by `Database::new_with_storage` that
+                    // are missing from it were retracted and must not
+                    // resurrect.
+                    rel.clear();
+                    for t in tuples {
+                        if t.len() != meta.arity {
+                            return Err(StorageError::new(format!(
+                                "snapshot tuple for `{}` has arity {}, expected {}",
+                                srel.name,
+                                t.len(),
+                                meta.arity
+                            ))
+                            .into());
+                        }
+                        rel.insert(t);
+                    }
+                    continue;
+                }
+                // Run-backed: every index of the relation must be a
+                // DiskIndex whose order matches the persisted run (the
+                // fingerprint makes a mismatch a corruption, not a
+                // version skew).
+                if rel.index_count() != srel.runs.len() {
+                    return Err(StorageError::new(format!(
+                        "snapshot relation `{}` has {} runs, the program wants {} indexes",
+                        srel.name,
+                        srel.runs.len(),
+                        rel.index_count()
+                    ))
+                    .into());
+                }
+                for (k, run) in srel.runs.iter().enumerate() {
+                    let base = snap.base_run(srel, k);
+                    let idx = rel.index_mut(k);
+                    if idx.order().columns() != &run.order[..] {
+                        return Err(StorageError::new(format!(
+                            "snapshot run {k} of `{}` is ordered {:?}, the index wants {:?}",
+                            srel.name,
+                            run.order,
+                            idx.order().columns()
+                        ))
+                        .into());
+                    }
+                    idx.as_any_mut()
+                        .downcast_mut::<DiskIndex>()
+                        .ok_or_else(|| {
+                            StorageError::new(format!(
+                                "snapshot relation `{}` is run-backed but index {k} is not \
+                                 a disk index",
+                                srel.name
+                            ))
+                        })?
+                        .rebase(base);
+                }
+            }
+        }
+        {
+            // Ground-fact replay-list reconciliation, as in
+            // [`Self::from_snapshot`]: a program fact of a
+            // snapshot-covered `.input` relation that the snapshot no
+            // longer contains was retracted.
+            let mut covered = vec![false; ram.relations.len()];
+            for srel in &snap.relations {
+                if let Some(m) = ram.relation_by_name(&srel.name) {
+                    if m.is_input {
+                        covered[m.id.0] = true;
+                    }
+                }
+            }
+            ram.facts
+                .retain(|(rid, t)| !covered[rid.0] || db.rd(*rid).contains(t));
+        }
+        for (rid, _) in &snap.extra_facts {
+            if rid.0 >= ram.relations.len() {
+                return Err(
+                    StorageError::new("snapshot replay list names an unknown relation").into(),
+                );
+            }
+        }
+        if let Some(t) = tel {
+            db.sample_metrics(&ram, &t.metrics);
+        }
+
+        let mut aux_of = vec![Vec::new(); ram.relations.len()];
+        let mut all_upds = Vec::new();
+        for r in &ram.relations {
+            match r.role {
+                Role::Standard => {}
+                Role::Delta(b) | Role::New(b) => aux_of[b.0].push(r.id),
+                Role::Upd(b) => {
+                    aux_of[b.0].push(r.id);
+                    all_upds.push(r.id);
+                }
+            }
+        }
+
+        Ok(ResidentEngine {
+            ram,
+            config,
+            db,
+            extra_facts: snap.extra_facts,
+            aux_of,
+            all_upds,
+            counters: Counters::default(),
+            initial_profile: None,
+            persistence: None,
+            serve_metrics: Arc::new(ServeMetrics::off()),
+            health: Arc::new(HealthMonitor::new()),
+            run_file: Some(snap.file),
         })
     }
 
@@ -600,20 +783,48 @@ impl ResidentEngine {
         let wal_path = data_dir.join(WAL_FILE);
 
         let mut report = RecoveryReport::default();
-        let mut this = match wal::read_snapshot(&snap_path, fp) {
-            SnapshotLoad::Loaded(snap) => {
-                report.snapshot_loaded = true;
-                Self::from_snapshot(engine, config, snap, tel)?
-            }
-            SnapshotLoad::Missing => Self::new(engine, config, inputs, tel)?,
-            SnapshotLoad::Invalid(reason) => {
-                if let Some(t) = tel {
-                    t.logger.log(
-                        LogLevel::Warn,
-                        &format!("ignoring unusable snapshot: {reason}"),
-                    );
+        let mut this = if snap2::is_v2(&snap_path) {
+            // A v2 snapshot: under disk storage the run region is mapped
+            // and served in place (no fixpoint, no index rebuild); under
+            // memory storage — or with provenance on, which recomputes
+            // derived tuples to regain annotations — the runs are
+            // materialized into the v1 load path. Either way the format
+            // is portable across engine modes and storage backends.
+            match snap2::open_snapshot_v2(&snap_path, fp, disk::cache_budget_from_env()) {
+                Ok(snap) => {
+                    report.snapshot_loaded = true;
+                    if config.storage == StorageBackend::Disk && !config.provenance {
+                        Self::from_snap2(engine, config, snap, tel)?
+                    } else {
+                        Self::from_snapshot(engine, config, snap.into_snapshot_data(), tel)?
+                    }
                 }
-                Self::new(engine, config, inputs, tel)?
+                Err(reason) => {
+                    if let Some(t) = tel {
+                        t.logger.log(
+                            LogLevel::Warn,
+                            &format!("ignoring unusable snapshot: {reason}"),
+                        );
+                    }
+                    Self::new(engine, config, inputs, tel)?
+                }
+            }
+        } else {
+            match wal::read_snapshot(&snap_path, fp) {
+                SnapshotLoad::Loaded(snap) => {
+                    report.snapshot_loaded = true;
+                    Self::from_snapshot(engine, config, snap, tel)?
+                }
+                SnapshotLoad::Missing => Self::new(engine, config, inputs, tel)?,
+                SnapshotLoad::Invalid(reason) => {
+                    if let Some(t) = tel {
+                        t.logger.log(
+                            LogLevel::Warn,
+                            &format!("ignoring unusable snapshot: {reason}"),
+                        );
+                    }
+                    Self::new(engine, config, inputs, tel)?
+                }
             }
         };
 
@@ -790,6 +1001,15 @@ impl ResidentEngine {
         if let Some((fsyncs, commits)) = self.group_commit_stats() {
             m.set("group_commit.fsyncs", fsyncs);
             m.set("group_commit.commits", commits);
+        }
+        if let Some((hits, misses, evictions, resident, budget)) = self.page_cache_stats() {
+            // Gated like the parallel/retract counters: engines that
+            // never mapped a snapshot keep the old metric schema.
+            m.set("storage.page_cache.hits", hits);
+            m.set("storage.page_cache.misses", misses);
+            m.set("storage.page_cache.evictions", evictions);
+            m.set("storage.page_cache.resident_bytes", resident);
+            m.set("storage.page_cache.budget_bytes", budget);
         }
         let h = &self.health;
         if h.state_code() != 0 || h.degraded_entered.load(Ordering::Relaxed) > 0 {
@@ -968,6 +1188,45 @@ impl ResidentEngine {
             .filter(|r| matches!(r.role, Role::Standard))
             .map(|r| (r.name.clone(), self.db.rd(r.id).len() as u64))
             .collect()
+    }
+
+    /// Approximate resident bytes of every base (`Role::Standard`)
+    /// relation — the sum of its indexes' structural estimates — in
+    /// declaration order: the per-relation `stir_relation_bytes` gauges
+    /// on `/metrics`. Disk-backed indexes report only what actually
+    /// lives in memory (fences and delta overlays), not the mapped run
+    /// region, so the total tracks the process's real footprint.
+    pub fn relation_bytes(&self) -> Vec<(String, u64)> {
+        self.ram
+            .relations
+            .iter()
+            .filter(|r| matches!(r.role, Role::Standard))
+            .map(|r| {
+                let bytes: usize = self.db.rd(r.id).index_stats().iter().map(|s| s.bytes).sum();
+                (r.name.clone(), bytes as u64)
+            })
+            .collect()
+    }
+
+    /// Page-cache counters of the mapped v2 snapshot, as
+    /// `(hits, misses, evictions, resident_bytes, budget_bytes)`;
+    /// `None` until a cold start or `.compact` installs one.
+    pub fn page_cache_stats(&self) -> Option<(u64, u64, u64, u64, u64)> {
+        self.run_file.as_ref().map(|f| {
+            let s = f.stats();
+            (
+                s.hits.load(Ordering::Relaxed),
+                s.misses.load(Ordering::Relaxed),
+                s.evictions.load(Ordering::Relaxed),
+                s.resident_bytes.load(Ordering::Relaxed),
+                f.budget() as u64,
+            )
+        })
+    }
+
+    /// The storage backend the engine's database runs on.
+    pub fn storage(&self) -> StorageBackend {
+        self.config.storage
     }
 
     /// Every `.output` relation's current tuples, sorted, keyed by name.
@@ -1550,17 +1809,95 @@ impl ResidentEngine {
         let Some(p) = &mut self.persistence else {
             return Err(StorageError::new("no data directory configured").into());
         };
-        let stats = wal::write_snapshot(
+        let stats = if self.config.storage == StorageBackend::Disk {
+            // Disk engines snapshot in the v2 run format so the next
+            // cold start maps the file instead of rebuilding indexes.
+            // The live indexes keep serving off their current base (the
+            // renamed-over file stays readable through its open handle)
+            // plus overlays; only `.compact` rebases them.
+            snap2::write_snapshot_v2(
+                &p.snapshot_path(),
+                p.fp,
+                &self.ram,
+                &self.db,
+                &self.extra_facts,
+                FaultPoint::SnapshotWrite,
+            )?
+        } else {
+            wal::write_snapshot(
+                &p.snapshot_path(),
+                p.fp,
+                &self.ram,
+                &self.db,
+                &self.extra_facts,
+            )?
+        };
+        p.wal.reset()?;
+        p.batches_since_snapshot = 0;
+        p.snapshot_writes += 1;
+        p.snapshot_tuples += stats.tuples;
+        self.serve_metrics
+            .observe(&self.serve_metrics.snapshot_write, t_snap);
+        Ok(stats)
+    }
+
+    /// Rewrites the database as a fresh v2 snapshot — folding every
+    /// disk-backed index's delta overlay into new base runs — truncates
+    /// the WAL, and (under disk storage) rebases the live indexes onto
+    /// the fresh file, emptying their overlays and releasing the old
+    /// snapshot's pages. The write is atomic (temp + fsync + rename,
+    /// gated by the `compact_write` fault point); a failure leaves the
+    /// previous snapshot and the live overlays untouched.
+    ///
+    /// Under memory storage this still writes a v2 file (the format is
+    /// portable), so a later restart with `--storage disk` cold-starts
+    /// off it; there is just nothing to rebase.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the engine has no data directory, and on snapshot or
+    /// WAL I/O errors.
+    pub fn compact(&mut self, tel: Option<&Telemetry>) -> Result<SnapshotStats, EngineError> {
+        let _span = tel.map(|t| t.tracer.span("phase:serve:compact"));
+        let t_snap = self.serve_metrics.start();
+        let Some(p) = &mut self.persistence else {
+            return Err(StorageError::new("no data directory configured").into());
+        };
+        let stats = snap2::write_snapshot_v2(
             &p.snapshot_path(),
             p.fp,
             &self.ram,
             &self.db,
             &self.extra_facts,
+            FaultPoint::CompactWrite,
         )?;
         p.wal.reset()?;
         p.batches_since_snapshot = 0;
         p.snapshot_writes += 1;
         p.snapshot_tuples += stats.tuples;
+        if self.config.storage == StorageBackend::Disk {
+            let snap =
+                snap2::open_snapshot_v2(&p.snapshot_path(), p.fp, disk::cache_budget_from_env())?;
+            for srel in &snap.relations {
+                if srel.runs.is_empty() {
+                    continue;
+                }
+                let meta = self.ram.relation_by_name(&srel.name).ok_or_else(|| {
+                    StorageError::new(format!(
+                        "compacted snapshot names unknown relation `{}`",
+                        srel.name
+                    ))
+                })?;
+                let mut rel = self.db.wr(meta.id);
+                for k in 0..srel.runs.len() {
+                    let base = snap.base_run(srel, k);
+                    if let Some(di) = rel.index_mut(k).as_any_mut().downcast_mut::<DiskIndex>() {
+                        di.rebase(base);
+                    }
+                }
+            }
+            self.run_file = Some(snap.file);
+        }
         self.serve_metrics
             .observe(&self.serve_metrics.snapshot_write, t_snap);
         Ok(stats)
@@ -2128,6 +2465,199 @@ mod tests {
             .query("out", &[Some(Value::Symbol("grace".into()))], None)
             .expect("queries");
         assert_eq!(rows.len(), 1, "recovered symbols stay queryable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cold_start_maps_v2_snapshot_and_replays_wal_suffix() {
+        let dir = tmpdir("disk-cold");
+        let disk = InterpreterConfig::optimized().with_storage(StorageBackend::Disk);
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(TC, disk, &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        r.snapshot(None).expect("snapshots");
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        let before = r.outputs();
+        drop(r); // simulated crash after the snapshot + one WAL batch
+
+        let (r, rec) = open_dir(TC, disk, &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.replayed_batches, 1, "only the post-snapshot suffix");
+        assert!(
+            r.initial_profile().is_none(),
+            "cold start skips the initial fixpoint"
+        );
+        assert!(
+            r.page_cache_stats().is_some(),
+            "disk cold start maps the v2 snapshot"
+        );
+        assert_eq!(r.outputs(), before);
+        let rows = r
+            .query("p", &[Some(Value::Number(1)), None], None)
+            .expect("queries");
+        assert_eq!(rows.len(), 3); // (1,2) (1,3) (1,4)
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_snapshots_are_portable_across_storage_backends() {
+        let dir = tmpdir("storage-port");
+        let disk = InterpreterConfig::optimized().with_storage(StorageBackend::Disk);
+        let mem = InterpreterConfig::optimized().with_storage(StorageBackend::Mem);
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+
+        // v1 (mem) snapshot restores under disk storage...
+        let (mut r, _) = open_dir(TC, mem, &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        r.snapshot(None).expect("snapshots");
+        let before = r.outputs();
+        drop(r);
+        let (mut r, rec) = open_dir(TC, disk, &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(r.outputs(), before);
+
+        // ...and the v2 (disk) snapshot it now writes restores under mem.
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        r.snapshot(None).expect("snapshots");
+        let before = r.outputs();
+        drop(r);
+        let (r, rec) = open_dir(TC, mem, &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert!(
+            r.page_cache_stats().is_none(),
+            "mem storage materializes the runs instead of mapping them"
+        );
+        assert_eq!(r.outputs(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_folds_overlays_into_fresh_base_runs() {
+        let dir = tmpdir("compact");
+        let disk = InterpreterConfig::optimized().with_storage(StorageBackend::Disk);
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(TC, disk, &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        let before = r.outputs();
+        let stats = r.compact(None).expect("compacts");
+        assert!(stats.tuples > 0);
+        assert!(
+            r.page_cache_stats().is_some(),
+            "compaction rebases onto the fresh file"
+        );
+        // The live indexes now serve off base runs with empty overlays.
+        let p = r.ram.relation_by_name("p").expect("p exists").id;
+        {
+            let rel = r.db.rd(p);
+            for k in 0..rel.index_count() {
+                let di = rel
+                    .index(k)
+                    .as_any()
+                    .downcast_ref::<DiskIndex>()
+                    .expect("disk index");
+                assert!(di.has_base());
+                assert_eq!(di.overlay_len(), (0, 0), "overlay folded into the base");
+            }
+        }
+        assert_eq!(r.outputs(), before, "contents unchanged by compaction");
+
+        // Compaction truncated the WAL: a restart replays nothing and
+        // serves the same answers straight off the new base runs.
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        let before = r.outputs();
+        drop(r);
+        let (r, rec) = open_dir(TC, disk, &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.replayed_batches, 1, "only the post-compact batch");
+        assert_eq!(r.outputs(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_without_data_dir_is_an_error() {
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let mut r = resident(TC, &inputs);
+        assert!(r.compact(None).is_err());
+    }
+
+    #[test]
+    fn v2_snapshot_with_provenance_recomputes_annotations() {
+        let dir = tmpdir("disk-prov");
+        let disk = InterpreterConfig::optimized().with_storage(StorageBackend::Disk);
+        let mut prov = disk;
+        prov.provenance = true;
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2), (2, 3)]));
+        let opts = PersistOptions::default();
+
+        // A provenance-off disk engine writes the v2 snapshot...
+        let (mut r, _) = open_dir(TC, disk, &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(3, 4)]), None)
+            .expect("inserts");
+        r.snapshot(None).expect("snapshots");
+        let before = r.outputs();
+        drop(r);
+
+        // ...and a provenance-on restart materializes it, re-runs the
+        // fixpoint for annotations, and can serve proof trees.
+        let (r, rec) = open_dir(TC, prov, &inputs, &dir, opts);
+        assert!(rec.snapshot_loaded);
+        assert_eq!(r.outputs(), before);
+        let tree = r
+            .explain(
+                "p",
+                &[Value::Number(1), Value::Number(4)],
+                ExplainLimits::default(),
+                None,
+            )
+            .expect("explains");
+        assert!(r.render_proof(&tree).contains("p(1, 4)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_v2_snapshot_degrades_to_reevaluation() {
+        let dir = tmpdir("disk-corrupt");
+        let disk = InterpreterConfig::optimized().with_storage(StorageBackend::Disk);
+        let mut inputs = InputData::new();
+        inputs.insert("e".into(), pairs(&[(1, 2)]));
+        let opts = PersistOptions::default();
+
+        let (mut r, _) = open_dir(TC, disk, &inputs, &dir, opts);
+        r.insert_facts("e", &pairs(&[(2, 3)]), None)
+            .expect("inserts");
+        r.snapshot(None).expect("snapshots");
+        let before = r.outputs();
+        drop(r);
+
+        // Flip one byte in the middle of the run region: the streaming
+        // CRC rejects the file and recovery falls back to re-evaluating
+        // the program plus the (truncated-at-snapshot) WAL — which is
+        // empty here, so only the original inputs survive.
+        let snap = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&snap).expect("reads");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).expect("writes");
+        let (r, rec) = open_dir(TC, disk, &inputs, &dir, opts);
+        assert!(!rec.snapshot_loaded, "corrupt snapshot is not loaded");
+        assert_ne!(r.outputs(), before, "post-snapshot insert lost with it");
+        assert_eq!(r.outputs()["p"], pairs(&[(1, 2)]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

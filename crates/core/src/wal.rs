@@ -86,33 +86,44 @@ const WAL_HEADER: u64 = 16;
 // Checksums
 // ---------------------------------------------------------------------
 
-/// Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320),
-/// table-driven; the table is built at compile time.
-pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            table[i] = c;
-            i += 1;
+/// CRC-32 lookup table (IEEE 802.3, reflected polynomial 0xEDB88320),
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
         }
-        table
-    };
-    let mut crc = !0u32;
-    for &b in data {
-        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        table[i] = c;
+        i += 1;
     }
-    !crc
+    table
+};
+
+/// Feeds `data` into a running CRC-32 register (`state` starts at `!0`
+/// and the caller inverts the final value). Lets large files — the v2
+/// snapshots in [`crate::snap2`] — be checksummed in streaming chunks
+/// without buffering the whole file.
+pub(crate) fn crc32_feed(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320),
+/// table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_feed(!0u32, data)
 }
 
 /// FNV-1a 64-bit hash; fingerprints the printed RAM program so durable
@@ -183,15 +194,15 @@ impl Durability {
 // Byte-level helpers
 // ---------------------------------------------------------------------
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -220,14 +231,19 @@ fn put_value(buf: &mut Vec<u8>, v: &Value) {
 /// A bounds-checked reader over an in-memory byte slice. Every getter
 /// fails cleanly on truncation instead of panicking, so corrupt durable
 /// files surface as [`StorageError`]s.
-struct ByteReader<'a> {
+pub(crate) struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         ByteReader { buf, pos: 0 }
+    }
+
+    /// The current read position, for error messages that name offsets.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
@@ -245,15 +261,15 @@ impl<'a> ByteReader<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, StorageError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, StorageError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, StorageError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, StorageError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Result<String, StorageError> {
+    pub(crate) fn str(&mut self) -> Result<String, StorageError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
@@ -270,7 +286,19 @@ impl<'a> ByteReader<'a> {
         }
     }
 
-    fn done(&self) -> bool {
+    /// The unread remainder of the buffer; the read position is
+    /// unchanged (pair with [`ByteReader::skip`] after consuming).
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Advances the read position by `n` bytes (the caller has already
+    /// bounds-checked by consuming from [`ByteReader::rest`]).
+    pub(crate) fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }

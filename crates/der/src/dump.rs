@@ -12,18 +12,32 @@
 //! Wire format (all integers little-endian):
 //!
 //! ```text
+//! [4 bytes magic "STDT"] [u16 version = 1] [u16 arity]
 //! [u64 tuple_count] then tuple_count × arity × [u32 value]
 //! ```
 //!
+//! The header makes a section self-describing: a reader can reject an
+//! arity mismatch up front (previously a mismatch silently re-framed the
+//! payload into garbage tuples) and truncation errors can name the exact
+//! byte offset. Sections written before the header existed started
+//! directly with the `u64` count; [`read_tuples`] still accepts those —
+//! the magic cannot collide with a realistic count because it decodes to
+//! a count above 10^18.
+//!
 //! Nullary relations encode their presence flag as a count of 0 or 1
-//! with zero payload bytes per tuple. Integrity (checksums, lengths) is
-//! the *container's* job — the snapshot file wraps these sections in a
-//! CRC — so this module only validates structural well-formedness
-//! (truncation).
+//! with zero payload bytes per tuple. Integrity (checksums) is the
+//! *container's* job — the snapshot file wraps these sections in a CRC —
+//! so this module only validates structural well-formedness.
 
 use crate::relation::Relation;
 use crate::tuple::RamDomain;
-use std::io::{Read, Write};
+use std::io::{Error, ErrorKind, Read, Write};
+
+/// Magic bytes opening a headered tuple section.
+pub const SECTION_MAGIC: [u8; 4] = *b"STDT";
+
+/// Current tuple-section format version.
+pub const SECTION_VERSION: u16 = 1;
 
 /// Writes all tuples of `rel` (source order, sorted) to `w`.
 ///
@@ -35,6 +49,9 @@ use std::io::{Read, Write};
 pub fn write_tuples(w: &mut dyn Write, rel: &Relation) -> std::io::Result<u64> {
     let tuples = rel.to_sorted_tuples();
     let count = tuples.len() as u64;
+    w.write_all(&SECTION_MAGIC)?;
+    w.write_all(&SECTION_VERSION.to_le_bytes())?;
+    w.write_all(&(rel.arity() as u16).to_le_bytes())?;
     w.write_all(&count.to_le_bytes())?;
     for t in &tuples {
         for &v in t {
@@ -44,22 +61,80 @@ pub fn write_tuples(w: &mut dyn Write, rel: &Relation) -> std::io::Result<u64> {
     Ok(count)
 }
 
+/// Reads exactly `buf.len()` bytes, turning a short read into an error
+/// naming the byte offset (relative to the section start) where input
+/// ran out.
+fn read_at(r: &mut dyn Read, buf: &mut [u8], off: u64, what: &str) -> std::io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            Error::new(
+                ErrorKind::UnexpectedEof,
+                format!("truncated tuple section: {what} at byte offset {off}"),
+            )
+        } else {
+            e
+        }
+    })
+}
+
 /// Reads a tuple section written by [`write_tuples`] for a relation of
-/// the given arity, returning the decoded tuples.
+/// the given arity, returning the decoded tuples. Headerless sections
+/// written by older versions (starting directly with the `u64` count)
+/// are accepted too.
 ///
 /// # Errors
 ///
-/// Fails on I/O errors and on truncated input (`UnexpectedEof`).
+/// Fails on I/O errors, on truncated input (`UnexpectedEof`, naming the
+/// byte offset where the data ran out), on an unsupported section
+/// version, and on an arity mismatch between the header and `arity`
+/// (`InvalidData`, naming the offending offset).
 pub fn read_tuples(r: &mut dyn Read, arity: usize) -> std::io::Result<Vec<Vec<RamDomain>>> {
-    let mut count8 = [0u8; 8];
-    r.read_exact(&mut count8)?;
-    let count = u64::from_le_bytes(count8);
+    // Both forms start with at least 8 bytes: magic+version+arity for the
+    // headered format, the u64 count for the legacy one.
+    let mut head = [0u8; 8];
+    read_at(r, &mut head, 0, "section header")?;
+    let mut off: u64 = 8;
+    let count = if head[..4] == SECTION_MAGIC {
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version != SECTION_VERSION {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "unsupported tuple section version {version} at byte offset 4 \
+                     (expected {SECTION_VERSION})"
+                ),
+            ));
+        }
+        let section_arity = u16::from_le_bytes([head[6], head[7]]) as usize;
+        if section_arity != arity {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "tuple section arity mismatch at byte offset 6: \
+                     section holds arity-{section_arity} tuples, reader expected arity {arity}"
+                ),
+            ));
+        }
+        let mut count8 = [0u8; 8];
+        read_at(r, &mut count8, off, "tuple count")?;
+        off += 8;
+        u64::from_le_bytes(count8)
+    } else {
+        // Legacy headerless section: the 8 bytes were the count.
+        u64::from_le_bytes(head)
+    };
     let mut tuples = Vec::new();
     let mut word = [0u8; 4];
-    for _ in 0..count {
+    for i in 0..count {
         let mut t = Vec::with_capacity(arity);
         for _ in 0..arity {
-            r.read_exact(&mut word)?;
+            read_at(
+                r,
+                &mut word,
+                off,
+                &format!("tuple {i} of {count} (arity {arity})"),
+            )?;
+            off += 4;
             t.push(RamDomain::from_le_bytes(word));
         }
         tuples.push(t);
@@ -75,7 +150,8 @@ pub fn read_tuples(r: &mut dyn Read, arity: usize) -> std::io::Result<Vec<Vec<Ra
 ///
 /// # Errors
 ///
-/// Fails on I/O errors and truncated input.
+/// Fails on I/O errors, truncated input, and arity mismatches (see
+/// [`read_tuples`]).
 pub fn load_tuples(rel: &mut Relation, r: &mut dyn Read) -> std::io::Result<u64> {
     let tuples = read_tuples(r, rel.arity())?;
     let n = tuples.len() as u64;
@@ -113,7 +189,9 @@ mod tests {
         let src = sample();
         let mut buf = Vec::new();
         assert_eq!(write_tuples(&mut buf, &src).expect("writes"), 3);
-        assert_eq!(buf.len(), 8 + 3 * 2 * 4);
+        // magic(4) + version(2) + arity(2) + count(8) + payload
+        assert_eq!(buf.len(), 16 + 3 * 2 * 4);
+        assert_eq!(&buf[..4], b"STDT");
 
         let mut dst = sample();
         dst.clear();
@@ -165,7 +243,7 @@ mod tests {
         flag.insert(&[]);
         let mut buf = Vec::new();
         assert_eq!(write_tuples(&mut buf, &flag).expect("writes"), 1);
-        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.len(), 16);
 
         let mut restored = Relation::new("flag", 0, vec![]);
         load_tuples(&mut restored, &mut buf.as_slice()).expect("loads");
@@ -173,7 +251,24 @@ mod tests {
     }
 
     #[test]
-    fn truncated_input_is_an_error() {
+    fn legacy_headerless_sections_still_load() {
+        // The pre-header format: bare u64 count then packed tuples.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        for v in [1u32, 9, 2, 8] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut dst = sample();
+        dst.clear();
+        assert_eq!(
+            load_tuples(&mut dst, &mut buf.as_slice()).expect("loads"),
+            2
+        );
+        assert_eq!(dst.to_sorted_tuples(), vec![vec![1, 9], vec![2, 8]]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_naming_the_offset() {
         let src = sample();
         let mut buf = Vec::new();
         write_tuples(&mut buf, &src).expect("writes");
@@ -182,6 +277,34 @@ mod tests {
         dst.clear();
         let err = load_tuples(&mut dst, &mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // Payload starts at 16; tuple 2's second word sits at 16 + 5*4.
+        assert!(
+            err.to_string().contains("byte offset 36"),
+            "error names the failing offset: {err}"
+        );
+        assert!(err.to_string().contains("tuple 2 of 3"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_up_front() {
+        let src = sample();
+        let mut buf = Vec::new();
+        write_tuples(&mut buf, &src).expect("writes");
+        let err = read_tuples(&mut buf.as_slice(), 3).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("arity mismatch"), "{err}");
+        assert!(err.to_string().contains("byte offset 6"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let src = sample();
+        let mut buf = Vec::new();
+        write_tuples(&mut buf, &src).expect("writes");
+        buf[4] = 99;
+        let err = read_tuples(&mut buf.as_slice(), 2).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 99"), "{err}");
     }
 
     #[test]

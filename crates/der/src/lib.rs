@@ -55,6 +55,7 @@ pub mod adapter;
 pub mod brie;
 pub mod btree;
 pub mod buffer;
+pub mod disk;
 pub mod dump;
 pub mod dynindex;
 pub mod eqrel;

@@ -215,13 +215,37 @@ pub fn registry_json(engine: &ResidentEngine) -> Json {
         .into_iter()
         .map(|(name, n)| (name, Json::num(n)))
         .collect();
+    let relation_bytes = engine.relation_bytes();
+    let total_bytes: u64 = relation_bytes.iter().map(|(_, n)| n).sum();
+    let relation_bytes = relation_bytes
+        .into_iter()
+        .map(|(name, n)| (name, Json::num(n)))
+        .collect();
     root.push((
         "db".to_string(),
         Json::obj(vec![
             ("epoch".to_string(), Json::num(engine.db_epoch())),
+            (
+                "storage".to_string(),
+                Json::Str(engine.storage().as_str().to_string()),
+            ),
             ("relations".to_string(), Json::Obj(relations)),
+            ("relation_bytes".to_string(), Json::Obj(relation_bytes)),
+            ("resident_bytes".to_string(), Json::num(total_bytes)),
         ]),
     ));
+    if let Some((hits, misses, evictions, resident, budget)) = engine.page_cache_stats() {
+        root.push((
+            "page_cache".to_string(),
+            Json::obj(vec![
+                ("hits".to_string(), Json::num(hits)),
+                ("misses".to_string(), Json::num(misses)),
+                ("evictions".to_string(), Json::num(evictions)),
+                ("resident_bytes".to_string(), Json::num(resident)),
+                ("budget_bytes".to_string(), Json::num(budget)),
+            ]),
+        ));
+    }
     if let Some(w) = engine.wal_stats() {
         root.push((
             "wal".to_string(),
@@ -579,6 +603,41 @@ pub fn render_prometheus(engine: &ResidentEngine) -> String {
             rec.replay_ms,
         );
     }
+    if let Some((hits, misses, evictions, resident, budget)) = engine.page_cache_stats() {
+        // Only present once a v2 snapshot is mapped (disk storage after
+        // a cold start or `.compact`), so memory-backed servers keep
+        // the old exposition byte for byte.
+        counter(
+            &mut out,
+            "page_cache_hits_total",
+            "Snapshot page-cache hits.",
+            hits,
+        );
+        counter(
+            &mut out,
+            "page_cache_misses_total",
+            "Snapshot page-cache misses (pages read from disk).",
+            misses,
+        );
+        counter(
+            &mut out,
+            "page_cache_evictions_total",
+            "Snapshot pages evicted to stay within budget.",
+            evictions,
+        );
+        gauge(
+            &mut out,
+            "page_cache_resident_bytes",
+            "Bytes of snapshot pages currently cached.",
+            resident,
+        );
+        gauge(
+            &mut out,
+            "page_cache_budget_bytes",
+            "Configured snapshot page-cache budget.",
+            budget,
+        );
+    }
     let _ = writeln!(
         out,
         "# HELP stir_relation_tuples Current tuples per base relation."
@@ -587,6 +646,22 @@ pub fn render_prometheus(engine: &ResidentEngine) -> String {
     for (name, n) in engine.relation_tuples() {
         let _ = writeln!(out, "stir_relation_tuples{{relation=\"{name}\"}} {n}");
     }
+    let relation_bytes = engine.relation_bytes();
+    let _ = writeln!(
+        out,
+        "# HELP stir_relation_bytes Approximate resident bytes per base relation \
+         (index structures only; mapped snapshot pages are excluded)."
+    );
+    let _ = writeln!(out, "# TYPE stir_relation_bytes gauge");
+    for (name, n) in &relation_bytes {
+        let _ = writeln!(out, "stir_relation_bytes{{relation=\"{name}\"}} {n}");
+    }
+    gauge(
+        &mut out,
+        "relations_resident_bytes",
+        "Approximate resident bytes across all base relations' indexes.",
+        relation_bytes.iter().map(|(_, n)| n).sum(),
+    );
     for (name, h) in histograms(m) {
         summary(&mut out, name, &h.snapshot());
     }

@@ -30,6 +30,7 @@ use std::process::ExitCode;
 use std::sync::RwLock;
 use stir::core::io;
 use stir::core::{Durability, PersistOptions};
+use stir::StorageBackend;
 use stir::{
     profile_json, Engine, InputData, InterpreterConfig, LogLevel, ProfileReport, ResidentEngine,
     Telemetry,
@@ -70,6 +71,10 @@ usage: stir [repl|explain] PROGRAM.dl [ATOM] [-F facts_dir] [-D out_dir] [option
   -D, --output-dir DIR   write <rel>.csv for every .output relation
                          (default: print outputs to stdout)
       --mode MODE        sti | dynamic | unopt | legacy    (default sti)
+      --storage BACKEND  mem | disk    (default: $STIR_STORAGE or mem)
+                         disk serves base relations off the mapped v2
+                         snapshot through a budgeted page cache
+                         ($STIR_PAGE_CACHE bytes) with in-memory deltas
       --no-super         disable super-instructions
       --no-reorder       disable static tuple reordering
       --no-outline       disable handler outlining
@@ -118,6 +123,7 @@ fn parse_args() -> Options {
     let mut explain_atom = None;
     let mut provenance = false;
     let mut jobs = None;
+    let mut storage = None;
     let mut data_dir = None;
     let mut persist = PersistOptions {
         durability: Durability::default_from_env(),
@@ -169,6 +175,16 @@ fn parse_args() -> Options {
                 }
             }
             "--provenance" => provenance = true,
+            "--storage" => {
+                storage = match args.next().as_deref().map(StorageBackend::parse) {
+                    Some(Some(s)) => Some(s),
+                    Some(None) => {
+                        eprintln!("stir: --storage needs `mem` or `disk`");
+                        std::process::exit(2)
+                    }
+                    None => usage(),
+                }
+            }
             "--no-super" => config.super_instructions = false,
             "--no-reorder" => config.static_reordering = false,
             "--no-outline" => config.outlined_handlers = false,
@@ -233,6 +249,9 @@ fn parse_args() -> Options {
     // explain` is pointless without annotations, so it implies them.
     if let Some(n) = jobs {
         config.jobs = n;
+    }
+    if let Some(s) = storage {
+        config.storage = s;
     }
     if provenance || explain {
         config.provenance = true;

@@ -76,7 +76,8 @@ use stir::serve::{
     handle_request, read_request, Control, Request, RequestCtx, SessionConfig, WriteAdmission,
 };
 use stir::{
-    profile_json, Engine, InputData, InterpreterConfig, LogLevel, ResidentEngine, Telemetry,
+    profile_json, Engine, InputData, InterpreterConfig, LogLevel, ResidentEngine, StorageBackend,
+    Telemetry,
 };
 
 struct Options {
@@ -105,6 +106,10 @@ usage: stird PROGRAM.dl [-F facts_dir] [options]
   -F, --fact-dir DIR       read <rel>.facts for every .input relation
       --port PORT          TCP port (default 0 = pick a free port)
       --mode MODE          sti | dynamic | unopt | legacy  (default sti)
+      --storage BACKEND    mem | disk  (default: $STIR_STORAGE or mem)
+                           disk serves base relations off the mapped v2
+                           snapshot through a budgeted page cache
+                           ($STIR_PAGE_CACHE bytes) with in-memory deltas
   -j, --jobs N             evaluate parallel scans with N workers
                            (default: $STIR_JOBS or 1)
       --provenance         annotate tuples with (rule, height) so
@@ -128,8 +133,8 @@ usage: stird PROGRAM.dl [-F facts_dir] [options]
   -h, --help               print this help and exit
 
 protocol (one request per line): +rel(1,2). | ?rel(1,_,x) |
-.explain rel(1,2) | .stats | .stats json | .snapshot | .help |
-.quit (close connection) | .stop (shut down)";
+.explain rel(1,2) | .stats | .stats json | .snapshot | .compact |
+.help | .quit (close connection) | .stop (shut down)";
 
 fn usage() -> ! {
     eprintln!("{HELP}");
@@ -154,6 +159,7 @@ fn parse_args() -> Options {
     let mut slow_query_ms = None;
     let mut metrics_interval = None;
     let mut provenance = false;
+    let mut storage = None;
     let mut data_dir = None;
     let mut persist = PersistOptions {
         durability: Durability::default_from_env(),
@@ -191,6 +197,13 @@ fn parse_args() -> Options {
                 }
             }
             "--provenance" => provenance = true,
+            "--storage" => {
+                storage = match args.next().as_deref().map(StorageBackend::parse) {
+                    Some(Some(s)) => Some(s),
+                    Some(None) => fatal("--storage needs `mem` or `disk`"),
+                    None => usage(),
+                }
+            }
             "-D" | "--data-dir" => {
                 data_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
             }
@@ -277,6 +290,9 @@ fn parse_args() -> Options {
     // switch are applied last to make flag order irrelevant.
     if let Some(n) = jobs {
         config.jobs = n;
+    }
+    if let Some(s) = storage {
+        config.storage = s;
     }
     config.provenance = provenance;
     Options {

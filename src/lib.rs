@@ -53,5 +53,5 @@ pub use stir_workloads as workloads;
 pub use stir_core::{
     profile_json, Engine, EngineError, EvalOutcome, ExplainLimits, InputData, InterpreterConfig,
     Json, LogLevel, ParallelReport, ProfileReport, ProofNode, ResidentEngine, ServerStats,
-    Telemetry, UpdateReport, Value,
+    StorageBackend, Telemetry, UpdateReport, Value,
 };

@@ -229,6 +229,8 @@ commands:
   .stats                 show serving counters
   .stats json            the full metrics registry as one JSON object
   .snapshot              persist a snapshot and truncate the WAL
+  .compact               rewrite the snapshot as a fresh v2 run file
+                         (folds disk-index overlays into new base runs)
   .help                  this summary
   .quit                  close this session
   .stop                  shut the server down";
@@ -459,6 +461,29 @@ fn handle_line_inner(
                     {
                         // A failed snapshot write is a storage failure:
                         // probe immediately, degrade if persistent.
+                        let mut eng = engine.write().unwrap_or_else(PoisonError::into_inner);
+                        eng.note_storage_failure(&e.to_string());
+                    }
+                    writeln!(out, "err {e}")?;
+                }
+            }
+            return Ok((Control::Continue, ReqInfo::none()));
+        }
+        ".compact" => {
+            let result = {
+                let mut engine = engine.write().unwrap_or_else(PoisonError::into_inner);
+                engine.compact(tel)
+            };
+            match result {
+                Ok(stats) => writeln!(
+                    out,
+                    "ok compact {} tuples {} bytes",
+                    stats.tuples, stats.bytes
+                )?,
+                Err(e) => {
+                    {
+                        // Same failure policy as `.snapshot`: probe
+                        // immediately, degrade if persistent.
                         let mut eng = engine.write().unwrap_or_else(PoisonError::into_inner);
                         eng.note_storage_failure(&e.to_string());
                     }
